@@ -1,0 +1,184 @@
+// scmd_run — config-driven MD driver.
+//
+//   ./scmd_run path/to/run.conf
+//
+// Configuration keys (all optional except `field`):
+//
+//   field            lj | morse | vashishta | bks | sw | tersoff |
+//                    chain4 | chain5
+//   strategy         SC (default) | FS | Hybrid | OC | RC | BondOrder |
+//                    SC:2 | SC+p | ...
+//   atoms            atom count (default 1536)
+//   density          g/cc for the silica fields (default 2.2)
+//   atoms_per_cell   occupancy for gas-built fields (default 4)
+//   temperature      initial / thermostat temperature in K (default 300)
+//   dt_fs            time step in femtoseconds (default 1.0)
+//   steps            MD steps (default 100)
+//   thermostat_tau_fs  Berendsen coupling time; 0 (default) = NVE
+//   threads          intra-process enumeration threads (default 1)
+//   ranks            > 1 runs the threaded message-passing cluster (NVE
+//                    only; thermostat requires ranks = 1)
+//   log_every        table row cadence (default 10)
+//   traj             extended-XYZ output path
+//   checkpoint_in    resume from a checkpoint instead of building
+//   checkpoint_out   write the final state here
+//   seed             RNG seed (default 1)
+//   measure_pressure true: report pressure at the end (serial only)
+
+#include <cstdio>
+#include <memory>
+
+#include "engines/observables.hpp"
+#include "engines/serial_engine.hpp"
+#include "io/checkpoint.hpp"
+#include "io/xyz.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "potentials/bks.hpp"
+#include "potentials/dihedral.hpp"
+#include "potentials/gaussian_chain.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/morse.hpp"
+#include "potentials/stillinger_weber.hpp"
+#include "potentials/tersoff.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/config.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace scmd;
+
+std::unique_ptr<ForceField> make_field(const std::string& name) {
+  if (name == "lj") return std::make_unique<LennardJones>();
+  if (name == "morse") return std::make_unique<Morse>();
+  if (name == "vashishta") return std::make_unique<VashishtaSiO2>();
+  if (name == "bks") return std::make_unique<BksSiO2>();
+  if (name == "sw") return std::make_unique<StillingerWeber>();
+  if (name == "tersoff") return std::make_unique<TersoffSilicon>();
+  if (name == "chain4") return std::make_unique<ChainDihedral>();
+  if (name == "chain5") return std::make_unique<GaussianChain>();
+  SCMD_REQUIRE(false, "unknown field: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> species_symbols(const std::string& field) {
+  if (field == "vashishta" || field == "bks") return {"Si", "O"};
+  if (field == "sw" || field == "tersoff") return {"Si"};
+  return {"X"};
+}
+
+ParticleSystem build_system(const Config& cfg, const std::string& field_name,
+                            const ForceField& field, Rng& rng) {
+  if (cfg.has("checkpoint_in"))
+    return load_checkpoint(cfg.get("checkpoint_in", ""));
+  const long long atoms = cfg.get_int("atoms", 1536);
+  const double temperature = cfg.get_double("temperature", 300.0);
+  if (field_name == "vashishta" || field_name == "bks")
+    return make_silica(atoms, cfg.get_double("density", 2.2), temperature,
+                       rng);
+  ParticleSystem sys =
+      make_gas(field, atoms, cfg.get_double("atoms_per_cell", 4.0),
+               temperature, rng);
+  return sys;
+}
+
+int run(const std::string& path) {
+  const Config cfg = Config::load(path);
+  cfg.require_known({"field", "strategy", "atoms", "density",
+                     "atoms_per_cell", "temperature", "dt_fs", "steps",
+                     "thermostat_tau_fs", "threads", "ranks", "log_every",
+                     "traj", "checkpoint_in", "checkpoint_out", "seed",
+                     "measure_pressure"});
+  SCMD_REQUIRE(cfg.has("field"), "config must set `field`");
+
+  const std::string field_name = cfg.get("field", "");
+  const std::string strategy = cfg.get("strategy", "SC");
+  const double dt = cfg.get_double("dt_fs", 1.0) * units::kFemtosecond;
+  const int steps = static_cast<int>(cfg.get_int("steps", 100));
+  const int ranks = static_cast<int>(cfg.get_int("ranks", 1));
+  const double tau_fs = cfg.get_double("thermostat_tau_fs", 0.0);
+  const int log_every = static_cast<int>(cfg.get_int("log_every", 10));
+
+  const auto field = make_field(field_name);
+  Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 1)));
+  ParticleSystem sys = build_system(cfg, field_name, *field, rng);
+
+  std::printf("# scmd_run: field=%s strategy=%s atoms=%d steps=%d ranks=%d\n",
+              field_name.c_str(), strategy.c_str(), sys.num_atoms(), steps,
+              ranks);
+
+  if (ranks > 1) {
+    SCMD_REQUIRE(tau_fs == 0.0,
+                 "thermostatted runs need ranks = 1 (parallel runs are NVE)");
+    ParallelRunConfig pcfg;
+    pcfg.dt = dt;
+    pcfg.num_steps = steps;
+    const ParallelRunResult res = run_parallel_md(
+        sys, *field, strategy, ProcessGrid::factor(ranks), pcfg);
+    std::printf("# E_pot = %.6f, T = %.1f K, max-rank ghosts = %llu\n",
+                res.potential_energy, sys.temperature(),
+                static_cast<unsigned long long>(
+                    res.max_rank.ghost_atoms_imported));
+  } else {
+    SerialEngineConfig ecfg;
+    ecfg.dt = dt;
+    ecfg.num_threads = static_cast<int>(cfg.get_int("threads", 1));
+    SerialEngine engine(sys, *field, make_strategy(strategy, *field), ecfg);
+
+    std::unique_ptr<XyzWriter> traj;
+    if (cfg.has("traj")) {
+      traj = std::make_unique<XyzWriter>(cfg.get("traj", "out.xyz"),
+                                         species_symbols(field_name));
+    }
+    std::unique_ptr<BerendsenThermostat> thermo;
+    if (tau_fs > 0.0) {
+      thermo = std::make_unique<BerendsenThermostat>(
+          cfg.get_double("temperature", 300.0),
+          tau_fs * units::kFemtosecond);
+    }
+
+    std::printf("# %8s %14s %14s %10s\n", "step", "E_pot", "E_total",
+                "T(K)");
+    for (int s = 0; s <= steps; ++s) {
+      if (log_every > 0 && s % log_every == 0) {
+        std::printf("  %8d %14.6f %14.6f %10.1f\n", s,
+                    engine.potential_energy(), engine.total_energy(),
+                    sys.temperature());
+        if (traj) traj->write_frame(sys, "step=" + std::to_string(s));
+      }
+      if (thermo) {
+        engine.step(*thermo);
+      } else {
+        engine.step();
+      }
+    }
+    if (cfg.get_bool("measure_pressure", false)) {
+      const Pressure p = measure_pressure(sys, *field, "SC");
+      std::printf("# pressure: total %.6g eV/A^3 (kinetic %.3g, virial "
+                  "%.3g)\n",
+                  p.total(), p.kinetic, p.virial);
+    }
+  }
+
+  if (cfg.has("checkpoint_out"))
+    save_checkpoint(sys, cfg.get("checkpoint_out", ""));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <config-file>\n", argv[0]);
+    return 2;
+  }
+  try {
+    return run(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

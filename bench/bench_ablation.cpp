@@ -1,0 +1,64 @@
+// Ablation of the shift-collapse algorithm's two phases (DESIGN.md §6):
+//
+//   FS          — neither phase (the naive complete pattern)
+//   OC  = OC-SHIFT(FS)        — import-volume reduction only
+//   RC  = R-COLLAPSE(FS)      — search halving only (generalized half-shell)
+//   SC  = R-COLLAPSE(OC-SHIFT(FS)) — both
+//
+// For the silica workload on a virtual cluster, reports each variant's
+// per-rank search work, ghost import, and modeled step time at a fine and
+// a coarse grain — quantifying what each phase buys, which is exactly the
+// paper's Sec. 4 claims in table form.
+//
+//   ./bench_ablation [--platform=xeon|bgq] [--grain=24 --grain2=2000]
+
+#include <iostream>
+
+#include "md/builders.hpp"
+#include "perf/cluster_sim.hpp"
+#include "perf/cost_model.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv, {"platform", "grain", "grain2", "ranks"});
+  const PlatformParams platform =
+      platform_by_name(cli.get("platform", "xeon"));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 512));
+  const VashishtaSiO2 field;
+
+  for (long long grain : {cli.get_int("grain", 32), cli.get_int("grain2",
+                                                                2000)}) {
+    const ProcessGrid pgrid = ProcessGrid::factor(ranks);
+    const long long atoms = grain * ranks;
+    Rng rng(4000 + static_cast<std::uint64_t>(grain));
+    const ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
+    const ClusterSimulator sim(sys, field);
+
+    Table table({"variant", "search/rank", "ghosts/rank", "msgs",
+                 "T_compute(s)", "T_comm(s)", "T_step(s)", "vs FS"});
+    table.set_title("SC phase ablation, N/P = " + std::to_string(grain) +
+                    ", " + std::to_string(ranks) + " ranks (" +
+                    platform.name + ")");
+    table.set_precision(6);
+
+    double t_fs = 0.0;
+    for (const std::string variant : {"FS", "OC", "RC", "SC"}) {
+      const ClusterSample s = sim.measure(variant, pgrid, 4);
+      const StepCost cost = estimate_step(s.max_rank, platform);
+      if (variant == "FS") t_fs = cost.total();
+      table.add_row(
+          {variant,
+           static_cast<long long>(s.max_rank.total_search_steps()),
+           static_cast<long long>(s.max_rank.ghost_atoms_imported),
+           static_cast<long long>(s.max_rank.messages), cost.compute_s,
+           cost.comm_s, cost.total(), t_fs / cost.total()});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

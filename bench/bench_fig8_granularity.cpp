@@ -1,0 +1,116 @@
+// Experiment F8a/F8b (DESIGN.md): paper Figure 8.
+//
+// Runtime per MD step vs granularity N/P for SC-MD, FS-MD, and Hybrid-MD
+// on (a) a 48-node Intel Xeon cluster (576 ranks) and (b) 64 BlueGene/Q
+// nodes (4096 ranks, 4 tasks/core).  Work is measured by running the
+// real per-rank algorithms on a virtual cluster; time comes from the
+// calibrated platform cost model (see src/perf).
+//
+// Paper observables: SC-MD fastest at fine grain (9.7x over Hybrid at
+// N/P = 24 on Xeon; 5.1x on BG/Q), crossover to Hybrid-MD at N/P ≈ 2095
+// (Xeon) and ≈ 425 (BG/Q).
+//
+//   ./bench_fig8_granularity [--platform=xeon|bgq|both] [--csv=fig8.csv]
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "md/builders.hpp"
+#include "perf/cluster_sim.hpp"
+#include "perf/cost_model.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace scmd;
+
+void run_platform(const PlatformParams& platform, const ProcessGrid& pgrid,
+                  const std::vector<long long>& grains,
+                  const std::string& csv) {
+  const VashishtaSiO2 field;
+  const long long P = pgrid.num_ranks();
+
+  Table table({"N/P", "N", "T_SC(s)", "T_FS(s)", "T_Hybrid(s)",
+               "FS/SC", "Hybrid/SC"});
+  table.set_title("Fig. 8 (" + platform.name + ") — runtime/step vs N/P on " +
+                  std::to_string(P) + " ranks");
+  table.set_precision(6);
+
+  double prev_ratio = -1.0, crossover = -1.0;
+  long long prev_grain = 0;
+  for (long long grain : grains) {
+    const long long atoms = grain * P;
+    Rng rng(2000 + static_cast<std::uint64_t>(grain));
+    const ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
+    const ClusterSimulator sim(sys, field);
+
+    double t[3] = {0, 0, 0};
+    const char* names[3] = {"SC", "FS", "Hybrid"};
+    bool feasible = true;
+    for (int k = 0; k < 3; ++k) {
+      try {
+        const ClusterSample s = sim.measure(names[k], pgrid, 4);
+        t[k] = estimate_step(s.max_rank, platform).total();
+      } catch (const Error&) {
+        feasible = false;  // rank region thinner than a cutoff
+      }
+    }
+    if (!feasible) {
+      std::cout << "# N/P = " << grain
+                << ": grain too fine for rcut2 on this process grid\n";
+      continue;
+    }
+    table.add_row({grain, atoms, t[0], t[1], t[2], t[1] / t[0],
+                   t[2] / t[0]});
+
+    // Detect the SC->Hybrid crossover (log-linear interpolation).
+    const double ratio = t[2] / t[0];
+    if (prev_ratio > 1.0 && ratio <= 1.0) {
+      const double f = std::log(prev_ratio) /
+                       (std::log(prev_ratio) - std::log(ratio));
+      crossover = std::exp(std::log(static_cast<double>(prev_grain)) +
+                           f * (std::log(static_cast<double>(grain)) -
+                                std::log(static_cast<double>(prev_grain))));
+    }
+    prev_ratio = ratio;
+    prev_grain = grain;
+  }
+  table.print(std::cout);
+  if (crossover > 0) {
+    std::cout << "# SC->Hybrid crossover at N/P ~ "
+              << static_cast<long long>(crossover) << " (paper: "
+              << (platform.name == "xeon" ? 2095 : 425) << ")\n";
+  } else {
+    std::cout << "# no SC->Hybrid crossover within the sweep\n";
+  }
+  std::cout << "\n";
+  if (!csv.empty()) table.save_csv(platform.name + "_" + csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv, {"platform", "csv", "grains"});
+  const std::string which = cli.get("platform", "both");
+  const std::string csv = cli.get("csv", "");
+
+  // Paper grains: 24..3000; a denser sweep near the crossovers.
+  const std::vector<long long> grains{24,  48,  96,   192,  425,
+                                      800, 1500, 2100, 3000, 4200};
+
+  if (which == "xeon" || which == "both") {
+    // 48 dual-6-core Xeon nodes = 576 ranks (near-cubic process grid so
+    // fine grains keep rank regions >= rcut2 per axis).
+    run_platform(xeon_cluster(), ProcessGrid::factor(576), grains, csv);
+  }
+  if (which == "bgq" || which == "both") {
+    // 64 BG/Q nodes x 16 cores x 4 tasks = 4096 ranks.
+    run_platform(bluegene_q(), ProcessGrid({16, 16, 16}), grains, csv);
+  }
+  return 0;
+}

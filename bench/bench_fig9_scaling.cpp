@@ -1,0 +1,123 @@
+// Experiment F9a/F9b (DESIGN.md): paper Figure 9.
+//
+// Strong-scaling speedup of SC-MD, FS-MD, and Hybrid-MD:
+//  (a) 0.88M-atom silica on 12..768 Xeon cores,
+//  (b) 0.79M-atom silica on 16..8192 BG/Q cores,
+//  plus the extreme-scale run: 50.3M atoms on up to 524,288 BG/Q cores
+//  (scaled down by default; --full restores the paper's size).
+//
+// Speedup S = T(P_ref) / T(P) with the per-platform cost model over
+// measured per-rank work (see src/perf).  Paper observables: SC ~92.6%
+// efficiency on 768 Xeon cores (FS 38.3%, Hybrid 26.8%); SC 90.9% on
+// 8192 BG/Q cores (FS 10.8%, Hybrid 18.6%); 91.9% at 524288 cores.
+//
+//   ./bench_fig9_scaling [--platform=xeon|bgq|extreme|all] [--atoms=N]
+//                        [--full]
+
+#include <iostream>
+#include <vector>
+
+#include "md/builders.hpp"
+#include "perf/cluster_sim.hpp"
+#include "perf/cost_model.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace scmd;
+
+void strong_scaling(const PlatformParams& platform, long long atoms,
+                    const std::vector<int>& core_counts,
+                    const std::string& csv, int tasks_per_core = 1) {
+  const VashishtaSiO2 field;
+  Rng rng(3000 + static_cast<std::uint64_t>(atoms));
+  const ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
+  const ClusterSimulator sim(sys, field);
+
+  Table table({"cores", "ranks", "N/P", "S_SC", "eff_SC(%)", "S_FS",
+               "eff_FS(%)", "S_Hybrid", "eff_Hy(%)"});
+  table.set_title("Fig. 9 (" + platform.name + ") — strong scaling, " +
+                  std::to_string(atoms) + " atoms, " +
+                  std::to_string(tasks_per_core) + " task(s)/core");
+  table.set_precision(1);
+
+  const char* names[3] = {"SC", "FS", "Hybrid"};
+  double t_ref[3] = {0, 0, 0};
+  int p_ref = 0;
+  for (int cores : core_counts) {
+    const int P = cores * tasks_per_core;
+    const ProcessGrid pgrid = ProcessGrid::factor(P);
+    double t[3];
+    bool ok = true;
+    for (int k = 0; k < 3 && ok; ++k) {
+      try {
+        const ClusterSample s = sim.measure(names[k], pgrid, 4);
+        t[k] = estimate_step(s.max_rank, platform).total();
+      } catch (const Error&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      std::cout << "# P = " << P << ": grain too fine, stopping sweep\n";
+      break;
+    }
+    if (p_ref == 0) {
+      p_ref = P;
+      for (int k = 0; k < 3; ++k) t_ref[k] = t[k];
+    }
+    std::vector<TableCell> row{static_cast<long long>(cores),
+                               static_cast<long long>(P),
+                               atoms / static_cast<long long>(P)};
+    for (int k = 0; k < 3; ++k) {
+      const double speedup = t_ref[k] / t[k];
+      row.push_back(speedup);
+      row.push_back(100.0 * speedup / (static_cast<double>(P) / p_ref));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  if (!csv.empty()) table.save_csv(platform.name + "_" + csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv, {"platform", "atoms", "full", "quick", "csv"});
+  const std::string which = cli.get("platform", "all");
+  const bool full = cli.get_bool("full", false);
+  const std::string csv = cli.get("csv", "");
+
+  // Paper sizes by default (0.88M / 0.79M / 50.3M atoms): per-rank
+  // sampling keeps the sweep affordable.  --quick shrinks ~8x.
+  const bool quick = cli.get_bool("quick", false) && !full;
+  const long long xeon_atoms = cli.get_int("atoms", quick ? 110000 : 880000);
+  const long long bgq_atoms = cli.get_int("atoms", quick ? 98000 : 790000);
+  const long long extreme_atoms =
+      cli.get_int("atoms", quick ? 6300000 : 50300000);
+
+  if (which == "xeon" || which == "all") {
+    // 1..64 dual-6-core nodes.
+    strong_scaling(xeon_cluster(), xeon_atoms,
+                   {12, 24, 48, 96, 192, 384, 768}, csv);
+  }
+  if (which == "bgq" || which == "all") {
+    // 1..512 nodes, 16 cores each, 4 MPI tasks per core as in the paper
+    // (finest grain ~26 atoms per task).
+    strong_scaling(bluegene_q(), bgq_atoms,
+                   {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}, csv,
+                   /*tasks_per_core=*/4);
+  }
+  if (which == "extreme" || which == "all") {
+    // 8..32768 nodes; the paper reports 91.9% efficiency at 524288 cores
+    // with 2,097,152 MPI tasks (4/core), reference = 128 cores.
+    strong_scaling(bluegene_q(), extreme_atoms,
+                   {128, 1024, 8192, 65536, 262144, 524288}, csv,
+                   /*tasks_per_core=*/4);
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark): pattern construction, tuple
+// enumeration throughput, force kernels, domain binning.
+
+#include <benchmark/benchmark.h>
+
+#include "cell/domain.hpp"
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "pattern/generate.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/rng.hpp"
+#include "tuples/ucp.hpp"
+
+namespace {
+
+using namespace scmd;
+
+void BM_GenerateFs(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_fs(n));
+  }
+}
+BENCHMARK(BM_GenerateFs)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MakeSc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_sc(n));
+  }
+}
+BENCHMARK(BM_MakeSc)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_RCollapsePairwise(benchmark::State& state) {
+  const Pattern base = oc_shift(generate_fs(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r_collapse_pairwise(base));
+  }
+}
+BENCHMARK(BM_RCollapsePairwise);
+
+struct SilicaFixture {
+  SilicaFixture() : rng(42), sys(make_silica(3000, 2.2, 300.0, rng)) {}
+  Rng rng;
+  ParticleSystem sys;
+  VashishtaSiO2 field;
+};
+
+void BM_SerialDomainBuild(benchmark::State& state) {
+  SilicaFixture f;
+  const CellGrid grid(f.sys.box(), f.field.rcut(2));
+  const HaloSpec halo = halo_for(make_sc(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        make_serial_domain(grid, halo, f.sys.positions(), f.sys.types()));
+  }
+  state.SetItemsProcessed(state.iterations() * f.sys.num_atoms());
+}
+BENCHMARK(BM_SerialDomainBuild);
+
+void BM_TupleEnumeration(benchmark::State& state) {
+  // Triplet enumeration throughput on the silica workload: SC vs FS.
+  SilicaFixture f;
+  const bool use_sc = state.range(0) != 0;
+  const Pattern psi = use_sc ? make_sc(3) : generate_fs(3);
+  const CellGrid grid(f.sys.box(), f.field.rcut(3));
+  const CellDomain dom =
+      make_serial_domain(grid, halo_for(psi), f.sys.positions(),
+                         f.sys.types());
+  const CompiledPattern cp(psi);
+  for (auto _ : state) {
+    TupleCounters tc = count_tuples(dom, cp, f.field.rcut(3));
+    benchmark::DoNotOptimize(tc);
+    state.counters["search_steps"] =
+        static_cast<double>(tc.search_steps);
+  }
+}
+BENCHMARK(BM_TupleEnumeration)->Arg(1)->Arg(0);
+
+void BM_ForceComputeStrategy(benchmark::State& state) {
+  SilicaFixture f;
+  const char* names[3] = {"SC", "FS", "Hybrid"};
+  const std::string name = names[state.range(0)];
+  SerialEngine engine(f.sys, f.field, make_strategy(name, f.field));
+  for (auto _ : state) {
+    engine.compute_forces();
+  }
+  state.SetLabel(name);
+  state.SetItemsProcessed(state.iterations() * f.sys.num_atoms());
+}
+BENCHMARK(BM_ForceComputeStrategy)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LjPairKernel(benchmark::State& state) {
+  const LennardJones lj;
+  Rng rng(7);
+  std::vector<Vec3> rj;
+  for (int i = 0; i < 1024; ++i) {
+    const Vec3 d{rng.normal(), rng.normal(), rng.normal()};
+    rj.push_back(d * (rng.uniform(0.9, 2.4) / d.norm()));
+  }
+  Vec3 fi, fj;
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lj.eval_pair(0, 0, {0, 0, 0}, rj[k++ & 1023], fi, fj));
+  }
+}
+BENCHMARK(BM_LjPairKernel);
+
+void BM_VashishtaTripletKernel(benchmark::State& state) {
+  const VashishtaSiO2 v;
+  Rng rng(8);
+  std::vector<std::pair<Vec3, Vec3>> ends;
+  for (int i = 0; i < 1024; ++i) {
+    ends.push_back({{rng.uniform(1.4, 2.3), rng.uniform(-0.4, 0.4), 0.0},
+                    {rng.uniform(-0.4, 0.4), rng.uniform(1.4, 2.3), 0.0}});
+  }
+  Vec3 fi, fj, fk;
+  std::size_t k = 0;
+  for (auto _ : state) {
+    const auto& [ri, rk_] = ends[k++ & 1023];
+    benchmark::DoNotOptimize(v.eval_triplet(kOxygen, kSilicon, kOxygen, ri,
+                                            {0, 0, 0}, rk_, fi, fj, fk));
+  }
+}
+BENCHMARK(BM_VashishtaTripletKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

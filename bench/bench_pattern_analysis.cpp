@@ -1,0 +1,88 @@
+// Experiment A1 (DESIGN.md): the paper's Section 4 analytics.
+//
+// Regenerates every closed-form quantity of the theoretical analysis and
+// checks it against direct enumeration:
+//   - |Ψ_FS(n)| = 27^{n-1}                                   (Eq. 25)
+//   - |Ψ_SC(n)| = (27^{n-1} + 27^{ceil(n/2)-1}) / 2          (Eq. 29)
+//   - half-shell |Ψ| = 14, eighth-shell import = 7 at l = 1  (Sec. 4.3)
+//   - SC import volume (l+n-1)^3 - l^3                       (Eq. 33)
+
+#include <algorithm>
+#include <iostream>
+
+#include "pattern/analysis.hpp"
+#include "pattern/generate.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv, {"nmax", "csv"});
+  const int nmax = static_cast<int>(cli.get_int("nmax", 6));
+
+  Table sizes({"n", "|FS| enum", "|FS| Eq.25", "|SC| enum", "|SC| Eq.29",
+               "self-twin", "SC/FS"});
+  sizes.set_title("Pattern sizes: enumerated vs closed form");
+  sizes.set_precision(4);
+  for (int n = 2; n <= nmax; ++n) {
+    // Enumerate up to n = 5 (27^5 paths is still fine); beyond that only
+    // closed forms are reported.
+    long long fs_enum = -1, sc_enum = -1, self_enum = -1;
+    if (n <= 5) {
+      const Pattern fs = generate_fs(n);
+      const Pattern sc = make_sc(n);
+      fs_enum = static_cast<long long>(fs.size());
+      sc_enum = static_cast<long long>(sc.size());
+      self_enum = 0;
+      for (const Path& p : sc) self_enum += p.self_reflective();
+    }
+    sizes.add_row({static_cast<long long>(n),
+                   fs_enum >= 0 ? TableCell{fs_enum} : TableCell{std::string("-")},
+                   fs_pattern_size(n),
+                   sc_enum >= 0 ? TableCell{sc_enum} : TableCell{std::string("-")},
+                   sc_pattern_size(n), non_collapsible_count(n),
+                   static_cast<double>(sc_pattern_size(n)) /
+                       static_cast<double>(fs_pattern_size(n))});
+  }
+  sizes.print(std::cout);
+  std::cout << "\n";
+
+  Table shells({"method", "|Psi|", "footprint", "import@l=1"});
+  shells.set_title("Classic pair shells (paper Fig. 6 / Sec. 4.3)");
+  const Pattern fs2 = generate_fs(2);
+  const Pattern hs = make_hs();
+  const Pattern es = make_es();
+  shells.add_row({std::string("full-shell"),
+                  static_cast<long long>(fs2.size()),
+                  static_cast<long long>(cell_footprint(fs2)),
+                  import_volume(fs2, {1, 1, 1})});
+  shells.add_row({std::string("half-shell"),
+                  static_cast<long long>(hs.size()),
+                  static_cast<long long>(cell_footprint(hs)),
+                  import_volume(hs, {1, 1, 1})});
+  shells.add_row({std::string("eighth-shell"),
+                  static_cast<long long>(es.size()),
+                  static_cast<long long>(cell_footprint(es)),
+                  import_volume(es, {1, 1, 1})});
+  shells.print(std::cout);
+  std::cout << "\n";
+
+  Table imports({"n", "l", "SC import enum", "SC Eq.33", "FS import enum",
+                 "FS closed form"});
+  imports.set_title("Import volumes (cells) for l^3 bricks");
+  for (int n = 2; n <= std::min(nmax, 4); ++n) {
+    for (int l : {1, 2, 4, 8}) {
+      imports.add_row({static_cast<long long>(n), static_cast<long long>(l),
+                       import_volume(make_sc(n), {l, l, l}),
+                       sc_import_volume(l, n),
+                       import_volume(generate_fs(n), {l, l, l}),
+                       fs_import_volume(l, n)});
+    }
+  }
+  imports.print(std::cout);
+
+  if (cli.has("csv")) {
+    sizes.save_csv(cli.get("csv", "pattern_analysis.csv"));
+  }
+  return 0;
+}

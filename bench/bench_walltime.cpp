@@ -1,0 +1,63 @@
+// Measured single-host wall time per MD step for SC-MD, FS-MD, and
+// Hybrid-MD on the silica workload — the model-free companion to the
+// Fig. 8 cost-model sweep.  On one process there is no communication, so
+// this isolates the *search-cost* side of the paper's trade-off: FS ≈ 2x
+// SC search, Hybrid cheapest search (it exploits rcut3 < rcut2 through
+// the pair list).
+//
+//   ./bench_walltime [--atoms=6000] [--steps=10] [--reach-sweep]
+
+#include <iostream>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv, {"atoms", "steps", "reach-sweep", "seed"});
+  const long long atoms = cli.get_int("atoms", 6000);
+  const int steps = static_cast<int>(cli.get_int("steps", 10));
+  const VashishtaSiO2 field;
+
+  std::vector<std::string> variants{"SC", "FS", "Hybrid", "SC+p", "FS+p"};
+  if (cli.get_bool("reach-sweep", false)) {
+    variants.push_back("SC:2+p");
+    variants.push_back("SC:3+p");
+  }
+
+  Table table({"strategy", "ms/step", "search/step", "cell visits/step",
+               "accepted3/step", "pair evals/step", "triplet evals/step"});
+  table.set_title("Measured wall time per step, silica, " +
+                  std::to_string(atoms) + " atoms, this host");
+  table.set_precision(2);
+
+  for (const std::string& name : variants) {
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 5)));
+    ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
+    SerialEngineConfig cfg;
+    cfg.dt = 1.0 * units::kFemtosecond;
+    SerialEngine engine(sys, field, make_strategy(name, field), cfg);
+    engine.clear_counters();
+    Timer timer;
+    for (int s = 0; s < steps; ++s) engine.step();
+    const double ms = timer.seconds() * 1e3 / steps;
+    const EngineCounters& c = engine.counters();
+    std::uint64_t visits = 0;
+    for (const TupleCounters& tc : c.tuples) visits += tc.cell_visits;
+    table.add_row(
+        {name, ms,
+         static_cast<long long>(c.total_search_steps() / steps),
+         static_cast<long long>(visits / steps),
+         static_cast<long long>(c.tuples[3].accepted / steps),
+         static_cast<long long>(c.evals[2] / steps),
+         static_cast<long long>(c.evals[3] / steps)});
+  }
+  table.print(std::cout);
+  return 0;
+}

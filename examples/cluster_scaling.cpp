@@ -1,0 +1,76 @@
+// Cluster scaling demo: run the same silica MD on a real multi-rank
+// (threaded) cluster and on the virtual cluster simulator, and show how
+// import volume and modeled step time change with the process grid.
+//
+//   ./cluster_scaling [--atoms=N] [--steps=N] [--ranks=8]
+//                     [--strategy=SC|FS|Hybrid] [--platform=xeon|bgq]
+
+#include <iostream>
+
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "perf/cluster_sim.hpp"
+#include "perf/cost_model.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv,
+                {"atoms", "steps", "ranks", "strategy", "platform", "seed"});
+  const long long atoms = cli.get_int("atoms", 6000);
+  const int steps = static_cast<int>(cli.get_int("steps", 5));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 8));
+  const std::string strategy = cli.get("strategy", "SC");
+  const PlatformParams platform =
+      platform_by_name(cli.get("platform", "xeon"));
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 11)));
+  ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
+  const VashishtaSiO2 field;
+
+  // --- Real threaded cluster run -------------------------------------
+  const ProcessGrid pgrid = ProcessGrid::factor(ranks);
+  std::cout << "# real threaded cluster: " << ranks << " ranks ("
+            << pgrid.dims() << " grid), " << steps << " steps, strategy "
+            << strategy << "\n";
+  ParallelRunConfig cfg;
+  cfg.dt = 1.0 * units::kFemtosecond;
+  cfg.num_steps = steps;
+  const ParallelRunResult res =
+      run_parallel_md(sys, field, strategy, pgrid, cfg);
+  std::cout << "#   potential energy " << res.potential_energy << " eV, "
+            << res.runtime_messages << " messages, " << res.runtime_bytes
+            << " bytes moved\n\n";
+
+  // --- Virtual sweep over process grids ------------------------------
+  const ClusterSimulator sim(sys, field);
+  Table table({"ranks", "N/P", "ghosts/rank", "search/rank", "T_compute(s)",
+               "T_comm(s)", "T_step(s)"});
+  table.set_title("Virtual " + platform.name + " sweep, strategy " +
+                  strategy);
+  table.set_precision(6);
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    const ProcessGrid grid = ProcessGrid::factor(p);
+    ClusterSample sample;
+    try {
+      sample = sim.measure(strategy, grid, 4);
+    } catch (const Error&) {
+      break;  // grain finer than the cutoff allows
+    }
+    const StepCost cost = estimate_step(sample.max_rank, platform);
+    table.add_row({static_cast<long long>(p),
+                   static_cast<long long>(sys.num_atoms() / p),
+                   static_cast<long long>(
+                       sample.max_rank.ghost_atoms_imported),
+                   static_cast<long long>(
+                       sample.max_rank.total_search_steps()),
+                   cost.compute_s, cost.comm_s, cost.total()});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Pattern explorer: inspect the computation-pattern algebra of Sec. 3-4.
+//
+// Prints, for n = 2..nmax, the FS/HS-style/SC pattern sizes, footprints,
+// and import volumes, and optionally dumps the paths of a pattern.
+//
+//   ./pattern_explorer [--nmax=4] [--brick=4] [--dump-n=0]
+
+#include <iostream>
+
+#include "pattern/analysis.hpp"
+#include "pattern/generate.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv, {"nmax", "brick", "dump-n"});
+  const int nmax = static_cast<int>(cli.get_int("nmax", 4));
+  const int brick = static_cast<int>(cli.get_int("brick", 4));
+  const int dump_n = static_cast<int>(cli.get_int("dump-n", 0));
+
+  Table table({"n", "|FS|", "|SC|", "SC/FS", "footprint(FS)",
+               "footprint(SC)", "import(FS)", "import(SC)"});
+  table.set_title("Computation patterns, import volumes for a " +
+                  std::to_string(brick) + "^3 cell brick");
+  table.set_precision(3);
+  for (int n = 2; n <= nmax; ++n) {
+    const Pattern fs = generate_fs(n);
+    const Pattern sc = make_sc(n);
+    table.add_row({static_cast<long long>(n),
+                   static_cast<long long>(fs.size()),
+                   static_cast<long long>(sc.size()),
+                   static_cast<double>(sc.size()) / fs.size(),
+                   static_cast<long long>(cell_footprint(fs)),
+                   static_cast<long long>(cell_footprint(sc)),
+                   import_volume(fs, {brick, brick, brick}),
+                   import_volume(sc, {brick, brick, brick})});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nClassic pair shells: |HS| = " << make_hs().size()
+            << ", |ES| = " << make_es().size()
+            << ", ES import at l=1: " << import_volume(make_es(), {1, 1, 1})
+            << " cells (paper: 7)\n";
+
+  if (dump_n >= 2) {
+    const Pattern sc = make_sc(dump_n);
+    std::cout << "\n" << sc << " paths:\n";
+    for (const Path& p : sc) {
+      std::cout << "  " << p << (p.self_reflective() ? "  (self-twin)" : "")
+                << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Dynamic 4-tuple computation — the ReaxFF-motivated regime (paper
+// Sec. 1): chains form and break as the fluid evolves, so the quadruplet
+// set must be rebuilt every step.  This example contrasts the dynamic
+// enumeration with a frozen (biomolecular-style) static list: the static
+// list's valid fraction decays while the dynamic count tracks the true
+// chain population.
+//
+//   ./reactive_chains [--atoms=400] [--steps=300] [--temperature=0.02]
+
+#include <cstdio>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/static_list.hpp"
+#include "potentials/dihedral.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv, {"atoms", "steps", "temperature", "seed"});
+  const long long atoms = cli.get_int("atoms", 400);
+  const int steps = static_cast<int>(cli.get_int("steps", 300));
+  const double temperature = cli.get_double("temperature", 0.02);
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 3)));
+  const ChainDihedral field;
+  ParticleSystem sys = make_gas(field, atoms, 3.0, temperature, rng);
+
+  const StaticTupleList frozen =
+      StaticTupleList::build(sys, 4, field.rcut(4));
+
+  SerialEngineConfig cfg;
+  cfg.dt = 0.002;
+  SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+
+  std::printf("# chain-dihedral fluid: %d atoms, %zu initial 4-chains\n",
+              sys.num_atoms(), frozen.size());
+  std::printf("# %6s %16s %16s %12s\n", "step", "dynamic 4-chains",
+              "static valid", "E_total");
+  for (int s = 0; s <= steps; ++s) {
+    if (s % 30 == 0) {
+      engine.clear_counters();
+      engine.compute_forces();
+      std::printf("  %6d %16llu %15.1f%% %12.4f\n", s,
+                  static_cast<unsigned long long>(
+                      engine.counters().tuples[4].accepted),
+                  100.0 * frozen.valid_fraction(sys, field.rcut(4)),
+                  engine.total_energy());
+    }
+    engine.step();
+  }
+  std::printf(
+      "# a static list cannot follow chain formation/breaking — the\n"
+      "# dynamic n-tuple machinery (paper Sec. 2.2) rebuilds it each "
+      "step.\n");
+  return 0;
+}

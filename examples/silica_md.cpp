@@ -1,0 +1,79 @@
+// Silica MD — the paper's production workload (Sec. 5): Vashishta SiO2
+// with dynamic pair (rcut 5.5 Å) and triplet (rcut 2.6 Å) computation.
+//
+// Runs thermostatted MD with a chosen strategy (SC / FS / Hybrid),
+// reports thermodynamics, tuple-search statistics, and optionally writes
+// an extended-XYZ trajectory.
+//
+//   ./silica_md [--atoms=N] [--steps=N] [--strategy=SC|FS|Hybrid]
+//               [--temperature=K] [--traj=out.xyz]
+
+#include <cstdio>
+
+#include "engines/serial_engine.hpp"
+#include "io/xyz.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv,
+                {"atoms", "steps", "strategy", "temperature", "traj",
+                 "seed"});
+  const long long atoms = cli.get_int("atoms", 1536);
+  const int steps = static_cast<int>(cli.get_int("steps", 100));
+  const std::string strategy = cli.get("strategy", "SC");
+  const double temperature = cli.get_double("temperature", 300.0);
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  ParticleSystem sys = make_silica(atoms, 2.2, temperature, rng);
+  const VashishtaSiO2 field;
+
+  SerialEngineConfig config;
+  config.dt = 1.0 * units::kFemtosecond;
+  config.measure_force_set = true;
+  SerialEngine engine(sys, field, make_strategy(strategy, field, true),
+                      config);
+  const BerendsenThermostat thermostat(temperature,
+                                       50.0 * units::kFemtosecond);
+
+  std::unique_ptr<XyzWriter> traj;
+  if (cli.has("traj")) {
+    traj = std::make_unique<XyzWriter>(cli.get("traj", "silica.xyz"),
+                                       std::vector<std::string>{"Si", "O"});
+  }
+
+  std::printf("# silica: %d atoms, box %.2f^3 A, strategy %s\n",
+              sys.num_atoms(), sys.box().length(0), strategy.c_str());
+  std::printf("# %6s %12s %12s %10s\n", "step", "E_pot(eV)", "E_tot(eV)",
+              "T(K)");
+  for (int s = 0; s <= steps; ++s) {
+    if (s % 10 == 0) {
+      std::printf("  %6d %12.4f %12.4f %10.1f\n", s,
+                  engine.potential_energy(), engine.total_energy(),
+                  sys.temperature());
+      if (traj) traj->write_frame(sys, "step=" + std::to_string(s));
+    }
+    engine.step(thermostat);
+  }
+
+  const EngineCounters& c = engine.counters();
+  const double per_step = 1.0 / (steps + 1);
+  std::printf("\n# per-step averages (%s pattern):\n", strategy.c_str());
+  std::printf("#   pair    search %12.0f  accepted %12.0f\n",
+              static_cast<double>(c.tuples[2].search_steps) * per_step,
+              static_cast<double>(c.tuples[2].accepted) * per_step);
+  std::printf("#   triplet search %12.0f  accepted %12.0f\n",
+              static_cast<double>(c.tuples[3].search_steps) * per_step,
+              static_cast<double>(c.tuples[3].accepted) * per_step);
+  std::printf("#   |S(3)| force-set size %12.0f\n",
+              static_cast<double>(c.force_set[3]) * per_step);
+  if (c.list_pairs > 0) {
+    std::printf("#   Verlet list pairs %12.0f\n",
+                static_cast<double>(c.list_pairs) * per_step);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reactive (bond-order) silicon: heat a diamond crystal with the Tersoff
+// field and watch the bond network respond — coordination and bond-order
+// statistics change with temperature, which is precisely why the tuple
+// neighborhoods must be dynamic (paper Sec. 1).
+//
+//   ./tersoff_melt [--cells=3] [--steps=400] [--temperature=1800]
+
+#include <cstdio>
+
+#include "engines/serial_engine.hpp"
+#include "md/analysis.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/tersoff.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+scmd::ParticleSystem diamond_si(int cells, double a, scmd::Rng& rng) {
+  using namespace scmd;
+  ParticleSystem sys(Box::cubic(cells * a), {28.0855});
+  const Vec3 fcc[4] = {{0, 0, 0}, {0, 0.5, 0.5}, {0.5, 0, 0.5},
+                       {0.5, 0.5, 0}};
+  for (int cx = 0; cx < cells; ++cx) {
+    for (int cy = 0; cy < cells; ++cy) {
+      for (int cz = 0; cz < cells; ++cz) {
+        for (const Vec3& f : fcc) {
+          for (const Vec3& b : {Vec3{0, 0, 0}, Vec3{0.25, 0.25, 0.25}}) {
+            Vec3 r = (Vec3{static_cast<double>(cx), static_cast<double>(cy),
+                           static_cast<double>(cz)} +
+                      f + b) *
+                     a;
+            r += Vec3{rng.uniform(-0.02, 0.02), rng.uniform(-0.02, 0.02),
+                      rng.uniform(-0.02, 0.02)};
+            sys.add_atom(r, {}, 0);
+          }
+        }
+      }
+    }
+  }
+  return sys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  const Cli cli(argc, argv, {"cells", "steps", "temperature", "seed"});
+  const int cells = static_cast<int>(cli.get_int("cells", 3));
+  const int steps = static_cast<int>(cli.get_int("steps", 400));
+  const double target = cli.get_double("temperature", 1800.0);
+
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 9)));
+  const TersoffSilicon field;
+  ParticleSystem sys = diamond_si(cells, 5.432, rng);
+  thermalize(sys, 300.0, rng);
+
+  SerialEngineConfig cfg;
+  cfg.dt = 1.0 * units::kFemtosecond;
+  SerialEngine engine(sys, field, make_strategy("BondOrder", field), cfg);
+  const BerendsenThermostat thermo(target, 25.0 * units::kFemtosecond);
+
+  std::printf("# Tersoff silicon: %d atoms, heating to %.0f K\n",
+              sys.num_atoms(), target);
+  std::printf("# %6s %9s %14s %14s %12s\n", "step", "T(K)", "E_pot/atom",
+              "coordination", "triples/step");
+  for (int s = 0; s <= steps; ++s) {
+    if (s % 50 == 0) {
+      engine.clear_counters();
+      engine.compute_forces();
+      const double coord = mean_coordination(sys, 0, 0, 2.7);
+      std::printf("  %6d %9.1f %14.4f %14.3f %12llu\n", s,
+                  sys.temperature(),
+                  engine.potential_energy() / sys.num_atoms(), coord,
+                  static_cast<unsigned long long>(
+                      engine.counters().tuples[3].chain_candidates));
+    }
+    engine.step(thermo);
+  }
+  std::printf("# diamond starts 4-coordinated (E_coh ~ -4.63 eV/atom); "
+              "heating disorders the bond network.\n");
+  return 0;
+}

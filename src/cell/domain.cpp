@@ -1,0 +1,167 @@
+#include "cell/domain.hpp"
+
+#include "pattern/analysis.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+HaloSpec halo_for(const Pattern& psi) {
+  HaloSpec h;
+  for (const Int3& v : cell_coverage(psi)) {
+    h.lo = Int3::max(h.lo, -v);
+    h.hi = Int3::max(h.hi, v);
+  }
+  h.lo = Int3::max(h.lo, {0, 0, 0});
+  h.hi = Int3::max(h.hi, {0, 0, 0});
+  return h;
+}
+
+HaloSpec merge(const HaloSpec& a, const HaloSpec& b) {
+  return {Int3::max(a.lo, b.lo), Int3::max(a.hi, b.hi)};
+}
+
+CellDomain::CellDomain(const CellGrid& grid, const Int3& owned_lo,
+                       const Int3& owned_dims, const HaloSpec& halo)
+    : grid_(grid), owned_lo_(owned_lo), owned_dims_(owned_dims), halo_(halo) {
+  SCMD_REQUIRE(owned_dims.x >= 1 && owned_dims.y >= 1 && owned_dims.z >= 1,
+               "owned brick must be non-empty");
+  SCMD_REQUIRE(halo.lo.x >= 0 && halo.lo.y >= 0 && halo.lo.z >= 0 &&
+                   halo.hi.x >= 0 && halo.hi.y >= 0 && halo.hi.z >= 0,
+               "halo margins must be non-negative");
+  ext_ = halo.lo + owned_dims + halo.hi;
+  cell_start_.assign(static_cast<std::size_t>(ext_.volume()) + 1, 0);
+}
+
+bool CellDomain::is_owned_cell(const Int3& local) const {
+  for (int a = 0; a < 3; ++a) {
+    if (local[a] < halo_.lo[a] || local[a] >= halo_.lo[a] + owned_dims_[a])
+      return false;
+  }
+  return true;
+}
+
+bool CellDomain::in_local(const Int3& local) const {
+  return local.x >= 0 && local.x < ext_.x && local.y >= 0 &&
+         local.y < ext_.y && local.z >= 0 && local.z < ext_.z;
+}
+
+long long CellDomain::cell_index(const Int3& local) const {
+  SCMD_ASSERT(in_local(local));
+  return (static_cast<long long>(local.z) * ext_.y + local.y) * ext_.x +
+         local.x;
+}
+
+Int3 CellDomain::cell_coord(long long index) const {
+  const int x = static_cast<int>(index % ext_.x);
+  const long long rest = index / ext_.x;
+  return {x, static_cast<int>(rest % ext_.y), static_cast<int>(rest / ext_.y)};
+}
+
+void CellDomain::build(std::span<const DomainAtom> atoms) {
+  const std::size_t ncell = static_cast<std::size_t>(ext_.volume());
+  cell_start_.assign(ncell + 1, 0);
+  pos_.resize(atoms.size());
+  type_.resize(atoms.size());
+  gid_.resize(atoms.size());
+  local_ref_.resize(atoms.size());
+  atom_cell_.resize(atoms.size());
+
+  // Counting sort by local cell.
+  std::vector<int> count(ncell, 0);
+  std::vector<long long> cell_of(atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    SCMD_REQUIRE(in_local(atoms[i].local_cell),
+                 "atom assigned outside the local lattice");
+    cell_of[i] = cell_index(atoms[i].local_cell);
+    ++count[static_cast<std::size_t>(cell_of[i])];
+  }
+  int running = 0;
+  for (std::size_t c = 0; c < ncell; ++c) {
+    cell_start_[c] = running;
+    running += count[c];
+  }
+  cell_start_[ncell] = running;
+
+  std::vector<int> fill(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    const std::size_t c = static_cast<std::size_t>(cell_of[i]);
+    const std::size_t slot = static_cast<std::size_t>(fill[c]++);
+    pos_[slot] = atoms[i].pos;
+    type_[slot] = atoms[i].type;
+    gid_[slot] = atoms[i].gid;
+    local_ref_[slot] = atoms[i].local_ref;
+    atom_cell_[slot] = cell_of[i];
+  }
+
+  num_owned_atoms_ = 0;
+  for (std::size_t c = 0; c < ncell; ++c) {
+    if (is_owned_cell(cell_coord(static_cast<long long>(c))))
+      num_owned_atoms_ += count[c];
+  }
+}
+
+GlobalBins bin_globally(const CellGrid& grid, std::span<const Vec3> pos) {
+  GlobalBins bins;
+  bins.grid = grid;
+  bins.cells.resize(static_cast<std::size_t>(grid.num_cells()));
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const Int3 q = grid.coord_for_position(pos[i]);
+    bins.cells[static_cast<std::size_t>(grid.linear_index(q))].push_back(
+        static_cast<int>(i));
+  }
+  return bins;
+}
+
+CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
+                             std::span<const int> type, const Int3& owned_lo,
+                             const Int3& owned_dims, const HaloSpec& halo) {
+  SCMD_REQUIRE(pos.size() == type.size(), "pos/type size mismatch");
+  const CellGrid& grid = bins.grid;
+  // Ghosts are built by wrapping local coordinates onto the global grid;
+  // a halo wider than the grid would alias more than one image per cell.
+  const Int3 dims = grid.dims();
+  SCMD_REQUIRE(halo.lo.x <= dims.x && halo.hi.x <= dims.x &&
+                   halo.lo.y <= dims.y && halo.hi.y <= dims.y &&
+                   halo.lo.z <= dims.z && halo.hi.z <= dims.z,
+               "halo exceeds grid dims; enlarge the box or cells");
+
+  CellDomain dom(grid, owned_lo, owned_dims, halo);
+
+  std::vector<DomainAtom> records;
+  const Int3 ext = dom.ext();
+  for (int lz = 0; lz < ext.z; ++lz) {
+    for (int ly = 0; ly < ext.y; ++ly) {
+      for (int lx = 0; lx < ext.x; ++lx) {
+        const Int3 local{lx, ly, lz};
+        const Int3 global = dom.global_coord(local);  // may be out of range
+        const Int3 wrapped = grid.wrap_coord(global);
+        const Vec3 shift = grid.image_shift(global);
+        const bool shifted = (wrapped != global);
+        for (int i : bins.cells[static_cast<std::size_t>(
+                 grid.linear_index(wrapped))]) {
+          DomainAtom a;
+          // Primary-image cells take the wrapped position; periodic-image
+          // cells get the copy shifted into the unwrapped frame.
+          a.pos = grid.box().wrap(pos[static_cast<std::size_t>(i)]);
+          if (shifted) a.pos += shift;
+          a.type = type[static_cast<std::size_t>(i)];
+          a.gid = i;
+          a.local_ref = i;
+          a.local_cell = local;
+          records.push_back(a);
+        }
+      }
+    }
+  }
+  dom.build(records);
+  return dom;
+}
+
+CellDomain make_serial_domain(const CellGrid& grid, const HaloSpec& halo,
+                              std::span<const Vec3> pos,
+                              std::span<const int> type) {
+  return make_brick_domain(bin_globally(grid, pos), pos, type, {0, 0, 0},
+                           grid.dims(), halo);
+}
+
+}  // namespace scmd

@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file domain.hpp
+/// Per-processor cell domain with ghost halo.
+///
+/// A CellDomain is the Ω of the paper (Sec. 3.1.1/3.1.3) from one rank's
+/// point of view: a brick of *owned* cells, surrounded by ghost cells
+/// holding imported copies of remote (or periodic-image) atoms.  Ghost atom
+/// positions are stored pre-shifted into the domain's unwrapped coordinate
+/// frame, so tuple filtering uses plain Euclidean distances — no min-image
+/// logic on the hot path.
+///
+/// Atoms are stored binned by local cell (counting sort): cell c's atoms
+/// occupy the contiguous index range [cell_begin(c), cell_end(c)) of the
+/// position/type/gid arrays.  The serial engine and every parallel rank
+/// share this one layout; only how the halo is filled differs.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cell/grid.hpp"
+#include "geom/int3.hpp"
+#include "geom/vec3.hpp"
+#include "pattern/pattern.hpp"
+
+namespace scmd {
+
+/// One atom record handed to CellDomain::build, already assigned to a
+/// local cell coordinate (ghosts included, positions pre-shifted).
+struct DomainAtom {
+  Vec3 pos;
+  int type = 0;
+  std::int64_t gid = 0;  ///< global atom id — must be globally consistent,
+                         ///< it drives the cross-rank orientation guard
+  int local_ref = 0;     ///< rank-local atom index, for force folding
+  Int3 local_cell;       ///< local cell coordinate in [0, ext())
+};
+
+/// Halo margins required to evaluate a pattern: the enumerator reads cells
+/// home + v for every coverage offset v, so the local lattice must extend
+/// max(0, -min_v) below and max(0, +max_v) above the owned brick per axis.
+struct HaloSpec {
+  Int3 lo;  ///< ghost layers below the owned brick (componentwise >= 0)
+  Int3 hi;  ///< ghost layers above the owned brick
+
+  bool operator==(const HaloSpec&) const = default;
+};
+
+/// Halo margins needed by one pattern.
+HaloSpec halo_for(const Pattern& psi);
+
+/// Componentwise union of two halo specs (a domain serving several
+/// patterns, e.g. pair + triplet, needs the larger margin of each).
+HaloSpec merge(const HaloSpec& a, const HaloSpec& b);
+
+/// A rank-local brick of cells plus ghost halo, with binned atom storage.
+class CellDomain {
+ public:
+  CellDomain() = default;
+
+  /// Geometry-only construction; call build() to fill atoms.
+  /// `owned_lo` is the global cell coordinate of the brick's lower corner.
+  CellDomain(const CellGrid& grid, const Int3& owned_lo,
+             const Int3& owned_dims, const HaloSpec& halo);
+
+  const CellGrid& grid() const { return grid_; }
+  const Int3& owned_lo() const { return owned_lo_; }
+  const Int3& owned_dims() const { return owned_dims_; }
+  const HaloSpec& halo() const { return halo_; }
+
+  /// Local lattice extent: halo.lo + owned_dims + halo.hi.
+  const Int3& ext() const { return ext_; }
+  long long num_local_cells() const { return ext_.volume(); }
+
+  /// Local coordinate of the first owned cell (== halo.lo).
+  const Int3& owned_base() const { return halo_.lo; }
+
+  bool is_owned_cell(const Int3& local) const;
+
+  /// Unwrapped global cell coordinate of a local cell.
+  Int3 global_coord(const Int3& local) const {
+    return owned_lo_ - halo_.lo + local;
+  }
+
+  /// Local coordinate for an unwrapped global coordinate (may fall outside
+  /// the local lattice; caller checks with in_local()).
+  Int3 local_coord(const Int3& global) const {
+    return global - owned_lo_ + halo_.lo;
+  }
+
+  bool in_local(const Int3& local) const;
+
+  long long cell_index(const Int3& local) const;
+  Int3 cell_coord(long long index) const;
+
+  /// --- Atom storage (valid after build()) ----------------------------
+
+  /// Counting-sort the given records into cells.  Records must carry local
+  /// cell coordinates inside the local lattice.
+  void build(std::span<const DomainAtom> atoms);
+
+  int num_atoms() const { return static_cast<int>(pos_.size()); }
+  int num_owned_atoms() const { return num_owned_atoms_; }
+
+  std::span<const Vec3> positions() const { return pos_; }
+  std::span<const int> types() const { return type_; }
+  std::span<const std::int64_t> gids() const { return gid_; }
+  std::span<const int> local_refs() const { return local_ref_; }
+
+  /// Atom index range [first, last) of a local cell.
+  std::pair<int, int> cell_range(long long cell_index) const {
+    return {cell_start_[static_cast<std::size_t>(cell_index)],
+            cell_start_[static_cast<std::size_t>(cell_index) + 1]};
+  }
+
+  /// Local cell index of a binned atom.
+  long long cell_of_atom(int atom) const {
+    return atom_cell_[static_cast<std::size_t>(atom)];
+  }
+
+  bool atom_is_owned(int atom) const {
+    return is_owned_cell(cell_coord(cell_of_atom(atom)));
+  }
+
+ private:
+  CellGrid grid_;
+  Int3 owned_lo_;
+  Int3 owned_dims_{1, 1, 1};
+  HaloSpec halo_;
+  Int3 ext_{1, 1, 1};
+
+  std::vector<int> cell_start_;       // ext volume + 1
+  std::vector<Vec3> pos_;             // binned order
+  std::vector<int> type_;             // binned order
+  std::vector<std::int64_t> gid_;     // binned order
+  std::vector<int> local_ref_;        // binned order -> rank-local index
+  std::vector<long long> atom_cell_;  // binned order -> local cell index
+  int num_owned_atoms_ = 0;
+};
+
+/// Atoms pre-binned by global cell; lets brick domains be filled in
+/// O(brick + halo) instead of O(N) per rank.
+struct GlobalBins {
+  CellGrid grid;
+  std::vector<std::vector<int>> cells;  ///< atom ids per global cell
+};
+
+/// Bin atom ids by global cell coordinate.
+GlobalBins bin_globally(const CellGrid& grid, std::span<const Vec3> pos);
+
+/// Build one rank's domain directly from globally binned atoms ("oracle"
+/// halo fill): owned cells take atoms verbatim (positions wrapped), ghost
+/// cells take periodic/remote images with positions shifted into the
+/// domain's unwrapped frame.  gid is the global atom id; local_ref is too
+/// (callers running the real message-passing path build domains themselves
+/// with rank-local refs).
+CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
+                             std::span<const int> type, const Int3& owned_lo,
+                             const Int3& owned_dims, const HaloSpec& halo);
+
+/// Build a single-rank domain covering the entire grid, with ghost cells
+/// filled by periodic images of the owned atoms.  This is the serial-MD
+/// view: halo exchange with oneself.  gids are the indices into `pos`.
+CellDomain make_serial_domain(const CellGrid& grid, const HaloSpec& halo,
+                              std::span<const Vec3> pos,
+                              std::span<const int> type);
+
+}  // namespace scmd

@@ -1,0 +1,67 @@
+#include "cell/grid.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+CellGrid::CellGrid(const Box& box, double min_cell_size) : box_(box) {
+  SCMD_REQUIRE(min_cell_size > 0.0, "cell size must be positive");
+  for (int a = 0; a < 3; ++a) {
+    const int n = static_cast<int>(std::floor(box.length(a) / min_cell_size));
+    dims_[a] = n < 1 ? 1 : n;
+    cell_len_[a] = box.length(a) / dims_[a];
+  }
+}
+
+CellGrid CellGrid::with_dims(const Box& box, const Int3& dims) {
+  SCMD_REQUIRE(dims.x >= 1 && dims.y >= 1 && dims.z >= 1,
+               "cell counts must be positive");
+  CellGrid g;
+  g.box_ = box;
+  g.dims_ = dims;
+  for (int a = 0; a < 3; ++a) g.cell_len_[a] = box.length(a) / dims[a];
+  return g;
+}
+
+double CellGrid::min_cell_length() const {
+  return std::min({cell_len_.x, cell_len_.y, cell_len_.z});
+}
+
+long long CellGrid::linear_index(const Int3& q) const {
+  SCMD_ASSERT(q.x >= 0 && q.x < dims_.x && q.y >= 0 && q.y < dims_.y &&
+              q.z >= 0 && q.z < dims_.z);
+  return (static_cast<long long>(q.z) * dims_.y + q.y) * dims_.x + q.x;
+}
+
+Int3 CellGrid::coord_of(long long idx) const {
+  SCMD_ASSERT(idx >= 0 && idx < num_cells());
+  const int x = static_cast<int>(idx % dims_.x);
+  const long long rest = idx / dims_.x;
+  const int y = static_cast<int>(rest % dims_.y);
+  const int z = static_cast<int>(rest / dims_.y);
+  return {x, y, z};
+}
+
+Int3 CellGrid::coord_for_position(const Vec3& r) const {
+  const Vec3 w = box_.wrap(r);
+  Int3 q;
+  for (int a = 0; a < 3; ++a) {
+    int c = static_cast<int>(std::floor(w[a] / cell_len_[a]));
+    // Guard against w[a]/len rounding up to dims on the top edge.
+    if (c >= dims_[a]) c = dims_[a] - 1;
+    if (c < 0) c = 0;
+    q[a] = c;
+  }
+  return q;
+}
+
+Vec3 CellGrid::image_shift(const Int3& q) const {
+  Vec3 s;
+  for (int a = 0; a < 3; ++a)
+    s[a] = box_.length(a) * floor_div(q[a], dims_[a]);
+  return s;
+}
+
+}  // namespace scmd

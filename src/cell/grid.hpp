@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file grid.hpp
+/// Global cell lattice over a periodic simulation box.
+///
+/// Cell-based MD (paper Sec. 3.1.1) divides the box into a lattice of
+/// Lx × Ly × Lz cells with side lengths >= the interaction cutoff, so any
+/// chain step of a range-limited tuple crosses at most one cell boundary
+/// per axis.  CellGrid maps positions to cell coordinates and wraps cell
+/// coordinates periodically.
+
+#include "geom/box.hpp"
+#include "geom/int3.hpp"
+
+namespace scmd {
+
+/// Immutable description of the global cell lattice.
+class CellGrid {
+ public:
+  CellGrid() = default;
+
+  /// Build the finest lattice whose cell sides are >= min_cell_size.
+  /// Each axis gets floor(L_axis / min_cell_size) cells (at least 1).
+  CellGrid(const Box& box, double min_cell_size);
+
+  /// Build with explicit cell counts per axis.
+  static CellGrid with_dims(const Box& box, const Int3& dims);
+
+  const Box& box() const { return box_; }
+  const Int3& dims() const { return dims_; }
+  long long num_cells() const { return dims_.volume(); }
+
+  /// Cell side lengths (box length / cell count per axis).
+  const Vec3& cell_lengths() const { return cell_len_; }
+
+  /// Smallest cell side — upper bound on usable interaction cutoffs.
+  double min_cell_length() const;
+
+  /// Linear index of an in-range cell coordinate (x-fastest ordering).
+  long long linear_index(const Int3& q) const;
+
+  /// Inverse of linear_index.
+  Int3 coord_of(long long idx) const;
+
+  /// Periodic wrap of an arbitrary cell coordinate into [0, dims).
+  Int3 wrap_coord(const Int3& q) const { return wrap(q, dims_); }
+
+  /// Cell coordinate containing a position.  The position is wrapped into
+  /// the primary box image first, so any finite position is valid.
+  Int3 coord_for_position(const Vec3& r) const;
+
+  /// Cartesian shift that maps the primary image of cell wrap_coord(q)
+  /// onto the unwrapped coordinate q: position_of_image = pos + shift.
+  /// Used when materializing periodic ghost copies.
+  Vec3 image_shift(const Int3& q) const;
+
+  bool operator==(const CellGrid&) const = default;
+
+ private:
+  Box box_;
+  Int3 dims_{1, 1, 1};
+  Vec3 cell_len_{1.0, 1.0, 1.0};
+};
+
+}  // namespace scmd

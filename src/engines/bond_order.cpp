@@ -1,0 +1,171 @@
+#include "engines/bond_order.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+BondOrderStrategy::BondOrderStrategy(const TersoffSilicon& field)
+    : tersoff_(field) {}
+
+HaloSpec BondOrderStrategy::halo(int n) const {
+  SCMD_REQUIRE(n == 2, "bond-order strategy uses the pair grid only");
+  return {{1, 1, 1}, {1, 1, 1}};
+}
+
+double BondOrderStrategy::compute(const ForceField& field,
+                                  const DomainSet& domains,
+                                  ForceAccum& forces,
+                                  EngineCounters& counters) const {
+  SCMD_REQUIRE(&field == static_cast<const ForceField*>(&tersoff_),
+               "bond-order strategy is bound to its Tersoff field");
+  const CellDomain* domp = domains.dom[2];
+  std::vector<Vec3>* fp = forces.f[2];
+  SCMD_REQUIRE(domp != nullptr && fp != nullptr, "missing pair domain");
+  const CellDomain& dom = *domp;
+  SCMD_REQUIRE(static_cast<int>(fp->size()) == dom.num_atoms(),
+               "force array size mismatch");
+  Vec3* fd = fp->data();
+  const auto pos = dom.positions();
+  const auto gid = dom.gids();
+
+  const double rc = tersoff_.rcut(2);
+  const double rc_sq = rc * rc;
+
+  // ---- Full neighbor lists for owned atoms (as in Hybrid-MD) ---------
+  std::vector<int> owned_atoms;
+  std::vector<int> nbr;
+  std::vector<int> nbr_start{0};
+  const Int3 base = dom.owned_base();
+  const Int3 od = dom.owned_dims();
+  for (int z = 0; z < od.z; ++z) {
+    for (int y = 0; y < od.y; ++y) {
+      for (int x = 0; x < od.x; ++x) {
+        const Int3 home = base + Int3{x, y, z};
+        const auto [h0, h1] = dom.cell_range(dom.cell_index(home));
+        for (int i = h0; i < h1; ++i) {
+          owned_atoms.push_back(i);
+          for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                const Int3 cell = home + Int3{dx, dy, dz};
+                const auto [c0, c1] = dom.cell_range(dom.cell_index(cell));
+                for (int j = c0; j < c1; ++j) {
+                  ++counters.list_scan_steps;
+                  if (gid[j] == gid[i]) continue;
+                  if ((pos[i] - pos[j]).norm2() >= rc_sq) continue;
+                  nbr.push_back(j);
+                }
+              }
+            }
+          }
+          nbr_start.push_back(static_cast<int>(nbr.size()));
+        }
+      }
+    }
+  }
+  counters.list_pairs += nbr.size();
+
+  // Scratch per neighbor k of the current pair's center i.
+  struct KTerm {
+    int k;
+    Vec3 v;      // r_k - r_i
+    double r;    // |v|
+    double fc;
+    double dfc;
+  };
+  std::vector<KTerm> kt;
+
+  double energy = 0.0;
+  for (std::size_t oi = 0; oi < owned_atoms.size(); ++oi) {
+    const int i = owned_atoms[oi];
+    const int s0 = nbr_start[oi];
+    const int s1 = nbr_start[oi + 1];
+
+    // Precompute cutoff data for i's neighborhood once.
+    kt.clear();
+    for (int s = s0; s < s1; ++s) {
+      const int k = nbr[static_cast<std::size_t>(s)];
+      KTerm t;
+      t.k = k;
+      t.v = pos[k] - pos[i];
+      t.r = t.v.norm();
+      tersoff_.cutoff_fn(t.r, t.fc, t.dfc);
+      kt.push_back(t);
+    }
+
+    for (std::size_t ji = 0; ji < kt.size(); ++ji) {
+      const KTerm& J = kt[ji];
+      const int j = J.k;
+      const Vec3& u = J.v;
+      const double r1 = J.r;
+      const double inv_r1 = 1.0 / r1;
+      double fr, dfr, fa, dfa;
+      tersoff_.repulsive(r1, fr, dfr);
+      tersoff_.attractive(r1, fa, dfa);
+
+      // ζ over the other neighbors, caching the angular pieces.
+      struct ZTerm {
+        double cos_t, g, dg;
+      };
+      static thread_local std::vector<ZTerm> zt;
+      zt.assign(kt.size(), {});
+      double zeta = 0.0;
+      for (std::size_t ki = 0; ki < kt.size(); ++ki) {
+        if (ki == ji) continue;
+        const KTerm& K = kt[ki];
+        ++counters.tuples[3].chain_candidates;  // dynamic (j, i, k) triple
+        ZTerm& z = zt[ki];
+        z.cos_t = u.dot(K.v) * inv_r1 / K.r;
+        tersoff_.angular(z.cos_t, z.g, z.dg);
+        zeta += K.fc * z.g;
+        ++counters.evals[3];
+      }
+
+      double b, db;
+      tersoff_.bond_order(zeta, b, db);
+      energy += 0.5 * J.fc * (fr + b * fa);
+      ++counters.evals[2];
+
+      // Pair part: dV/dr1 along û acts on i and j.
+      const double s_pair =
+          0.5 * (J.dfc * (fr + b * fa) + J.fc * (dfr + b * dfa));
+      const Vec3 uhat = u * inv_r1;
+      fd[i] += uhat * s_pair;   // F_i = −∇_i V; ∇_i r1 = −û
+      fd[j] -= uhat * s_pair;
+
+      // Bond-order part: dV/dζ spread over every k.
+      const double w = 0.5 * J.fc * fa * db;
+      if (w != 0.0) {
+        for (std::size_t ki = 0; ki < kt.size(); ++ki) {
+          if (ki == ji) continue;
+          const KTerm& K = kt[ki];
+          const ZTerm& z = zt[ki];
+          const double inv_r2 = 1.0 / K.r;
+          const Vec3 vhat = K.v * inv_r2;
+          // ∇cosθ w.r.t. the bond vectors u = r_j−r_i, v = r_k−r_i.
+          const Vec3 dcos_du =
+              K.v * (inv_r1 * inv_r2) - u * (z.cos_t * inv_r1 * inv_r1);
+          const Vec3 dcos_dv =
+              u * (inv_r1 * inv_r2) - K.v * (z.cos_t * inv_r2 * inv_r2);
+          const Vec3 grad_j = (K.fc * z.dg) * dcos_du;          // ∇_{r_j} ζ_k
+          const Vec3 grad_k =
+              K.dfc * z.g * vhat + (K.fc * z.dg) * dcos_dv;     // ∇_{r_k} ζ_k
+          const Vec3 grad_i = -(grad_j + grad_k);
+          fd[i] -= w * grad_i;
+          fd[j] -= w * grad_j;
+          fd[K.k] -= w * grad_k;
+        }
+      }
+    }
+  }
+  return energy;
+}
+
+std::unique_ptr<ForceStrategy> make_bond_order_strategy(
+    const TersoffSilicon& field) {
+  return std::make_unique<BondOrderStrategy>(field);
+}
+
+}  // namespace scmd

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file bond_order.hpp
+/// Two-pass bond-order force computation (Tersoff-style reactive MD).
+///
+/// Bond-order fields couple every pair term to its dynamic neighborhood
+/// through ζ_ij = Σ_k fc(r_ik) g(θ_ijk): they cannot be evaluated one
+/// independent tuple at a time.  This strategy performs the standard
+/// two-pass computation per owned atom — accumulate ζ over the
+/// neighborhood, then chain-rule the forces back onto i, j, and every k
+/// — exactly the mechanism by which reactive force fields turn pair
+/// energies into dynamic triplet (and, for ReaxFF, up-to-6-tuple) force
+/// computation (paper Sec. 1).
+///
+/// Parallel placement follows the owner-compute rule on the *first* atom
+/// of each ordered pair: rank owning i evaluates every (i, j) with its
+/// full-shell halo, accumulating forces on ghosts j/k for write-back.
+
+#include "engines/strategy.hpp"
+#include "potentials/tersoff.hpp"
+
+namespace scmd {
+
+/// Tersoff evaluation strategy (see file docs).
+class BondOrderStrategy final : public ForceStrategy {
+ public:
+  explicit BondOrderStrategy(const TersoffSilicon& field);
+
+  std::string name() const override { return "BondOrder"; }
+  bool needs_grid(int n) const override { return n == 2; }
+  HaloSpec halo(int n) const override;
+
+  double compute(const ForceField& field, const DomainSet& domains,
+                 ForceAccum& forces, EngineCounters& counters) const override;
+
+ private:
+  const TersoffSilicon& tersoff_;
+};
+
+/// Factory (used directly and by make_strategy("BondOrder", field), which
+/// requires `field` to be a TersoffSilicon).
+std::unique_ptr<ForceStrategy> make_bond_order_strategy(
+    const TersoffSilicon& field);
+
+}  // namespace scmd

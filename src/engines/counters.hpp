@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file counters.hpp
+/// Deterministic per-step work counters.
+///
+/// These are the measured quantities behind every benchmark figure: the
+/// performance model (src/perf) converts them to time with per-platform
+/// constants, so benchmark output is exactly reproducible from a seed
+/// regardless of host machine noise.
+
+#include <array>
+#include <cstdint>
+
+#include "pattern/path.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+
+/// Work performed by one rank (or the serial engine) during one force
+/// computation.
+struct EngineCounters {
+  /// Tuple-search counters per tuple length n (index by n; 0/1 unused).
+  std::array<TupleCounters, kMaxTupleLen + 1> tuples{};
+
+  /// Force-term evaluations per n.
+  std::array<std::uint64_t, kMaxTupleLen + 1> evals{};
+
+  /// Force-set sizes |S(n)| (paper Eq. 23 / Fig. 7), when measured.
+  std::array<long long, kMaxTupleLen + 1> force_set{};
+
+  /// Hybrid-MD: Verlet-list entries built and scan steps spent building
+  /// and pruning from the list.
+  std::uint64_t list_pairs = 0;
+  std::uint64_t list_scan_steps = 0;
+
+  /// Communication (filled by parallel drivers / the cluster simulator).
+  std::uint64_t ghost_atoms_imported = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_imported = 0;
+  std::uint64_t bytes_written_back = 0;
+
+  EngineCounters& operator+=(const EngineCounters& o) {
+    for (std::size_t n = 0; n < tuples.size(); ++n) {
+      tuples[n] += o.tuples[n];
+      evals[n] += o.evals[n];
+      force_set[n] += o.force_set[n];
+    }
+    list_pairs += o.list_pairs;
+    list_scan_steps += o.list_scan_steps;
+    ghost_atoms_imported += o.ghost_atoms_imported;
+    messages += o.messages;
+    bytes_imported += o.bytes_imported;
+    bytes_written_back += o.bytes_written_back;
+    return *this;
+  }
+
+  /// Total search steps over all tuple lengths (plus Hybrid list work).
+  std::uint64_t total_search_steps() const {
+    std::uint64_t s = list_scan_steps;
+    for (const TupleCounters& tc : tuples) s += tc.search_steps;
+    return s;
+  }
+
+  void clear() { *this = EngineCounters{}; }
+};
+
+}  // namespace scmd

@@ -1,0 +1,139 @@
+#include "engines/hybrid_strategy.hpp"
+
+#include "pattern/generate.hpp"
+#include "support/error.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+
+HybridStrategy::HybridStrategy(const ForceField& field, bool measure_force_set)
+    : measure_force_set_(measure_force_set),
+      has_triplets_(field.max_n() >= 3 && field.rcut(3) > 0.0) {
+  SCMD_REQUIRE(field.rcut(2) > 0.0, "Hybrid-MD needs a pair term");
+  SCMD_REQUIRE(field.max_n() <= 3,
+               "Hybrid-MD supports pair+triplet fields only");
+  if (has_triplets_) {
+    SCMD_REQUIRE(field.rcut(3) <= field.rcut(2),
+                 "Hybrid-MD requires rcut3 <= rcut2");
+  }
+}
+
+HaloSpec HybridStrategy::halo(int n) const {
+  SCMD_REQUIRE(n == 2, "Hybrid-MD uses the pair grid only");
+  // Full shell: one cell layer in every direction.
+  return {{1, 1, 1}, {1, 1, 1}};
+}
+
+double HybridStrategy::compute(const ForceField& field,
+                               const DomainSet& domains, ForceAccum& forces,
+                               EngineCounters& counters) const {
+  const CellDomain* domp = domains.dom[2];
+  std::vector<Vec3>* fp = forces.f[2];
+  SCMD_REQUIRE(domp != nullptr && fp != nullptr, "missing pair domain");
+  const CellDomain& dom = *domp;
+  SCMD_REQUIRE(static_cast<int>(fp->size()) == dom.num_atoms(),
+               "force array size mismatch");
+  Vec3* fd = fp->data();
+  const auto pos = dom.positions();
+  const auto type = dom.types();
+  const auto gid = dom.gids();
+
+  const double rc2 = field.rcut(2);
+  const double rc2_sq = rc2 * rc2;
+
+  if (measure_force_set_) {
+    // The pair search space Hybrid actually scans is the full-shell pair
+    // force set |S(2)| (paper Eq. 23 with Ψ(2)_FS).
+    static const CompiledPattern fs2{generate_fs(2)};
+    counters.force_set[2] += force_set_size(dom, fs2);
+  }
+
+  // ---- Verlet pair-list construction (Ψ(2)_FS over owned atoms) -------
+  // owned_atoms[i] is the binned index; list entries live in
+  // nbr[nbr_start[i] .. nbr_start[i+1]).
+  std::vector<int> owned_atoms;
+  owned_atoms.reserve(static_cast<std::size_t>(dom.num_owned_atoms()));
+  std::vector<int> nbr;
+  std::vector<int> nbr_start;
+  nbr_start.push_back(0);
+
+  const Int3 base = dom.owned_base();
+  const Int3 od = dom.owned_dims();
+  for (int z = 0; z < od.z; ++z) {
+    for (int y = 0; y < od.y; ++y) {
+      for (int x = 0; x < od.x; ++x) {
+        const Int3 home = base + Int3{x, y, z};
+        const auto [h0, h1] = dom.cell_range(dom.cell_index(home));
+        for (int i = h0; i < h1; ++i) {
+          owned_atoms.push_back(i);
+          for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                const Int3 cell = home + Int3{dx, dy, dz};
+                const auto [c0, c1] = dom.cell_range(dom.cell_index(cell));
+                for (int j = c0; j < c1; ++j) {
+                  ++counters.list_scan_steps;
+                  if (gid[j] == gid[i]) continue;
+                  const Vec3 d = pos[i] - pos[j];
+                  if (d.norm2() >= rc2_sq) continue;
+                  nbr.push_back(j);
+                }
+              }
+            }
+          }
+          nbr_start.push_back(static_cast<int>(nbr.size()));
+        }
+      }
+    }
+  }
+  counters.list_pairs += nbr.size();
+
+  double energy = 0.0;
+
+  // ---- Pair forces from the list --------------------------------------
+  // The full list holds both orientations of interior pairs and exactly
+  // one orientation of rank-boundary pairs (the other lives on the
+  // neighbor rank); the gid guard keeps each pair once globally.
+  for (std::size_t oi = 0; oi < owned_atoms.size(); ++oi) {
+    const int i = owned_atoms[oi];
+    for (int s = nbr_start[oi]; s < nbr_start[oi + 1]; ++s) {
+      const int j = nbr[static_cast<std::size_t>(s)];
+      if (gid[i] > gid[j]) continue;
+      energy += field.eval_pair(type[i], type[j], pos[i], pos[j], fd[i],
+                                fd[j]);
+      ++counters.evals[2];
+    }
+  }
+
+  // ---- Triplets pruned from the pair list ------------------------------
+  if (has_triplets_) {
+    const double rc3 = field.rcut(3);
+    const double rc3_sq = rc3 * rc3;
+    std::vector<int> close;  // neighbors within rcut3 of the center
+    for (std::size_t oc = 0; oc < owned_atoms.size(); ++oc) {
+      const int c = owned_atoms[oc];
+      close.clear();
+      for (int s = nbr_start[oc]; s < nbr_start[oc + 1]; ++s) {
+        const int j = nbr[static_cast<std::size_t>(s)];
+        ++counters.list_scan_steps;
+        const Vec3 d = pos[c] - pos[j];
+        if (d.norm2() < rc3_sq) close.push_back(j);
+      }
+      // Every unordered pair of close neighbors forms one angle at c.
+      for (std::size_t a = 0; a < close.size(); ++a) {
+        for (std::size_t b = a + 1; b < close.size(); ++b) {
+          ++counters.tuples[3].chain_candidates;
+          ++counters.tuples[3].accepted;
+          energy += field.eval_triplet(type[close[a]], type[c], type[close[b]],
+                                       pos[close[a]], pos[c], pos[close[b]],
+                                       fd[close[a]], fd[c], fd[close[b]]);
+          ++counters.evals[3];
+        }
+      }
+    }
+  }
+
+  return energy;
+}
+
+}  // namespace scmd

@@ -1,0 +1,86 @@
+#include "engines/minimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+MinimizeResult minimize(ParticleSystem& sys, const ForceField& field,
+                        const MinimizeOptions& opt) {
+  SCMD_REQUIRE(opt.max_steps > 0 && opt.force_tolerance > 0.0 &&
+                   opt.dt_initial > 0.0 && opt.dt_max >= opt.dt_initial,
+               "bad minimizer options");
+
+  // Engines integrate with velocity Verlet; FIRE modulates the velocities
+  // between steps.  Start from rest.
+  for (Vec3& v : sys.velocities()) v = {};
+
+  SerialEngineConfig cfg;
+  cfg.dt = opt.dt_initial;
+  SerialEngine engine(sys, field, make_strategy(opt.strategy, field), cfg);
+
+  double dt = opt.dt_initial;
+  double alpha = opt.alpha0;
+  int steps_since_negative = 0;
+
+  MinimizeResult result;
+  auto max_force = [&] {
+    double fmax = 0.0;
+    for (const Vec3& f : sys.forces()) fmax = std::max(fmax, f.norm());
+    return fmax;
+  };
+
+  for (int step = 0; step < opt.max_steps; ++step) {
+    result.max_force = max_force();
+    if (result.max_force < opt.force_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // FIRE velocity mixing: v <- (1−α)v + α |v| F̂.
+    double power = 0.0, vnorm2 = 0.0, fnorm2 = 0.0;
+    for (int i = 0; i < sys.num_atoms(); ++i) {
+      power += sys.velocities()[i].dot(sys.forces()[i]);
+      vnorm2 += sys.velocities()[i].norm2();
+      fnorm2 += sys.forces()[i].norm2();
+    }
+    if (power > 0.0) {
+      const double mix =
+          fnorm2 > 0.0 ? alpha * std::sqrt(vnorm2 / fnorm2) : 0.0;
+      for (int i = 0; i < sys.num_atoms(); ++i) {
+        sys.velocities()[i] =
+            sys.velocities()[i] * (1.0 - alpha) + sys.forces()[i] * mix;
+      }
+      if (++steps_since_negative > opt.n_min) {
+        dt = std::min(dt * opt.f_inc, opt.dt_max);
+        alpha *= opt.f_alpha;
+      }
+    } else {
+      // Uphill: freeze and restart the adaptive state.
+      for (Vec3& v : sys.velocities()) v = {};
+      dt *= opt.f_dec;
+      alpha = opt.alpha0;
+      steps_since_negative = 0;
+    }
+
+    // One velocity-Verlet step at the current dt (engine dt is fixed at
+    // construction, so drive the integrator manually through a fresh
+    // stepper).
+    VelocityVerlet vv(dt);
+    vv.kick_drift(sys);
+    engine.compute_forces();
+    vv.kick(sys);
+    ++result.steps;
+  }
+
+  result.final_energy = engine.potential_energy();
+  result.max_force = max_force();
+  if (result.max_force < opt.force_tolerance) result.converged = true;
+  for (Vec3& v : sys.velocities()) v = {};
+  return result;
+}
+
+}  // namespace scmd

@@ -1,0 +1,67 @@
+#include "engines/observables.hpp"
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/units.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+/// Copy of `sys` with box and positions scaled uniformly by `s`.
+ParticleSystem scaled_copy(const ParticleSystem& sys, double s) {
+  std::vector<double> masses;
+  for (int t = 0; t < sys.num_types(); ++t)
+    masses.push_back(sys.mass_of_type(t));
+  ParticleSystem out(Box(sys.box().lengths() * s), std::move(masses));
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    out.add_atom(sys.positions()[i] * s, sys.velocities()[i],
+                 sys.types()[i]);
+  }
+  return out;
+}
+
+double potential_energy_of(ParticleSystem sys, const ForceField& field,
+                           const std::string& strategy_name) {
+  SerialEngine engine(sys, field, make_strategy(strategy_name, field));
+  return engine.potential_energy();
+}
+
+}  // namespace
+
+Pressure measure_pressure(const ParticleSystem& sys, const ForceField& field,
+                          const std::string& strategy_name, double dlnV) {
+  SCMD_REQUIRE(dlnV > 0.0 && dlnV < 0.01, "dlnV out of range");
+  const double volume = sys.box().volume();
+
+  // Scale lengths by (1 ± dlnV/3) so the volume changes by ~±dlnV.
+  const double sp = std::cbrt(1.0 + dlnV);
+  const double sm = std::cbrt(1.0 - dlnV);
+  const double up = potential_energy_of(scaled_copy(sys, sp), field,
+                                        strategy_name);
+  const double um = potential_energy_of(scaled_copy(sys, sm), field,
+                                        strategy_name);
+  const double dUdV = (up - um) / (2.0 * dlnV * volume);
+
+  Pressure p;
+  p.kinetic = sys.num_atoms() * units::kBoltzmann * sys.temperature() /
+              volume;
+  p.virial = -dUdV;
+  return p;
+}
+
+double velocity_autocorrelation(const ParticleSystem& reference,
+                                const ParticleSystem& later) {
+  SCMD_REQUIRE(reference.num_atoms() == later.num_atoms(),
+               "snapshots must hold the same atoms");
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < reference.num_atoms(); ++i) {
+    num += reference.velocities()[i].dot(later.velocities()[i]);
+    den += reference.velocities()[i].norm2();
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace scmd

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file observables.hpp
+/// Thermodynamic observables beyond per-step energies.
+///
+/// Pressure uses the volume-derivative route, P = N k_B T / V − ∂U/∂V,
+/// with ∂U/∂V by central differences over uniformly scaled copies of the
+/// system.  Two extra force computations per call, but exact for any
+/// many-body field (no per-tuple virial plumbing), which suits this
+/// library's arbitrary-n force fields.
+
+#include <span>
+#include <string>
+
+#include "md/system.hpp"
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Instantaneous pressure components.
+struct Pressure {
+  double kinetic = 0.0;   ///< N k_B T / V (ideal-gas part)
+  double virial = 0.0;    ///< −dU/dV (interaction part)
+  double total() const { return kinetic + virial; }
+};
+
+/// Measure the pressure of the current configuration using strategy
+/// `strategy_name` ("SC" unless you need otherwise).  `dlnV` is the
+/// relative volume perturbation for the central difference.
+Pressure measure_pressure(const ParticleSystem& sys, const ForceField& field,
+                          const std::string& strategy_name = "SC",
+                          double dlnV = 1e-5);
+
+/// Velocity autocorrelation between two snapshots of the same system:
+/// <v(0)·v(t)> / <v(0)·v(0)> — feed a time series to build the VACF.
+double velocity_autocorrelation(const ParticleSystem& reference,
+                                const ParticleSystem& later);
+
+}  // namespace scmd

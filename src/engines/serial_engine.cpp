@@ -1,0 +1,83 @@
+#include "engines/serial_engine.hpp"
+
+#include "cell/domain.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+SerialEngine::SerialEngine(ParticleSystem& sys, const ForceField& field,
+                           std::unique_ptr<ForceStrategy> strategy,
+                           const SerialEngineConfig& config)
+    : sys_(sys),
+      field_(field),
+      strategy_(std::move(strategy)),
+      config_(config),
+      integrator_(config.dt) {
+  SCMD_REQUIRE(strategy_ != nullptr, "engine needs a strategy");
+  SCMD_REQUIRE(config.num_threads >= 1, "need at least one thread");
+  strategy_->set_num_threads(config.num_threads);
+  compute_forces();
+}
+
+void SerialEngine::compute_forces() {
+  sys_.zero_forces();
+
+  // Per-n domains requested by the strategy, each on its own grid with
+  // cell side >= rcut(n).
+  DomainSet domains;
+  ForceAccum accum;
+  std::array<CellDomain, kMaxTupleLen + 1> dom_storage;
+  std::array<std::vector<Vec3>, kMaxTupleLen + 1> f_storage;
+
+  for (int n = 2; n <= field_.max_n(); ++n) {
+    if (!strategy_->needs_grid(n)) continue;
+    const std::size_t ni = static_cast<std::size_t>(n);
+    const double rcut = field_.rcut(n) > 0.0 ? field_.rcut(n) : field_.rcut(2);
+    const CellGrid grid(sys_.box(), strategy_->min_cell_size(n, rcut));
+    // Periodic image uniqueness (an atom interacts with at most one image
+    // of any other) requires at least 3 cells per axis.
+    SCMD_REQUIRE(grid.dims().x >= 3 && grid.dims().y >= 3 &&
+                     grid.dims().z >= 3,
+                 "box too small: need >= 3 cells per axis for grid n=" +
+                     std::to_string(n));
+    dom_storage[ni] = make_serial_domain(grid, strategy_->halo(n),
+                                         sys_.positions(), sys_.types());
+    f_storage[ni].assign(static_cast<std::size_t>(dom_storage[ni].num_atoms()),
+                         Vec3{});
+    domains.dom[ni] = &dom_storage[ni];
+    accum.f[ni] = &f_storage[ni];
+  }
+
+  potential_energy_ =
+      strategy_->compute(field_, domains, accum, counters_);
+
+  // Fold per-domain forces back to the owning atoms by global id; ghost
+  // copies contribute to their primaries (serial write-back).
+  const auto sys_f = sys_.forces();
+  for (int n = 2; n <= field_.max_n(); ++n) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    if (domains.dom[ni] == nullptr) continue;
+    const auto gids = domains.dom[ni]->gids();
+    const std::vector<Vec3>& f = f_storage[ni];
+    for (std::size_t a = 0; a < f.size(); ++a) {
+      sys_f[static_cast<std::size_t>(gids[a])] += f[a];
+    }
+  }
+}
+
+void SerialEngine::step() {
+  integrator_.kick_drift(sys_);
+  compute_forces();
+  integrator_.kick(sys_);
+}
+
+void SerialEngine::step(const BerendsenThermostat& thermostat) {
+  step();
+  thermostat.apply(sys_, integrator_.dt());
+}
+
+double SerialEngine::total_energy() const {
+  return potential_energy_ + sys_.kinetic_energy();
+}
+
+}  // namespace scmd

@@ -1,0 +1,79 @@
+#include "engines/strategy.hpp"
+
+#include "engines/bond_order.hpp"
+#include "engines/hybrid_strategy.hpp"
+#include "engines/tuple_strategy.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+double ForceStrategy::min_cell_size(int n, double rcut) const {
+  (void)n;
+  return rcut;
+}
+
+void ForceStrategy::set_num_threads(int) {}
+
+std::unique_ptr<ForceStrategy> make_tuple_strategy(const ForceField& field,
+                                                   PatternKind kind,
+                                                   bool measure_force_set,
+                                                   int reach) {
+  return std::make_unique<TupleStrategy>(field, kind, measure_force_set,
+                                         reach);
+}
+
+std::unique_ptr<ForceStrategy> make_hybrid_strategy(const ForceField& field,
+                                                    bool measure_force_set) {
+  return std::make_unique<HybridStrategy>(field, measure_force_set);
+}
+
+std::unique_ptr<ForceStrategy> make_strategy(const std::string& name,
+                                             const ForceField& field,
+                                             bool measure_force_set) {
+  // Pattern strategies accept a ":k" suffix selecting sub-cutoff cells
+  // (e.g. "SC:2" = shift-collapse on cells of side rcut/2) and a "+p"
+  // suffix selecting prefix-sharing enumeration (e.g. "FS+p", "SC:2+p").
+  std::string base = name;
+  bool shared_prefix = false;
+  if (base.size() >= 2 && base.substr(base.size() - 2) == "+p") {
+    shared_prefix = true;
+    base = base.substr(0, base.size() - 2);
+  }
+  int reach = 1;
+  if (const auto colon = base.find(':'); colon != std::string::npos) {
+    const std::string suffix = base.substr(colon + 1);
+    base = base.substr(0, colon);
+    SCMD_REQUIRE(suffix.size() == 1 && suffix[0] >= '1' && suffix[0] <= '4',
+                 "bad reach suffix in strategy name: " + name);
+    reach = suffix[0] - '0';
+  }
+  const auto tuple_kind = [&]() -> std::unique_ptr<ForceStrategy> {
+    PatternKind kind;
+    if (base == "SC") {
+      kind = PatternKind::kShiftCollapse;
+    } else if (base == "FS") {
+      kind = PatternKind::kFullShell;
+    } else if (base == "OC") {
+      kind = PatternKind::kOcOnly;
+    } else if (base == "RC") {
+      kind = PatternKind::kRcOnly;
+    } else {
+      return nullptr;
+    }
+    return std::make_unique<TupleStrategy>(field, kind, measure_force_set,
+                                           reach, shared_prefix);
+  };
+  if (auto strategy = tuple_kind()) return strategy;
+  if (base == "Hybrid" && reach == 1 && !shared_prefix)
+    return make_hybrid_strategy(field, measure_force_set);
+  if (base == "BondOrder" && reach == 1 && !shared_prefix) {
+    const auto* tersoff = dynamic_cast<const TersoffSilicon*>(&field);
+    SCMD_REQUIRE(tersoff != nullptr,
+                 "BondOrder strategy requires a Tersoff field");
+    return make_bond_order_strategy(*tersoff);
+  }
+  SCMD_REQUIRE(false, "unknown strategy: " + name);
+  return nullptr;
+}
+
+}  // namespace scmd

@@ -1,0 +1,231 @@
+#include "engines/tuple_strategy.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "pattern/generate.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+TupleStrategy::TupleStrategy(const ForceField& field, PatternKind kind,
+                             bool measure_force_set, int reach,
+                             bool shared_prefix)
+    : kind_(kind),
+      measure_force_set_(measure_force_set),
+      reach_(reach),
+      shared_prefix_(shared_prefix),
+      max_n_(field.max_n()) {
+  SCMD_REQUIRE(max_n_ >= 2 && max_n_ <= kMaxTupleLen,
+               "field max_n out of range");
+  SCMD_REQUIRE(reach >= 1 && reach <= 4, "reach out of range");
+  for (int n = 2; n <= max_n_; ++n) {
+    if (field.rcut(n) <= 0.0) continue;
+    active_[static_cast<std::size_t>(n)] = true;
+    Pattern psi;
+    switch (kind) {
+      case PatternKind::kShiftCollapse:
+        psi = make_sc(n, reach);
+        break;
+      case PatternKind::kFullShell:
+        psi = generate_fs(n, reach);
+        break;
+      case PatternKind::kOcOnly:
+        psi = oc_shift(generate_fs(n, reach));
+        break;
+      case PatternKind::kRcOnly:
+        psi = r_collapse(generate_fs(n, reach));
+        break;
+    }
+    compiled_[static_cast<std::size_t>(n)] = CompiledPattern(psi);
+    halo_[static_cast<std::size_t>(n)] =
+        compiled_[static_cast<std::size_t>(n)].required_halo();
+  }
+}
+
+std::string TupleStrategy::name() const {
+  std::string base;
+  switch (kind_) {
+    case PatternKind::kShiftCollapse:
+      base = "SC";
+      break;
+    case PatternKind::kFullShell:
+      base = "FS";
+      break;
+    case PatternKind::kOcOnly:
+      base = "OC";
+      break;
+    case PatternKind::kRcOnly:
+      base = "RC";
+      break;
+  }
+  if (reach_ > 1) base += "/k=" + std::to_string(reach_);
+  if (shared_prefix_) base += "+p";
+  return base;
+}
+
+double TupleStrategy::min_cell_size(int n, double rcut) const {
+  (void)n;
+  return rcut / reach_;
+}
+
+bool TupleStrategy::needs_grid(int n) const {
+  return n >= 2 && n <= max_n_ && active_[static_cast<std::size_t>(n)];
+}
+
+HaloSpec TupleStrategy::halo(int n) const {
+  SCMD_REQUIRE(needs_grid(n), "no pattern for this n");
+  return halo_[static_cast<std::size_t>(n)];
+}
+
+const CompiledPattern& TupleStrategy::compiled(int n) const {
+  SCMD_REQUIRE(needs_grid(n), "no pattern for this n");
+  return compiled_[static_cast<std::size_t>(n)];
+}
+
+void TupleStrategy::set_num_threads(int num_threads) {
+  SCMD_REQUIRE(num_threads >= 1, "need at least one thread");
+  num_threads_ = num_threads;
+}
+
+template <class EvalFn>
+double TupleStrategy::run_term(const CellDomain& dom,
+                               const CompiledPattern& cp, double rcut,
+                               std::vector<Vec3>& f,
+                               EngineCounters& counters, int n,
+                               EvalFn&& eval) const {
+  const std::size_t ni = static_cast<std::size_t>(n);
+  const int z_dim = dom.owned_dims().z;
+  const int threads = std::min(num_threads_, z_dim);
+
+  if (threads <= 1) {
+    double energy = 0.0;
+    std::uint64_t evals = 0;
+    TupleCounters tc;
+    Vec3* fd = f.data();
+    enumerate_tuples(
+        shared_prefix_, dom, cp, rcut,
+        [&](std::span<const int> t) {
+          energy += eval(t, fd);
+          ++evals;
+        },
+        &tc);
+    counters.tuples[ni] += tc;
+    counters.evals[ni] += evals;
+    return energy;
+  }
+
+  // Home-cell z-slabs partition the tuple stream; each thread works into
+  // its own force buffer and counters, reduced in thread order below so
+  // results are deterministic for a fixed thread count.
+  struct Part {
+    std::vector<Vec3> f;
+    TupleCounters tc;
+    double energy = 0.0;
+    std::uint64_t evals = 0;
+  };
+  std::vector<Part> parts(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Part& part = parts[static_cast<std::size_t>(t)];
+      part.f.assign(static_cast<std::size_t>(dom.num_atoms()), Vec3{});
+      const int z0 = t * z_dim / threads;
+      const int z1 = (t + 1) * z_dim / threads;
+      Vec3* fd = part.f.data();
+      enumerate_tuples(
+          shared_prefix_, dom, cp, rcut, z0, z1,
+          [&](std::span<const int> tup) {
+            part.energy += eval(tup, fd);
+            ++part.evals;
+          },
+          &part.tc);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  double energy = 0.0;
+  for (const Part& part : parts) {
+    for (std::size_t i = 0; i < f.size(); ++i) f[i] += part.f[i];
+    counters.tuples[ni] += part.tc;
+    counters.evals[ni] += part.evals;
+    energy += part.energy;
+  }
+  return energy;
+}
+
+double TupleStrategy::compute(const ForceField& field,
+                              const DomainSet& domains, ForceAccum& forces,
+                              EngineCounters& counters) const {
+  double energy = 0.0;
+  for (int n = 2; n <= max_n_; ++n) {
+    if (!needs_grid(n)) continue;
+    const std::size_t ni = static_cast<std::size_t>(n);
+    const CellDomain* dom = domains.dom[ni];
+    std::vector<Vec3>* f = forces.f[ni];
+    SCMD_REQUIRE(dom != nullptr && f != nullptr,
+                 "missing domain or force array for active n");
+    SCMD_REQUIRE(static_cast<int>(f->size()) == dom->num_atoms(),
+                 "force array size mismatch");
+    const CompiledPattern& cp = compiled_[ni];
+    const auto pos = dom->positions();
+    const auto type = dom->types();
+
+    if (measure_force_set_)
+      counters.force_set[ni] += force_set_size(*dom, cp);
+
+    switch (n) {
+      case 2:
+        energy += run_term(
+            *dom, cp, field.rcut(2), *f, counters, 2,
+            [&](std::span<const int> t, Vec3* fd) {
+              return field.eval_pair(type[t[0]], type[t[1]], pos[t[0]],
+                                     pos[t[1]], fd[t[0]], fd[t[1]]);
+            });
+        break;
+      case 3:
+        energy += run_term(
+            *dom, cp, field.rcut(3), *f, counters, 3,
+            [&](std::span<const int> t, Vec3* fd) {
+              return field.eval_triplet(type[t[0]], type[t[1]], type[t[2]],
+                                        pos[t[0]], pos[t[1]], pos[t[2]],
+                                        fd[t[0]], fd[t[1]], fd[t[2]]);
+            });
+        break;
+      case 4:
+        energy += run_term(
+            *dom, cp, field.rcut(4), *f, counters, 4,
+            [&](std::span<const int> t, Vec3* fd) {
+              return field.eval_quad(type[t[0]], type[t[1]], type[t[2]],
+                                     type[t[3]], pos[t[0]], pos[t[1]],
+                                     pos[t[2]], pos[t[3]], fd[t[0]],
+                                     fd[t[1]], fd[t[2]], fd[t[3]]);
+            });
+        break;
+      default:
+        // n >= 5: generic chain kernel.  Gather positions/types into
+        // chain-ordered scratch, scatter forces back.
+        energy += run_term(
+            *dom, cp, field.rcut(n), *f, counters, n,
+            [&, n](std::span<const int> t, Vec3* fd) {
+              std::array<int, kMaxTupleLen> ct{};
+              std::array<Vec3, kMaxTupleLen> cr{};
+              std::array<Vec3, kMaxTupleLen> cf{};
+              for (int k = 0; k < n; ++k) {
+                ct[static_cast<std::size_t>(k)] = type[t[k]];
+                cr[static_cast<std::size_t>(k)] = pos[t[k]];
+              }
+              const double e =
+                  field.eval_chain(n, ct.data(), cr.data(), cf.data());
+              for (int k = 0; k < n; ++k)
+                fd[t[k]] += cf[static_cast<std::size_t>(k)];
+              return e;
+            });
+        break;
+    }
+  }
+  return energy;
+}
+
+}  // namespace scmd

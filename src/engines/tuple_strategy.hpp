@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file tuple_strategy.hpp
+/// Pattern-based force strategy: UCP enumeration with either the
+/// shift-collapse (SC-MD) or full-shell (FS-MD) computation pattern for
+/// every n-body term of the field.
+
+#include "engines/strategy.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+
+/// SC-MD / FS-MD force computation (see strategy.hpp).
+class TupleStrategy final : public ForceStrategy {
+ public:
+  TupleStrategy(const ForceField& field, PatternKind kind,
+                bool measure_force_set, int reach = 1,
+                bool shared_prefix = false);
+
+  std::string name() const override;
+  bool needs_grid(int n) const override;
+  HaloSpec halo(int n) const override;
+  double min_cell_size(int n, double rcut) const override;
+
+  int reach() const { return reach_; }
+  bool shared_prefix() const { return shared_prefix_; }
+
+  /// Split enumeration over home-cell z-slabs across this many threads,
+  /// with per-thread force buffers reduced deterministically.
+  void set_num_threads(int num_threads) override;
+  int num_threads() const { return num_threads_; }
+
+  double compute(const ForceField& field, const DomainSet& domains,
+                 ForceAccum& forces, EngineCounters& counters) const override;
+
+  /// The compiled pattern used for tuple length n (for tests/benches).
+  const CompiledPattern& compiled(int n) const;
+
+ private:
+  template <class EvalFn>
+  double run_term(const CellDomain& dom, const CompiledPattern& cp,
+                  double rcut, std::vector<Vec3>& f,
+                  EngineCounters& counters, int n, EvalFn&& eval) const;
+
+  PatternKind kind_;
+  bool measure_force_set_;
+  int reach_;
+  bool shared_prefix_;
+  int num_threads_ = 1;
+  int max_n_;
+  std::array<bool, kMaxTupleLen + 1> active_{};
+  std::array<CompiledPattern, kMaxTupleLen + 1> compiled_{};
+  std::array<HaloSpec, kMaxTupleLen + 1> halo_{};
+};
+
+}  // namespace scmd

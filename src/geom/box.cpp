@@ -1,0 +1,47 @@
+#include "geom/box.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "geom/int3.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+Box::Box(const Vec3& lengths) : lengths_(lengths) {
+  SCMD_REQUIRE(lengths.x > 0.0 && lengths.y > 0.0 && lengths.z > 0.0,
+               "box edge lengths must be positive");
+}
+
+Vec3 Box::wrap(const Vec3& r) const {
+  Vec3 out = r;
+  for (int a = 0; a < 3; ++a) {
+    const double L = lengths_[a];
+    double v = std::fmod(out[a], L);
+    if (v < 0.0) v += L;
+    // fmod can return exactly L for tiny negative inputs after the add;
+    // clamp so wrapped positions always satisfy 0 <= v < L.
+    if (v >= L) v = 0.0;
+    out[a] = v;
+  }
+  return out;
+}
+
+Vec3 Box::min_image(const Vec3& a, const Vec3& b) const {
+  Vec3 d = a - b;
+  for (int ax = 0; ax < 3; ++ax) {
+    const double L = lengths_[ax];
+    d[ax] -= L * std::round(d[ax] / L);
+  }
+  return d;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Int3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace scmd

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file box.hpp
+/// Orthorhombic periodic simulation box.
+///
+/// The paper assumes periodic boundary conditions in all Cartesian
+/// directions (Sec. 3.1.1).  Box wraps positions into [0, L) per axis and
+/// provides minimum-image displacement vectors for distance evaluation.
+
+#include "geom/vec3.hpp"
+
+namespace scmd {
+
+/// Periodic orthorhombic box with edge lengths (lx, ly, lz), origin at 0.
+class Box {
+ public:
+  Box() : lengths_(1.0, 1.0, 1.0) {}
+
+  /// Construct with positive edge lengths.
+  explicit Box(const Vec3& lengths);
+
+  /// Cubic box of side `l`.
+  static Box cubic(double l) { return Box(Vec3(l, l, l)); }
+
+  const Vec3& lengths() const { return lengths_; }
+  double length(int axis) const { return lengths_[axis]; }
+  double volume() const { return lengths_.x * lengths_.y * lengths_.z; }
+
+  /// Wrap a position into the primary image [0, L) per axis.
+  Vec3 wrap(const Vec3& r) const;
+
+  /// Minimum-image displacement a - b (the shortest periodic image of the
+  /// separation vector).
+  Vec3 min_image(const Vec3& a, const Vec3& b) const;
+
+  /// Minimum-image distance squared.
+  double dist2(const Vec3& a, const Vec3& b) const {
+    return min_image(a, b).norm2();
+  }
+
+  bool operator==(const Box&) const = default;
+
+ private:
+  Vec3 lengths_;
+};
+
+}  // namespace scmd

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file int3.hpp
+/// 3-component integer vector used for cell indices and cell offsets.
+///
+/// This is the scalar type of the computation-pattern algebra (paper
+/// Sec. 3.1): a computation path is a list of Int3 cell offsets, and the
+/// cell domain is indexed by Int3 coordinates.
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+
+namespace scmd {
+
+/// Integer 3-vector with componentwise arithmetic and lexicographic order.
+struct Int3 {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  constexpr Int3() = default;
+  constexpr Int3(int x_, int y_, int z_) : x(x_), y(y_), z(z_) {}
+
+  /// Component access by axis index 0..2.
+  constexpr int operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+  constexpr int& operator[](int axis) {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+
+  constexpr Int3 operator+(const Int3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Int3 operator-(const Int3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Int3 operator-() const { return {-x, -y, -z}; }
+  constexpr Int3 operator*(int s) const { return {x * s, y * s, z * s}; }
+
+  Int3& operator+=(const Int3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Int3& operator-=(const Int3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+
+  /// Lexicographic ordering (x, then y, then z); used for canonical forms
+  /// in the reflective-collapse step and for deterministic container order.
+  constexpr auto operator<=>(const Int3&) const = default;
+
+  /// Componentwise minimum/maximum.
+  static constexpr Int3 min(const Int3& a, const Int3& b) {
+    return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+            a.z < b.z ? a.z : b.z};
+  }
+  static constexpr Int3 max(const Int3& a, const Int3& b) {
+    return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+            a.z > b.z ? a.z : b.z};
+  }
+
+  /// Product of components; cells in a brick of this extent.
+  constexpr long long volume() const {
+    return static_cast<long long>(x) * y * z;
+  }
+
+  /// Chebyshev (max-component) norm — "is this a nearest-neighbor offset".
+  constexpr int chebyshev() const {
+    const int ax = x < 0 ? -x : x;
+    const int ay = y < 0 ? -y : y;
+    const int az = z < 0 ? -z : z;
+    return ax > ay ? (ax > az ? ax : az) : (ay > az ? ay : az);
+  }
+};
+
+/// Mathematical floor modulo: result in [0, m) for m > 0.  Needed for
+/// periodic cell-index wrapping where C++ % is implementation-inconvenient
+/// for negative operands.
+constexpr int floor_mod(int a, int m) {
+  const int r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Mathematical floor division paired with floor_mod.
+constexpr int floor_div(int a, int m) {
+  const int q = a / m;
+  return (a % m != 0 && ((a < 0) != (m < 0))) ? q - 1 : q;
+}
+
+/// Componentwise periodic wrap into [0, dims).
+constexpr Int3 wrap(const Int3& q, const Int3& dims) {
+  return {floor_mod(q.x, dims.x), floor_mod(q.y, dims.y),
+          floor_mod(q.z, dims.z)};
+}
+
+std::ostream& operator<<(std::ostream& os, const Int3& v);
+
+}  // namespace scmd
+
+template <>
+struct std::hash<scmd::Int3> {
+  std::size_t operator()(const scmd::Int3& v) const noexcept {
+    // Pack into 64 bits (21 bits per component is ample for cell grids),
+    // then mix with SplitMix64's finalizer.
+    auto u = [](int a) {
+      return static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) &
+             0x1fffffULL;
+    };
+    std::uint64_t h = (u(v.x) << 42) | (u(v.y) << 21) | u(v.z);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};

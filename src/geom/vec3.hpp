@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Double-precision 3-vector for positions, velocities, and forces.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace scmd {
+
+/// Cartesian 3-vector of doubles with the usual componentwise algebra.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double operator[](int axis) const {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+  constexpr double& operator[](int axis) {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace scmd

@@ -1,0 +1,96 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53434d445f434b31ULL;  // "SCMD_CK1"
+constexpr std::uint32_t kVersion = 1;
+
+void write_bytes(std::ofstream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  SCMD_REQUIRE(out.good(), "checkpoint write failed");
+}
+
+void read_bytes(std::ifstream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  SCMD_REQUIRE(in.good(), "checkpoint read failed (truncated file?)");
+}
+
+template <class T>
+void write_pod(std::ofstream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_bytes(out, &value, sizeof(T));
+}
+
+template <class T>
+T read_pod(std::ifstream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  read_bytes(in, &value, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void save_checkpoint(const ParticleSystem& sys, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  SCMD_REQUIRE(out.good(), "cannot open " + path + " for writing");
+
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  const Vec3 lengths = sys.box().lengths();
+  write_pod(out, lengths);
+  write_pod(out, static_cast<std::int32_t>(sys.num_types()));
+  for (int t = 0; t < sys.num_types(); ++t)
+    write_pod(out, sys.mass_of_type(t));
+  write_pod(out, static_cast<std::int64_t>(sys.num_atoms()));
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    write_pod(out, sys.positions()[i]);
+    write_pod(out, sys.velocities()[i]);
+    write_pod(out, sys.forces()[i]);
+    write_pod(out, static_cast<std::int32_t>(sys.types()[i]));
+  }
+  SCMD_REQUIRE(out.good(), "checkpoint write failed");
+}
+
+ParticleSystem load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SCMD_REQUIRE(in.good(), "cannot open " + path + " for reading");
+
+  SCMD_REQUIRE(read_pod<std::uint64_t>(in) == kMagic,
+               path + " is not an SC-MD checkpoint");
+  SCMD_REQUIRE(read_pod<std::uint32_t>(in) == kVersion,
+               "unsupported checkpoint version in " + path);
+  const Vec3 lengths = read_pod<Vec3>(in);
+  const auto num_types = read_pod<std::int32_t>(in);
+  SCMD_REQUIRE(num_types > 0 && num_types < 1024,
+               "implausible species count in " + path);
+  std::vector<double> masses;
+  masses.reserve(static_cast<std::size_t>(num_types));
+  for (std::int32_t t = 0; t < num_types; ++t)
+    masses.push_back(read_pod<double>(in));
+
+  ParticleSystem sys(Box(lengths), std::move(masses));
+  const auto num_atoms = read_pod<std::int64_t>(in);
+  SCMD_REQUIRE(num_atoms >= 0, "negative atom count in " + path);
+  for (std::int64_t i = 0; i < num_atoms; ++i) {
+    const Vec3 pos = read_pod<Vec3>(in);
+    const Vec3 vel = read_pod<Vec3>(in);
+    const Vec3 force = read_pod<Vec3>(in);
+    const auto type = read_pod<std::int32_t>(in);
+    const int id = sys.add_atom(pos, vel, type);
+    sys.forces()[id] = force;
+  }
+  return sys;
+}
+
+}  // namespace scmd

@@ -1,0 +1,47 @@
+#include "io/xyz.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+struct XyzWriter::Impl {
+  std::ofstream out;
+};
+
+XyzWriter::XyzWriter(const std::string& path,
+                     std::vector<std::string> species)
+    : impl_(std::make_unique<Impl>()), species_(std::move(species)) {
+  SCMD_REQUIRE(!species_.empty(), "need at least one species symbol");
+  impl_->out.open(path);
+  SCMD_REQUIRE(impl_->out.good(), "cannot open " + path + " for writing");
+}
+
+XyzWriter::~XyzWriter() = default;
+
+void XyzWriter::write_frame(const ParticleSystem& sys,
+                            const std::string& comment) {
+  auto& out = impl_->out;
+  out << sys.num_atoms() << '\n';
+  const Vec3 L = sys.box().lengths();
+  out << "Lattice=\"" << L.x << " 0 0 0 " << L.y << " 0 0 0 " << L.z
+      << "\" Properties=species:S:1:pos:R:3";
+  if (!comment.empty()) out << ' ' << comment;
+  out << '\n';
+  out << std::setprecision(8);
+  const auto pos = sys.positions();
+  const auto type = sys.types();
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    const int t = type[i];
+    SCMD_REQUIRE(t >= 0 && t < static_cast<int>(species_.size()),
+                 "atom type without species symbol");
+    out << species_[static_cast<std::size_t>(t)] << ' ' << pos[i].x << ' '
+        << pos[i].y << ' ' << pos[i].z << '\n';
+  }
+  ++frames_;
+  SCMD_REQUIRE(out.good(), "trajectory write failed");
+}
+
+}  // namespace scmd

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file xyz.hpp
+/// Extended-XYZ trajectory output for examples and debugging.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace scmd {
+
+/// Streams snapshots in extended-XYZ format (one frame per write_frame).
+class XyzWriter {
+ public:
+  /// `species` maps type ids to element symbols, e.g. {"Si", "O"}.
+  XyzWriter(const std::string& path, std::vector<std::string> species);
+  ~XyzWriter();
+
+  XyzWriter(const XyzWriter&) = delete;
+  XyzWriter& operator=(const XyzWriter&) = delete;
+
+  /// Append one frame with an optional comment (step number, energy, ...).
+  void write_frame(const ParticleSystem& sys, const std::string& comment = {});
+
+  int frames_written() const { return frames_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::string> species_;
+  int frames_ = 0;
+};
+
+}  // namespace scmd

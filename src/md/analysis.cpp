@@ -1,0 +1,183 @@
+#include "md/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cell/domain.hpp"
+#include "pattern/generate.hpp"
+#include "support/error.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+
+namespace {
+
+/// Run the library's own SC pair sweep at cutoff r_max and hand every
+/// accepted (i, j) pair with its distance to the callback.
+template <class Fn>
+void for_each_pair(const ParticleSystem& sys, double r_max, Fn&& fn) {
+  const Box& box = sys.box();
+  const double min_len =
+      std::min({box.length(0), box.length(1), box.length(2)});
+  SCMD_REQUIRE(r_max > 0.0 && r_max <= min_len / 3.0,
+               "analysis cutoff must be <= box/3");
+  const CellGrid grid(box, r_max);
+  const Pattern sc = make_sc(2);
+  const CellDomain dom =
+      make_serial_domain(grid, halo_for(sc), sys.positions(), sys.types());
+  const CompiledPattern cp(sc);
+  const auto pos = dom.positions();
+  const auto gid = dom.gids();
+  const auto type = dom.types();
+  for_each_tuple(dom, cp, r_max, [&](std::span<const int> t) {
+    const double r = (pos[t[0]] - pos[t[1]]).norm();
+    fn(static_cast<int>(gid[t[0]]), static_cast<int>(gid[t[1]]), type[t[0]],
+       type[t[1]], r);
+  });
+}
+
+}  // namespace
+
+double Rdf::peak_position(double r_min) const {
+  std::size_t best = 0;
+  double best_g = -1.0;
+  for (std::size_t b = 0; b < g.size(); ++b) {
+    if (r_of(b) < r_min) continue;
+    if (g[b] > best_g) {
+      best_g = g[b];
+      best = b;
+    }
+  }
+  return r_of(best);
+}
+
+Rdf compute_rdf(const ParticleSystem& sys, int type_a, int type_b,
+                double r_max, int bins) {
+  SCMD_REQUIRE(bins > 0, "need at least one bin");
+  Rdf rdf;
+  rdf.r_max = r_max;
+  rdf.dr = r_max / bins;
+  rdf.g.assign(static_cast<std::size_t>(bins), 0.0);
+
+  long long n_a = 0, n_b = 0;
+  for (int t : sys.types()) {
+    if (t == type_a) ++n_a;
+    if (t == type_b) ++n_b;
+  }
+  if (n_a == 0 || n_b == 0) return rdf;
+
+  std::vector<long long> counts(static_cast<std::size_t>(bins), 0);
+  for_each_pair(sys, r_max, [&](int, int, int ta, int tb, double r) {
+    const bool match =
+        (ta == type_a && tb == type_b) || (ta == type_b && tb == type_a);
+    if (!match) return;
+    const auto bin = static_cast<std::size_t>(r / rdf.dr);
+    if (bin < counts.size()) {
+      // Each undirected pair arrives once; it contributes to both the
+      // (a-around-b) and (b-around-a) views, which the normalization
+      // below absorbs by counting ordered pairs.
+      counts[bin] += (type_a == type_b) ? 2 : 1;
+    }
+  });
+
+  // g(r) = ordered-pair count in shell / ideal-gas expectation
+  // n_a·n_b/V · V_shell (the 2x increment above makes like-pair counts
+  // ordered as well, so one formula covers both cases).
+  const double pair_density = static_cast<double>(n_a) *
+                              static_cast<double>(n_b) /
+                              sys.box().volume();
+  for (int b = 0; b < bins; ++b) {
+    const double r0 = b * rdf.dr, r1 = r0 + rdf.dr;
+    const double shell = 4.0 / 3.0 * M_PI * (r1 * r1 * r1 - r0 * r0 * r0);
+    const double expected = pair_density * shell;
+    rdf.g[static_cast<std::size_t>(b)] =
+        expected > 0.0
+            ? static_cast<double>(counts[static_cast<std::size_t>(b)]) /
+                  expected
+            : 0.0;
+  }
+  return rdf;
+}
+
+double AngleDistribution::peak_angle_deg() const {
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < density.size(); ++b) {
+    if (density[b] > density[best]) best = b;
+  }
+  return angle_of(best);
+}
+
+AngleDistribution compute_adf(const ParticleSystem& sys, int center,
+                              int end_type, double r_bond, int bins) {
+  SCMD_REQUIRE(bins > 0, "need at least one bin");
+  AngleDistribution adf;
+  adf.bin_width_deg = 180.0 / bins;
+  adf.density.assign(static_cast<std::size_t>(bins), 0.0);
+
+  // Gather each center's bonded neighbors from the pair sweep.
+  std::vector<std::vector<int>> bonded(
+      static_cast<std::size_t>(sys.num_atoms()));
+  for_each_pair(sys, r_bond, [&](int i, int j, int ti, int tj, double) {
+    if (ti == center && tj == end_type)
+      bonded[static_cast<std::size_t>(i)].push_back(j);
+    if (tj == center && ti == end_type)
+      bonded[static_cast<std::size_t>(j)].push_back(i);
+  });
+
+  const Box& box = sys.box();
+  const auto pos = sys.positions();
+  long long total = 0;
+  for (int c = 0; c < sys.num_atoms(); ++c) {
+    if (sys.types()[c] != center) continue;
+    const auto& nbrs = bonded[static_cast<std::size_t>(c)];
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+        const Vec3 u = box.min_image(pos[nbrs[a]], pos[c]);
+        const Vec3 v = box.min_image(pos[nbrs[b]], pos[c]);
+        double cos_t = u.dot(v) / (u.norm() * v.norm());
+        cos_t = std::clamp(cos_t, -1.0, 1.0);
+        const double deg = std::acos(cos_t) * 180.0 / M_PI;
+        auto bin = static_cast<std::size_t>(deg / adf.bin_width_deg);
+        if (bin >= adf.density.size()) bin = adf.density.size() - 1;
+        adf.density[bin] += 1.0;
+        ++total;
+      }
+    }
+  }
+  if (total > 0) {
+    for (double& d : adf.density)
+      d /= static_cast<double>(total) * adf.bin_width_deg;
+  }
+  return adf;
+}
+
+double mean_coordination(const ParticleSystem& sys, int center_type,
+                         int neighbor_type, double r_bond) {
+  long long centers = 0;
+  for (int t : sys.types())
+    if (t == center_type) ++centers;
+  if (centers == 0) return 0.0;
+
+  long long bonds = 0;
+  for_each_pair(sys, r_bond, [&](int, int, int ti, int tj, double) {
+    if (ti == center_type && tj == neighbor_type) ++bonds;
+    if (tj == center_type && ti == neighbor_type) ++bonds;
+  });
+  return static_cast<double>(bonds) / static_cast<double>(centers);
+}
+
+double mean_square_displacement(const ParticleSystem& before,
+                                const ParticleSystem& after) {
+  SCMD_REQUIRE(before.num_atoms() == after.num_atoms(),
+               "snapshots must hold the same atoms");
+  SCMD_REQUIRE(before.box() == after.box(), "box changed between snapshots");
+  double sum = 0.0;
+  for (int i = 0; i < before.num_atoms(); ++i) {
+    sum += before.box()
+               .min_image(after.positions()[i], before.positions()[i])
+               .norm2();
+  }
+  return before.num_atoms() > 0 ? sum / before.num_atoms() : 0.0;
+}
+
+}  // namespace scmd

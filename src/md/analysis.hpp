@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Structural analysis of particle configurations.
+///
+/// Used to validate that the MD substrate produces physically sensible
+/// silica/silicon structure (bond lengths, angles, coordination) and by
+/// the example programs.  The pair machinery deliberately reuses the
+/// library's own cell/tuple engine, exercising it on a consumer other
+/// than force computation.
+
+#include <vector>
+
+#include "md/system.hpp"
+
+namespace scmd {
+
+/// Radial distribution function g(r) between two species.
+struct Rdf {
+  double r_max = 0.0;
+  double dr = 0.0;
+  std::vector<double> g;  ///< g[b] for shell [b·dr, (b+1)·dr)
+
+  /// Bin center radius.
+  double r_of(std::size_t bin) const { return (bin + 0.5) * dr; }
+
+  /// Radius of the highest-g bin past r_min (first-peak locator).
+  double peak_position(double r_min = 0.0) const;
+};
+
+/// Compute g(r) for pairs (type_a, type_b); pass the same type twice for
+/// a like-pair RDF.  r_max must satisfy r_max <= min box length / 3 so
+/// the cell-based pair sweep sees each image once.
+Rdf compute_rdf(const ParticleSystem& sys, int type_a, int type_b,
+                double r_max, int bins);
+
+/// Bond-angle distribution around centers of type `center`: the angle
+/// j-c-k for all neighbor pairs within r_bond of c.  Histogram over
+/// [0°, 180°].
+struct AngleDistribution {
+  std::vector<double> density;  ///< normalized histogram, sum*d_theta = 1
+  double bin_width_deg = 0.0;
+
+  double angle_of(std::size_t bin) const {
+    return (bin + 0.5) * bin_width_deg;
+  }
+  double peak_angle_deg() const;
+};
+
+AngleDistribution compute_adf(const ParticleSystem& sys, int center,
+                              int end_type, double r_bond, int bins);
+
+/// Mean coordination number: average count of `neighbor_type` atoms within
+/// r_bond of each `center_type` atom.
+double mean_coordination(const ParticleSystem& sys, int center_type,
+                         int neighbor_type, double r_bond);
+
+/// Mean-square displacement between two snapshots of the same system,
+/// with minimum-image unwrapping (valid while per-step displacements stay
+/// below half a box length).
+double mean_square_displacement(const ParticleSystem& before,
+                                const ParticleSystem& after);
+
+}  // namespace scmd

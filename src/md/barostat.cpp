@@ -1,0 +1,36 @@
+#include "md/barostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+BerendsenBarostat::BerendsenBarostat(double target, double tau,
+                                     double compressibility)
+    : target_(target), tau_(tau), kappa_(compressibility) {
+  SCMD_REQUIRE(tau > 0.0, "coupling time must be positive");
+  SCMD_REQUIRE(compressibility > 0.0, "compressibility must be positive");
+}
+
+double BerendsenBarostat::apply(ParticleSystem& sys,
+                                double measured_pressure, double dt) const {
+  double mu3 = 1.0 - kappa_ * dt / tau_ * (target_ - measured_pressure);
+  // Clamp: never change the volume by more than ~5% in one coupling step.
+  mu3 = std::clamp(mu3, 0.95, 1.05);
+  const double mu = std::cbrt(mu3);
+  rescale_system(sys, mu);
+  return mu;
+}
+
+void rescale_system(ParticleSystem& sys, double mu) {
+  SCMD_REQUIRE(mu > 0.0, "scale factor must be positive");
+  const Vec3 new_lengths = sys.box().lengths() * mu;
+  const auto pos = sys.positions();
+  std::vector<Vec3> scaled(pos.begin(), pos.end());
+  for (Vec3& r : scaled) r *= mu;
+  sys.reset_box(Box(new_lengths), scaled);
+}
+
+}  // namespace scmd

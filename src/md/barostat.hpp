@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file barostat.hpp
+/// Berendsen weak-coupling barostat.
+///
+/// Rescales the box and all positions isotropically toward a target
+/// pressure: μ³ = 1 − κ·(dt/τ)·(P0 − P).  Pair it with
+/// measure_pressure() (engines/observables.hpp); Berendsen coupling is
+/// tolerant of the measurement cadence, so measuring every ~10 steps is
+/// customary.
+
+#include "md/system.hpp"
+
+namespace scmd {
+
+/// Isotropic Berendsen barostat.
+class BerendsenBarostat {
+ public:
+  /// `target` in the pressure units of measure_pressure (eV/Å^3 in the
+  /// library's unit system); `tau` in time units; `compressibility` is
+  /// the κ prefactor (dimensionless knob scaling the response).
+  BerendsenBarostat(double target, double tau, double compressibility = 1.0);
+
+  /// Rescale `sys` one coupling step of length dt given the currently
+  /// measured total pressure.  Returns the applied linear scale factor μ.
+  double apply(ParticleSystem& sys, double measured_pressure,
+               double dt) const;
+
+  double target() const { return target_; }
+
+ private:
+  double target_;
+  double tau_;
+  double kappa_;
+};
+
+/// Rescale the box and positions of `sys` by the linear factor `mu`.
+void rescale_system(ParticleSystem& sys, double mu);
+
+}  // namespace scmd

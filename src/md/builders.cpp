@@ -1,0 +1,145 @@
+#include "md/builders.hpp"
+
+#include <cmath>
+
+#include "md/units.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+void thermalize(ParticleSystem& sys, double temperature_k, Rng& rng) {
+  SCMD_REQUIRE(temperature_k >= 0.0, "temperature must be non-negative");
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    const double stddev =
+        std::sqrt(units::kBoltzmann * temperature_k / sys.mass_of_atom(i));
+    sys.velocities()[i] = {rng.normal(0.0, stddev), rng.normal(0.0, stddev),
+                           rng.normal(0.0, stddev)};
+  }
+  sys.zero_momentum();
+}
+
+namespace {
+
+/// Cells per axis for an approximately cubic lattice holding >= target
+/// sites (1 atom per site for single species, 3 per site for silica).
+int sites_per_axis(long long target_sites) {
+  int n = 1;
+  while (static_cast<long long>(n) * n * n < target_sites) ++n;
+  return n;
+}
+
+}  // namespace
+
+ParticleSystem make_cubic_lattice(const Box& box, double mass,
+                                  long long target_atoms, double jitter,
+                                  Rng& rng) {
+  SCMD_REQUIRE(target_atoms > 0, "need at least one atom");
+  SCMD_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter in [0, 1)");
+  ParticleSystem sys(box, {mass});
+  const int n = sites_per_axis(target_atoms);
+  long long placed = 0;
+  for (int ix = 0; ix < n && placed < target_atoms; ++ix) {
+    for (int iy = 0; iy < n && placed < target_atoms; ++iy) {
+      for (int iz = 0; iz < n && placed < target_atoms; ++iz) {
+        Vec3 r{(ix + 0.5) * box.length(0) / n, (iy + 0.5) * box.length(1) / n,
+               (iz + 0.5) * box.length(2) / n};
+        for (int a = 0; a < 3; ++a) {
+          const double spacing = box.length(a) / n;
+          r[a] += rng.uniform(-0.5, 0.5) * jitter * spacing;
+        }
+        sys.add_atom(r, {}, 0);
+        ++placed;
+      }
+    }
+  }
+  return sys;
+}
+
+ParticleSystem make_silica(long long num_atoms, double density_gcc,
+                           double temperature_k, Rng& rng) {
+  SCMD_REQUIRE(num_atoms >= 3, "need at least one SiO2 unit");
+  SCMD_REQUIRE(density_gcc > 0.0, "density must be positive");
+  // Mass density -> box volume.  Average mass per atom of SiO2:
+  // (28.0855 + 2*15.9994)/3 amu.
+  const double avg_mass = (28.0855 + 2.0 * 15.9994) / 3.0;
+  const double volume_a3 =
+      static_cast<double>(num_atoms) * avg_mass * units::kAmuPerA3ToGcc /
+      density_gcc;
+  const double side = std::cbrt(volume_a3);
+  const Box box = Box::cubic(side);
+
+  ParticleSystem sys(box, {28.0855, 15.9994});
+
+  // Idealized beta-cristobalite: Si on a diamond lattice, O at the
+  // midpoint of every Si-Si bond — 8 Si + 16 O per cubic cell, a proper
+  // corner-shared tetrahedral network (Si 4-coordinated, O bridging).
+  // At 2.2 g/cc the cell constant comes out ~7.1 Å, close to the real
+  // phase.  When num_atoms is not 24·m³, sites are decimated uniformly,
+  // which compresses bond lengths slightly; exact-fill counts (648, 1536,
+  // 3000, 12288, ...) give the undistorted network.
+  long long m = 1;
+  while (24 * m * m * m < num_atoms) ++m;
+  const double a = side / static_cast<double>(m);
+  const double jitter = 0.03;  // Å, breaks lattice symmetry
+
+  // Fractional positions within one cell.
+  const Vec3 fcc[4] = {{0, 0, 0}, {0, 0.5, 0.5}, {0.5, 0, 0.5},
+                       {0.5, 0.5, 0}};
+  std::vector<std::pair<Vec3, int>> cell_sites;  // (fractional, type)
+  for (const Vec3& f : fcc) {
+    cell_sites.push_back({f, 0});                            // Si (fcc)
+    const Vec3 b = f + Vec3{0.25, 0.25, 0.25};
+    cell_sites.push_back({b, 0});                            // Si (basis)
+    for (const Vec3& g : fcc) {
+      // Nearest periodic image of g to b, then the bond midpoint.
+      Vec3 gi = g;
+      for (int ax = 0; ax < 3; ++ax) {
+        if (b[ax] - gi[ax] > 0.5) gi[ax] += 1.0;
+        if (gi[ax] - b[ax] > 0.5) gi[ax] -= 1.0;
+      }
+      cell_sites.push_back({(b + gi) * 0.5, 1});             // O
+    }
+  }
+  SCMD_REQUIRE(cell_sites.size() == 24, "cristobalite cell must have 24 sites");
+
+  const long long total_sites = 24 * m * m * m;
+  long long emitted = 0;  // site counter for uniform decimation
+  for (long long cz = 0; cz < m; ++cz) {
+    for (long long cy = 0; cy < m; ++cy) {
+      for (long long cx = 0; cx < m; ++cx) {
+        for (const auto& [frac, type] : cell_sites) {
+          // Keep site k iff floor(k·N/total) advances: exactly num_atoms
+          // sites survive, spread uniformly through the lattice.
+          const long long lo = emitted * num_atoms / total_sites;
+          const long long hi = (emitted + 1) * num_atoms / total_sites;
+          ++emitted;
+          if (hi == lo) continue;
+          const Vec3 r{(cx + frac.x) * a + rng.uniform(-jitter, jitter),
+                       (cy + frac.y) * a + rng.uniform(-jitter, jitter),
+                       (cz + frac.z) * a + rng.uniform(-jitter, jitter)};
+          sys.add_atom(r, {}, type);
+        }
+      }
+    }
+  }
+  SCMD_REQUIRE(sys.num_atoms() == num_atoms, "silica builder count mismatch");
+  thermalize(sys, temperature_k, rng);
+  return sys;
+}
+
+ParticleSystem make_gas(const ForceField& field, long long num_atoms,
+                        double atoms_per_cell, double temperature_k,
+                        Rng& rng) {
+  SCMD_REQUIRE(atoms_per_cell > 0.0, "cell occupancy must be positive");
+  const double rc = field.rcut(2);
+  SCMD_REQUIRE(rc > 0.0, "field needs a pair cutoff");
+  const double volume = static_cast<double>(num_atoms) / atoms_per_cell *
+                        rc * rc * rc;
+  const Box box = Box::cubic(std::cbrt(volume));
+  ParticleSystem sys =
+      make_cubic_lattice(box, field.mass(0), num_atoms, 0.3, rng);
+  thermalize(sys, temperature_k, rng);
+  return sys;
+}
+
+}  // namespace scmd

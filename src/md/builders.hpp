@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file builders.hpp
+/// Workload construction: lattices, thermal velocities, benchmark systems.
+///
+/// Benchmark configurations mirror the paper's setup: uniformly
+/// distributed atoms (Sec. 5.3) at production densities, with system size
+/// chosen per granularity target N/P.
+
+#include <cstdint>
+
+#include "md/system.hpp"
+#include "potentials/force_field.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+
+/// Assign Maxwell-Boltzmann velocities at temperature T (kelvin, using the
+/// eV/Å/amu unit system) and remove the center-of-mass drift.
+void thermalize(ParticleSystem& sys, double temperature_k, Rng& rng);
+
+/// Simple-cubic lattice of a single species filling the box with
+/// approximately `target_atoms` atoms, each displaced by a uniform jitter
+/// of +-(jitter * spacing / 2) per axis.  Returns the exact atom count.
+ParticleSystem make_cubic_lattice(const Box& box, double mass,
+                                  long long target_atoms, double jitter,
+                                  Rng& rng);
+
+/// Silica (SiO2) benchmark system at the requested mass density (g/cm³;
+/// silica is ~2.2): an idealized beta-cristobalite network — Si on a
+/// diamond lattice, bridging O on every Si-Si bond — so silicon starts
+/// 4-coordinated with tetrahedral O-Si-O angles.  The box is cubic and
+/// sized from the atom count.  Counts of the form 24·m³ (648, 1536, 3000,
+/// 5184, 12288, 24000, ...) fill the lattice exactly; other counts
+/// decimate sites uniformly.
+ParticleSystem make_silica(long long num_atoms, double density_gcc,
+                           double temperature_k, Rng& rng);
+
+/// Single-species benchmark gas for a given force field: cubic box sized
+/// from a reduced number density (atoms per rcut(2)³ ~ cell occupancy).
+ParticleSystem make_gas(const ForceField& field, long long num_atoms,
+                        double atoms_per_cell, double temperature_k, Rng& rng);
+
+}  // namespace scmd

@@ -1,0 +1,31 @@
+#include "md/integrator.hpp"
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+VelocityVerlet::VelocityVerlet(double dt) : dt_(dt) {
+  SCMD_REQUIRE(dt > 0.0, "time step must be positive");
+}
+
+void VelocityVerlet::kick_drift(ParticleSystem& sys) const {
+  const auto f = sys.forces();
+  const auto v = sys.velocities();
+  const auto r = sys.positions();
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    const double inv_m = 1.0 / sys.mass_of_atom(i);
+    v[i] += f[i] * (0.5 * dt_ * inv_m);
+    r[i] += v[i] * dt_;
+  }
+  sys.wrap_positions();
+}
+
+void VelocityVerlet::kick(ParticleSystem& sys) const {
+  const auto f = sys.forces();
+  const auto v = sys.velocities();
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    v[i] += f[i] * (0.5 * dt_ / sys.mass_of_atom(i));
+  }
+}
+
+}  // namespace scmd

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file integrator.hpp
+/// Velocity-Verlet time integration (paper Eq. 1's numerical solution).
+///
+/// The integrator is split into the two half-steps around the force
+/// computation so engines (serial or parallel) own the force phase:
+///
+///   kick_drift():  v += f/m · dt/2;  r += v · dt   (then recompute f)
+///   kick():        v += f/m · dt/2
+
+#include "md/system.hpp"
+
+namespace scmd {
+
+/// Velocity-Verlet stepper; dt in internal time units (see units.hpp).
+class VelocityVerlet {
+ public:
+  explicit VelocityVerlet(double dt);
+
+  double dt() const { return dt_; }
+
+  /// First half-kick plus drift; wraps positions back into the box.
+  void kick_drift(ParticleSystem& sys) const;
+
+  /// Second half-kick (call after forces are refreshed).
+  void kick(ParticleSystem& sys) const;
+
+ private:
+  double dt_;
+};
+
+}  // namespace scmd

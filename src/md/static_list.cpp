@@ -1,0 +1,105 @@
+#include "md/static_list.hpp"
+
+#include "cell/domain.hpp"
+#include "pattern/generate.hpp"
+#include "support/error.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+
+namespace {
+
+/// Reconstruct the chain's positions in one periodic frame: atom 0 at its
+/// wrapped position, each later atom via the minimum image relative to
+/// its predecessor (valid while chain steps stay below half a box).
+void chain_positions(const ParticleSystem& sys,
+                     std::span<const std::int32_t> ids, int n, Vec3* out) {
+  const auto pos = sys.positions();
+  out[0] = pos[ids[0]];
+  for (int k = 1; k < n; ++k) {
+    out[k] =
+        out[k - 1] + sys.box().min_image(pos[ids[k]], pos[ids[k - 1]]);
+  }
+}
+
+}  // namespace
+
+StaticTupleList StaticTupleList::build(const ParticleSystem& sys, int n,
+                                       double rcut) {
+  SCMD_REQUIRE(n >= 2 && n <= 4, "static lists support n = 2..4");
+  SCMD_REQUIRE(rcut > 0.0, "cutoff must be positive");
+  StaticTupleList list;
+  list.n_ = n;
+
+  const CellGrid grid(sys.box(), rcut);
+  const Pattern sc = make_sc(n);
+  const CellDomain dom =
+      make_serial_domain(grid, halo_for(sc), sys.positions(), sys.types());
+  const CompiledPattern cp(sc);
+  const auto gids = dom.gids();
+  for_each_tuple(dom, cp, rcut, [&](std::span<const int> t) {
+    std::array<std::int32_t, kMaxTupleLen> ids{};
+    for (int k = 0; k < n; ++k)
+      ids[static_cast<std::size_t>(k)] =
+          static_cast<std::int32_t>(gids[t[k]]);
+    list.tuples_.push_back(ids);
+  });
+  return list;
+}
+
+double StaticTupleList::compute(const ParticleSystem& sys,
+                                const ForceField& field,
+                                std::span<Vec3> forces) const {
+  SCMD_REQUIRE(static_cast<int>(forces.size()) == sys.num_atoms(),
+               "force array must cover all atoms");
+  const auto type = sys.types();
+  double energy = 0.0;
+  Vec3 r[kMaxTupleLen];
+  for (const auto& ids : tuples_) {
+    chain_positions(sys, {ids.data(), static_cast<std::size_t>(n_)}, n_, r);
+    Vec3 f[kMaxTupleLen] = {};
+    switch (n_) {
+      case 2:
+        energy += field.eval_pair(type[ids[0]], type[ids[1]], r[0], r[1],
+                                  f[0], f[1]);
+        break;
+      case 3:
+        energy += field.eval_triplet(type[ids[0]], type[ids[1]],
+                                     type[ids[2]], r[0], r[1], r[2], f[0],
+                                     f[1], f[2]);
+        break;
+      case 4:
+        energy += field.eval_quad(type[ids[0]], type[ids[1]], type[ids[2]],
+                                  type[ids[3]], r[0], r[1], r[2], r[3],
+                                  f[0], f[1], f[2], f[3]);
+        break;
+      default:
+        SCMD_REQUIRE(false, "unsupported tuple length");
+    }
+    for (int k = 0; k < n_; ++k)
+      forces[ids[static_cast<std::size_t>(k)]] += f[k];
+  }
+  return energy;
+}
+
+double StaticTupleList::valid_fraction(const ParticleSystem& sys,
+                                       double rcut) const {
+  if (tuples_.empty()) return 1.0;
+  const double rc2 = rcut * rcut;
+  std::size_t valid = 0;
+  Vec3 r[kMaxTupleLen];
+  for (const auto& ids : tuples_) {
+    chain_positions(sys, {ids.data(), static_cast<std::size_t>(n_)}, n_, r);
+    bool ok = true;
+    for (int k = 0; k + 1 < n_; ++k) {
+      if ((r[k + 1] - r[k]).norm2() >= rc2) {
+        ok = false;
+        break;
+      }
+    }
+    valid += ok;
+  }
+  return static_cast<double>(valid) / static_cast<double>(tuples_.size());
+}
+
+}  // namespace scmd

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file static_list.hpp
+/// Static n-tuple computation (paper Sec. 1).
+///
+/// Biomolecular force fields fix the list of bonded n-tuples for the
+/// whole simulation; reactive many-body MD must instead rebuild the
+/// range-limited tuple set every step (the paper's dynamic computation).
+/// StaticTupleList implements the former as a contrast baseline: a tuple
+/// snapshot taken once (using the same SC enumeration machinery) and
+/// evaluated unconditionally thereafter, whether or not the atoms still
+/// sit within range — exactly the approximation dynamic computation
+/// removes.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "md/system.hpp"
+#include "pattern/path.hpp"
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// A frozen list of n-tuples (stored by global atom id).
+class StaticTupleList {
+ public:
+  /// Snapshot every accepted n-tuple of the current configuration within
+  /// `rcut` (chain cutoff), using the SC pattern.
+  static StaticTupleList build(const ParticleSystem& sys, int n,
+                               double rcut);
+
+  int n() const { return n_; }
+  std::size_t size() const { return tuples_.size(); }
+
+  /// Evaluate the field's n-body term over the frozen list with
+  /// minimum-image geometry, accumulating into `forces` (indexed by
+  /// global id).  Returns the total energy.
+  double compute(const ParticleSystem& sys, const ForceField& field,
+                 std::span<Vec3> forces) const;
+
+  /// Fraction of stored tuples whose chain still satisfies `rcut` in the
+  /// current configuration — a staleness diagnostic: 1.0 right after
+  /// build(), decaying as the system diffuses.
+  double valid_fraction(const ParticleSystem& sys, double rcut) const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::array<std::int32_t, kMaxTupleLen>> tuples_;
+};
+
+}  // namespace scmd

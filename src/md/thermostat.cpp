@@ -1,0 +1,26 @@
+#include "md/thermostat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+BerendsenThermostat::BerendsenThermostat(double target_k, double tau)
+    : target_k_(target_k), tau_(tau) {
+  SCMD_REQUIRE(target_k >= 0.0, "target temperature must be non-negative");
+  SCMD_REQUIRE(tau > 0.0, "coupling time must be positive");
+}
+
+void BerendsenThermostat::apply(ParticleSystem& sys, double dt) const {
+  const double t = sys.temperature();
+  if (t <= 0.0) return;
+  double lambda2 = 1.0 + dt / tau_ * (target_k_ / t - 1.0);
+  // Clamp to avoid violent rescaling far from equilibrium.
+  lambda2 = std::clamp(lambda2, 0.64, 1.5625);
+  const double lambda = std::sqrt(lambda2);
+  for (Vec3& v : sys.velocities()) v *= lambda;
+}
+
+}  // namespace scmd

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file thermostat.hpp
+/// Berendsen weak-coupling thermostat.
+///
+/// Rescales velocities toward a target temperature with coupling time tau:
+/// λ² = 1 + dt/τ (T0/T − 1).  Used to keep benchmark systems near their
+/// production state point while enumeration counters are sampled.
+
+#include "md/system.hpp"
+
+namespace scmd {
+
+/// Berendsen velocity-rescaling thermostat.
+class BerendsenThermostat {
+ public:
+  /// target_k in kelvin; tau in the same time units as dt.
+  BerendsenThermostat(double target_k, double tau);
+
+  /// Apply one rescale step of length dt.
+  void apply(ParticleSystem& sys, double dt) const;
+
+  double target() const { return target_k_; }
+
+ private:
+  double target_k_;
+  double tau_;
+};
+
+}  // namespace scmd

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file units.hpp
+/// Simulation unit system: energy in eV, length in Å, mass in amu.
+/// The derived time unit is t* = sqrt(amu·Å²/eV) ≈ 10.1805 fs.
+
+namespace scmd::units {
+
+/// Boltzmann constant, eV/K.
+inline constexpr double kBoltzmann = 8.617333262e-5;
+
+/// One femtosecond in internal time units (t* = sqrt(amu·Å²/eV)).
+inline constexpr double kFemtosecond = 1.0 / 10.180505;
+
+/// Convert amu·Å³ density to g/cm³.
+inline constexpr double kAmuPerA3ToGcc = 1.66053907;
+
+}  // namespace scmd::units

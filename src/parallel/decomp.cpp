@@ -1,0 +1,99 @@
+#include "parallel/decomp.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+ProcessGrid::ProcessGrid(const Int3& dims) : dims_(dims) {
+  SCMD_REQUIRE(dims.x >= 1 && dims.y >= 1 && dims.z >= 1,
+               "process grid dims must be positive");
+}
+
+ProcessGrid ProcessGrid::factor(int num_ranks) {
+  SCMD_REQUIRE(num_ranks >= 1, "need at least one rank");
+  // Choose the factorization of P into three factors with the smallest
+  // surface-to-volume ratio (most cubic).
+  Int3 best{num_ranks, 1, 1};
+  long long best_surface = -1;
+  for (int a = 1; a * a * a <= num_ranks; ++a) {
+    if (num_ranks % a) continue;
+    const int rest = num_ranks / a;
+    for (int b = a; b * b <= rest; ++b) {
+      if (rest % b) continue;
+      const int c = rest / b;
+      const long long surface = static_cast<long long>(a) * b +
+                                static_cast<long long>(b) * c +
+                                static_cast<long long>(a) * c;
+      if (best_surface < 0 || surface < best_surface) {
+        best_surface = surface;
+        best = {c, b, a};  // largest factor on x
+      }
+    }
+  }
+  return ProcessGrid(best);
+}
+
+Int3 ProcessGrid::coord_of(int rank) const {
+  SCMD_ASSERT(rank >= 0 && rank < num_ranks());
+  const int x = rank % dims_.x;
+  const int rest = rank / dims_.x;
+  return {x, rest % dims_.y, rest / dims_.y};
+}
+
+int ProcessGrid::rank_of(const Int3& coord) const {
+  const Int3 w = wrap(coord, dims_);
+  return (w.z * dims_.y + w.y) * dims_.x + w.x;
+}
+
+int ProcessGrid::neighbor(int rank, int axis, int dir) const {
+  Int3 c = coord_of(rank);
+  c[axis] += dir;
+  return rank_of(c);
+}
+
+Decomposition::Decomposition(const Box& box, const ProcessGrid& pgrid)
+    : box_(box), pgrid_(pgrid) {}
+
+CellGrid Decomposition::aligned_grid(double rcut) const {
+  SCMD_REQUIRE(rcut > 0.0, "cutoff must be positive");
+  Int3 dims;
+  for (int a = 0; a < 3; ++a) {
+    const double region = box_.length(a) / pgrid_.dims()[a];
+    const int per_rank = static_cast<int>(std::floor(region / rcut));
+    SCMD_REQUIRE(per_rank >= 1,
+                 "rank region thinner than the cutoff; reduce the process "
+                 "grid or enlarge the system");
+    dims[a] = per_rank * pgrid_.dims()[a];
+  }
+  return CellGrid::with_dims(box_, dims);
+}
+
+Int3 Decomposition::cells_per_rank(const CellGrid& grid) const {
+  const Int3 gd = grid.dims();
+  const Int3 pd = pgrid_.dims();
+  SCMD_REQUIRE(gd.x % pd.x == 0 && gd.y % pd.y == 0 && gd.z % pd.z == 0,
+               "grid not aligned to the process grid");
+  return {gd.x / pd.x, gd.y / pd.y, gd.z / pd.z};
+}
+
+Int3 Decomposition::brick_lo(const CellGrid& grid, int rank) const {
+  const Int3 l = cells_per_rank(grid);
+  const Int3 c = pgrid_.coord_of(rank);
+  return {c.x * l.x, c.y * l.y, c.z * l.z};
+}
+
+Vec3 Decomposition::region_lo(int rank) const {
+  const Int3 c = pgrid_.coord_of(rank);
+  const Vec3 len = region_lengths();
+  return {c.x * len.x, c.y * len.y, c.z * len.z};
+}
+
+Vec3 Decomposition::region_lengths() const {
+  const Int3 pd = pgrid_.dims();
+  return {box_.length(0) / pd.x, box_.length(1) / pd.y,
+          box_.length(2) / pd.z};
+}
+
+}  // namespace scmd

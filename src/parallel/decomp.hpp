@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file decomp.hpp
+/// Spatial domain decomposition onto a 3D process grid.
+///
+/// Each rank owns an equal rectangular sub-volume of the periodic box
+/// (paper Sec. 1: spatial decomposition).  Every n-body term gets its own
+/// cell grid, built *aligned* to the process grid — the global cell count
+/// per axis is a multiple of the process count, so each rank owns a whole
+/// brick of cells in every grid and the UCP owned-home-cell iteration
+/// partitions the global domain exactly.
+
+#include "cell/grid.hpp"
+#include "geom/box.hpp"
+#include "geom/int3.hpp"
+
+namespace scmd {
+
+/// 3D arrangement of ranks with periodic neighbor topology.
+class ProcessGrid {
+ public:
+  ProcessGrid() = default;
+  explicit ProcessGrid(const Int3& dims);
+
+  /// Near-cubic factorization of P into Px*Py*Pz (Px >= Py >= Pz pattern
+  /// minimizing surface).
+  static ProcessGrid factor(int num_ranks);
+
+  const Int3& dims() const { return dims_; }
+  int num_ranks() const { return static_cast<int>(dims_.volume()); }
+
+  Int3 coord_of(int rank) const;
+  int rank_of(const Int3& coord) const;  // wraps periodically
+
+  /// Rank one step along `axis` in direction `dir` (+1 / -1), periodic.
+  int neighbor(int rank, int axis, int dir) const;
+
+  bool operator==(const ProcessGrid&) const = default;
+
+ private:
+  Int3 dims_{1, 1, 1};
+};
+
+/// Geometry shared by all ranks: box, process grid, and per-n aligned
+/// cell grids.
+class Decomposition {
+ public:
+  Decomposition(const Box& box, const ProcessGrid& pgrid);
+
+  const Box& box() const { return box_; }
+  const ProcessGrid& pgrid() const { return pgrid_; }
+
+  /// Build the cell grid for cutoff rcut aligned to the process grid:
+  /// cells per rank per axis l = floor(region / rcut), so cell side >=
+  /// rcut.  Throws if a rank region is thinner than rcut (grain too fine
+  /// for this cutoff).
+  CellGrid aligned_grid(double rcut) const;
+
+  /// Cells per rank per axis in an aligned grid.
+  Int3 cells_per_rank(const CellGrid& grid) const;
+
+  /// Lower corner (cell coords) of a rank's brick in an aligned grid.
+  Int3 brick_lo(const CellGrid& grid, int rank) const;
+
+  /// Physical lower corner of a rank's region.
+  Vec3 region_lo(int rank) const;
+
+  /// Physical extent of every rank's region (uniform).
+  Vec3 region_lengths() const;
+
+ private:
+  Box box_;
+  ProcessGrid pgrid_;
+};
+
+}  // namespace scmd

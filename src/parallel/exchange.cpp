@@ -1,0 +1,233 @@
+#include "parallel/exchange.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+/// Wire format for ghost import (positions already in the receiver frame).
+struct GhostWire {
+  double x, y, z;
+  std::int64_t gid;
+  std::int32_t type;
+  std::int32_t pad = 0;
+};
+
+/// Wire format for migration.
+struct MigrateWire {
+  double px, py, pz;
+  double vx, vy, vz;
+  std::int64_t gid;
+  std::int32_t type;
+  std::int32_t pad = 0;
+};
+
+constexpr int kTagImportBase = 100;
+constexpr int kTagWritebackBase = 200;
+constexpr int kTagMigrateBase = 300;
+
+}  // namespace
+
+void RankState::clear_ghosts() {
+  ghost_pos.clear();
+  ghost_gid.clear();
+  ghost_type.clear();
+}
+
+HaloExchange::HaloExchange(const Decomposition& decomp, const SlabSpec& slab,
+                           bool both_directions)
+    : decomp_(&decomp), slab_(slab), both_directions_(both_directions) {
+  const Vec3 region = decomp.region_lengths();
+  for (int a = 0; a < 3; ++a) {
+    SCMD_REQUIRE(slab.t_lo[a] >= 0.0 && slab.t_hi[a] >= 0.0,
+                 "slab thickness must be non-negative");
+    SCMD_REQUIRE(slab.t_lo[a] <= region[a] && slab.t_hi[a] <= region[a],
+                 "halo slab thicker than the rank region: grain too fine "
+                 "for this cutoff/pattern");
+    if (!both_directions) {
+      SCMD_REQUIRE(slab.t_lo[a] == 0.0,
+                   "octant import has no lower halo; use both_directions");
+    }
+  }
+}
+
+std::vector<ImportStageRecord> HaloExchange::import(
+    Comm& comm, RankState& state, EngineCounters& counters) const {
+  const ProcessGrid& pg = decomp_->pgrid();
+  const Int3 pcoord = pg.coord_of(comm.rank());
+  const Vec3 lo = decomp_->region_lo(comm.rank());
+  const Vec3 region = decomp_->region_lengths();
+
+  std::vector<ImportStageRecord> stages;
+  int stage_idx = 0;
+
+  // One sub-stage: send my slab for (axis, dir) and receive the matching
+  // slab from the opposite neighbor.  dir = -1 means "send down": my lower
+  // slab becomes the -axis neighbor's upper halo, and I receive my upper
+  // halo from the +axis neighbor.
+  auto run_stage = [&](int axis, int dir) {
+    ImportStageRecord rec;
+    rec.tag = kTagImportBase + stage_idx++;
+    rec.sent_to = pg.neighbor(comm.rank(), axis, dir);
+    rec.received_from = pg.neighbor(comm.rank(), axis, -dir);
+
+    // Select atoms (owned + forwarded ghosts) in the outgoing slab.
+    double sel_lo, sel_hi;
+    if (dir < 0) {
+      sel_lo = lo[axis];
+      sel_hi = lo[axis] + slab_.t_hi[axis];
+    } else {
+      sel_lo = lo[axis] + region[axis] - slab_.t_lo[axis];
+      sel_hi = lo[axis] + region[axis];
+    }
+    // Shift into the receiver's frame when the hop wraps the box.
+    double shift = 0.0;
+    if (dir < 0 && pcoord[axis] == 0) shift = decomp_->box().length(axis);
+    if (dir > 0 && pcoord[axis] == pg.dims()[axis] - 1)
+      shift = -decomp_->box().length(axis);
+
+    std::vector<GhostWire> out;
+    const int total = state.num_total();
+    for (int i = 0; i < total; ++i) {
+      const Vec3& p = state.combined_pos(i);
+      if (p[axis] < sel_lo || p[axis] >= sel_hi) continue;
+      GhostWire w;
+      Vec3 sp = p;
+      sp[axis] += shift;
+      w.x = sp.x;
+      w.y = sp.y;
+      w.z = sp.z;
+      w.gid = state.combined_gid(i);
+      w.type = state.combined_type(i);
+      out.push_back(w);
+      rec.sent.push_back(i);
+    }
+    comm.send(rec.sent_to, rec.tag, pack(out));
+    ++counters.messages;
+    counters.bytes_imported += out.size() * sizeof(GhostWire);
+
+    const std::vector<GhostWire> in =
+        unpack<GhostWire>(comm.recv(rec.received_from, rec.tag));
+    rec.recv_begin = state.num_total();
+    for (const GhostWire& w : in) {
+      state.ghost_pos.push_back({w.x, w.y, w.z});
+      state.ghost_gid.push_back(w.gid);
+      state.ghost_type.push_back(w.type);
+    }
+    rec.recv_end = state.num_total();
+    counters.ghost_atoms_imported += in.size();
+    stages.push_back(std::move(rec));
+  };
+
+  for (int axis = 0; axis < 3; ++axis) {
+    if (slab_.t_hi[axis] > 0.0 || both_directions_) run_stage(axis, -1);
+    if (both_directions_ && slab_.t_lo[axis] > 0.0) run_stage(axis, +1);
+  }
+  return stages;
+}
+
+void HaloExchange::write_back(Comm& comm,
+                              const std::vector<ImportStageRecord>& stages,
+                              RankState& state, std::vector<Vec3>& force,
+                              EngineCounters& counters) const {
+  SCMD_REQUIRE(static_cast<int>(force.size()) == state.num_total(),
+               "force array must cover owned + ghost atoms");
+  // Reverse every import stage: return the forces accumulated on the
+  // ghosts I received, and fold the returned forces for the atoms I sent
+  // (which forwards multi-hop contributions automatically, because `sent`
+  // may reference ghosts from earlier stages whose own write-back runs
+  // later in this reversed loop).
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+    const ImportStageRecord& rec = *it;
+    std::vector<Vec3> out;
+    out.reserve(static_cast<std::size_t>(rec.recv_end - rec.recv_begin));
+    for (int i = rec.recv_begin; i < rec.recv_end; ++i)
+      out.push_back(force[static_cast<std::size_t>(i)]);
+    const int tag = kTagWritebackBase + rec.tag;
+    comm.send(rec.received_from, tag, pack(out));
+    ++counters.messages;
+    counters.bytes_written_back += out.size() * sizeof(Vec3);
+
+    const std::vector<Vec3> in = unpack<Vec3>(comm.recv(rec.sent_to, tag));
+    SCMD_REQUIRE(in.size() == rec.sent.size(),
+                 "write-back size mismatch with sent slab");
+    for (std::size_t k = 0; k < in.size(); ++k)
+      force[static_cast<std::size_t>(rec.sent[k])] += in[k];
+  }
+}
+
+void Migrator::migrate(Comm& comm, RankState& state) const {
+  SCMD_REQUIRE(state.num_ghosts() == 0, "clear ghosts before migrating");
+  const ProcessGrid& pg = decomp_->pgrid();
+  const Vec3 lo = decomp_->region_lo(comm.rank());
+  const Vec3 region = decomp_->region_lengths();
+  const Box& box = decomp_->box();
+
+  // Axis coordinate of an owned atom in the periodic image closest to the
+  // region center: robust direction test at global boundaries.
+  auto centered = [&](double p, int axis) {
+    const double center = lo[axis] + 0.5 * region[axis];
+    const double L = box.length(axis);
+    double u = p;
+    if (u - center > 0.5 * L) u -= L;
+    if (center - u > 0.5 * L) u += L;
+    return u;
+  };
+
+  for (int axis = 0; axis < 3; ++axis) {
+    if (pg.dims()[axis] == 1) continue;  // whole axis is ours
+    for (int dir : {-1, +1}) {
+      const int peer_to = pg.neighbor(comm.rank(), axis, dir);
+      const int peer_from = pg.neighbor(comm.rank(), axis, -dir);
+      const int tag = kTagMigrateBase + axis * 2 + (dir > 0 ? 1 : 0);
+
+      std::vector<MigrateWire> out;
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < state.pos.size(); ++i) {
+        const double u = centered(state.pos[i][axis], axis);
+        const bool leaves = dir < 0 ? (u < lo[axis])
+                                    : (u >= lo[axis] + region[axis]);
+        if (leaves) {
+          const Vec3& p = state.pos[i];
+          const Vec3& v = state.vel[i];
+          out.push_back({p.x, p.y, p.z, v.x, v.y, v.z, state.gid[i],
+                         static_cast<std::int32_t>(state.type[i]), 0});
+        } else {
+          state.pos[w] = state.pos[i];
+          state.vel[w] = state.vel[i];
+          state.gid[w] = state.gid[i];
+          state.type[w] = state.type[i];
+          ++w;
+        }
+      }
+      state.pos.resize(w);
+      state.vel.resize(w);
+      state.gid.resize(w);
+      state.type.resize(w);
+
+      comm.send(peer_to, tag, pack(out));
+      const std::vector<MigrateWire> in =
+          unpack<MigrateWire>(comm.recv(peer_from, tag));
+      for (const MigrateWire& m : in) {
+        state.pos.push_back(box.wrap({m.px, m.py, m.pz}));
+        state.vel.push_back({m.vx, m.vy, m.vz});
+        state.gid.push_back(m.gid);
+        state.type.push_back(static_cast<int>(m.type));
+      }
+    }
+  }
+
+  // Every owned atom must now be inside the region.
+  for (const Vec3& p : state.pos) {
+    for (int a = 0; a < 3; ++a) {
+      const double u = centered(p[a], a);
+      SCMD_REQUIRE(u >= lo[a] - 1e-9 && u < lo[a] + region[a] + 1e-9,
+                   "atom moved more than one rank region in a step");
+    }
+  }
+}
+
+}  // namespace scmd

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file exchange.hpp
+/// Staged atom communication: ghost import, force write-back, migration.
+///
+/// Ghost import follows the paper's forwarded-atom routing (Sec. 4.2):
+/// one slab exchange per axis, where each stage forwards atoms received in
+/// earlier stages, so edge/corner data crosses the machine without
+/// diagonal messages.  The shift-collapse octant pattern needs only the
+/// *upper* halo — one send per axis, 3 messages, data from the 7 upper
+/// neighbor ranks.  Full-shell patterns exchange both directions per axis
+/// — 6 messages, data from all 26 neighbors.
+///
+/// Because SC-MD relaxes the owner-compute rule, forces accumulate on
+/// ghost atoms; write_back() routes those contributions backwards through
+/// the exact reverse of the import stages, summing into the owners.
+///
+/// Positions of owned atoms are kept wrapped in the global box; ghost
+/// copies are stored in the receiving rank's *unwrapped* frame (shifted by
+/// a box length when the import crossed the periodic boundary), so force
+/// kernels use plain Euclidean geometry.
+
+#include <cstdint>
+#include <vector>
+
+#include "engines/counters.hpp"
+#include "geom/vec3.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/decomp.hpp"
+
+namespace scmd {
+
+/// One rank's atom population: owned atoms plus imported ghosts.
+/// Combined indexing: [0, num_owned) owned, then ghosts in arrival order.
+struct RankState {
+  std::vector<Vec3> pos;              ///< owned, wrapped into the box
+  std::vector<Vec3> vel;              ///< owned
+  std::vector<std::int64_t> gid;      ///< owned
+  std::vector<int> type;              ///< owned
+
+  std::vector<Vec3> ghost_pos;        ///< unwrapped frame
+  std::vector<std::int64_t> ghost_gid;
+  std::vector<int> ghost_type;
+
+  int num_owned() const { return static_cast<int>(pos.size()); }
+  int num_ghosts() const { return static_cast<int>(ghost_pos.size()); }
+  int num_total() const { return num_owned() + num_ghosts(); }
+
+  void clear_ghosts();
+
+  /// Position of a combined index (owned or ghost).
+  const Vec3& combined_pos(int i) const {
+    return i < num_owned() ? pos[static_cast<std::size_t>(i)]
+                           : ghost_pos[static_cast<std::size_t>(i - num_owned())];
+  }
+  std::int64_t combined_gid(int i) const {
+    return i < num_owned() ? gid[static_cast<std::size_t>(i)]
+                           : ghost_gid[static_cast<std::size_t>(i - num_owned())];
+  }
+  int combined_type(int i) const {
+    return i < num_owned() ? type[static_cast<std::size_t>(i)]
+                           : ghost_type[static_cast<std::size_t>(i - num_owned())];
+  }
+};
+
+/// Physical halo slab thicknesses around a rank's region.
+struct SlabSpec {
+  Vec3 t_lo;  ///< below the region per axis (zero for octant/SC import)
+  Vec3 t_hi;  ///< above the region per axis
+};
+
+/// Bookkeeping of one import stage, needed to reverse it for write-back.
+struct ImportStageRecord {
+  int sent_to = -1;        ///< peer the stage's slab went to
+  int received_from = -1;  ///< peer the stage's ghosts came from
+  int tag = 0;
+  std::vector<int> sent;   ///< my combined indices that were sent
+  int recv_begin = 0;      ///< ghost range received, combined indices
+  int recv_end = 0;
+};
+
+/// Staged slab exchange for one decomposition.
+class HaloExchange {
+ public:
+  /// `both_directions` selects full-shell (6-stage) vs octant (3-stage)
+  /// routing.  Slab thicknesses must not exceed the rank region (single
+  /// forwarding hop per axis), which is checked here.
+  HaloExchange(const Decomposition& decomp, const SlabSpec& slab,
+               bool both_directions);
+
+  /// Import ghosts into `state` (appends to the ghost arrays).  Counters:
+  /// ghost_atoms_imported, messages, bytes_imported.
+  std::vector<ImportStageRecord> import(Comm& comm, RankState& state,
+                                        EngineCounters& counters) const;
+
+  /// Reverse the import: send accumulated ghost forces back stage by
+  /// stage, adding received contributions into `force` (combined array of
+  /// size state.num_total()).  Counters: messages, bytes_written_back.
+  void write_back(Comm& comm, const std::vector<ImportStageRecord>& stages,
+                  RankState& state, std::vector<Vec3>& force,
+                  EngineCounters& counters) const;
+
+  int num_import_stages() const { return both_directions_ ? 6 : 3; }
+
+ private:
+  const Decomposition* decomp_;
+  SlabSpec slab_;
+  bool both_directions_;
+};
+
+/// Post-drift atom migration: moves owned atoms to the rank whose region
+/// now contains them, one staged exchange per axis in both directions.
+/// Atoms must not move farther than one rank region per step.
+class Migrator {
+ public:
+  explicit Migrator(const Decomposition& decomp) : decomp_(&decomp) {}
+
+  /// Redistribute; on return every owned atom lies in this rank's region
+  /// (verified).  Ghosts must already be cleared.
+  void migrate(Comm& comm, RankState& state) const;
+
+ private:
+  const Decomposition* decomp_;
+};
+
+}  // namespace scmd

@@ -1,0 +1,129 @@
+#include "parallel/parallel_engine.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "parallel/rank_engine.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+std::vector<RankState> scatter_atoms(const ParticleSystem& sys,
+                                     const Decomposition& decomp) {
+  const ProcessGrid& pg = decomp.pgrid();
+  const Vec3 region = decomp.region_lengths();
+  std::vector<RankState> states(static_cast<std::size_t>(pg.num_ranks()));
+  const auto pos = sys.positions();
+  const auto vel = sys.velocities();
+  const auto type = sys.types();
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    const Vec3 p = sys.box().wrap(pos[i]);
+    Int3 pc;
+    for (int a = 0; a < 3; ++a) {
+      int c = static_cast<int>(p[a] / region[a]);
+      if (c >= pg.dims()[a]) c = pg.dims()[a] - 1;
+      pc[a] = c;
+    }
+    RankState& st = states[static_cast<std::size_t>(pg.rank_of(pc))];
+    st.pos.push_back(p);
+    st.vel.push_back(vel[i]);
+    st.gid.push_back(i);
+    st.type.push_back(type[i]);
+  }
+  return states;
+}
+
+ParallelRunResult run_parallel_md(ParticleSystem& sys,
+                                  const ForceField& field,
+                                  const std::string& strategy_name,
+                                  const ProcessGrid& pgrid,
+                                  const ParallelRunConfig& config) {
+  const Decomposition decomp(sys.box(), pgrid);
+  const auto strategy =
+      make_strategy(strategy_name, field, config.measure_force_set);
+  std::vector<RankState> initial = scatter_atoms(sys, decomp);
+
+  const int P = pgrid.num_ranks();
+  std::vector<EngineCounters> rank_counters(static_cast<std::size_t>(P));
+  std::vector<double> rank_energy(static_cast<std::size_t>(P), 0.0);
+
+  // Gather buffers written by each rank for its own atoms (disjoint gids).
+  const std::size_t N = static_cast<std::size_t>(sys.num_atoms());
+  std::vector<Vec3> out_pos(N), out_vel(N), out_force(N);
+
+  Cluster cluster(P);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P));
+  threads.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(cluster, r);
+        RankEngineConfig rc;
+        rc.dt = config.dt;
+        rc.measure_force_set = config.measure_force_set;
+        RankEngine engine(comm, decomp, field, *strategy, rc);
+        engine.set_atoms(std::move(initial[static_cast<std::size_t>(r)]));
+        engine.compute_forces();
+        for (int s = 0; s < config.num_steps; ++s) engine.step();
+
+        rank_energy[static_cast<std::size_t>(r)] = engine.potential_energy();
+        rank_counters[static_cast<std::size_t>(r)] = engine.counters();
+        const RankState& st = engine.state();
+        const auto f = engine.owned_forces();
+        for (int i = 0; i < st.num_owned(); ++i) {
+          const std::size_t g =
+              static_cast<std::size_t>(st.gid[static_cast<std::size_t>(i)]);
+          out_pos[g] = st.pos[static_cast<std::size_t>(i)];
+          out_vel[g] = st.vel[static_cast<std::size_t>(i)];
+          out_force[g] = f[static_cast<std::size_t>(i)];
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Copy the gathered state back into the system.
+  for (std::size_t i = 0; i < N; ++i) {
+    sys.positions()[i] = out_pos[i];
+    sys.velocities()[i] = out_vel[i];
+    sys.forces()[i] = out_force[i];
+  }
+
+  ParallelRunResult result;
+  for (int r = 0; r < P; ++r) {
+    const EngineCounters& c = rank_counters[static_cast<std::size_t>(r)];
+    result.potential_energy += rank_energy[static_cast<std::size_t>(r)];
+    result.total += c;
+    // Componentwise max for load-imbalance analysis.
+    auto maxu = [](std::uint64_t& a, std::uint64_t b) {
+      if (b > a) a = b;
+    };
+    for (std::size_t n = 0; n < c.tuples.size(); ++n) {
+      maxu(result.max_rank.tuples[n].search_steps, c.tuples[n].search_steps);
+      maxu(result.max_rank.tuples[n].chain_candidates,
+           c.tuples[n].chain_candidates);
+      maxu(result.max_rank.tuples[n].cell_visits, c.tuples[n].cell_visits);
+      maxu(result.max_rank.tuples[n].accepted, c.tuples[n].accepted);
+      maxu(result.max_rank.evals[n], c.evals[n]);
+      if (c.force_set[n] > result.max_rank.force_set[n])
+        result.max_rank.force_set[n] = c.force_set[n];
+    }
+    maxu(result.max_rank.list_pairs, c.list_pairs);
+    maxu(result.max_rank.list_scan_steps, c.list_scan_steps);
+    maxu(result.max_rank.ghost_atoms_imported, c.ghost_atoms_imported);
+    maxu(result.max_rank.messages, c.messages);
+    maxu(result.max_rank.bytes_imported, c.bytes_imported);
+    maxu(result.max_rank.bytes_written_back, c.bytes_written_back);
+  }
+  result.runtime_messages = cluster.total_messages();
+  result.runtime_bytes = cluster.total_bytes();
+  return result;
+}
+
+}  // namespace scmd

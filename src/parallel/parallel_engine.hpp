@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file parallel_engine.hpp
+/// Whole-cluster MD driver: scatter a global system onto ranks, run
+/// lock-step MD with real message passing, gather the state back.
+///
+/// This is the correctness vehicle for the parallel algorithms: tests
+/// compare its trajectories, energies, and forces against SerialEngine.
+/// Performance *figures* come from the cluster simulator in src/perf,
+/// which reuses the same per-rank logic without threads.
+
+#include <string>
+#include <vector>
+
+#include "engines/strategy.hpp"
+#include "md/system.hpp"
+#include "parallel/decomp.hpp"
+#include "parallel/exchange.hpp"
+
+namespace scmd {
+
+/// Options for a parallel run.
+struct ParallelRunConfig {
+  double dt = 1.0;
+  int num_steps = 0;               ///< steps after the initial force pass
+  bool measure_force_set = false;
+};
+
+/// Aggregated results of a parallel run.
+struct ParallelRunResult {
+  double potential_energy = 0.0;   ///< global, after the last force pass
+  EngineCounters total;            ///< summed over ranks
+  EngineCounters max_rank;         ///< componentwise max over ranks
+  std::uint64_t runtime_messages = 0;  ///< cluster-wide messages sent
+  std::uint64_t runtime_bytes = 0;
+};
+
+/// Run `num_steps` of MD on `pgrid.num_ranks()` threads.  On return `sys`
+/// holds the final positions/velocities/forces (gathered by global id).
+/// `strategy_name` is "SC", "FS", or "Hybrid".
+ParallelRunResult run_parallel_md(ParticleSystem& sys, const ForceField& field,
+                                  const std::string& strategy_name,
+                                  const ProcessGrid& pgrid,
+                                  const ParallelRunConfig& config);
+
+/// Split a global system into per-rank atom states by region ownership.
+std::vector<RankState> scatter_atoms(const ParticleSystem& sys,
+                                     const Decomposition& decomp);
+
+}  // namespace scmd

@@ -1,0 +1,149 @@
+#include "parallel/rank_engine.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+RankEngine::RankEngine(Comm& comm, const Decomposition& decomp,
+                       const ForceField& field, const ForceStrategy& strategy,
+                       const RankEngineConfig& config)
+    : comm_(comm),
+      decomp_(decomp),
+      field_(field),
+      strategy_(strategy),
+      config_(config),
+      migrator_(decomp) {
+  SCMD_REQUIRE(config.dt > 0.0, "time step must be positive");
+
+  // Aligned grid per active n, plus the physical slab the ghost exchange
+  // must cover: the widest per-axis halo over all grids.
+  SlabSpec slab;
+  bool both = false;
+  for (int n = 2; n <= field.max_n(); ++n) {
+    if (!strategy.needs_grid(n)) continue;
+    const std::size_t ni = static_cast<std::size_t>(n);
+    grid_active_[ni] = true;
+    grids_[ni] =
+        decomp.aligned_grid(strategy.min_cell_size(n, field.rcut(n)));
+    const HaloSpec h = strategy.halo(n);
+    const Vec3 cl = grids_[ni].cell_lengths();
+    for (int a = 0; a < 3; ++a) {
+      slab.t_lo[a] = std::max(slab.t_lo[a], h.lo[a] * cl[a]);
+      slab.t_hi[a] = std::max(slab.t_hi[a], h.hi[a] * cl[a]);
+      if (h.lo[a] > 0) both = true;
+    }
+  }
+  halo_exchange_ = std::make_unique<HaloExchange>(decomp, slab, both);
+}
+
+void RankEngine::set_atoms(RankState state) {
+  state_ = std::move(state);
+  force_.assign(static_cast<std::size_t>(state_.num_owned()), Vec3{});
+}
+
+void RankEngine::build_domains() {
+  for (int n = 2; n <= field_.max_n(); ++n) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    if (!grid_active_[ni]) continue;
+    const CellGrid& grid = grids_[ni];
+    const Int3 brick_lo = decomp_.brick_lo(grid, comm_.rank());
+    const Int3 brick_dims = decomp_.cells_per_rank(grid);
+    const HaloSpec halo = strategy_.halo(n);
+    CellDomain dom(grid, brick_lo, brick_dims, halo);
+
+    const Vec3 cl = grid.cell_lengths();
+    std::vector<DomainAtom> records;
+    records.reserve(static_cast<std::size_t>(state_.num_total()));
+    const int owned = state_.num_owned();
+    for (int i = 0; i < state_.num_total(); ++i) {
+      const Vec3& p = state_.combined_pos(i);
+      // Unwrapped global cell coordinate from the rank-frame position.
+      Int3 gcell{static_cast<int>(std::floor(p.x / cl.x)),
+                 static_cast<int>(std::floor(p.y / cl.y)),
+                 static_cast<int>(std::floor(p.z / cl.z))};
+      if (i < owned) {
+        // Owned atoms are guaranteed inside the brick; clamp away
+        // floating-point edge effects so ownership stays consistent.
+        for (int a = 0; a < 3; ++a) {
+          if (gcell[a] < brick_lo[a]) gcell[a] = brick_lo[a];
+          const int top = brick_lo[a] + brick_dims[a] - 1;
+          if (gcell[a] > top) gcell[a] = top;
+        }
+      }
+      const Int3 local = dom.local_coord(gcell);
+      if (!dom.in_local(local)) continue;  // imported for a wider grid
+      DomainAtom rec;
+      rec.pos = p;
+      rec.type = state_.combined_type(i);
+      rec.gid = state_.combined_gid(i);
+      rec.local_ref = i;
+      rec.local_cell = local;
+      records.push_back(rec);
+    }
+    dom.build(records);
+    domains_[ni] = std::move(dom);
+    domain_forces_[ni].assign(
+        static_cast<std::size_t>(domains_[ni].num_atoms()), Vec3{});
+  }
+}
+
+void RankEngine::fold_forces(const ForceAccum& accum) {
+  for (int n = 2; n <= field_.max_n(); ++n) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    if (accum.f[ni] == nullptr) continue;
+    const auto refs = domains_[ni].local_refs();
+    const std::vector<Vec3>& f = *accum.f[ni];
+    for (std::size_t a = 0; a < f.size(); ++a)
+      force_[static_cast<std::size_t>(refs[a])] += f[a];
+  }
+}
+
+void RankEngine::compute_forces() {
+  state_.clear_ghosts();
+  const std::vector<ImportStageRecord> stages =
+      halo_exchange_->import(comm_, state_, counters_);
+
+  build_domains();
+
+  DomainSet domains;
+  ForceAccum accum;
+  for (int n = 2; n <= field_.max_n(); ++n) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    if (!grid_active_[ni]) continue;
+    domains.dom[ni] = &domains_[ni];
+    accum.f[ni] = &domain_forces_[ni];
+  }
+
+  force_.assign(static_cast<std::size_t>(state_.num_total()), Vec3{});
+  potential_energy_ = strategy_.compute(field_, domains, accum, counters_);
+  fold_forces(accum);
+
+  halo_exchange_->write_back(comm_, stages, state_, force_, counters_);
+}
+
+void RankEngine::step() {
+  // Half-kick + drift on owned atoms.
+  const double dt = config_.dt;
+  const Box& box = decomp_.box();
+  for (int i = 0; i < state_.num_owned(); ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    const double inv_m = 1.0 / field_.mass(state_.type[ii]);
+    state_.vel[ii] += force_[ii] * (0.5 * dt * inv_m);
+    state_.pos[ii] = box.wrap(state_.pos[ii] + state_.vel[ii] * dt);
+  }
+
+  state_.clear_ghosts();
+  migrator_.migrate(comm_, state_);
+
+  compute_forces();
+
+  for (int i = 0; i < state_.num_owned(); ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    state_.vel[ii] +=
+        force_[ii] * (0.5 * dt / field_.mass(state_.type[ii]));
+  }
+}
+
+}  // namespace scmd

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file rank_engine.hpp
+/// Per-rank MD driver: the distributed counterpart of SerialEngine.
+///
+/// Step structure (velocity Verlet around distributed force computation):
+///   1. half-kick + drift on owned atoms
+///   2. migrate atoms that left the rank region
+///   3. import ghost slabs (octant 3-stage or full-shell 6-stage,
+///      depending on the strategy's halo needs)
+///   4. bin owned+ghost atoms into per-n cell domains, run the force
+///      strategy, fold per-domain forces into the combined rank array
+///   5. write ghost-force contributions back to their owners
+///   6. half-kick
+///
+/// The same RankEngine::compute_forces() is reused by the cluster
+/// simulator (src/perf) with an oracle halo fill instead of messages.
+
+#include <array>
+#include <memory>
+
+#include "engines/strategy.hpp"
+#include "parallel/exchange.hpp"
+
+namespace scmd {
+
+/// Rank engine configuration.
+struct RankEngineConfig {
+  double dt = 1.0;
+  bool measure_force_set = false;  ///< forwarded to strategy construction
+};
+
+/// One rank's engine state and step logic.
+class RankEngine {
+ public:
+  /// `decomp`, `field`, and `strategy` must outlive the engine and are
+  /// shared across ranks (all are immutable during a run).
+  RankEngine(Comm& comm, const Decomposition& decomp, const ForceField& field,
+             const ForceStrategy& strategy, const RankEngineConfig& config);
+
+  /// Take ownership of this rank's atoms (gids must be globally unique,
+  /// positions inside the rank region).
+  void set_atoms(RankState state);
+
+  RankState& state() { return state_; }
+  const RankState& state() const { return state_; }
+
+  /// Forces on owned atoms (valid after compute_forces()).
+  std::span<const Vec3> owned_forces() const {
+    return {force_.data(), static_cast<std::size_t>(state_.num_owned())};
+  }
+
+  /// Import ghosts, compute forces, write back.  Leaves ghosts populated
+  /// (they are cleared at the start of the next call / migration).
+  void compute_forces();
+
+  /// One full velocity-Verlet step (forces must be current).
+  void step();
+
+  /// This rank's potential-energy contribution (sum over ranks is the
+  /// global potential energy).
+  double potential_energy() const { return potential_energy_; }
+
+  const EngineCounters& counters() const { return counters_; }
+  void clear_counters() { counters_.clear(); }
+
+ private:
+  void build_domains();
+  void fold_forces(const ForceAccum& accum);
+
+  Comm& comm_;
+  const Decomposition& decomp_;
+  const ForceField& field_;
+  const ForceStrategy& strategy_;
+  RankEngineConfig config_;
+
+  std::unique_ptr<HaloExchange> halo_exchange_;
+  Migrator migrator_;
+
+  RankState state_;
+  std::vector<Vec3> force_;  ///< combined owned+ghost forces
+
+  std::array<CellGrid, kMaxTupleLen + 1> grids_{};
+  std::array<bool, kMaxTupleLen + 1> grid_active_{};
+  std::array<CellDomain, kMaxTupleLen + 1> domains_{};
+  std::array<std::vector<Vec3>, kMaxTupleLen + 1> domain_forces_{};
+
+  double potential_energy_ = 0.0;
+  EngineCounters counters_;
+};
+
+}  // namespace scmd

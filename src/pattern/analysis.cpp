@@ -1,0 +1,116 @@
+#include "pattern/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+std::vector<Int3> cell_coverage(const Pattern& psi) {
+  std::set<Int3> cover;
+  for (const Path& p : psi)
+    for (const Int3& v : p.offsets()) cover.insert(v);
+  return {cover.begin(), cover.end()};
+}
+
+std::size_t cell_footprint(const Pattern& psi) {
+  return cell_coverage(psi).size();
+}
+
+namespace {
+
+bool inside_brick(const Int3& c, const Int3& dims) {
+  return c.x >= 0 && c.x < dims.x && c.y >= 0 && c.y < dims.y && c.z >= 0 &&
+         c.z < dims.z;
+}
+
+std::set<Int3> import_cell_set(const Pattern& psi, const Int3& dims) {
+  SCMD_REQUIRE(dims.x > 0 && dims.y > 0 && dims.z > 0,
+               "brick dims must be positive");
+  // Union over all home cells q in the brick of q + coverage offsets,
+  // keeping only cells outside the brick (Eq. 13-14).  Only home cells
+  // within (coverage radius) of the brick surface can contribute, but the
+  // straightforward full loop is plenty fast for analysis purposes.
+  const std::vector<Int3> cover = cell_coverage(psi);
+  std::set<Int3> out;
+  for (int qx = 0; qx < dims.x; ++qx)
+    for (int qy = 0; qy < dims.y; ++qy)
+      for (int qz = 0; qz < dims.z; ++qz)
+        for (const Int3& v : cover) {
+          const Int3 c = Int3{qx, qy, qz} + v;
+          if (!inside_brick(c, dims)) out.insert(c);
+        }
+  return out;
+}
+
+}  // namespace
+
+long long import_volume(const Pattern& psi, const Int3& dims) {
+  return static_cast<long long>(import_cell_set(psi, dims).size());
+}
+
+std::vector<Int3> import_cells(const Pattern& psi, const Int3& dims) {
+  const auto s = import_cell_set(psi, dims);
+  return {s.begin(), s.end()};
+}
+
+int import_neighbor_count(const Pattern& psi, const Int3& dims) {
+  std::set<Int3> neighbors;
+  for (const Int3& c : import_cell_set(psi, dims)) {
+    const Int3 rank_off{floor_div(c.x, dims.x), floor_div(c.y, dims.y),
+                        floor_div(c.z, dims.z)};
+    if (rank_off != Int3{0, 0, 0}) neighbors.insert(rank_off);
+  }
+  return static_cast<int>(neighbors.size());
+}
+
+namespace {
+
+long long ipow(long long base, int exp) {
+  long long r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+long long step_count(int reach) {
+  SCMD_REQUIRE(reach >= 1 && reach <= 4, "reach out of range");
+  const long long w = 2LL * reach + 1;
+  return w * w * w;
+}
+
+}  // namespace
+
+long long fs_pattern_size(int n, int reach) {
+  SCMD_REQUIRE(n >= 2 && n <= kMaxTupleLen, "tuple length out of range");
+  return ipow(step_count(reach), n - 1);
+}
+
+long long non_collapsible_count(int n, int reach) {
+  SCMD_REQUIRE(n >= 2 && n <= kMaxTupleLen, "tuple length out of range");
+  // A self-reflective path mirrors around its midpoint with v0 = 0 fixed:
+  // ceil(n/2) - 1 free neighbor steps.
+  return ipow(step_count(reach), (n + 1) / 2 - 1);
+}
+
+long long sc_pattern_size(int n, int reach) {
+  return (fs_pattern_size(n, reach) + non_collapsible_count(n, reach)) / 2;
+}
+
+long long sc_import_volume(int l, int n, int reach) {
+  SCMD_REQUIRE(l >= 1, "brick side must be positive");
+  const long long L = l, m = l + static_cast<long long>(reach) * (n - 1);
+  return m * m * m - L * L * L;
+}
+
+long long fs_import_volume(int l, int n, int reach) {
+  SCMD_REQUIRE(l >= 1, "brick side must be positive");
+  const long long L = l, m = l + 2LL * reach * (n - 1);
+  return m * m * m - L * L * L;
+}
+
+}  // namespace scmd

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Quantitative analysis of computation patterns (paper Sec. 3.1.3, 4).
+///
+/// These functions compute the two cost drivers of the optimal UCP-MD
+/// problem: the search cost, proportional to |Ψ| (Lemma 5 / Eq. 24), and
+/// the parallel import volume (Eq. 14), i.e. the number of ghost cells a
+/// rank owning an l×l×l cell brick must fetch from neighbors.
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/int3.hpp"
+#include "pattern/pattern.hpp"
+
+namespace scmd {
+
+/// Cell coverage Π(Ψ): the distinct cell offsets touched by any path, i.e.
+/// the cells needed to evaluate one home cell's search space.  Sorted.
+std::vector<Int3> cell_coverage(const Pattern& psi);
+
+/// Cell footprint |Π(Ψ)|.
+std::size_t cell_footprint(const Pattern& psi);
+
+/// Import volume for a rank owning the cell brick [0, dims): the number of
+/// covered cells lying outside the brick (Eq. 14), enumerated exactly.
+/// Offsets are NOT wrapped — this is the per-rank ghost count, which is
+/// what communication pays for even under global periodic boundaries.
+long long import_volume(const Pattern& psi, const Int3& dims);
+
+/// The distinct out-of-brick cell coordinates themselves (sorted); the
+/// halo-exchange planner consumes this.
+std::vector<Int3> import_cells(const Pattern& psi, const Int3& dims);
+
+/// Number of distinct neighbor ranks the imports come from, assuming
+/// neighbor ranks own same-shape bricks tiling space: counts distinct
+/// nonzero brick offsets floor(c / dims) over import cells.
+int import_neighbor_count(const Pattern& psi, const Int3& dims);
+
+/// --- Closed forms from the paper -------------------------------------
+/// All take the sub-cutoff generalization parameter `reach` (cells of
+/// side >= rcut/reach; reach = 1 is the paper's setting), with the step
+/// count s = (2·reach+1)^3 replacing 27.
+
+/// |Ψ_FS(n)| = s^{n-1}  (Eq. 25).
+long long fs_pattern_size(int n, int reach = 1);
+
+/// Number of self-reflective (non-collapsible) paths = s^{ceil(n/2)-1}
+/// (paper Eq. 27; see DESIGN.md for the corrected exponent).
+long long non_collapsible_count(int n, int reach = 1);
+
+/// |Ψ_SC(n)| = (s^{n-1} + s^{ceil(n/2)-1}) / 2  (Eq. 29).
+long long sc_pattern_size(int n, int reach = 1);
+
+/// SC import volume for a cubic l^3 brick: (l + reach(n-1))^3 - l^3
+/// (Eq. 33 for reach = 1).
+long long sc_import_volume(int l, int n, int reach = 1);
+
+/// FS import volume for a cubic l^3 brick: (l + 2·reach(n-1))^3 - l^3
+/// (the full shell extends in both directions on every axis).
+long long fs_import_volume(int l, int n, int reach = 1);
+
+}  // namespace scmd

@@ -1,0 +1,115 @@
+#include "pattern/generate.hpp"
+
+#include <map>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+Pattern generate_fs(int n, int reach) {
+  SCMD_REQUIRE(n >= 2 && n <= kMaxTupleLen, "tuple length out of range");
+  SCMD_REQUIRE(reach >= 1 && reach <= 4, "reach out of range");
+  Pattern psi(n, reach == 1
+                     ? "FS(" + std::to_string(n) + ")"
+                     : "FS(" + std::to_string(n) + ",k=" +
+                           std::to_string(reach) + ")");
+
+  // (n-1)-fold nested loop over neighbor steps (paper Table 3), expressed
+  // as depth-first extension so n is a runtime value: each level appends
+  // one of the (2·reach+1)^3 offsets v_{k+1} = v_k + d.
+  const int w = 2 * reach + 1;
+  const int steps = w * w * w;
+  long long total = 1;
+  for (int k = 1; k < n; ++k) total *= steps;
+  SCMD_REQUIRE(total <= (1LL << 24),
+               "pattern too large to materialize; lower n or reach");
+  Path p;
+  p.push_back({0, 0, 0});
+  auto extend = [&](auto&& self) -> void {
+    if (p.size() == n) {
+      psi.add(p);
+      return;
+    }
+    const Int3 tail = p[p.size() - 1];
+    for (int d = 0; d < steps; ++d) {
+      p.push_back(tail + Int3{d / (w * w) - reach, (d / w) % w - reach,
+                              d % w - reach});
+      self(self);
+      p.pop_back();
+    }
+  };
+  extend(extend);
+
+  psi.set_collapsed(false);
+  return psi;
+}
+
+Pattern oc_shift(const Pattern& psi) {
+  Pattern out(psi.n(), psi.name() + "+OC");
+  out.set_collapsed(psi.collapsed());
+  for (const Path& p : psi) {
+    // Shift so the lower corner of the path's bounding brick sits at the
+    // origin: all offsets become non-negative (first octant).
+    out.add(p.shifted(-p.min_corner()));
+  }
+  return out;
+}
+
+Pattern r_collapse(const Pattern& psi) {
+  Pattern out(psi.n(), psi.name() + "+RC");
+  out.set_collapsed(true);
+  std::map<Path, bool> seen;  // reflection_key -> kept
+  for (const Path& p : psi) {
+    auto [it, inserted] = seen.emplace(p.reflection_key(), true);
+    if (inserted) out.add(p);
+  }
+  return out;
+}
+
+Pattern r_collapse_pairwise(const Pattern& psi) {
+  // Table 5 verbatim: start from Ψ, and for every ordered pair (p, p') with
+  // σ(p') == σ(p^{-1}), remove p' (unless p' is p itself, i.e. the path is
+  // self-reflective, or p was already removed).
+  std::vector<Path> paths(psi.begin(), psi.end());
+  std::vector<bool> removed(paths.size(), false);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (removed[i]) continue;
+    const Path inv_sigma = paths[i].inverse().sigma();
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      if (removed[j]) continue;
+      if (paths[j].sigma() == inv_sigma ||
+          paths[j].sigma() == paths[i].sigma()) {
+        removed[j] = true;
+      }
+    }
+  }
+  Pattern out(psi.n(), psi.name() + "+RCpw");
+  out.set_collapsed(true);
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    if (!removed[i]) out.add(paths[i]);
+  return out;
+}
+
+Pattern make_sc(int n, int reach) {
+  Pattern psi = r_collapse(oc_shift(generate_fs(n, reach)));
+  psi.set_name(reach == 1 ? "SC(" + std::to_string(n) + ")"
+                          : "SC(" + std::to_string(n) + ",k=" +
+                                std::to_string(reach) + ")");
+  return psi;
+}
+
+Pattern make_fs(int n, int reach) { return generate_fs(n, reach); }
+
+Pattern make_hs() {
+  Pattern psi = r_collapse(generate_fs(2));
+  psi.set_name("HS");
+  return psi;
+}
+
+Pattern make_es() {
+  Pattern psi = oc_shift(make_hs());
+  psi.set_name("ES");
+  return psi;
+}
+
+}  // namespace scmd

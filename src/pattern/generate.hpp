@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file generate.hpp
+/// The shift-collapse algorithm and the classic shell patterns.
+///
+/// Pipeline (paper Table 2):
+///
+///     Ψ_SC(n) = R-COLLAPSE( OC-SHIFT( GENERATE-FS(n) ) )
+///
+///  - GENERATE-FS(n): all 27^{n-1} nearest-neighbor paths starting at the
+///    home cell (Table 3).  n-complete by Lemma 1.
+///  - OC-SHIFT: translate each path into the first octant (Table 4);
+///    force-set-preserving by Theorem 1, shrinks cell coverage to
+///    c[0, n-1] and thus the parallel import volume (Sec. 4.2).
+///  - R-COLLAPSE: drop one path of every reflective-twin pair
+///    σ(p') = σ(p^{-1}) (Table 5); force-set-preserving by Lemmas 3-4,
+///    halves the search cost (Sec. 4.1).
+///
+/// For n = 2 these reduce to the classic shell methods (Sec. 4.3):
+/// half-shell = R-COLLAPSE(FS), eighth-shell = OC-SHIFT(half-shell) = SC(2).
+
+#include "pattern/pattern.hpp"
+
+namespace scmd {
+
+/// GENERATE-FS(n): the full-shell pattern, |Ψ| = 27^{n-1}.
+///
+/// `reach` generalizes to sub-cutoff cells (paper Sec. 6, midpoint-method
+/// style): with cell side >= rcut/reach, a chain step spans at most
+/// `reach` cells per axis, so paths take steps in {-reach..reach}^3 and
+/// |Ψ| = (2·reach+1)^{3(n-1)}.  reach = 1 is the classic cell method.
+Pattern generate_fs(int n, int reach = 1);
+
+/// OC-SHIFT: translate every path so all offsets are non-negative
+/// (first-octant compression).  Preserves the force set (Theorem 1).
+Pattern oc_shift(const Pattern& psi);
+
+/// R-COLLAPSE: remove reflective twins.  Canonical-key implementation:
+/// paths are bucketed by reflection_key() and one representative per key is
+/// kept (first in input order).  O(|Ψ| log |Ψ|).
+Pattern r_collapse(const Pattern& psi);
+
+/// Literal transcription of the paper's doubly nested R-COLLAPSE
+/// (Table 5), O(|Ψ|²).  Kept for validation: must produce a pattern
+/// equivalent to r_collapse() with equal size.  Use only for small n.
+Pattern r_collapse_pairwise(const Pattern& psi);
+
+/// The shift-collapse pattern Ψ_SC(n) (paper Table 2).  `reach` selects
+/// the sub-cutoff cell generalization (see generate_fs); OC-SHIFT and
+/// R-COLLAPSE apply unchanged because Theorem 1 and Lemma 3 are
+/// independent of the step set.
+Pattern make_sc(int n, int reach = 1);
+
+/// Full-shell pair/n-tuple pattern — alias of generate_fs with name set.
+Pattern make_fs(int n, int reach = 1);
+
+/// Half-shell pattern for pair computation: R-COLLAPSE(FS(2)), |Ψ| = 14.
+Pattern make_hs();
+
+/// Eighth-shell pattern: OC-SHIFT(HS) == SC(2).
+Pattern make_es();
+
+}  // namespace scmd

@@ -1,0 +1,114 @@
+#include "pattern/path.hpp"
+
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+Path::Path(std::initializer_list<Int3> offsets) {
+  SCMD_REQUIRE(offsets.size() <= kMaxTupleLen, "path longer than kMaxTupleLen");
+  for (const auto& v : offsets) v_[static_cast<size_t>(n_++)] = v;
+}
+
+Path Path::from_span(std::span<const Int3> offsets) {
+  SCMD_REQUIRE(offsets.size() <= kMaxTupleLen, "path longer than kMaxTupleLen");
+  Path p;
+  for (const auto& v : offsets) p.v_[static_cast<size_t>(p.n_++)] = v;
+  return p;
+}
+
+void Path::push_back(const Int3& v) {
+  SCMD_REQUIRE(n_ < kMaxTupleLen, "path capacity exceeded");
+  v_[static_cast<size_t>(n_++)] = v;
+}
+
+void Path::pop_back() {
+  SCMD_REQUIRE(n_ > 0, "pop_back on empty path");
+  --n_;
+}
+
+Path Path::inverse() const {
+  Path out;
+  out.n_ = n_;
+  for (int k = 0; k < n_; ++k)
+    out.v_[static_cast<size_t>(k)] = v_[static_cast<size_t>(n_ - 1 - k)];
+  return out;
+}
+
+Path Path::shifted(const Int3& delta) const {
+  Path out = *this;
+  for (int k = 0; k < n_; ++k) out.v_[static_cast<size_t>(k)] += delta;
+  return out;
+}
+
+Path Path::sigma() const {
+  SCMD_REQUIRE(n_ >= 1, "sigma of empty path");
+  Path out;
+  out.n_ = n_ - 1;
+  for (int k = 0; k + 1 < n_; ++k)
+    out.v_[static_cast<size_t>(k)] =
+        v_[static_cast<size_t>(k + 1)] - v_[static_cast<size_t>(k)];
+  return out;
+}
+
+bool Path::self_reflective() const { return sigma() == inverse().sigma(); }
+
+Int3 Path::min_corner() const {
+  SCMD_REQUIRE(n_ > 0, "min_corner of empty path");
+  Int3 m = v_[0];
+  for (int k = 1; k < n_; ++k) m = Int3::min(m, v_[static_cast<size_t>(k)]);
+  return m;
+}
+
+Int3 Path::max_corner() const {
+  SCMD_REQUIRE(n_ > 0, "max_corner of empty path");
+  Int3 m = v_[0];
+  for (int k = 1; k < n_; ++k) m = Int3::max(m, v_[static_cast<size_t>(k)]);
+  return m;
+}
+
+Path Path::reflection_key() const {
+  const Path a = sigma();
+  const Path b = inverse().sigma();
+  return a <= b ? a : b;
+}
+
+bool Path::in_first_octant() const {
+  for (int k = 0; k < n_; ++k) {
+    const Int3& v = v_[static_cast<size_t>(k)];
+    if (v.x < 0 || v.y < 0 || v.z < 0) return false;
+  }
+  return true;
+}
+
+bool Path::has_unit_steps() const {
+  for (int k = 0; k + 1 < n_; ++k) {
+    if ((v_[static_cast<size_t>(k + 1)] - v_[static_cast<size_t>(k)])
+            .chebyshev() > 1)
+      return false;
+  }
+  return true;
+}
+
+std::strong_ordering Path::operator<=>(const Path& o) const {
+  if (auto c = n_ <=> o.n_; c != 0) return c;
+  for (int k = 0; k < n_; ++k) {
+    if (auto c = v_[static_cast<size_t>(k)] <=> o.v_[static_cast<size_t>(k)];
+        c != 0)
+      return c;
+  }
+  return std::strong_ordering::equal;
+}
+
+bool Path::operator==(const Path& o) const {
+  return (*this <=> o) == std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Path& p) {
+  os << '[';
+  for (int k = 0; k < p.size(); ++k) os << (k ? " " : "") << p[k];
+  return os << ']';
+}
+
+}  // namespace scmd

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file path.hpp
+/// Computation paths — the atoms of the computation-pattern algebra.
+///
+/// A computation path for n-tuple computation (paper Sec. 3.1.2) is a list
+/// of n cell offsets p = (v0, ..., v_{n-1}).  Applied at home cell c(q), the
+/// path generates all n-tuples whose k-th atom lies in cell c(q + vk).
+///
+/// Key operations:
+///  - inverse:  p^{-1} = (v_{n-1}, ..., v0)
+///  - shift:    p + Δ = (v0 + Δ, ..., v_{n-1} + Δ)  (force-set invariant,
+///              Theorem 1)
+///  - sigma:    differential representation σ(p) = (v1-v0, ..., v_{n-1}-v_{n-2});
+///              σ is shift-invariant, and two paths generate the same force
+///              set iff σ(p') = σ(p) or σ(p') = σ(p^{-1}) (Lemma 3).
+
+#include <array>
+#include <compare>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+
+#include "geom/int3.hpp"
+
+namespace scmd {
+
+/// Maximum supported tuple length.  ReaxFF-style force fields reach n = 6
+/// through chain-rule differentiation; 8 leaves headroom.
+inline constexpr int kMaxTupleLen = 8;
+
+/// A fixed-capacity list of cell offsets of length n (2 <= n <= kMaxTupleLen).
+/// Also used with length n-1 for differential representations.
+class Path {
+ public:
+  Path() = default;
+
+  /// Construct from explicit offsets, e.g. Path{{0,0,0}, {1,0,1}}.
+  Path(std::initializer_list<Int3> offsets);
+
+  /// Construct from a span of offsets.
+  static Path from_span(std::span<const Int3> offsets);
+
+  int size() const { return n_; }
+
+  const Int3& operator[](int k) const { return v_[static_cast<size_t>(k)]; }
+  Int3& operator[](int k) { return v_[static_cast<size_t>(k)]; }
+
+  std::span<const Int3> offsets() const {
+    return {v_.data(), static_cast<std::size_t>(n_)};
+  }
+
+  void push_back(const Int3& v);
+
+  /// Remove the last offset.  Requires size() > 0.
+  void pop_back();
+
+  /// Reversed path p^{-1} = (v_{n-1}, ..., v0).
+  Path inverse() const;
+
+  /// Translated path p + delta (Theorem 1: generates the same force set).
+  Path shifted(const Int3& delta) const;
+
+  /// Differential representation σ(p), a Path of length n-1.
+  Path sigma() const;
+
+  /// True if σ(p) == σ(p^{-1}): the path is its own reflective twin
+  /// (Corollary 1), so it generates both orientations of each tuple and an
+  /// intra-path ordering guard is needed during enumeration.
+  bool self_reflective() const;
+
+  /// Componentwise minimum over all offsets (lower corner of the path's
+  /// bounding brick).  Requires size() > 0.
+  Int3 min_corner() const;
+
+  /// Componentwise maximum over all offsets.
+  Int3 max_corner() const;
+
+  /// Canonical reflection key: lexicographic min of σ(p) and σ(p^{-1}).
+  /// Two paths generate the same force set iff their keys are equal (for
+  /// patterns whose paths are pairwise non-equal up to shift, which holds
+  /// for full-shell generation where all paths start at v0 = 0).
+  Path reflection_key() const;
+
+  /// True if all offsets lie in the first octant (all components >= 0).
+  bool in_first_octant() const;
+
+  /// True if consecutive offsets are nearest-neighbor steps
+  /// (Chebyshev distance <= 1), the defining property of full-shell paths.
+  bool has_unit_steps() const;
+
+  /// Lexicographic comparison over (size, offsets); deterministic ordering
+  /// for canonical pattern representations.
+  std::strong_ordering operator<=>(const Path& o) const;
+  bool operator==(const Path& o) const;
+
+ private:
+  std::array<Int3, kMaxTupleLen> v_{};
+  int n_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Path& p);
+
+}  // namespace scmd

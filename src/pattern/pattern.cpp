@@ -1,0 +1,45 @@
+#include "pattern/pattern.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+Pattern::Pattern(int n, std::string name) : n_(n), name_(std::move(name)) {
+  SCMD_REQUIRE(n >= 2 && n <= kMaxTupleLen, "tuple length out of range");
+}
+
+void Pattern::add(const Path& p) {
+  SCMD_REQUIRE(p.size() == n_, "path length does not match pattern n");
+  paths_.push_back(p);
+}
+
+bool Pattern::contains(const Path& p) const {
+  return std::find(paths_.begin(), paths_.end(), p) != paths_.end();
+}
+
+void Pattern::sort() { std::sort(paths_.begin(), paths_.end()); }
+
+bool Pattern::equivalent_to(const Pattern& other) const {
+  if (n_ != other.n_) return false;
+  auto keys = [](const Pattern& psi) {
+    std::vector<Path> out;
+    out.reserve(psi.size());
+    for (const Path& p : psi) out.push_back(p.reflection_key());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  return keys(*this) == keys(other);
+}
+
+std::ostream& operator<<(std::ostream& os, const Pattern& psi) {
+  os << "Pattern(n=" << psi.n() << ", |Psi|=" << psi.size();
+  if (!psi.name().empty()) os << ", " << psi.name();
+  os << ")";
+  return os;
+}
+
+}  // namespace scmd

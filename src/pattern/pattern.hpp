@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file pattern.hpp
+/// Computation patterns Ψ(n): sets of computation paths.
+///
+/// A pattern plus a cell domain defines a force set via the UCP engine
+/// (paper Eq. 9-10).  A pattern is *n-complete* if its force set bounds the
+/// range-limited tuple set Γ*(n) (Eq. 11); completeness of the patterns
+/// built in generate.hpp is established by the paper's Lemmas 1-4 and
+/// checked empirically by the property tests in tests/.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pattern/path.hpp"
+
+namespace scmd {
+
+/// A set of computation paths of common tuple length n.
+///
+/// `collapsed` records whether reflective twins have been removed
+/// (R-COLLAPSE): the tuple enumerator needs it to decide which paths
+/// require an intra-path orientation guard (see tuples/ucp.hpp).
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Construct with tuple length n and optional descriptive name.
+  explicit Pattern(int n, std::string name = {});
+
+  int n() const { return n_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool collapsed() const { return collapsed_; }
+  void set_collapsed(bool c) { collapsed_ = c; }
+
+  std::size_t size() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+
+  const Path& operator[](std::size_t i) const { return paths_[i]; }
+  const std::vector<Path>& paths() const { return paths_; }
+
+  std::vector<Path>::const_iterator begin() const { return paths_.begin(); }
+  std::vector<Path>::const_iterator end() const { return paths_.end(); }
+
+  /// Append a path; its length must equal n().
+  void add(const Path& p);
+
+  /// True if the pattern contains an exactly equal path.
+  bool contains(const Path& p) const;
+
+  /// Sort paths lexicographically — canonical order for comparisons.
+  void sort();
+
+  /// Two patterns are *equivalent* if they generate the same force set for
+  /// every domain: same *set* of σ-reflection keys.  Duplicate keys (e.g.
+  /// reflective twins in a full-shell pattern) add redundant search work but
+  /// not new tuples, so they do not affect equivalence.
+  bool equivalent_to(const Pattern& other) const;
+
+  bool operator==(const Pattern& other) const {
+    return n_ == other.n_ && paths_ == other.paths_;
+  }
+
+ private:
+  int n_ = 0;
+  bool collapsed_ = false;
+  std::string name_;
+  std::vector<Path> paths_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Pattern& psi);
+
+}  // namespace scmd

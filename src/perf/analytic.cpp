@@ -1,0 +1,54 @@
+#include "perf/analytic.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+void check(const SearchCostInputs& in) {
+  SCMD_REQUIRE(in.num_cells > 0 && in.atoms_per_cell > 0.0 &&
+                   in.pattern_size > 0 && in.n >= 2 &&
+                   in.n <= kMaxTupleLen && in.pass_fraction > 0.0,
+               "bad analytic model inputs");
+}
+
+}  // namespace
+
+double predicted_force_set_size(const SearchCostInputs& in) {
+  check(in);
+  return static_cast<double>(in.num_cells) *
+         static_cast<double>(in.pattern_size) *
+         std::pow(in.atoms_per_cell, in.n);
+}
+
+double predicted_chain_candidates(const SearchCostInputs& in) {
+  check(in);
+  return predicted_force_set_size(in) *
+         std::pow(in.pass_fraction, in.n - 1);
+}
+
+double predicted_search_steps(const SearchCostInputs& in) {
+  check(in);
+  // Level 0 scans rho atoms per path; level k >= 1 scans rho atoms per
+  // surviving partial chain, of which a fraction f survive each cutoff
+  // test: steps = |L||Ψ| Σ_k rho^{k+1} f^{max(0,k-1)}.
+  double total = 0.0;
+  for (int k = 0; k < in.n; ++k) {
+    total += std::pow(in.atoms_per_cell, k + 1) *
+             std::pow(in.pass_fraction, k > 0 ? k - 1 : 0);
+  }
+  return static_cast<double>(in.num_cells) *
+         static_cast<double>(in.pattern_size) * total;
+}
+
+double geometric_pass_fraction(double rcut, double cell_len) {
+  SCMD_REQUIRE(rcut > 0.0 && cell_len >= rcut,
+               "cells must be at least the cutoff");
+  const double sphere = 4.0 / 3.0 * M_PI * rcut * rcut * rcut;
+  return sphere / (27.0 * cell_len * cell_len * cell_len);
+}
+
+}  // namespace scmd

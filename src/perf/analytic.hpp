@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file analytic.hpp
+/// Closed-form predictions of the paper's cost analysis (Sec. 4.1),
+/// usable without running any simulation — and tested against the
+/// measured counters of real runs.
+
+#include "pattern/pattern.hpp"
+
+namespace scmd {
+
+/// Inputs of the analytic search-cost model.
+struct SearchCostInputs {
+  long long num_cells = 0;       ///< cells in the domain (|L| of Eq. 24)
+  double atoms_per_cell = 0.0;   ///< <rho_cell>
+  int n = 2;                     ///< tuple length
+  long long pattern_size = 0;    ///< |Ψ(n)|
+  /// Fraction of scanned candidates that pass one chain-cutoff test
+  /// (geometry: ~(4π/3)rcut³ / cell volume for cells of side rcut, i.e.
+  /// ~0.16 of the 27-cell neighborhood, but passed in explicitly).
+  double pass_fraction = 1.0;
+};
+
+/// |S(n)| by Lemma 5 / Eq. 23-24, with the occupancy product taken over
+/// all n cells of each path: |S| = |L|·|Ψ|·rho^n.
+double predicted_force_set_size(const SearchCostInputs& in);
+
+/// Expected chain-candidate count (complete chains passing all n-1
+/// cutoff tests): |L|·|Ψ|·rho^n·f^{n-1}.
+double predicted_chain_candidates(const SearchCostInputs& in);
+
+/// Expected search steps of the per-path enumerator with pruning:
+/// per path, level k scans rho atoms for each surviving partial chain:
+///   steps = |L|·|Ψ|·(rho + rho²·Σ_{k≥0} (rho·f)^k truncated at n-2).
+double predicted_search_steps(const SearchCostInputs& in);
+
+/// The geometric one-step pass fraction for cells of side `cell_len` and
+/// chain cutoff `rcut`: the probability that a uniformly placed atom of
+/// the next path cell lies within rcut of the current chain end,
+/// averaged over the 27 neighbor offsets = (4π/3)rcut³ / (27·cell³).
+double geometric_pass_fraction(double rcut, double cell_len);
+
+}  // namespace scmd

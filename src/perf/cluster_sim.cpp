@@ -1,0 +1,173 @@
+#include "perf/cluster_sim.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "cell/domain.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+ClusterSimulator::ClusterSimulator(const ParticleSystem& sys,
+                                   const ForceField& field)
+    : sys_(sys), field_(field) {}
+
+int import_neighbor_ranks(const ProcessGrid& pgrid, bool octant) {
+  std::set<int> peers;
+  const int self = 0;
+  const Int3 c0 = pgrid.coord_of(self);
+  const int lo = octant ? 0 : -1;
+  for (int dz = lo; dz <= 1; ++dz) {
+    for (int dy = lo; dy <= 1; ++dy) {
+      for (int dx = lo; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int r = pgrid.rank_of(c0 + Int3{dx, dy, dz});
+        if (r != self) peers.insert(r);
+      }
+    }
+  }
+  return static_cast<int>(peers.size());
+}
+
+int modeled_messages(const ProcessGrid& pgrid, bool octant) {
+  if (octant) {
+    // One send per axis whose hop leaves the rank (staged forwarding),
+    // doubled for force write-back.
+    int stages = 0;
+    for (int a = 0; a < 3; ++a)
+      if (pgrid.dims()[a] > 1) ++stages;
+    return 2 * stages;
+  }
+  // Direct per-neighbor messages, import + write-back.
+  return 2 * import_neighbor_ranks(pgrid, /*octant=*/false);
+}
+
+ClusterSample ClusterSimulator::measure(const std::string& strategy_name,
+                                        const ProcessGrid& pgrid,
+                                        int max_sample_ranks,
+                                        bool measure_force_set) const {
+  SCMD_REQUIRE(max_sample_ranks >= 1, "need at least one sampled rank");
+  const Decomposition decomp(sys_.box(), pgrid);
+  const auto strategy =
+      make_strategy(strategy_name, field_, measure_force_set);
+  // Octant-compressed patterns (SC, OC-only) import from the 7 upper
+  // neighbors via staged routing; everything else uses the full shell.
+  const bool octant = strategy_name.rfind("SC", 0) == 0 ||
+                      strategy_name.rfind("OC", 0) == 0;
+
+  // Per-n aligned grids and global bins (shared across sampled ranks).
+  struct GridData {
+    CellGrid grid;
+    GlobalBins bins;
+    HaloSpec halo;
+  };
+  std::vector<std::pair<int, GridData>> grids;  // (n, data)
+  for (int n = 2; n <= field_.max_n(); ++n) {
+    if (!strategy->needs_grid(n)) continue;
+    GridData gd;
+    gd.grid =
+        decomp.aligned_grid(strategy->min_cell_size(n, field_.rcut(n)));
+    gd.bins = bin_globally(gd.grid, sys_.positions());
+    gd.bins.grid = gd.grid;
+    gd.halo = strategy->halo(n);
+    grids.emplace_back(n, std::move(gd));
+  }
+
+  // Sample ranks spread across the grid deterministically.
+  const int P = pgrid.num_ranks();
+  std::vector<int> sample;
+  if (P <= max_sample_ranks) {
+    for (int r = 0; r < P; ++r) sample.push_back(r);
+  } else {
+    for (int k = 0; k < max_sample_ranks; ++k) {
+      sample.push_back(static_cast<int>(
+          (static_cast<long long>(k) * P) / max_sample_ranks));
+    }
+  }
+
+  ClusterSample out;
+  out.ranks_total = P;
+  out.ranks_sampled = static_cast<int>(sample.size());
+
+  EngineCounters sum;
+  const int messages = modeled_messages(pgrid, octant);
+
+  for (int rank : sample) {
+    EngineCounters c;
+    DomainSet domains;
+    ForceAccum accum;
+    std::vector<CellDomain> dom_storage;
+    std::vector<std::vector<Vec3>> f_storage;
+    dom_storage.reserve(grids.size());
+    f_storage.reserve(grids.size());
+
+    std::uint64_t max_ghosts = 0;
+    for (const auto& [n, gd] : grids) {
+      dom_storage.push_back(make_brick_domain(
+          gd.bins, sys_.positions(), sys_.types(),
+          decomp.brick_lo(gd.grid, rank), decomp.cells_per_rank(gd.grid),
+          gd.halo));
+      const CellDomain& dom = dom_storage.back();
+      f_storage.emplace_back(static_cast<std::size_t>(dom.num_atoms()));
+      domains.dom[static_cast<std::size_t>(n)] = &dom;
+      accum.f[static_cast<std::size_t>(n)] = &f_storage.back();
+      const std::uint64_t ghosts = static_cast<std::uint64_t>(
+          dom.num_atoms() - dom.num_owned_atoms());
+      max_ghosts = std::max(max_ghosts, ghosts);
+    }
+
+    strategy->compute(field_, domains, accum, c);
+
+    // Communication model: the physical import covers the largest per-n
+    // ghost population (paper: V_import = max_n V_omega); ghost wire
+    // record is 40 bytes, a returned force 24 bytes.
+    c.ghost_atoms_imported = max_ghosts;
+    c.bytes_imported = max_ghosts * 40;
+    c.bytes_written_back = max_ghosts * 24;
+    c.messages = static_cast<std::uint64_t>(messages);
+
+    // Componentwise max into out.max_rank.
+    auto maxu = [](std::uint64_t& a, std::uint64_t b) {
+      if (b > a) a = b;
+    };
+    for (std::size_t n = 0; n < c.tuples.size(); ++n) {
+      maxu(out.max_rank.tuples[n].search_steps, c.tuples[n].search_steps);
+      maxu(out.max_rank.tuples[n].chain_candidates,
+           c.tuples[n].chain_candidates);
+      maxu(out.max_rank.tuples[n].cell_visits, c.tuples[n].cell_visits);
+      maxu(out.max_rank.tuples[n].accepted, c.tuples[n].accepted);
+      maxu(out.max_rank.evals[n], c.evals[n]);
+      if (c.force_set[n] > out.max_rank.force_set[n])
+        out.max_rank.force_set[n] = c.force_set[n];
+    }
+    maxu(out.max_rank.list_pairs, c.list_pairs);
+    maxu(out.max_rank.list_scan_steps, c.list_scan_steps);
+    maxu(out.max_rank.ghost_atoms_imported, c.ghost_atoms_imported);
+    maxu(out.max_rank.messages, c.messages);
+    maxu(out.max_rank.bytes_imported, c.bytes_imported);
+    maxu(out.max_rank.bytes_written_back, c.bytes_written_back);
+
+    sum += c;
+  }
+
+  // Mean over sampled ranks.
+  const std::uint64_t S = static_cast<std::uint64_t>(sample.size());
+  out.mean_rank = sum;
+  for (std::size_t n = 0; n < sum.tuples.size(); ++n) {
+    out.mean_rank.tuples[n].search_steps /= S;
+    out.mean_rank.tuples[n].chain_candidates /= S;
+    out.mean_rank.tuples[n].accepted /= S;
+    out.mean_rank.tuples[n].cell_visits /= S;
+    out.mean_rank.evals[n] /= S;
+    out.mean_rank.force_set[n] /= static_cast<long long>(S);
+  }
+  out.mean_rank.list_pairs /= S;
+  out.mean_rank.list_scan_steps /= S;
+  out.mean_rank.ghost_atoms_imported /= S;
+  out.mean_rank.messages /= S;
+  out.mean_rank.bytes_imported /= S;
+  out.mean_rank.bytes_written_back /= S;
+  return out;
+}
+
+}  // namespace scmd

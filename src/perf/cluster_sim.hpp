@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file cluster_sim.hpp
+/// Virtual-cluster measurement: run the real per-rank force algorithms
+/// for an arbitrary process grid without threads or messages.
+///
+/// For each sampled rank, the rank's per-n cell domains are filled
+/// directly from the global system (an "oracle" halo exchange: the same
+/// atoms, positions, and ghost images the real staged exchange delivers —
+/// verified against it in tests), the force strategy runs for real, and
+/// its deterministic work counters are recorded.  Communication counters
+/// are derived from the measured ghost population and the strategy's
+/// message convention (SC: 3 staged sends + 3 write-backs; FS/Hybrid:
+/// per-neighbor messages).
+///
+/// Because benchmark systems are uniform (paper Sec. 5.3), sampling a few
+/// ranks bounds the max-rank counters well, which lets one process sweep
+/// process grids up to the paper's 2,097,152 MPI tasks.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engines/strategy.hpp"
+#include "md/system.hpp"
+#include "parallel/decomp.hpp"
+
+namespace scmd {
+
+/// Result of one virtual measurement.
+struct ClusterSample {
+  int ranks_total = 0;
+  int ranks_sampled = 0;
+  EngineCounters max_rank;   ///< componentwise max over sampled ranks
+  EngineCounters mean_rank;  ///< componentwise mean (integer division)
+};
+
+/// Measures force-computation work per rank on a virtual process grid.
+class ClusterSimulator {
+ public:
+  /// The system and field must outlive the simulator.
+  ClusterSimulator(const ParticleSystem& sys, const ForceField& field);
+
+  /// Measure `strategy_name` ("SC" / "FS" / "Hybrid") on `pgrid`.
+  /// Samples `max_sample_ranks` ranks spread across the grid (all ranks
+  /// when P <= max_sample_ranks).
+  ClusterSample measure(const std::string& strategy_name,
+                        const ProcessGrid& pgrid, int max_sample_ranks = 4,
+                        bool measure_force_set = false) const;
+
+ private:
+  const ParticleSystem& sys_;
+  const ForceField& field_;
+};
+
+/// Number of distinct neighbor ranks in the import region (octant {0,1}^3
+/// for SC, full shell {-1,0,1}^3 otherwise), excluding self — the
+/// n_comm_nodes of paper Eq. 31 on a finite process grid.
+int import_neighbor_ranks(const ProcessGrid& pgrid, bool octant);
+
+/// Messages per step under the modeling convention: SC uses staged
+/// forwarded routing (one send per axis with a remote peer, for import
+/// and again for write-back); FS/Hybrid send directly to every neighbor
+/// rank (import + write-back).
+int modeled_messages(const ProcessGrid& pgrid, bool octant);
+
+}  // namespace scmd

@@ -1,0 +1,28 @@
+#include "perf/cost_model.hpp"
+
+namespace scmd {
+
+double compute_time(const EngineCounters& c, const PlatformParams& p) {
+  double t = 0.0;
+  for (std::size_t n = 0; n < c.tuples.size(); ++n)
+    t += p.t_search * static_cast<double>(c.tuples[n].search_steps);
+  t += p.t_list_scan * static_cast<double>(c.list_scan_steps);
+  t += p.t_pair_eval * static_cast<double>(c.evals[2]);
+  t += p.t_triplet_eval * static_cast<double>(c.evals[3]);
+  t += p.t_quad_eval * static_cast<double>(c.evals[4]);
+  return t;
+}
+
+double comm_time(const EngineCounters& c, const PlatformParams& p) {
+  const double bytes = static_cast<double>(c.bytes_imported) +
+                       static_cast<double>(c.bytes_written_back);
+  return p.msg_latency * static_cast<double>(c.messages) +
+         bytes / p.bytes_per_s;
+}
+
+StepCost estimate_step(const EngineCounters& max_rank,
+                       const PlatformParams& p) {
+  return {compute_time(max_rank, p), comm_time(max_rank, p)};
+}
+
+}  // namespace scmd

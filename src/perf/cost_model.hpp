@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// Converts per-rank work counters into modeled step time (paper
+/// Eqs. 12, 30-31): T_step = max_rank(T_compute) + max_rank(T_comm),
+/// T_comm = c_bandwidth * V_import + c_latency * n_messages.
+
+#include "engines/counters.hpp"
+#include "perf/platform.hpp"
+
+namespace scmd {
+
+/// Modeled cost of one MD step for one rank (or a max-over-ranks bound).
+struct StepCost {
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+  double total() const { return compute_s + comm_s; }
+};
+
+/// Compute-side cost of one rank's counters.
+double compute_time(const EngineCounters& c, const PlatformParams& p);
+
+/// Communication-side cost of one rank's counters (messages must already
+/// be set according to the strategy's message convention).
+double comm_time(const EngineCounters& c, const PlatformParams& p);
+
+/// Bulk-synchronous step bound from max-over-ranks counters.
+StepCost estimate_step(const EngineCounters& max_rank,
+                       const PlatformParams& p);
+
+}  // namespace scmd

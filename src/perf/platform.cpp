@@ -1,0 +1,51 @@
+#include "perf/platform.hpp"
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+PlatformParams xeon_cluster() {
+  PlatformParams p;
+  p.name = "xeon";
+  // Per-core compute: a distance check in a tight loop is ~2 cycles of
+  // useful work but the surrounding chain bookkeeping lands near 0.6 ns;
+  // many-body evaluations with pow/exp cost tens of ns.
+  p.t_search = 1.2e-9;
+  p.t_list_scan = 1.2e-9;
+  p.t_pair_eval = 45e-9;
+  p.t_triplet_eval = 90e-9;
+  p.t_quad_eval = 140e-9;
+  // Commodity interconnect of the 2013 cluster: a few Gbit effective per
+  // task, tens-of-microseconds effective MPI latency per message.
+  p.bytes_per_s = 250e6;
+  p.msg_latency = 30e-6;
+  p.cores_per_node = 12;
+  return p;
+}
+
+PlatformParams bluegene_q() {
+  PlatformParams p;
+  p.name = "bgq";
+  // A2 cores at 1.6 GHz running 4 MPI tasks/core: per-task scalar work is
+  // roughly 5x slower than the Xeon, evaluations relatively worse.
+  p.t_search = 3.0e-9;
+  p.t_list_scan = 3.0e-9;
+  p.t_pair_eval = 220e-9;
+  p.t_triplet_eval = 450e-9;
+  p.t_quad_eval = 700e-9;
+  // 5D torus: low latency, but 64 tasks per node share the links, so the
+  // effective per-task bandwidth is modest.
+  p.bytes_per_s = 150e6;
+  p.msg_latency = 10e-6;
+  p.cores_per_node = 16;
+  return p;
+}
+
+PlatformParams platform_by_name(const std::string& name) {
+  if (name == "xeon") return xeon_cluster();
+  if (name == "bgq") return bluegene_q();
+  SCMD_REQUIRE(false, "unknown platform: " + name);
+  return {};
+}
+
+}  // namespace scmd

@@ -1,0 +1,67 @@
+#include "potentials/bks.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+constexpr double kE2 = 14.399645;  // e²/(4πε0), eV·Å
+constexpr double kQSi = 2.4;
+constexpr double kQO = -1.2;
+}  // namespace
+
+BksSiO2::BksSiO2(double rcut) : rcut_(rcut), pair_(2) {
+  SCMD_REQUIRE(rcut > 0.0, "cutoff must be positive");
+  PairParams si_si, si_o, o_o;
+  si_si.qq_e2 = kQSi * kQSi * kE2;   // Buckingham terms vanish for Si-Si
+  si_o.qq_e2 = kQSi * kQO * kE2;
+  si_o.A = 18003.7572;
+  si_o.b = 4.87318;
+  si_o.C = 133.5381;
+  o_o.qq_e2 = kQO * kQO * kE2;
+  o_o.A = 1388.7730;
+  o_o.b = 2.76000;
+  o_o.C = 175.0000;
+
+  for (PairParams* p : {&si_si, &si_o, &o_o})
+    raw(*p, rcut_, p->v_shift, p->f_shift);
+  pair_.set(0, 0, si_si);
+  pair_.set(0, 1, si_o);
+  pair_.set(1, 1, o_o);
+}
+
+double BksSiO2::mass(int type) const {
+  SCMD_REQUIRE(type == 0 || type == 1, "unknown silica type");
+  return type == 0 ? 28.0855 : 15.9994;
+}
+
+void BksSiO2::raw(const PairParams& p, double r, double& v, double& dv) {
+  const double inv_r = 1.0 / r;
+  const double coul = p.qq_e2 * inv_r;
+  const double rep = p.A * std::exp(-p.b * r);
+  const double inv_r3 = inv_r * inv_r * inv_r;
+  const double disp = -p.C * inv_r3 * inv_r3;
+  v = coul + rep + disp;
+  dv = -coul * inv_r - p.b * rep - 6.0 * disp * inv_r;
+}
+
+double BksSiO2::eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj,
+                          Vec3& fi, Vec3& fj) const {
+  const Vec3 d = ri - rj;
+  const double r2 = d.norm2();
+  if (r2 >= rcut_ * rcut_) return 0.0;
+  const double r = std::sqrt(r2);
+  const PairParams& p = pair_(ti, tj);
+  double v, dv;
+  raw(p, r, v, dv);
+  const double energy = v - p.v_shift - (r - rcut_) * p.f_shift;
+  const double dvdr = dv - p.f_shift;
+  const Vec3 f = d * (-dvdr / r);
+  fi += f;
+  fj -= f;
+  return energy;
+}
+
+}  // namespace scmd

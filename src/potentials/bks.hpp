@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file bks.hpp
+/// BKS silica (van Beest, Kramer, van Santen, PRL 64, 1955 (1990)).
+///
+/// A pair-only (n = 2) silica model:
+///   V(r) = q_i q_j e²/r + A_ij e^{-b_ij r} − C_ij / r⁶
+/// with shifted-force truncation standing in for Ewald electrostatics
+/// (adequate for enumeration workloads and short thermal runs).
+///
+/// Included as a contrast workload: the same material as VashishtaSiO2
+/// but without a triplet term, isolating how much of SC-MD's cost profile
+/// comes from n = 3 computation.
+///
+/// Note: BKS is famously unbounded at very short separations (the
+/// dispersion term wins below ~1 Å).  No inner guard is applied; callers
+/// should start from physical configurations, as the examples do.
+
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Pair-only BKS silica (types: 0 = Si, 1 = O).
+class BksSiO2 final : public ForceField {
+ public:
+  explicit BksSiO2(double rcut = 5.5);
+
+  std::string name() const override { return "bks-sio2"; }
+  int max_n() const override { return 2; }
+  int num_types() const override { return 2; }
+  double rcut(int n) const override { return n == 2 ? rcut_ : 0.0; }
+  double mass(int type) const override;
+
+  double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                   Vec3& fj) const override;
+
+ private:
+  struct PairParams {
+    double qq_e2 = 0.0;  // q_i q_j e², eV·Å
+    double A = 0.0;      // eV
+    double b = 0.0;      // 1/Å
+    double C = 0.0;      // eV·Å⁶
+    double v_shift = 0.0;
+    double f_shift = 0.0;
+  };
+
+  static void raw(const PairParams& p, double r, double& v, double& dv);
+
+  double rcut_;
+  TypePairTable<PairParams> pair_;
+};
+
+}  // namespace scmd

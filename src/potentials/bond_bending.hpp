@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file bond_bending.hpp
+/// Screened bond-bending three-body term shared by the Vashishta and
+/// Stillinger-Weber potentials:
+///
+///   V3(rc, ra, rb) = B · f(r_ca) · f(r_cb) · G(cosθ)
+///   f(r) = exp(γ / (r − r0))   for r < r0, else 0
+///   G(Δ) = Δ² / (1 + C·Δ²),    Δ = cosθ − cosθ̄
+///
+/// where c is the center atom (angle apex), a/b the ends.  The screening
+/// f(r) diverges exponentially to 0 as r → r0⁻, so the term and its forces
+/// vanish smoothly at the three-body cutoff r0.
+
+#include <cmath>
+
+#include "geom/vec3.hpp"
+
+namespace scmd {
+
+/// Parameters of one bond-bending channel.
+struct BondBendingParams {
+  double B = 0.0;           ///< strength (energy units)
+  double cos_theta0 = 0.0;  ///< cosine of the preferred angle
+  double C = 0.0;           ///< angular stiffness saturation (0 = harmonic in cosθ)
+  double gamma = 1.0;       ///< screening strength (length units)
+  double r0 = 1.0;          ///< three-body cutoff (length units)
+};
+
+/// Evaluate the term for center c with ends a, b.  Adds forces, returns
+/// the energy.  Returns 0 without touching forces if either leg exceeds r0.
+inline double eval_bond_bending(const BondBendingParams& p, const Vec3& rc,
+                                const Vec3& ra, const Vec3& rb, Vec3& fc,
+                                Vec3& fa, Vec3& fb) {
+  if (p.B == 0.0) return 0.0;
+  const Vec3 u = ra - rc;
+  const Vec3 v = rb - rc;
+  const double ru = u.norm();
+  const double rv = v.norm();
+  if (ru >= p.r0 || rv >= p.r0) return 0.0;
+
+  const double fu = std::exp(p.gamma / (ru - p.r0));
+  const double fv = std::exp(p.gamma / (rv - p.r0));
+  const double dfu = -p.gamma / ((ru - p.r0) * (ru - p.r0)) * fu;
+  const double dfv = -p.gamma / ((rv - p.r0) * (rv - p.r0)) * fv;
+
+  const double inv_rurv = 1.0 / (ru * rv);
+  const double cos_t = u.dot(v) * inv_rurv;
+  const double delta = cos_t - p.cos_theta0;
+  const double denom = 1.0 + p.C * delta * delta;
+  const double g = delta * delta / denom;
+  const double dg = 2.0 * delta / (denom * denom);  // dG/d(cosθ)
+
+  const double energy = p.B * fu * fv * g;
+
+  // Gradients of cosθ w.r.t. the end positions.
+  const Vec3 dcos_da = v * inv_rurv - u * (cos_t / (ru * ru));
+  const Vec3 dcos_db = u * inv_rurv - v * (cos_t / (rv * rv));
+
+  // ∇_a V = B [ f'(ru) fv g û + fu fv dg ∇_a cosθ ]
+  const Vec3 grad_a = (p.B * dfu * fv * g / ru) * u +
+                      (p.B * fu * fv * dg) * dcos_da;
+  const Vec3 grad_b = (p.B * fu * dfv * g / rv) * v +
+                      (p.B * fu * fv * dg) * dcos_db;
+
+  fa -= grad_a;
+  fb -= grad_b;
+  fc += grad_a + grad_b;  // momentum conservation: ∇_c V = −(∇_a + ∇_b)V
+  return energy;
+}
+
+}  // namespace scmd

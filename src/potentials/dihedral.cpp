@@ -1,0 +1,100 @@
+#include "potentials/dihedral.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+ChainDihedral::ChainDihedral(const ChainParams& p) : p_(p) {
+  SCMD_REQUIRE(p.epsilon >= 0 && p.rcut2 > 0 && p.rcut4 > 0 && p.mass > 0,
+               "bad chain parameters");
+}
+
+double ChainDihedral::rcut(int n) const {
+  if (n == 2) return p_.rcut2;
+  if (n == 4) return p_.rcut4;
+  return 0.0;
+}
+
+double ChainDihedral::mass(int type) const {
+  SCMD_REQUIRE(type == 0, "chain field is single-species");
+  return p_.mass;
+}
+
+double ChainDihedral::eval_pair(int, int, const Vec3& ri, const Vec3& rj,
+                                Vec3& fi, Vec3& fj) const {
+  const Vec3 d = ri - rj;
+  const double r2 = d.norm2();
+  if (r2 >= p_.rcut2 * p_.rcut2) return 0.0;
+  const double r = std::sqrt(r2);
+  const double x = 1.0 - r / p_.rcut2;
+  const double energy = p_.epsilon * x * x;
+  // dV/dr = −2ε x / rcut2
+  const double dvdr = -2.0 * p_.epsilon * x / p_.rcut2;
+  const Vec3 f = d * (-dvdr / r);
+  fi += f;
+  fj -= f;
+  return energy;
+}
+
+double ChainDihedral::eval_quad(int, int, int, int, const Vec3& ri,
+                                const Vec3& rj, const Vec3& rk, const Vec3& rl,
+                                Vec3& fi, Vec3& fj, Vec3& fk,
+                                Vec3& fl) const {
+  // V = K (1 + cosφ_reg) f(r01) f(r12) f(r23); see the header for why
+  // the regularization and switching functions are needed for dynamic
+  // (non-bonded-topology) 4-tuples.
+  const Vec3 b1 = rj - ri;
+  const Vec3 b2 = rk - rj;
+  const Vec3 b3 = rl - rk;
+  const double rc2 = p_.rcut4 * p_.rcut4;
+  const double r1sq = b1.norm2(), r2sq = b2.norm2(), r3sq = b3.norm2();
+  if (r1sq >= rc2 || r2sq >= rc2 || r3sq >= rc2) return 0.0;
+
+  // Switching factors and their derivatives w.r.t. the squared lengths:
+  // f = (1 - r²/rc²)², df/d(r²) = -2 (1 - r²/rc²) / rc².
+  const double u1 = 1.0 - r1sq / rc2;
+  const double u2 = 1.0 - r2sq / rc2;
+  const double u3 = 1.0 - r3sq / rc2;
+  const double f1 = u1 * u1, f2 = u2 * u2, f3 = u3 * u3;
+  const double df1 = -2.0 * u1 / rc2;
+  const double df2 = -2.0 * u2 / rc2;
+  const double df3 = -2.0 * u3 / rc2;
+
+  const Vec3 m = b1.cross(b2);
+  const Vec3 n = b2.cross(b3);
+  const double m2e = m.norm2() + p_.reg;
+  const double n2e = n.norm2() + p_.reg;
+  const double inv_mn = 1.0 / std::sqrt(m2e * n2e);
+  const double cos_reg = m.dot(n) * inv_mn;
+
+  const double angular = 1.0 + cos_reg;
+  const double fff = f1 * f2 * f3;
+  const double K = p_.K;
+  const double energy = K * angular * fff;
+
+  // --- angular part: d(cos_reg) through m, n --------------------------
+  const Vec3 dcos_dm = n * inv_mn - m * (cos_reg / m2e);
+  const Vec3 dcos_dn = m * inv_mn - n * (cos_reg / n2e);
+  // a·(db×c) = db·(c×a), a·(b×dc) = dc·(a×b):
+  const Vec3 g_b1 = b2.cross(dcos_dm);
+  const Vec3 g_b2 = dcos_dm.cross(b1) + b3.cross(dcos_dn);
+  const Vec3 g_b3 = dcos_dn.cross(b2);
+
+  // --- total gradient w.r.t. the bond vectors -------------------------
+  // dV/d(b_i) = K [ fff * g_bi + angular * d(fff)/d(b_i) ],
+  // d(f_i)/d(b_i) = df_i * 2 b_i * (f over the other two factors).
+  const Vec3 G1 = (K * fff) * g_b1 + (2.0 * K * angular * df1 * f2 * f3) * b1;
+  const Vec3 G2 = (K * fff) * g_b2 + (2.0 * K * angular * f1 * df2 * f3) * b2;
+  const Vec3 G3 = (K * fff) * g_b3 + (2.0 * K * angular * f1 * f2 * df3) * b3;
+
+  // b1 = rj−ri, b2 = rk−rj, b3 = rl−rk: map to per-atom gradients.
+  fi += G1;                 // -(dV/dri) = +G1
+  fj -= G1 - G2;
+  fk -= G2 - G3;
+  fl -= G3;
+  return energy;
+}
+
+}  // namespace scmd

@@ -1,0 +1,25 @@
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+double ForceField::eval_pair(int, int, const Vec3&, const Vec3&, Vec3&,
+                             Vec3&) const {
+  return 0.0;
+}
+
+double ForceField::eval_triplet(int, int, int, const Vec3&, const Vec3&,
+                                const Vec3&, Vec3&, Vec3&, Vec3&) const {
+  return 0.0;
+}
+
+double ForceField::eval_quad(int, int, int, int, const Vec3&, const Vec3&,
+                             const Vec3&, const Vec3&, Vec3&, Vec3&, Vec3&,
+                             Vec3&) const {
+  return 0.0;
+}
+
+double ForceField::eval_chain(int, const int*, const Vec3*, Vec3*) const {
+  return 0.0;
+}
+
+}  // namespace scmd

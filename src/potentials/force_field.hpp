@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file force_field.hpp
+/// Many-body force-field interface.
+///
+/// A force field is a sum of n-body terms Φ = Φ2 + Φ3 + ... + Φ_nmax
+/// (paper Eq. 2), each range-limited by its own cutoff rcut(n) (Eq. 6).
+/// The tuple enumerator hands the field one accepted chain tuple at a
+/// time; the field evaluates the term's energy and accumulates forces on
+/// every tuple member (Eq. 4).
+///
+/// Chain conventions:
+///  - pair (i, j): both orders equivalent, evaluated once.
+///  - triplet (i, j, k): j is the CENTER (apex of the bond angle); the
+///    enumerator guarantees |ri-rj| < rcut(3) and |rj-rk| < rcut(3).
+///  - quadruplet (i, j, k, l): a bonded chain (dihedral-style), with all
+///    consecutive distances < rcut(4).
+
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace scmd {
+
+/// Abstract many-body interatomic potential.
+///
+/// Implementations must be thread-compatible: eval_* methods are const and
+/// touch no mutable state, so concurrent ranks can share one instance.
+class ForceField {
+ public:
+  virtual ~ForceField() = default;
+
+  /// Human-readable identifier ("lennard-jones", "vashishta-sio2", ...).
+  virtual std::string name() const = 0;
+
+  /// Largest n with a non-trivial Φn term (2, 3, or 4).
+  virtual int max_n() const = 0;
+
+  /// Number of atom species the field parameterizes; type indices passed
+  /// to eval_* must be in [0, num_types()).
+  virtual int num_types() const = 0;
+
+  /// Cutoff for the n-body term, 0 if the term is absent.
+  virtual double rcut(int n) const = 0;
+
+  /// Mass of a species in simulation units.
+  virtual double mass(int type) const = 0;
+
+  /// Φ2 contribution of pair (i, j): returns the energy and accumulates
+  /// forces into fi/fj.  Default: no pair term.
+  virtual double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj,
+                           Vec3& fi, Vec3& fj) const;
+
+  /// Φ3 contribution of chain (i, j, k) with center j.
+  virtual double eval_triplet(int ti, int tj, int tk, const Vec3& ri,
+                              const Vec3& rj, const Vec3& rk, Vec3& fi,
+                              Vec3& fj, Vec3& fk) const;
+
+  /// Φ4 contribution of chain (i, j, k, l).
+  virtual double eval_quad(int ti, int tj, int tk, int tl, const Vec3& ri,
+                           const Vec3& rj, const Vec3& rk, const Vec3& rl,
+                           Vec3& fi, Vec3& fj, Vec3& fk, Vec3& fl) const;
+
+  /// Φn contribution of an n-atom chain for n >= 5 (ReaxFF-style
+  /// chain-rule terms reach n = 6).  `type`/`pos`/`force` are arrays of
+  /// length n in chain order; implementations accumulate into `force`
+  /// and return the energy.  Default: no term.
+  virtual double eval_chain(int n, const int* type, const Vec3* pos,
+                            Vec3* force) const;
+};
+
+/// Dense symmetric per-type-pair parameter table.
+template <class T>
+class TypePairTable {
+ public:
+  TypePairTable() = default;
+  explicit TypePairTable(int num_types, const T& fill = T{})
+      : n_(num_types),
+        data_(static_cast<std::size_t>(num_types) * num_types, fill) {}
+
+  const T& operator()(int a, int b) const {
+    return data_[static_cast<std::size_t>(a) * n_ + b];
+  }
+
+  /// Set the (a, b) and (b, a) entries.
+  void set(int a, int b, const T& v) {
+    data_[static_cast<std::size_t>(a) * n_ + b] = v;
+    data_[static_cast<std::size_t>(b) * n_ + a] = v;
+  }
+
+  int num_types() const { return n_; }
+
+ private:
+  int n_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace scmd

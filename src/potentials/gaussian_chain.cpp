@@ -1,0 +1,83 @@
+#include "potentials/gaussian_chain.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+GaussianChain::GaussianChain(const GaussianChainParams& p) : p_(p) {
+  SCMD_REQUIRE(p.epsilon >= 0 && p.rcut2 > 0 && p.rcut5 > 0 && p.w > 0 &&
+                   p.mass > 0,
+               "bad Gaussian-chain parameters");
+}
+
+double GaussianChain::rcut(int n) const {
+  if (n == 2) return p_.rcut2;
+  if (n == 5) return p_.rcut5;
+  return 0.0;
+}
+
+double GaussianChain::mass(int type) const {
+  SCMD_REQUIRE(type == 0, "Gaussian chain is single-species");
+  return p_.mass;
+}
+
+double GaussianChain::eval_pair(int, int, const Vec3& ri, const Vec3& rj,
+                                Vec3& fi, Vec3& fj) const {
+  const Vec3 d = ri - rj;
+  const double r2 = d.norm2();
+  if (r2 >= p_.rcut2 * p_.rcut2) return 0.0;
+  const double r = std::sqrt(r2);
+  const double x = 1.0 - r / p_.rcut2;
+  const double energy = p_.epsilon * x * x;
+  const double dvdr = -2.0 * p_.epsilon * x / p_.rcut2;
+  const Vec3 f = d * (-dvdr / r);
+  fi += f;
+  fj -= f;
+  return energy;
+}
+
+double GaussianChain::eval_chain(int n, const int*, const Vec3* pos,
+                                 Vec3* force) const {
+  if (n != 5) return 0.0;
+  const double rc2 = p_.rcut5 * p_.rcut5;
+
+  // Switching factors per bond and their d/d(r²) (see ChainDihedral).
+  double f[4], df[4];
+  Vec3 b[4];
+  double fff = 1.0;
+  for (int i = 0; i < 4; ++i) {
+    b[i] = pos[i + 1] - pos[i];
+    const double r2 = b[i].norm2();
+    if (r2 >= rc2) return 0.0;
+    const double u = 1.0 - r2 / rc2;
+    f[i] = u * u;
+    df[i] = -2.0 * u / rc2;
+    fff *= f[i];
+  }
+
+  const Vec3 d = pos[4] - pos[0];
+  const double g = std::exp(-d.norm2() / (p_.w * p_.w));
+  const double energy = p_.K * g * fff;
+
+  // End-to-end part: dV/d(r4) = K fff g' · 2d/w² with g' = −g.
+  const Vec3 grad_end = d * (-2.0 * p_.K * fff * g / (p_.w * p_.w));
+  force[0] -= -1.0 * grad_end;  // dV/d(r0) = −grad_end
+  force[4] -= grad_end;
+
+  // Switching part: dV/d(b_i) = K g (Π_{j≠i} f_j) df_i · 2 b_i.
+  for (int i = 0; i < 4; ++i) {
+    double others = 1.0;
+    for (int j = 0; j < 4; ++j) {
+      if (j != i) others *= f[j];
+    }
+    const Vec3 grad_b = b[i] * (2.0 * p_.K * g * others * df[i]);
+    // b_i = r_{i+1} − r_i.
+    force[i] += grad_b;
+    force[i + 1] -= grad_b;
+  }
+  return energy;
+}
+
+}  // namespace scmd

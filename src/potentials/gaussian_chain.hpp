@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file gaussian_chain.hpp
+/// Synthetic n = 5 force field exercising arbitrary-length dynamic tuple
+/// computation (the regime ReaxFF chain-rule differentiation creates,
+/// paper Sec. 1).
+///
+///   - soft repulsive pair term (as in ChainDihedral), and
+///   - an end-to-end Gaussian on every dynamic 5-chain:
+///       V5 = K exp(−|r4−r0|²/w²) · Π_{i=0..3} f(|b_i|)
+///       f(r) = (1 − (r/rcut5)²)²
+///     smooth (C¹) everywhere, vanishing with every chain step at the
+///     cutoff, so dynamic tuple turnover conserves energy.
+
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Parameters for the n = 5 Gaussian-chain field.
+struct GaussianChainParams {
+  double epsilon = 1.0;  ///< pair repulsion strength
+  double rcut2 = 1.0;    ///< pair cutoff
+  double K = 0.02;       ///< 5-chain strength
+  double w = 1.0;        ///< Gaussian width for the end-to-end distance
+  double rcut5 = 0.7;    ///< chain-step cutoff for 5-tuples
+  double mass = 1.0;
+};
+
+/// Pair + end-to-end-Gaussian 5-chain field.
+class GaussianChain final : public ForceField {
+ public:
+  explicit GaussianChain(const GaussianChainParams& p = {});
+
+  std::string name() const override { return "gaussian-chain5"; }
+  int max_n() const override { return 5; }
+  int num_types() const override { return 1; }
+  double rcut(int n) const override;
+  double mass(int type) const override;
+
+  double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                   Vec3& fj) const override;
+
+  double eval_chain(int n, const int* type, const Vec3* pos,
+                    Vec3* force) const override;
+
+ private:
+  GaussianChainParams p_;
+};
+
+}  // namespace scmd

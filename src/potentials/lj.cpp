@@ -1,0 +1,40 @@
+#include "potentials/lj.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+LennardJones::LennardJones(const LjParams& p) : p_(p) {
+  SCMD_REQUIRE(p.epsilon > 0 && p.sigma > 0 && p.rcut > 0 && p.mass > 0,
+               "LJ parameters must be positive");
+  rcut2_ = p.rcut * p.rcut;
+  const double sr6 = std::pow(p.sigma / p.rcut, 6);
+  shift_ = 4.0 * p.epsilon * (sr6 * sr6 - sr6);
+}
+
+double LennardJones::mass(int type) const {
+  SCMD_REQUIRE(type == 0, "LJ is single-species");
+  return p_.mass;
+}
+
+double LennardJones::eval_pair(int, int, const Vec3& ri, const Vec3& rj,
+                               Vec3& fi, Vec3& fj) const {
+  const Vec3 d = ri - rj;
+  const double r2 = d.norm2();
+  if (r2 >= rcut2_) return 0.0;
+  const double inv_r2 = 1.0 / r2;
+  const double s2 = p_.sigma * p_.sigma * inv_r2;
+  const double s6 = s2 * s2 * s2;
+  const double s12 = s6 * s6;
+  const double energy = 4.0 * p_.epsilon * (s12 - s6) - shift_;
+  // F_i = -dV/dr_i = 24 ε (2 s12 - s6) / r^2 * d
+  const double f_over_r = 24.0 * p_.epsilon * (2.0 * s12 - s6) * inv_r2;
+  const Vec3 f = d * f_over_r;
+  fi += f;
+  fj -= f;
+  return energy;
+}
+
+}  // namespace scmd

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file lj.hpp
+/// Truncated-and-shifted Lennard-Jones pair potential.
+///
+/// V(r) = 4ε[(σ/r)^12 − (σ/r)^6] − V_cut, for r < rcut.
+/// The energy shift keeps V continuous at the cutoff; forces are the
+/// unshifted derivative (standard practice for LJ MD).
+
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Lennard-Jones parameters (single species).
+struct LjParams {
+  double epsilon = 1.0;  ///< well depth
+  double sigma = 1.0;    ///< zero-crossing distance
+  double rcut = 2.5;     ///< cutoff radius (in the same length units)
+  double mass = 1.0;     ///< particle mass
+};
+
+/// Single-species Lennard-Jones fluid (e.g. argon in reduced units).
+class LennardJones final : public ForceField {
+ public:
+  explicit LennardJones(const LjParams& p = {});
+
+  std::string name() const override { return "lennard-jones"; }
+  int max_n() const override { return 2; }
+  int num_types() const override { return 1; }
+  double rcut(int n) const override { return n == 2 ? p_.rcut : 0.0; }
+  double mass(int type) const override;
+
+  double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                   Vec3& fj) const override;
+
+  const LjParams& params() const { return p_; }
+
+ private:
+  LjParams p_;
+  double rcut2_ = 0.0;
+  double shift_ = 0.0;  // V(rcut), subtracted from every pair energy
+};
+
+}  // namespace scmd

@@ -1,0 +1,39 @@
+#include "potentials/morse.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+Morse::Morse(const MorseParams& p) : p_(p) {
+  SCMD_REQUIRE(p.De > 0 && p.a > 0 && p.r0 > 0 && p.rcut > p.r0 &&
+                   p.mass > 0,
+               "bad Morse parameters");
+  const double x = 1.0 - std::exp(-p.a * (p.rcut - p.r0));
+  shift_ = p.De * (x * x - 1.0);
+}
+
+double Morse::mass(int type) const {
+  SCMD_REQUIRE(type == 0, "Morse is single-species");
+  return p_.mass;
+}
+
+double Morse::eval_pair(int, int, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                        Vec3& fj) const {
+  const Vec3 d = ri - rj;
+  const double r2 = d.norm2();
+  if (r2 >= p_.rcut * p_.rcut) return 0.0;
+  const double r = std::sqrt(r2);
+  const double e = std::exp(-p_.a * (r - p_.r0));
+  const double x = 1.0 - e;
+  const double energy = p_.De * (x * x - 1.0) - shift_;
+  // dV/dr = 2 De a e (1 - e)
+  const double dvdr = 2.0 * p_.De * p_.a * e * x;
+  const Vec3 f = d * (-dvdr / r);
+  fi += f;
+  fj -= f;
+  return energy;
+}
+
+}  // namespace scmd

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file morse.hpp
+/// Morse pair potential: V(r) = De[(1 − e^{−a(r−r0)})² − 1], truncated
+/// and shifted at the cutoff.  A softer-core alternative to LJ for
+/// metallic-flavored pair workloads.
+
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Morse parameters; defaults approximate copper (eV/Å/amu).
+struct MorseParams {
+  double De = 0.343;   ///< well depth, eV
+  double a = 1.359;    ///< stiffness, 1/Å
+  double r0 = 2.866;   ///< equilibrium distance, Å
+  double rcut = 6.0;   ///< cutoff, Å
+  double mass = 63.546;
+};
+
+/// Single-species Morse fluid/solid.
+class Morse final : public ForceField {
+ public:
+  explicit Morse(const MorseParams& p = {});
+
+  std::string name() const override { return "morse"; }
+  int max_n() const override { return 2; }
+  int num_types() const override { return 1; }
+  double rcut(int n) const override { return n == 2 ? p_.rcut : 0.0; }
+  double mass(int type) const override;
+
+  double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                   Vec3& fj) const override;
+
+  const MorseParams& params() const { return p_; }
+
+ private:
+  MorseParams p_;
+  double shift_ = 0.0;
+};
+
+}  // namespace scmd

@@ -1,0 +1,55 @@
+#include "potentials/stillinger_weber.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+StillingerWeber::StillingerWeber(const SwParams& p) : p_(p) {
+  SCMD_REQUIRE(p.epsilon > 0 && p.sigma > 0 && p.a > 1 && p.mass > 0,
+               "bad SW parameters");
+  rc_ = p.a * p.sigma;
+  bend_ = {p.lambda * p.epsilon, -1.0 / 3.0, 0.0, p.gamma * p.sigma, rc_};
+}
+
+double StillingerWeber::rcut(int n) const {
+  return (n == 2 || n == 3) ? rc_ : 0.0;
+}
+
+double StillingerWeber::mass(int type) const {
+  SCMD_REQUIRE(type == 0, "SW is single-species");
+  return p_.mass;
+}
+
+double StillingerWeber::eval_pair(int, int, const Vec3& ri, const Vec3& rj,
+                                  Vec3& fi, Vec3& fj) const {
+  const Vec3 d = ri - rj;
+  const double r2 = d.norm2();
+  if (r2 >= rc_ * rc_) return 0.0;
+  const double r = std::sqrt(r2);
+  const double sr = p_.sigma / r;
+  const double srp = std::pow(sr, p_.p);
+  const double srq = p_.q == 0.0 ? 1.0 : std::pow(sr, p_.q);
+  const double screen = std::exp(p_.sigma / (r - rc_));
+  const double core = p_.B * srp - srq;
+  const double energy = p_.A * p_.epsilon * core * screen;
+  // dV/dr = Aε screen [ (−pB srp + q srq)/r − core σ/(r−rc)² ]
+  const double dvdr =
+      p_.A * p_.epsilon * screen *
+      ((-p_.p * p_.B * srp + p_.q * srq) / r -
+       core * p_.sigma / ((r - rc_) * (r - rc_)));
+  const Vec3 f = d * (-dvdr / r);
+  fi += f;
+  fj -= f;
+  return energy;
+}
+
+double StillingerWeber::eval_triplet(int, int, int, const Vec3& ri,
+                                     const Vec3& rj, const Vec3& rk, Vec3& fi,
+                                     Vec3& fj, Vec3& fk) const {
+  // Chain (i, j, k): j is the angle center.
+  return eval_bond_bending(bend_, rj, ri, rk, fj, fi, fk);
+}
+
+}  // namespace scmd

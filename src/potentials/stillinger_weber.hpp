@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file stillinger_weber.hpp
+/// Stillinger-Weber potential for silicon (PRB 31, 5262 (1985)).
+///
+/// A second dynamic pair+triplet workload with a single species and
+/// rcut2 == rcut3, exercising the degenerate-cutoff corner of the
+/// n-tuple machinery (the paper's silica workload has rcut3 < rcut2).
+///
+///   V2(r) = A ε [B (σ/r)^p − (σ/r)^q] exp(σ / (r − aσ))     for r < aσ
+///   V3    = λ ε (cosθ − cosθ̄)² exp(γσ/(r_ji − aσ)) exp(γσ/(r_jk − aσ))
+///
+/// with cosθ̄ = −1/3 (tetrahedral).
+
+#include "potentials/bond_bending.hpp"
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Stillinger-Weber parameters; defaults are the original silicon fit.
+struct SwParams {
+  double epsilon = 2.1683;       ///< eV
+  double sigma = 2.0951;         ///< Å
+  double a = 1.80;               ///< cutoff in units of sigma
+  double A = 7.049556277;
+  double B = 0.6022245584;
+  double p = 4.0;
+  double q = 0.0;
+  double lambda = 21.0;
+  double gamma = 1.20;
+  double mass = 28.0855;         ///< amu
+};
+
+/// Single-species Stillinger-Weber silicon.
+class StillingerWeber final : public ForceField {
+ public:
+  explicit StillingerWeber(const SwParams& p = {});
+
+  std::string name() const override { return "stillinger-weber"; }
+  int max_n() const override { return 3; }
+  int num_types() const override { return 1; }
+  double rcut(int n) const override;
+  double mass(int type) const override;
+
+  double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                   Vec3& fj) const override;
+
+  double eval_triplet(int ti, int tj, int tk, const Vec3& ri, const Vec3& rj,
+                      const Vec3& rk, Vec3& fi, Vec3& fj,
+                      Vec3& fk) const override;
+
+  const SwParams& params() const { return p_; }
+
+ private:
+  SwParams p_;
+  double rc_ = 0.0;  // aσ
+  BondBendingParams bend_;
+};
+
+}  // namespace scmd

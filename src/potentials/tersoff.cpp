@@ -1,0 +1,79 @@
+#include "potentials/tersoff.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+TersoffSilicon::TersoffSilicon(const TersoffParams& p) : p_(p) {
+  SCMD_REQUIRE(p.A > 0 && p.B > 0 && p.lambda1 > 0 && p.lambda2 > 0 &&
+                   p.beta > 0 && p.eta > 0 && p.D > 0 && p.R > p.D &&
+                   p.mass > 0,
+               "bad Tersoff parameters");
+}
+
+double TersoffSilicon::mass(int type) const {
+  SCMD_REQUIRE(type == 0, "Tersoff-Si is single-species");
+  return p_.mass;
+}
+
+double TersoffSilicon::eval_pair(int, int, const Vec3&, const Vec3&, Vec3&,
+                                 Vec3&) const {
+  SCMD_REQUIRE(false,
+               "Tersoff bond order is neighborhood-dependent; evaluate "
+               "through BondOrderStrategy");
+  return 0.0;
+}
+
+void TersoffSilicon::cutoff_fn(double r, double& fc, double& dfc) const {
+  const double lo = p_.R - p_.D;
+  const double hi = p_.R + p_.D;
+  if (r < lo) {
+    fc = 1.0;
+    dfc = 0.0;
+  } else if (r >= hi) {
+    fc = 0.0;
+    dfc = 0.0;
+  } else {
+    const double arg = M_PI_2 * (r - p_.R) / p_.D;
+    fc = 0.5 - 0.5 * std::sin(arg);
+    dfc = -0.5 * M_PI_2 / p_.D * std::cos(arg);
+  }
+}
+
+void TersoffSilicon::repulsive(double r, double& fr, double& dfr) const {
+  fr = p_.A * std::exp(-p_.lambda1 * r);
+  dfr = -p_.lambda1 * fr;
+}
+
+void TersoffSilicon::attractive(double r, double& fa, double& dfa) const {
+  fa = -p_.B * std::exp(-p_.lambda2 * r);
+  dfa = -p_.lambda2 * fa;
+}
+
+void TersoffSilicon::angular(double cos_theta, double& g, double& dg) const {
+  const double c2 = p_.c * p_.c;
+  const double d2 = p_.d * p_.d;
+  const double hc = p_.h - cos_theta;
+  const double denom = d2 + hc * hc;
+  g = 1.0 + c2 / d2 - c2 / denom;
+  // dg/d(cosθ): d/dcos [−c²/(d² + (h−cos)²)] = −c² · 2(h−cos) / denom².
+  dg = -2.0 * c2 * hc / (denom * denom);
+}
+
+void TersoffSilicon::bond_order(double zeta, double& b, double& db) const {
+  if (zeta <= 0.0) {
+    b = 1.0;
+    db = 0.0;
+    return;
+  }
+  const double bz = std::pow(p_.beta * zeta, p_.eta);
+  const double base = 1.0 + bz;
+  b = std::pow(base, -1.0 / (2.0 * p_.eta));
+  // db/dζ = −(1/(2η)) base^{−1/(2η)−1} · η (βζ)^{η−1} β
+  //       = −½ base^{−1/(2η)−1} · bz / ζ.
+  db = -0.5 * std::pow(base, -1.0 / (2.0 * p_.eta) - 1.0) * bz / zeta;
+}
+
+}  // namespace scmd

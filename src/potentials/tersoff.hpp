@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file tersoff.hpp
+/// Tersoff bond-order potential for silicon (Tersoff, PRB 38, 9902
+/// (1988); the λ3 = 0 "T2" form).
+///
+/// This is the library's reactive workload: the bond order b_ij depends
+/// on the instantaneous neighborhood (ζ_ij sums over every atom k within
+/// range of i), so bonds strengthen and weaken as atoms move — the
+/// regime that motivates *dynamic* n-tuple computation (paper Sec. 1).
+/// Chain-rule differentiation spreads each pair term's forces over
+/// dynamic (i, j, k) triplets, the same mechanism by which ReaxFF reaches
+/// n = 6.
+///
+///   E = Σ_i Σ_{j≠i} ½ fc(r_ij) [ f_R(r_ij) + b_ij f_A(r_ij) ]
+///   f_R = A e^{−λ1 r},  f_A = −B e^{−λ2 r}
+///   b_ij = (1 + (β ζ_ij)^η)^{−1/(2η)}
+///   ζ_ij = Σ_{k≠i,j} fc(r_ik) g(θ_ijk)
+///   g(θ) = 1 + c²/d² − c² / (d² + (h − cos θ)²)
+///   fc    = smooth taper from 1 to 0 over [R−D, R+D]
+///
+/// Because b_ij couples a pair term to the whole neighborhood, this
+/// field does not fit the independent-tuple ForceField kernels; it is
+/// evaluated by the dedicated BondOrderStrategy (engines/bond_order.hpp),
+/// which performs the two-pass neighborhood computation.
+
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Tersoff parameters; defaults are the Si(B)/"T2" silicon fit.
+struct TersoffParams {
+  double A = 1830.8;       ///< eV
+  double B = 471.18;       ///< eV
+  double lambda1 = 2.4799; ///< 1/Å
+  double lambda2 = 1.7322; ///< 1/Å
+  double beta = 1.1e-6;
+  double eta = 0.78734;    ///< the paper's n
+  double c = 1.0039e5;
+  double d = 16.217;
+  double h = -0.59825;
+  double R = 2.85;         ///< taper center, Å
+  double D = 0.15;         ///< taper half-width, Å
+  double mass = 28.0855;   ///< amu
+};
+
+/// Tersoff silicon.  ForceField plumbing (mass, cutoff) is provided so
+/// engines can host it, but the per-tuple kernels are deliberately
+/// disabled: evaluation requires BondOrderStrategy.
+class TersoffSilicon final : public ForceField {
+ public:
+  explicit TersoffSilicon(const TersoffParams& p = {});
+
+  std::string name() const override { return "tersoff-si"; }
+  int max_n() const override { return 2; }
+  int num_types() const override { return 1; }
+  double rcut(int n) const override {
+    return n == 2 ? p_.R + p_.D : 0.0;
+  }
+  double mass(int type) const override;
+
+  /// Throws: Tersoff cannot be decomposed into independent pair terms.
+  double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                   Vec3& fj) const override;
+
+  const TersoffParams& params() const { return p_; }
+
+  /// --- scalar ingredients (public for the strategy and for tests) ----
+
+  /// Taper fc(r) and its derivative.
+  void cutoff_fn(double r, double& fc, double& dfc) const;
+
+  /// Repulsive f_R and derivative.
+  void repulsive(double r, double& fr, double& dfr) const;
+
+  /// Attractive f_A (negative) and derivative.
+  void attractive(double r, double& fa, double& dfa) const;
+
+  /// Angular g(cosθ) and dg/d(cosθ).
+  void angular(double cos_theta, double& g, double& dg) const;
+
+  /// Bond order b(ζ) and db/dζ.
+  void bond_order(double zeta, double& b, double& db) const;
+
+ private:
+  TersoffParams p_;
+};
+
+}  // namespace scmd

@@ -1,0 +1,117 @@
+#include "potentials/vashishta.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+// Coulomb constant e²/(4πε0) in eV·Å.
+constexpr double kE2 = 14.399645;
+
+// Effective charges (units of e) and screening lengths (Å) of the 1990
+// SiO2 parameterization.
+constexpr double kZSi = 1.2;
+constexpr double kZO = -0.6;
+constexpr double kLambda1 = 4.43;  // Coulomb screening
+constexpr double kLambda4 = 2.5;   // charge-dipole screening
+
+constexpr double kMassSi = 28.0855;  // amu
+constexpr double kMassO = 15.9994;   // amu
+
+}  // namespace
+
+VashishtaSiO2::VashishtaSiO2(double rcut2, double rcut3)
+    : rcut2_(rcut2), rcut3_(rcut3), pair_(2) {
+  SCMD_REQUIRE(rcut2 > 0 && rcut3 > 0 && rcut3 <= rcut2,
+               "need 0 < rcut3 <= rcut2");
+
+  // Steric strengths H_ij (eV·Å^η) and exponents η_ij; charge-dipole
+  // strengths D_ij (eV·Å⁴) — 1990 SiO2 table.
+  PairParams si_si, si_o, o_o;
+  si_si.eta = 11.0;
+  si_si.H = 0.057;
+  si_si.zz_e2 = kZSi * kZSi * kE2;
+  si_si.D = 0.0;
+  si_o.eta = 9.0;
+  si_o.H = 11.387;
+  si_o.zz_e2 = kZSi * kZO * kE2;
+  si_o.D = 3.456;
+  o_o.eta = 7.0;
+  o_o.H = 51.692;
+  o_o.zz_e2 = kZO * kZO * kE2;
+  o_o.D = 1.728;
+
+  for (PairParams* p : {&si_si, &si_o, &o_o}) {
+    raw_pair(*p, rcut2_, p->v_shift, p->f_shift);
+  }
+  pair_.set(kSilicon, kSilicon, si_si);
+  pair_.set(kSilicon, kOxygen, si_o);
+  pair_.set(kOxygen, kOxygen, o_o);
+
+  // Bond-bending channels: O-Si-O at the tetrahedral angle, Si-O-Si at
+  // the bridging angle.  C = 0 in the 1990 set.
+  bend_si_ = {4.993, std::cos(109.47 * M_PI / 180.0), 0.0, 1.0, rcut3_};
+  bend_o_ = {19.972, std::cos(141.0 * M_PI / 180.0), 0.0, 1.0, rcut3_};
+}
+
+double VashishtaSiO2::rcut(int n) const {
+  if (n == 2) return rcut2_;
+  if (n == 3) return rcut3_;
+  return 0.0;
+}
+
+double VashishtaSiO2::mass(int type) const {
+  SCMD_REQUIRE(type == kSilicon || type == kOxygen, "unknown silica type");
+  return type == kSilicon ? kMassSi : kMassO;
+}
+
+void VashishtaSiO2::raw_pair(const PairParams& p, double r, double& v,
+                             double& dv) {
+  const double inv_r = 1.0 / r;
+  const double steric = p.H * std::pow(inv_r, p.eta);
+  const double coul = p.zz_e2 * inv_r * std::exp(-r / kLambda1);
+  const double inv_r4 = inv_r * inv_r * inv_r * inv_r;
+  const double dip = -p.D * inv_r4 * std::exp(-r / kLambda4);
+  v = steric + coul + dip;
+  dv = -p.eta * steric * inv_r + coul * (-inv_r - 1.0 / kLambda1) +
+       dip * (-4.0 * inv_r - 1.0 / kLambda4);
+}
+
+double VashishtaSiO2::eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj,
+                                Vec3& fi, Vec3& fj) const {
+  const Vec3 d = ri - rj;
+  const double r2 = d.norm2();
+  if (r2 >= rcut2_ * rcut2_) return 0.0;
+  const double r = std::sqrt(r2);
+  const PairParams& p = pair_(ti, tj);
+  double v, dv;
+  raw_pair(p, r, v, dv);
+  // Shifted-force truncation: continuous energy and force at rcut2.
+  const double energy = v - p.v_shift - (r - rcut2_) * p.f_shift;
+  const double dvdr = dv - p.f_shift;
+  const Vec3 f = d * (-dvdr / r);  // F_i = −dV/dr · r̂
+  fi += f;
+  fj -= f;
+  return energy;
+}
+
+double VashishtaSiO2::eval_triplet(int ti, int tj, int tk, const Vec3& ri,
+                                   const Vec3& rj, const Vec3& rk, Vec3& fi,
+                                   Vec3& fj, Vec3& fk) const {
+  // Chain (i, j, k): j is the center.  Only O-Si-O and Si-O-Si channels
+  // carry strength.
+  const BondBendingParams* bend = nullptr;
+  if (tj == kSilicon && ti == kOxygen && tk == kOxygen) {
+    bend = &bend_si_;
+  } else if (tj == kOxygen && ti == kSilicon && tk == kSilicon) {
+    bend = &bend_o_;
+  } else {
+    return 0.0;
+  }
+  return eval_bond_bending(*bend, rj, ri, rk, fj, fi, fk);
+}
+
+}  // namespace scmd

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file vashishta.hpp
+/// Vashishta-Kalia-Rino-Ebbsjö interatomic potential for silica (SiO2).
+///
+/// This is the production workload of the paper's benchmarks (Sec. 5):
+/// dynamic pair (n = 2) plus triplet (n = 3) computation with
+/// rcut3 / rcut2 ≈ 0.47.
+///
+/// Two-body (per pair, shifted-force truncated at rcut2):
+///   V2(r) = H_ij / r^η_ij                        (steric repulsion)
+///         + Z_i Z_j e² / r · exp(−r/λ1)          (screened Coulomb)
+///         − D_ij / r⁴ · exp(−r/λ4)               (charge-dipole)
+///
+/// Three-body (center j, screened bond bending, cutoff r0 = rcut3):
+///   V3 = B_jik f(r_ji) f(r_jk) (cosθ − cosθ̄)² / (1 + C(cosθ − cosθ̄)²)
+///
+/// Parameters follow the SiO2 parameterization of Vashishta et al.,
+/// Phys. Rev. B 41, 12197 (1990), as commonly tabulated (e.g. the
+/// LAMMPS SiO2.1990.vashishta file).  Units: eV, Å, amu.
+
+#include "potentials/bond_bending.hpp"
+#include "potentials/force_field.hpp"
+
+namespace scmd {
+
+/// Species indices for the silica field.
+enum SilicaType : int { kSilicon = 0, kOxygen = 1 };
+
+/// SiO2 many-body potential (2- and 3-body terms).
+class VashishtaSiO2 final : public ForceField {
+ public:
+  /// Optional cutoff overrides; defaults are the production values
+  /// rcut2 = 5.5 Å, rcut3 = 2.6 Å (ratio 0.47 as quoted in the paper).
+  explicit VashishtaSiO2(double rcut2 = 5.5, double rcut3 = 2.6);
+
+  std::string name() const override { return "vashishta-sio2"; }
+  int max_n() const override { return 3; }
+  int num_types() const override { return 2; }
+  double rcut(int n) const override;
+  double mass(int type) const override;
+
+  double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
+                   Vec3& fj) const override;
+
+  double eval_triplet(int ti, int tj, int tk, const Vec3& ri, const Vec3& rj,
+                      const Vec3& rk, Vec3& fi, Vec3& fj,
+                      Vec3& fk) const override;
+
+ private:
+  struct PairParams {
+    double eta = 0.0;     // steric exponent
+    double H = 0.0;       // steric strength, eV·Å^eta
+    double zz_e2 = 0.0;   // Z_i Z_j e², eV·Å
+    double D = 0.0;       // charge-dipole strength, eV·Å⁴
+    double v_shift = 0.0; // V2(rc)
+    double f_shift = 0.0; // V2'(rc)
+  };
+
+  /// Raw (untruncated) V2 and its derivative at distance r.
+  static void raw_pair(const PairParams& p, double r, double& v, double& dv);
+
+  double rcut2_, rcut3_;
+  TypePairTable<PairParams> pair_;
+  // Bond-bending channel by center type: Si center bends O-Si-O; O center
+  // bends Si-O-Si.  Triplets with mismatched end types carry zero strength.
+  BondBendingParams bend_si_;  // O-Si-O
+  BondBendingParams bend_o_;   // Si-O-Si
+};
+
+}  // namespace scmd

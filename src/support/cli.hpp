@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line flag parsing for examples and benchmark binaries.
+///
+/// Flags take the form --name=value or --name value; bare --name sets a
+/// boolean.  Unknown flags raise an error so typos in benchmark sweeps fail
+/// loudly instead of silently running the default configuration.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scmd {
+
+/// Parsed command-line arguments with typed, defaulted accessors.
+class Cli {
+ public:
+  /// Parse argv.  `known` lists accepted flag names (without "--"); an
+  /// empty list accepts anything.
+  Cli(int argc, const char* const* argv, std::vector<std::string> known = {});
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace scmd

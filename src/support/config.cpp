@@ -1,0 +1,104 @@
+#include "support/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Config Config::load(const std::string& path) {
+  std::ifstream f(path);
+  SCMD_REQUIRE(f.good(), "cannot open config file " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    SCMD_REQUIRE(eq != std::string::npos,
+                 "config line " + std::to_string(line_no) +
+                     " is not `key = value`: " + line);
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    SCMD_REQUIRE(!key.empty(), "empty key on config line " +
+                                   std::to_string(line_no));
+    const auto [it, inserted] = cfg.values_.emplace(key, value);
+    SCMD_REQUIRE(inserted, "duplicate config key: " + key);
+    cfg.order_.push_back(key);
+  }
+  return cfg;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get(const std::string& key,
+                        const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  SCMD_REQUIRE(end && *end == '\0',
+               "config key " + key + " is not an integer: " + it->second);
+  return v;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  SCMD_REQUIRE(end && *end == '\0',
+               "config key " + key + " is not a number: " + it->second);
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  SCMD_REQUIRE(false, "config key " + key + " is not a boolean: " + v);
+  return fallback;
+}
+
+void Config::require_known(const std::vector<std::string>& known) const {
+  for (const std::string& key : order_) {
+    SCMD_REQUIRE(std::find(known.begin(), known.end(), key) != known.end(),
+                 "unknown config key: " + key);
+  }
+}
+
+}  // namespace scmd

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file config.hpp
+/// INI-lite run-configuration files for the scmd_run driver.
+///
+/// Format: one `key = value` per line; `#` starts a comment; blank lines
+/// ignored.  Keys are case-sensitive.  Typed getters mirror Cli's.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scmd {
+
+/// Parsed key-value configuration.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from a file; throws scmd::Error on I/O or syntax errors.
+  static Config load(const std::string& path);
+
+  /// Parse from a string (testing / inline configs).
+  static Config parse(const std::string& text);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// All keys, in file order.
+  const std::vector<std::string>& keys() const { return order_; }
+
+  /// Throws if any key is not in `known` — typo protection for drivers.
+  void require_known(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace scmd

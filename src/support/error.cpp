@@ -1,0 +1,15 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace scmd {
+
+void fail(const char* expr, const std::string& msg, const char* file,
+          int line) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace scmd

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives used throughout the library.
+///
+/// The library reports precondition violations and unrecoverable states by
+/// throwing scmd::Error.  SCMD_REQUIRE is always active (API contract
+/// checks); SCMD_ASSERT compiles away in release builds (internal
+/// invariants on hot paths).
+
+#include <stdexcept>
+#include <string>
+
+namespace scmd {
+
+/// Exception type thrown on contract violations and unrecoverable errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws scmd::Error with source location info.  Used by the macros below.
+[[noreturn]] void fail(const char* expr, const std::string& msg,
+                       const char* file, int line);
+
+}  // namespace scmd
+
+/// Contract check, always enabled.  Use for public API preconditions.
+#define SCMD_REQUIRE(cond, msg)                           \
+  do {                                                    \
+    if (!(cond)) ::scmd::fail(#cond, (msg), __FILE__, __LINE__); \
+  } while (false)
+
+/// Internal invariant check, disabled when NDEBUG is defined.
+#ifdef NDEBUG
+#define SCMD_ASSERT(cond) ((void)0)
+#else
+#define SCMD_ASSERT(cond)                                  \
+  do {                                                     \
+    if (!(cond)) ::scmd::fail(#cond, "assertion failed", __FILE__, __LINE__); \
+  } while (false)
+#endif

@@ -1,0 +1,104 @@
+#include "support/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SCMD_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+void Table::set_precision(int digits) {
+  SCMD_REQUIRE(digits >= 0 && digits <= 17, "precision out of range");
+  precision_ = digits;
+}
+
+void Table::add_row(std::vector<TableCell> cells) {
+  SCMD_REQUIRE(cells.size() == headers_.size(),
+               "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const TableCell& cell) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<long long>(&cell)) {
+    os << *i;
+  } else {
+    os << std::setprecision(precision_) << std::fixed
+       << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(format_cell(row[c]));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(width[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& r : rendered) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << (c ? "," : "") << escape(headers_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << escape(format_cell(row[c]));
+    os << '\n';
+  }
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  SCMD_REQUIRE(f.good(), "cannot open " + path + " for writing");
+  print_csv(f);
+  SCMD_REQUIRE(f.good(), "write to " + path + " failed");
+}
+
+}  // namespace scmd

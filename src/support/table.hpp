@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned-text and CSV table emission for benchmark harnesses.
+///
+/// Every benchmark binary prints the rows/series the paper reports through
+/// this class, so output formatting is uniform: a human-readable aligned
+/// table on stdout plus optional CSV for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace scmd {
+
+/// A table cell: string, integer, or floating-point value.
+using TableCell = std::variant<std::string, long long, double>;
+
+/// Accumulates rows and renders them either aligned or as CSV.
+class Table {
+ public:
+  /// Construct with column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Set a caption printed above the aligned rendering.
+  void set_title(std::string title);
+
+  /// Number of fractional digits used for double cells (default 4).
+  void set_precision(int digits);
+
+  /// Append one row; must match the header count.
+  void add_row(std::vector<TableCell> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Render as an aligned text table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no title).
+  void print_csv(std::ostream& os) const;
+
+  /// Write CSV to a file; throws scmd::Error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const TableCell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace scmd

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing helpers for benchmarks and engines.
+
+#include <chrono>
+
+namespace scmd {
+
+/// Monotonic stopwatch.  Construction starts the clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals.
+class AccumTimer {
+ public:
+  void start() { t_.reset(); }
+  void stop() { total_ += t_.seconds(); }
+  double total() const { return total_; }
+  void clear() { total_ = 0.0; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+};
+
+}  // namespace scmd

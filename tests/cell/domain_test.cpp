@@ -1,0 +1,178 @@
+#include "cell/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pattern/generate.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+std::vector<Vec3> random_positions(int n, const Box& box, Rng& rng) {
+  std::vector<Vec3> pos;
+  pos.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pos.push_back({rng.uniform(0, box.length(0)),
+                   rng.uniform(0, box.length(1)),
+                   rng.uniform(0, box.length(2))});
+  }
+  return pos;
+}
+
+TEST(HaloForTest, ScPatternNeedsUpperHaloOnly) {
+  const HaloSpec h = halo_for(make_sc(3));
+  EXPECT_EQ(h.lo, (Int3{0, 0, 0}));
+  EXPECT_EQ(h.hi, (Int3{2, 2, 2}));
+}
+
+TEST(HaloForTest, FsPatternNeedsBothSides) {
+  const HaloSpec h = halo_for(generate_fs(2));
+  EXPECT_EQ(h.lo, (Int3{1, 1, 1}));
+  EXPECT_EQ(h.hi, (Int3{1, 1, 1}));
+}
+
+TEST(HaloForTest, MergeTakesMaxima) {
+  const HaloSpec m =
+      merge({{0, 0, 0}, {1, 1, 1}}, {{2, 0, 0}, {0, 3, 0}});
+  EXPECT_EQ(m.lo, (Int3{2, 0, 0}));
+  EXPECT_EQ(m.hi, (Int3{1, 3, 1}));
+}
+
+TEST(CellDomainTest, GeometryBasics) {
+  const CellGrid g = CellGrid::with_dims(Box::cubic(12.0), {4, 4, 4});
+  const CellDomain d(g, {0, 0, 0}, {2, 2, 2}, {{0, 0, 0}, {1, 1, 1}});
+  EXPECT_EQ(d.ext(), (Int3{3, 3, 3}));
+  EXPECT_EQ(d.num_local_cells(), 27);
+  EXPECT_TRUE(d.is_owned_cell({0, 0, 0}));
+  EXPECT_TRUE(d.is_owned_cell({1, 1, 1}));
+  EXPECT_FALSE(d.is_owned_cell({2, 0, 0}));
+  EXPECT_EQ(d.global_coord({2, 2, 2}), (Int3{2, 2, 2}));
+}
+
+TEST(CellDomainTest, CellIndexRoundTrip) {
+  const CellGrid g = CellGrid::with_dims(Box::cubic(12.0), {4, 4, 4});
+  const CellDomain d(g, {0, 0, 0}, {2, 3, 4}, {{1, 0, 1}, {1, 2, 0}});
+  for (long long i = 0; i < d.num_local_cells(); ++i) {
+    EXPECT_EQ(d.cell_index(d.cell_coord(i)), i);
+  }
+}
+
+TEST(CellDomainTest, BuildBinsAtomsByCell) {
+  const CellGrid g = CellGrid::with_dims(Box::cubic(4.0), {4, 4, 4});
+  CellDomain d(g, {0, 0, 0}, {4, 4, 4}, {{0, 0, 0}, {0, 0, 0}});
+  std::vector<DomainAtom> atoms;
+  // Three atoms in cell (1,2,3), one in (0,0,0).
+  for (int k = 0; k < 3; ++k) {
+    atoms.push_back({{1.5, 2.5, 3.5}, 0, k, k, {1, 2, 3}});
+  }
+  atoms.push_back({{0.5, 0.5, 0.5}, 1, 3, 3, {0, 0, 0}});
+  d.build(atoms);
+  EXPECT_EQ(d.num_atoms(), 4);
+  EXPECT_EQ(d.num_owned_atoms(), 4);
+  const auto [a0, a1] = d.cell_range(d.cell_index({1, 2, 3}));
+  EXPECT_EQ(a1 - a0, 3);
+  const auto [b0, b1] = d.cell_range(d.cell_index({0, 0, 0}));
+  EXPECT_EQ(b1 - b0, 1);
+  EXPECT_EQ(d.types()[static_cast<std::size_t>(b0)], 1);
+}
+
+TEST(CellDomainTest, RejectsOutOfLatticeAtoms) {
+  const CellGrid g = CellGrid::with_dims(Box::cubic(4.0), {4, 4, 4});
+  CellDomain d(g, {0, 0, 0}, {2, 2, 2}, {{0, 0, 0}, {0, 0, 0}});
+  std::vector<DomainAtom> atoms{{{0, 0, 0}, 0, 0, 0, {3, 0, 0}}};
+  EXPECT_THROW(d.build(atoms), Error);
+}
+
+TEST(SerialDomainTest, OwnedAtomCountMatches) {
+  const Box box = Box::cubic(12.0);
+  const CellGrid g(box, 3.0);
+  Rng rng(7);
+  const auto pos = random_positions(100, box, rng);
+  const std::vector<int> type(100, 0);
+  const CellDomain d =
+      make_serial_domain(g, halo_for(make_sc(2)), pos, type);
+  EXPECT_EQ(d.num_owned_atoms(), 100);
+  EXPECT_GT(d.num_atoms(), 100);  // ghosts exist
+}
+
+TEST(SerialDomainTest, GhostPositionsAreShiftedImages) {
+  const Box box = Box::cubic(12.0);
+  const CellGrid g(box, 3.0);  // 4x4x4 cells
+  Rng rng(8);
+  const auto pos = random_positions(50, box, rng);
+  const std::vector<int> type(50, 0);
+  const CellDomain d =
+      make_serial_domain(g, {{1, 1, 1}, {1, 1, 1}}, pos, type);
+  const auto dpos = d.positions();
+  const auto gids = d.gids();
+  for (int a = 0; a < d.num_atoms(); ++a) {
+    const Vec3 orig = box.wrap(pos[static_cast<std::size_t>(gids[a])]);
+    const Vec3 diff = dpos[a] - orig;
+    for (int ax = 0; ax < 3; ++ax) {
+      const double r = diff[ax] / box.length(ax);
+      EXPECT_NEAR(r, std::round(r), 1e-9);  // integer multiple of L
+    }
+  }
+}
+
+TEST(SerialDomainTest, GhostCellsMirrorWrappedCells) {
+  const Box box = Box::cubic(9.0);
+  const CellGrid g(box, 3.0);  // 3x3x3
+  Rng rng(9);
+  const auto pos = random_positions(60, box, rng);
+  const std::vector<int> type(60, 0);
+  const HaloSpec halo{{1, 1, 1}, {1, 1, 1}};
+  const CellDomain d = make_serial_domain(g, halo, pos, type);
+  // Each ghost cell holds exactly the same number of atoms as the global
+  // cell it mirrors.
+  const Int3 ext = d.ext();
+  for (int z = 0; z < ext.z; ++z) {
+    for (int y = 0; y < ext.y; ++y) {
+      for (int x = 0; x < ext.x; ++x) {
+        const Int3 local{x, y, z};
+        const Int3 global = d.global_coord(local);
+        const Int3 wrapped = g.wrap_coord(global);
+        const Int3 primary_local = d.local_coord(wrapped);
+        const auto [a0, a1] = d.cell_range(d.cell_index(local));
+        const auto [b0, b1] = d.cell_range(d.cell_index(primary_local));
+        EXPECT_EQ(a1 - a0, b1 - b0);
+      }
+    }
+  }
+}
+
+TEST(SerialDomainTest, HaloBiggerThanGridRejected) {
+  const Box box = Box::cubic(6.0);
+  const CellGrid g(box, 3.0);  // 2x2x2
+  const std::vector<Vec3> pos{{1, 1, 1}};
+  const std::vector<int> type{0};
+  EXPECT_THROW(
+      make_serial_domain(g, {{3, 3, 3}, {3, 3, 3}}, pos, type), Error);
+}
+
+TEST(BrickDomainTest, PartitionCoversAllAtomsExactlyOnce) {
+  const Box box = Box::cubic(12.0);
+  const CellGrid g(box, 3.0);  // 4x4x4
+  Rng rng(10);
+  const auto pos = random_positions(200, box, rng);
+  const std::vector<int> type(200, 0);
+  const GlobalBins bins = bin_globally(g, pos);
+  int total_owned = 0;
+  for (int bx = 0; bx < 2; ++bx) {
+    for (int by = 0; by < 2; ++by) {
+      for (int bz = 0; bz < 2; ++bz) {
+        const CellDomain d =
+            make_brick_domain(bins, pos, type, {bx * 2, by * 2, bz * 2},
+                              {2, 2, 2}, {{0, 0, 0}, {1, 1, 1}});
+        total_owned += d.num_owned_atoms();
+      }
+    }
+  }
+  EXPECT_EQ(total_owned, 200);
+}
+
+}  // namespace
+}  // namespace scmd

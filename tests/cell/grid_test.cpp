@@ -1,0 +1,92 @@
+#include "cell/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(CellGridTest, DimsFromCutoff) {
+  const CellGrid g(Box::cubic(10.0), 2.5);
+  EXPECT_EQ(g.dims(), (Int3{4, 4, 4}));
+  EXPECT_DOUBLE_EQ(g.cell_lengths().x, 2.5);
+  EXPECT_EQ(g.num_cells(), 64);
+}
+
+TEST(CellGridTest, CellsAtLeastCutoff) {
+  // floor() can shrink the count but never the cell size below cutoff.
+  const CellGrid g(Box::cubic(10.0), 3.0);
+  EXPECT_EQ(g.dims(), (Int3{3, 3, 3}));
+  EXPECT_GE(g.min_cell_length(), 3.0);
+}
+
+TEST(CellGridTest, TinyBoxGetsOneCell) {
+  const CellGrid g(Box::cubic(1.0), 2.5);
+  EXPECT_EQ(g.dims(), (Int3{1, 1, 1}));
+}
+
+TEST(CellGridTest, WithDimsExact) {
+  const CellGrid g = CellGrid::with_dims(Box({6.0, 8.0, 10.0}), {3, 4, 5});
+  EXPECT_DOUBLE_EQ(g.cell_lengths().x, 2.0);
+  EXPECT_DOUBLE_EQ(g.cell_lengths().y, 2.0);
+  EXPECT_DOUBLE_EQ(g.cell_lengths().z, 2.0);
+}
+
+TEST(CellGridTest, LinearIndexRoundTrip) {
+  const CellGrid g = CellGrid::with_dims(Box::cubic(1.0), {3, 4, 5});
+  for (long long i = 0; i < g.num_cells(); ++i) {
+    EXPECT_EQ(g.linear_index(g.coord_of(i)), i);
+  }
+}
+
+TEST(CellGridTest, CoordForPositionInRange) {
+  const CellGrid g(Box::cubic(9.0), 3.0);
+  EXPECT_EQ(g.coord_for_position({0.5, 4.0, 8.9}), (Int3{0, 1, 2}));
+  // Positions outside the box wrap first.
+  EXPECT_EQ(g.coord_for_position({9.5, -1.0, 0.0}), (Int3{0, 2, 0}));
+}
+
+TEST(CellGridTest, TopEdgeClamps) {
+  const CellGrid g(Box::cubic(9.0), 3.0);
+  const Int3 q = g.coord_for_position({9.0 - 1e-15, 0.0, 0.0});
+  EXPECT_LT(q.x, 3);
+}
+
+TEST(CellGridTest, WrapCoord) {
+  const CellGrid g = CellGrid::with_dims(Box::cubic(1.0), {4, 4, 4});
+  EXPECT_EQ(g.wrap_coord({-1, 4, 7}), (Int3{3, 0, 3}));
+}
+
+TEST(CellGridTest, ImageShiftMatchesWrapDistance) {
+  const CellGrid g = CellGrid::with_dims(Box::cubic(12.0), {4, 4, 4});
+  // Cell (-1, 4, 0): one image below in x, one above in y.
+  const Vec3 s = g.image_shift({-1, 4, 0});
+  EXPECT_DOUBLE_EQ(s.x, -12.0);
+  EXPECT_DOUBLE_EQ(s.y, 12.0);
+  EXPECT_DOUBLE_EQ(s.z, 0.0);
+}
+
+TEST(CellGridTest, RandomPositionsLandInTheirCell) {
+  const CellGrid g(Box({7.0, 9.0, 11.0}), 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 r{rng.uniform(0, 7), rng.uniform(0, 9), rng.uniform(0, 11)};
+    const Int3 q = g.coord_for_position(r);
+    for (int a = 0; a < 3; ++a) {
+      const double lo = q[a] * g.cell_lengths()[a];
+      const double hi = lo + g.cell_lengths()[a];
+      EXPECT_GE(r[a], lo - 1e-9);
+      EXPECT_LT(r[a], hi + 1e-9);
+    }
+  }
+}
+
+TEST(CellGridTest, RejectsBadArguments) {
+  EXPECT_THROW(CellGrid(Box::cubic(1.0), 0.0), Error);
+  EXPECT_THROW(CellGrid::with_dims(Box::cubic(1.0), {0, 1, 1}), Error);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,210 @@
+// Tersoff bond-order reactive workload: scalar ingredients, whole-system
+// finite-difference forces through the two-pass strategy, diamond-silicon
+// physics, and parallel-vs-serial agreement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/bond_order.hpp"
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/tersoff.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(TersoffScalarsTest, CutoffTaperSmooth) {
+  const TersoffSilicon t;
+  const TersoffParams& p = t.params();
+  double fc, dfc;
+  t.cutoff_fn(p.R - p.D - 0.1, fc, dfc);
+  EXPECT_DOUBLE_EQ(fc, 1.0);
+  EXPECT_DOUBLE_EQ(dfc, 0.0);
+  t.cutoff_fn(p.R + p.D + 0.1, fc, dfc);
+  EXPECT_DOUBLE_EQ(fc, 0.0);
+  t.cutoff_fn(p.R, fc, dfc);
+  EXPECT_NEAR(fc, 0.5, 1e-12);
+  // Taper endpoints are continuous.
+  t.cutoff_fn(p.R - p.D + 1e-9, fc, dfc);
+  EXPECT_NEAR(fc, 1.0, 1e-6);
+}
+
+TEST(TersoffScalarsTest, DerivativesMatchFiniteDifferences) {
+  const TersoffSilicon t;
+  constexpr double h = 1e-7;
+  auto fd_check = [&](auto&& fn, double x, double tol) {
+    double v0, d0, vp, dp, vm, dm;
+    fn(x, v0, d0);
+    fn(x + h, vp, dp);
+    fn(x - h, vm, dm);
+    // Relative tolerance: angular derivatives reach ~1e5 in magnitude.
+    EXPECT_NEAR(d0, (vp - vm) / (2 * h), tol * (1.0 + std::abs(d0)))
+        << "x=" << x;
+  };
+  for (double r : {2.2, 2.75, 2.85, 2.95}) {
+    fd_check([&](double x, double& v, double& d) { t.cutoff_fn(x, v, d); },
+             r, 1e-5);
+    fd_check([&](double x, double& v, double& d) { t.repulsive(x, v, d); },
+             r, 1e-4);
+    fd_check([&](double x, double& v, double& d) { t.attractive(x, v, d); },
+             r, 1e-5);
+  }
+  for (double c : {-0.9, -0.3, 0.2, 0.8}) {
+    fd_check([&](double x, double& v, double& d) { t.angular(x, v, d); }, c,
+             1e-3);
+  }
+  for (double z : {0.1, 1.0, 3.0, 10.0}) {
+    fd_check([&](double x, double& v, double& d) { t.bond_order(x, v, d); },
+             z, 1e-6);
+  }
+}
+
+TEST(TersoffScalarsTest, BondOrderWeakensWithCoordination) {
+  const TersoffSilicon t;
+  double b1, db, b4;
+  t.bond_order(0.0, b1, db);
+  EXPECT_DOUBLE_EQ(b1, 1.0);
+  t.bond_order(3.0, b4, db);
+  EXPECT_LT(b4, b1);
+  EXPECT_GT(b4, 0.0);
+}
+
+TEST(TersoffFieldTest, RejectsPerTupleEvaluation) {
+  const TersoffSilicon t;
+  Vec3 f1, f2;
+  EXPECT_THROW(t.eval_pair(0, 0, {0, 0, 0}, {2.3, 0, 0}, f1, f2), Error);
+}
+
+/// Build a small jittered diamond-silicon cluster system.
+ParticleSystem diamond_si(int cells, double a, double jitter,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  ParticleSystem sys(Box::cubic(cells * a), {28.0855});
+  const Vec3 fcc[4] = {{0, 0, 0}, {0, 0.5, 0.5}, {0.5, 0, 0.5},
+                       {0.5, 0.5, 0}};
+  for (int cx = 0; cx < cells; ++cx) {
+    for (int cy = 0; cy < cells; ++cy) {
+      for (int cz = 0; cz < cells; ++cz) {
+        for (const Vec3& f : fcc) {
+          for (const Vec3& b : {Vec3{0, 0, 0}, Vec3{0.25, 0.25, 0.25}}) {
+            Vec3 r = (Vec3{static_cast<double>(cx), static_cast<double>(cy),
+                           static_cast<double>(cz)} +
+                      f + b) *
+                     a;
+            r += Vec3{rng.uniform(-jitter, jitter),
+                      rng.uniform(-jitter, jitter),
+                      rng.uniform(-jitter, jitter)};
+            sys.add_atom(r, {}, 0);
+          }
+        }
+      }
+    }
+  }
+  return sys;
+}
+
+TEST(BondOrderStrategyTest, ForcesMatchFiniteDifferenceOfEnergy) {
+  const TersoffSilicon field;
+  ParticleSystem sys = diamond_si(2, 5.432, 0.08, 210);
+
+  auto energy_of = [&](ParticleSystem& s) {
+    SerialEngine engine(s, field, make_strategy("BondOrder", field));
+    return engine.potential_energy();
+  };
+
+  SerialEngine engine(sys, field, make_strategy("BondOrder", field));
+  const std::vector<Vec3> analytic(sys.forces().begin(),
+                                   sys.forces().end());
+
+  constexpr double h = 2e-6;
+  Rng rng(211);
+  for (int probe = 0; probe < 6; ++probe) {
+    const int atom = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(sys.num_atoms())));
+    const int axis = static_cast<int>(rng.uniform_index(3));
+    ParticleSystem plus = sys, minus = sys;
+    plus.positions()[atom][axis] += h;
+    minus.positions()[atom][axis] -= h;
+    const double fd = -(energy_of(plus) - energy_of(minus)) / (2 * h);
+    EXPECT_NEAR(analytic[static_cast<std::size_t>(atom)][axis], fd, 2e-4)
+        << "atom " << atom << " axis " << axis;
+  }
+
+  // Newton's third law across the whole system.
+  Vec3 net;
+  for (const Vec3& f : analytic) net += f;
+  EXPECT_NEAR(net.norm(), 0.0, 1e-9);
+}
+
+TEST(BondOrderStrategyTest, DiamondCohesiveEnergyNearLiterature) {
+  // Tersoff-Si gives E_coh ≈ −4.63 eV/atom at the equilibrium lattice
+  // constant 5.432 Å.
+  const TersoffSilicon field;
+  ParticleSystem sys = diamond_si(2, 5.432, 0.0, 212);
+  SerialEngine engine(sys, field, make_strategy("BondOrder", field));
+  const double per_atom = engine.potential_energy() / sys.num_atoms();
+  EXPECT_NEAR(per_atom, -4.63, 0.15);
+  // Perfect lattice: zero forces by symmetry.
+  double fmax = 0.0;
+  for (const Vec3& f : sys.forces()) fmax = std::max(fmax, f.norm());
+  EXPECT_NEAR(fmax, 0.0, 1e-9);
+}
+
+TEST(BondOrderStrategyTest, NveConservesEnergy) {
+  const TersoffSilicon field;
+  ParticleSystem sys = diamond_si(2, 5.432, 0.05, 213);
+  Rng rng(214);
+  thermalize(sys, 300.0, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 1.0 * units::kFemtosecond;
+  SerialEngine engine(sys, field, make_strategy("BondOrder", field), cfg);
+  const double e0 = engine.total_energy();
+  for (int s = 0; s < 60; ++s) engine.step();
+  EXPECT_NEAR(engine.total_energy(), e0,
+              0.005 * sys.num_atoms() * units::kBoltzmann * 300.0 +
+                  1e-4 * std::abs(e0));
+}
+
+TEST(BondOrderStrategyTest, ParallelMatchesSerial) {
+  const TersoffSilicon field;
+  // 3 cells/axis so each of the 2x2x2 ranks owns >= rcut per axis.
+  const ParticleSystem initial = diamond_si(3, 5.432, 0.08, 215);
+
+  ParticleSystem serial_sys = initial;
+  SerialEngineConfig scfg;
+  scfg.dt = 1.0 * units::kFemtosecond;
+  SerialEngine serial(serial_sys, field, make_strategy("BondOrder", field),
+                      scfg);
+  for (int s = 0; s < 3; ++s) serial.step();
+
+  ParticleSystem par_sys = initial;
+  ParallelRunConfig cfg;
+  cfg.dt = 1.0 * units::kFemtosecond;
+  cfg.num_steps = 3;
+  const ParallelRunResult res =
+      run_parallel_md(par_sys, field, "BondOrder", ProcessGrid({2, 2, 2}),
+                      cfg);
+  EXPECT_NEAR(res.potential_energy, serial.potential_energy(),
+              1e-8 * std::abs(serial.potential_energy()));
+  for (int i = 0; i < par_sys.num_atoms(); ++i) {
+    EXPECT_NEAR(par_sys.positions()[i].x, serial_sys.positions()[i].x, 1e-8)
+        << i;
+    EXPECT_NEAR(par_sys.positions()[i].y, serial_sys.positions()[i].y, 1e-8)
+        << i;
+  }
+}
+
+TEST(BondOrderStrategyTest, FactoryRequiresTersoffField) {
+  Rng rng(216);
+  const LennardJones lj;
+  EXPECT_THROW(make_strategy("BondOrder", lj), Error);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,105 @@
+#include "engines/observables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/morse.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(PressureTest, DiluteHotGasApproachesIdealGasLaw) {
+  // Dilute AND hot (kT ~ 2ε, so the attractive tail is negligible):
+  // P ~ N kT / V.
+  Rng rng(220);
+  const LennardJones lj;  // ε = 1 (energy units of the kB used below)
+  const double hot = 2.0 / units::kBoltzmann;
+  const ParticleSystem sys = make_gas(lj, 500, 0.2, hot, rng);
+  const Pressure pressure = measure_pressure(sys, lj);
+  EXPECT_NEAR(pressure.total() / pressure.kinetic, 1.0, 0.10);
+}
+
+TEST(PressureTest, CompressedSolidHasPositiveVirial) {
+  // LJ atoms packed denser than the r_min spacing push outward.
+  Rng rng(221);
+  const LennardJones lj;
+  // ~1.35 atoms per sigma^3: strongly compressed.
+  ParticleSystem sys = make_cubic_lattice(Box::cubic(9.0), 1.0, 1000, 0.02,
+                                          rng);
+  const Pressure pressure = measure_pressure(sys, lj);
+  EXPECT_GT(pressure.virial, 0.0);
+  EXPECT_GT(pressure.total(), pressure.kinetic);
+}
+
+TEST(PressureTest, StretchedSolidHasNegativeVirial) {
+  // A lattice stretched beyond r_min is under tension.
+  Rng rng(222);
+  const LennardJones lj;
+  // 512 atoms on a 10.4^3 box: spacing 1.3 > 2^(1/6).
+  ParticleSystem sys = make_cubic_lattice(Box::cubic(10.4), 1.0, 512, 0.02,
+                                          rng);
+  const Pressure pressure = measure_pressure(sys, lj);
+  EXPECT_LT(pressure.virial, 0.0);
+}
+
+TEST(PressureTest, StrategyChoiceDoesNotMatter) {
+  Rng rng(223);
+  const LennardJones lj;
+  const ParticleSystem sys = make_gas(lj, 400, 4.0, 100.0, rng);
+  const Pressure a = measure_pressure(sys, lj, "SC");
+  const Pressure b = measure_pressure(sys, lj, "Hybrid");
+  EXPECT_NEAR(a.virial, b.virial, 1e-6 * (1.0 + std::abs(a.virial)));
+}
+
+TEST(PressureTest, WorksForManyBodyFields) {
+  // Morse solid near equilibrium: |total| pressure small compared to the
+  // compressed case.
+  Rng rng(224);
+  const Morse morse;
+  const ParticleSystem sys = make_gas(morse, 300, 4.0, 50.0, rng);
+  const Pressure pressure = measure_pressure(sys, morse);
+  EXPECT_TRUE(std::isfinite(pressure.total()));
+}
+
+TEST(PressureTest, RejectsSillyPerturbation) {
+  Rng rng(225);
+  const LennardJones lj;
+  const ParticleSystem sys = make_gas(lj, 200, 4.0, 10.0, rng);
+  EXPECT_THROW(measure_pressure(sys, lj, "SC", 0.5), Error);
+  EXPECT_THROW(measure_pressure(sys, lj, "SC", 0.0), Error);
+}
+
+TEST(VacfTest, IdentitySnapshotsGiveOne) {
+  Rng rng(226);
+  const LennardJones lj;
+  const ParticleSystem sys = make_gas(lj, 200, 4.0, 20.0, rng);
+  EXPECT_DOUBLE_EQ(velocity_autocorrelation(sys, sys), 1.0);
+}
+
+TEST(VacfTest, DecorrelatesInAnEquilibratedFluid) {
+  Rng rng(227);
+  const LennardJones lj;
+  const double t_target = 1.0 / units::kBoltzmann;  // kT = ε
+  ParticleSystem sys = make_gas(lj, 400, 6.0, t_target, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 0.004;
+  SerialEngine engine(sys, lj, make_strategy("SC", lj), cfg);
+  // Equilibrate at fixed temperature first (the jittered lattice releases
+  // heat), then measure the autocorrelation under NVE.
+  const BerendsenThermostat thermo(t_target, 0.04);
+  for (int s = 0; s < 150; ++s) engine.step(thermo);
+  const ParticleSystem snapshot = sys;
+  for (int s = 0; s < 150; ++s) engine.step();
+  const double c = velocity_autocorrelation(snapshot, sys);
+  EXPECT_LT(std::abs(c), 0.5);  // a dense fluid forgets its velocities
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,109 @@
+// Arbitrary-n end-to-end: the n = 5 Gaussian-chain field through the full
+// pattern/enumeration/force pipeline, the regime ReaxFF chain-rule terms
+// create (paper Sec. 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "pattern/analysis.hpp"
+#include "potentials/gaussian_chain.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(GaussianChainTest, ChainForcesMatchFiniteDifferences) {
+  const GaussianChain field;
+  Rng rng(200);
+  const int types[5] = {0, 0, 0, 0, 0};
+  for (int trial = 0; trial < 15; ++trial) {
+    // A wiggly chain with all steps inside the 5-chain cutoff.
+    Vec3 r[5];
+    r[0] = {0, 0, 0};
+    for (int k = 1; k < 5; ++k) {
+      const Vec3 step{rng.uniform(0.15, 0.35), rng.uniform(-0.25, 0.25),
+                      rng.uniform(-0.25, 0.25)};
+      r[k] = r[k - 1] + step;
+    }
+    Vec3 f[5] = {};
+    field.eval_chain(5, types, r, f);
+
+    constexpr double h = 1e-6;
+    for (int atom = 0; atom < 5; ++atom) {
+      for (int axis = 0; axis < 3; ++axis) {
+        Vec3 rp[5], rm[5], dump[5];
+        for (int k = 0; k < 5; ++k) rp[k] = rm[k] = r[k];
+        rp[atom][axis] += h;
+        rm[atom][axis] -= h;
+        for (Vec3& v : dump) v = {};
+        const double ep = field.eval_chain(5, types, rp, dump);
+        for (Vec3& v : dump) v = {};
+        const double em = field.eval_chain(5, types, rm, dump);
+        EXPECT_NEAR(f[atom][axis], -(ep - em) / (2.0 * h), 1e-5)
+            << "trial " << trial << " atom " << atom << " axis " << axis;
+      }
+    }
+    // Momentum conservation.
+    Vec3 net;
+    for (const Vec3& fa : f) net += fa;
+    EXPECT_NEAR(net.norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(GaussianChainTest, VanishesAtChainCutoff) {
+  const GaussianChain field;
+  const int types[5] = {0, 0, 0, 0, 0};
+  Vec3 r[5] = {{0, 0, 0}, {0.3, 0, 0}, {0.6, 0, 0}, {0.9, 0, 0},
+               {0.9 + field.rcut(5) + 0.01, 0, 0}};
+  Vec3 f[5] = {};
+  EXPECT_EQ(field.eval_chain(5, types, r, f), 0.0);
+}
+
+TEST(GaussianChainTest, EngineEnumeratesQuintuples) {
+  Rng rng(201);
+  const GaussianChain field;
+  ParticleSystem sys = make_gas(field, 120, 2.0, 0.5, rng);
+  SerialEngine engine(sys, field, make_strategy("SC", field));
+  EXPECT_GT(engine.counters().tuples[5].chain_candidates, 0u);
+  EXPECT_GT(engine.counters().evals[5], 0u);
+  EXPECT_EQ(engine.counters().evals[3], 0u);  // no triplet term
+}
+
+TEST(GaussianChainTest, FsAndScAgreeAtN5) {
+  Rng rng(202);
+  const GaussianChain field;
+  const ParticleSystem base = make_gas(field, 100, 2.0, 0.5, rng);
+  auto run = [&](const std::string& name) {
+    ParticleSystem sys = base;
+    SerialEngine engine(sys, field, make_strategy(name, field));
+    return std::make_pair(engine.potential_energy(),
+                          engine.counters().evals[5]);
+  };
+  const auto [e_sc, evals_sc] = run("SC");
+  const auto [e_fs, evals_fs] = run("FS");
+  EXPECT_NEAR(e_sc, e_fs, 1e-9 * (1.0 + std::abs(e_sc)));
+  EXPECT_EQ(evals_sc, evals_fs);
+}
+
+TEST(GaussianChainTest, NveConservesEnergyWithQuintuples) {
+  Rng rng(203);
+  const GaussianChain field;
+  ParticleSystem sys = make_gas(field, 120, 2.0, 0.02, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 0.002;
+  SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+  const double e0 = engine.total_energy();
+  for (int s = 0; s < 25; ++s) engine.step();
+  EXPECT_NEAR(engine.total_energy(), e0, std::abs(e0) * 0.02 + 0.02);
+}
+
+TEST(GaussianChainTest, PatternSizesAtN5MatchTheory) {
+  EXPECT_EQ(sc_pattern_size(5), 266085);
+  EXPECT_EQ(fs_pattern_size(5), 531441);
+}
+
+}  // namespace
+}  // namespace scmd

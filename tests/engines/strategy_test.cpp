@@ -1,0 +1,141 @@
+// Cross-strategy equivalence: SC-MD, FS-MD, and Hybrid-MD must produce
+// identical physics (forces, energies, accepted tuples) while exhibiting
+// the predicted differences in search work.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/dihedral.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/stillinger_weber.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+struct Snapshot {
+  double energy;
+  std::vector<Vec3> forces;
+};
+
+Snapshot forces_with(const std::string& strategy, ParticleSystem sys,
+                     const ForceField& field, EngineCounters* counters_out =
+                         nullptr) {
+  SerialEngine engine(sys, field, make_strategy(strategy, field));
+  Snapshot s;
+  s.energy = engine.potential_energy();
+  s.forces.assign(sys.forces().begin(), sys.forces().end());
+  if (counters_out) *counters_out = engine.counters();
+  return s;
+}
+
+void expect_same(const Snapshot& a, const Snapshot& b, double tol) {
+  EXPECT_NEAR(a.energy, b.energy, tol * (1.0 + std::abs(a.energy)));
+  ASSERT_EQ(a.forces.size(), b.forces.size());
+  for (std::size_t i = 0; i < a.forces.size(); ++i) {
+    EXPECT_NEAR(a.forces[i].x, b.forces[i].x, tol) << i;
+    EXPECT_NEAR(a.forces[i].y, b.forces[i].y, tol) << i;
+    EXPECT_NEAR(a.forces[i].z, b.forces[i].z, tol) << i;
+  }
+}
+
+class SilicaStrategyTest : public ::testing::Test {
+ protected:
+  SilicaStrategyTest() : rng_(70), sys_(make_silica(450, 2.2, 600.0, rng_)) {}
+  Rng rng_;
+  ParticleSystem sys_;
+  VashishtaSiO2 field_;
+};
+
+TEST_F(SilicaStrategyTest, FsMatchesSc) {
+  expect_same(forces_with("SC", sys_, field_), forces_with("FS", sys_, field_),
+              1e-9);
+}
+
+TEST_F(SilicaStrategyTest, HybridMatchesSc) {
+  expect_same(forces_with("SC", sys_, field_),
+              forces_with("Hybrid", sys_, field_), 1e-9);
+}
+
+TEST_F(SilicaStrategyTest, AcceptedTuplesEqualAcrossPatterns) {
+  EngineCounters sc, fs;
+  forces_with("SC", sys_, field_, &sc);
+  forces_with("FS", sys_, field_, &fs);
+  EXPECT_EQ(sc.tuples[2].accepted, fs.tuples[2].accepted);
+  EXPECT_EQ(sc.tuples[3].accepted, fs.tuples[3].accepted);
+  EXPECT_EQ(sc.evals[2], fs.evals[2]);
+  EXPECT_EQ(sc.evals[3], fs.evals[3]);
+}
+
+TEST_F(SilicaStrategyTest, FsSearchesRoughlyTwiceSc) {
+  EngineCounters sc, fs;
+  forces_with("SC", sys_, field_, &sc);
+  forces_with("FS", sys_, field_, &fs);
+  const double ratio = static_cast<double>(fs.tuples[3].chain_candidates) /
+                       static_cast<double>(sc.tuples[3].chain_candidates);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST_F(SilicaStrategyTest, HybridTripletSearchCheaperThanSc) {
+  // The paper's large-grain effect: Hybrid prunes triplets from the pair
+  // list and does far less triplet search than cell-based SC.
+  EngineCounters sc, hy;
+  forces_with("SC", sys_, field_, &sc);
+  forces_with("Hybrid", sys_, field_, &hy);
+  EXPECT_EQ(hy.tuples[3].search_steps, 0u);  // no triplet cells at all
+  EXPECT_GT(sc.tuples[3].search_steps, hy.list_scan_steps / 2);
+  EXPECT_EQ(hy.evals[3], sc.evals[3]);
+}
+
+TEST_F(SilicaStrategyTest, NewtonThirdLawHolds) {
+  const Snapshot s = forces_with("SC", sys_, field_);
+  Vec3 net;
+  for (const Vec3& f : s.forces) net += f;
+  EXPECT_NEAR(net.norm(), 0.0, 1e-8);
+}
+
+TEST(LjStrategyTest, AllStrategiesAgreeOnPairOnlyField) {
+  Rng rng(71);
+  const LennardJones lj;
+  ParticleSystem sys = make_gas(lj, 300, 5.0, 1.0, rng);
+  const Snapshot sc = forces_with("SC", sys, lj);
+  expect_same(sc, forces_with("FS", sys, lj), 1e-10);
+  expect_same(sc, forces_with("Hybrid", sys, lj), 1e-10);
+}
+
+TEST(SwStrategyTest, EqualCutoffsAgreeAcrossStrategies) {
+  // SW has rcut2 == rcut3 — the degenerate corner for Hybrid pruning.
+  Rng rng(72);
+  const StillingerWeber sw;
+  ParticleSystem sys = make_gas(sw, 216, 4.0, 100.0, rng);
+  const Snapshot sc = forces_with("SC", sys, sw);
+  expect_same(sc, forces_with("FS", sys, sw), 1e-9);
+  expect_same(sc, forces_with("Hybrid", sys, sw), 1e-9);
+}
+
+TEST(StrategyFactoryTest, RejectsUnknownName) {
+  const LennardJones lj;
+  EXPECT_THROW(make_strategy("bogus", lj), Error);
+}
+
+TEST(StrategyFactoryTest, NamesRoundTrip) {
+  const VashishtaSiO2 field;
+  EXPECT_EQ(make_strategy("SC", field)->name(), "SC");
+  EXPECT_EQ(make_strategy("FS", field)->name(), "FS");
+  EXPECT_EQ(make_strategy("Hybrid", field)->name(), "Hybrid");
+}
+
+TEST(HybridStrategyTest, RejectsQuadFields) {
+  const ChainDihedral cd;
+  EXPECT_THROW(make_hybrid_strategy(cd, false), Error);
+}
+
+}  // namespace
+}  // namespace scmd

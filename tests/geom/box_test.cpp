@@ -1,0 +1,98 @@
+#include "geom/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(BoxTest, RejectsNonPositiveLengths) {
+  EXPECT_THROW(Box({0.0, 1.0, 1.0}), Error);
+  EXPECT_THROW(Box({1.0, -2.0, 1.0}), Error);
+}
+
+TEST(BoxTest, VolumeMatches) {
+  const Box b({2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(b.volume(), 24.0);
+  EXPECT_DOUBLE_EQ(Box::cubic(3.0).volume(), 27.0);
+}
+
+TEST(BoxTest, WrapIntoPrimaryImage) {
+  const Box b = Box::cubic(10.0);
+  const Vec3 w = b.wrap({12.0, -3.0, 5.0});
+  EXPECT_NEAR(w.x, 2.0, 1e-12);
+  EXPECT_NEAR(w.y, 7.0, 1e-12);
+  EXPECT_NEAR(w.z, 5.0, 1e-12);
+}
+
+TEST(BoxTest, WrapIsIdempotent) {
+  const Box b({3.0, 5.0, 7.0});
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 r{rng.uniform(-50, 50), rng.uniform(-50, 50),
+                 rng.uniform(-50, 50)};
+    const Vec3 w = b.wrap(r);
+    EXPECT_GE(w.x, 0.0);
+    EXPECT_LT(w.x, 3.0);
+    EXPECT_GE(w.y, 0.0);
+    EXPECT_LT(w.y, 5.0);
+    EXPECT_GE(w.z, 0.0);
+    EXPECT_LT(w.z, 7.0);
+    const Vec3 ww = b.wrap(w);
+    EXPECT_NEAR(ww.x, w.x, 1e-12);
+    EXPECT_NEAR(ww.y, w.y, 1e-12);
+    EXPECT_NEAR(ww.z, w.z, 1e-12);
+  }
+}
+
+TEST(BoxTest, WrapHandlesTinyNegative) {
+  const Box b = Box::cubic(1.0);
+  const Vec3 w = b.wrap({-1e-18, 0.5, 0.5});
+  EXPECT_GE(w.x, 0.0);
+  EXPECT_LT(w.x, 1.0);
+}
+
+TEST(BoxTest, MinImageShortestDisplacement) {
+  const Box b = Box::cubic(10.0);
+  // Points near opposite faces are close through the boundary.
+  const Vec3 d = b.min_image({9.5, 0, 0}, {0.5, 0, 0});
+  EXPECT_NEAR(d.x, -1.0, 1e-12);
+  EXPECT_NEAR(d.y, 0.0, 1e-12);
+}
+
+TEST(BoxTest, MinImageIsAntisymmetric) {
+  const Box b({4.0, 6.0, 8.0});
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 a{rng.uniform(0, 4), rng.uniform(0, 6), rng.uniform(0, 8)};
+    const Vec3 c{rng.uniform(0, 4), rng.uniform(0, 6), rng.uniform(0, 8)};
+    const Vec3 d1 = b.min_image(a, c);
+    const Vec3 d2 = b.min_image(c, a);
+    EXPECT_NEAR(d1.x, -d2.x, 1e-12);
+    EXPECT_NEAR(d1.y, -d2.y, 1e-12);
+    EXPECT_NEAR(d1.z, -d2.z, 1e-12);
+  }
+}
+
+TEST(BoxTest, MinImageWithinHalfBox) {
+  const Box b = Box::cubic(5.0);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 a{rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 5)};
+    const Vec3 c{rng.uniform(0, 5), rng.uniform(0, 5), rng.uniform(0, 5)};
+    const Vec3 d = b.min_image(a, c);
+    EXPECT_LE(std::abs(d.x), 2.5 + 1e-12);
+    EXPECT_LE(std::abs(d.y), 2.5 + 1e-12);
+    EXPECT_LE(std::abs(d.z), 2.5 + 1e-12);
+  }
+}
+
+TEST(BoxTest, Dist2MatchesMinImage) {
+  const Box b = Box::cubic(10.0);
+  EXPECT_NEAR(b.dist2({9.5, 0, 0}, {0.5, 0, 0}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,96 @@
+#include "geom/int3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+namespace scmd {
+namespace {
+
+TEST(Int3Test, ArithmeticIsComponentwise) {
+  const Int3 a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_EQ(a + b, (Int3{5, -3, 9}));
+  EXPECT_EQ(a - b, (Int3{-3, 7, -3}));
+  EXPECT_EQ(-a, (Int3{-1, -2, -3}));
+  EXPECT_EQ(a * 2, (Int3{2, 4, 6}));
+}
+
+TEST(Int3Test, CompoundAssignment) {
+  Int3 a{1, 1, 1};
+  a += {2, 3, 4};
+  EXPECT_EQ(a, (Int3{3, 4, 5}));
+  a -= {1, 1, 1};
+  EXPECT_EQ(a, (Int3{2, 3, 4}));
+}
+
+TEST(Int3Test, IndexingMatchesMembers) {
+  Int3 v{7, 8, 9};
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 8);
+  EXPECT_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_EQ(v.y, 42);
+}
+
+TEST(Int3Test, LexicographicOrdering) {
+  EXPECT_LT((Int3{0, 9, 9}), (Int3{1, 0, 0}));
+  EXPECT_LT((Int3{1, 0, 9}), (Int3{1, 1, 0}));
+  EXPECT_LT((Int3{1, 1, 0}), (Int3{1, 1, 1}));
+  EXPECT_EQ((Int3{2, 2, 2}), (Int3{2, 2, 2}));
+}
+
+TEST(Int3Test, MinMaxAreComponentwise) {
+  const Int3 a{1, 5, -2}, b{3, 2, -7};
+  EXPECT_EQ(Int3::min(a, b), (Int3{1, 2, -7}));
+  EXPECT_EQ(Int3::max(a, b), (Int3{3, 5, -2}));
+}
+
+TEST(Int3Test, VolumeAndChebyshev) {
+  EXPECT_EQ((Int3{2, 3, 4}).volume(), 24);
+  EXPECT_EQ((Int3{-5, 2, 3}).chebyshev(), 5);
+  EXPECT_EQ((Int3{0, 0, 0}).chebyshev(), 0);
+  EXPECT_EQ((Int3{1, -1, 1}).chebyshev(), 1);
+}
+
+TEST(FloorModTest, AlwaysNonNegative) {
+  EXPECT_EQ(floor_mod(5, 3), 2);
+  EXPECT_EQ(floor_mod(-1, 3), 2);
+  EXPECT_EQ(floor_mod(-3, 3), 0);
+  EXPECT_EQ(floor_mod(-4, 3), 2);
+  EXPECT_EQ(floor_mod(0, 7), 0);
+}
+
+TEST(FloorDivTest, PairsWithFloorMod) {
+  for (int a = -20; a <= 20; ++a) {
+    for (int m : {1, 2, 3, 7}) {
+      EXPECT_EQ(floor_div(a, m) * m + floor_mod(a, m), a)
+          << "a=" << a << " m=" << m;
+      EXPECT_LE(floor_div(a, m) * m, a);
+    }
+  }
+}
+
+TEST(WrapTest, WrapsIntoRange) {
+  const Int3 dims{4, 5, 6};
+  EXPECT_EQ(wrap({4, 5, 6}, dims), (Int3{0, 0, 0}));
+  EXPECT_EQ(wrap({-1, -1, -1}, dims), (Int3{3, 4, 5}));
+  EXPECT_EQ(wrap({9, 11, 13}, dims), (Int3{1, 1, 1}));
+  EXPECT_EQ(wrap({2, 3, 4}, dims), (Int3{2, 3, 4}));
+}
+
+TEST(Int3HashTest, DistinctValuesRarelyCollide) {
+  std::set<std::size_t> hashes;
+  std::hash<Int3> h;
+  int total = 0;
+  for (int x = -5; x <= 5; ++x)
+    for (int y = -5; y <= 5; ++y)
+      for (int z = -5; z <= 5; ++z) {
+        hashes.insert(h({x, y, z}));
+        ++total;
+      }
+  EXPECT_EQ(static_cast<int>(hashes.size()), total);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,62 @@
+#include "geom/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scmd {
+namespace {
+
+TEST(Vec3Test, ArithmeticIsComponentwise) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(a - b, (Vec3{-3, -3, -3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3Test, CompoundOps) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3, 6, 9}));
+}
+
+TEST(Vec3Test, DotAndNorm) {
+  const Vec3 a{1, 2, 2};
+  EXPECT_DOUBLE_EQ(a.dot(a), 9.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 9.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+  EXPECT_DOUBLE_EQ((Vec3{1, 0, 0}).dot({0, 1, 0}), 0.0);
+}
+
+TEST(Vec3Test, CrossProductRightHanded) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(y.cross(x), -z);
+}
+
+TEST(Vec3Test, CrossIsPerpendicular) {
+  const Vec3 a{1.5, -2.0, 0.7}, b{0.3, 4.0, -1.1};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3Test, IndexAccess) {
+  Vec3 v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  v[0] = 9.0;
+  EXPECT_DOUBLE_EQ(v.x, 9.0);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/checkpoint.hpp"
+#include "io/xyz.hpp"
+#include "md/builders.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+ParticleSystem sample_system() {
+  Rng rng(160);
+  ParticleSystem sys(Box({8.0, 9.0, 10.0}), {28.0855, 15.9994});
+  for (int i = 0; i < 50; ++i) {
+    sys.add_atom({rng.uniform(0, 8), rng.uniform(0, 9), rng.uniform(0, 10)},
+                 {rng.normal(), rng.normal(), rng.normal()}, i % 2);
+    sys.forces()[i] = {rng.normal(), rng.normal(), rng.normal()};
+  }
+  return sys;
+}
+
+TEST(CheckpointTest, RoundTripsExactly) {
+  const ParticleSystem original = sample_system();
+  const std::string path = "/tmp/scmd_ckpt_test.bin";
+  save_checkpoint(original, path);
+  const ParticleSystem loaded = load_checkpoint(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.num_atoms(), original.num_atoms());
+  ASSERT_EQ(loaded.num_types(), original.num_types());
+  EXPECT_EQ(loaded.box(), original.box());
+  for (int t = 0; t < original.num_types(); ++t)
+    EXPECT_EQ(loaded.mass_of_type(t), original.mass_of_type(t));
+  for (int i = 0; i < original.num_atoms(); ++i) {
+    EXPECT_EQ(loaded.positions()[i], original.positions()[i]) << i;
+    EXPECT_EQ(loaded.velocities()[i], original.velocities()[i]) << i;
+    EXPECT_EQ(loaded.forces()[i], original.forces()[i]) << i;
+    EXPECT_EQ(loaded.types()[i], original.types()[i]) << i;
+  }
+}
+
+TEST(CheckpointTest, RejectsMissingFile) {
+  EXPECT_THROW(load_checkpoint("/tmp/scmd_no_such_ckpt.bin"), Error);
+}
+
+TEST(CheckpointTest, RejectsGarbage) {
+  const std::string path = "/tmp/scmd_ckpt_garbage.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a checkpoint at all, not even close.............";
+  }
+  EXPECT_THROW(load_checkpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTruncation) {
+  const ParticleSystem original = sample_system();
+  const std::string path = "/tmp/scmd_ckpt_trunc.bin";
+  save_checkpoint(original, path);
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string blob = buf.str();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size() / 2));
+  }
+  EXPECT_THROW(load_checkpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(XyzWriterTest, WritesFramesWithLattice) {
+  Rng rng(161);
+  const ParticleSystem sys = make_silica(648, 2.2, 300.0, rng);
+  const std::string path = "/tmp/scmd_xyz_test.xyz";
+  {
+    XyzWriter writer(path, {"Si", "O"});
+    writer.write_frame(sys, "step=0");
+    writer.write_frame(sys, "step=1");
+    EXPECT_EQ(writer.frames_written(), 2);
+  }
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "648");
+  std::getline(f, line);
+  EXPECT_NE(line.find("Lattice="), std::string::npos);
+  EXPECT_NE(line.find("step=0"), std::string::npos);
+  std::getline(f, line);
+  EXPECT_TRUE(line.rfind("Si ", 0) == 0 || line.rfind("O ", 0) == 0);
+  // Count total lines: 2 * (648 + 2).
+  int lines = 3;
+  while (std::getline(f, line)) ++lines;
+  EXPECT_EQ(lines, 2 * (648 + 2));
+  std::remove(path.c_str());
+}
+
+TEST(XyzWriterTest, RejectsUnknownSpecies) {
+  ParticleSystem sys(Box::cubic(5.0), {1.0, 1.0});
+  sys.add_atom({1, 1, 1}, {}, 1);
+  const std::string path = "/tmp/scmd_xyz_badspecies.xyz";
+  XyzWriter writer(path, {"Si"});  // only one symbol for two types
+  EXPECT_THROW(writer.write_frame(sys), Error);
+  std::remove(path.c_str());
+}
+
+TEST(XyzWriterTest, RejectsUnwritablePath) {
+  EXPECT_THROW(XyzWriter("/nonexistent-dir/foo.xyz", {"X"}), Error);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,131 @@
+#include "md/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+/// Ideal-gas positions: g(r) must be ~1 everywhere.
+TEST(RdfTest, IdealGasIsFlat) {
+  Rng rng(140);
+  ParticleSystem sys(Box::cubic(20.0), {1.0});
+  for (int i = 0; i < 4000; ++i) {
+    sys.add_atom({rng.uniform(0, 20), rng.uniform(0, 20),
+                  rng.uniform(0, 20)},
+                 {}, 0);
+  }
+  const Rdf rdf = compute_rdf(sys, 0, 0, 5.0, 25);
+  // Skip the first bins (few counts, noisy).
+  for (std::size_t b = 5; b < rdf.g.size(); ++b) {
+    EXPECT_NEAR(rdf.g[b], 1.0, 0.15) << "bin " << b;
+  }
+}
+
+TEST(RdfTest, SimpleCubicLatticePeaksAtSpacing) {
+  // Perfect SC lattice with spacing a: first peak of g(r) at r = a.
+  ParticleSystem sys(Box::cubic(12.0), {1.0});
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y)
+      for (int z = 0; z < 6; ++z)
+        sys.add_atom({x * 2.0 + 1.0, y * 2.0 + 1.0, z * 2.0 + 1.0}, {}, 0);
+  // Restrict the range to the first shell: at this spacing the 2nd-shell
+  // peak (12 neighbors at a*sqrt(2)) has comparable g(r) height.
+  const Rdf rdf = compute_rdf(sys, 0, 0, 2.5, 25);
+  EXPECT_NEAR(rdf.peak_position(1.0), 2.0, 0.15);
+}
+
+TEST(RdfTest, CrossSpeciesCountsOnlyMatchingPairs) {
+  // Two interleaved species: the A-B RDF must show the A-B distance, not
+  // the A-A one.
+  ParticleSystem sys(Box::cubic(12.0), {1.0, 1.0});
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y)
+      for (int z = 0; z < 6; ++z) {
+        sys.add_atom({x * 2.0, y * 2.0, z * 2.0}, {}, 0);
+        sys.add_atom({x * 2.0 + 1.0, y * 2.0, z * 2.0}, {}, 1);
+      }
+  const Rdf ab = compute_rdf(sys, 0, 1, 3.5, 70);
+  EXPECT_NEAR(ab.peak_position(0.5), 1.0, 0.1);
+}
+
+TEST(RdfTest, RejectsOversizedCutoff) {
+  ParticleSystem sys(Box::cubic(9.0), {1.0});
+  sys.add_atom({1, 1, 1}, {}, 0);
+  EXPECT_THROW(compute_rdf(sys, 0, 0, 4.0, 10), Error);
+}
+
+TEST(AdfTest, RightAngleLattice) {
+  // On a simple-cubic lattice with bond length = spacing, the nearest
+  // neighbors of each site sit along +-x/+-y/+-z: angles are 90 and 180
+  // degrees, with 90 four times as frequent (12 right angles vs 3
+  // straight ones per site).
+  ParticleSystem sys(Box::cubic(12.0), {1.0});
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y)
+      for (int z = 0; z < 6; ++z)
+        sys.add_atom({x * 2.0 + 1.0, y * 2.0 + 1.0, z * 2.0 + 1.0}, {}, 0);
+  const AngleDistribution adf = compute_adf(sys, 0, 0, 2.5, 36);
+  EXPECT_NEAR(adf.peak_angle_deg(), 90.0, 5.0);
+}
+
+TEST(CoordinationTest, CubicLatticeHasSixNeighbors) {
+  ParticleSystem sys(Box::cubic(12.0), {1.0});
+  for (int x = 0; x < 6; ++x)
+    for (int y = 0; y < 6; ++y)
+      for (int z = 0; z < 6; ++z)
+        sys.add_atom({x * 2.0 + 1.0, y * 2.0 + 1.0, z * 2.0 + 1.0}, {}, 0);
+  EXPECT_NEAR(mean_coordination(sys, 0, 0, 2.5), 6.0, 1e-12);
+}
+
+TEST(MsdTest, ZeroForIdenticalSnapshots) {
+  Rng rng(141);
+  const ParticleSystem sys =
+      make_cubic_lattice(Box::cubic(10.0), 1.0, 100, 0.2, rng);
+  EXPECT_DOUBLE_EQ(mean_square_displacement(sys, sys), 0.0);
+}
+
+TEST(MsdTest, UniformShiftMeasuredThroughBoundary) {
+  Rng rng(142);
+  ParticleSystem a = make_cubic_lattice(Box::cubic(10.0), 1.0, 64, 0.0, rng);
+  ParticleSystem b = a;
+  for (Vec3& p : b.positions()) p = b.box().wrap(p + Vec3{9.5, 0, 0});
+  // Through the periodic boundary the true displacement is 0.5.
+  EXPECT_NEAR(mean_square_displacement(a, b), 0.25, 1e-9);
+}
+
+TEST(SilicaStructureTest, RelaxedSilicaHasPhysicalBonding) {
+  // After brief thermostatted MD from the cristobalite-like start, the
+  // Vashishta silica network must keep: Si-O first peak near 1.5-1.7 Å,
+  // Si coordination ~4, and an O-Si-O angle distribution peaked near
+  // tetrahedral.
+  Rng rng(143);
+  const VashishtaSiO2 field;
+  ParticleSystem sys = make_silica(648, 2.2, 300.0, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 0.5 * units::kFemtosecond;
+  SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+  const BerendsenThermostat thermo(300.0, 5.0 * units::kFemtosecond);
+  for (int s = 0; s < 150; ++s) engine.step(thermo);
+
+  const Rdf si_o = compute_rdf(sys, kSilicon, kOxygen, 4.0, 80);
+  EXPECT_NEAR(si_o.peak_position(1.0), 1.6, 0.2);
+
+  const double coord = mean_coordination(sys, kSilicon, kOxygen, 2.1);
+  EXPECT_GT(coord, 3.5);
+  EXPECT_LT(coord, 4.5);
+
+  const AngleDistribution osio = compute_adf(sys, kSilicon, kOxygen, 2.1, 36);
+  EXPECT_NEAR(osio.peak_angle_deg(), 109.0, 15.0);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,87 @@
+#include "md/barostat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/observables.hpp"
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/lj.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(BarostatTest, RejectsBadParameters) {
+  EXPECT_THROW(BerendsenBarostat(0.0, 0.0), Error);
+  EXPECT_THROW(BerendsenBarostat(0.0, 1.0, -1.0), Error);
+}
+
+TEST(RescaleTest, ScalesBoxAndPositionsTogether) {
+  Rng rng(230);
+  ParticleSystem sys = make_cubic_lattice(Box::cubic(10.0), 1.0, 64, 0.1,
+                                          rng);
+  const Vec3 before = sys.positions()[10];
+  rescale_system(sys, 1.1);
+  EXPECT_DOUBLE_EQ(sys.box().length(0), 11.0);
+  EXPECT_NEAR(sys.positions()[10].x, before.x * 1.1, 1e-12);
+  // Fractional coordinates preserved.
+  EXPECT_NEAR(sys.positions()[10].x / sys.box().length(0), before.x / 10.0,
+              1e-12);
+}
+
+TEST(BarostatTest, OverpressureExpandsUnderpressureShrinks) {
+  Rng rng(231);
+  ParticleSystem expand = make_cubic_lattice(Box::cubic(10.0), 1.0, 64, 0.1,
+                                             rng);
+  const BerendsenBarostat baro(0.0, 1.0);
+  // Measured pressure above target -> box must grow.
+  const double mu_up = baro.apply(expand, +1.0, 0.01);
+  EXPECT_GT(mu_up, 1.0);
+  // Below target -> shrink.
+  const double mu_dn = baro.apply(expand, -1.0, 0.01);
+  EXPECT_LT(mu_dn, 1.0);
+}
+
+TEST(BarostatTest, VolumeStepClamped) {
+  Rng rng(232);
+  ParticleSystem sys = make_cubic_lattice(Box::cubic(10.0), 1.0, 64, 0.1,
+                                          rng);
+  const BerendsenBarostat baro(0.0, 1e-6);  // absurdly stiff coupling
+  const double mu = baro.apply(sys, 1e9, 1.0);
+  EXPECT_LE(mu, std::cbrt(1.05) + 1e-12);
+}
+
+TEST(NptTest, CompressedSolidRelaxesTowardTargetPressure) {
+  // Start an LJ crystal compressed ~10% in volume; NPT with target P = 0
+  // must expand the box and bring the pressure down.
+  Rng rng(233);
+  const LennardJones lj;
+  ParticleSystem sys =
+      make_cubic_lattice(Box::cubic(7.7), 1.0, 512, 0.02, rng);
+  thermalize(sys, 0.2 / units::kBoltzmann * 0.1, rng);
+
+  SerialEngineConfig cfg;
+  cfg.dt = 0.004;
+  SerialEngine engine(sys, lj, make_strategy("SC", lj), cfg);
+  const double p0 = measure_pressure(sys, lj).total();
+  ASSERT_GT(p0, 0.0);  // compressed: positive pressure
+
+  const BerendsenBarostat baro(0.0, 0.4);
+  const double v0 = sys.box().volume();
+  for (int block = 0; block < 30; ++block) {
+    for (int s = 0; s < 5; ++s) engine.step();
+    const double p = measure_pressure(sys, lj).total();
+    baro.apply(sys, p, 5 * cfg.dt);
+    engine.compute_forces();  // grids/forces for the rescaled box
+  }
+  const double p1 = measure_pressure(sys, lj).total();
+  EXPECT_GT(sys.box().volume(), v0);     // expanded
+  EXPECT_LT(std::abs(p1), std::abs(p0) * 0.5);  // pressure halved or better
+}
+
+}  // namespace
+}  // namespace scmd

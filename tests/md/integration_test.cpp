@@ -1,0 +1,113 @@
+// Time-integration physics checks through the serial engine: energy
+// conservation in NVE, thermostat convergence, momentum conservation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(VelocityVerletTest, RejectsNonPositiveDt) {
+  EXPECT_THROW(VelocityVerlet(0.0), Error);
+}
+
+TEST(VelocityVerletTest, FreeParticleMovesLinearly) {
+  ParticleSystem sys(Box::cubic(100.0), {1.0});
+  sys.add_atom({1, 1, 1}, {2.0, 0.0, 0.0}, 0);
+  const VelocityVerlet vv(0.5);
+  for (int s = 0; s < 4; ++s) {
+    vv.kick_drift(sys);
+    vv.kick(sys);  // zero forces
+  }
+  EXPECT_NEAR(sys.positions()[0].x, 1.0 + 2.0 * 0.5 * 4, 1e-12);
+}
+
+TEST(NveTest, LennardJonesEnergyConservation) {
+  Rng rng(60);
+  const LennardJones lj;
+  ParticleSystem sys = make_gas(lj, 256, 4.0, 0.5, rng);
+  // In LJ reduced-ish units (mass 1, eps 1) a stable step is ~0.005 t*.
+  SerialEngineConfig cfg;
+  cfg.dt = 0.005;
+  SerialEngine engine(sys, lj, make_strategy("SC", lj), cfg);
+  const double e0 = engine.total_energy();
+  for (int s = 0; s < 100; ++s) engine.step();
+  const double e1 = engine.total_energy();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 0.01 + 0.05);
+}
+
+TEST(NveTest, MomentumConserved) {
+  Rng rng(61);
+  const LennardJones lj;
+  ParticleSystem sys = make_gas(lj, 200, 4.0, 0.8, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 0.005;
+  SerialEngine engine(sys, lj, make_strategy("SC", lj), cfg);
+  for (int s = 0; s < 50; ++s) engine.step();
+  EXPECT_NEAR(sys.total_momentum().norm(), 0.0, 1e-8);
+}
+
+TEST(NveTest, SilicaEnergyConservation) {
+  Rng rng(62);
+  const VashishtaSiO2 field;
+  ParticleSystem sys = make_silica(648, 2.2, 300.0, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 0.5 * units::kFemtosecond;
+  SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+  // Let the jittered lattice relax a little under a thermostat first.
+  const BerendsenThermostat thermo(300.0, 20.0 * units::kFemtosecond);
+  for (int s = 0; s < 30; ++s) engine.step(thermo);
+  const double e0 = engine.total_energy();
+  for (int s = 0; s < 60; ++s) engine.step();
+  const double e1 = engine.total_energy();
+  // eV-scale system energy; drift must stay well under k_B T per atom.
+  EXPECT_NEAR(e1, e0, 0.02 * sys.num_atoms() * units::kBoltzmann * 300.0 +
+                          1e-3 * std::abs(e0));
+}
+
+TEST(ThermostatTest, RescalingConvergesToTargetInIsolation) {
+  // Pure velocity rescaling (no forces): T must converge exactly.
+  Rng rng(63);
+  ParticleSystem sys(Box::cubic(50.0), {1.0});
+  for (int i = 0; i < 64; ++i) {
+    sys.add_atom({1.0 * i, 0.5, 0.5},
+                 {rng.normal(0, 0.1), rng.normal(0, 0.1), rng.normal(0, 0.1)},
+                 0);
+  }
+  const BerendsenThermostat thermo(300.0, 10.0);
+  for (int s = 0; s < 600; ++s) thermo.apply(sys, 1.0);
+  EXPECT_NEAR(sys.temperature(), 300.0, 1.0);
+}
+
+TEST(ThermostatTest, HoldsEquilibratedSilicaNearTarget) {
+  Rng rng(64);
+  const VashishtaSiO2 field;
+  ParticleSystem sys = make_silica(648, 2.2, 300.0, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 0.5 * units::kFemtosecond;
+  SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+  // Strong coupling while the jittered lattice relaxes and dumps heat.
+  const BerendsenThermostat thermo(300.0, 1.0 * units::kFemtosecond);
+  for (int s = 0; s < 250; ++s) engine.step(thermo);
+  // The thermostat must hold T in a band around the target despite the
+  // relaxation heating.
+  EXPECT_GT(sys.temperature(), 100.0);
+  EXPECT_LT(sys.temperature(), 900.0);
+}
+
+TEST(ThermostatTest, RejectsBadParameters) {
+  EXPECT_THROW(BerendsenThermostat(-1.0, 1.0), Error);
+  EXPECT_THROW(BerendsenThermostat(300.0, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace scmd

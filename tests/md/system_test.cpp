@@ -1,0 +1,103 @@
+#include "md/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/lj.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(ParticleSystemTest, AddAtomWrapsPosition) {
+  ParticleSystem sys(Box::cubic(10.0), {1.0});
+  sys.add_atom({12.0, -1.0, 5.0}, {}, 0);
+  EXPECT_NEAR(sys.positions()[0].x, 2.0, 1e-12);
+  EXPECT_NEAR(sys.positions()[0].y, 9.0, 1e-12);
+}
+
+TEST(ParticleSystemTest, RejectsUnknownSpecies) {
+  ParticleSystem sys(Box::cubic(10.0), {1.0});
+  EXPECT_THROW(sys.add_atom({0, 0, 0}, {}, 1), Error);
+  EXPECT_THROW(sys.add_atom({0, 0, 0}, {}, -1), Error);
+}
+
+TEST(ParticleSystemTest, RejectsBadMasses) {
+  EXPECT_THROW(ParticleSystem(Box::cubic(1.0), {}), Error);
+  EXPECT_THROW(ParticleSystem(Box::cubic(1.0), {-1.0}), Error);
+}
+
+TEST(ParticleSystemTest, KineticEnergyAndTemperature) {
+  ParticleSystem sys(Box::cubic(10.0), {2.0});
+  sys.add_atom({1, 1, 1}, {3.0, 0.0, 0.0}, 0);
+  EXPECT_DOUBLE_EQ(sys.kinetic_energy(), 0.5 * 2.0 * 9.0);
+  EXPECT_NEAR(sys.temperature(),
+              2.0 * sys.kinetic_energy() / (3.0 * units::kBoltzmann), 1e-9);
+}
+
+TEST(ParticleSystemTest, MomentumZeroing) {
+  ParticleSystem sys(Box::cubic(10.0), {1.0, 4.0});
+  sys.add_atom({1, 1, 1}, {1.0, 2.0, 3.0}, 0);
+  sys.add_atom({2, 2, 2}, {-1.0, 0.5, 0.0}, 1);
+  sys.zero_momentum();
+  const Vec3 p = sys.total_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+  EXPECT_NEAR(p.z, 0.0, 1e-12);
+}
+
+TEST(ThermalizeTest, HitsTargetTemperature) {
+  Rng rng(50);
+  ParticleSystem sys = make_cubic_lattice(Box::cubic(20.0), 28.0, 1000, 0.1,
+                                          rng);
+  thermalize(sys, 300.0, rng);
+  EXPECT_NEAR(sys.temperature(), 300.0, 25.0);
+  const Vec3 p = sys.total_momentum();
+  EXPECT_NEAR(p.norm(), 0.0, 1e-9);
+}
+
+TEST(BuildersTest, CubicLatticeExactCount) {
+  Rng rng(51);
+  const ParticleSystem sys =
+      make_cubic_lattice(Box::cubic(10.0), 1.0, 123, 0.0, rng);
+  EXPECT_EQ(sys.num_atoms(), 123);
+}
+
+TEST(BuildersTest, SilicaStoichiometryAndDensity) {
+  Rng rng(52);
+  const ParticleSystem sys = make_silica(3000, 2.2, 300.0, rng);
+  EXPECT_EQ(sys.num_atoms(), 3000);
+  int si = 0, o = 0;
+  for (int t : sys.types()) (t == 0 ? si : o)++;
+  EXPECT_NEAR(static_cast<double>(o) / si, 2.0, 0.05);
+  // Mass density ~2.2 g/cc.
+  double mass = 0.0;
+  for (int i = 0; i < sys.num_atoms(); ++i) mass += sys.mass_of_atom(i);
+  const double density = mass / sys.box().volume() * units::kAmuPerA3ToGcc;
+  EXPECT_NEAR(density, 2.2, 0.05);
+}
+
+TEST(BuildersTest, SilicaAtomsInsideBox) {
+  Rng rng(53);
+  const ParticleSystem sys = make_silica(300, 2.2, 300.0, rng);
+  for (const Vec3& r : sys.positions()) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(r[a], 0.0);
+      EXPECT_LT(r[a], sys.box().length(a));
+    }
+  }
+}
+
+TEST(BuildersTest, GasDensityMatchesRequest) {
+  Rng rng(54);
+  const LennardJones lj;
+  const ParticleSystem sys = make_gas(lj, 500, 8.0, 1.0, rng);
+  const double cells = sys.box().volume() /
+                       (lj.rcut(2) * lj.rcut(2) * lj.rcut(2));
+  EXPECT_NEAR(500.0 / cells, 8.0, 0.01);
+}
+
+}  // namespace
+}  // namespace scmd

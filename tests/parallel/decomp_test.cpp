@@ -1,0 +1,92 @@
+#include "parallel/decomp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(ProcessGridTest, CoordRankRoundTrip) {
+  const ProcessGrid pg({3, 2, 4});
+  EXPECT_EQ(pg.num_ranks(), 24);
+  for (int r = 0; r < pg.num_ranks(); ++r) {
+    EXPECT_EQ(pg.rank_of(pg.coord_of(r)), r);
+  }
+}
+
+TEST(ProcessGridTest, RankOfWrapsPeriodically) {
+  const ProcessGrid pg({3, 3, 3});
+  EXPECT_EQ(pg.rank_of({-1, 0, 0}), pg.rank_of({2, 0, 0}));
+  EXPECT_EQ(pg.rank_of({3, 4, -3}), pg.rank_of({0, 1, 0}));
+}
+
+TEST(ProcessGridTest, NeighborsWrap) {
+  const ProcessGrid pg({2, 1, 1});
+  EXPECT_EQ(pg.neighbor(0, 0, +1), 1);
+  EXPECT_EQ(pg.neighbor(1, 0, +1), 0);
+  EXPECT_EQ(pg.neighbor(0, 0, -1), 1);
+  // Single-rank axis: neighbor is self.
+  EXPECT_EQ(pg.neighbor(0, 1, +1), 0);
+}
+
+TEST(ProcessGridTest, FactorProducesExactProduct) {
+  for (int P : {1, 2, 3, 4, 6, 8, 12, 16, 27, 48, 64, 512, 768, 8192}) {
+    const ProcessGrid pg = ProcessGrid::factor(P);
+    EXPECT_EQ(pg.num_ranks(), P) << P;
+  }
+}
+
+TEST(ProcessGridTest, FactorIsNearCubic) {
+  EXPECT_EQ(ProcessGrid::factor(8).dims(), (Int3{2, 2, 2}));
+  const Int3 d64 = ProcessGrid::factor(64).dims();
+  EXPECT_EQ(d64, (Int3{4, 4, 4}));
+  const Int3 d27 = ProcessGrid::factor(27).dims();
+  EXPECT_EQ(d27, (Int3{3, 3, 3}));
+}
+
+TEST(DecompositionTest, AlignedGridDivisible) {
+  const Decomposition d(Box::cubic(24.0), ProcessGrid({2, 2, 2}));
+  const CellGrid g = d.aligned_grid(2.5);
+  // Region 12 Å / 2.5 -> 4 cells/rank -> 8 cells/axis.
+  EXPECT_EQ(g.dims(), (Int3{8, 8, 8}));
+  EXPECT_EQ(d.cells_per_rank(g), (Int3{4, 4, 4}));
+  EXPECT_GE(g.min_cell_length(), 2.5);
+}
+
+TEST(DecompositionTest, BrickLoTilesTheGrid) {
+  const Decomposition d(Box::cubic(24.0), ProcessGrid({2, 2, 2}));
+  const CellGrid g = d.aligned_grid(3.0);
+  std::set<Int3> los;
+  for (int r = 0; r < 8; ++r) los.insert(d.brick_lo(g, r));
+  EXPECT_EQ(los.size(), 8u);
+  const Int3 l = d.cells_per_rank(g);
+  for (const Int3& lo : los) {
+    EXPECT_EQ(lo.x % l.x, 0);
+    EXPECT_EQ(lo.y % l.y, 0);
+    EXPECT_EQ(lo.z % l.z, 0);
+  }
+}
+
+TEST(DecompositionTest, RegionGeometry) {
+  const Decomposition d(Box({12.0, 24.0, 36.0}), ProcessGrid({2, 2, 3}));
+  const Vec3 len = d.region_lengths();
+  EXPECT_DOUBLE_EQ(len.x, 6.0);
+  EXPECT_DOUBLE_EQ(len.y, 12.0);
+  EXPECT_DOUBLE_EQ(len.z, 12.0);
+  const Vec3 lo = d.region_lo(d.pgrid().rank_of({1, 0, 2}));
+  EXPECT_DOUBLE_EQ(lo.x, 6.0);
+  EXPECT_DOUBLE_EQ(lo.y, 0.0);
+  EXPECT_DOUBLE_EQ(lo.z, 24.0);
+}
+
+TEST(DecompositionTest, RejectsGrainFinerThanCutoff) {
+  const Decomposition d(Box::cubic(8.0), ProcessGrid({4, 1, 1}));
+  // Region 2 Å < rcut 2.5 Å.
+  EXPECT_THROW(d.aligned_grid(2.5), Error);
+}
+
+}  // namespace
+}  // namespace scmd

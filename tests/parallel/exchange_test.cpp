@@ -1,0 +1,201 @@
+#include "parallel/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "md/builders.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+ParticleSystem lattice_system(int atoms, double side, std::uint64_t seed) {
+  Rng rng(seed);
+  return make_cubic_lattice(Box::cubic(side), 1.0, atoms, 0.4, rng);
+}
+
+/// Reference ghost set: every atom image (integer box shifts) whose
+/// position falls inside the rank's halo slab but not its owned region.
+std::multiset<std::pair<std::int64_t, long long>> expected_ghosts(
+    const ParticleSystem& sys, const Decomposition& decomp, int rank,
+    const SlabSpec& slab) {
+  const Vec3 lo = decomp.region_lo(rank);
+  const Vec3 len = decomp.region_lengths();
+  std::multiset<std::pair<std::int64_t, long long>> out;
+  const Box& box = sys.box();
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    const Vec3 p = box.wrap(sys.positions()[i]);
+    for (int ix = -1; ix <= 1; ++ix) {
+      for (int iy = -1; iy <= 1; ++iy) {
+        for (int iz = -1; iz <= 1; ++iz) {
+          const Vec3 img = p + Vec3{ix * box.length(0), iy * box.length(1),
+                                    iz * box.length(2)};
+          bool in_slab = true, owned = true;
+          for (int a = 0; a < 3; ++a) {
+            if (img[a] < lo[a] - slab.t_lo[a] ||
+                img[a] >= lo[a] + len[a] + slab.t_hi[a])
+              in_slab = false;
+            if (img[a] < lo[a] || img[a] >= lo[a] + len[a]) owned = false;
+          }
+          if (in_slab && !owned) {
+            // Key: (gid, quantized image shift) to distinguish images.
+            const long long key =
+                (ix + 1) * 9LL + (iy + 1) * 3LL + (iz + 1);
+            out.insert({i, key});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class ExchangeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ExchangeTest, ImportDeliversExactHaloPopulation) {
+  const bool both = GetParam();
+  const ParticleSystem sys = lattice_system(400, 20.0, 90);
+  const ProcessGrid pgrid({2, 2, 2});
+  const Decomposition decomp(sys.box(), pgrid);
+  SlabSpec slab;
+  slab.t_hi = {3.0, 3.0, 3.0};
+  if (both) slab.t_lo = {3.0, 3.0, 3.0};
+
+  run_cluster(8, [&](Comm& comm) {
+    RankState st = scatter_atoms(sys, decomp)[static_cast<std::size_t>(
+        comm.rank())];
+    const HaloExchange ex(decomp, slab, both);
+    EngineCounters counters;
+    ex.import(comm, st, counters);
+
+    // Compare the (gid, image) multiset against the oracle.
+    std::multiset<std::pair<std::int64_t, long long>> got;
+    for (int g = 0; g < st.num_ghosts(); ++g) {
+      const Vec3 p = st.ghost_pos[static_cast<std::size_t>(g)];
+      const Vec3 w = sys.box().wrap(p);
+      long long key = 0;
+      for (int a = 0; a < 3; ++a) {
+        const double shift = (p[a] - w[a]) / sys.box().length(a);
+        key += (static_cast<long long>(std::llround(shift)) + 1) *
+               (a == 0 ? 9 : (a == 1 ? 3 : 1));
+      }
+      got.insert({st.ghost_gid[static_cast<std::size_t>(g)], key});
+    }
+    EXPECT_EQ(got, expected_ghosts(sys, decomp, comm.rank(), slab))
+        << "rank " << comm.rank();
+    EXPECT_EQ(counters.ghost_atoms_imported,
+              static_cast<std::uint64_t>(st.num_ghosts()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Directions, ExchangeTest, ::testing::Bool());
+
+TEST(ExchangeTest, OctantImportUsesThreeMessagesPerRank) {
+  const ParticleSystem sys = lattice_system(200, 18.0, 91);
+  const ProcessGrid pgrid({2, 2, 2});
+  const Decomposition decomp(sys.box(), pgrid);
+  SlabSpec slab;
+  slab.t_hi = {2.0, 2.0, 2.0};
+  run_cluster(8, [&](Comm& comm) {
+    RankState st = scatter_atoms(sys, decomp)[static_cast<std::size_t>(
+        comm.rank())];
+    const HaloExchange ex(decomp, slab, false);
+    EngineCounters counters;
+    ex.import(comm, st, counters);
+    EXPECT_EQ(counters.messages, 3u);
+  });
+}
+
+TEST(ExchangeTest, WriteBackReturnsAllGhostForcesToOwners) {
+  const ParticleSystem sys = lattice_system(300, 18.0, 92);
+  const ProcessGrid pgrid({2, 2, 2});
+  const Decomposition decomp(sys.box(), pgrid);
+  SlabSpec slab;
+  slab.t_hi = {3.0, 3.0, 3.0};
+
+  const int N = sys.num_atoms();
+  std::vector<Vec3> final_force(static_cast<std::size_t>(N));
+
+  run_cluster(8, [&](Comm& comm) {
+    RankState st = scatter_atoms(sys, decomp)[static_cast<std::size_t>(
+        comm.rank())];
+    const HaloExchange ex(decomp, slab, false);
+    EngineCounters counters;
+    const auto stages = ex.import(comm, st, counters);
+
+    // Put a marker force 1.0 on every copy (owned and ghost): after
+    // write-back each owner must hold 1 + (number of images of its atom
+    // on any rank's halo).
+    std::vector<Vec3> force(static_cast<std::size_t>(st.num_total()),
+                            Vec3{1.0, 0.0, 0.0});
+    ex.write_back(comm, stages, st, force, counters);
+    for (int i = 0; i < st.num_owned(); ++i) {
+      final_force[static_cast<std::size_t>(
+          st.gid[static_cast<std::size_t>(i)])] =
+          force[static_cast<std::size_t>(i)];
+    }
+  });
+
+  // Oracle: 1 + total ghost copies of each atom across all ranks.
+  std::vector<double> expected(static_cast<std::size_t>(N), 1.0);
+  for (int r = 0; r < 8; ++r) {
+    for (const auto& [gid, key] : expected_ghosts(sys, decomp, r, slab))
+      expected[static_cast<std::size_t>(gid)] += 1.0;
+  }
+  for (int i = 0; i < N; ++i) {
+    EXPECT_DOUBLE_EQ(final_force[static_cast<std::size_t>(i)].x,
+                     expected[static_cast<std::size_t>(i)])
+        << "atom " << i;
+  }
+}
+
+TEST(ExchangeTest, SlabThickerThanRegionRejected) {
+  const Decomposition decomp(Box::cubic(8.0), ProcessGrid({2, 2, 2}));
+  SlabSpec slab;
+  slab.t_hi = {5.0, 1.0, 1.0};  // region is 4 Å
+  EXPECT_THROW(HaloExchange(decomp, slab, false), Error);
+}
+
+TEST(MigratorTest, AtomsArriveAtTheirOwners) {
+  ParticleSystem sys = lattice_system(300, 20.0, 93);
+  const ProcessGrid pgrid({2, 2, 2});
+  const Decomposition decomp(sys.box(), pgrid);
+
+  std::vector<int> owner_after(static_cast<std::size_t>(sys.num_atoms()),
+                               -1);
+  // Scatter with correct ownership, then displace atoms by less than one
+  // region (the migrator's single-hop contract) and migrate.
+  const std::vector<RankState> states = scatter_atoms(sys, decomp);
+  run_cluster(8, [&](Comm& comm) {
+    RankState st = states[static_cast<std::size_t>(comm.rank())];
+    // Drift atoms locally.
+    Rng drift(100 + static_cast<std::uint64_t>(comm.rank()));
+    for (Vec3& p : st.pos) {
+      p = sys.box().wrap(p + Vec3{drift.uniform(-6, 6), drift.uniform(-6, 6),
+                                  drift.uniform(-6, 6)});
+    }
+    const Migrator mig(decomp);
+    mig.migrate(comm, st);
+    // All owned atoms in region.
+    const Vec3 lo = decomp.region_lo(comm.rank());
+    const Vec3 len = decomp.region_lengths();
+    for (const Vec3& p : st.pos) {
+      for (int a = 0; a < 3; ++a) {
+        EXPECT_GE(p[a], lo[a] - 1e-9);
+        EXPECT_LT(p[a], lo[a] + len[a] + 1e-9);
+      }
+    }
+    for (std::int64_t g : st.gid)
+      owner_after[static_cast<std::size_t>(g)] = comm.rank();
+  });
+  // Every atom has exactly one owner.
+  for (int o : owner_after) EXPECT_GE(o, 0);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,126 @@
+#include "pattern/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pattern/generate.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(CoverageTest, FullShellPairCovers27Cells) {
+  EXPECT_EQ(cell_footprint(generate_fs(2)), 27u);
+}
+
+TEST(CoverageTest, FullShellTripletCovers125Cells) {
+  // FS(3) reaches two nearest-neighbor steps: the 5^3 cube.
+  EXPECT_EQ(cell_footprint(generate_fs(3)), 125u);
+}
+
+TEST(CoverageTest, ScPairFootprintIsOctant) {
+  EXPECT_EQ(cell_footprint(make_sc(2)), 8u);
+}
+
+TEST(CoverageTest, ScTripletFootprintWithinOctantCube) {
+  const auto cover = cell_coverage(make_sc(3));
+  EXPECT_LE(cover.size(), 27u);
+  for (const Int3& v : cover) {
+    EXPECT_GE(v.chebyshev(), 0);
+    EXPECT_TRUE(v.x >= 0 && v.y >= 0 && v.z >= 0);
+    EXPECT_TRUE(v.x <= 2 && v.y <= 2 && v.z <= 2);
+  }
+}
+
+TEST(ImportVolumeTest, EighthShellImports7CellsAtL1) {
+  // Paper Sec. 4.3.3 / Eq. 33 with l = 1, n = 2.
+  EXPECT_EQ(import_volume(make_es(), {1, 1, 1}), 7);
+  EXPECT_EQ(sc_import_volume(1, 2), 7);
+}
+
+TEST(ImportVolumeTest, FullShellPairImports26CellsAtL1) {
+  EXPECT_EQ(import_volume(generate_fs(2), {1, 1, 1}), 26);
+  EXPECT_EQ(fs_import_volume(1, 2), 26);
+}
+
+TEST(ImportVolumeTest, ScMatchesClosedFormEq33) {
+  for (int n : {2, 3, 4}) {
+    for (int l : {1, 2, 3, 5}) {
+      EXPECT_EQ(import_volume(make_sc(n), {l, l, l}), sc_import_volume(l, n))
+          << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+TEST(ImportVolumeTest, FsMatchesClosedForm) {
+  for (int n : {2, 3}) {
+    for (int l : {1, 2, 4}) {
+      EXPECT_EQ(import_volume(generate_fs(n), {l, l, l}),
+                fs_import_volume(l, n))
+          << "n=" << n << " l=" << l;
+    }
+  }
+}
+
+TEST(ImportVolumeTest, NonCubicBrick) {
+  // (lx + n-1)(ly + n-1)(lz + n-1) - lx*ly*lz for SC.
+  const long long v = import_volume(make_sc(3), {2, 3, 4});
+  EXPECT_EQ(v, 4LL * 5 * 6 - 2LL * 3 * 4);
+}
+
+TEST(ImportNeighborTest, ScNeedsSevenNeighbors) {
+  // Octant import touches the 7 upper neighbor ranks when the halo fits
+  // within one rank brick (paper Sec. 4.2).
+  EXPECT_EQ(import_neighbor_count(make_sc(2), {1, 1, 1}), 7);
+  EXPECT_EQ(import_neighbor_count(make_sc(3), {2, 2, 2}), 7);
+}
+
+TEST(ImportNeighborTest, FsNeedsTwentySixNeighbors) {
+  EXPECT_EQ(import_neighbor_count(generate_fs(2), {1, 1, 1}), 26);
+  EXPECT_EQ(import_neighbor_count(generate_fs(3), {2, 2, 2}), 26);
+}
+
+TEST(ImportNeighborTest, FineGrainTripletReachesFurtherRanks) {
+  // With l = 1 and n = 3 the SC halo is two bricks deep: 26 ranks in the
+  // upper octant direction.
+  EXPECT_EQ(import_neighbor_count(make_sc(3), {1, 1, 1}), 26);
+}
+
+TEST(ClosedFormsTest, PatternSizes) {
+  EXPECT_EQ(fs_pattern_size(2), 27);
+  EXPECT_EQ(fs_pattern_size(3), 729);
+  EXPECT_EQ(fs_pattern_size(4), 19683);
+  EXPECT_EQ(sc_pattern_size(2), 14);       // half-shell
+  EXPECT_EQ(sc_pattern_size(3), 378);      // (729 + 27) / 2
+  EXPECT_EQ(sc_pattern_size(4), 9855);     // (19683 + 27) / 2
+  EXPECT_EQ(sc_pattern_size(5), 266085);   // (531441 + 729) / 2
+  EXPECT_EQ(non_collapsible_count(2), 1);
+  EXPECT_EQ(non_collapsible_count(3), 27);
+  EXPECT_EQ(non_collapsible_count(4), 27);
+  EXPECT_EQ(non_collapsible_count(5), 729);
+  EXPECT_EQ(non_collapsible_count(6), 729);
+}
+
+TEST(ClosedFormsTest, SearchCostHalvingForLargeN) {
+  // |Ψ_SC| / |Ψ_FS| -> 1/2 (paper Eq. 29).
+  for (int n : {4, 5, 6}) {
+    const double ratio = static_cast<double>(sc_pattern_size(n)) /
+                         static_cast<double>(fs_pattern_size(n));
+    EXPECT_NEAR(ratio, 0.5, 0.002) << "n=" << n;
+  }
+}
+
+TEST(ClosedFormsTest, RejectsBadArguments) {
+  EXPECT_THROW(fs_pattern_size(1), Error);
+  EXPECT_THROW(sc_import_volume(0, 2), Error);
+}
+
+TEST(AnalysisTest, ImportCellsAreOutsideBrick) {
+  const Int3 dims{2, 2, 2};
+  for (const Int3& c : import_cells(make_sc(3), dims)) {
+    EXPECT_TRUE(c.x < 0 || c.x >= dims.x || c.y < 0 || c.y >= dims.y ||
+                c.z < 0 || c.z >= dims.z);
+  }
+}
+
+}  // namespace
+}  // namespace scmd

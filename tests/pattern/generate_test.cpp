@@ -1,0 +1,175 @@
+#include "pattern/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/analysis.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(GenerateFsTest, SizeIs27ToTheNMinus1) {
+  for (int n = 2; n <= 5; ++n) {
+    EXPECT_EQ(static_cast<long long>(generate_fs(n).size()),
+              fs_pattern_size(n))
+        << "n=" << n;
+  }
+}
+
+TEST(GenerateFsTest, AllPathsStartAtOriginWithUnitSteps) {
+  for (int n : {2, 3, 4}) {
+    const Pattern psi = generate_fs(n);
+    for (const Path& p : psi) {
+      EXPECT_EQ(p[0], (Int3{0, 0, 0}));
+      EXPECT_TRUE(p.has_unit_steps());
+      EXPECT_EQ(p.size(), n);
+    }
+  }
+}
+
+TEST(GenerateFsTest, PathsAreDistinct) {
+  const Pattern psi = generate_fs(3);
+  std::set<Path> unique(psi.begin(), psi.end());
+  EXPECT_EQ(unique.size(), psi.size());
+}
+
+TEST(GenerateFsTest, NotCollapsedFlag) {
+  EXPECT_FALSE(generate_fs(2).collapsed());
+}
+
+TEST(OcShiftTest, ShiftedPathsLieInFirstOctant) {
+  for (int n : {2, 3, 4}) {
+    const Pattern psi = oc_shift(generate_fs(n));
+    for (const Path& p : psi) EXPECT_TRUE(p.in_first_octant());
+  }
+}
+
+TEST(OcShiftTest, PreservesSigmaOfEveryPath) {
+  const Pattern before = generate_fs(3);
+  const Pattern after = oc_shift(before);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(before[i].sigma(), after[i].sigma());
+}
+
+TEST(OcShiftTest, CoverageWithinNMinus1Cube) {
+  // Paper Sec. 4.2: OC-shifted coverage is within c[0, n-1].
+  for (int n : {2, 3, 4}) {
+    const Pattern psi = oc_shift(generate_fs(n));
+    for (const Int3& v : cell_coverage(psi)) {
+      EXPECT_GE(v.x, 0);
+      EXPECT_GE(v.y, 0);
+      EXPECT_GE(v.z, 0);
+      EXPECT_LE(v.x, n - 1);
+      EXPECT_LE(v.y, n - 1);
+      EXPECT_LE(v.z, n - 1);
+    }
+  }
+}
+
+TEST(RCollapseTest, SizeMatchesEq29) {
+  for (int n = 2; n <= 5; ++n) {
+    const Pattern sc = make_sc(n);
+    EXPECT_EQ(static_cast<long long>(sc.size()), sc_pattern_size(n))
+        << "n=" << n;
+  }
+}
+
+TEST(RCollapseTest, CollapsedPatternHasNoTwinPairs) {
+  for (int n : {2, 3, 4}) {
+    const Pattern sc = make_sc(n);
+    std::set<Path> keys;
+    for (const Path& p : sc) {
+      const auto [it, inserted] = keys.insert(p.reflection_key());
+      EXPECT_TRUE(inserted) << "duplicate reflective class, n=" << n;
+    }
+  }
+}
+
+TEST(RCollapseTest, EquivalentToFullShell) {
+  // Same set of reflective classes as FS: no force information lost.
+  for (int n : {2, 3}) {
+    EXPECT_TRUE(make_sc(n).equivalent_to(generate_fs(n))) << "n=" << n;
+  }
+}
+
+TEST(RCollapseTest, PairwiseTranscriptionAgreesWithCanonical) {
+  // Table 5 verbatim vs canonical-key dedup: equal size, equivalent sets.
+  for (int n : {2, 3}) {
+    const Pattern base = oc_shift(generate_fs(n));
+    const Pattern fast = r_collapse(base);
+    const Pattern slow = r_collapse_pairwise(base);
+    EXPECT_EQ(fast.size(), slow.size()) << "n=" << n;
+    EXPECT_TRUE(fast.equivalent_to(slow)) << "n=" << n;
+  }
+}
+
+TEST(RCollapseTest, SelfReflectivePathCountMatchesTheory) {
+  for (int n = 2; n <= 5; ++n) {
+    const Pattern sc = make_sc(n);
+    long long self_count = 0;
+    for (const Path& p : sc)
+      if (p.self_reflective()) ++self_count;
+    EXPECT_EQ(self_count, non_collapsible_count(n)) << "n=" << n;
+  }
+}
+
+TEST(HalfShellTest, Has14Paths) {
+  const Pattern hs = make_hs();
+  EXPECT_EQ(hs.size(), 14u);
+  EXPECT_TRUE(hs.collapsed());
+  EXPECT_TRUE(hs.equivalent_to(generate_fs(2)));
+}
+
+TEST(EighthShellTest, EqualsScForN2) {
+  // ES = OC-SHIFT(HS) generates the same force set as SC(2)
+  // (paper Sec. 4.3.3: ES is a special case of SC).
+  const Pattern es = make_es();
+  const Pattern sc2 = make_sc(2);
+  EXPECT_EQ(es.size(), sc2.size());
+  EXPECT_TRUE(es.equivalent_to(sc2));
+}
+
+TEST(EighthShellTest, CoverageIsFirstOctant) {
+  const Pattern es = make_es();
+  const auto cover = cell_coverage(es);
+  // All eight {0,1}^3 cells are touched and nothing else.
+  EXPECT_EQ(cover.size(), 8u);
+  for (const Int3& v : cover) {
+    EXPECT_GE(v.x, 0);
+    EXPECT_LE(v.x, 1);
+    EXPECT_GE(v.y, 0);
+    EXPECT_LE(v.y, 1);
+    EXPECT_GE(v.z, 0);
+    EXPECT_LE(v.z, 1);
+  }
+}
+
+TEST(MakeScTest, CollapsedFlagSet) {
+  EXPECT_TRUE(make_sc(3).collapsed());
+}
+
+TEST(MakeScTest, RejectsOutOfRangeN) {
+  EXPECT_THROW(generate_fs(1), Error);
+  EXPECT_THROW(generate_fs(kMaxTupleLen + 1), Error);
+}
+
+TEST(PatternTest, AddRejectsWrongLength) {
+  Pattern psi(3);
+  EXPECT_THROW(psi.add(Path{{0, 0, 0}, {1, 0, 0}}), Error);
+}
+
+TEST(PatternTest, ContainsAndSort) {
+  Pattern psi(2);
+  psi.add(Path{{0, 0, 0}, {1, 0, 0}});
+  psi.add(Path{{0, 0, 0}, {0, 0, 0}});
+  EXPECT_TRUE(psi.contains(Path{{0, 0, 0}, {1, 0, 0}}));
+  EXPECT_FALSE(psi.contains(Path{{0, 0, 0}, {0, 1, 0}}));
+  psi.sort();
+  EXPECT_EQ(psi[0], (Path{{0, 0, 0}, {0, 0, 0}}));
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,109 @@
+// Algebraic properties of the pattern operations: idempotence,
+// commutation with the force-set semantics, and composition order.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/analysis.hpp"
+#include "pattern/generate.hpp"
+
+namespace scmd {
+namespace {
+
+bool same_paths(const Pattern& a, const Pattern& b) {
+  std::multiset<Path> pa(a.begin(), a.end());
+  std::multiset<Path> pb(b.begin(), b.end());
+  return pa == pb;
+}
+
+TEST(PatternOpsTest, OcShiftIsIdempotent) {
+  for (int n : {2, 3, 4}) {
+    const Pattern once = oc_shift(generate_fs(n));
+    const Pattern twice = oc_shift(once);
+    EXPECT_TRUE(same_paths(once, twice)) << "n=" << n;
+  }
+}
+
+TEST(PatternOpsTest, RCollapseIsIdempotent) {
+  for (int n : {2, 3, 4}) {
+    const Pattern once = r_collapse(generate_fs(n));
+    const Pattern twice = r_collapse(once);
+    EXPECT_EQ(once.size(), twice.size()) << "n=" << n;
+    EXPECT_TRUE(once.equivalent_to(twice)) << "n=" << n;
+  }
+}
+
+TEST(PatternOpsTest, PhaseOrderDoesNotChangeSizeOrEquivalence) {
+  // R-COLLAPSE(OC-SHIFT(FS)) vs OC-SHIFT(R-COLLAPSE(FS)): both collapse
+  // exactly one path per reflective class (the equivalence test is
+  // shift-invariant), so sizes agree and force sets coincide.
+  for (int n : {2, 3}) {
+    const Pattern a = r_collapse(oc_shift(generate_fs(n)));
+    const Pattern b = oc_shift(r_collapse(generate_fs(n)));
+    EXPECT_EQ(a.size(), b.size()) << "n=" << n;
+    EXPECT_TRUE(a.equivalent_to(b)) << "n=" << n;
+  }
+}
+
+TEST(PatternOpsTest, CollapsePreservesEquivalenceClasses) {
+  for (int n : {2, 3}) {
+    const Pattern fs = generate_fs(n);
+    const Pattern rc = r_collapse(fs);
+    // Every FS path has an equivalent representative in RC.
+    std::set<Path> rc_keys;
+    for (const Path& p : rc) rc_keys.insert(p.reflection_key());
+    for (const Path& p : fs) {
+      EXPECT_TRUE(rc_keys.count(p.reflection_key())) << "n=" << n;
+    }
+  }
+}
+
+TEST(PatternOpsTest, OcShiftPreservesPathCount) {
+  for (int n : {2, 3, 4}) {
+    const Pattern fs = generate_fs(n);
+    EXPECT_EQ(oc_shift(fs).size(), fs.size());
+  }
+}
+
+TEST(PatternOpsTest, CollapsedFlagPropagates) {
+  EXPECT_FALSE(oc_shift(generate_fs(2)).collapsed());
+  EXPECT_TRUE(r_collapse(generate_fs(2)).collapsed());
+  EXPECT_TRUE(oc_shift(r_collapse(generate_fs(2))).collapsed());
+}
+
+TEST(PatternOpsTest, FootprintNeverGrowsUnderCollapse) {
+  for (int n : {2, 3, 4}) {
+    const Pattern fs = generate_fs(n);
+    EXPECT_LE(cell_footprint(r_collapse(fs)), cell_footprint(fs));
+    EXPECT_LE(cell_footprint(oc_shift(fs)), cell_footprint(fs));
+  }
+}
+
+TEST(PatternOpsTest, ImportVolumeOrdering) {
+  // SC <= OC-only <= FS, and SC <= RC-only <= FS, for import volumes.
+  for (int n : {2, 3}) {
+    for (int l : {1, 2, 4}) {
+      const Int3 brick{l, l, l};
+      const long long fs = import_volume(generate_fs(n), brick);
+      const long long oc = import_volume(oc_shift(generate_fs(n)), brick);
+      const long long rc = import_volume(r_collapse(generate_fs(n)), brick);
+      const long long sc = import_volume(make_sc(n), brick);
+      EXPECT_LE(sc, oc);
+      EXPECT_LE(oc, fs);
+      EXPECT_LE(sc, rc);
+      EXPECT_LE(rc, fs);
+    }
+  }
+}
+
+TEST(PatternOpsTest, SubCutoffCommutesWithPhases) {
+  // The pipeline applies unchanged at reach = 2.
+  const Pattern a = r_collapse(oc_shift(generate_fs(3, 2)));
+  const Pattern b = make_sc(3, 2);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a.equivalent_to(b));
+}
+
+}  // namespace
+}  // namespace scmd

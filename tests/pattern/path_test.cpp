@@ -1,0 +1,150 @@
+#include "pattern/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+Path random_path(int n, Rng& rng, int span = 2) {
+  Path p;
+  for (int k = 0; k < n; ++k) {
+    p.push_back({static_cast<int>(rng.uniform_index(2 * span + 1)) - span,
+                 static_cast<int>(rng.uniform_index(2 * span + 1)) - span,
+                 static_cast<int>(rng.uniform_index(2 * span + 1)) - span});
+  }
+  return p;
+}
+
+TEST(PathTest, ConstructionAndAccess) {
+  const Path p{{0, 0, 0}, {1, 0, -1}};
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_EQ(p[0], (Int3{0, 0, 0}));
+  EXPECT_EQ(p[1], (Int3{1, 0, -1}));
+}
+
+TEST(PathTest, PushPopRoundTrip) {
+  Path p;
+  p.push_back({1, 2, 3});
+  p.push_back({4, 5, 6});
+  EXPECT_EQ(p.size(), 2);
+  p.pop_back();
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_EQ(p[0], (Int3{1, 2, 3}));
+  p.pop_back();
+  EXPECT_THROW(p.pop_back(), Error);
+}
+
+TEST(PathTest, InverseReversesOffsets) {
+  const Path p{{0, 0, 0}, {1, 1, 1}, {2, 0, 0}};
+  const Path inv = p.inverse();
+  EXPECT_EQ(inv[0], (Int3{2, 0, 0}));
+  EXPECT_EQ(inv[1], (Int3{1, 1, 1}));
+  EXPECT_EQ(inv[2], (Int3{0, 0, 0}));
+}
+
+TEST(PathTest, InverseIsInvolution) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Path p = random_path(2 + static_cast<int>(rng.uniform_index(4)), rng);
+    EXPECT_EQ(p.inverse().inverse(), p);
+  }
+}
+
+TEST(PathTest, ShiftTranslatesAllOffsets) {
+  const Path p{{0, 0, 0}, {1, 0, 0}};
+  const Path s = p.shifted({-1, 2, 3});
+  EXPECT_EQ(s[0], (Int3{-1, 2, 3}));
+  EXPECT_EQ(s[1], (Int3{0, 2, 3}));
+}
+
+TEST(PathTest, SigmaIsShiftInvariant) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Path p = random_path(3, rng);
+    const Int3 delta{static_cast<int>(rng.uniform_index(7)) - 3,
+                     static_cast<int>(rng.uniform_index(7)) - 3,
+                     static_cast<int>(rng.uniform_index(7)) - 3};
+    EXPECT_EQ(p.sigma(), p.shifted(delta).sigma());
+  }
+}
+
+TEST(PathTest, SigmaComputesDifferences) {
+  const Path p{{0, 0, 0}, {1, 1, 0}, {1, 0, 1}};
+  const Path s = p.sigma();
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_EQ(s[0], (Int3{1, 1, 0}));
+  EXPECT_EQ(s[1], (Int3{0, -1, 1}));
+}
+
+TEST(PathTest, SelfReflectiveDetection) {
+  // Pair path staying in one cell: p == p^{-1}.
+  EXPECT_TRUE((Path{{0, 0, 0}, {0, 0, 0}}).self_reflective());
+  // Straight pair path is not.
+  EXPECT_FALSE((Path{{0, 0, 0}, {1, 0, 0}}).self_reflective());
+  // Triplet out-and-back is self-reflective.
+  EXPECT_TRUE((Path{{0, 0, 0}, {1, 0, 0}, {0, 0, 0}}).self_reflective());
+  EXPECT_FALSE((Path{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}}).self_reflective());
+}
+
+TEST(PathTest, SelfReflectiveIsShiftInvariant) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Path p = random_path(2 + static_cast<int>(rng.uniform_index(3)), rng);
+    const Int3 delta{1, -2, 3};
+    EXPECT_EQ(p.self_reflective(), p.shifted(delta).self_reflective());
+  }
+}
+
+TEST(PathTest, CornersBoundAllOffsets) {
+  const Path p{{1, -2, 0}, {3, 4, -5}, {0, 0, 0}};
+  EXPECT_EQ(p.min_corner(), (Int3{0, -2, -5}));
+  EXPECT_EQ(p.max_corner(), (Int3{3, 4, 0}));
+}
+
+TEST(PathTest, ReflectionKeyEqualForTwins) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_index(4));
+    const Path p = random_path(n, rng);
+    // The reflective twin RPT(p) = p^{-1} - v_{n-1} (Lemma 6).
+    const Path twin = p.inverse().shifted(-p[n - 1]);
+    EXPECT_EQ(p.reflection_key(), twin.reflection_key());
+  }
+}
+
+TEST(PathTest, ReflectionKeyDiffersForUnrelatedPaths) {
+  const Path a{{0, 0, 0}, {1, 0, 0}};
+  const Path b{{0, 0, 0}, {0, 1, 0}};
+  EXPECT_NE(a.reflection_key(), b.reflection_key());
+}
+
+TEST(PathTest, FirstOctantCheck) {
+  EXPECT_TRUE((Path{{0, 0, 0}, {1, 2, 3}}).in_first_octant());
+  EXPECT_FALSE((Path{{0, 0, 0}, {-1, 0, 0}}).in_first_octant());
+}
+
+TEST(PathTest, UnitStepCheck) {
+  EXPECT_TRUE((Path{{0, 0, 0}, {1, 1, -1}}).has_unit_steps());
+  EXPECT_FALSE((Path{{0, 0, 0}, {2, 0, 0}}).has_unit_steps());
+  EXPECT_TRUE((Path{{5, 5, 5}, {4, 4, 4}, {5, 3, 4}}).has_unit_steps());
+}
+
+TEST(PathTest, CapacityEnforced) {
+  Path p;
+  for (int i = 0; i < kMaxTupleLen; ++i) p.push_back({0, 0, 0});
+  EXPECT_THROW(p.push_back({0, 0, 0}), Error);
+}
+
+TEST(PathTest, OrderingIsLexicographic) {
+  const Path a{{0, 0, 0}, {0, 0, 1}};
+  const Path b{{0, 0, 0}, {0, 1, 0}};
+  EXPECT_LT(a, b);
+  const Path shorter{{0, 0, 0}};
+  EXPECT_LT(shorter, a);  // size compares first
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,111 @@
+// Lemma 5 in practice: the closed-form search-cost model must predict the
+// measured enumeration counters of a uniform gas within modeling error.
+
+#include "perf/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cell/domain.hpp"
+#include "pattern/analysis.hpp"
+#include "pattern/generate.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+namespace {
+
+struct Measured {
+  TupleCounters counters;
+  long long force_set = 0;
+  SearchCostInputs inputs;
+};
+
+Measured measure_uniform(int n, bool collapse, double rho, int cells_axis,
+                         std::uint64_t seed) {
+  const double rcut = 3.0;
+  const Box box = Box::cubic(rcut * cells_axis);
+  const CellGrid grid(box, rcut);
+  Rng rng(seed);
+  const long long atoms = static_cast<long long>(
+      rho * static_cast<double>(grid.num_cells()) + 0.5);
+  std::vector<Vec3> pos;
+  std::vector<int> type(static_cast<std::size_t>(atoms), 0);
+  for (long long i = 0; i < atoms; ++i) {
+    pos.push_back({rng.uniform(0, box.length(0)),
+                   rng.uniform(0, box.length(1)),
+                   rng.uniform(0, box.length(2))});
+  }
+  const Pattern psi = collapse ? make_sc(n) : generate_fs(n);
+  const CellDomain dom = make_serial_domain(grid, halo_for(psi), pos, type);
+  const CompiledPattern cp(psi);
+
+  Measured m;
+  m.counters = count_tuples(dom, cp, rcut);
+  m.force_set = force_set_size(dom, cp);
+  m.inputs.num_cells = grid.num_cells();
+  m.inputs.atoms_per_cell =
+      static_cast<double>(atoms) / static_cast<double>(grid.num_cells());
+  m.inputs.n = n;
+  m.inputs.pattern_size = static_cast<long long>(psi.size());
+  m.inputs.pass_fraction = geometric_pass_fraction(rcut, rcut);
+  return m;
+}
+
+class AnalyticModelTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(AnalyticModelTest, PredictsMeasuredCounters) {
+  const auto [n, collapse] = GetParam();
+  const Measured m = measure_uniform(n, collapse, 8.0, 5, 500 + n);
+
+  // |S(n)| is exact in expectation; random occupancy fluctuation is small
+  // at 1000 atoms.
+  EXPECT_NEAR(static_cast<double>(m.force_set) /
+                  predicted_force_set_size(m.inputs),
+              1.0, 0.10)
+      << "n=" << n;
+
+  // Chain candidates and search steps involve the geometric pass
+  // fraction; allow modeling error.
+  EXPECT_NEAR(static_cast<double>(m.counters.chain_candidates) /
+                  predicted_chain_candidates(m.inputs),
+              1.0, 0.30)
+      << "n=" << n;
+  EXPECT_NEAR(static_cast<double>(m.counters.search_steps) /
+                  predicted_search_steps(m.inputs),
+              1.0, 0.30)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndCollapse, AnalyticModelTest,
+    ::testing::Combine(::testing::Values(2, 3), ::testing::Bool()));
+
+TEST(AnalyticModelTest, SearchCostProportionalToPatternSize) {
+  // Lemma 5's headline: T_UCP ∝ |Ψ| at fixed domain and density.
+  const Measured fs = measure_uniform(3, false, 6.0, 4, 510);
+  const Measured sc = measure_uniform(3, true, 6.0, 4, 510);
+  const double step_ratio = static_cast<double>(fs.counters.search_steps) /
+                            static_cast<double>(sc.counters.search_steps);
+  const double size_ratio = static_cast<double>(fs.inputs.pattern_size) /
+                            static_cast<double>(sc.inputs.pattern_size);
+  EXPECT_NEAR(step_ratio / size_ratio, 1.0, 0.15);
+}
+
+TEST(AnalyticModelTest, GeometricPassFraction) {
+  // Cells at exactly the cutoff: sphere/27-cell ratio ~ 0.155.
+  EXPECT_NEAR(geometric_pass_fraction(1.0, 1.0), 0.1551, 0.001);
+  // Larger cells shrink the pass fraction cubically.
+  EXPECT_NEAR(geometric_pass_fraction(1.0, 2.0),
+              geometric_pass_fraction(1.0, 1.0) / 8.0, 1e-12);
+  EXPECT_THROW(geometric_pass_fraction(2.0, 1.0), Error);
+}
+
+TEST(AnalyticModelTest, RejectsBadInputs) {
+  SearchCostInputs in;
+  EXPECT_THROW(predicted_force_set_size(in), Error);
+}
+
+}  // namespace
+}  // namespace scmd

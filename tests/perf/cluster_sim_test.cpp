@@ -1,0 +1,134 @@
+// The cluster simulator must agree with the real message-passing engine:
+// same ghost populations and same per-rank work counters.  It must also
+// reproduce the theory-level facts the figures rest on.
+
+#include "perf/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(NeighborCountTest, OctantAndFullShell) {
+  EXPECT_EQ(import_neighbor_ranks(ProcessGrid({4, 4, 4}), true), 7);
+  EXPECT_EQ(import_neighbor_ranks(ProcessGrid({4, 4, 4}), false), 26);
+  // Degenerate grids have fewer distinct peers.
+  EXPECT_EQ(import_neighbor_ranks(ProcessGrid({2, 1, 1}), true), 1);
+  EXPECT_EQ(import_neighbor_ranks(ProcessGrid({1, 1, 1}), true), 0);
+  EXPECT_EQ(import_neighbor_ranks(ProcessGrid({2, 2, 1}), false), 3);
+}
+
+TEST(ModeledMessagesTest, ScUsesStagesFsUsesNeighbors) {
+  EXPECT_EQ(modeled_messages(ProcessGrid({4, 4, 4}), true), 6);
+  EXPECT_EQ(modeled_messages(ProcessGrid({4, 4, 4}), false), 52);
+  EXPECT_EQ(modeled_messages(ProcessGrid({2, 1, 1}), true), 2);
+  EXPECT_EQ(modeled_messages(ProcessGrid({1, 1, 1}), true), 0);
+}
+
+TEST(ClusterSimTest, AgreesWithRealParallelEngine) {
+  Rng rng(120);
+  const ParticleSystem sys = make_silica(2400, 2.2, 300.0, rng);
+  const VashishtaSiO2 field;
+  const ProcessGrid pgrid({2, 2, 2});
+
+  for (const std::string strategy : {"SC", "FS", "Hybrid"}) {
+    // Real run, 0 steps: one force computation.
+    ParticleSystem probe = sys;
+    ParallelRunConfig cfg;
+    cfg.dt = 1.0 * units::kFemtosecond;
+    cfg.num_steps = 0;
+    const ParallelRunResult real =
+        run_parallel_md(probe, field, strategy, pgrid, cfg);
+
+    const ClusterSimulator sim(sys, field);
+    const ClusterSample virt = sim.measure(strategy, pgrid, 8);
+
+    // Work counters must match the real engine exactly (same algorithm,
+    // same domains).
+    EXPECT_EQ(virt.max_rank.tuples[2].search_steps,
+              real.max_rank.tuples[2].search_steps)
+        << strategy;
+    EXPECT_EQ(virt.max_rank.tuples[3].accepted,
+              real.max_rank.tuples[3].accepted)
+        << strategy;
+    EXPECT_EQ(virt.max_rank.evals[2], real.max_rank.evals[2]) << strategy;
+    EXPECT_EQ(virt.max_rank.evals[3], real.max_rank.evals[3]) << strategy;
+    EXPECT_EQ(virt.max_rank.list_scan_steps, real.max_rank.list_scan_steps)
+        << strategy;
+  }
+}
+
+TEST(ClusterSimTest, GhostPopulationMatchesRealExchangeForSc) {
+  Rng rng(121);
+  const ParticleSystem sys = make_silica(2400, 2.2, 300.0, rng);
+  const VashishtaSiO2 field;
+  const ProcessGrid pgrid({2, 2, 2});
+
+  ParticleSystem probe = sys;
+  ParallelRunConfig cfg;
+  cfg.dt = 1.0 * units::kFemtosecond;
+  cfg.num_steps = 0;
+  const ParallelRunResult real =
+      run_parallel_md(probe, field, "SC", pgrid, cfg);
+
+  const ClusterSimulator sim(sys, field);
+  const ClusterSample virt = sim.measure("SC", pgrid, 8);
+
+  // The virtual ghost count is the per-grid maximum (the paper's
+  // V_import = max_n); the real exchange ships the union slab, so it is
+  // an upper bound within a small factor.
+  EXPECT_LE(virt.max_rank.ghost_atoms_imported,
+            real.max_rank.ghost_atoms_imported);
+  EXPECT_GT(virt.max_rank.ghost_atoms_imported,
+            real.max_rank.ghost_atoms_imported / 3);
+}
+
+TEST(ClusterSimTest, ScImportsFractionOfFullShell) {
+  Rng rng(122);
+  const ParticleSystem sys = make_silica(2400, 2.2, 300.0, rng);
+  const VashishtaSiO2 field;
+  const ClusterSimulator sim(sys, field);
+  const ProcessGrid pgrid({2, 2, 2});
+  const auto sc = sim.measure("SC", pgrid, 8);
+  const auto fs = sim.measure("FS", pgrid, 8);
+  EXPECT_LT(sc.max_rank.ghost_atoms_imported,
+            fs.max_rank.ghost_atoms_imported);
+}
+
+TEST(ClusterSimTest, SamplingBoundsFullMeasurement) {
+  Rng rng(123);
+  const ParticleSystem sys = make_silica(2400, 2.2, 300.0, rng);
+  const VashishtaSiO2 field;
+  const ClusterSimulator sim(sys, field);
+  const ProcessGrid pgrid({2, 2, 2});
+  const auto full = sim.measure("SC", pgrid, 8);
+  const auto sampled = sim.measure("SC", pgrid, 2);
+  EXPECT_EQ(sampled.ranks_sampled, 2);
+  EXPECT_LE(sampled.max_rank.tuples[3].search_steps,
+            full.max_rank.tuples[3].search_steps);
+  // Uniform system: sampled max within 25% of the true max.
+  EXPECT_GT(static_cast<double>(sampled.max_rank.tuples[3].search_steps),
+            0.75 * static_cast<double>(full.max_rank.tuples[3].search_steps));
+}
+
+TEST(ClusterSimTest, ForceSetRatioMatchesFig7) {
+  Rng rng(124);
+  const ParticleSystem sys = make_silica(1500, 2.2, 300.0, rng);
+  const VashishtaSiO2 field;
+  const ClusterSimulator sim(sys, field);
+  const ProcessGrid p1({1, 1, 1});
+  const auto sc = sim.measure("SC", p1, 1, /*measure_force_set=*/true);
+  const auto fs = sim.measure("FS", p1, 1, /*measure_force_set=*/true);
+  const double ratio = static_cast<double>(fs.max_rank.force_set[3]) /
+                       static_cast<double>(sc.max_rank.force_set[3]);
+  EXPECT_NEAR(ratio, 729.0 / 378.0, 0.1);
+}
+
+}  // namespace
+}  // namespace scmd

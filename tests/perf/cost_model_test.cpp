@@ -1,0 +1,84 @@
+#include "perf/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/platform.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(PlatformTest, PresetsExistAndDiffer) {
+  const PlatformParams xeon = xeon_cluster();
+  const PlatformParams bgq = bluegene_q();
+  EXPECT_EQ(xeon.name, "xeon");
+  EXPECT_EQ(bgq.name, "bgq");
+  // BG/Q per-task compute is slower (A2 core, 4 tasks/core); its
+  // per-message latency is lower (torus vs commodity cluster).
+  EXPECT_GT(bgq.t_search, xeon.t_search);
+  EXPECT_LT(bgq.msg_latency, xeon.msg_latency);
+}
+
+TEST(PlatformTest, LookupByName) {
+  EXPECT_EQ(platform_by_name("xeon").name, "xeon");
+  EXPECT_EQ(platform_by_name("bgq").name, "bgq");
+  EXPECT_THROW(platform_by_name("cray"), Error);
+}
+
+TEST(CostModelTest, ComputeTimeIsLinearInCounters) {
+  PlatformParams p;
+  p.t_search = 1.0;
+  p.t_pair_eval = 10.0;
+  p.t_triplet_eval = 100.0;
+  p.t_list_scan = 2.0;
+  EngineCounters c;
+  c.tuples[2].search_steps = 5;
+  c.tuples[3].search_steps = 7;
+  c.evals[2] = 3;
+  c.evals[3] = 2;
+  c.list_scan_steps = 4;
+  EXPECT_DOUBLE_EQ(compute_time(c, p), 5 + 7 + 8 + 30 + 200);
+}
+
+TEST(CostModelTest, CommTimeCombinesLatencyAndBandwidth) {
+  PlatformParams p;
+  p.msg_latency = 2.0;
+  p.bytes_per_s = 100.0;
+  EngineCounters c;
+  c.messages = 6;
+  c.bytes_imported = 300;
+  c.bytes_written_back = 200;
+  EXPECT_DOUBLE_EQ(comm_time(c, p), 12.0 + 5.0);
+}
+
+TEST(CostModelTest, StepCostSumsComponents) {
+  PlatformParams p;
+  p.t_search = 1.0;
+  p.msg_latency = 1.0;
+  p.bytes_per_s = 1.0;
+  EngineCounters c;
+  c.tuples[2].search_steps = 3;
+  c.messages = 2;
+  const StepCost sc = estimate_step(c, p);
+  EXPECT_DOUBLE_EQ(sc.compute_s, 3.0);
+  EXPECT_DOUBLE_EQ(sc.comm_s, 2.0);
+  EXPECT_DOUBLE_EQ(sc.total(), 5.0);
+}
+
+TEST(CountersTest, AccumulationAndClear) {
+  EngineCounters a, b;
+  a.tuples[2].search_steps = 5;
+  a.evals[3] = 2;
+  b.tuples[2].search_steps = 7;
+  b.list_pairs = 3;
+  a += b;
+  EXPECT_EQ(a.tuples[2].search_steps, 12u);
+  EXPECT_EQ(a.evals[3], 2u);
+  EXPECT_EQ(a.list_pairs, 3u);
+  EXPECT_EQ(a.total_search_steps(), 12u);
+  a.clear();
+  EXPECT_EQ(a.tuples[2].search_steps, 0u);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,317 @@
+// Force correctness for every potential: analytic forces must equal the
+// negative finite-difference gradient of the energy, Newton's third law
+// must hold, and cutoffs must truncate smoothly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "potentials/dihedral.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/stillinger_weber.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+constexpr double kH = 1e-6;
+
+/// Energy of a pair/triplet/quad evaluation without forces.
+double energy_of(const ForceField& f, int n, const std::vector<int>& types,
+                 const std::vector<Vec3>& r) {
+  std::vector<Vec3> dummy(r.size());
+  if (n == 2)
+    return f.eval_pair(types[0], types[1], r[0], r[1], dummy[0], dummy[1]);
+  if (n == 3)
+    return f.eval_triplet(types[0], types[1], types[2], r[0], r[1], r[2],
+                          dummy[0], dummy[1], dummy[2]);
+  return f.eval_quad(types[0], types[1], types[2], types[3], r[0], r[1],
+                     r[2], r[3], dummy[0], dummy[1], dummy[2], dummy[3]);
+}
+
+/// Compare analytic forces with -dE/dr by central differences.
+void check_forces(const ForceField& f, int n, const std::vector<int>& types,
+                  const std::vector<Vec3>& r, double tol) {
+  std::vector<Vec3> force(r.size());
+  if (n == 2) {
+    f.eval_pair(types[0], types[1], r[0], r[1], force[0], force[1]);
+  } else if (n == 3) {
+    f.eval_triplet(types[0], types[1], types[2], r[0], r[1], r[2], force[0],
+                   force[1], force[2]);
+  } else {
+    f.eval_quad(types[0], types[1], types[2], types[3], r[0], r[1], r[2],
+                r[3], force[0], force[1], force[2], force[3]);
+  }
+
+  for (std::size_t atom = 0; atom < r.size(); ++atom) {
+    for (int axis = 0; axis < 3; ++axis) {
+      std::vector<Vec3> rp = r, rm = r;
+      rp[atom][axis] += kH;
+      rm[atom][axis] -= kH;
+      const double fd =
+          -(energy_of(f, n, types, rp) - energy_of(f, n, types, rm)) /
+          (2.0 * kH);
+      EXPECT_NEAR(force[atom][axis], fd, tol)
+          << "atom " << atom << " axis " << axis;
+    }
+  }
+
+  // Newton's third law: zero net force.
+  Vec3 net;
+  for (const Vec3& fa : force) net += fa;
+  EXPECT_NEAR(net.x, 0.0, 1e-10);
+  EXPECT_NEAR(net.y, 0.0, 1e-10);
+  EXPECT_NEAR(net.z, 0.0, 1e-10);
+}
+
+// ---------------- Lennard-Jones ----------------
+
+TEST(LennardJonesTest, MinimumAtTwoToTheOneSixth) {
+  const LennardJones lj;
+  const double rmin = std::pow(2.0, 1.0 / 6.0);
+  std::vector<Vec3> force(2);
+  const double e_min =
+      lj.eval_pair(0, 0, {0, 0, 0}, {rmin, 0, 0}, force[0], force[1]);
+  EXPECT_NEAR(force[0].x, 0.0, 1e-10);
+  // Shifted by V(rcut): slightly above -eps.
+  EXPECT_LT(e_min, -0.98);
+}
+
+TEST(LennardJonesTest, ForceMatchesFiniteDifference) {
+  const LennardJones lj;
+  Rng rng(40);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double r = rng.uniform(0.85, 2.4);
+    const Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 rj = dir * (r / dir.norm());
+    check_forces(lj, 2, {0, 0}, {{0, 0, 0}, rj}, 1e-4);
+  }
+}
+
+TEST(LennardJonesTest, ZeroBeyondCutoff) {
+  const LennardJones lj;
+  std::vector<Vec3> force(2);
+  EXPECT_EQ(lj.eval_pair(0, 0, {0, 0, 0}, {2.6, 0, 0}, force[0], force[1]),
+            0.0);
+  EXPECT_EQ(force[0], Vec3{});
+}
+
+TEST(LennardJonesTest, EnergyContinuousAtCutoff) {
+  const LennardJones lj;
+  std::vector<Vec3> f(2);
+  const double e = lj.eval_pair(0, 0, {0, 0, 0}, {2.5 - 1e-9, 0, 0}, f[0],
+                                f[1]);
+  EXPECT_NEAR(e, 0.0, 1e-6);
+}
+
+TEST(LennardJonesTest, RepulsiveAtShortRange) {
+  const LennardJones lj;
+  std::vector<Vec3> f(2);
+  lj.eval_pair(0, 0, {0, 0, 0}, {0.9, 0, 0}, f[0], f[1]);
+  EXPECT_LT(f[0].x, 0.0);  // pushes atom i away (toward -x)
+  EXPECT_GT(f[1].x, 0.0);
+}
+
+// ---------------- Stillinger-Weber ----------------
+
+TEST(StillingerWeberTest, PairForceMatchesFiniteDifference) {
+  const StillingerWeber sw;
+  Rng rng(41);
+  for (int trial = 0; trial < 15; ++trial) {
+    const double r = rng.uniform(1.9, 3.6);
+    const Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 rj = dir * (r / dir.norm());
+    check_forces(sw, 2, {0, 0}, {{0, 0, 0}, rj}, 1e-3);
+  }
+}
+
+TEST(StillingerWeberTest, TripletForceMatchesFiniteDifference) {
+  const StillingerWeber sw;
+  Rng rng(42);
+  for (int trial = 0; trial < 15; ++trial) {
+    // Chain (i, j, k): center j at origin, both legs inside the cutoff.
+    const Vec3 ri{rng.uniform(2.0, 3.4), rng.uniform(-0.5, 0.5),
+                  rng.uniform(-0.5, 0.5)};
+    const Vec3 rk{rng.uniform(-0.5, 0.5), rng.uniform(2.0, 3.4),
+                  rng.uniform(-0.5, 0.5)};
+    check_forces(sw, 3, {0, 0, 0}, {ri, {0, 0, 0}, rk}, 1e-3);
+  }
+}
+
+TEST(StillingerWeberTest, TripletZeroAtTetrahedralAngle) {
+  const StillingerWeber sw;
+  // cos(theta) = -1/3: the ideal angle has zero bond-bending energy.
+  const double c = -1.0 / 3.0;
+  const Vec3 ri{2.35, 0, 0};
+  const Vec3 rk{2.35 * c, 2.35 * std::sqrt(1 - c * c), 0};
+  std::vector<Vec3> f(3);
+  const double e =
+      sw.eval_triplet(0, 0, 0, ri, {0, 0, 0}, rk, f[0], f[1], f[2]);
+  EXPECT_NEAR(e, 0.0, 1e-12);
+}
+
+TEST(StillingerWeberTest, DiamondLatticeIsNearEquilibrium) {
+  // In the diamond structure each atom sits at the SW pair+triplet
+  // minimum; the net force on a bulk atom must vanish by symmetry.
+  const StillingerWeber sw;
+  const double a = 5.431;  // Si lattice constant, Å
+  // Center atom at (a/4)(1,1,1) with its 4 tetrahedral neighbors.
+  const Vec3 c = Vec3{0.25, 0.25, 0.25} * a;
+  const std::vector<Vec3> nbrs{{0, 0, 0},
+                               Vec3{0.5, 0.5, 0} * a,
+                               Vec3{0.5, 0, 0.5} * a,
+                               Vec3{0, 0.5, 0.5} * a};
+  Vec3 fc;
+  std::vector<Vec3> dump(5);
+  // Pair forces on the center.
+  for (const Vec3& nb : nbrs) sw.eval_pair(0, 0, c, nb, fc, dump[0]);
+  // Triplet terms centered on the center atom.
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+      sw.eval_triplet(0, 0, 0, nbrs[i], c, nbrs[j], dump[1], fc, dump[2]);
+  EXPECT_NEAR(fc.norm(), 0.0, 1e-9);
+}
+
+// ---------------- Vashishta SiO2 ----------------
+
+TEST(VashishtaTest, PairForceMatchesFiniteDifference) {
+  const VashishtaSiO2 v;
+  Rng rng(43);
+  for (const auto& [ti, tj] : std::vector<std::pair<int, int>>{
+           {kSilicon, kSilicon}, {kSilicon, kOxygen}, {kOxygen, kOxygen}}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const double r = rng.uniform(1.4, 5.2);
+      const Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+      const Vec3 rj = dir * (r / dir.norm());
+      check_forces(v, 2, {ti, tj}, {{0, 0, 0}, rj}, 2e-3);
+    }
+  }
+}
+
+TEST(VashishtaTest, TripletForceMatchesFiniteDifference) {
+  const VashishtaSiO2 v;
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    // O-Si-O chain with Si center.
+    const Vec3 ri{rng.uniform(1.4, 2.2), rng.uniform(-0.3, 0.3),
+                  rng.uniform(-0.3, 0.3)};
+    const Vec3 rk{rng.uniform(-0.3, 0.3), rng.uniform(1.4, 2.2),
+                  rng.uniform(-0.3, 0.3)};
+    check_forces(v, 3, {kOxygen, kSilicon, kOxygen}, {ri, {0, 0, 0}, rk},
+                 2e-3);
+  }
+}
+
+TEST(VashishtaTest, MismatchedTripletChannelsAreZero) {
+  const VashishtaSiO2 v;
+  std::vector<Vec3> f(3);
+  // Si-Si-Si and O-O-O angles carry no strength in the 1990 set.
+  EXPECT_EQ(v.eval_triplet(kSilicon, kSilicon, kSilicon, {1.5, 0, 0},
+                           {0, 0, 0}, {0, 1.5, 0}, f[0], f[1], f[2]),
+            0.0);
+  EXPECT_EQ(v.eval_triplet(kOxygen, kOxygen, kOxygen, {1.5, 0, 0}, {0, 0, 0},
+                           {0, 1.5, 0}, f[0], f[1], f[2]),
+            0.0);
+  // O-center with Si ends is active (Si-O-Si bridge).
+  EXPECT_NE(v.eval_triplet(kSilicon, kOxygen, kSilicon, {1.6, 0, 0},
+                           {0, 0, 0}, {0, 1.6, 0}, f[0], f[1], f[2]),
+            0.0);
+}
+
+TEST(VashishtaTest, PairEnergyAndForceVanishAtCutoff) {
+  const VashishtaSiO2 v;
+  std::vector<Vec3> f(2);
+  const double e = v.eval_pair(kSilicon, kOxygen, {0, 0, 0},
+                               {5.5 - 1e-10, 0, 0}, f[0], f[1]);
+  EXPECT_NEAR(e, 0.0, 1e-7);
+  EXPECT_NEAR(f[0].x, 0.0, 1e-6);
+}
+
+TEST(VashishtaTest, SiOBondIsAttractiveAtRange) {
+  const VashishtaSiO2 v;
+  std::vector<Vec3> f(2);
+  // At 2.2 Å (beyond the ~1.6 Å bond minimum) Si-O should attract.
+  v.eval_pair(kSilicon, kOxygen, {0, 0, 0}, {2.2, 0, 0}, f[0], f[1]);
+  EXPECT_GT(f[0].x, 0.0);  // Si pulled toward O (+x)
+}
+
+TEST(VashishtaTest, OOIsRepulsiveAtMidRange) {
+  const VashishtaSiO2 v;
+  std::vector<Vec3> f(2);
+  v.eval_pair(kOxygen, kOxygen, {0, 0, 0}, {2.3, 0, 0}, f[0], f[1]);
+  EXPECT_LT(f[0].x, 0.0);  // pushed apart
+}
+
+TEST(VashishtaTest, CutoffsMatchPaperRatio) {
+  const VashishtaSiO2 v;
+  EXPECT_NEAR(v.rcut(3) / v.rcut(2), 0.47, 0.01);
+}
+
+// ---------------- Chain dihedral (n = 4) ----------------
+
+TEST(ChainDihedralTest, PairForceMatchesFiniteDifference) {
+  const ChainDihedral cd;
+  check_forces(cd, 2, {0, 0}, {{0, 0, 0}, {0.5, 0.3, 0.1}}, 1e-5);
+}
+
+TEST(ChainDihedralTest, QuadForceMatchesFiniteDifference) {
+  const ChainDihedral cd;
+  Rng rng(45);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A non-degenerate chain of four points.
+    std::vector<Vec3> r{{0, 0, 0},
+                        {0.5, 0.1, 0},
+                        {0.8, 0.5, 0.2},
+                        {1.0, 0.4, 0.7}};
+    for (Vec3& p : r) {
+      p += Vec3{rng.uniform(-0.05, 0.05), rng.uniform(-0.05, 0.05),
+                rng.uniform(-0.05, 0.05)};
+    }
+    check_forces(cd, 4, {0, 0, 0, 0}, r, 1e-4);
+  }
+}
+
+TEST(ChainDihedralTest, CisEnergyExceedsTransEnergy) {
+  ChainParams p;
+  p.K = 0.05;
+  p.rcut4 = 0.8;
+  const ChainDihedral cd(p);
+  std::vector<Vec3> f(4);
+  // U-shaped (cis) chain: cosφ ~ +1 -> near-maximal energy.
+  const double e_cis =
+      cd.eval_quad(0, 0, 0, 0, {0, 0, 0}, {0.5, 0, 0}, {0.5, 0.5, 0},
+                   {0, 0.5, 0}, f[0], f[1], f[2], f[3]);
+  // Zigzag (trans) chain: cosφ ~ -1 -> near-zero energy.
+  const double e_trans =
+      cd.eval_quad(0, 0, 0, 0, {0, 0, 0}, {0.5, 0, 0}, {0.5, 0.5, 0},
+                   {1.0, 0.5, 0}, f[0], f[1], f[2], f[3]);
+  EXPECT_GT(e_cis, 10.0 * std::max(e_trans, 1e-6));
+  EXPECT_LT(e_trans, 0.01 * p.K);
+}
+
+TEST(ChainDihedralTest, EnergySwitchesOffSmoothlyAtCutoff) {
+  const ChainDihedral cd;
+  std::vector<Vec3> f(4);
+  // Stretch the last bond toward the cutoff: energy must vanish
+  // continuously (no jump as the tuple leaves the chain set).
+  const double rc = cd.rcut(4);
+  const double e_near =
+      cd.eval_quad(0, 0, 0, 0, {0, 0, 0}, {0.4, 0, 0}, {0.4, 0.4, 0},
+                   {0.4 + (rc - 1e-4), 0.4, 0.1}, f[0], f[1], f[2], f[3]);
+  EXPECT_NEAR(e_near, 0.0, 1e-5);
+  const double e_out =
+      cd.eval_quad(0, 0, 0, 0, {0, 0, 0}, {0.4, 0, 0}, {0.4, 0.4, 0},
+                   {0.4 + rc + 0.01, 0.4, 0.1}, f[0], f[1], f[2], f[3]);
+  EXPECT_EQ(e_out, 0.0);
+}
+
+TEST(ChainDihedralTest, CollinearChainHasBoundedForces) {
+  const ChainDihedral cd;
+  std::vector<Vec3> r{{0, 0, 0}, {0.3, 0, 0}, {0.6, 1e-7, 0}, {0.9, 0, 1e-7}};
+  check_forces(cd, 4, {0, 0, 0, 0}, r, 1e-3);
+}
+
+}  // namespace
+}  // namespace scmd

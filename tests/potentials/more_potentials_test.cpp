@@ -1,0 +1,158 @@
+// BKS silica and Morse: finite-difference force checks, physical sanity,
+// and engine-level runs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/bks.hpp"
+#include "potentials/morse.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+constexpr double kH = 1e-6;
+
+void check_pair_forces(const ForceField& f, int ti, int tj, double r,
+                       double tol) {
+  const Vec3 ri{0, 0, 0};
+  const Vec3 rj{r / std::sqrt(3.0), r / std::sqrt(3.0), r / std::sqrt(3.0)};
+  Vec3 fi, fj;
+  f.eval_pair(ti, tj, ri, rj, fi, fj);
+  for (int axis = 0; axis < 3; ++axis) {
+    Vec3 rp = rj, rm = rj;
+    rp[axis] += kH;
+    rm[axis] -= kH;
+    Vec3 dump1, dump2;
+    const double ep = f.eval_pair(ti, tj, ri, rp, dump1, dump2);
+    const double em = f.eval_pair(ti, tj, ri, rm, dump1, dump2);
+    EXPECT_NEAR(fj[axis], -(ep - em) / (2.0 * kH), tol) << "axis " << axis;
+  }
+  EXPECT_NEAR((fi + fj).norm(), 0.0, 1e-10);
+}
+
+TEST(BksTest, ForcesMatchFiniteDifferences) {
+  const BksSiO2 bks;
+  Rng rng(190);
+  for (int trial = 0; trial < 10; ++trial) {
+    check_pair_forces(bks, 0, 1, rng.uniform(1.4, 5.2), 5e-3);
+    check_pair_forces(bks, 1, 1, rng.uniform(2.2, 5.2), 5e-3);
+    check_pair_forces(bks, 0, 0, rng.uniform(2.8, 5.2), 5e-3);
+  }
+}
+
+TEST(BksTest, SiOBondMinimumNearPhysical) {
+  // The isolated Si-O dimer well of BKS sits near 1.4 Å (the bulk 1.61 Å
+  // bond emerges only with O-O repulsion around the tetrahedron).
+  const BksSiO2 bks;
+  double best_r = 0.0, best_v = 1e30;
+  Vec3 f1, f2;
+  for (double r = 1.2; r < 2.4; r += 0.005) {
+    const double v = bks.eval_pair(0, 1, {0, 0, 0}, {r, 0, 0}, f1, f2);
+    if (v < best_v) {
+      best_v = v;
+      best_r = r;
+    }
+  }
+  EXPECT_NEAR(best_r, 1.4, 0.2);
+  EXPECT_LT(best_v, -10.0);  // deep ionic well
+}
+
+TEST(BksTest, TruncationContinuousAtCutoff) {
+  const BksSiO2 bks;
+  Vec3 f1, f2;
+  const double e =
+      bks.eval_pair(0, 1, {0, 0, 0}, {5.5 - 1e-10, 0, 0}, f1, f2);
+  EXPECT_NEAR(e, 0.0, 1e-6);
+}
+
+TEST(BksTest, PairOnlySilicaRunsStably) {
+  Rng rng(191);
+  ParticleSystem sys = make_silica(648, 2.2, 300.0, rng);
+  const BksSiO2 bks;
+  SerialEngineConfig cfg;
+  cfg.dt = 0.5 * units::kFemtosecond;
+  SerialEngine engine(sys, bks, make_strategy("SC", bks), cfg);
+  // No triplet grid is requested by a pair-only field.
+  EXPECT_EQ(engine.counters().tuples[3].accepted, 0u);
+  const BerendsenThermostat thermo(300.0, 2.0 * units::kFemtosecond);
+  for (int s = 0; s < 60; ++s) engine.step(thermo);
+  EXPECT_LT(sys.temperature(), 3000.0);
+  EXPECT_TRUE(std::isfinite(engine.potential_energy()));
+}
+
+TEST(MorseTest, ForcesMatchFiniteDifferences) {
+  const Morse morse;
+  Rng rng(192);
+  for (int trial = 0; trial < 10; ++trial) {
+    check_pair_forces(morse, 0, 0, rng.uniform(2.0, 5.5), 1e-4);
+  }
+}
+
+TEST(MorseTest, MinimumAtR0WithDepthDe) {
+  const Morse morse;
+  Vec3 f1, f2;
+  const double e = morse.eval_pair(0, 0, {0, 0, 0},
+                                   {morse.params().r0, 0, 0}, f1, f2);
+  // Shifted by the (small) cutoff offset.
+  EXPECT_NEAR(e, -morse.params().De, 0.01);
+  EXPECT_NEAR(f1.norm(), 0.0, 1e-9);
+}
+
+TEST(MorseTest, NveConservesEnergy) {
+  Rng rng(193);
+  const Morse morse;
+  ParticleSystem sys = make_gas(morse, 400, 5.0, 300.0, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 2.0 * units::kFemtosecond;
+  SerialEngine engine(sys, morse, make_strategy("SC", morse), cfg);
+  const double e0 = engine.total_energy();
+  for (int s = 0; s < 80; ++s) engine.step();
+  EXPECT_NEAR(engine.total_energy(), e0, std::abs(e0) * 0.01 + 0.05);
+}
+
+TEST(MorseTest, RejectsBadParameters) {
+  MorseParams p;
+  p.rcut = 1.0;  // below r0
+  EXPECT_THROW(Morse{p}, Error);
+}
+
+}  // namespace
+}  // namespace scmd
+
+namespace scmd {
+namespace {
+
+TEST(VashishtaOverrideTest, CustomCutoffsAreHonored) {
+  const VashishtaSiO2 narrow(4.5, 2.0);
+  EXPECT_DOUBLE_EQ(narrow.rcut(2), 4.5);
+  EXPECT_DOUBLE_EQ(narrow.rcut(3), 2.0);
+  // Shifted-force truncation follows the override: zero at the new rc.
+  Vec3 f1, f2;
+  const double e = narrow.eval_pair(kSilicon, kOxygen, {0, 0, 0},
+                                    {4.5 - 1e-10, 0, 0}, f1, f2);
+  EXPECT_NEAR(e, 0.0, 1e-6);
+  EXPECT_THROW(VashishtaSiO2(2.0, 3.0), Error);  // rcut3 > rcut2
+}
+
+TEST(VashishtaOverrideTest, TripletChannelFollowsRcut3) {
+  const VashishtaSiO2 narrow(4.5, 2.0);
+  Vec3 f[3];
+  // Legs at 2.1 Å: outside the overridden triplet range.
+  EXPECT_EQ(narrow.eval_triplet(kOxygen, kSilicon, kOxygen, {2.1, 0, 0},
+                                {0, 0, 0}, {0, 2.1, 0}, f[0], f[1], f[2]),
+            0.0);
+  // Inside: non-zero.
+  EXPECT_NE(narrow.eval_triplet(kOxygen, kSilicon, kOxygen, {1.6, 0, 0},
+                                {0, 0, 0}, {0, 1.6, 0}, f[0], f[1], f[2]),
+            0.0);
+}
+
+}  // namespace
+}  // namespace scmd

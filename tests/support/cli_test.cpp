@@ -1,0 +1,72 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+Cli parse(std::vector<const char*> argv, std::vector<std::string> known = {}) {
+  argv.insert(argv.begin(), "prog");
+  return Cli(static_cast<int>(argv.size()), argv.data(), std::move(known));
+}
+
+TEST(CliTest, ParsesEqualsForm) {
+  const Cli cli = parse({"--atoms=100"});
+  EXPECT_EQ(cli.get_int("atoms", 0), 100);
+}
+
+TEST(CliTest, ParsesSpaceForm) {
+  const Cli cli = parse({"--atoms", "250"});
+  EXPECT_EQ(cli.get_int("atoms", 0), 250);
+}
+
+TEST(CliTest, BareFlagIsTrue) {
+  const Cli cli = parse({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(CliTest, FallbacksWhenMissing) {
+  const Cli cli = parse({});
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(cli.get("s", "dft"), "dft");
+  EXPECT_FALSE(cli.get_bool("b", false));
+}
+
+TEST(CliTest, DoubleParsing) {
+  const Cli cli = parse({"--dt=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("dt", 0.0), 0.25);
+}
+
+TEST(CliTest, BoolFalseSpellings) {
+  for (const char* v : {"0", "false", "no", "off"}) {
+    const Cli cli = parse({"--flag", v});
+    EXPECT_FALSE(cli.get_bool("flag", true)) << v;
+  }
+}
+
+TEST(CliTest, RejectsUnknownFlagWhenKnownListGiven) {
+  EXPECT_THROW(parse({"--oops=1"}, {"atoms"}), Error);
+}
+
+TEST(CliTest, AcceptsKnownFlag) {
+  const Cli cli = parse({"--atoms=5"}, {"atoms"});
+  EXPECT_EQ(cli.get_int("atoms", 0), 5);
+}
+
+TEST(CliTest, RejectsNonIntegerValue) {
+  const Cli cli = parse({"--n=abc"});
+  EXPECT_THROW(cli.get_int("n", 0), Error);
+}
+
+TEST(CliTest, PositionalArgumentsPreserved) {
+  const Cli cli = parse({"first", "--k=1", "second"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "first");
+  EXPECT_EQ(cli.positional()[1], "second");
+}
+
+}  // namespace
+}  // namespace scmd

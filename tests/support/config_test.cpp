@@ -1,0 +1,73 @@
+#include "support/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(ConfigTest, ParsesKeysValuesAndComments) {
+  const Config cfg = Config::parse(
+      "# a comment\n"
+      "field = lj\n"
+      "\n"
+      "steps = 100   # trailing comment\n"
+      "  dt_fs =  0.5\n");
+  EXPECT_EQ(cfg.get("field", ""), "lj");
+  EXPECT_EQ(cfg.get_int("steps", 0), 100);
+  EXPECT_DOUBLE_EQ(cfg.get_double("dt_fs", 0.0), 0.5);
+  ASSERT_EQ(cfg.keys().size(), 3u);
+  EXPECT_EQ(cfg.keys()[0], "field");
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  const Config cfg = Config::parse("a = 1\n");
+  EXPECT_EQ(cfg.get("b", "dft"), "dft");
+  EXPECT_EQ(cfg.get_int("b", 7), 7);
+  EXPECT_FALSE(cfg.has("b"));
+  EXPECT_TRUE(cfg.has("a"));
+}
+
+TEST(ConfigTest, BooleanSpellings) {
+  const Config cfg = Config::parse("x = yes\ny = off\n");
+  EXPECT_TRUE(cfg.get_bool("x", false));
+  EXPECT_FALSE(cfg.get_bool("y", true));
+  EXPECT_THROW(Config::parse("z = maybe\n").get_bool("z", false), Error);
+}
+
+TEST(ConfigTest, RejectsMalformedLines) {
+  EXPECT_THROW(Config::parse("not a key value\n"), Error);
+  EXPECT_THROW(Config::parse("= value\n"), Error);
+  EXPECT_THROW(Config::parse("a = 1\na = 2\n"), Error);  // duplicate
+}
+
+TEST(ConfigTest, RejectsBadNumbers) {
+  const Config cfg = Config::parse("n = 12x\nf = 1.2.3\n");
+  EXPECT_THROW(cfg.get_int("n", 0), Error);
+  EXPECT_THROW(cfg.get_double("f", 0.0), Error);
+}
+
+TEST(ConfigTest, RequireKnownCatchesTypos) {
+  const Config cfg = Config::parse("field = lj\nstepz = 10\n");
+  EXPECT_THROW(cfg.require_known({"field", "steps"}), Error);
+  Config::parse("field = lj\n").require_known({"field"});  // no throw
+}
+
+TEST(ConfigTest, LoadsFromFile) {
+  const std::string path = "/tmp/scmd_config_test.conf";
+  {
+    std::ofstream f(path);
+    f << "field = morse\nsteps = 3\n";
+  }
+  const Config cfg = Config::load(path);
+  EXPECT_EQ(cfg.get("field", ""), "morse");
+  std::remove(path.c_str());
+  EXPECT_THROW(Config::load("/tmp/scmd_missing.conf"), Error);
+}
+
+}  // namespace
+}  // namespace scmd

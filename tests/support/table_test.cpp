@@ -1,0 +1,87 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(TableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(TableTest, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), Error);
+}
+
+TEST(TableTest, AlignedOutputContainsHeadersAndValues) {
+  Table t({"name", "count"});
+  t.add_row({std::string("alpha"), 42LL});
+  t.add_row({std::string("b"), 7LL});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutputIsParsable) {
+  Table t({"x", "y"});
+  t.set_precision(2);
+  t.add_row({1LL, 2.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2.50\n");
+}
+
+TEST(TableTest, CsvEscapesCommasAndQuotes) {
+  Table t({"v"});
+  t.add_row({std::string("a,b\"c")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n\"a,b\"\"c\"\n");
+}
+
+TEST(TableTest, SaveCsvRoundTrips) {
+  Table t({"k"});
+  t.add_row({3LL});
+  const std::string path = "/tmp/scmd_table_test.csv";
+  t.save_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "k");
+  std::getline(f, line);
+  EXPECT_EQ(line, "3");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, TitleAppearsInAlignedOutputOnly) {
+  Table t({"c"});
+  t.set_title("My Table");
+  t.add_row({1LL});
+  std::ostringstream aligned, csv;
+  t.print(aligned);
+  t.print_csv(csv);
+  EXPECT_NE(aligned.str().find("My Table"), std::string::npos);
+  EXPECT_EQ(csv.str().find("My Table"), std::string::npos);
+}
+
+TEST(TableTest, PrecisionControlsDoubleRendering) {
+  Table t({"v"});
+  t.set_precision(1);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n3.1\n");
+}
+
+}  // namespace
+}  // namespace scmd

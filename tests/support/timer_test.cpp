@@ -1,0 +1,54 @@
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "geom/int3.hpp"
+#include "geom/vec3.hpp"
+#include "pattern/generate.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);  // generous: loaded CI machines
+}
+
+TEST(TimerTest, ResetRestartsTheClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(AccumTimerTest, AccumulatesIntervals) {
+  AccumTimer t;
+  for (int i = 0; i < 3; ++i) {
+    t.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t.stop();
+  }
+  EXPECT_GE(t.total(), 0.012);
+  t.clear();
+  EXPECT_EQ(t.total(), 0.0);
+}
+
+TEST(StreamingTest, GeomAndPatternTypesPrint) {
+  std::ostringstream os;
+  os << Int3{1, -2, 3} << ' ' << Vec3{0.5, 0, -1} << ' '
+     << Path{{0, 0, 0}, {1, 0, 0}} << ' ' << make_hs();
+  const std::string s = os.str();
+  EXPECT_NE(s.find("(1, -2, 3)"), std::string::npos);
+  EXPECT_NE(s.find("(0.5, 0, -1)"), std::string::npos);
+  EXPECT_NE(s.find("[(0, 0, 0) (1, 0, 0)]"), std::string::npos);
+  EXPECT_NE(s.find("|Psi|=14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,131 @@
+// Sub-cutoff cell generalization (paper Sec. 6, midpoint-method style):
+// patterns with reach k on cells of side rcut/k must produce identical
+// physics while scanning a smaller volume per tuple.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "pattern/analysis.hpp"
+#include "pattern/generate.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(SubCutoffPatternTest, SizesMatchGeneralizedClosedForms) {
+  for (int reach : {1, 2}) {
+    for (int n : {2, 3}) {
+      EXPECT_EQ(static_cast<long long>(generate_fs(n, reach).size()),
+                fs_pattern_size(n, reach))
+          << "n=" << n << " reach=" << reach;
+      EXPECT_EQ(static_cast<long long>(make_sc(n, reach).size()),
+                sc_pattern_size(n, reach))
+          << "n=" << n << " reach=" << reach;
+    }
+  }
+  // reach = 2, n = 2: 125 FS paths, (125 + 1)/2 = 63 SC paths.
+  EXPECT_EQ(fs_pattern_size(2, 2), 125);
+  EXPECT_EQ(sc_pattern_size(2, 2), 63);
+}
+
+TEST(SubCutoffPatternTest, HalvingHoldsForLargerReach) {
+  const double ratio = static_cast<double>(sc_pattern_size(3, 2)) /
+                       static_cast<double>(fs_pattern_size(3, 2));
+  EXPECT_NEAR(ratio, 0.5, 0.005);
+}
+
+TEST(SubCutoffPatternTest, CoverageWithinReachTimesNMinus1) {
+  const Pattern sc = make_sc(3, 2);
+  for (const Int3& v : cell_coverage(sc)) {
+    EXPECT_TRUE(v.x >= 0 && v.y >= 0 && v.z >= 0);
+    EXPECT_LE(v.chebyshev(), 4);  // reach * (n-1)
+  }
+}
+
+TEST(SubCutoffPatternTest, GeneralizedImportVolumes) {
+  EXPECT_EQ(import_volume(make_sc(2, 2), {2, 2, 2}), sc_import_volume(2, 2, 2));
+  EXPECT_EQ(import_volume(generate_fs(2, 2), {2, 2, 2}),
+            fs_import_volume(2, 2, 2));
+}
+
+TEST(SubCutoffPatternTest, PatternExplosionGuard) {
+  EXPECT_THROW(generate_fs(5, 2), Error);  // 125^4 paths
+}
+
+TEST(SubCutoffStrategyTest, IdenticalForcesAtReach2) {
+  Rng rng(130);
+  const VashishtaSiO2 field;
+  ParticleSystem base = make_silica(450, 2.2, 500.0, rng);
+
+  auto forces_with = [&](const std::string& name) {
+    ParticleSystem sys = base;
+    SerialEngine engine(sys, field, make_strategy(name, field));
+    return std::make_pair(engine.potential_energy(),
+                          std::vector<Vec3>(sys.forces().begin(),
+                                            sys.forces().end()));
+  };
+  const auto [e1, f1] = forces_with("SC");
+  const auto [e2, f2] = forces_with("SC:2");
+  const auto [e3, f3] = forces_with("FS:2");
+  EXPECT_NEAR(e1, e2, 1e-8 * std::abs(e1));
+  EXPECT_NEAR(e1, e3, 1e-8 * std::abs(e1));
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_NEAR(f1[i].x, f2[i].x, 1e-8) << i;
+    EXPECT_NEAR(f1[i].y, f2[i].y, 1e-8) << i;
+    EXPECT_NEAR(f1[i].z, f2[i].z, 1e-8) << i;
+    EXPECT_NEAR(f1[i].x, f3[i].x, 1e-8) << i;
+  }
+}
+
+TEST(SubCutoffStrategyTest, Reach2ScansFewerChainCandidatesPerTuple) {
+  // The midpoint-style benefit: tighter cells exclude more of the search
+  // volume, so fewer candidate chains are examined for the same accepted
+  // set (pairs: 4.2 rcut³ of candidate volume at k=2 vs 8 rcut³ at k=1
+  // after collapse).
+  Rng rng(131);
+  const LennardJones lj;
+  ParticleSystem base = make_gas(lj, 2000, 6.0, 1.0, rng);
+
+  auto counters_with = [&](const std::string& name) {
+    ParticleSystem sys = base;
+    SerialEngine engine(sys, lj, make_strategy(name, lj));
+    return engine.counters();
+  };
+  const EngineCounters k1 = counters_with("SC");
+  const EngineCounters k2 = counters_with("SC:2");
+  EXPECT_EQ(k1.tuples[2].accepted, k2.tuples[2].accepted);
+  EXPECT_LT(k2.tuples[2].chain_candidates, k1.tuples[2].chain_candidates);
+  // ...at the price of far more cell bookkeeping: (2k+1)^3-fold more
+  // paths over 8-fold more (mostly emptier) cells.
+  EXPECT_GT(k2.tuples[2].cell_visits, 4 * k1.tuples[2].cell_visits);
+}
+
+TEST(SubCutoffStrategyTest, NveStableAtReach2) {
+  Rng rng(132);
+  const LennardJones lj;
+  ParticleSystem sys = make_gas(lj, 400, 4.0, 0.5, rng);
+  SerialEngineConfig cfg;
+  cfg.dt = 0.005;
+  SerialEngine engine(sys, lj, make_strategy("SC:2", lj), cfg);
+  const double e0 = engine.total_energy();
+  for (int s = 0; s < 50; ++s) engine.step();
+  EXPECT_NEAR(engine.total_energy(), e0, std::abs(e0) * 0.01 + 0.05);
+}
+
+TEST(SubCutoffStrategyTest, NameReflectsReach) {
+  const LennardJones lj;
+  EXPECT_EQ(make_strategy("SC:2", lj)->name(), "SC/k=2");
+  EXPECT_EQ(make_strategy("SC", lj)->name(), "SC");
+  EXPECT_THROW(make_strategy("Hybrid:2", lj), Error);
+  EXPECT_THROW(make_strategy("SC:9", lj), Error);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,135 @@
+// Prefix-sharing (trie) enumeration must stream exactly the same tuples
+// as the paper's per-path enumeration while doing no more search work.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "pattern/generate.hpp"
+#include "potentials/lj.hpp"
+#include "support/rng.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+namespace {
+
+struct TestSystem {
+  Box box;
+  std::vector<Vec3> pos;
+  std::vector<int> type;
+};
+
+TestSystem random_system(int n, double side, std::uint64_t seed) {
+  TestSystem s;
+  s.box = Box::cubic(side);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    s.pos.push_back(
+        {rng.uniform(0, side), rng.uniform(0, side), rng.uniform(0, side)});
+    s.type.push_back(0);
+  }
+  return s;
+}
+
+using TupleSet = std::multiset<std::vector<std::int64_t>>;
+
+TupleSet collect(const CellDomain& dom, const CompiledPattern& cp,
+                 double rcut, bool shared, TupleCounters* tc = nullptr) {
+  TupleSet out;
+  const auto gids = dom.gids();
+  enumerate_tuples(
+      shared, dom, cp, rcut,
+      [&](std::span<const int> t) {
+        std::vector<std::int64_t> ids;
+        for (int a : t) ids.push_back(gids[a]);
+        std::vector<std::int64_t> rev(ids.rbegin(), ids.rend());
+        out.insert(std::min(ids, rev));
+      },
+      tc);
+  return out;
+}
+
+class TrieEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(TrieEquivalenceTest, SameTuplesLessOrEqualWork) {
+  const auto [n, use_sc] = GetParam();
+  const TestSystem s = random_system(60, 13.0, 400 + n);
+  const double rcut = 2.5;
+  const Pattern psi = use_sc ? make_sc(n) : generate_fs(n);
+  const CellGrid grid(s.box, rcut);
+  const CellDomain dom =
+      make_serial_domain(grid, halo_for(psi), s.pos, s.type);
+  const CompiledPattern cp(psi);
+
+  TupleCounters flat, shared;
+  const TupleSet a = collect(dom, cp, rcut, false, &flat);
+  const TupleSet b = collect(dom, cp, rcut, true, &shared);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(flat.accepted, shared.accepted);
+  EXPECT_EQ(flat.chain_candidates, shared.chain_candidates);
+  EXPECT_LE(shared.search_steps, flat.search_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PatternsAndLengths, TrieEquivalenceTest,
+    ::testing::Combine(::testing::Values(2, 3, 4), ::testing::Bool()));
+
+TEST(TrieStructureTest, FullShellSharesTheRoot) {
+  // All FS paths start at v0 = 0: a single root.
+  const CompiledPattern fs(generate_fs(3));
+  EXPECT_EQ(fs.root_end(), 1);
+  // Node count = trie size: 1 + 27 + 729 for FS(3).
+  EXPECT_EQ(fs.nodes().size(), 1u + 27u + 729u);
+}
+
+TEST(TrieStructureTest, OcShiftScattersRoots) {
+  // OC-shift translates paths individually, destroying the common root —
+  // the structural reason prefix sharing helps FS more than SC.
+  const CompiledPattern sc(make_sc(3));
+  EXPECT_GT(sc.root_end(), 1);
+}
+
+TEST(TrieStructureTest, LeafCountEqualsPathCount) {
+  for (const Pattern& psi : {make_sc(3), generate_fs(2), make_sc(4)}) {
+    const CompiledPattern cp(psi);
+    std::size_t leaves = 0;
+    for (const TrieNode& node : cp.nodes()) {
+      if (node.child_begin == node.child_end) ++leaves;
+    }
+    EXPECT_EQ(leaves, psi.size());
+  }
+}
+
+TEST(TrieStrategyTest, SharedPrefixEngineMatchesDefault) {
+  Rng rng(150);
+  const LennardJones lj;
+  const ParticleSystem base = make_gas(lj, 400, 4.0, 1.0, rng);
+  auto run = [&](const std::string& name) {
+    ParticleSystem sys = base;
+    SerialEngineConfig cfg;
+    cfg.dt = 0.004;
+    SerialEngine engine(sys, lj, make_strategy(name, lj), cfg);
+    for (int s = 0; s < 10; ++s) engine.step();
+    return std::vector<Vec3>(sys.positions().begin(), sys.positions().end());
+  };
+  const auto flat = run("SC");
+  const auto shared = run("SC+p");
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(flat[i].x, shared[i].x, 1e-9) << i;
+    EXPECT_NEAR(flat[i].y, shared[i].y, 1e-9) << i;
+    EXPECT_NEAR(flat[i].z, shared[i].z, 1e-9) << i;
+  }
+}
+
+TEST(TrieStrategyTest, NameSuffixParsing) {
+  const LennardJones lj;
+  EXPECT_EQ(make_strategy("SC+p", lj)->name(), "SC+p");
+  EXPECT_EQ(make_strategy("FS:2+p", lj)->name(), "FS/k=2+p");
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Plot the paper-figure CSVs emitted by the benchmark harness.
+
+Usage:
+    ./build/bench/bench_fig7_triplets --csv=fig7.csv
+    ./build/bench/bench_fig8_granularity --csv=fig8.csv   # writes xeon_/bgq_ prefixed files
+    ./build/bench/bench_fig9_scaling --csv=fig9.csv
+    python3 tools/plot_figures.py fig7.csv xeon_fig8.csv bgq_fig8.csv ...
+
+Each CSV becomes one PNG next to it.  Requires matplotlib; the harness
+itself has no Python dependency — this is plotting sugar only.
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+    cols = {name: [] for name in header}
+    for row in body:
+        for name, value in zip(header, row):
+            try:
+                cols[name].append(float(value))
+            except ValueError:
+                cols[name].append(value)
+    return header, cols
+
+
+def plot(path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    header, cols = read_csv(path)
+    x_name = header[0]
+    x = cols[x_name]
+
+    fig, ax = plt.subplots(figsize=(6, 4.2))
+    for name in header[1:]:
+        ys = cols[name]
+        if not ys or not isinstance(ys[0], float):
+            continue
+        ax.plot(x, ys, marker="o", markersize=3.5, linewidth=1.2, label=name)
+    ax.set_xlabel(x_name)
+    ax.set_xscale("log")
+    name = Path(path).stem
+    if "fig8" in name:
+        ax.set_yscale("log")
+        ax.set_ylabel("modeled time per step (s)")
+    elif "fig9" in name:
+        ax.set_ylabel("strong-scaling speedup / efficiency")
+    ax.set_title(name)
+    ax.grid(True, which="both", alpha=0.25)
+    ax.legend(fontsize=8)
+    out = Path(path).with_suffix(".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=140)
+    print(f"wrote {out}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    for path in argv[1:]:
+        plot(path)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
