@@ -1,6 +1,10 @@
 // scmd_run — config-driven MD driver.
 //
-//   ./scmd_run path/to/run.conf
+//   ./scmd_run path/to/run.conf [--key=value ...]
+//
+// Any `--key=value` flag overrides the same config key (dashes in the
+// flag name map to underscores: `--metrics-out=m.jsonl` sets
+// `metrics_out`).
 //
 // Configuration keys (all optional except `field`):
 //
@@ -24,13 +28,25 @@
 //   checkpoint_out   write the final state here
 //   seed             RNG seed (default 1)
 //   measure_pressure true: report pressure at the end (serial only)
+//   metrics_out      structured per-step metrics path (.csv => CSV,
+//                    anything else => JSONL); see docs/OBSERVABILITY.md
+//   metrics_every    emit cadence in steps (default 1)
+//   trace_out        Chrome trace_event JSON path (open in Perfetto)
+//   measure_force_set record |S(n)| per step (default: on when
+//                    metrics_out is set)
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "engines/observables.hpp"
 #include "engines/serial_engine.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "io/xyz.hpp"
 #include "md/builders.hpp"
 #include "md/units.hpp"
@@ -85,13 +101,23 @@ ParticleSystem build_system(const Config& cfg, const std::string& field_name,
   return sys;
 }
 
-int run(const std::string& path) {
-  const Config cfg = Config::load(path);
+/// `.csv` extension selects the CSV sink, anything else JSONL.
+std::unique_ptr<obs::MetricsSink> make_metrics_sink(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+    return std::make_unique<obs::CsvSink>(path);
+  return std::make_unique<obs::JsonlSink>(path);
+}
+
+int run(const std::string& path,
+        const std::vector<std::pair<std::string, std::string>>& overrides) {
+  Config cfg = Config::load(path);
+  for (const auto& [key, value] : overrides) cfg.set(key, value);
   cfg.require_known({"field", "strategy", "atoms", "density",
                      "atoms_per_cell", "temperature", "dt_fs", "steps",
                      "thermostat_tau_fs", "threads", "ranks", "log_every",
                      "traj", "checkpoint_in", "checkpoint_out", "seed",
-                     "measure_pressure"});
+                     "measure_pressure", "metrics_out", "metrics_every",
+                     "trace_out", "measure_force_set"});
   SCMD_REQUIRE(cfg.has("field"), "config must set `field`");
 
   const std::string field_name = cfg.get("field", "");
@@ -110,12 +136,34 @@ int run(const std::string& path) {
               field_name.c_str(), strategy.c_str(), sys.num_atoms(), steps,
               ranks);
 
+  // Observability artifacts: structured per-step metrics (JSONL/CSV) and
+  // Chrome-trace phase spans.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  if (cfg.has("metrics_out")) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    metrics->add_sink(make_metrics_sink(cfg.get("metrics_out", "")));
+    metrics->set_attr("field", field_name);
+    metrics->set_attr("strategy", strategy);
+  }
+  std::unique_ptr<obs::TraceSession> trace;
+  if (cfg.has("trace_out")) trace = std::make_unique<obs::TraceSession>();
+  const int metrics_every =
+      static_cast<int>(cfg.get_int("metrics_every", 1));
+  // |S(n)| is cheap to measure and part of the structured record, so it
+  // defaults to on whenever metrics are requested.
+  const bool measure_fs =
+      cfg.get_bool("measure_force_set", metrics != nullptr);
+
   if (ranks > 1) {
     SCMD_REQUIRE(tau_fs == 0.0,
                  "thermostatted runs need ranks = 1 (parallel runs are NVE)");
     ParallelRunConfig pcfg;
     pcfg.dt = dt;
     pcfg.num_steps = steps;
+    pcfg.measure_force_set = measure_fs;
+    pcfg.trace = trace.get();
+    pcfg.metrics = metrics.get();
+    pcfg.metrics_every = metrics_every;
     const ParallelRunResult res = run_parallel_md(
         sys, *field, strategy, ProcessGrid::factor(ranks), pcfg);
     std::printf("# E_pot = %.6f, T = %.1f K, max-rank ghosts = %llu\n",
@@ -126,7 +174,10 @@ int run(const std::string& path) {
     SerialEngineConfig ecfg;
     ecfg.dt = dt;
     ecfg.num_threads = static_cast<int>(cfg.get_int("threads", 1));
-    SerialEngine engine(sys, *field, make_strategy(strategy, *field), ecfg);
+    ecfg.measure_force_set = measure_fs;
+    ecfg.trace = trace.get();
+    SerialEngine engine(sys, *field,
+                        make_strategy(strategy, *field, measure_fs), ecfg);
 
     std::unique_ptr<XyzWriter> traj;
     if (cfg.has("traj")) {
@@ -140,15 +191,35 @@ int run(const std::string& path) {
           tau_fs * units::kFemtosecond);
     }
 
+    // Step s record: engine state after s steps; the s=0 work delta is
+    // the constructor's priming force pass.  Deltas come from cumulative
+    // counter snapshots, never from clear_counters().
+    EngineCounters prev_counters;
+    const auto record_obs = [&](int s) {
+      if (!metrics) return;
+      obs::StepSample sample;
+      sample.potential_energy = engine.potential_energy();
+      sample.total_energy = engine.total_energy();
+      sample.temperature = sys.temperature();
+      sample.work = engine.counters().delta_since(prev_counters);
+      prev_counters = engine.counters();
+      sample.max_n = field->max_n();
+      obs::record_step(*metrics, sample);
+      if (s % (metrics_every > 0 ? metrics_every : 1) == 0 || s == steps)
+        metrics->emit(s);
+    };
+
     std::printf("# %8s %14s %14s %10s\n", "step", "E_pot", "E_total",
                 "T(K)");
     for (int s = 0; s <= steps; ++s) {
+      record_obs(s);
       if (log_every > 0 && s % log_every == 0) {
         std::printf("  %8d %14.6f %14.6f %10.1f\n", s,
                     engine.potential_energy(), engine.total_energy(),
                     sys.temperature());
         if (traj) traj->write_frame(sys, "step=" + std::to_string(s));
       }
+      if (s == steps) break;  // state after the final step is recorded
       if (thermo) {
         engine.step(*thermo);
       } else {
@@ -163,6 +234,15 @@ int run(const std::string& path) {
     }
   }
 
+  if (trace) {
+    trace->save(cfg.get("trace_out", ""));
+    std::printf("# trace: %s (%zu spans; open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                cfg.get("trace_out", "").c_str(), trace->num_events());
+  }
+  if (metrics)
+    std::printf("# metrics: %s\n", cfg.get("metrics_out", "").c_str());
+
   if (cfg.has("checkpoint_out"))
     save_checkpoint(sys, cfg.get("checkpoint_out", ""));
   return 0;
@@ -171,12 +251,36 @@ int run(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <config-file>\n", argv[0]);
+  std::string config_path;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos || eq == 2) {
+        std::fprintf(stderr, "error: flags take the form --key=value: %s\n",
+                     arg.c_str());
+        return 2;
+      }
+      std::string key = arg.substr(2, eq - 2);
+      for (char& c : key) {
+        if (c == '-') c = '_';
+      }
+      overrides.emplace_back(key, arg.substr(eq + 1));
+    } else if (config_path.empty()) {
+      config_path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one config file given\n");
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    std::fprintf(stderr, "usage: %s <config-file> [--key=value ...]\n",
+                 argv[0]);
     return 2;
   }
   try {
-    return run(argv[1]);
+    return run(config_path, overrides);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

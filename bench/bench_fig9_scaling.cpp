@@ -12,12 +12,19 @@
 // 8192 BG/Q cores (FS 10.8%, Hybrid 18.6%); 91.9% at 524288 cores.
 //
 //   ./bench_fig9_scaling [--platform=xeon|bgq|extreme|all] [--atoms=N]
-//                        [--full]
+//                        [--full] [--metrics-out=FILE]
+//
+// --metrics-out emits one structured JSONL record per (platform, core
+// count) row — speedups, efficiencies, and the max-rank work behind
+// them — so the figure is reproducible from the artifact.
 
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "md/builders.hpp"
+#include "obs/metrics.hpp"
 #include "perf/cluster_sim.hpp"
 #include "perf/cost_model.hpp"
 #include "potentials/vashishta.hpp"
@@ -32,7 +39,9 @@ using namespace scmd;
 
 void strong_scaling(const PlatformParams& platform, long long atoms,
                     const std::vector<int>& core_counts,
-                    const std::string& csv, int tasks_per_core = 1) {
+                    const std::string& csv,
+                    obs::MetricsRegistry* metrics,
+                    int tasks_per_core = 1) {
   const VashishtaSiO2 field;
   Rng rng(3000 + static_cast<std::uint64_t>(atoms));
   const ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
@@ -48,6 +57,7 @@ void strong_scaling(const PlatformParams& platform, long long atoms,
   const char* names[3] = {"SC", "FS", "Hybrid"};
   double t_ref[3] = {0, 0, 0};
   int p_ref = 0;
+  if (metrics != nullptr) metrics->set_attr("platform", platform.name);
   for (int cores : core_counts) {
     const int P = cores * tasks_per_core;
     const ProcessGrid pgrid = ProcessGrid::factor(P);
@@ -57,6 +67,15 @@ void strong_scaling(const PlatformParams& platform, long long atoms,
       try {
         const ClusterSample s = sim.measure(names[k], pgrid, 4);
         t[k] = estimate_step(s.max_rank, platform).total();
+        if (metrics != nullptr) {
+          const std::string prefix = std::string("maxrank.") + names[k];
+          metrics->set(prefix + ".search",
+                       static_cast<double>(
+                           s.max_rank.total_search_steps()));
+          metrics->set(prefix + ".bytes_in",
+                       static_cast<double>(s.max_rank.bytes_imported));
+          metrics->set(prefix + ".t_step", t[k]);
+        }
       } catch (const Error&) {
         ok = false;
       }
@@ -76,6 +95,18 @@ void strong_scaling(const PlatformParams& platform, long long atoms,
       const double speedup = t_ref[k] / t[k];
       row.push_back(speedup);
       row.push_back(100.0 * speedup / (static_cast<double>(P) / p_ref));
+      if (metrics != nullptr) {
+        const std::string prefix = std::string("scaling.") + names[k];
+        metrics->set(prefix + ".speedup", speedup);
+        metrics->set(prefix + ".efficiency",
+                     100.0 * speedup / (static_cast<double>(P) / p_ref));
+      }
+    }
+    if (metrics != nullptr) {
+      metrics->set("cores", static_cast<double>(cores));
+      metrics->set("ranks", static_cast<double>(P));
+      metrics->set("atoms", static_cast<double>(atoms));
+      metrics->emit(cores);
     }
     table.add_row(std::move(row));
   }
@@ -87,10 +118,19 @@ void strong_scaling(const PlatformParams& platform, long long atoms,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv, {"platform", "atoms", "full", "quick", "csv"});
+  const Cli cli(argc, argv,
+                {"platform", "atoms", "full", "quick", "csv", "metrics-out"});
   const std::string which = cli.get("platform", "all");
   const bool full = cli.get_bool("full", false);
   const std::string csv = cli.get("csv", "");
+
+  std::unique_ptr<scmd::obs::MetricsRegistry> metrics;
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    metrics = std::make_unique<scmd::obs::MetricsRegistry>();
+    metrics->add_sink(std::make_unique<scmd::obs::JsonlSink>(metrics_out));
+    metrics->set_attr("bench", "fig9_scaling");
+  }
 
   // Paper sizes by default (0.88M / 0.79M / 50.3M atoms): per-rank
   // sampling keeps the sweep affordable.  --quick shrinks ~8x.
@@ -103,21 +143,21 @@ int main(int argc, char** argv) {
   if (which == "xeon" || which == "all") {
     // 1..64 dual-6-core nodes.
     strong_scaling(xeon_cluster(), xeon_atoms,
-                   {12, 24, 48, 96, 192, 384, 768}, csv);
+                   {12, 24, 48, 96, 192, 384, 768}, csv, metrics.get());
   }
   if (which == "bgq" || which == "all") {
     // 1..512 nodes, 16 cores each, 4 MPI tasks per core as in the paper
     // (finest grain ~26 atoms per task).
     strong_scaling(bluegene_q(), bgq_atoms,
                    {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}, csv,
-                   /*tasks_per_core=*/4);
+                   metrics.get(), /*tasks_per_core=*/4);
   }
   if (which == "extreme" || which == "all") {
     // 8..32768 nodes; the paper reports 91.9% efficiency at 524288 cores
     // with 2,097,152 MPI tasks (4/core), reference = 128 cores.
     strong_scaling(bluegene_q(), extreme_atoms,
                    {128, 1024, 8192, 65536, 262144, 524288}, csv,
-                   /*tasks_per_core=*/4);
+                   metrics.get(), /*tasks_per_core=*/4);
   }
   return 0;
 }

@@ -6,12 +6,21 @@
 // the pair list).
 //
 //   ./bench_walltime [--atoms=6000] [--steps=10] [--reach-sweep]
+//                    [--metrics-out=FILE] [--trace-out=FILE]
+//
+// --metrics-out writes one structured record per step per strategy
+// (JSONL, or CSV with a .csv path) so the figure is reproducible from
+// the artifact instead of stdout scraping; --trace-out writes a Chrome
+// trace_event JSON of the phase spans.
 
 #include <iostream>
 
 #include "engines/serial_engine.hpp"
 #include "md/builders.hpp"
 #include "md/units.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "potentials/vashishta.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -20,7 +29,8 @@
 
 int main(int argc, char** argv) {
   using namespace scmd;
-  const Cli cli(argc, argv, {"atoms", "steps", "reach-sweep", "seed"});
+  const Cli cli(argc, argv, {"atoms", "steps", "reach-sweep", "seed",
+                             "metrics-out", "trace-out"});
   const long long atoms = cli.get_int("atoms", 6000);
   const int steps = static_cast<int>(cli.get_int("steps", 10));
   const VashishtaSiO2 field;
@@ -30,6 +40,23 @@ int main(int argc, char** argv) {
     variants.push_back("SC:2+p");
     variants.push_back("SC:3+p");
   }
+
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  const std::string metrics_out = cli.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    if (metrics_out.size() >= 4 &&
+        metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0) {
+      metrics->add_sink(std::make_unique<obs::CsvSink>(metrics_out));
+    } else {
+      metrics->add_sink(std::make_unique<obs::JsonlSink>(metrics_out));
+    }
+    metrics->set_attr("bench", "walltime");
+    metrics->set_attr("field", "vashishta");
+  }
+  std::unique_ptr<obs::TraceSession> trace;
+  const std::string trace_out = cli.get("trace-out", "");
+  if (!trace_out.empty()) trace = std::make_unique<obs::TraceSession>();
 
   Table table({"strategy", "ms/step", "search/step", "cell visits/step",
                "accepted3/step", "pair evals/step", "triplet evals/step"});
@@ -42,12 +69,34 @@ int main(int argc, char** argv) {
     ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
     SerialEngineConfig cfg;
     cfg.dt = 1.0 * units::kFemtosecond;
+    cfg.trace = trace.get();
     SerialEngine engine(sys, field, make_strategy(name, field), cfg);
-    engine.clear_counters();
+    if (metrics) metrics->set_attr("strategy", name);
+    // Per-step work from cumulative snapshot deltas — never
+    // clear_counters() mid-run (it would race against totals consumers).
+    EngineCounters prev = engine.counters();
+    const EngineCounters start = prev;
     Timer timer;
-    for (int s = 0; s < steps; ++s) engine.step();
+    for (int s = 0; s < steps; ++s) {
+      AccumTimer step_timer;
+      step_timer.start();
+      engine.step();
+      step_timer.stop();
+      if (metrics) {
+        obs::StepSample sample;
+        sample.potential_energy = engine.potential_energy();
+        sample.total_energy = engine.total_energy();
+        sample.temperature = sys.temperature();
+        sample.work = engine.counters().delta_since(prev);
+        prev = engine.counters();
+        sample.max_n = field.max_n();
+        obs::record_step(*metrics, sample);
+        metrics->set("time.ms_per_step", step_timer.total() * 1e3);
+        metrics->emit(s + 1);
+      }
+    }
     const double ms = timer.seconds() * 1e3 / steps;
-    const EngineCounters& c = engine.counters();
+    const EngineCounters c = engine.counters().delta_since(start);
     std::uint64_t visits = 0;
     for (const TupleCounters& tc : c.tuples) visits += tc.cell_visits;
     table.add_row(
@@ -59,5 +108,6 @@ int main(int argc, char** argv) {
          static_cast<long long>(c.evals[3] / steps)});
   }
   table.print(std::cout);
+  if (trace) trace->save(trace_out);
   return 0;
 }

@@ -39,6 +39,30 @@ struct EngineCounters {
   std::uint64_t bytes_imported = 0;
   std::uint64_t bytes_written_back = 0;
 
+  EngineCounters& operator-=(const EngineCounters& o) {
+    for (std::size_t n = 0; n < tuples.size(); ++n) {
+      tuples[n] -= o.tuples[n];
+      evals[n] -= o.evals[n];
+      force_set[n] -= o.force_set[n];
+    }
+    list_pairs -= o.list_pairs;
+    list_scan_steps -= o.list_scan_steps;
+    ghost_atoms_imported -= o.ghost_atoms_imported;
+    messages -= o.messages;
+    bytes_imported -= o.bytes_imported;
+    bytes_written_back -= o.bytes_written_back;
+    return *this;
+  }
+
+  /// Per-step work from cumulative snapshots: `now.delta_since(prev)`.
+  /// Avoids clear_counters() races in long runs — callers keep the
+  /// cumulative totals and difference consecutive snapshots instead.
+  EngineCounters delta_since(const EngineCounters& prev) const {
+    EngineCounters d = *this;
+    d -= prev;
+    return d;
+  }
+
   EngineCounters& operator+=(const EngineCounters& o) {
     for (std::size_t n = 0; n < tuples.size(); ++n) {
       tuples[n] += o.tuples[n];

@@ -1,5 +1,6 @@
 #include "engines/hybrid_strategy.hpp"
 
+#include "obs/trace.hpp"
 #include "pattern/generate.hpp"
 #include "support/error.hpp"
 #include "tuples/ucp.hpp"
@@ -59,29 +60,32 @@ double HybridStrategy::compute(const ForceField& field,
 
   const Int3 base = dom.owned_base();
   const Int3 od = dom.owned_dims();
-  for (int z = 0; z < od.z; ++z) {
-    for (int y = 0; y < od.y; ++y) {
-      for (int x = 0; x < od.x; ++x) {
-        const Int3 home = base + Int3{x, y, z};
-        const auto [h0, h1] = dom.cell_range(dom.cell_index(home));
-        for (int i = h0; i < h1; ++i) {
-          owned_atoms.push_back(i);
-          for (int dz = -1; dz <= 1; ++dz) {
-            for (int dy = -1; dy <= 1; ++dy) {
-              for (int dx = -1; dx <= 1; ++dx) {
-                const Int3 cell = home + Int3{dx, dy, dz};
-                const auto [c0, c1] = dom.cell_range(dom.cell_index(cell));
-                for (int j = c0; j < c1; ++j) {
-                  ++counters.list_scan_steps;
-                  if (gid[j] == gid[i]) continue;
-                  const Vec3 d = pos[i] - pos[j];
-                  if (d.norm2() >= rc2_sq) continue;
-                  nbr.push_back(j);
+  {
+    SCMD_TRACE("list.build");
+    for (int z = 0; z < od.z; ++z) {
+      for (int y = 0; y < od.y; ++y) {
+        for (int x = 0; x < od.x; ++x) {
+          const Int3 home = base + Int3{x, y, z};
+          const auto [h0, h1] = dom.cell_range(dom.cell_index(home));
+          for (int i = h0; i < h1; ++i) {
+            owned_atoms.push_back(i);
+            for (int dz = -1; dz <= 1; ++dz) {
+              for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                  const Int3 cell = home + Int3{dx, dy, dz};
+                  const auto [c0, c1] = dom.cell_range(dom.cell_index(cell));
+                  for (int j = c0; j < c1; ++j) {
+                    ++counters.list_scan_steps;
+                    if (gid[j] == gid[i]) continue;
+                    const Vec3 d = pos[i] - pos[j];
+                    if (d.norm2() >= rc2_sq) continue;
+                    nbr.push_back(j);
+                  }
                 }
               }
             }
+            nbr_start.push_back(static_cast<int>(nbr.size()));
           }
-          nbr_start.push_back(static_cast<int>(nbr.size()));
         }
       }
     }
@@ -94,19 +98,23 @@ double HybridStrategy::compute(const ForceField& field,
   // The full list holds both orientations of interior pairs and exactly
   // one orientation of rank-boundary pairs (the other lives on the
   // neighbor rank); the gid guard keeps each pair once globally.
-  for (std::size_t oi = 0; oi < owned_atoms.size(); ++oi) {
-    const int i = owned_atoms[oi];
-    for (int s = nbr_start[oi]; s < nbr_start[oi + 1]; ++s) {
-      const int j = nbr[static_cast<std::size_t>(s)];
-      if (gid[i] > gid[j]) continue;
-      energy += field.eval_pair(type[i], type[j], pos[i], pos[j], fd[i],
-                                fd[j]);
-      ++counters.evals[2];
+  {
+    SCMD_TRACE("eval.pairs");
+    for (std::size_t oi = 0; oi < owned_atoms.size(); ++oi) {
+      const int i = owned_atoms[oi];
+      for (int s = nbr_start[oi]; s < nbr_start[oi + 1]; ++s) {
+        const int j = nbr[static_cast<std::size_t>(s)];
+        if (gid[i] > gid[j]) continue;
+        energy += field.eval_pair(type[i], type[j], pos[i], pos[j], fd[i],
+                                  fd[j]);
+        ++counters.evals[2];
+      }
     }
   }
 
   // ---- Triplets pruned from the pair list ------------------------------
   if (has_triplets_) {
+    SCMD_TRACE("eval.triplets");
     const double rc3 = field.rcut(3);
     const double rc3_sq = rc3 * rc3;
     std::vector<int> close;  // neighbors within rcut3 of the center

@@ -20,6 +20,8 @@ SerialEngine::SerialEngine(ParticleSystem& sys, const ForceField& field,
 }
 
 void SerialEngine::compute_forces() {
+  const obs::ThreadTraceGuard trace_guard(config_.trace, /*tid=*/0);
+  SCMD_TRACE("force");
   sys_.zero_forces();
 
   // Per-n domains requested by the strategy, each on its own grid with
@@ -29,23 +31,27 @@ void SerialEngine::compute_forces() {
   std::array<CellDomain, kMaxTupleLen + 1> dom_storage;
   std::array<std::vector<Vec3>, kMaxTupleLen + 1> f_storage;
 
-  for (int n = 2; n <= field_.max_n(); ++n) {
-    if (!strategy_->needs_grid(n)) continue;
-    const std::size_t ni = static_cast<std::size_t>(n);
-    const double rcut = field_.rcut(n) > 0.0 ? field_.rcut(n) : field_.rcut(2);
-    const CellGrid grid(sys_.box(), strategy_->min_cell_size(n, rcut));
-    // Periodic image uniqueness (an atom interacts with at most one image
-    // of any other) requires at least 3 cells per axis.
-    SCMD_REQUIRE(grid.dims().x >= 3 && grid.dims().y >= 3 &&
-                     grid.dims().z >= 3,
-                 "box too small: need >= 3 cells per axis for grid n=" +
-                     std::to_string(n));
-    dom_storage[ni] = make_serial_domain(grid, strategy_->halo(n),
-                                         sys_.positions(), sys_.types());
-    f_storage[ni].assign(static_cast<std::size_t>(dom_storage[ni].num_atoms()),
-                         Vec3{});
-    domains.dom[ni] = &dom_storage[ni];
-    accum.f[ni] = &f_storage[ni];
+  {
+    SCMD_TRACE("binning");
+    for (int n = 2; n <= field_.max_n(); ++n) {
+      if (!strategy_->needs_grid(n)) continue;
+      const std::size_t ni = static_cast<std::size_t>(n);
+      const double rcut =
+          field_.rcut(n) > 0.0 ? field_.rcut(n) : field_.rcut(2);
+      const CellGrid grid(sys_.box(), strategy_->min_cell_size(n, rcut));
+      // Periodic image uniqueness (an atom interacts with at most one
+      // image of any other) requires at least 3 cells per axis.
+      SCMD_REQUIRE(grid.dims().x >= 3 && grid.dims().y >= 3 &&
+                       grid.dims().z >= 3,
+                   "box too small: need >= 3 cells per axis for grid n=" +
+                       std::to_string(n));
+      dom_storage[ni] = make_serial_domain(grid, strategy_->halo(n),
+                                           sys_.positions(), sys_.types());
+      f_storage[ni].assign(
+          static_cast<std::size_t>(dom_storage[ni].num_atoms()), Vec3{});
+      domains.dom[ni] = &dom_storage[ni];
+      accum.f[ni] = &f_storage[ni];
+    }
   }
 
   potential_energy_ =
@@ -53,6 +59,7 @@ void SerialEngine::compute_forces() {
 
   // Fold per-domain forces back to the owning atoms by global id; ghost
   // copies contribute to their primaries (serial write-back).
+  SCMD_TRACE("fold");
   const auto sys_f = sys_.forces();
   for (int n = 2; n <= field_.max_n(); ++n) {
     const std::size_t ni = static_cast<std::size_t>(n);
@@ -66,8 +73,14 @@ void SerialEngine::compute_forces() {
 }
 
 void SerialEngine::step() {
-  integrator_.kick_drift(sys_);
+  const obs::ThreadTraceGuard trace_guard(config_.trace, /*tid=*/0);
+  SCMD_TRACE("step");
+  {
+    SCMD_TRACE("integrate.kick_drift");
+    integrator_.kick_drift(sys_);
+  }
   compute_forces();
+  SCMD_TRACE("integrate.kick");
   integrator_.kick(sys_);
 }
 

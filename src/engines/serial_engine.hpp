@@ -15,6 +15,7 @@
 #include "md/integrator.hpp"
 #include "md/system.hpp"
 #include "md/thermostat.hpp"
+#include "obs/trace.hpp"
 
 namespace scmd {
 
@@ -26,6 +27,9 @@ struct SerialEngineConfig {
   /// Intra-process threads for tuple enumeration (pattern strategies
   /// split home-cell slabs; Hybrid ignores this).
   int num_threads = 1;
+  /// Optional phase-span sink (binning / search per n / fold /
+  /// integrate).  Null: tracing off, near-zero overhead.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Serial cell-based MD driver.

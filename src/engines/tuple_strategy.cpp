@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "pattern/generate.hpp"
 #include "support/error.hpp"
 
@@ -161,6 +162,7 @@ double TupleStrategy::compute(const ForceField& field,
   double energy = 0.0;
   for (int n = 2; n <= max_n_; ++n) {
     if (!needs_grid(n)) continue;
+    SCMD_TRACE(obs::search_phase_name(n));
     const std::size_t ni = static_cast<std::size_t>(n);
     const CellDomain* dom = domains.dom[ni];
     std::vector<Vec3>* f = forces.f[ni];

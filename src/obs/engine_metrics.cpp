@@ -1,0 +1,61 @@
+#include "obs/engine_metrics.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace scmd::obs {
+
+void record_step(MetricsRegistry& reg, const StepSample& sample) {
+  SCMD_REQUIRE(sample.max_n >= 2 && sample.max_n <= kMaxTupleLen,
+               "StepSample.max_n out of range");
+  reg.set("energy.potential", sample.potential_energy);
+  reg.set("energy.total", sample.total_energy);
+  reg.set("temperature", sample.temperature);
+
+  const EngineCounters& w = sample.work;
+  for (int n = 2; n <= sample.max_n; ++n) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    const std::string suffix = ".n" + std::to_string(n);
+    reg.set("search.steps" + suffix,
+            static_cast<double>(w.tuples[ni].search_steps));
+    reg.set("search.visits" + suffix,
+            static_cast<double>(w.tuples[ni].cell_visits));
+    reg.set("search.accepted" + suffix,
+            static_cast<double>(w.tuples[ni].accepted));
+    reg.set("evals" + suffix, static_cast<double>(w.evals[ni]));
+    reg.set("force_set" + suffix, static_cast<double>(w.force_set[ni]));
+  }
+  reg.set("list.pairs", static_cast<double>(w.list_pairs));
+  reg.set("list.scan_steps", static_cast<double>(w.list_scan_steps));
+  reg.set("search.total", static_cast<double>(w.total_search_steps()));
+  reg.set("comm.ghosts", static_cast<double>(w.ghost_atoms_imported));
+  reg.set("comm.messages", static_cast<double>(w.messages));
+  reg.set("comm.bytes_in", static_cast<double>(w.bytes_imported));
+  reg.set("comm.bytes_out", static_cast<double>(w.bytes_written_back));
+}
+
+void record_rank_imbalance(MetricsRegistry& reg,
+                           const std::vector<EngineCounters>& rank_work) {
+  if (rank_work.empty()) return;
+  std::uint64_t max_search = 0, sum_search = 0;
+  std::uint64_t max_bytes = 0, sum_bytes = 0;
+  for (const EngineCounters& c : rank_work) {
+    const std::uint64_t s = c.total_search_steps();
+    max_search = std::max(max_search, s);
+    sum_search += s;
+    max_bytes = std::max(max_bytes, c.bytes_imported);
+    sum_bytes += c.bytes_imported;
+  }
+  const double P = static_cast<double>(rank_work.size());
+  const double avg_search = static_cast<double>(sum_search) / P;
+  reg.set("imbalance.search.max", static_cast<double>(max_search));
+  reg.set("imbalance.search.avg", avg_search);
+  reg.set("imbalance.search.ratio",
+          avg_search > 0.0 ? static_cast<double>(max_search) / avg_search
+                           : 1.0);
+  reg.set("comm.import_bytes.max_rank", static_cast<double>(max_bytes));
+  reg.set("comm.import_bytes.avg_rank", static_cast<double>(sum_bytes) / P);
+}
+
+}  // namespace scmd::obs

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file engine_metrics.hpp
+/// The stable metric-name schema for MD engines.
+///
+/// Maps one step's EngineCounters delta (plus energies) onto registry
+/// gauges under the names documented in docs/OBSERVABILITY.md.  The
+/// schema is append-only: names never change meaning across PRs so
+/// emitted artifacts stay comparable between benchmark runs.
+
+#include <vector>
+
+#include "engines/counters.hpp"
+#include "obs/metrics.hpp"
+
+namespace scmd::obs {
+
+/// One MD step's worth of observables.
+struct StepSample {
+  double potential_energy = 0.0;
+  double total_energy = 0.0;
+  double temperature = 0.0;   ///< Kelvin; 0 when not measured
+  EngineCounters work;        ///< per-step delta, not cumulative
+  int max_n = 3;              ///< highest tuple length to export (>= 2)
+};
+
+/// Record `sample` into `reg` as gauges:
+///   energy.potential, energy.total, temperature,
+///   search.steps.n{2..max_n}, search.visits.n{n}, search.accepted.n{n},
+///   evals.n{n}, force_set.n{n},
+///   list.pairs, list.scan_steps, search.total,
+///   comm.ghosts, comm.messages, comm.bytes_in, comm.bytes_out
+/// Every name in the fixed range is always set (zero when inactive) so
+/// CSV headers are identical for every strategy.
+void record_step(MetricsRegistry& reg, const StepSample& sample);
+
+/// Per-rank reduction of one step (parallel driver / cluster sim):
+///   imbalance.search.max, imbalance.search.avg, imbalance.search.ratio,
+///   comm.import_bytes.max_rank, comm.import_bytes.avg_rank  (Eq. 33)
+/// `rank_work` holds each rank's per-step delta.
+void record_rank_imbalance(MetricsRegistry& reg,
+                           const std::vector<EngineCounters>& rank_work);
+
+}  // namespace scmd::obs

@@ -1,0 +1,293 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace scmd::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest round-trip double formatting; JSON has no NaN/Inf, emit null.
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    // Try shorter representations for readability.
+    for (int prec = 6; prec < 17; ++prec) {
+      char s[32];
+      std::snprintf(s, sizeof(s), "%.*g", prec, v);
+      std::sscanf(s, "%lf", &back);
+      if (back == v) {
+        os << s;
+        return;
+      }
+    }
+  }
+  os << buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, int num_buckets)
+    : lo_(lo), hi_(hi) {
+  SCMD_REQUIRE(num_buckets >= 1, "histogram needs at least one bucket");
+  SCMD_REQUIRE(hi > lo, "histogram needs hi > lo");
+  width_ = (hi - lo) / num_buckets;
+  buckets_.assign(static_cast<std::size_t>(num_buckets), 0);
+}
+
+void Histogram::observe(double x) {
+  ++count_;
+  sum_ += x;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= buckets_.size()) i = buckets_.size() - 1;  // fp edge
+    ++buckets_[i];
+  }
+}
+
+void Histogram::clear() {
+  for (auto& b : buckets_) b = 0;
+  underflow_ = overflow_ = count_ = 0;
+  sum_ = 0.0;
+}
+
+MetricsRegistry::Scalar& MetricsRegistry::scalar(const std::string& name,
+                                                 bool is_counter) {
+  const auto it = scalar_index_.find(name);
+  if (it != scalar_index_.end()) {
+    Scalar& s = scalars_[it->second];
+    SCMD_REQUIRE(s.is_counter == is_counter,
+                 "metric registered with a different kind: " + name);
+    return s;
+  }
+  scalar_index_.emplace(name, scalars_.size());
+  scalars_.push_back(Scalar{name, 0.0, is_counter});
+  return scalars_.back();
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  scalar(name, /*is_counter=*/true).value += static_cast<double>(delta);
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  scalar(name, /*is_counter=*/false).value = value;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, int num_buckets) {
+  for (auto& [n, h] : hists_) {
+    if (n != name) continue;
+    SCMD_REQUIRE(h->lo() == lo && h->hi() == hi &&
+                     h->num_buckets() == num_buckets,
+                 "histogram re-registered with a different spec: " + name);
+    return *h;
+  }
+  hists_.emplace_back(name, std::make_unique<Histogram>(lo, hi, num_buckets));
+  return *hists_.back().second;
+}
+
+void MetricsRegistry::set_attr(const std::string& key,
+                               const std::string& value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  attrs_.emplace_back(key, value);
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  return scalar_index_.count(name) != 0;
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  const auto it = scalar_index_.find(name);
+  SCMD_REQUIRE(it != scalar_index_.end(), "unknown metric: " + name);
+  return scalars_[it->second].value;
+}
+
+std::vector<std::string> MetricsRegistry::scalar_names() const {
+  std::vector<std::string> names;
+  names.reserve(scalars_.size());
+  for (const Scalar& s : scalars_) names.push_back(s.name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::vector<std::string> names;
+  names.reserve(hists_.size());
+  for (const auto& [n, h] : hists_) names.push_back(n);
+  return names;
+}
+
+const Histogram& MetricsRegistry::histogram_at(const std::string& name) const {
+  for (const auto& [n, h] : hists_) {
+    if (n == name) return *h;
+  }
+  SCMD_REQUIRE(false, "unknown histogram: " + name);
+  return *hists_.front().second;  // unreachable
+}
+
+void MetricsRegistry::add_sink(std::unique_ptr<MetricsSink> sink) {
+  SCMD_REQUIRE(sink != nullptr, "null metrics sink");
+  sinks_.push_back(std::move(sink));
+}
+
+void MetricsRegistry::emit(long long step) {
+  if (sinks_.empty()) return;
+  for (auto& sink : sinks_) sink->write_step(step, *this);
+}
+
+namespace {
+
+std::unique_ptr<std::ostream> open_sink_file(const std::string& path) {
+  auto os = std::make_unique<std::ofstream>(path);
+  SCMD_REQUIRE(os->good(), "cannot open metrics output: " + path);
+  return os;
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(open_sink_file(path)), os_(owned_.get()) {}
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+void JsonlSink::write_step(long long step, const MetricsRegistry& reg) {
+  std::ostream& os = *os_;
+  os << "{\"step\":" << step;
+  if (!reg.attrs().empty()) {
+    os << ",\"attrs\":{";
+    bool first = true;
+    for (const auto& [k, v] : reg.attrs()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+    }
+    os << "}";
+  }
+  os << ",\"metrics\":{";
+  bool first = true;
+  for (const std::string& name : reg.scalar_names()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":";
+    write_json_number(os, reg.value(name));
+  }
+  os << "}";
+  const auto hist_names = reg.histogram_names();
+  if (!hist_names.empty()) {
+    os << ",\"hist\":{";
+    bool hfirst = true;
+    for (const std::string& name : hist_names) {
+      const Histogram& h = reg.histogram_at(name);
+      if (!hfirst) os << ",";
+      hfirst = false;
+      os << "\"" << json_escape(name) << "\":{\"lo\":";
+      write_json_number(os, h.lo());
+      os << ",\"hi\":";
+      write_json_number(os, h.hi());
+      os << ",\"underflow\":" << h.underflow()
+         << ",\"overflow\":" << h.overflow() << ",\"count\":" << h.count()
+         << ",\"sum\":";
+      write_json_number(os, h.sum());
+      os << ",\"buckets\":[";
+      for (int i = 0; i < h.num_buckets(); ++i) {
+        if (i) os << ",";
+        os << h.bucket(i);
+      }
+      os << "]}";
+    }
+    os << "}";
+  }
+  os << "}\n";
+  os.flush();
+  SCMD_REQUIRE(os.good(), "failed writing metrics record");
+}
+
+CsvSink::CsvSink(const std::string& path)
+    : owned_(open_sink_file(path)), os_(owned_.get()) {}
+
+CsvSink::CsvSink(std::ostream& os) : os_(&os) {}
+
+void CsvSink::write_step(long long step, const MetricsRegistry& reg) {
+  std::ostream& os = *os_;
+  if (!wrote_header_) {
+    for (const auto& [k, v] : reg.attrs()) attr_header_.push_back(k);
+    scalar_header_ = reg.scalar_names();
+    os << "step";
+    for (const std::string& k : attr_header_) os << "," << k;
+    for (const std::string& n : scalar_header_) os << "," << n;
+    os << "\n";
+    wrote_header_ = true;
+  }
+  os << step;
+  for (const std::string& k : attr_header_) {
+    std::string v;
+    for (const auto& [ak, av] : reg.attrs()) {
+      if (ak == k) v = av;
+    }
+    os << "," << v;
+  }
+  for (const std::string& n : scalar_header_) {
+    os << ",";
+    // Columns are frozen at the first row; a since-vanished name (not
+    // possible today — metrics are never deregistered) would print 0.
+    write_json_number(os, reg.has(n) ? reg.value(n) : 0.0);
+  }
+  os << "\n";
+  os.flush();
+  SCMD_REQUIRE(os.good(), "failed writing metrics CSV row");
+}
+
+}  // namespace scmd::obs

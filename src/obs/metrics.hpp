@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named metrics registry with structured per-step export.
+///
+/// A MetricsRegistry holds three metric kinds under stable dotted names
+/// (the schema is append-only across PRs — see docs/OBSERVABILITY.md):
+///
+///   - counter:   monotonically increasing uint64 (cumulative work)
+///   - gauge:     last-set double (per-step deltas, energies, ratios)
+///   - histogram: fixed-width buckets over [lo, hi] with explicit
+///                underflow/overflow counts
+///
+/// emit(step) snapshots every metric into each attached sink.  Sinks:
+/// JSONL (one self-describing JSON object per step) and CSV (header
+/// frozen at the first emitted row for cross-run comparability).  With no
+/// sinks attached, emit() returns immediately — the null-sink fast path.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scmd::obs {
+
+/// Escape a string for inclusion inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range observations land
+/// in the underflow/overflow counts so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int num_buckets);
+
+  void observe(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  void clear();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry;
+
+/// Sink interface: receives one snapshot per emit().
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void write_step(long long step, const MetricsRegistry& reg) = 0;
+};
+
+/// The registry.  Metric names are registered on first use and keep
+/// their registration order in every export.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Increment counter `name` (registered on first use).
+  void add(const std::string& name, std::uint64_t delta);
+
+  /// Set gauge `name` (registered on first use).
+  void set(const std::string& name, double value);
+
+  /// Get-or-create a histogram.  The spec is fixed by the first call;
+  /// later calls with a different spec throw.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       int num_buckets);
+
+  /// Set a string attribute attached to every emitted record (strategy
+  /// name, platform, ...).
+  void set_attr(const std::string& key, const std::string& value);
+
+  bool has(const std::string& name) const;
+  double value(const std::string& name) const;  ///< throws if unknown
+
+  /// Scalar (counter + gauge) names in registration order.
+  std::vector<std::string> scalar_names() const;
+  const std::vector<std::pair<std::string, std::string>>& attrs() const {
+    return attrs_;
+  }
+  /// Histogram names in registration order.
+  std::vector<std::string> histogram_names() const;
+  const Histogram& histogram_at(const std::string& name) const;
+
+  void add_sink(std::unique_ptr<MetricsSink> sink);
+  bool has_sinks() const { return !sinks_.empty(); }
+
+  /// Snapshot every metric into each sink.  No sinks: returns
+  /// immediately.
+  void emit(long long step);
+
+ private:
+  struct Scalar {
+    std::string name;
+    double value = 0.0;
+    bool is_counter = false;
+  };
+
+  Scalar& scalar(const std::string& name, bool is_counter);
+
+  std::vector<Scalar> scalars_;
+  std::map<std::string, std::size_t> scalar_index_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<MetricsSink>> sinks_;
+};
+
+/// One JSON object per emit:
+///   {"step":N,"attrs":{...},"metrics":{...},"hist":{...}}
+/// ("attrs"/"hist" appear only when non-empty.)
+class JsonlSink : public MetricsSink {
+ public:
+  /// Write to a file; throws scmd::Error if it cannot be opened.
+  explicit JsonlSink(const std::string& path);
+  /// Write to a caller-owned stream (testing).
+  explicit JsonlSink(std::ostream& os);
+
+  void write_step(long long step, const MetricsRegistry& reg) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
+/// CSV with a header frozen at the first emitted row: `step` followed by
+/// attribute keys and scalar names.  Metrics registered after the first
+/// emit are NOT added to the header (stable columns across a run);
+/// register everything before the first emit.
+class CsvSink : public MetricsSink {
+ public:
+  explicit CsvSink(const std::string& path);
+  explicit CsvSink(std::ostream& os);
+
+  void write_step(long long step, const MetricsRegistry& reg) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+  std::vector<std::string> attr_header_;
+  std::vector<std::string> scalar_header_;
+  bool wrote_header_ = false;
+};
+
+}  // namespace scmd::obs

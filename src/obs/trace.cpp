@@ -1,0 +1,90 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace scmd::obs {
+
+namespace {
+
+thread_local TraceSession* t_session = nullptr;
+thread_local int t_tid = 0;
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceSession::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceSession::record(const char* name, int tid, double ts_us,
+                          double dur_us) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{name, tid, ts_us, dur_us});
+}
+
+std::size_t TraceSession::num_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceSession::write_chrome_json(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(e.name)
+       << "\",\"ph\":\"X\",\"cat\":\"scmd\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceSession::save(const std::string& path) const {
+  std::ofstream os(path);
+  SCMD_REQUIRE(os.good(), "cannot open trace output: " + path);
+  write_chrome_json(os);
+  SCMD_REQUIRE(os.good(), "failed writing trace output: " + path);
+}
+
+void bind_thread(TraceSession* session, int tid) {
+  t_session = session;
+  t_tid = tid;
+}
+
+TraceSession* thread_session() { return t_session; }
+
+int thread_tid() { return t_tid; }
+
+ThreadTraceGuard::ThreadTraceGuard(TraceSession* session, int tid)
+    : prev_session_(t_session), prev_tid_(t_tid) {
+  bind_thread(session, tid);
+}
+
+ThreadTraceGuard::~ThreadTraceGuard() {
+  bind_thread(prev_session_, prev_tid_);
+}
+
+const char* search_phase_name(int n) {
+  static const char* const names[] = {"search.n2", "search.n3", "search.n4",
+                                      "search.n5", "search.n6", "search.n7",
+                                      "search.n8"};
+  if (n < 2) n = 2;
+  if (n > 8) n = 8;
+  return names[n - 2];
+}
+
+}  // namespace scmd::obs

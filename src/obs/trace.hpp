@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file trace.hpp
+/// Hierarchical phase tracing in Chrome trace_event format.
+///
+/// A TraceSession collects timed spans ("complete" events, ph="X") from
+/// any number of threads and serializes them as JSON that loads directly
+/// in chrome://tracing or Perfetto.  Spans are opened with the RAII
+/// TraceScope, usually through the SCMD_TRACE() macro, which reads a
+/// thread-local session pointer so deep call sites (force strategies,
+/// halo exchange) need no plumbing: the engine binds the session once per
+/// thread and tags it with the rank id.
+///
+/// Cost model: with SCMD_OBS compiled out the macro is a no-op; with it
+/// compiled in but no session bound, a scope is a thread-local load and a
+/// null check.  Only bound threads pay for a clock read per span and a
+/// short mutex hold at scope exit.
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace scmd::obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  int tid = 0;        ///< lane id — the rank for engine spans
+  double ts_us = 0;   ///< start, microseconds since session start
+  double dur_us = 0;  ///< duration, microseconds
+};
+
+/// Thread-safe collector of spans with a common epoch.
+class TraceSession {
+ public:
+  TraceSession();
+
+  /// Microseconds since the session epoch (monotonic clock).
+  double now_us() const;
+
+  /// Append a completed span.  Safe to call from any thread.
+  void record(const char* name, int tid, double ts_us, double dur_us);
+
+  std::size_t num_events() const;
+  std::vector<TraceEvent> events() const;
+
+  /// Serialize as Chrome trace_event JSON ({"traceEvents": [...]}).
+  void write_chrome_json(std::ostream& os) const;
+
+  /// write_chrome_json() to a file; throws scmd::Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Bind `session` (may be null to unbind) as the current thread's span
+/// sink; `tid` tags every span recorded from this thread (use the rank
+/// id).  The binding is thread-local and cheap to change per phase.
+void bind_thread(TraceSession* session, int tid);
+
+TraceSession* thread_session();
+int thread_tid();
+
+/// RAII binding guard: binds on construction, restores the previous
+/// binding on destruction.  Lets the serial engine trace on the caller's
+/// thread without leaking the binding.
+class ThreadTraceGuard {
+ public:
+  ThreadTraceGuard(TraceSession* session, int tid);
+  ~ThreadTraceGuard();
+  ThreadTraceGuard(const ThreadTraceGuard&) = delete;
+  ThreadTraceGuard& operator=(const ThreadTraceGuard&) = delete;
+
+ private:
+  TraceSession* prev_session_;
+  int prev_tid_;
+};
+
+/// RAII span: records [construction, destruction) into the session.
+/// A null session makes every operation a no-op.
+class TraceScope {
+ public:
+  /// Span on the thread-bound session (see bind_thread()).
+  explicit TraceScope(const char* name)
+      : TraceScope(thread_session(), name) {}
+
+  TraceScope(TraceSession* session, const char* name)
+      : session_(session), name_(name) {
+    if (session_ != nullptr) start_us_ = session_->now_us();
+  }
+
+  ~TraceScope() {
+    if (session_ != nullptr) {
+      session_->record(name_, thread_tid(), start_us_,
+                       session_->now_us() - start_us_);
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* name_;
+  double start_us_ = 0.0;
+};
+
+/// Span names for per-n phases ("search.n2" .. "search.n8"); n is
+/// clamped into [2, kMaxTupleLen].  Returns a static string.
+const char* search_phase_name(int n);
+
+}  // namespace scmd::obs
+
+// SCMD_TRACE(name): open a span named `name` (string literal) on the
+// thread-bound session for the rest of the enclosing scope.  Compiles to
+// nothing when the SCMD_OBS CMake option is OFF.
+#if defined(SCMD_OBS_ENABLED)
+#define SCMD_OBS_CONCAT_(a, b) a##b
+#define SCMD_OBS_CONCAT(a, b) SCMD_OBS_CONCAT_(a, b)
+#define SCMD_TRACE(name) \
+  ::scmd::obs::TraceScope SCMD_OBS_CONCAT(scmd_trace_scope_, __LINE__)(name)
+#else
+#define SCMD_TRACE(name) ((void)0)
+#endif

@@ -47,6 +47,21 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   std::vector<EngineCounters> rank_counters(static_cast<std::size_t>(P));
   std::vector<double> rank_energy(static_cast<std::size_t>(P), 0.0);
 
+  // Per-step per-rank work deltas for the observability summary.  Slot
+  // s=0 is the initial force pass; each rank writes only its own column,
+  // so no synchronization is needed beyond the final join.
+  const bool collect_steps = config.metrics != nullptr;
+  const std::size_t num_records =
+      static_cast<std::size_t>(config.num_steps) + 1;
+  std::vector<std::vector<EngineCounters>> step_work;
+  std::vector<std::vector<double>> step_energy;
+  if (collect_steps) {
+    step_work.assign(num_records,
+                     std::vector<EngineCounters>(static_cast<std::size_t>(P)));
+    step_energy.assign(num_records,
+                       std::vector<double>(static_cast<std::size_t>(P), 0.0));
+  }
+
   // Gather buffers written by each rank for its own atoms (disjoint gids).
   const std::size_t N = static_cast<std::size_t>(sys.num_atoms());
   std::vector<Vec3> out_pos(N), out_vel(N), out_force(N);
@@ -58,14 +73,35 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   for (int r = 0; r < P; ++r) {
     threads.emplace_back([&, r] {
       try {
+        // Rank-tagged spans: every SCMD_TRACE below this binding (halo
+        // import, search, write-back, ...) lands on lane tid = r.
+        obs::bind_thread(config.trace, r);
         Comm comm(cluster, r);
         RankEngineConfig rc;
         rc.dt = config.dt;
         rc.measure_force_set = config.measure_force_set;
         RankEngine engine(comm, decomp, field, *strategy, rc);
         engine.set_atoms(std::move(initial[static_cast<std::size_t>(r)]));
+        EngineCounters prev;
         engine.compute_forces();
-        for (int s = 0; s < config.num_steps; ++s) engine.step();
+        if (collect_steps) {
+          step_work[0][static_cast<std::size_t>(r)] =
+              engine.counters().delta_since(prev);
+          step_energy[0][static_cast<std::size_t>(r)] =
+              engine.potential_energy();
+          prev = engine.counters();
+        }
+        for (int s = 0; s < config.num_steps; ++s) {
+          engine.step();
+          if (collect_steps) {
+            const std::size_t si = static_cast<std::size_t>(s) + 1;
+            step_work[si][static_cast<std::size_t>(r)] =
+                engine.counters().delta_since(prev);
+            step_energy[si][static_cast<std::size_t>(r)] =
+                engine.potential_energy();
+            prev = engine.counters();
+          }
+        }
 
         rank_energy[static_cast<std::size_t>(r)] = engine.potential_energy();
         rank_counters[static_cast<std::size_t>(r)] = engine.counters();
@@ -123,6 +159,25 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   }
   result.runtime_messages = cluster.total_messages();
   result.runtime_bytes = cluster.total_bytes();
+
+  // Per-step structured records: cluster totals plus the rank-imbalance
+  // summary (max/avg work and Eq.-33 import volume per rank).
+  if (collect_steps) {
+    obs::MetricsRegistry& reg = *config.metrics;
+    const int every = config.metrics_every > 0 ? config.metrics_every : 1;
+    for (std::size_t s = 0; s < num_records; ++s) {
+      obs::StepSample sample;
+      sample.max_n = field.max_n();
+      for (int r = 0; r < P; ++r) {
+        sample.work += step_work[s][static_cast<std::size_t>(r)];
+        sample.potential_energy += step_energy[s][static_cast<std::size_t>(r)];
+      }
+      obs::record_step(reg, sample);
+      obs::record_rank_imbalance(reg, step_work[s]);
+      if (s % static_cast<std::size_t>(every) == 0 || s + 1 == num_records)
+        reg.emit(static_cast<long long>(s));
+    }
+  }
   return result;
 }
 

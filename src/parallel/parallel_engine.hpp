@@ -14,6 +14,8 @@
 
 #include "engines/strategy.hpp"
 #include "md/system.hpp"
+#include "obs/engine_metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/decomp.hpp"
 #include "parallel/exchange.hpp"
 
@@ -24,6 +26,15 @@ struct ParallelRunConfig {
   double dt = 1.0;
   int num_steps = 0;               ///< steps after the initial force pass
   bool measure_force_set = false;
+
+  /// Optional observability hooks.  `trace` receives rank-tagged phase
+  /// spans (tid = rank).  `metrics` receives one record per MD step
+  /// (emitted every `metrics_every` steps) with cluster totals plus the
+  /// per-rank max/avg imbalance summary (Eq. 33 import volume).  Both
+  /// null by default — the run then pays no instrumentation cost.
+  obs::TraceSession* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  int metrics_every = 1;
 };
 
 /// Aggregated results of a parallel run.

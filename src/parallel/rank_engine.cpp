@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace scmd {
@@ -101,11 +102,18 @@ void RankEngine::fold_forces(const ForceAccum& accum) {
 }
 
 void RankEngine::compute_forces() {
+  SCMD_TRACE("force");
   state_.clear_ghosts();
-  const std::vector<ImportStageRecord> stages =
-      halo_exchange_->import(comm_, state_, counters_);
+  std::vector<ImportStageRecord> stages;
+  {
+    SCMD_TRACE("exchange.import");
+    stages = halo_exchange_->import(comm_, state_, counters_);
+  }
 
-  build_domains();
+  {
+    SCMD_TRACE("binning");
+    build_domains();
+  }
 
   DomainSet domains;
   ForceAccum accum;
@@ -118,27 +126,39 @@ void RankEngine::compute_forces() {
 
   force_.assign(static_cast<std::size_t>(state_.num_total()), Vec3{});
   potential_energy_ = strategy_.compute(field_, domains, accum, counters_);
-  fold_forces(accum);
+  {
+    SCMD_TRACE("fold");
+    fold_forces(accum);
+  }
 
+  SCMD_TRACE("exchange.write_back");
   halo_exchange_->write_back(comm_, stages, state_, force_, counters_);
 }
 
 void RankEngine::step() {
+  SCMD_TRACE("step");
   // Half-kick + drift on owned atoms.
   const double dt = config_.dt;
   const Box& box = decomp_.box();
-  for (int i = 0; i < state_.num_owned(); ++i) {
-    const std::size_t ii = static_cast<std::size_t>(i);
-    const double inv_m = 1.0 / field_.mass(state_.type[ii]);
-    state_.vel[ii] += force_[ii] * (0.5 * dt * inv_m);
-    state_.pos[ii] = box.wrap(state_.pos[ii] + state_.vel[ii] * dt);
+  {
+    SCMD_TRACE("integrate.kick_drift");
+    for (int i = 0; i < state_.num_owned(); ++i) {
+      const std::size_t ii = static_cast<std::size_t>(i);
+      const double inv_m = 1.0 / field_.mass(state_.type[ii]);
+      state_.vel[ii] += force_[ii] * (0.5 * dt * inv_m);
+      state_.pos[ii] = box.wrap(state_.pos[ii] + state_.vel[ii] * dt);
+    }
   }
 
   state_.clear_ghosts();
-  migrator_.migrate(comm_, state_);
+  {
+    SCMD_TRACE("exchange.migrate");
+    migrator_.migrate(comm_, state_);
+  }
 
   compute_forces();
 
+  SCMD_TRACE("integrate.kick");
   for (int i = 0; i < state_.num_owned(); ++i) {
     const std::size_t ii = static_cast<std::size_t>(i);
     state_.vel[ii] +=

@@ -54,6 +54,13 @@ Config Config::parse(const std::string& text) {
   return cfg;
 }
 
+void Config::set(const std::string& key, const std::string& value) {
+  SCMD_REQUIRE(!key.empty(), "config key must not be empty");
+  const auto [it, inserted] = values_.insert_or_assign(key, value);
+  (void)it;
+  if (inserted) order_.push_back(key);
+}
+
 bool Config::has(const std::string& key) const {
   return values_.count(key) > 0;
 }

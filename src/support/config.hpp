@@ -23,6 +23,9 @@ class Config {
   /// Parse from a string (testing / inline configs).
   static Config parse(const std::string& text);
 
+  /// Set or override a key (command-line overrides on top of a file).
+  void set(const std::string& key, const std::string& value);
+
   bool has(const std::string& key) const;
   std::string get(const std::string& key, const std::string& fallback) const;
   long long get_int(const std::string& key, long long fallback) const;

@@ -26,16 +26,32 @@ class Timer {
 };
 
 /// Accumulates elapsed time across multiple start/stop intervals.
+///
+/// stop() without a matching start() is a no-op (it used to silently
+/// accumulate time since construction); start() while already running
+/// restarts the current interval instead of double-counting it.
 class AccumTimer {
  public:
-  void start() { t_.reset(); }
-  void stop() { total_ += t_.seconds(); }
+  void start() {
+    running_ = true;
+    t_.reset();
+  }
+  void stop() {
+    if (!running_) return;
+    total_ += t_.seconds();
+    running_ = false;
+  }
+  bool running() const { return running_; }
   double total() const { return total_; }
-  void clear() { total_ = 0.0; }
+  void clear() {
+    total_ = 0.0;
+    running_ = false;
+  }
 
  private:
   Timer t_;
   double total_ = 0.0;
+  bool running_ = false;
 };
 
 }  // namespace scmd

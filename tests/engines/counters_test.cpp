@@ -1,0 +1,118 @@
+#include "engines/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/engine_metrics.hpp"
+
+namespace scmd {
+namespace {
+
+EngineCounters sample_counters(std::uint64_t base) {
+  EngineCounters c;
+  for (std::size_t n = 2; n <= 4; ++n) {
+    c.tuples[n].search_steps = base * n;
+    c.tuples[n].chain_candidates = base * n + 1;
+    c.tuples[n].accepted = base * n + 2;
+    c.tuples[n].cell_visits = base * n + 3;
+    c.evals[n] = base + n;
+    c.force_set[n] = static_cast<long long>(base * 10 + n);
+  }
+  c.list_pairs = base * 7;
+  c.list_scan_steps = base * 11;
+  c.ghost_atoms_imported = base * 13;
+  c.messages = base * 17;
+  c.bytes_imported = base * 19;
+  c.bytes_written_back = base * 23;
+  return c;
+}
+
+TEST(EngineCountersTest, PlusEqualsAccumulatesEveryField) {
+  EngineCounters a = sample_counters(2);
+  const EngineCounters b = sample_counters(3);
+  a += b;
+  EXPECT_EQ(a.tuples[3].search_steps, 2u * 3 + 3u * 3);
+  EXPECT_EQ(a.tuples[4].cell_visits, (2u * 4 + 3) + (3u * 4 + 3));
+  EXPECT_EQ(a.evals[2], (2u + 2) + (3u + 2));
+  EXPECT_EQ(a.force_set[4], (2 * 10 + 4) + (3 * 10 + 4));
+  EXPECT_EQ(a.list_pairs, 2u * 7 + 3u * 7);
+  EXPECT_EQ(a.bytes_written_back, 2u * 23 + 3u * 23);
+}
+
+TEST(EngineCountersTest, DeltaRoundTrip) {
+  // cumulative = prev + step; cumulative.delta_since(prev) == step.
+  const EngineCounters prev = sample_counters(5);
+  const EngineCounters step = sample_counters(2);
+  EngineCounters cumulative = prev;
+  cumulative += step;
+
+  const EngineCounters d = cumulative.delta_since(prev);
+  for (std::size_t n = 0; n < d.tuples.size(); ++n) {
+    EXPECT_EQ(d.tuples[n].search_steps, step.tuples[n].search_steps);
+    EXPECT_EQ(d.tuples[n].chain_candidates, step.tuples[n].chain_candidates);
+    EXPECT_EQ(d.tuples[n].accepted, step.tuples[n].accepted);
+    EXPECT_EQ(d.tuples[n].cell_visits, step.tuples[n].cell_visits);
+    EXPECT_EQ(d.evals[n], step.evals[n]);
+    EXPECT_EQ(d.force_set[n], step.force_set[n]);
+  }
+  EXPECT_EQ(d.list_pairs, step.list_pairs);
+  EXPECT_EQ(d.list_scan_steps, step.list_scan_steps);
+  EXPECT_EQ(d.ghost_atoms_imported, step.ghost_atoms_imported);
+  EXPECT_EQ(d.messages, step.messages);
+  EXPECT_EQ(d.bytes_imported, step.bytes_imported);
+  EXPECT_EQ(d.bytes_written_back, step.bytes_written_back);
+  EXPECT_EQ(d.total_search_steps(), step.total_search_steps());
+
+  // Add the delta back: recovers the cumulative value.
+  EngineCounters rebuilt = prev;
+  rebuilt += d;
+  EXPECT_EQ(rebuilt.total_search_steps(), cumulative.total_search_steps());
+  EXPECT_EQ(rebuilt.bytes_imported, cumulative.bytes_imported);
+}
+
+TEST(EngineCountersTest, TotalSearchStepsSumsTuplesAndListWork) {
+  EngineCounters c;
+  c.tuples[2].search_steps = 10;
+  c.tuples[3].search_steps = 20;
+  c.list_scan_steps = 5;
+  EXPECT_EQ(c.total_search_steps(), 35u);
+}
+
+TEST(EngineMetricsTest, RecordStepExportsSchemaGauges) {
+  obs::MetricsRegistry reg;
+  obs::StepSample sample;
+  sample.potential_energy = -10.0;
+  sample.total_energy = -8.0;
+  sample.temperature = 300.0;
+  sample.work = sample_counters(2);
+  sample.max_n = 3;
+  obs::record_step(reg, sample);
+
+  EXPECT_EQ(reg.value("energy.potential"), -10.0);
+  EXPECT_EQ(reg.value("energy.total"), -8.0);
+  EXPECT_EQ(reg.value("search.steps.n2"), 4.0);
+  EXPECT_EQ(reg.value("search.steps.n3"), 6.0);
+  EXPECT_FALSE(reg.has("search.steps.n4"));  // capped by max_n
+  EXPECT_EQ(reg.value("force_set.n3"), 23.0);
+  EXPECT_EQ(reg.value("comm.bytes_in"), 38.0);
+  EXPECT_EQ(reg.value("search.total"),
+            static_cast<double>(sample.work.total_search_steps()));
+}
+
+TEST(EngineMetricsTest, RankImbalanceMaxAvgAndEq33ImportVolume) {
+  obs::MetricsRegistry reg;
+  std::vector<EngineCounters> ranks(2);
+  ranks[0].tuples[2].search_steps = 100;
+  ranks[0].bytes_imported = 1000;
+  ranks[1].tuples[2].search_steps = 300;
+  ranks[1].bytes_imported = 3000;
+  obs::record_rank_imbalance(reg, ranks);
+
+  EXPECT_EQ(reg.value("imbalance.search.max"), 300.0);
+  EXPECT_EQ(reg.value("imbalance.search.avg"), 200.0);
+  EXPECT_EQ(reg.value("imbalance.search.ratio"), 1.5);
+  EXPECT_EQ(reg.value("comm.import_bytes.max_rank"), 3000.0);
+  EXPECT_EQ(reg.value("comm.import_bytes.avg_rank"), 2000.0);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace scmd::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.add("work.steps", 10);
+  reg.add("work.steps", 5);
+  EXPECT_EQ(reg.value("work.steps"), 15.0);
+
+  reg.set("energy", -3.5);
+  reg.set("energy", -4.0);
+  EXPECT_EQ(reg.value("energy"), -4.0);
+
+  EXPECT_TRUE(reg.has("energy"));
+  EXPECT_FALSE(reg.has("missing"));
+  EXPECT_THROW(reg.value("missing"), std::exception);
+  // Re-registering a counter as a gauge is a schema bug.
+  EXPECT_THROW(reg.set("work.steps", 1.0), std::exception);
+}
+
+TEST(MetricsRegistryTest, ScalarNamesKeepRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.set("b", 1);
+  reg.add("a", 2);
+  reg.set("c", 3);
+  const auto names = reg.scalar_names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "b");
+  EXPECT_EQ(names[1], "a");
+  EXPECT_EQ(names[2], "c");
+}
+
+TEST(HistogramTest, BucketsUnderflowOverflow) {
+  Histogram h(0.0, 10.0, 5);  // buckets of width 2
+  h.observe(-1.0);            // underflow
+  h.observe(0.0);             // bucket 0
+  h.observe(1.9);             // bucket 0
+  h.observe(2.0);             // bucket 1
+  h.observe(9.99);            // bucket 4
+  h.observe(10.0);            // overflow (half-open [lo, hi))
+  h.observe(42.0);            // overflow
+
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_NEAR(h.sum(), -1.0 + 0.0 + 1.9 + 2.0 + 9.99 + 10.0 + 42.0, 1e-12);
+
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(HistogramTest, RegistryRejectsRespecification) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", 0.0, 1.0, 10);
+  h.observe(0.5);
+  // Same spec: same object back.
+  EXPECT_EQ(&reg.histogram("lat", 0.0, 1.0, 10), &h);
+  EXPECT_THROW(reg.histogram("lat", 0.0, 2.0, 10), std::exception);
+}
+
+TEST(JsonEscapeTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonlSinkTest, EmitsOneValidObjectPerStep) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.add_sink(std::make_unique<JsonlSink>(os));
+  reg.set_attr("strategy", "SC\"quoted\"");
+  reg.set("energy", -1.5);
+  reg.add("steps", 7);
+  reg.histogram("h", 0.0, 1.0, 2).observe(0.25);
+  reg.emit(0);
+  reg.set("energy", -2.5);
+  reg.emit(1);
+
+  const std::string out = os.str();
+  // Exactly two newline-terminated records.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  const std::string line1 = out.substr(0, out.find('\n'));
+  EXPECT_NE(line1.find("\"step\":0"), std::string::npos);
+  EXPECT_NE(line1.find("\"strategy\":\"SC\\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(line1.find("\"energy\":-1.5"), std::string::npos);
+  EXPECT_NE(line1.find("\"steps\":7"), std::string::npos);
+  EXPECT_NE(line1.find("\"buckets\":[1,0]"), std::string::npos);
+  // Balanced braces/brackets per line — cheap well-formedness proxy.
+  for (const std::string& line :
+       {line1, out.substr(out.find('\n') + 1,
+                          out.rfind('\n') - out.find('\n') - 1)}) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+              std::count(line.begin(), line.end(), '}'));
+    EXPECT_EQ(std::count(line.begin(), line.end(), '['),
+              std::count(line.begin(), line.end(), ']'));
+  }
+  const std::string line2 = out.substr(out.find('\n') + 1);
+  EXPECT_NE(line2.find("\"step\":1"), std::string::npos);
+  EXPECT_NE(line2.find("\"energy\":-2.5"), std::string::npos);
+}
+
+TEST(CsvSinkTest, HeaderFrozenAtFirstEmit) {
+  MetricsRegistry reg;
+  std::ostringstream os;
+  reg.add_sink(std::make_unique<CsvSink>(os));
+  reg.set_attr("strategy", "SC");
+  reg.set("energy", -1.0);
+  reg.add("steps", 3);
+  reg.emit(0);
+  // A metric registered after the first emit must not change the header.
+  reg.set("late.metric", 9.0);
+  reg.emit(1);
+
+  std::istringstream in(os.str());
+  std::string header, row0, row1, extra;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row0));
+  ASSERT_TRUE(std::getline(in, row1));
+  EXPECT_FALSE(std::getline(in, extra));  // exactly header + 2 rows
+
+  EXPECT_EQ(header, "step,strategy,energy,steps");
+  EXPECT_EQ(row0, "0,SC,-1,3");
+  EXPECT_EQ(row1, "1,SC,-1,3");
+  EXPECT_EQ(std::count(row1.begin(), row1.end(), ','),
+            std::count(header.begin(), header.end(), ','));
+}
+
+TEST(MetricsRegistryTest, NullSinkFastPathDoesNotThrow) {
+  MetricsRegistry reg;
+  reg.set("x", 1.0);
+  EXPECT_FALSE(reg.has_sinks());
+  reg.emit(0);  // no sinks: immediate return
+  EXPECT_EQ(reg.value("x"), 1.0);
+}
+
+}  // namespace
+}  // namespace scmd::obs

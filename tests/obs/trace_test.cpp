@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+namespace scmd::obs {
+namespace {
+
+TEST(TraceSessionTest, RecordsNestedSpansWithContainment) {
+  TraceSession session;
+  {
+    TraceScope outer(&session, "outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      TraceScope inner(&session, "inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner scope closes first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  // Nesting: the inner span lies inside the outer one on the timeline.
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us + 1.0);
+  EXPECT_GT(inner.dur_us, 0.0);
+  EXPECT_GT(outer.dur_us, inner.dur_us);
+}
+
+TEST(TraceSessionTest, NullSessionScopesAreNoOps) {
+  {
+    TraceScope scope(nullptr, "nothing");
+  }
+  // Unbound thread: the macro path resolves to a null session.
+  EXPECT_EQ(thread_session(), nullptr);
+  { SCMD_TRACE("also.nothing"); }
+}
+
+TEST(TraceSessionTest, ThreadBindingTagsSpansWithTid) {
+  TraceSession session;
+  std::thread worker([&] {
+    bind_thread(&session, 7);
+    TraceScope scope("ranked");
+    (void)scope;
+  });
+  worker.join();
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, 7);
+  EXPECT_EQ(events[0].name, "ranked");
+}
+
+TEST(TraceSessionTest, ThreadTraceGuardRestoresPreviousBinding) {
+  TraceSession a, b;
+  bind_thread(&a, 1);
+  {
+    ThreadTraceGuard guard(&b, 2);
+    EXPECT_EQ(thread_session(), &b);
+    EXPECT_EQ(thread_tid(), 2);
+  }
+  EXPECT_EQ(thread_session(), &a);
+  EXPECT_EQ(thread_tid(), 1);
+  bind_thread(nullptr, 0);
+}
+
+TEST(TraceSessionTest, ChromeJsonIsWellFormedAndParseable) {
+  TraceSession session;
+  {
+    TraceScope outer(&session, "phase \"x\"");
+    TraceScope inner(&session, "sub");
+  }
+  std::ostringstream os;
+  session.write_chrome_json(os);
+  const std::string json = os.str();
+
+  // Top-level shape.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Required keys on every event.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n') >= 2, true);
+  for (const char* key : {"\"name\":", "\"ph\":\"X\"", "\"ts\":", "\"dur\":",
+                          "\"pid\":", "\"tid\":"}) {
+    size_t occurrences = 0, at = 0;
+    while ((at = json.find(key, at)) != std::string::npos) {
+      ++occurrences;
+      ++at;
+    }
+    EXPECT_EQ(occurrences, 2u) << key;
+  }
+  // Quotes inside span names are escaped.
+  EXPECT_NE(json.find("phase \\\"x\\\""), std::string::npos);
+  // Balanced braces/brackets — parse-back proxy without a JSON library.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceSessionTest, SearchPhaseNamesClampIntoRange) {
+  EXPECT_STREQ(search_phase_name(2), "search.n2");
+  EXPECT_STREQ(search_phase_name(3), "search.n3");
+  EXPECT_STREQ(search_phase_name(8), "search.n8");
+  EXPECT_STREQ(search_phase_name(0), "search.n2");
+  EXPECT_STREQ(search_phase_name(99), "search.n8");
+}
+
+}  // namespace
+}  // namespace scmd::obs

@@ -39,6 +39,42 @@ TEST(AccumTimerTest, AccumulatesIntervals) {
   EXPECT_EQ(t.total(), 0.0);
 }
 
+TEST(AccumTimerTest, StopWithoutStartIsANoOp) {
+  AccumTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();  // used to accumulate time since construction
+  EXPECT_EQ(t.total(), 0.0);
+  EXPECT_FALSE(t.running());
+
+  t.start();
+  t.stop();
+  t.stop();  // second stop must not add the gap since the first
+  const double after_one_interval = t.total();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  EXPECT_EQ(t.total(), after_one_interval);
+}
+
+TEST(AccumTimerTest, RestartWhileRunningDropsTheOpenInterval) {
+  AccumTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.start();  // restart: the 20ms open interval must not be counted
+  EXPECT_TRUE(t.running());
+  t.stop();
+  EXPECT_LT(t.total(), 0.015);
+}
+
+TEST(AccumTimerTest, ClearResetsRunningState) {
+  AccumTimer t;
+  t.start();
+  t.clear();
+  EXPECT_FALSE(t.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();  // no open interval after clear()
+  EXPECT_EQ(t.total(), 0.0);
+}
+
 TEST(StreamingTest, GeomAndPatternTypesPrint) {
   std::ostringstream os;
   os << Int3{1, -2, 3} << ' ' << Vec3{0.5, 0, -1} << ' '

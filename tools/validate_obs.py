@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate scmd observability artifacts.
+
+Checks that a metrics JSONL file parses line-by-line with the expected
+record shape, and that a trace JSON file is a well-formed Chrome
+trace_event document with properly nested spans.
+
+Usage:
+    validate_obs.py [--metrics m.jsonl] [--trace t.json]
+                    [--require-metrics name1,name2,...]
+                    [--min-steps N]
+
+Exits non-zero (with a message on stderr) on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_metrics(path, require_metrics, min_steps):
+    steps = []
+    series = {}  # attrs tuple -> step list (one series per strategy/platform)
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{line_no}: invalid JSON: {e}")
+            if not isinstance(rec, dict):
+                fail(f"{path}:{line_no}: record is not an object")
+            if "step" not in rec or not isinstance(rec["step"], int):
+                fail(f"{path}:{line_no}: missing integer 'step'")
+            if "metrics" not in rec or not isinstance(rec["metrics"], dict):
+                fail(f"{path}:{line_no}: missing 'metrics' object")
+            for name, value in rec["metrics"].items():
+                if value is not None and not isinstance(value, (int, float)):
+                    fail(f"{path}:{line_no}: metric {name!r} is not numeric")
+            for name in require_metrics:
+                if name not in rec["metrics"]:
+                    fail(f"{path}:{line_no}: required metric {name!r} absent")
+            for hname, h in rec.get("hist", {}).items():
+                for key in ("lo", "hi", "count", "buckets"):
+                    if key not in h:
+                        fail(f"{path}:{line_no}: hist {hname!r} missing {key!r}")
+                if sum(h["buckets"]) + h.get("underflow", 0) + h.get(
+                        "overflow", 0) != h["count"]:
+                    fail(f"{path}:{line_no}: hist {hname!r} counts don't sum")
+            steps.append(rec["step"])
+            key = tuple(sorted(rec.get("attrs", {}).items()))
+            series.setdefault(key, []).append(rec["step"])
+    if len(steps) < min_steps:
+        fail(f"{path}: only {len(steps)} records, expected >= {min_steps}")
+    # Steps must be non-decreasing within each series (attrs identify the
+    # series: strategy, platform, ...); a new series may restart at 0.
+    for key, s in series.items():
+        if s != sorted(s):
+            fail(f"{path}: series {dict(key)}: steps not non-decreasing")
+    print(f"validate_obs: {path}: OK ({len(steps)} records, "
+          f"{len(series)} series, steps {min(steps)}..{max(steps)})")
+
+
+def validate_trace(path, min_spans=1):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: 'traceEvents' is not a list")
+    if len(events) < min_spans:
+        fail(f"{path}: only {len(events)} spans, expected >= {min_spans}")
+    lanes = {}
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event {i} missing {key!r}")
+        if e["ph"] != "X":
+            fail(f"{path}: event {i} has ph={e['ph']!r}, expected 'X'")
+        if e["dur"] < 0:
+            fail(f"{path}: event {i} has negative duration")
+        lanes.setdefault(e["tid"], []).append(e)
+    # Spans on one lane must nest (contain or disjoint, never partial
+    # overlap) — this is what makes the flame graph render correctly.
+    slack = 1.0  # microseconds of clock tolerance
+    for tid, spans in lanes.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for e in spans:
+            while stack and e["ts"] >= stack[-1]["ts"] + stack[-1]["dur"] - slack:
+                stack.pop()
+            if stack and e["ts"] + e["dur"] > \
+                    stack[-1]["ts"] + stack[-1]["dur"] + slack:
+                fail(f"{path}: tid {tid}: span {e['name']!r} at ts={e['ts']}"
+                     f" partially overlaps {stack[-1]['name']!r}")
+            stack.append(e)
+    names = sorted({e["name"] for e in events})
+    print(f"validate_obs: {path}: OK ({len(events)} spans, "
+          f"{len(lanes)} lane(s), phases: {', '.join(names)})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics", help="metrics JSONL path")
+    ap.add_argument("--trace", help="Chrome trace JSON path")
+    ap.add_argument("--require-metrics", default="",
+                    help="comma-separated metric names every record must have")
+    ap.add_argument("--min-steps", type=int, default=1,
+                    help="minimum number of metrics records")
+    args = ap.parse_args()
+    if not args.metrics and not args.trace:
+        fail("nothing to validate: pass --metrics and/or --trace")
+    require = [n for n in args.require_metrics.split(",") if n]
+    if args.metrics:
+        validate_metrics(args.metrics, require, args.min_steps)
+    if args.trace:
+        validate_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()
