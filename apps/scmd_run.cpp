@@ -22,6 +22,18 @@
 //   threads          intra-process enumeration threads (default 1)
 //   ranks            > 1 runs the threaded message-passing cluster (NVE
 //                    only; thermostat requires ranks = 1)
+//   dense_fraction   > 0 builds the two-phase (dense slab + vapor) silica
+//                    system with this atom fraction squashed into the
+//                    lower half — the load-imbalance workload (silica
+//                    fields only; default 0 = uniform)
+//   balance          off (default) | auto | every=K — dynamic load
+//                    balancing for parallel runs (ranks > 1): cost-driven
+//                    non-uniform re-cuts with in-flight atom migration
+//                    (docs/LOADBALANCE.md)
+//   balance_threshold  auto mode: re-cut when the measured max/mean work
+//                    ratio exceeds this (default 1.2)
+//   balance_min_interval  auto mode: min steps between re-cuts
+//                    (default 10)
 //   log_every        table row cadence (default 10)
 //   traj             extended-XYZ output path
 //   checkpoint_in    resume from a checkpoint instead of building
@@ -41,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "balance/rebalancer.hpp"
 #include "engines/observables.hpp"
 #include "engines/serial_engine.hpp"
 #include "io/checkpoint.hpp"
@@ -92,9 +105,17 @@ ParticleSystem build_system(const Config& cfg, const std::string& field_name,
     return load_checkpoint(cfg.get("checkpoint_in", ""));
   const long long atoms = cfg.get_int("atoms", 1536);
   const double temperature = cfg.get_double("temperature", 300.0);
-  if (field_name == "vashishta" || field_name == "bks")
+  const double dense_fraction = cfg.get_double("dense_fraction", 0.0);
+  if (field_name == "vashishta" || field_name == "bks") {
+    if (dense_fraction > 0.0)
+      return make_two_phase_silica(atoms, dense_fraction,
+                                   cfg.get_double("density", 2.2),
+                                   temperature, rng);
     return make_silica(atoms, cfg.get_double("density", 2.2), temperature,
                        rng);
+  }
+  SCMD_REQUIRE(dense_fraction == 0.0,
+               "dense_fraction needs a silica field (vashishta | bks)");
   ParticleSystem sys =
       make_gas(field, atoms, cfg.get_double("atoms_per_cell", 4.0),
                temperature, rng);
@@ -117,7 +138,9 @@ int run(const std::string& path,
                      "thermostat_tau_fs", "threads", "ranks", "log_every",
                      "traj", "checkpoint_in", "checkpoint_out", "seed",
                      "measure_pressure", "metrics_out", "metrics_every",
-                     "trace_out", "measure_force_set"});
+                     "trace_out", "measure_force_set", "dense_fraction",
+                     "balance", "balance_threshold",
+                     "balance_min_interval"});
   SCMD_REQUIRE(cfg.has("field"), "config must set `field`");
 
   const std::string field_name = cfg.get("field", "");
@@ -154,6 +177,7 @@ int run(const std::string& path,
   const bool measure_fs =
       cfg.get_bool("measure_force_set", metrics != nullptr);
 
+  const std::string balance = cfg.get("balance", "off");
   if (ranks > 1) {
     SCMD_REQUIRE(tau_fs == 0.0,
                  "thermostatted runs need ranks = 1 (parallel runs are NVE)");
@@ -164,13 +188,35 @@ int run(const std::string& path,
     pcfg.trace = trace.get();
     pcfg.metrics = metrics.get();
     pcfg.metrics_every = metrics_every;
+    if (balance != "off") {
+      BalanceConfig bc;
+      if (balance == "auto") {
+        bc.mode = BalanceConfig::Mode::kAuto;
+      } else if (balance.rfind("every=", 0) == 0) {
+        bc.mode = BalanceConfig::Mode::kEvery;
+        bc.every = std::stoi(balance.substr(6));
+      } else {
+        SCMD_REQUIRE(false, "balance must be off | auto | every=K, got: " +
+                                balance);
+      }
+      bc.threshold = cfg.get_double("balance_threshold", 1.2);
+      bc.min_interval =
+          static_cast<int>(cfg.get_int("balance_min_interval", 10));
+      pcfg.make_balancer = make_rebalancer_factory(bc);
+    }
     const ParallelRunResult res = run_parallel_md(
         sys, *field, strategy, ProcessGrid::factor(ranks), pcfg);
     std::printf("# E_pot = %.6f, T = %.1f K, max-rank ghosts = %llu\n",
                 res.potential_energy, sys.temperature(),
                 static_cast<unsigned long long>(
                     res.max_rank.ghost_atoms_imported));
+    if (balance != "off")
+      std::printf("# balance: %d rebalance(s), last max/mean work ratio "
+                  "%.4f\n",
+                  res.rebalances, res.last_balance_ratio);
   } else {
+    SCMD_REQUIRE(balance == "off",
+                 "balance needs a parallel run (set ranks > 1)");
     SerialEngineConfig ecfg;
     ecfg.dt = dt;
     ecfg.num_threads = static_cast<int>(cfg.get_int("threads", 1));

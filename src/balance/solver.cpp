@@ -1,0 +1,246 @@
+#include "balance/solver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+std::size_t idx3(const Int3& res, int x, int y, int z) {
+  return (static_cast<std::size_t>(z) * res.y + y) * res.x + x;
+}
+
+int axis_of(int a, int x, int y, int z) {
+  return a == 0 ? x : a == 1 ? y : z;
+}
+
+}  // namespace
+
+double evaluate_cuts(const std::vector<double>& cost, const Int3& res,
+                     const std::array<std::vector<int>, 3>& cuts) {
+  double mx = 0.0, sum = 0.0;
+  long long parts = 0;
+  for (std::size_t k = 0; k + 1 < cuts[2].size(); ++k) {
+    for (std::size_t j = 0; j + 1 < cuts[1].size(); ++j) {
+      for (std::size_t i = 0; i + 1 < cuts[0].size(); ++i) {
+        double w = 0.0;
+        for (int z = cuts[2][k]; z < cuts[2][k + 1]; ++z)
+          for (int y = cuts[1][j]; y < cuts[1][j + 1]; ++y)
+            for (int x = cuts[0][i]; x < cuts[0][i + 1]; ++x)
+              w += cost[idx3(res, x, y, z)];
+        mx = std::max(mx, w);
+        sum += w;
+        ++parts;
+      }
+    }
+  }
+  if (sum <= 0.0) return 1.0;
+  return mx / (sum / static_cast<double>(parts));
+}
+
+std::array<AxisWidthLimits, 3> width_limits_for(
+    const Int3& res, const std::vector<GridReach>& grids) {
+  std::array<AxisWidthLimits, 3> out;
+  for (int a = 0; a < 3; ++a) {
+    AxisWidthLimits& lim = out[static_cast<std::size_t>(a)];
+    lim.at_lo.assign(static_cast<std::size_t>(res[a]) + 1, 1);
+    lim.at_hi.assign(static_cast<std::size_t>(res[a]) + 1, 1);
+    for (const GridReach& g : grids) {
+      SCMD_REQUIRE(g.dims[a] >= 1 && res[a] % g.dims[a] == 0,
+                   "fine resolution must be a multiple of every grid "
+                   "dimension");
+      const int s = res[a] / g.dims[a];
+      for (int u = 0; u <= res[a]; ++u) {
+        // The part below cut u owns cells up to ceil(u/s); its upward
+        // ghost reach past u is the straddle remainder plus the halo.
+        const int up = (s - u % s) % s + g.halo_hi[a] * s;
+        // The part above cut u owns cells down to floor(u/s); downward
+        // reach past u is u's offset inside its cell plus the halo.
+        const int down = u % s + g.halo_lo[a] * s;
+        auto& lo = lim.at_lo[static_cast<std::size_t>(u)];
+        auto& hi = lim.at_hi[static_cast<std::size_t>(u)];
+        lo = std::max(lo, up);
+        hi = std::max(hi, down);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> solve_axis(const std::vector<std::vector<double>>& M,
+                            int num_parts, const AxisWidthLimits& limits) {
+  const int C = static_cast<int>(M.size());
+  const int Q = static_cast<int>(M.empty() ? 0 : M[0].size());
+  SCMD_REQUIRE(num_parts >= 1, "need at least one part");
+  if (C < num_parts) return {};  // axis shorter than parts: infeasible
+  SCMD_REQUIRE(static_cast<int>(limits.at_lo.size()) == C + 1 &&
+                   static_cast<int>(limits.at_hi.size()) == C + 1,
+               "width limits must cover every cut position");
+  // Prefix sums per column make part costs O(Q).
+  std::vector<std::vector<double>> pre(
+      static_cast<std::size_t>(C) + 1,
+      std::vector<double>(static_cast<std::size_t>(Q), 0.0));
+  for (int c = 0; c < C; ++c)
+    for (int q = 0; q < Q; ++q)
+      pre[static_cast<std::size_t>(c) + 1][static_cast<std::size_t>(q)] =
+          pre[static_cast<std::size_t>(c)][static_cast<std::size_t>(q)] +
+          M[static_cast<std::size_t>(c)][static_cast<std::size_t>(q)];
+  auto part_cost = [&](int a, int b) {
+    double best = 0.0;
+    for (int q = 0; q < Q; ++q)
+      best = std::max(
+          best, pre[static_cast<std::size_t>(b)][static_cast<std::size_t>(q)] -
+                    pre[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(q)]);
+    return best;
+  };
+  auto min_width = [&](int a, int c) {
+    return std::max({1, limits.at_lo[static_cast<std::size_t>(a)],
+                     limits.at_hi[static_cast<std::size_t>(c)]});
+  };
+
+  // dp[p][c]: best achievable max part cost splitting slabs [0, c) into p
+  // admissible parts.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(
+      static_cast<std::size_t>(num_parts) + 1,
+      std::vector<double>(static_cast<std::size_t>(C) + 1, kInf));
+  std::vector<std::vector<int>> arg(
+      static_cast<std::size_t>(num_parts) + 1,
+      std::vector<int>(static_cast<std::size_t>(C) + 1, -1));
+  dp[0][0] = 0.0;
+  for (int p = 1; p <= num_parts; ++p) {
+    for (int c = p; c <= C; ++c) {
+      for (int a = p - 1; a < c; ++a) {
+        const double prev =
+            dp[static_cast<std::size_t>(p) - 1][static_cast<std::size_t>(a)];
+        if (prev == kInf) continue;
+        if (c - a < min_width(a, c)) continue;
+        const double v = std::max(prev, part_cost(a, c));
+        if (v < dp[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)]) {
+          dp[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)] = v;
+          arg[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)] = a;
+        }
+      }
+    }
+  }
+  if (dp[static_cast<std::size_t>(num_parts)][static_cast<std::size_t>(C)] ==
+      kInf)
+    return {};  // no admissible split
+  std::vector<int> cuts(static_cast<std::size_t>(num_parts) + 1);
+  cuts[static_cast<std::size_t>(num_parts)] = C;
+  for (int p = num_parts; p >= 1; --p) {
+    const int c = cuts[static_cast<std::size_t>(p)];
+    cuts[static_cast<std::size_t>(p) - 1] =
+        arg[static_cast<std::size_t>(p)][static_cast<std::size_t>(c)];
+  }
+  return cuts;
+}
+
+namespace {
+
+/// Per-axis DP seed + coordinate-descent refinement for one factorization;
+/// predicted_ratio stays < 0 when the factorization is infeasible.
+BalanceSolution solve_for_pgrid(const std::vector<double>& cost,
+                                const Int3& res, const Int3& pd,
+                                const std::array<AxisWidthLimits, 3>& limits) {
+  BalanceSolution sol;
+  sol.pgrid_dims = pd;
+
+  // Seed each axis from its 1-D marginal (one cross column).
+  for (int a = 0; a < 3; ++a) {
+    std::vector<std::vector<double>> M(static_cast<std::size_t>(res[a]),
+                                       std::vector<double>(1, 0.0));
+    for (int z = 0; z < res.z; ++z)
+      for (int y = 0; y < res.y; ++y)
+        for (int x = 0; x < res.x; ++x)
+          M[static_cast<std::size_t>(axis_of(a, x, y, z))][0] +=
+              cost[idx3(res, x, y, z)];
+    auto cuts = solve_axis(M, pd[a], limits[static_cast<std::size_t>(a)]);
+    if (cuts.empty()) return sol;  // infeasible
+    sol.cuts[static_cast<std::size_t>(a)] = std::move(cuts);
+  }
+
+  double best = evaluate_cuts(cost, res, sol.cuts);
+  for (int iter = 0; iter < 30; ++iter) {
+    bool improved = false;
+    for (int a = 0; a < 3; ++a) {
+      // Rebuild this axis' slab-by-column matrix against the other two
+      // axes' current cuts, then re-solve the axis exactly.
+      const int b1 = (a + 1) % 3, b2 = (a + 2) % 3;
+      const std::vector<int>& c1 = sol.cuts[static_cast<std::size_t>(b1)];
+      const std::vector<int>& c2 = sol.cuts[static_cast<std::size_t>(b2)];
+      const int P2 = pd[b2];
+      auto part_of = [](const std::vector<int>& cuts, int v) {
+        int q = 0;
+        while (v >= cuts[static_cast<std::size_t>(q) + 1]) ++q;
+        return q;
+      };
+      std::vector<int> q1(static_cast<std::size_t>(res[b1]));
+      for (int v = 0; v < res[b1]; ++v)
+        q1[static_cast<std::size_t>(v)] = part_of(c1, v);
+      std::vector<int> q2(static_cast<std::size_t>(res[b2]));
+      for (int v = 0; v < res[b2]; ++v)
+        q2[static_cast<std::size_t>(v)] = part_of(c2, v);
+      std::vector<std::vector<double>> M(
+          static_cast<std::size_t>(res[a]),
+          std::vector<double>(static_cast<std::size_t>(pd[b1]) * P2, 0.0));
+      for (int z = 0; z < res.z; ++z)
+        for (int y = 0; y < res.y; ++y)
+          for (int x = 0; x < res.x; ++x) {
+            const int sl = axis_of(a, x, y, z);
+            const int o1 = axis_of(b1, x, y, z);
+            const int o2 = axis_of(b2, x, y, z);
+            M[static_cast<std::size_t>(sl)]
+             [static_cast<std::size_t>(q1[static_cast<std::size_t>(o1)]) *
+                  P2 +
+              q2[static_cast<std::size_t>(o2)]] += cost[idx3(res, x, y, z)];
+          }
+      auto axis_cuts =
+          solve_axis(M, pd[a], limits[static_cast<std::size_t>(a)]);
+      if (axis_cuts.empty()) continue;
+      auto trial = sol.cuts;
+      trial[static_cast<std::size_t>(a)] = std::move(axis_cuts);
+      const double r = evaluate_cuts(cost, res, trial);
+      if (r < best - 1e-12) {
+        best = r;
+        sol.cuts = trial;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  sol.predicted_ratio = best;
+  return sol;
+}
+
+}  // namespace
+
+BalanceSolution solve_balanced_cuts(
+    const std::vector<double>& cost, const Int3& res, int num_ranks,
+    const std::array<AxisWidthLimits, 3>& limits) {
+  SCMD_REQUIRE(static_cast<long long>(cost.size()) == res.volume(),
+               "cost field does not match the fine resolution");
+  SCMD_REQUIRE(num_ranks >= 1, "need at least one rank");
+  BalanceSolution best;
+  for (int px = 1; px <= num_ranks; ++px) {
+    if (num_ranks % px) continue;
+    const int rest = num_ranks / px;
+    for (int py = 1; py <= rest; ++py) {
+      if (rest % py) continue;
+      const int pz = rest / py;
+      const BalanceSolution s =
+          solve_for_pgrid(cost, res, Int3{px, py, pz}, limits);
+      if (s.predicted_ratio < 0.0) continue;
+      if (best.predicted_ratio < 0.0 ||
+          s.predicted_ratio < best.predicted_ratio)
+        best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace scmd

@@ -30,6 +30,7 @@ CellDomain::CellDomain(const CellGrid& grid, const Int3& owned_lo,
                "halo margins must be non-negative");
   ext_ = halo.lo + owned_dims + halo.hi;
   cell_start_.assign(static_cast<std::size_t>(ext_.volume()) + 1, 0);
+  cell_mid_.assign(static_cast<std::size_t>(ext_.volume()), 0);
 }
 
 bool CellDomain::is_owned_cell(const Int3& local) const {
@@ -66,26 +67,35 @@ void CellDomain::build(std::span<const DomainAtom> atoms) {
   local_ref_.resize(atoms.size());
   atom_cell_.resize(atoms.size());
 
-  // Counting sort by local cell.
+  // Counting sort by local cell, chain starts first within each cell.
   std::vector<int> count(ncell, 0);
+  std::vector<int> nstart(ncell, 0);
   std::vector<long long> cell_of(atoms.size());
   for (std::size_t i = 0; i < atoms.size(); ++i) {
     SCMD_REQUIRE(in_local(atoms[i].local_cell),
                  "atom assigned outside the local lattice");
     cell_of[i] = cell_index(atoms[i].local_cell);
     ++count[static_cast<std::size_t>(cell_of[i])];
+    if (atoms[i].start) ++nstart[static_cast<std::size_t>(cell_of[i])];
   }
   int running = 0;
   for (std::size_t c = 0; c < ncell; ++c) {
     cell_start_[c] = running;
+    cell_mid_[c] = running + nstart[c];
     running += count[c];
   }
   cell_start_[ncell] = running;
 
-  std::vector<int> fill(cell_start_.begin(), cell_start_.end() - 1);
+  // Starts fill from cell_start_, the rest from cell_mid_; insertion order
+  // is preserved within each group, so all-start inputs reproduce the
+  // legacy layout exactly.
+  std::vector<int> fill_start(cell_start_.begin(), cell_start_.end() - 1);
+  std::vector<int> fill_rest(cell_mid_);
   for (std::size_t i = 0; i < atoms.size(); ++i) {
     const std::size_t c = static_cast<std::size_t>(cell_of[i]);
-    const std::size_t slot = static_cast<std::size_t>(fill[c]++);
+    const std::size_t slot =
+        static_cast<std::size_t>(atoms[i].start ? fill_start[c]++
+                                                : fill_rest[c]++);
     pos_[slot] = atoms[i].pos;
     type_[slot] = atoms[i].type;
     gid_[slot] = atoms[i].gid;
@@ -94,9 +104,12 @@ void CellDomain::build(std::span<const DomainAtom> atoms) {
   }
 
   num_owned_atoms_ = 0;
+  num_start_atoms_ = 0;
   for (std::size_t c = 0; c < ncell; ++c) {
-    if (is_owned_cell(cell_coord(static_cast<long long>(c))))
+    if (is_owned_cell(cell_coord(static_cast<long long>(c)))) {
       num_owned_atoms_ += count[c];
+      num_start_atoms_ += nstart[c];
+    }
   }
 }
 
@@ -112,9 +125,12 @@ GlobalBins bin_globally(const CellGrid& grid, std::span<const Vec3> pos) {
   return bins;
 }
 
-CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
+namespace {
+
+CellDomain brick_domain_impl(const GlobalBins& bins, std::span<const Vec3> pos,
                              std::span<const int> type, const Int3& owned_lo,
-                             const Int3& owned_dims, const HaloSpec& halo) {
+                             const Int3& owned_dims, const HaloSpec& halo,
+                             const OwnedRegion* region) {
   SCMD_REQUIRE(pos.size() == type.size(), "pos/type size mismatch");
   const CellGrid& grid = bins.grid;
   // Ghosts are built by wrapping local coordinates onto the global grid;
@@ -137,17 +153,21 @@ CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
         const Int3 wrapped = grid.wrap_coord(global);
         const Vec3 shift = grid.image_shift(global);
         const bool shifted = (wrapped != global);
+        const bool owned_cell = dom.is_owned_cell(local);
         for (int i : bins.cells[static_cast<std::size_t>(
                  grid.linear_index(wrapped))]) {
           DomainAtom a;
           // Primary-image cells take the wrapped position; periodic-image
           // cells get the copy shifted into the unwrapped frame.
-          a.pos = grid.box().wrap(pos[static_cast<std::size_t>(i)]);
+          const Vec3 wpos = grid.box().wrap(pos[static_cast<std::size_t>(i)]);
+          a.pos = wpos;
           if (shifted) a.pos += shift;
           a.type = type[static_cast<std::size_t>(i)];
           a.gid = i;
           a.local_ref = i;
           a.local_cell = local;
+          if (region != nullptr)
+            a.start = owned_cell && !shifted && region->contains(wpos);
           records.push_back(a);
         }
       }
@@ -155,6 +175,23 @@ CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
   }
   dom.build(records);
   return dom;
+}
+
+}  // namespace
+
+CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
+                             std::span<const int> type, const Int3& owned_lo,
+                             const Int3& owned_dims, const HaloSpec& halo) {
+  return brick_domain_impl(bins, pos, type, owned_lo, owned_dims, halo,
+                           nullptr);
+}
+
+CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
+                             std::span<const int> type, const Int3& owned_lo,
+                             const Int3& owned_dims, const HaloSpec& halo,
+                             const OwnedRegion& region) {
+  return brick_domain_impl(bins, pos, type, owned_lo, owned_dims, halo,
+                           &region);
 }
 
 CellDomain make_serial_domain(const CellGrid& grid, const HaloSpec& halo,

@@ -36,6 +36,9 @@ struct DomainAtom {
                          ///< it drives the cross-rank orientation guard
   int local_ref = 0;     ///< rank-local atom index, for force folding
   Int3 local_cell;       ///< local cell coordinate in [0, ext())
+  bool start = true;     ///< eligible to begin tuple chains (level 0); the
+                         ///< start flags must form a global partition so
+                         ///< every tuple is generated exactly once
 };
 
 /// Halo margins required to evaluate a pattern: the enumerator reads cells
@@ -104,6 +107,10 @@ class CellDomain {
   int num_atoms() const { return static_cast<int>(pos_.size()); }
   int num_owned_atoms() const { return num_owned_atoms_; }
 
+  /// Number of chain-start atoms in owned cells.  Equals num_owned_atoms()
+  /// when every record was built with start == true (the serial case).
+  int num_start_atoms() const { return num_start_atoms_; }
+
   std::span<const Vec3> positions() const { return pos_; }
   std::span<const int> types() const { return type_; }
   std::span<const std::int64_t> gids() const { return gid_; }
@@ -113,6 +120,19 @@ class CellDomain {
   std::pair<int, int> cell_range(long long cell_index) const {
     return {cell_start_[static_cast<std::size_t>(cell_index)],
             cell_start_[static_cast<std::size_t>(cell_index) + 1]};
+  }
+
+  /// Chain-start atom index range [first, last) of a local cell.  Start
+  /// atoms are binned first within each cell, so this is a prefix of
+  /// cell_range().  Level-0 enumeration loops use this range; continuation
+  /// levels use the full cell_range().
+  std::pair<int, int> cell_start_range(long long cell_index) const {
+    return {cell_start_[static_cast<std::size_t>(cell_index)],
+            cell_mid_[static_cast<std::size_t>(cell_index)]};
+  }
+
+  bool atom_is_start(int atom) const {
+    return atom < cell_mid_[static_cast<std::size_t>(cell_of_atom(atom))];
   }
 
   /// Local cell index of a binned atom.
@@ -132,12 +152,14 @@ class CellDomain {
   Int3 ext_{1, 1, 1};
 
   std::vector<int> cell_start_;       // ext volume + 1
+  std::vector<int> cell_mid_;         // ext volume; end of each cell's starts
   std::vector<Vec3> pos_;             // binned order
   std::vector<int> type_;             // binned order
   std::vector<std::int64_t> gid_;     // binned order
   std::vector<int> local_ref_;        // binned order -> rank-local index
   std::vector<long long> atom_cell_;  // binned order -> local cell index
   int num_owned_atoms_ = 0;
+  int num_start_atoms_ = 0;
 };
 
 /// Atoms pre-binned by global cell; lets brick domains be filled in
@@ -159,6 +181,30 @@ GlobalBins bin_globally(const CellGrid& grid, std::span<const Vec3> pos);
 CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
                              std::span<const int> type, const Int3& owned_lo,
                              const Int3& owned_dims, const HaloSpec& halo);
+
+/// Half-open axis-aligned ownership region in wrapped coordinates.  Used by
+/// non-uniform decompositions whose cut planes need not coincide with cell
+/// boundaries: a brick then covers every cell *intersecting* the region, and
+/// chain-start eligibility is decided per atom by region membership.
+struct OwnedRegion {
+  Vec3 lo;
+  Vec3 hi;
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+};
+
+/// Like make_brick_domain above, but marks as chain starts only the
+/// primary-image atoms of owned cells whose wrapped position falls inside
+/// `region`.  Because the regions of all ranks partition the box, every
+/// atom is a start on exactly one rank even when bricks overlap at cut
+/// planes that straddle cells.
+CellDomain make_brick_domain(const GlobalBins& bins, std::span<const Vec3> pos,
+                             std::span<const int> type, const Int3& owned_lo,
+                             const Int3& owned_dims, const HaloSpec& halo,
+                             const OwnedRegion& region);
 
 /// Build a single-rank domain covering the entire grid, with ghost cells
 /// filled by periodic images of the owned atoms.  This is the serial-MD

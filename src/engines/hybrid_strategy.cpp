@@ -49,14 +49,25 @@ double HybridStrategy::compute(const ForceField& field,
     counters.force_set[2] += force_set_size(dom, fs2);
   }
 
-  // ---- Verlet pair-list construction (Ψ(2)_FS over owned atoms) -------
-  // owned_atoms[i] is the binned index; list entries live in
+  std::uint64_t* cell_cost = nullptr;
+  if (forces.cell_cost[2] != nullptr) {
+    SCMD_REQUIRE(static_cast<long long>(forces.cell_cost[2]->size()) ==
+                     dom.owned_dims().volume(),
+                 "cell_cost array size mismatch");
+    cell_cost = forces.cell_cost[2]->data();
+  }
+
+  // ---- Verlet pair-list construction (Ψ(2)_FS over start atoms) -------
+  // owned_atoms[i] is the binned index of a chain-start atom (== every
+  // owned atom in the serial case); list entries live in
   // nbr[nbr_start[i] .. nbr_start[i+1]).
   std::vector<int> owned_atoms;
-  owned_atoms.reserve(static_cast<std::size_t>(dom.num_owned_atoms()));
+  owned_atoms.reserve(static_cast<std::size_t>(dom.num_start_atoms()));
   std::vector<int> nbr;
   std::vector<int> nbr_start;
   nbr_start.push_back(0);
+  // Per start atom: the owned-cell linear index, for cost attribution.
+  std::vector<int> home_cell_of;
 
   const Int3 base = dom.owned_base();
   const Int3 od = dom.owned_dims();
@@ -66,9 +77,12 @@ double HybridStrategy::compute(const ForceField& field,
       for (int y = 0; y < od.y; ++y) {
         for (int x = 0; x < od.x; ++x) {
           const Int3 home = base + Int3{x, y, z};
-          const auto [h0, h1] = dom.cell_range(dom.cell_index(home));
+          const auto [h0, h1] = dom.cell_start_range(dom.cell_index(home));
+          const std::uint64_t before = counters.list_scan_steps;
           for (int i = h0; i < h1; ++i) {
             owned_atoms.push_back(i);
+            if (cell_cost != nullptr)
+              home_cell_of.push_back((z * od.y + y) * od.x + x);
             for (int dz = -1; dz <= 1; ++dz) {
               for (int dy = -1; dy <= 1; ++dy) {
                 for (int dx = -1; dx <= 1; ++dx) {
@@ -85,6 +99,10 @@ double HybridStrategy::compute(const ForceField& field,
               }
             }
             nbr_start.push_back(static_cast<int>(nbr.size()));
+          }
+          if (cell_cost != nullptr) {
+            cell_cost[static_cast<std::size_t>((z * od.y + y) * od.x + x)] +=
+                counters.list_scan_steps - before;
           }
         }
       }
@@ -121,11 +139,16 @@ double HybridStrategy::compute(const ForceField& field,
     for (std::size_t oc = 0; oc < owned_atoms.size(); ++oc) {
       const int c = owned_atoms[oc];
       close.clear();
+      const std::uint64_t before = counters.list_scan_steps;
       for (int s = nbr_start[oc]; s < nbr_start[oc + 1]; ++s) {
         const int j = nbr[static_cast<std::size_t>(s)];
         ++counters.list_scan_steps;
         const Vec3 d = pos[c] - pos[j];
         if (d.norm2() < rc3_sq) close.push_back(j);
+      }
+      if (cell_cost != nullptr) {
+        cell_cost[static_cast<std::size_t>(home_cell_of[oc])] +=
+            counters.list_scan_steps - before;
       }
       // Every unordered pair of close neighbors forms one angle at c.
       for (std::size_t a = 0; a < close.size(); ++a) {

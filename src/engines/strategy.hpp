@@ -31,6 +31,11 @@ struct DomainSet {
 /// f[n] is null when dom[n] is.
 struct ForceAccum {
   std::array<std::vector<Vec3>*, kMaxTupleLen + 1> f{};
+  /// Optional per-home-cell search-work attribution, one entry per owned
+  /// cell of dom[n] in [z][y][x] order (sized owned_dims().volume()).
+  /// Entries are *added to*, so a caller can accumulate across steps —
+  /// this feeds the load balancer's cost field.  Null to skip.
+  std::array<std::vector<std::uint64_t>*, kMaxTupleLen + 1> cell_cost{};
 };
 
 /// Strategy interface.  Implementations are stateless w.r.t. the
@@ -48,6 +53,19 @@ class ForceStrategy {
   /// Ghost-halo margins required on grid n.  Only meaningful when
   /// needs_grid(n).
   virtual HaloSpec halo(int n) const = 0;
+
+  /// Cell offsets the strategy's *level-0* (chain-start) candidates can
+  /// have relative to the home cell: lo[a] is the largest positive root
+  /// offset on axis a, hi[a] the largest negative one.  Zero for
+  /// strategies that always start chains in the home cell (FS patterns,
+  /// cell-list pair sweeps).  Non-uniform decompositions extend each
+  /// rank's home-cell iteration range by these margins so that the rank
+  /// owning a chain-start atom always iterates the anchoring home cell
+  /// (exactly-once generation under atom-granular ownership).
+  virtual HaloSpec root_reach(int n) const {
+    (void)n;
+    return HaloSpec{};
+  }
 
   /// Minimum cell side the strategy wants for grid n, given the n-body
   /// cutoff.  Default: the cutoff itself (classic cell method); the

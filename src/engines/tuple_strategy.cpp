@@ -79,6 +79,19 @@ HaloSpec TupleStrategy::halo(int n) const {
   return halo_[static_cast<std::size_t>(n)];
 }
 
+HaloSpec TupleStrategy::root_reach(int n) const {
+  SCMD_REQUIRE(needs_grid(n), "no pattern for this n");
+  HaloSpec r;
+  for (const CompiledPath& p : compiled_[static_cast<std::size_t>(n)].paths()) {
+    const Int3& v0 = p.v[0];
+    for (int a = 0; a < 3; ++a) {
+      r.lo[a] = std::max(r.lo[a], v0[a]);
+      r.hi[a] = std::max(r.hi[a], -v0[a]);
+    }
+  }
+  return r;
+}
+
 const CompiledPattern& TupleStrategy::compiled(int n) const {
   SCMD_REQUIRE(needs_grid(n), "no pattern for this n");
   return compiled_[static_cast<std::size_t>(n)];
@@ -94,6 +107,7 @@ double TupleStrategy::run_term(const CellDomain& dom,
                                const CompiledPattern& cp, double rcut,
                                std::vector<Vec3>& f,
                                EngineCounters& counters, int n,
+                               std::uint64_t* cell_cost,
                                EvalFn&& eval) const {
   const std::size_t ni = static_cast<std::size_t>(n);
   const int z_dim = dom.owned_dims().z;
@@ -105,12 +119,12 @@ double TupleStrategy::run_term(const CellDomain& dom,
     TupleCounters tc;
     Vec3* fd = f.data();
     enumerate_tuples(
-        shared_prefix_, dom, cp, rcut,
+        shared_prefix_, dom, cp, rcut, 0, z_dim,
         [&](std::span<const int> t) {
           energy += eval(t, fd);
           ++evals;
         },
-        &tc);
+        &tc, cell_cost);
     counters.tuples[ni] += tc;
     counters.evals[ni] += evals;
     return energy;
@@ -135,13 +149,15 @@ double TupleStrategy::run_term(const CellDomain& dom,
       const int z0 = t * z_dim / threads;
       const int z1 = (t + 1) * z_dim / threads;
       Vec3* fd = part.f.data();
+      // cell_cost entries are indexed by absolute owned-cell coordinate,
+      // so disjoint z-slabs write disjoint entries — no race.
       enumerate_tuples(
           shared_prefix_, dom, cp, rcut, z0, z1,
           [&](std::span<const int> tup) {
             part.energy += eval(tup, fd);
             ++part.evals;
           },
-          &part.tc);
+          &part.tc, cell_cost);
     });
   }
   for (std::thread& w : workers) w.join();
@@ -177,10 +193,18 @@ double TupleStrategy::compute(const ForceField& field,
     if (measure_force_set_)
       counters.force_set[ni] += force_set_size(*dom, cp);
 
+    std::uint64_t* cell_cost = nullptr;
+    if (forces.cell_cost[ni] != nullptr) {
+      SCMD_REQUIRE(static_cast<long long>(forces.cell_cost[ni]->size()) ==
+                       dom->owned_dims().volume(),
+                   "cell_cost array size mismatch");
+      cell_cost = forces.cell_cost[ni]->data();
+    }
+
     switch (n) {
       case 2:
         energy += run_term(
-            *dom, cp, field.rcut(2), *f, counters, 2,
+            *dom, cp, field.rcut(2), *f, counters, 2, cell_cost,
             [&](std::span<const int> t, Vec3* fd) {
               return field.eval_pair(type[t[0]], type[t[1]], pos[t[0]],
                                      pos[t[1]], fd[t[0]], fd[t[1]]);
@@ -188,7 +212,7 @@ double TupleStrategy::compute(const ForceField& field,
         break;
       case 3:
         energy += run_term(
-            *dom, cp, field.rcut(3), *f, counters, 3,
+            *dom, cp, field.rcut(3), *f, counters, 3, cell_cost,
             [&](std::span<const int> t, Vec3* fd) {
               return field.eval_triplet(type[t[0]], type[t[1]], type[t[2]],
                                         pos[t[0]], pos[t[1]], pos[t[2]],
@@ -197,7 +221,7 @@ double TupleStrategy::compute(const ForceField& field,
         break;
       case 4:
         energy += run_term(
-            *dom, cp, field.rcut(4), *f, counters, 4,
+            *dom, cp, field.rcut(4), *f, counters, 4, cell_cost,
             [&](std::span<const int> t, Vec3* fd) {
               return field.eval_quad(type[t[0]], type[t[1]], type[t[2]],
                                      type[t[3]], pos[t[0]], pos[t[1]],
@@ -209,7 +233,7 @@ double TupleStrategy::compute(const ForceField& field,
         // n >= 5: generic chain kernel.  Gather positions/types into
         // chain-ordered scratch, scatter forces back.
         energy += run_term(
-            *dom, cp, field.rcut(n), *f, counters, n,
+            *dom, cp, field.rcut(n), *f, counters, n, cell_cost,
             [&, n](std::span<const int> t, Vec3* fd) {
               std::array<int, kMaxTupleLen> ct{};
               std::array<Vec3, kMaxTupleLen> cr{};

@@ -20,6 +20,7 @@ class TupleStrategy final : public ForceStrategy {
   std::string name() const override;
   bool needs_grid(int n) const override;
   HaloSpec halo(int n) const override;
+  HaloSpec root_reach(int n) const override;
   double min_cell_size(int n, double rcut) const override;
 
   int reach() const { return reach_; }
@@ -40,7 +41,8 @@ class TupleStrategy final : public ForceStrategy {
   template <class EvalFn>
   double run_term(const CellDomain& dom, const CompiledPattern& cp,
                   double rcut, std::vector<Vec3>& f,
-                  EngineCounters& counters, int n, EvalFn&& eval) const;
+                  EngineCounters& counters, int n,
+                  std::uint64_t* cell_cost, EvalFn&& eval) const;
 
   PatternKind kind_;
   bool measure_force_set_;

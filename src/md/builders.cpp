@@ -127,6 +127,32 @@ ParticleSystem make_silica(long long num_atoms, double density_gcc,
   return sys;
 }
 
+ParticleSystem make_two_phase_silica(long long num_atoms,
+                                     double dense_fraction,
+                                     double density_gcc, double temperature_k,
+                                     Rng& rng) {
+  SCMD_REQUIRE(dense_fraction >= 0.0 && dense_fraction <= 1.0,
+               "dense fraction must lie in [0, 1]");
+  ParticleSystem uniform =
+      make_silica(num_atoms, density_gcc, temperature_k, rng);
+  const double L = uniform.box().length(2);
+  ParticleSystem sys(uniform.box(), {28.0855, 15.9994});
+  const long long dense = static_cast<long long>(
+      dense_fraction * static_cast<double>(num_atoms));
+  for (int i = 0; i < uniform.num_atoms(); ++i) {
+    Vec3 r = uniform.positions()[i];
+    // Squash the first `dense` atoms into the lower half, stretch the
+    // rest over the upper half (preserves the local lattice loosely).
+    if (i < dense) {
+      r.z = r.z * 0.5;
+    } else {
+      r.z = L * 0.5 + r.z * 0.5;
+    }
+    sys.add_atom(r, uniform.velocities()[i], uniform.types()[i]);
+  }
+  return sys;
+}
+
 ParticleSystem make_gas(const ForceField& field, long long num_atoms,
                         double atoms_per_cell, double temperature_k,
                         Rng& rng) {

@@ -41,4 +41,15 @@ ParticleSystem make_silica(long long num_atoms, double density_gcc,
 ParticleSystem make_gas(const ForceField& field, long long num_atoms,
                         double atoms_per_cell, double temperature_k, Rng& rng);
 
+/// Deliberately imbalanced silica: the box of make_silica at the requested
+/// overall density, but with `dense_fraction` of the atoms squashed into
+/// the lower half (z < L/2) and the rest stretched over the upper half —
+/// a dense slab under dilute vapor.  Spatial decompositions balanced by
+/// construction for uniform systems are ~2x imbalanced here; this is the
+/// load-balancing benchmark and test workload.
+ParticleSystem make_two_phase_silica(long long num_atoms,
+                                     double dense_fraction,
+                                     double density_gcc, double temperature_k,
+                                     Rng& rng);
+
 }  // namespace scmd

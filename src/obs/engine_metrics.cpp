@@ -58,4 +58,12 @@ void record_rank_imbalance(MetricsRegistry& reg,
   reg.set("comm.import_bytes.avg_rank", static_cast<double>(sum_bytes) / P);
 }
 
+void record_balance(MetricsRegistry& reg, double ratio, bool rebalanced,
+                    double predicted_ratio, std::uint64_t migrated_atoms) {
+  reg.set("balance.ratio", ratio);
+  reg.set("balance.rebalanced", rebalanced ? 1.0 : 0.0);
+  reg.set("balance.predicted_ratio", predicted_ratio);
+  reg.set("balance.migrated_atoms", static_cast<double>(migrated_atoms));
+}
+
 }  // namespace scmd::obs

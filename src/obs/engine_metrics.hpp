@@ -41,4 +41,16 @@ void record_step(MetricsRegistry& reg, const StepSample& sample);
 void record_rank_imbalance(MetricsRegistry& reg,
                            const std::vector<EngineCounters>& rank_work);
 
+/// Load-balance outcome of one step (parallel driver with balancing on):
+///   balance.ratio            measured max/mean search-work ratio
+///                            (0 until the trigger first measures)
+///   balance.rebalanced       1 when this step re-cut the domain, else 0
+///   balance.predicted_ratio  solver's predicted ratio for the new cuts
+///                            (0 on non-rebalance steps)
+///   balance.migrated_atoms   atoms moved cluster-wide while settling
+/// Scalar arguments (not a struct) keep obs independent of the parallel
+/// layer's types.
+void record_balance(MetricsRegistry& reg, double ratio, bool rebalanced,
+                    double predicted_ratio, std::uint64_t migrated_atoms);
+
 }  // namespace scmd::obs

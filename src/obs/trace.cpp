@@ -41,6 +41,9 @@ std::vector<TraceEvent> TraceSession::events() const {
 
 void TraceSession::write_chrome_json(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
+  // Default stream precision (6 significant digits) quantizes ts to
+  // ~10 us once a session passes one second, breaking span nesting.
+  os.precision(15);
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : events_) {

@@ -1,6 +1,8 @@
 #include "parallel/decomp.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "support/error.hpp"
 
@@ -54,27 +56,85 @@ int ProcessGrid::neighbor(int rank, int axis, int dir) const {
 }
 
 Decomposition::Decomposition(const Box& box, const ProcessGrid& pgrid)
-    : box_(box), pgrid_(pgrid) {}
+    : box_(box), pgrid_(pgrid), align_pgrid_(pgrid) {
+  // Synthesize trivial cuts so the region/owner queries work uniformly.
+  fine_res_ = pgrid.dims();
+  for (int a = 0; a < 3; ++a) {
+    const int P = pgrid.dims()[a];
+    const double len = box_.length(a) / P;  // legacy uniform formula
+    cuts_[static_cast<std::size_t>(a)].resize(static_cast<std::size_t>(P) +
+                                              1);
+    cut_pos_[static_cast<std::size_t>(a)].resize(static_cast<std::size_t>(P) +
+                                                 1);
+    for (int i = 0; i <= P; ++i) {
+      cuts_[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] = i;
+      cut_pos_[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] =
+          i * len;
+    }
+  }
+}
+
+Decomposition::Decomposition(const Box& box, const ProcessGrid& pgrid,
+                             const std::array<std::vector<int>, 3>& cuts,
+                             const Int3& fine_res,
+                             const ProcessGrid& align_pgrid)
+    : box_(box),
+      pgrid_(pgrid),
+      align_pgrid_(align_pgrid),
+      uniform_(false),
+      fine_res_(fine_res),
+      cuts_(cuts) {
+  for (int a = 0; a < 3; ++a) {
+    const std::vector<int>& c = cuts_[static_cast<std::size_t>(a)];
+    const int P = pgrid.dims()[a];
+    const int R = fine_res[a];
+    SCMD_REQUIRE(R >= 1, "fine lattice resolution must be positive");
+    SCMD_REQUIRE(static_cast<int>(c.size()) == P + 1,
+                 "need one cut per rank boundary per axis");
+    SCMD_REQUIRE(c.front() == 0 && c.back() == R,
+                 "cuts must span the whole axis");
+    for (int i = 0; i < P; ++i)
+      SCMD_REQUIRE(c[static_cast<std::size_t>(i)] <
+                       c[static_cast<std::size_t>(i) + 1],
+                   "cuts must be strictly increasing");
+    cut_pos_[static_cast<std::size_t>(a)].resize(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      cut_pos_[static_cast<std::size_t>(a)][i] =
+          static_cast<double>(c[i]) * box_.length(a) / R;
+    }
+  }
+}
 
 CellGrid Decomposition::aligned_grid(double rcut) const {
   SCMD_REQUIRE(rcut > 0.0, "cutoff must be positive");
   Int3 dims;
   for (int a = 0; a < 3; ++a) {
-    const double region = box_.length(a) / pgrid_.dims()[a];
+    const double region = box_.length(a) / align_pgrid_.dims()[a];
     const int per_rank = static_cast<int>(std::floor(region / rcut));
     SCMD_REQUIRE(per_rank >= 1,
                  "rank region thinner than the cutoff; reduce the process "
                  "grid or enlarge the system");
-    dims[a] = per_rank * pgrid_.dims()[a];
+    dims[a] = per_rank * align_pgrid_.dims()[a];
   }
   return CellGrid::with_dims(box_, dims);
 }
 
 Int3 Decomposition::cells_per_rank(const CellGrid& grid) const {
+  SCMD_REQUIRE(uniform_,
+               "cells_per_rank is defined for uniform decompositions only; "
+               "use brick_range for non-uniform cuts");
   const Int3 gd = grid.dims();
   const Int3 pd = pgrid_.dims();
-  SCMD_REQUIRE(gd.x % pd.x == 0 && gd.y % pd.y == 0 && gd.z % pd.z == 0,
-               "grid not aligned to the process grid");
+  for (int a = 0; a < 3; ++a) {
+    SCMD_REQUIRE(
+        gd[a] % pd[a] == 0,
+        std::string("cell grid not aligned to the process grid: axis ") +
+            "xyz"[a] + " has " + std::to_string(gd[a]) + " cells for " +
+            std::to_string(pd[a]) + " ranks (" + std::to_string(gd[a]) +
+            " % " + std::to_string(pd[a]) +
+            " != 0); build grids with Decomposition::aligned_grid or pick "
+            "a process grid dividing the cell counts");
+  }
   return {gd.x / pd.x, gd.y / pd.y, gd.z / pd.z};
 }
 
@@ -84,16 +144,70 @@ Int3 Decomposition::brick_lo(const CellGrid& grid, int rank) const {
   return {c.x * l.x, c.y * l.y, c.z * l.z};
 }
 
+BrickRange Decomposition::brick_range(const CellGrid& grid, int rank) const {
+  if (uniform_) return {brick_lo(grid, rank), cells_per_rank(grid)};
+  const Int3 gd = grid.dims();
+  const Int3 c = pgrid_.coord_of(rank);
+  BrickRange br;
+  for (int a = 0; a < 3; ++a) {
+    const long long D = gd[a];
+    const long long R = fine_res_[a];
+    const long long lo_cut =
+        cuts_[static_cast<std::size_t>(a)][static_cast<std::size_t>(c[a])];
+    const long long hi_cut =
+        cuts_[static_cast<std::size_t>(a)][static_cast<std::size_t>(c[a]) +
+                                           1];
+    // Cell k (covering [k/D, (k+1)/D) of the axis) intersects the region
+    // [lo_cut/R, hi_cut/R) iff k*R < hi_cut*D and (k+1)*R > lo_cut*D —
+    // exact in integers.
+    const long long k_lo = lo_cut * D / R;
+    const long long k_hi = (hi_cut * D + R - 1) / R;
+    br.lo[a] = static_cast<int>(k_lo);
+    br.dims[a] = static_cast<int>(k_hi - k_lo);
+  }
+  return br;
+}
+
 Vec3 Decomposition::region_lo(int rank) const {
   const Int3 c = pgrid_.coord_of(rank);
-  const Vec3 len = region_lengths();
-  return {c.x * len.x, c.y * len.y, c.z * len.z};
+  return {cut_pos_[0][static_cast<std::size_t>(c.x)],
+          cut_pos_[1][static_cast<std::size_t>(c.y)],
+          cut_pos_[2][static_cast<std::size_t>(c.z)]};
+}
+
+Vec3 Decomposition::region_hi(int rank) const {
+  const Int3 c = pgrid_.coord_of(rank);
+  return {cut_pos_[0][static_cast<std::size_t>(c.x) + 1],
+          cut_pos_[1][static_cast<std::size_t>(c.y) + 1],
+          cut_pos_[2][static_cast<std::size_t>(c.z) + 1]};
+}
+
+Vec3 Decomposition::region_len(int rank) const {
+  return region_hi(rank) - region_lo(rank);
 }
 
 Vec3 Decomposition::region_lengths() const {
+  SCMD_REQUIRE(uniform_,
+               "region_lengths is defined for uniform decompositions only; "
+               "use region_len(rank) for non-uniform cuts");
   const Int3 pd = pgrid_.dims();
   return {box_.length(0) / pd.x, box_.length(1) / pd.y,
           box_.length(2) / pd.z};
+}
+
+int Decomposition::owner_of(const Vec3& p) const {
+  const Vec3 w = box_.wrap(p);
+  Int3 c;
+  for (int a = 0; a < 3; ++a) {
+    const std::vector<double>& pos = cut_pos_[static_cast<std::size_t>(a)];
+    // First interval [pos[i], pos[i+1]) containing w[a]; clamp for the
+    // (rounding-only) case w[a] == L.
+    const auto it = std::upper_bound(pos.begin(), pos.end(), w[a]);
+    int i = static_cast<int>(it - pos.begin()) - 1;
+    i = std::clamp(i, 0, pgrid_.dims()[a] - 1);
+    c[a] = i;
+  }
+  return pgrid_.rank_of(c);
 }
 
 }  // namespace scmd

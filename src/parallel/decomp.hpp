@@ -10,6 +10,9 @@
 /// brick of cells in every grid and the UCP owned-home-cell iteration
 /// partitions the global domain exactly.
 
+#include <array>
+#include <vector>
+
 #include "cell/grid.hpp"
 #include "geom/box.hpp"
 #include "geom/int3.hpp"
@@ -41,36 +44,93 @@ class ProcessGrid {
   Int3 dims_{1, 1, 1};
 };
 
+/// A rank's brick of cells in one grid: the cells its region intersects.
+struct BrickRange {
+  Int3 lo;    ///< global cell coordinate of the lower corner
+  Int3 dims;  ///< brick extent in cells
+};
+
 /// Geometry shared by all ranks: box, process grid, and per-n aligned
 /// cell grids.
+///
+/// Two flavors:
+///
+///  - uniform (legacy): every rank owns an equal sub-box; cut planes sit
+///    at i * (L/P) per axis;
+///  - non-uniform (load balancing): per-axis cut planes live on an integer
+///    *fine lattice* of resolution fine_res[a] subdividing the box, so all
+///    ranks agree on cut positions exactly.  Cell grids stay aligned to a
+///    separate *alignment* process grid (the one the run started with), so
+///    rebalancing never changes cell geometry — a rank's brick is then the
+///    set of cells *intersecting* its region, and bricks of neighboring
+///    ranks overlap by one cell layer wherever a cut straddles a cell.
 class Decomposition {
  public:
   Decomposition(const Box& box, const ProcessGrid& pgrid);
 
+  /// Non-uniform decomposition.  cuts[a] holds pgrid.dims()[a] + 1
+  /// ascending fine-lattice indices from 0 to fine_res[a]; align_pgrid is
+  /// the process grid cell grids are aligned to (usually the initial one).
+  Decomposition(const Box& box, const ProcessGrid& pgrid,
+                const std::array<std::vector<int>, 3>& cuts,
+                const Int3& fine_res, const ProcessGrid& align_pgrid);
+
   const Box& box() const { return box_; }
   const ProcessGrid& pgrid() const { return pgrid_; }
 
-  /// Build the cell grid for cutoff rcut aligned to the process grid:
-  /// cells per rank per axis l = floor(region / rcut), so cell side >=
-  /// rcut.  Throws if a rank region is thinner than rcut (grain too fine
-  /// for this cutoff).
+  bool uniform() const { return uniform_; }
+
+  /// The process grid cell grids are aligned to (== pgrid() when uniform).
+  const ProcessGrid& align_pgrid() const { return align_pgrid_; }
+
+  /// Per-axis cut-plane indices on the fine lattice (non-uniform flavor;
+  /// synthesized as {0, 1, .., P} with fine_res == pgrid dims otherwise).
+  const std::array<std::vector<int>, 3>& cuts() const { return cuts_; }
+  const Int3& fine_res() const { return fine_res_; }
+
+  /// Build the cell grid for cutoff rcut aligned to the *alignment*
+  /// process grid: cells per rank per axis l = floor(region / rcut), so
+  /// cell side >= rcut.  Throws if a rank region is thinner than rcut
+  /// (grain too fine for this cutoff).
   CellGrid aligned_grid(double rcut) const;
 
-  /// Cells per rank per axis in an aligned grid.
+  /// Cells per rank per axis in an aligned grid (uniform flavor only).
   Int3 cells_per_rank(const CellGrid& grid) const;
 
-  /// Lower corner (cell coords) of a rank's brick in an aligned grid.
+  /// Lower corner (cell coords) of a rank's brick in an aligned grid
+  /// (uniform flavor only).
   Int3 brick_lo(const CellGrid& grid, int rank) const;
+
+  /// The cells of `grid` a rank's region intersects.  Works for both
+  /// flavors; equals {brick_lo, cells_per_rank} when uniform.
+  BrickRange brick_range(const CellGrid& grid, int rank) const;
 
   /// Physical lower corner of a rank's region.
   Vec3 region_lo(int rank) const;
 
-  /// Physical extent of every rank's region (uniform).
+  /// Physical upper corner of a rank's region.
+  Vec3 region_hi(int rank) const;
+
+  /// Physical extent of one rank's region.
+  Vec3 region_len(int rank) const;
+
+  /// Physical extent of every rank's region (uniform flavor only).
   Vec3 region_lengths() const;
+
+  /// Rank whose region contains the (wrapped) position.
+  int owner_of(const Vec3& p) const;
 
  private:
   Box box_;
   ProcessGrid pgrid_;
+  ProcessGrid align_pgrid_;
+  bool uniform_ = true;
+  Int3 fine_res_{1, 1, 1};
+  std::array<std::vector<int>, 3> cuts_;
+  /// Physical cut positions per axis (cuts_.size() entries); region i on
+  /// axis a is [cut_pos_[a][i], cut_pos_[a][i+1]).  All ranks compute
+  /// these from the same integers, so they agree bit-for-bit.
+  std::array<std::vector<double>, 3> cut_pos_;
 };
 
 }  // namespace scmd

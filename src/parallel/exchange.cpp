@@ -1,5 +1,6 @@
 #include "parallel/exchange.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/error.hpp"
@@ -39,7 +40,7 @@ void RankState::clear_ghosts() {
 
 HaloExchange::HaloExchange(const Decomposition& decomp, const SlabSpec& slab,
                            bool both_directions)
-    : decomp_(&decomp), slab_(slab), both_directions_(both_directions) {
+    : decomp_(&decomp), both_directions_(both_directions) {
   const Vec3 region = decomp.region_lengths();
   for (int a = 0; a < 3; ++a) {
     SCMD_REQUIRE(slab.t_lo[a] >= 0.0 && slab.t_hi[a] >= 0.0,
@@ -52,6 +53,53 @@ HaloExchange::HaloExchange(const Decomposition& decomp, const SlabSpec& slab,
                    "octant import has no lower halo; use both_directions");
     }
   }
+  rank_slabs_.assign(static_cast<std::size_t>(decomp.pgrid().num_ranks()),
+                     slab);
+}
+
+HaloExchange::HaloExchange(
+    const Decomposition& decomp,
+    const std::vector<std::pair<CellGrid, HaloSpec>>& grid_halos,
+    bool both_directions)
+    : decomp_(&decomp), both_directions_(both_directions) {
+  const int num_ranks = decomp.pgrid().num_ranks();
+  rank_slabs_.assign(static_cast<std::size_t>(num_ranks), SlabSpec{});
+  for (int r = 0; r < num_ranks; ++r) {
+    SlabSpec& s = rank_slabs_[static_cast<std::size_t>(r)];
+    const Vec3 lo = decomp.region_lo(r);
+    const Vec3 hi = decomp.region_hi(r);
+    for (const auto& [grid, halo] : grid_halos) {
+      const BrickRange br = decomp.brick_range(grid, r);
+      const Vec3 cl = grid.cell_lengths();
+      for (int a = 0; a < 3; ++a) {
+        // Physical reach of the halo-extended brick beyond the region.
+        const double below = lo[a] - (br.lo[a] - halo.lo[a]) * cl[a];
+        const double above =
+            (br.lo[a] + br.dims[a] + halo.hi[a]) * cl[a] - hi[a];
+        s.t_lo[a] = std::max({s.t_lo[a], below, 0.0});
+        s.t_hi[a] = std::max({s.t_hi[a], above, 0.0});
+      }
+    }
+  }
+  validate_slabs();
+}
+
+void HaloExchange::validate_slabs() const {
+  // One forwarding hop per axis: each rank must be able to serve its
+  // neighbors' reach from its own region.
+  const ProcessGrid& pg = decomp_->pgrid();
+  for (int r = 0; r < pg.num_ranks(); ++r) {
+    const Vec3 len = decomp_->region_len(r);
+    for (int a = 0; a < 3; ++a) {
+      const int down = pg.neighbor(r, a, -1);
+      const int up = pg.neighbor(r, a, +1);
+      const SlabSpec& sd = rank_slabs_[static_cast<std::size_t>(down)];
+      const SlabSpec& su = rank_slabs_[static_cast<std::size_t>(up)];
+      SCMD_REQUIRE(sd.t_hi[a] <= len[a] && su.t_lo[a] <= len[a],
+                   "halo slab thicker than a neighbor rank region: region "
+                   "too thin for this cutoff/pattern");
+    }
+  }
 }
 
 std::vector<ImportStageRecord> HaloExchange::import(
@@ -59,7 +107,7 @@ std::vector<ImportStageRecord> HaloExchange::import(
   const ProcessGrid& pg = decomp_->pgrid();
   const Int3 pcoord = pg.coord_of(comm.rank());
   const Vec3 lo = decomp_->region_lo(comm.rank());
-  const Vec3 region = decomp_->region_lengths();
+  const Vec3 hi = decomp_->region_hi(comm.rank());
 
   std::vector<ImportStageRecord> stages;
   int stage_idx = 0;
@@ -74,14 +122,17 @@ std::vector<ImportStageRecord> HaloExchange::import(
     rec.sent_to = pg.neighbor(comm.rank(), axis, dir);
     rec.received_from = pg.neighbor(comm.rank(), axis, -dir);
 
-    // Select atoms (owned + forwarded ghosts) in the outgoing slab.
+    // Select atoms (owned + forwarded ghosts) in the outgoing slab, sized
+    // by the *receiver's* halo reach.
+    const SlabSpec& peer =
+        rank_slabs_[static_cast<std::size_t>(rec.sent_to)];
     double sel_lo, sel_hi;
     if (dir < 0) {
       sel_lo = lo[axis];
-      sel_hi = lo[axis] + slab_.t_hi[axis];
+      sel_hi = lo[axis] + peer.t_hi[axis];
     } else {
-      sel_lo = lo[axis] + region[axis] - slab_.t_lo[axis];
-      sel_hi = lo[axis] + region[axis];
+      sel_lo = hi[axis] - peer.t_lo[axis];
+      sel_hi = hi[axis];
     }
     // Shift into the receiver's frame when the hop wraps the box.
     double shift = 0.0;
@@ -122,9 +173,16 @@ std::vector<ImportStageRecord> HaloExchange::import(
     stages.push_back(std::move(rec));
   };
 
+  // Stage directions are decided from the global maxima so the sequence
+  // is collective even when only some ranks have a non-zero reach.
   for (int axis = 0; axis < 3; ++axis) {
-    if (slab_.t_hi[axis] > 0.0 || both_directions_) run_stage(axis, -1);
-    if (both_directions_ && slab_.t_lo[axis] > 0.0) run_stage(axis, +1);
+    double max_lo = 0.0, max_hi = 0.0;
+    for (const SlabSpec& s : rank_slabs_) {
+      max_lo = std::max(max_lo, s.t_lo[axis]);
+      max_hi = std::max(max_hi, s.t_hi[axis]);
+    }
+    if (max_hi > 0.0 || both_directions_) run_stage(axis, -1);
+    if (max_lo > 0.0) run_stage(axis, +1);
   }
   return stages;
 }
@@ -159,11 +217,12 @@ void HaloExchange::write_back(Comm& comm,
   }
 }
 
-void Migrator::migrate(Comm& comm, RankState& state) const {
+std::uint64_t Migrator::sweep(Comm& comm, RankState& state) const {
   SCMD_REQUIRE(state.num_ghosts() == 0, "clear ghosts before migrating");
   const ProcessGrid& pg = decomp_->pgrid();
   const Vec3 lo = decomp_->region_lo(comm.rank());
-  const Vec3 region = decomp_->region_lengths();
+  const Vec3 hi = decomp_->region_hi(comm.rank());
+  const Vec3 region = decomp_->region_len(comm.rank());
   const Box& box = decomp_->box();
 
   // Axis coordinate of an owned atom in the periodic image closest to the
@@ -177,6 +236,7 @@ void Migrator::migrate(Comm& comm, RankState& state) const {
     return u;
   };
 
+  std::uint64_t sent = 0;
   for (int axis = 0; axis < 3; ++axis) {
     if (pg.dims()[axis] == 1) continue;  // whole axis is ours
     for (int dir : {-1, +1}) {
@@ -188,8 +248,7 @@ void Migrator::migrate(Comm& comm, RankState& state) const {
       std::size_t w = 0;
       for (std::size_t i = 0; i < state.pos.size(); ++i) {
         const double u = centered(state.pos[i][axis], axis);
-        const bool leaves = dir < 0 ? (u < lo[axis])
-                                    : (u >= lo[axis] + region[axis]);
+        const bool leaves = dir < 0 ? (u < lo[axis]) : (u >= hi[axis]);
         if (leaves) {
           const Vec3& p = state.pos[i];
           const Vec3& v = state.vel[i];
@@ -207,6 +266,7 @@ void Migrator::migrate(Comm& comm, RankState& state) const {
       state.vel.resize(w);
       state.gid.resize(w);
       state.type.resize(w);
+      sent += out.size();
 
       comm.send(peer_to, tag, pack(out));
       const std::vector<MigrateWire> in =
@@ -219,15 +279,61 @@ void Migrator::migrate(Comm& comm, RankState& state) const {
       }
     }
   }
+  return sent;
+}
 
-  // Every owned atom must now be inside the region.
+void Migrator::migrate(Comm& comm, RankState& state) const {
+  sweep(comm, state);
+
+  const Vec3 lo = decomp_->region_lo(comm.rank());
+  const Vec3 hi = decomp_->region_hi(comm.rank());
+  const Vec3 region = decomp_->region_len(comm.rank());
+  const Box& box = decomp_->box();
+
+  // Every owned atom must now be inside the region (one-hop assumption).
   for (const Vec3& p : state.pos) {
     for (int a = 0; a < 3; ++a) {
-      const double u = centered(p[a], a);
-      SCMD_REQUIRE(u >= lo[a] - 1e-9 && u < lo[a] + region[a] + 1e-9,
+      const double center = lo[a] + 0.5 * region[a];
+      const double L = box.length(a);
+      double u = p[a];
+      if (u - center > 0.5 * L) u -= L;
+      if (center - u > 0.5 * L) u += L;
+      SCMD_REQUIRE(u >= lo[a] - 1e-9 && u < hi[a] + 1e-9,
                    "atom moved more than one rank region in a step");
     }
   }
+}
+
+std::uint64_t Migrator::settle(Comm& comm, RankState& state) const {
+  const Vec3 lo = decomp_->region_lo(comm.rank());
+  const Vec3 hi = decomp_->region_hi(comm.rank());
+  const Box& box = decomp_->box();
+
+  // After a rebalance the cut planes moved, so atoms may be several hops
+  // from their new owner; each sweep advances every stray atom at least
+  // one rank along each axis, so the hop count is bounded by the process
+  // grid diameter.
+  const Int3 pd = decomp_->pgrid().dims();
+  const int max_sweeps = pd.x + pd.y + pd.z + 1;
+  std::uint64_t total_sent = 0;
+  for (int pass = 0; pass < max_sweeps; ++pass) {
+    std::uint64_t strays = 0;
+    for (const Vec3& p : state.pos) {
+      const Vec3 w = box.wrap(p);
+      for (int a = 0; a < 3; ++a) {
+        if (w[a] < lo[a] || w[a] >= hi[a]) {
+          ++strays;
+          break;
+        }
+      }
+    }
+    if (comm.allreduce_sum(static_cast<double>(strays)) == 0.0)
+      return total_sent;
+    total_sent += sweep(comm, state);
+  }
+  SCMD_REQUIRE(false, "atom migration failed to settle; inconsistent "
+                      "decomposition regions across ranks");
+  return total_sent;
 }
 
 }  // namespace scmd

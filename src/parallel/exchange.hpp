@@ -21,8 +21,10 @@
 /// kernels use plain Euclidean geometry.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "cell/domain.hpp"
 #include "engines/counters.hpp"
 #include "geom/vec3.hpp"
 #include "parallel/comm.hpp"
@@ -84,8 +86,22 @@ class HaloExchange {
  public:
   /// `both_directions` selects full-shell (6-stage) vs octant (3-stage)
   /// routing.  Slab thicknesses must not exceed the rank region (single
-  /// forwarding hop per axis), which is checked here.
+  /// forwarding hop per axis), which is checked here.  Uniform
+  /// decompositions only (every rank shares one slab spec).
   HaloExchange(const Decomposition& decomp, const SlabSpec& slab,
+               bool both_directions);
+
+  /// Per-rank slab thicknesses derived from the cell grids a rank's brick
+  /// must cover: rank r's upper reach on an axis is the distance from its
+  /// region top to the top of its halo-extended brick, maximized over
+  /// grids (and likewise below).  This handles non-uniform cuts, where a
+  /// cut straddling a cell gives even an octant (SC) pattern a non-zero
+  /// *lower* reach — the remainder of the straddled cell.  Senders select
+  /// slabs with the *receiver's* thickness (all ranks know all cuts), and
+  /// a stage direction runs iff any rank needs it, keeping the stage
+  /// sequence collective.
+  HaloExchange(const Decomposition& decomp,
+               const std::vector<std::pair<CellGrid, HaloSpec>>& grid_halos,
                bool both_directions);
 
   /// Import ghosts into `state` (appends to the ghost arrays).  Counters:
@@ -102,10 +118,17 @@ class HaloExchange {
 
   int num_import_stages() const { return both_directions_ ? 6 : 3; }
 
+  /// The slab thicknesses rank r imports (its own halo reach).
+  const SlabSpec& rank_slab(int rank) const {
+    return rank_slabs_[static_cast<std::size_t>(rank)];
+  }
+
  private:
+  void validate_slabs() const;
+
   const Decomposition* decomp_;
-  SlabSpec slab_;
   bool both_directions_;
+  std::vector<SlabSpec> rank_slabs_;  ///< per-rank halo reach
 };
 
 /// Post-drift atom migration: moves owned atoms to the rank whose region
@@ -119,7 +142,17 @@ class Migrator {
   /// (verified).  Ghosts must already be cleared.
   void migrate(Comm& comm, RankState& state) const;
 
+  /// Multi-pass redistribution for atoms arbitrarily far from their new
+  /// owner (after a rebalance moved the cut planes): repeat one-hop
+  /// sweeps until a global reduction reports every atom settled.
+  /// Returns the number of atoms this rank sent away in total.
+  std::uint64_t settle(Comm& comm, RankState& state) const;
+
  private:
+  /// One 3-axis, both-directions, one-hop exchange sweep; returns the
+  /// number of atoms sent away.
+  std::uint64_t sweep(Comm& comm, RankState& state) const;
+
   const Decomposition* decomp_;
 };
 

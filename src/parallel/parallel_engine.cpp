@@ -11,20 +11,16 @@ namespace scmd {
 std::vector<RankState> scatter_atoms(const ParticleSystem& sys,
                                      const Decomposition& decomp) {
   const ProcessGrid& pg = decomp.pgrid();
-  const Vec3 region = decomp.region_lengths();
   std::vector<RankState> states(static_cast<std::size_t>(pg.num_ranks()));
   const auto pos = sys.positions();
   const auto vel = sys.velocities();
   const auto type = sys.types();
   for (int i = 0; i < sys.num_atoms(); ++i) {
     const Vec3 p = sys.box().wrap(pos[i]);
-    Int3 pc;
-    for (int a = 0; a < 3; ++a) {
-      int c = static_cast<int>(p[a] / region[a]);
-      if (c >= pg.dims()[a]) c = pg.dims()[a] - 1;
-      pc[a] = c;
-    }
-    RankState& st = states[static_cast<std::size_t>(pg.rank_of(pc))];
+    // owner_of is the same cut-position arithmetic the migrator's region
+    // test uses, so the initial placement is consistent with migration
+    // for uniform and non-uniform decompositions alike.
+    RankState& st = states[static_cast<std::size_t>(decomp.owner_of(p))];
     st.pos.push_back(p);
     st.vel.push_back(vel[i]);
     st.gid.push_back(i);
@@ -62,6 +58,14 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
                        std::vector<double>(static_cast<std::size_t>(P), 0.0));
   }
 
+  // Per-step balance outcomes, written by rank 0 only (the balancer's
+  // view is collectively agreed, so one rank's copy is the cluster's).
+  const bool balancing = static_cast<bool>(config.make_balancer);
+  std::vector<BalanceStepInfo> step_balance;
+  if (collect_steps && balancing) step_balance.assign(num_records, {});
+  int rebalances = 0;
+  double last_ratio = 0.0;
+
   // Gather buffers written by each rank for its own atoms (disjoint gids).
   const std::size_t N = static_cast<std::size_t>(sys.num_atoms());
   std::vector<Vec3> out_pos(N), out_vel(N), out_force(N);
@@ -80,7 +84,13 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
         RankEngineConfig rc;
         rc.dt = config.dt;
         rc.measure_force_set = config.measure_force_set;
+        rc.collect_cell_costs = balancing;
         RankEngine engine(comm, decomp, field, *strategy, rc);
+        std::unique_ptr<RankBalancer> balancer;
+        if (balancing) {
+          balancer = config.make_balancer(r);
+          engine.set_balancer(balancer.get());
+        }
         engine.set_atoms(std::move(initial[static_cast<std::size_t>(r)]));
         EngineCounters prev;
         engine.compute_forces();
@@ -93,6 +103,13 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
         }
         for (int s = 0; s < config.num_steps; ++s) {
           engine.step();
+          if (balancer && r == 0) {
+            const BalanceStepInfo& info = balancer->last_step();
+            if (info.rebalanced) ++rebalances;
+            if (info.ratio > 0.0) last_ratio = info.ratio;
+            if (collect_steps)
+              step_balance[static_cast<std::size_t>(s) + 1] = info;
+          }
           if (collect_steps) {
             const std::size_t si = static_cast<std::size_t>(s) + 1;
             step_work[si][static_cast<std::size_t>(r)] =
@@ -159,6 +176,8 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   }
   result.runtime_messages = cluster.total_messages();
   result.runtime_bytes = cluster.total_bytes();
+  result.rebalances = rebalances;
+  result.last_balance_ratio = last_ratio;
 
   // Per-step structured records: cluster totals plus the rank-imbalance
   // summary (max/avg work and Eq.-33 import volume per rank).
@@ -174,6 +193,11 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
       }
       obs::record_step(reg, sample);
       obs::record_rank_imbalance(reg, step_work[s]);
+      if (balancing) {
+        const BalanceStepInfo& b = step_balance[s];
+        obs::record_balance(reg, b.ratio, b.rebalanced, b.predicted_ratio,
+                            b.migrated_atoms);
+      }
       if (s % static_cast<std::size_t>(every) == 0 || s + 1 == num_records)
         reg.emit(static_cast<long long>(s));
     }

@@ -9,6 +9,8 @@
 /// Performance *figures* come from the cluster simulator in src/perf,
 /// which reuses the same per-rank logic without threads.
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "obs/trace.hpp"
 #include "parallel/decomp.hpp"
 #include "parallel/exchange.hpp"
+#include "parallel/rank_engine.hpp"
 
 namespace scmd {
 
@@ -35,6 +38,12 @@ struct ParallelRunConfig {
   obs::TraceSession* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   int metrics_every = 1;
+
+  /// Dynamic load balancing: when set, each rank constructs its balancer
+  /// through this factory (called once per rank, collectively consistent
+  /// configuration expected) and per-cell cost collection is switched on.
+  /// Null = balancing off.  See src/balance for implementations.
+  std::function<std::unique_ptr<RankBalancer>(int rank)> make_balancer;
 };
 
 /// Aggregated results of a parallel run.
@@ -44,6 +53,11 @@ struct ParallelRunResult {
   EngineCounters max_rank;         ///< componentwise max over ranks
   std::uint64_t runtime_messages = 0;  ///< cluster-wide messages sent
   std::uint64_t runtime_bytes = 0;
+
+  int rebalances = 0;              ///< rebalance events during the run
+  double last_balance_ratio = 0.0; ///< most recent measured max/mean work
+                                   ///< ratio (0 when balancing is off or
+                                   ///< never measured)
 };
 
 /// Run `num_steps` of MD on `pgrid.num_ranks()` threads.  On return `sys`

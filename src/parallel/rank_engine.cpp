@@ -15,28 +15,89 @@ RankEngine::RankEngine(Comm& comm, const Decomposition& decomp,
       field_(field),
       strategy_(strategy),
       config_(config),
-      migrator_(decomp) {
+      migrator_(decomp_) {
   SCMD_REQUIRE(config.dt > 0.0, "time step must be positive");
 
-  // Aligned grid per active n, plus the physical slab the ghost exchange
-  // must cover: the widest per-axis halo over all grids.
-  SlabSpec slab;
-  bool both = false;
   for (int n = 2; n <= field.max_n(); ++n) {
     if (!strategy.needs_grid(n)) continue;
     const std::size_t ni = static_cast<std::size_t>(n);
     grid_active_[ni] = true;
     grids_[ni] =
-        decomp.aligned_grid(strategy.min_cell_size(n, field.rcut(n)));
-    const HaloSpec h = strategy.halo(n);
-    const Vec3 cl = grids_[ni].cell_lengths();
-    for (int a = 0; a < 3; ++a) {
-      slab.t_lo[a] = std::max(slab.t_lo[a], h.lo[a] * cl[a]);
-      slab.t_hi[a] = std::max(slab.t_hi[a], h.hi[a] * cl[a]);
-      if (h.lo[a] > 0) both = true;
-    }
+        decomp_.aligned_grid(strategy.min_cell_size(n, field.rcut(n)));
+    grid_halos_.emplace_back(grids_[ni], strategy.halo(n));
   }
-  halo_exchange_ = std::make_unique<HaloExchange>(decomp, slab, both);
+  rebuild_halo_exchange();
+}
+
+void RankEngine::rebuild_halo_exchange() {
+  if (decomp_.uniform()) {
+    // Uniform bricks coincide with regions: one slab spec, the widest
+    // per-axis halo over all grids, and octant (3-stage) routing when no
+    // grid needs a lower halo.
+    SlabSpec slab;
+    bool both = false;
+    for (const auto& [grid, h] : grid_halos_) {
+      const Vec3 cl = grid.cell_lengths();
+      for (int a = 0; a < 3; ++a) {
+        slab.t_lo[a] = std::max(slab.t_lo[a], h.lo[a] * cl[a]);
+        slab.t_hi[a] = std::max(slab.t_hi[a], h.hi[a] * cl[a]);
+        if (h.lo[a] > 0) both = true;
+      }
+    }
+    halo_exchange_ =
+        std::make_unique<HaloExchange>(decomp_, slab, both);
+  } else {
+    // Non-uniform cuts: per-rank slab reach derived from each rank's
+    // halo-extended brick (cut planes straddling cells included).  The
+    // home range is additionally extended by the pattern root reach (see
+    // build_domains), so fold that into the effective halo the exchange
+    // must cover.  Stage directions are decided inside HaloExchange from
+    // the global per-rank reach, so `both` just forces full-shell
+    // routing when some grid inherently needs a lower halo.
+    std::vector<std::pair<CellGrid, HaloSpec>> effective = grid_halos_;
+    {
+      std::size_t gi = 0;
+      for (int n = 2; n <= field_.max_n(); ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        if (!grid_active_[ni]) continue;
+        const HaloSpec ext = strategy_.root_reach(n);
+        HaloSpec& h = effective[gi++].second;
+        for (int a = 0; a < 3; ++a) {
+          h.lo[a] += ext.lo[a];
+          h.hi[a] += ext.hi[a];
+        }
+      }
+    }
+    bool both = false;
+    for (const auto& [grid, h] : effective) {
+      if (h.lo.x > 0 || h.lo.y > 0 || h.lo.z > 0) both = true;
+    }
+    halo_exchange_ =
+        std::make_unique<HaloExchange>(decomp_, effective, both);
+  }
+}
+
+void RankEngine::apply_decomposition(const Decomposition& decomp) {
+  SCMD_REQUIRE(decomp.pgrid().num_ranks() == decomp_.pgrid().num_ranks(),
+               "rebalance cannot change the rank count");
+  SCMD_REQUIRE(decomp.align_pgrid() == decomp_.align_pgrid(),
+               "rebalance must keep the alignment process grid (cell "
+               "grids are fixed for the run)");
+  decomp_ = decomp;  // migrator_ observes the member, so it follows
+  rebuild_halo_exchange();
+}
+
+std::uint64_t RankEngine::settle_atoms() {
+  state_.clear_ghosts();
+  const std::uint64_t sent = migrator_.settle(comm_, state_);
+  force_.assign(static_cast<std::size_t>(state_.num_owned()), Vec3{});
+  return sent;
+}
+
+void RankEngine::reset_cell_costs() {
+  for (auto& cc : cell_costs_) {
+    cc.assign(cc.size(), 0);
+  }
 }
 
 void RankEngine::set_atoms(RankState state) {
@@ -49,9 +110,22 @@ void RankEngine::build_domains() {
     const std::size_t ni = static_cast<std::size_t>(n);
     if (!grid_active_[ni]) continue;
     const CellGrid& grid = grids_[ni];
-    const Int3 brick_lo = decomp_.brick_lo(grid, comm_.rank());
-    const Int3 brick_dims = decomp_.cells_per_rank(grid);
+    BrickRange br = decomp_.brick_range(grid, comm_.rank());
     const HaloSpec halo = strategy_.halo(n);
+    const bool nonuniform = !decomp_.uniform();
+    if (nonuniform) {
+      // Extend the home-cell iteration range by the pattern root reach:
+      // chains are filtered to owned level-0 atoms, and the rank owning
+      // an atom in cell c must anchor every home cell h = c - v0 that can
+      // start a chain through it (see ForceStrategy::root_reach).
+      const HaloSpec ext = strategy_.root_reach(n);
+      for (int a = 0; a < 3; ++a) {
+        br.lo[a] -= ext.lo[a];
+        br.dims[a] += ext.lo[a] + ext.hi[a];
+      }
+    }
+    const Int3 brick_lo = br.lo;
+    const Int3 brick_dims = br.dims;
     CellDomain dom(grid, brick_lo, brick_dims, halo);
 
     const Vec3 cl = grid.cell_lengths();
@@ -80,6 +154,12 @@ void RankEngine::build_domains() {
       rec.type = state_.combined_type(i);
       rec.gid = state_.combined_gid(i);
       rec.local_ref = i;
+      // Uniform bricks partition home cells across ranks, so every atom
+      // may start a chain (legacy behavior).  Non-uniform cuts make
+      // bricks overlap at straddled cells; there the owned atoms — this
+      // rank's region population — form the global chain-start partition
+      // and ghosts never start chains.
+      rec.start = nonuniform ? (i < owned) : true;
       rec.local_cell = local;
       records.push_back(rec);
     }
@@ -87,6 +167,11 @@ void RankEngine::build_domains() {
     domains_[ni] = std::move(dom);
     domain_forces_[ni].assign(
         static_cast<std::size_t>(domains_[ni].num_atoms()), Vec3{});
+    if (config_.collect_cell_costs) {
+      const std::size_t vol =
+          static_cast<std::size_t>(domains_[ni].owned_dims().volume());
+      if (cell_costs_[ni].size() != vol) cell_costs_[ni].assign(vol, 0);
+    }
   }
 }
 
@@ -122,6 +207,7 @@ void RankEngine::compute_forces() {
     if (!grid_active_[ni]) continue;
     domains.dom[ni] = &domains_[ni];
     accum.f[ni] = &domain_forces_[ni];
+    if (config_.collect_cell_costs) accum.cell_cost[ni] = &cell_costs_[ni];
   }
 
   force_.assign(static_cast<std::size_t>(state_.num_total()), Vec3{});
@@ -154,6 +240,11 @@ void RankEngine::step() {
   {
     SCMD_TRACE("exchange.migrate");
     migrator_.migrate(comm_, state_);
+  }
+
+  if (balancer_ != nullptr) {
+    SCMD_TRACE("balance");
+    balancer_->on_step(comm_, *this);
   }
 
   compute_forces();

@@ -6,35 +6,67 @@
 /// Step structure (velocity Verlet around distributed force computation):
 ///   1. half-kick + drift on owned atoms
 ///   2. migrate atoms that left the rank region
-///   3. import ghost slabs (octant 3-stage or full-shell 6-stage,
+///   3. (optional) load balancer hook: may re-cut the decomposition and
+///      migrate whole regions of atoms before forces are rebuilt
+///   4. import ghost slabs (octant 3-stage or full-shell 6-stage,
 ///      depending on the strategy's halo needs)
-///   4. bin owned+ghost atoms into per-n cell domains, run the force
+///   5. bin owned+ghost atoms into per-n cell domains, run the force
 ///      strategy, fold per-domain forces into the combined rank array
-///   5. write ghost-force contributions back to their owners
-///   6. half-kick
+///   6. write ghost-force contributions back to their owners
+///   7. half-kick
 ///
 /// The same RankEngine::compute_forces() is reused by the cluster
 /// simulator (src/perf) with an oracle halo fill instead of messages.
 
 #include <array>
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "engines/strategy.hpp"
 #include "parallel/exchange.hpp"
 
 namespace scmd {
 
+class RankEngine;
+
+/// Per-step load-balance outcome, reported by a RankBalancer.
+struct BalanceStepInfo {
+  double ratio = 0.0;            ///< measured max/mean search-work ratio
+  bool rebalanced = false;       ///< did this step re-cut the domain?
+  double predicted_ratio = 0.0;  ///< solver's ratio for the new cuts
+  std::uint64_t migrated_atoms = 0;  ///< atoms this rank sent while settling
+};
+
+/// Load-balancer hook: called between migration and force computation,
+/// when forces are stale and about to be fully recomputed — so a
+/// rebalance only has to move atom positions/velocities, never forces.
+/// Implementations live in src/balance (dependency inversion keeps the
+/// parallel layer free of balancer internals).
+class RankBalancer {
+ public:
+  virtual ~RankBalancer() = default;
+
+  /// Collective call (every rank, every step, same order).
+  virtual void on_step(Comm& comm, RankEngine& engine) = 0;
+
+  /// Outcome of the most recent on_step.
+  virtual const BalanceStepInfo& last_step() const = 0;
+};
+
 /// Rank engine configuration.
 struct RankEngineConfig {
   double dt = 1.0;
   bool measure_force_set = false;  ///< forwarded to strategy construction
+  bool collect_cell_costs = false;  ///< accumulate per-cell search work
 };
 
 /// One rank's engine state and step logic.
 class RankEngine {
  public:
-  /// `decomp`, `field`, and `strategy` must outlive the engine and are
-  /// shared across ranks (all are immutable during a run).
+  /// `field` and `strategy` must outlive the engine and are shared across
+  /// ranks (both are immutable during a run).  The decomposition is
+  /// copied: a rebalance replaces it per rank via apply_decomposition().
   RankEngine(Comm& comm, const Decomposition& decomp, const ForceField& field,
              const ForceStrategy& strategy, const RankEngineConfig& config);
 
@@ -64,18 +96,58 @@ class RankEngine {
   const EngineCounters& counters() const { return counters_; }
   void clear_counters() { counters_.clear(); }
 
+  /// --- Load-balancing interface --------------------------------------
+
+  /// Install a balancer (not owned; may be null).  Called collectively in
+  /// step() after migration, before force computation.
+  void set_balancer(RankBalancer* balancer) { balancer_ = balancer; }
+
+  const Decomposition& decomp() const { return decomp_; }
+  const ForceStrategy& strategy() const { return strategy_; }
+
+  /// Replace the decomposition (collective; same plan on every rank).
+  /// Cell grids must be unchanged, i.e. the new plan keeps the alignment
+  /// process grid; the halo exchange is rebuilt for the new cuts.  Call
+  /// settle_atoms() afterwards to route atoms to their new owners.
+  void apply_decomposition(const Decomposition& decomp);
+
+  /// Multi-pass migration to the (possibly re-cut) region owners.
+  /// Returns the number of atoms this rank sent away.
+  std::uint64_t settle_atoms();
+
+  bool grid_active(int n) const {
+    return grid_active_[static_cast<std::size_t>(n)];
+  }
+  const CellGrid& grid(int n) const {
+    return grids_[static_cast<std::size_t>(n)];
+  }
+  /// Valid after compute_forces() (i.e. after binning).
+  const CellDomain& domain(int n) const {
+    return domains_[static_cast<std::size_t>(n)];
+  }
+
+  /// Accumulated per-owned-cell search work for grid n ([z][y][x] over
+  /// the rank's brick), when collect_cell_costs is on.  The balancer
+  /// drains and resets these between rebalances.
+  const std::vector<std::uint64_t>& cell_costs(int n) const {
+    return cell_costs_[static_cast<std::size_t>(n)];
+  }
+  void reset_cell_costs();
+
  private:
   void build_domains();
   void fold_forces(const ForceAccum& accum);
+  void rebuild_halo_exchange();
 
   Comm& comm_;
-  const Decomposition& decomp_;
+  Decomposition decomp_;
   const ForceField& field_;
   const ForceStrategy& strategy_;
   RankEngineConfig config_;
 
   std::unique_ptr<HaloExchange> halo_exchange_;
   Migrator migrator_;
+  RankBalancer* balancer_ = nullptr;
 
   RankState state_;
   std::vector<Vec3> force_;  ///< combined owned+ghost forces
@@ -84,6 +156,8 @@ class RankEngine {
   std::array<bool, kMaxTupleLen + 1> grid_active_{};
   std::array<CellDomain, kMaxTupleLen + 1> domains_{};
   std::array<std::vector<Vec3>, kMaxTupleLen + 1> domain_forces_{};
+  std::array<std::vector<std::uint64_t>, kMaxTupleLen + 1> cell_costs_{};
+  std::vector<std::pair<CellGrid, HaloSpec>> grid_halos_;
 
   double potential_energy_ = 0.0;
   EngineCounters counters_;

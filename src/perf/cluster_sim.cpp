@@ -46,8 +46,16 @@ ClusterSample ClusterSimulator::measure(const std::string& strategy_name,
                                         const ProcessGrid& pgrid,
                                         int max_sample_ranks,
                                         bool measure_force_set) const {
+  return measure(strategy_name, Decomposition(sys_.box(), pgrid),
+                 max_sample_ranks, measure_force_set);
+}
+
+ClusterSample ClusterSimulator::measure(const std::string& strategy_name,
+                                        const Decomposition& decomp,
+                                        int max_sample_ranks,
+                                        bool measure_force_set) const {
   SCMD_REQUIRE(max_sample_ranks >= 1, "need at least one sampled rank");
-  const Decomposition decomp(sys_.box(), pgrid);
+  const ProcessGrid& pgrid = decomp.pgrid();
   const auto strategy =
       make_strategy(strategy_name, field_, measure_force_set);
   // Octant-compressed patterns (SC, OC-only) import from the 7 upper
@@ -60,6 +68,7 @@ ClusterSample ClusterSimulator::measure(const std::string& strategy_name,
     CellGrid grid;
     GlobalBins bins;
     HaloSpec halo;
+    HaloSpec ext;  ///< root reach, extends non-uniform bricks
   };
   std::vector<std::pair<int, GridData>> grids;  // (n, data)
   for (int n = 2; n <= field_.max_n(); ++n) {
@@ -70,6 +79,7 @@ ClusterSample ClusterSimulator::measure(const std::string& strategy_name,
     gd.bins = bin_globally(gd.grid, sys_.positions());
     gd.bins.grid = gd.grid;
     gd.halo = strategy->halo(n);
+    if (!decomp.uniform()) gd.ext = strategy->root_reach(n);
     grids.emplace_back(n, std::move(gd));
   }
 
@@ -103,10 +113,23 @@ ClusterSample ClusterSimulator::measure(const std::string& strategy_name,
 
     std::uint64_t max_ghosts = 0;
     for (const auto& [n, gd] : grids) {
-      dom_storage.push_back(make_brick_domain(
-          gd.bins, sys_.positions(), sys_.types(),
-          decomp.brick_lo(gd.grid, rank), decomp.cells_per_rank(gd.grid),
-          gd.halo));
+      BrickRange br = decomp.brick_range(gd.grid, rank);
+      if (decomp.uniform()) {
+        dom_storage.push_back(make_brick_domain(gd.bins, sys_.positions(),
+                                                sys_.types(), br.lo, br.dims,
+                                                gd.halo));
+      } else {
+        // Mirror RankEngine::build_domains: extend the brick by the
+        // pattern root reach and restrict chain starts to the rank's
+        // ownership region.
+        for (int a = 0; a < 3; ++a) {
+          br.lo[a] -= gd.ext.lo[a];
+          br.dims[a] += gd.ext.lo[a] + gd.ext.hi[a];
+        }
+        dom_storage.push_back(make_brick_domain(
+            gd.bins, sys_.positions(), sys_.types(), br.lo, br.dims, gd.halo,
+            OwnedRegion{decomp.region_lo(rank), decomp.region_hi(rank)}));
+      }
       const CellDomain& dom = dom_storage.back();
       f_storage.emplace_back(static_cast<std::size_t>(dom.num_atoms()));
       domains.dom[static_cast<std::size_t>(n)] = &dom;

@@ -48,6 +48,17 @@ class ClusterSimulator {
                         const ProcessGrid& pgrid, int max_sample_ranks = 4,
                         bool measure_force_set = false) const;
 
+  /// Measure an arbitrary (possibly non-uniform, load-balanced)
+  /// decomposition.  Mirrors RankEngine::build_domains exactly: uniform
+  /// bricks partition home cells (every atom starts chains); non-uniform
+  /// bricks are extended by the strategy's root reach and chain starts are
+  /// the atoms inside the rank's ownership region.  Sampling a subset of
+  /// ranks only bounds the max for uniform systems — pass P to sweep all
+  /// ranks when measuring imbalance.
+  ClusterSample measure(const std::string& strategy_name,
+                        const Decomposition& decomp, int max_sample_ranks = 4,
+                        bool measure_force_set = false) const;
+
  private:
   const ParticleSystem& sys_;
   const ForceField& field_;

@@ -92,8 +92,11 @@ long long force_set_size(const CellDomain& dom, const CompiledPattern& cp) {
         for (const CompiledPath& path : cp.paths()) {
           long long product = 1;
           for (int k = 0; k < path.n && product > 0; ++k) {
-            const auto [first, last] = dom.cell_range(
-                dom.cell_index(home + path.v[static_cast<std::size_t>(k)]));
+            // Level 0 draws from chain starts only, matching enumeration.
+            const long long ci =
+                dom.cell_index(home + path.v[static_cast<std::size_t>(k)]);
+            const auto [first, last] =
+                k == 0 ? dom.cell_start_range(ci) : dom.cell_range(ci);
             product *= (last - first);
           }
           total += product;

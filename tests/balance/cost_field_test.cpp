@@ -1,0 +1,96 @@
+// CostField: fine-lattice apportionment of measured per-cell costs.  The
+// invariant that makes the balancer exact is mass conservation — every
+// unit of measured work lands somewhere on the fine lattice.
+
+#include "balance/cost_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cell/domain.hpp"
+#include "cell/grid.hpp"
+#include "geom/box.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(CostFieldTest, RecommendResIsTwiceTheLcmOfGridDims) {
+  // The silica pair (12^3) and triplet (24^3) grids on one box.
+  EXPECT_EQ(CostField::recommend_res({{12, 12, 12}, {24, 24, 24}}),
+            (Int3{48, 48, 48}));
+  EXPECT_EQ(CostField::recommend_res({{6, 4, 3}}), (Int3{12, 8, 6}));
+  EXPECT_EQ(CostField::recommend_res({{6, 4, 3}, {4, 6, 5}}),
+            (Int3{24, 24, 30}));
+}
+
+TEST(CostFieldTest, BinOfCoversTheBoxAndClamps) {
+  const Box box = Box::cubic(10.0);
+  CostField field(box, {5, 4, 2});
+  EXPECT_EQ(field.bin_of({0.1, 0.1, 0.1}), 0);
+  // x bin 4, y bin 3, z bin 1 -> (1*4 + 3)*5 + 4.
+  EXPECT_EQ(field.bin_of({9.9, 9.9, 9.9}), (1 * 4 + 3) * 5 + 4);
+  // Exactly at the upper face clamps into the last bin instead of
+  // running off the lattice.
+  EXPECT_EQ(field.bin_of({10.0, 10.0, 10.0}), (1 * 4 + 3) * 5 + 4);
+
+  field.add(field.bin_of({0.1, 0.1, 0.1}), 2.5);
+  field.add(field.bin_of({9.9, 0.1, 0.1}), 1.5);
+  EXPECT_DOUBLE_EQ(field.total(), 4.0);
+  EXPECT_EQ(field.sparse().size(), 2u);
+}
+
+TEST(CostFieldTest, DepositConservesMassAndFollowsStartAtoms) {
+  const Box box = Box::cubic(12.0);
+  const CellGrid grid = CellGrid::with_dims(box, {3, 3, 3});
+  // Two atoms in cell (0,0,0), one in cell (2,2,2).
+  const std::vector<Vec3> pos{
+      {1.0, 1.0, 1.0}, {3.0, 3.0, 3.0}, {9.0, 9.0, 9.0}};
+  const std::vector<int> type{0, 0, 0};
+  const HaloSpec halo{{1, 1, 1}, {1, 1, 1}};
+  const CellDomain dom = make_serial_domain(grid, halo, pos, type);
+
+  std::vector<std::uint64_t> cell_cost(
+      static_cast<std::size_t>(grid.dims().volume()), 0);
+  auto cell = [&](int x, int y, int z) {
+    return static_cast<std::size_t>((z * 3 + y) * 3 + x);
+  };
+  cell_cost[cell(0, 0, 0)] = 10;  // split between the two start atoms
+  cell_cost[cell(2, 2, 2)] = 6;   // all on the single atom
+  cell_cost[cell(1, 1, 1)] = 4;   // no atoms: cell-center fallback
+
+  CostField field(box, CostField::recommend_res({grid.dims()}));
+  field.deposit(dom, cell_cost);
+  EXPECT_DOUBLE_EQ(field.total(), 20.0);
+
+  // The two atoms of cell (0,0,0) got 5 each at their own fine bins.
+  EXPECT_DOUBLE_EQ(field.values()[static_cast<std::size_t>(
+                       field.bin_of({1.0, 1.0, 1.0}))],
+                   5.0);
+  EXPECT_DOUBLE_EQ(field.values()[static_cast<std::size_t>(
+                       field.bin_of({3.0, 3.0, 3.0}))],
+                   5.0);
+  EXPECT_DOUBLE_EQ(field.values()[static_cast<std::size_t>(
+                       field.bin_of({9.0, 9.0, 9.0}))],
+                   6.0);
+  // Empty-cell mass sits at the cell's center (6, 6, 6).
+  EXPECT_DOUBLE_EQ(field.values()[static_cast<std::size_t>(
+                       field.bin_of({6.0, 6.0, 6.0}))],
+                   4.0);
+}
+
+TEST(CostFieldTest, DepositRejectsMismatchedCostVector) {
+  const Box box = Box::cubic(12.0);
+  const CellGrid grid = CellGrid::with_dims(box, {3, 3, 3});
+  const std::vector<Vec3> pos{{1.0, 1.0, 1.0}};
+  const std::vector<int> type{0};
+  const CellDomain dom =
+      make_serial_domain(grid, HaloSpec{{1, 1, 1}, {1, 1, 1}}, pos, type);
+  CostField field(box, {6, 6, 6});
+  std::vector<std::uint64_t> wrong_size(5, 1);
+  EXPECT_THROW(field.deposit(dom, wrong_size), Error);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,154 @@
+// Cut solver: exact axis DP, halo-feasibility width limits, and the
+// factorization sweep that picks the process-grid shape.
+
+#include "balance/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+std::vector<double> uniform_field(const Int3& res, double v) {
+  return std::vector<double>(static_cast<std::size_t>(res.volume()), v);
+}
+
+AxisWidthLimits unit_limits(int res) {
+  AxisWidthLimits lim;
+  lim.at_lo.assign(static_cast<std::size_t>(res) + 1, 1);
+  lim.at_hi.assign(static_cast<std::size_t>(res) + 1, 1);
+  return lim;
+}
+
+TEST(SolverTest, EvaluateCutsUniformFieldIsPerfectlyBalanced) {
+  const Int3 res{4, 4, 4};
+  const std::array<std::vector<int>, 3> cuts{
+      std::vector<int>{0, 2, 4}, std::vector<int>{0, 2, 4},
+      std::vector<int>{0, 4}};
+  EXPECT_DOUBLE_EQ(evaluate_cuts(uniform_field(res, 1.0), res, cuts), 1.0);
+}
+
+TEST(SolverTest, EvaluateCutsSeesSkew) {
+  const Int3 res{4, 1, 1};
+  std::vector<double> cost{3.0, 1.0, 1.0, 1.0};
+  const std::array<std::vector<int>, 3> cuts{
+      std::vector<int>{0, 2, 4}, std::vector<int>{0, 1},
+      std::vector<int>{0, 1}};
+  // Parts hold 4 and 2; mean 3 -> ratio 4/3.
+  EXPECT_DOUBLE_EQ(evaluate_cuts(cost, res, cuts), 4.0 / 3.0);
+}
+
+TEST(SolverTest, SolveAxisSplitsUniformCostEqually) {
+  std::vector<std::vector<double>> M(8, std::vector<double>(1, 1.0));
+  const std::vector<int> cuts = solve_axis(M, 4, unit_limits(8));
+  EXPECT_EQ(cuts, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(SolverTest, SolveAxisMovesCutsTowardTheDenseEnd) {
+  // Slab costs 4,4,1,1,1,1,1,1.  Cutting at 2 gives parts 8 and 6
+  // (max 8); any other cut is worse (cut 1 -> max 10, cut 3 -> max 9),
+  // so the DP must place the cut right after the dense slabs.
+  std::vector<std::vector<double>> M(8, std::vector<double>(1, 1.0));
+  M[0][0] = 4.0;
+  M[1][0] = 4.0;
+  const std::vector<int> cuts = solve_axis(M, 2, unit_limits(8));
+  EXPECT_EQ(cuts, (std::vector<int>{0, 2, 8}));
+}
+
+TEST(SolverTest, SolveAxisReturnsEmptyWhenInfeasible) {
+  std::vector<std::vector<double>> M(3, std::vector<double>(1, 1.0));
+  EXPECT_TRUE(solve_axis(M, 4, unit_limits(3)).empty());
+
+  // Width limits that cannot be met: 4 parts x min width 3 > 8 slabs.
+  std::vector<std::vector<double>> M8(8, std::vector<double>(1, 1.0));
+  AxisWidthLimits wide = unit_limits(8);
+  for (auto& v : wide.at_lo) v = 3;
+  EXPECT_TRUE(solve_axis(M8, 4, wide).empty());
+  EXPECT_FALSE(solve_axis(M8, 2, wide).empty());
+}
+
+TEST(SolverTest, SolveAxisRespectsPerPositionWidthLimits) {
+  std::vector<std::vector<double>> M(8, std::vector<double>(1, 1.0));
+  AxisWidthLimits lim = unit_limits(8);
+  // A part starting at cut 2 must be at least 4 wide; the equal split
+  // {0,2,4,6,8} violates that, so the DP must route around it.
+  lim.at_lo[2] = 4;
+  const std::vector<int> cuts = solve_axis(M, 4, lim);
+  ASSERT_EQ(cuts.size(), 5u);
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const int a = cuts[i], c = cuts[i + 1];
+    EXPECT_GE(c - a, lim.at_lo[static_cast<std::size_t>(a)]) << "part " << i;
+    EXPECT_GE(c - a, lim.at_hi[static_cast<std::size_t>(c)]) << "part " << i;
+  }
+}
+
+TEST(SolverTest, WidthLimitsMatchTheStraddleFormula) {
+  // One grid of 12 cells on a 48-lattice (s = 4), symmetric 1-cell halo.
+  GridReach g;
+  g.dims = {12, 12, 12};
+  g.halo_lo = {1, 1, 1};
+  g.halo_hi = {1, 1, 1};
+  const auto limits = width_limits_for({48, 48, 48}, {g});
+  for (int a = 0; a < 3; ++a) {
+    const AxisWidthLimits& lim = limits[static_cast<std::size_t>(a)];
+    ASSERT_EQ(lim.at_lo.size(), 49u);
+    // On a cell boundary the upward reach is exactly the halo (4 fine
+    // units); mid-cell it grows by the straddle remainder.
+    EXPECT_EQ(lim.at_lo[0], 4);
+    EXPECT_EQ(lim.at_lo[4], 4);
+    EXPECT_EQ(lim.at_lo[5], 3 + 4);
+    EXPECT_EQ(lim.at_lo[7], 1 + 4);
+    EXPECT_EQ(lim.at_hi[0], 4);
+    EXPECT_EQ(lim.at_hi[5], 1 + 4);
+    EXPECT_EQ(lim.at_hi[7], 3 + 4);
+  }
+  // The fine lattice must subdivide every grid.
+  GridReach bad = g;
+  bad.dims = {7, 12, 12};
+  EXPECT_THROW(width_limits_for({48, 48, 48}, {bad}), Error);
+}
+
+TEST(SolverTest, SolveBalancedCutsFlattensATwoPhaseField) {
+  // Dense lower half along x: density 4 vs 1.
+  const Int3 res{16, 4, 4};
+  std::vector<double> cost(static_cast<std::size_t>(res.volume()));
+  for (int z = 0; z < res.z; ++z)
+    for (int y = 0; y < res.y; ++y)
+      for (int x = 0; x < res.x; ++x)
+        cost[static_cast<std::size_t>((z * res.y + y) * res.x + x)] =
+            x < 8 ? 4.0 : 1.0;
+
+  std::array<AxisWidthLimits, 3> limits{unit_limits(16), unit_limits(4),
+                                        unit_limits(4)};
+  const BalanceSolution sol = solve_balanced_cuts(cost, res, 8, limits);
+  ASSERT_GT(sol.predicted_ratio, 0.0);
+  EXPECT_LT(sol.predicted_ratio, 1.05);
+  EXPECT_EQ(sol.pgrid_dims.volume(), 8);
+  EXPECT_DOUBLE_EQ(evaluate_cuts(cost, res, sol.cuts), sol.predicted_ratio);
+
+  // A uniform 2x2x2 split of the same field is 1.6x imbalanced; the
+  // solver must beat it decisively.
+  const std::array<std::vector<int>, 3> uniform_cuts{
+      std::vector<int>{0, 8, 16}, std::vector<int>{0, 2, 4},
+      std::vector<int>{0, 2, 4}};
+  EXPECT_LT(sol.predicted_ratio,
+            evaluate_cuts(cost, res, uniform_cuts) / 1.4);
+}
+
+TEST(SolverTest, SolveBalancedCutsSkipsOverlongFactorizations) {
+  // 64 ranks on a 16-lattice: 64x1x1 and 32x2x1 are infeasible and must
+  // be skipped, not fatal; 4x4x4 remains.
+  const Int3 res{16, 16, 16};
+  std::array<AxisWidthLimits, 3> limits{unit_limits(16), unit_limits(16),
+                                        unit_limits(16)};
+  const BalanceSolution sol =
+      solve_balanced_cuts(uniform_field(res, 1.0), res, 64, limits);
+  ASSERT_GT(sol.predicted_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(sol.predicted_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "support/error.hpp"
 
@@ -80,6 +81,23 @@ TEST(DecompositionTest, RegionGeometry) {
   EXPECT_DOUBLE_EQ(lo.x, 6.0);
   EXPECT_DOUBLE_EQ(lo.y, 0.0);
   EXPECT_DOUBLE_EQ(lo.z, 24.0);
+}
+
+TEST(DecompositionTest, MisalignedGridFailsWithActionableMessage) {
+  const Decomposition d(Box::cubic(12.0), ProcessGrid({3, 1, 1}));
+  const CellGrid g = CellGrid::with_dims(Box::cubic(12.0), {4, 4, 4});
+  // 4 cells cannot tile 3 ranks; the error must name the axis, both
+  // counts, and how to fix it.
+  try {
+    d.cells_per_rank(g);
+    FAIL() << "expected misaligned grid to throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("axis x"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4 cells"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3 ranks"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("aligned_grid"), std::string::npos) << msg;
+  }
 }
 
 TEST(DecompositionTest, RejectsGrainFinerThanCutoff) {

@@ -197,5 +197,51 @@ TEST(MigratorTest, AtomsArriveAtTheirOwners) {
   for (int o : owner_after) EXPECT_GE(o, 0);
 }
 
+TEST(MigratorTest, SettleRoutesAcrossMultipleRegions) {
+  // Scatter on a uniform 4x1x1 grid, then swap in a heavily skewed
+  // non-uniform decomposition: rank 0 grows to x < 12.5 Å while ranks
+  // 1..3 shrink to 2.5 Å slivers.  Atoms owned by the old rank 2 around
+  // x = 11 now belong to rank 0 — two hops away — so one-hop migrate
+  // cannot deliver them but settle must.
+  ParticleSystem sys = lattice_system(300, 20.0, 94);
+  const ProcessGrid pgrid({4, 1, 1});
+  const Decomposition uniform(sys.box(), pgrid);
+  const Decomposition skewed(
+      sys.box(), pgrid,
+      {std::vector<int>{0, 5, 6, 7, 8}, std::vector<int>{0, 1},
+       std::vector<int>{0, 1}},
+      Int3{8, 1, 1}, pgrid);
+
+  const std::vector<RankState> states = scatter_atoms(sys, uniform);
+  std::vector<int> owner_after(static_cast<std::size_t>(sys.num_atoms()),
+                               -1);
+  std::vector<std::uint64_t> sent(4, 0);
+  run_cluster(4, [&](Comm& comm) {
+    RankState st = states[static_cast<std::size_t>(comm.rank())];
+    const Migrator mig(skewed);
+    sent[static_cast<std::size_t>(comm.rank())] = mig.settle(comm, st);
+    const Vec3 lo = skewed.region_lo(comm.rank());
+    const Vec3 hi = skewed.region_hi(comm.rank());
+    for (const Vec3& p : st.pos) {
+      for (int a = 0; a < 3; ++a) {
+        EXPECT_GE(p[a], lo[a] - 1e-9);
+        EXPECT_LT(p[a], hi[a] + 1e-9);
+      }
+    }
+    for (std::int64_t g : st.gid)
+      owner_after[static_cast<std::size_t>(g)] = comm.rank();
+  });
+  // Conservation: every atom ends up with exactly one owner, and it is
+  // the owner the new decomposition prescribes.
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    ASSERT_GE(owner_after[static_cast<std::size_t>(i)], 0) << "atom " << i;
+    EXPECT_EQ(owner_after[static_cast<std::size_t>(i)],
+              skewed.owner_of(sys.box().wrap(sys.positions()[i])))
+        << "atom " << i;
+  }
+  // The shrink from 5 Å regions to 2.5 Å slivers forces real traffic.
+  EXPECT_GT(sent[1] + sent[2] + sent[3], 0u);
+}
+
 }  // namespace
 }  // namespace scmd

@@ -8,7 +8,11 @@ trace_event document with properly nested spans.
 Usage:
     validate_obs.py [--metrics m.jsonl] [--trace t.json]
                     [--require-metrics name1,name2,...]
-                    [--min-steps N]
+                    [--min-steps N] [--expect-balance]
+
+--expect-balance asserts the dynamic load-balancing schema: every metrics
+record carries the balance.* gauges, at least one record observed a
+rebalance, and the trace (when given) contains the per-step balance span.
 
 Exits non-zero (with a message on stderr) on the first violation.
 """
@@ -23,7 +27,14 @@ def fail(msg):
     sys.exit(1)
 
 
-def validate_metrics(path, require_metrics, min_steps):
+BALANCE_METRICS = ("balance.ratio", "balance.rebalanced",
+                   "balance.predicted_ratio", "balance.migrated_atoms")
+
+
+def validate_metrics(path, require_metrics, min_steps, expect_balance=False):
+    if expect_balance:
+        require_metrics = list(require_metrics) + list(BALANCE_METRICS)
+    rebalances = 0
     steps = []
     series = {}  # attrs tuple -> step list (one series per strategy/platform)
     with open(path, "r", encoding="utf-8") as f:
@@ -54,9 +65,13 @@ def validate_metrics(path, require_metrics, min_steps):
                 if sum(h["buckets"]) + h.get("underflow", 0) + h.get(
                         "overflow", 0) != h["count"]:
                     fail(f"{path}:{line_no}: hist {hname!r} counts don't sum")
+            if rec["metrics"].get("balance.rebalanced"):
+                rebalances += 1
             steps.append(rec["step"])
             key = tuple(sorted(rec.get("attrs", {}).items()))
             series.setdefault(key, []).append(rec["step"])
+    if expect_balance and rebalances == 0:
+        fail(f"{path}: --expect-balance, but no record observed a rebalance")
     if len(steps) < min_steps:
         fail(f"{path}: only {len(steps)} records, expected >= {min_steps}")
     # Steps must be non-decreasing within each series (attrs identify the
@@ -68,7 +83,7 @@ def validate_metrics(path, require_metrics, min_steps):
           f"{len(series)} series, steps {min(steps)}..{max(steps)})")
 
 
-def validate_trace(path, min_spans=1):
+def validate_trace(path, min_spans=1, expect_balance=False):
     with open(path, "r", encoding="utf-8") as f:
         try:
             doc = json.load(f)
@@ -106,6 +121,8 @@ def validate_trace(path, min_spans=1):
                      f" partially overlaps {stack[-1]['name']!r}")
             stack.append(e)
     names = sorted({e["name"] for e in events})
+    if expect_balance and "balance" not in names:
+        fail(f"{path}: --expect-balance, but no 'balance' span present")
     print(f"validate_obs: {path}: OK ({len(events)} spans, "
           f"{len(lanes)} lane(s), phases: {', '.join(names)})")
 
@@ -118,14 +135,18 @@ def main():
                     help="comma-separated metric names every record must have")
     ap.add_argument("--min-steps", type=int, default=1,
                     help="minimum number of metrics records")
+    ap.add_argument("--expect-balance", action="store_true",
+                    help="require balance.* metrics, >= 1 rebalance, and "
+                         "the balance trace span")
     args = ap.parse_args()
     if not args.metrics and not args.trace:
         fail("nothing to validate: pass --metrics and/or --trace")
     require = [n for n in args.require_metrics.split(",") if n]
     if args.metrics:
-        validate_metrics(args.metrics, require, args.min_steps)
+        validate_metrics(args.metrics, require, args.min_steps,
+                         expect_balance=args.expect_balance)
     if args.trace:
-        validate_trace(args.trace)
+        validate_trace(args.trace, expect_balance=args.expect_balance)
 
 
 if __name__ == "__main__":
