@@ -34,6 +34,11 @@
 //                    ratio exceeds this (default 1.2)
 //   balance_min_interval  auto mode: min steps between re-cuts
 //                    (default 10)
+//   tuple_cache      off (default) | skin=<s> — persistent tuple lists:
+//                    enumerate once at rcut + s (Angstrom), replay the
+//                    cached lists with exact-rcut filtering until any
+//                    atom drifts farther than s/2 (docs/TUPLECACHE.md;
+//                    pattern strategies SC/FS/OC/RC only)
 //   log_every        table row cadence (default 10)
 //   traj             extended-XYZ output path
 //   checkpoint_in    resume from a checkpoint instead of building
@@ -140,7 +145,7 @@ int run(const std::string& path,
                      "measure_pressure", "metrics_out", "metrics_every",
                      "trace_out", "measure_force_set", "dense_fraction",
                      "balance", "balance_threshold",
-                     "balance_min_interval"});
+                     "balance_min_interval", "tuple_cache"});
   SCMD_REQUIRE(cfg.has("field"), "config must set `field`");
 
   const std::string field_name = cfg.get("field", "");
@@ -178,6 +183,19 @@ int run(const std::string& path,
       cfg.get_bool("measure_force_set", metrics != nullptr);
 
   const std::string balance = cfg.get("balance", "off");
+  TupleCacheConfig cache_cfg;
+  {
+    const std::string tc = cfg.get("tuple_cache", "off");
+    if (tc.rfind("skin=", 0) == 0) {
+      cache_cfg.enabled = true;
+      cache_cfg.skin = std::stod(tc.substr(5));
+      SCMD_REQUIRE(cache_cfg.skin >= 0.0,
+                   "tuple_cache skin must be non-negative");
+    } else {
+      SCMD_REQUIRE(tc == "off",
+                   "tuple_cache must be off | skin=<s>, got: " + tc);
+    }
+  }
   if (ranks > 1) {
     SCMD_REQUIRE(tau_fs == 0.0,
                  "thermostatted runs need ranks = 1 (parallel runs are NVE)");
@@ -188,6 +206,7 @@ int run(const std::string& path,
     pcfg.trace = trace.get();
     pcfg.metrics = metrics.get();
     pcfg.metrics_every = metrics_every;
+    pcfg.tuple_cache = cache_cfg;
     if (balance != "off") {
       BalanceConfig bc;
       if (balance == "auto") {
@@ -214,6 +233,14 @@ int run(const std::string& path,
       std::printf("# balance: %d rebalance(s), last max/mean work ratio "
                   "%.4f\n",
                   res.rebalances, res.last_balance_ratio);
+    if (cache_cfg.enabled)
+      // Collective decision: every rank counts the same events, so the
+      // max over ranks is the cluster-wide count.
+      std::printf("# tuple_cache: %llu rebuild(s), %llu reuse step(s)\n",
+                  static_cast<unsigned long long>(
+                      res.max_rank.cache_rebuilds),
+                  static_cast<unsigned long long>(
+                      res.max_rank.cache_reuse_steps));
   } else {
     SCMD_REQUIRE(balance == "off",
                  "balance needs a parallel run (set ranks > 1)");
@@ -222,6 +249,7 @@ int run(const std::string& path,
     ecfg.num_threads = static_cast<int>(cfg.get_int("threads", 1));
     ecfg.measure_force_set = measure_fs;
     ecfg.trace = trace.get();
+    ecfg.tuple_cache = cache_cfg;
     SerialEngine engine(sys, *field,
                         make_strategy(strategy, *field, measure_fs), ecfg);
 
@@ -272,6 +300,12 @@ int run(const std::string& path,
         engine.step();
       }
     }
+    if (cache_cfg.enabled)
+      std::printf("# tuple_cache: %llu rebuild(s), %llu reuse step(s)\n",
+                  static_cast<unsigned long long>(
+                      engine.counters().cache_rebuilds),
+                  static_cast<unsigned long long>(
+                      engine.counters().cache_reuse_steps));
     if (cfg.get_bool("measure_pressure", false)) {
       const Pressure p = measure_pressure(sys, *field, "SC");
       std::printf("# pressure: total %.6g eV/A^3 (kinetic %.3g, virial "

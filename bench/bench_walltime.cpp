@@ -5,9 +5,14 @@
 // SC search, Hybrid cheapest search (it exploits rcut3 < rcut2 through
 // the pair list).
 //
-//   ./bench_walltime [--atoms=6000] [--steps=10] [--reach-sweep]
+//   ./bench_walltime [--atoms=6000] [--steps=10] [--warmup=2]
+//                    [--reach-sweep] [--tuple-cache=off|skin=<s>]
 //                    [--metrics-out=FILE] [--trace-out=FILE]
 //
+// --warmup steps run before the clock starts (page faults, allocator
+// growth, and the priming force pass stay out of the figure).
+// --tuple-cache applies persistent tuple lists (docs/TUPLECACHE.md) to
+// the pattern variants; Hybrid keeps its own pair list and is skipped.
 // --metrics-out writes one structured record per step per strategy
 // (JSONL, or CSV with a .csv path) so the figure is reproducible from
 // the artifact instead of stdout scraping; --trace-out writes a Chrome
@@ -29,11 +34,25 @@
 
 int main(int argc, char** argv) {
   using namespace scmd;
-  const Cli cli(argc, argv, {"atoms", "steps", "reach-sweep", "seed",
-                             "metrics-out", "trace-out"});
+  const Cli cli(argc, argv, {"atoms", "steps", "warmup", "reach-sweep",
+                             "seed", "tuple-cache", "metrics-out",
+                             "trace-out"});
   const long long atoms = cli.get_int("atoms", 6000);
   const int steps = static_cast<int>(cli.get_int("steps", 10));
+  const int warmup = static_cast<int>(cli.get_int("warmup", 2));
   const VashishtaSiO2 field;
+
+  TupleCacheConfig cache_cfg;
+  {
+    const std::string tc = cli.get("tuple-cache", "off");
+    if (tc.rfind("skin=", 0) == 0) {
+      cache_cfg.enabled = true;
+      cache_cfg.skin = std::stod(tc.substr(5));
+    } else if (tc != "off") {
+      std::cerr << "bad --tuple-cache (off | skin=<s>): " << tc << "\n";
+      return 2;
+    }
+  }
 
   std::vector<std::string> variants{"SC", "FS", "Hybrid", "SC+p", "FS+p"};
   if (cli.get_bool("reach-sweep", false)) {
@@ -58,20 +77,27 @@ int main(int argc, char** argv) {
   const std::string trace_out = cli.get("trace-out", "");
   if (!trace_out.empty()) trace = std::make_unique<obs::TraceSession>();
 
-  Table table({"strategy", "ms/step", "search/step", "cell visits/step",
-               "accepted3/step", "pair evals/step", "triplet evals/step"});
+  Table table({"strategy", "ms/step", "steps/sec", "search/step",
+               "cell visits/step", "accepted3/step", "pair evals/step",
+               "triplet evals/step"});
   table.set_title("Measured wall time per step, silica, " +
                   std::to_string(atoms) + " atoms, this host");
   table.set_precision(2);
 
   for (const std::string& name : variants) {
+    // Hybrid (and BondOrder) manage their own pair lists; the tuple
+    // cache only applies to the pattern strategies.
+    const bool cacheable =
+        name.rfind("Hybrid", 0) != 0 && name.rfind("BondOrder", 0) != 0;
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 5)));
     ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
     SerialEngineConfig cfg;
     cfg.dt = 1.0 * units::kFemtosecond;
     cfg.trace = trace.get();
+    if (cacheable) cfg.tuple_cache = cache_cfg;
     SerialEngine engine(sys, field, make_strategy(name, field), cfg);
     if (metrics) metrics->set_attr("strategy", name);
+    for (int s = 0; s < warmup; ++s) engine.step();
     // Per-step work from cumulative snapshot deltas — never
     // clear_counters() mid-run (it would race against totals consumers).
     EngineCounters prev = engine.counters();
@@ -96,11 +122,13 @@ int main(int argc, char** argv) {
       }
     }
     const double ms = timer.seconds() * 1e3 / steps;
+    const double steps_per_sec =
+        timer.seconds() > 0.0 ? steps / timer.seconds() : 0.0;
     const EngineCounters c = engine.counters().delta_since(start);
     std::uint64_t visits = 0;
     for (const TupleCounters& tc : c.tuples) visits += tc.cell_visits;
     table.add_row(
-        {name, ms,
+        {name, ms, steps_per_sec,
          static_cast<long long>(c.total_search_steps() / steps),
          static_cast<long long>(visits / steps),
          static_cast<long long>(c.tuples[3].accepted / steps),

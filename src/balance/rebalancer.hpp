@@ -56,6 +56,11 @@ class Rebalancer final : public RankBalancer {
   explicit Rebalancer(const BalanceConfig& config);
 
   void on_step(Comm& comm, RankEngine& engine) override;
+  /// Tuple-cache reuse step: nothing measured, nothing re-cut.  Clears
+  /// the per-step outcome so callers polling last_step() do not see a
+  /// stale rebalance twice; step counters do not advance, so `every` and
+  /// `min_interval` count rebuild steps (see docs/TUPLECACHE.md).
+  void on_cached_step() override { info_ = BalanceStepInfo{}; }
   const BalanceStepInfo& last_step() const override { return info_; }
 
  private:

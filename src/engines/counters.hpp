@@ -39,6 +39,13 @@ struct EngineCounters {
   std::uint64_t bytes_imported = 0;
   std::uint64_t bytes_written_back = 0;
 
+  /// Tuple cache (docs/TUPLECACHE.md): full UCP builds, steps served by
+  /// replay, and cached tuples scanned while replaying (the replay-side
+  /// analogue of search_steps).
+  std::uint64_t cache_rebuilds = 0;
+  std::uint64_t cache_reuse_steps = 0;
+  std::uint64_t cache_replayed = 0;
+
   EngineCounters& operator-=(const EngineCounters& o) {
     for (std::size_t n = 0; n < tuples.size(); ++n) {
       tuples[n] -= o.tuples[n];
@@ -51,6 +58,9 @@ struct EngineCounters {
     messages -= o.messages;
     bytes_imported -= o.bytes_imported;
     bytes_written_back -= o.bytes_written_back;
+    cache_rebuilds -= o.cache_rebuilds;
+    cache_reuse_steps -= o.cache_reuse_steps;
+    cache_replayed -= o.cache_replayed;
     return *this;
   }
 
@@ -75,6 +85,9 @@ struct EngineCounters {
     messages += o.messages;
     bytes_imported += o.bytes_imported;
     bytes_written_back += o.bytes_written_back;
+    cache_rebuilds += o.cache_rebuilds;
+    cache_reuse_steps += o.cache_reuse_steps;
+    cache_replayed += o.cache_replayed;
     return *this;
   }
 

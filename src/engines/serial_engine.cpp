@@ -1,6 +1,7 @@
 #include "engines/serial_engine.hpp"
 
 #include "cell/domain.hpp"
+#include "engines/tuple_strategy.hpp"
 #include "support/error.hpp"
 
 namespace scmd {
@@ -12,9 +13,17 @@ SerialEngine::SerialEngine(ParticleSystem& sys, const ForceField& field,
       field_(field),
       strategy_(std::move(strategy)),
       config_(config),
-      integrator_(config.dt) {
+      integrator_(config.dt),
+      cache_(config.tuple_cache) {
   SCMD_REQUIRE(strategy_ != nullptr, "engine needs a strategy");
   SCMD_REQUIRE(config.num_threads >= 1, "need at least one thread");
+  if (config.tuple_cache.enabled) {
+    SCMD_REQUIRE(config.tuple_cache.skin >= 0.0,
+                 "tuple-cache skin must be non-negative");
+    tuple_strategy_ = dynamic_cast<const TupleStrategy*>(strategy_.get());
+    SCMD_REQUIRE(tuple_strategy_ != nullptr,
+                 "tuple_cache needs a pattern strategy (SC/FS/OC/RC)");
+  }
   strategy_->set_num_threads(config.num_threads);
   compute_forces();
 }
@@ -22,10 +31,23 @@ SerialEngine::SerialEngine(ParticleSystem& sys, const ForceField& field,
 void SerialEngine::compute_forces() {
   const obs::ThreadTraceGuard trace_guard(config_.trace, /*tid=*/0);
   SCMD_TRACE("force");
+  if (tuple_strategy_ != nullptr && cache_.valid() &&
+      !cache_.exceeds_skin(
+          cache_.max_displacement2(sys_.box(), sys_.positions()))) {
+    compute_forces_replay();
+    return;
+  }
+  cache_.invalidate();
+  compute_forces_full();
+}
+
+void SerialEngine::compute_forces_full() {
   sys_.zero_forces();
 
   // Per-n domains requested by the strategy, each on its own grid with
-  // cell side >= rcut(n).
+  // cell side >= rcut(n) — inflated by the skin when tuple caching, so
+  // the inflated enumeration stays covered by the cell walk.
+  const double skin = tuple_strategy_ != nullptr ? cache_.skin() : 0.0;
   DomainSet domains;
   ForceAccum accum;
   std::array<CellDomain, kMaxTupleLen + 1> dom_storage;
@@ -38,7 +60,8 @@ void SerialEngine::compute_forces() {
       const std::size_t ni = static_cast<std::size_t>(n);
       const double rcut =
           field_.rcut(n) > 0.0 ? field_.rcut(n) : field_.rcut(2);
-      const CellGrid grid(sys_.box(), strategy_->min_cell_size(n, rcut));
+      const CellGrid grid(sys_.box(),
+                          strategy_->min_cell_size(n, rcut + skin));
       // Periodic image uniqueness (an atom interacts with at most one
       // image of any other) requires at least 3 cells per axis.
       SCMD_REQUIRE(grid.dims().x >= 3 && grid.dims().y >= 3 &&
@@ -54,8 +77,14 @@ void SerialEngine::compute_forces() {
     }
   }
 
-  potential_energy_ =
-      strategy_->compute(field_, domains, accum, counters_);
+  if (tuple_strategy_ != nullptr) {
+    potential_energy_ = tuple_strategy_->compute_build(
+        field_, domains, cache_.skin(), cache_, accum, counters_);
+    cache_.mark_built(sys_.positions());
+  } else {
+    potential_energy_ =
+        strategy_->compute(field_, domains, accum, counters_);
+  }
 
   // Fold per-domain forces back to the owning atoms by global id; ghost
   // copies contribute to their primaries (serial write-back).
@@ -68,6 +97,45 @@ void SerialEngine::compute_forces() {
     const std::vector<Vec3>& f = f_storage[ni];
     for (std::size_t a = 0; a < f.size(); ++a) {
       sys_f[static_cast<std::size_t>(gids[a])] += f[a];
+    }
+  }
+}
+
+void SerialEngine::compute_forces_replay() {
+  sys_.zero_forces();
+  const auto pos = sys_.positions();
+  ForceAccum accum;
+  {
+    // Refresh the frozen slot tables in place of re-binning: each slot
+    // takes its source atom's current position, snapped to the periodic
+    // image nearest its previous value (ghost slots keep their shifted
+    // frame).
+    SCMD_TRACE("refresh");
+    for (int n = 2; n <= field_.max_n(); ++n) {
+      if (!strategy_->needs_grid(n)) continue;
+      const std::size_t ni = static_cast<std::size_t>(n);
+      TupleList& list = cache_.list(n);
+      list.refresh_positions(sys_.box(), [&](int ref) -> const Vec3& {
+        return pos[static_cast<std::size_t>(ref)];
+      });
+      replay_f_[ni].assign(static_cast<std::size_t>(list.num_slots()),
+                           Vec3{});
+      accum.f[ni] = &replay_f_[ni];
+    }
+  }
+
+  potential_energy_ =
+      tuple_strategy_->compute_replay(field_, cache_, accum, counters_);
+
+  SCMD_TRACE("fold");
+  const auto sys_f = sys_.forces();
+  for (int n = 2; n <= field_.max_n(); ++n) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    if (accum.f[ni] == nullptr) continue;
+    const auto refs = cache_.list(n).refs();
+    const std::vector<Vec3>& f = replay_f_[ni];
+    for (std::size_t a = 0; a < f.size(); ++a) {
+      sys_f[static_cast<std::size_t>(refs[a])] += f[a];
     }
   }
 }

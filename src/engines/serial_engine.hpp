@@ -9,15 +9,20 @@
 /// global id.  This is the reference implementation that the parallel
 /// engines are validated against.
 
+#include <array>
 #include <memory>
+#include <vector>
 
 #include "engines/strategy.hpp"
 #include "md/integrator.hpp"
 #include "md/system.hpp"
 #include "md/thermostat.hpp"
 #include "obs/trace.hpp"
+#include "tuples/tuple_list.hpp"
 
 namespace scmd {
+
+class TupleStrategy;
 
 /// Serial engine configuration.
 struct SerialEngineConfig {
@@ -27,6 +32,10 @@ struct SerialEngineConfig {
   /// Intra-process threads for tuple enumeration (pattern strategies
   /// split home-cell slabs; Hybrid ignores this).
   int num_threads = 1;
+  /// Persistent tuple lists (docs/TUPLECACHE.md): enumerate at
+  /// rcut + skin, replay until any atom drifts past skin/2.  Pattern
+  /// strategies (SC/FS/OC/RC) only.
+  TupleCacheConfig tuple_cache;
   /// Optional phase-span sink (binning / search per n / fold /
   /// integrate).  Null: tracing off, near-zero overhead.
   obs::TraceSession* trace = nullptr;
@@ -62,6 +71,11 @@ class SerialEngine {
   const ForceStrategy& strategy() const { return *strategy_; }
 
  private:
+  /// Full pipeline: bin, enumerate (recording tuples when caching), fold.
+  void compute_forces_full();
+  /// Cache-reuse pipeline: refresh slot positions, replay lists, fold.
+  void compute_forces_replay();
+
   ParticleSystem& sys_;
   const ForceField& field_;
   std::unique_ptr<ForceStrategy> strategy_;
@@ -69,6 +83,13 @@ class SerialEngine {
   VelocityVerlet integrator_;
   double potential_energy_ = 0.0;
   EngineCounters counters_;
+
+  /// Non-null iff tuple caching is on (downcast of strategy_).
+  const TupleStrategy* tuple_strategy_ = nullptr;
+  TupleListCache cache_;
+  /// Persistent per-n replay force storage (sized to the cached slot
+  /// tables; reused across steps).
+  std::array<std::vector<Vec3>, kMaxTupleLen + 1> replay_f_{};
 };
 
 }  // namespace scmd

@@ -9,6 +9,55 @@
 
 namespace scmd {
 
+namespace {
+
+/// Evaluate one accepted tuple against the field, accumulating forces
+/// into `fd` (indexed like `pos`/`type`).  Shared by the enumeration,
+/// build, and replay paths so the three agree on the eval kernel exactly.
+inline double eval_tuple(const ForceField& field, int n,
+                         std::span<const Vec3> pos, std::span<const int> type,
+                         const int* t, Vec3* fd) {
+  switch (n) {
+    case 2:
+      return field.eval_pair(type[t[0]], type[t[1]], pos[t[0]], pos[t[1]],
+                             fd[t[0]], fd[t[1]]);
+    case 3:
+      return field.eval_triplet(type[t[0]], type[t[1]], type[t[2]],
+                                pos[t[0]], pos[t[1]], pos[t[2]], fd[t[0]],
+                                fd[t[1]], fd[t[2]]);
+    case 4:
+      return field.eval_quad(type[t[0]], type[t[1]], type[t[2]], type[t[3]],
+                             pos[t[0]], pos[t[1]], pos[t[2]], pos[t[3]],
+                             fd[t[0]], fd[t[1]], fd[t[2]], fd[t[3]]);
+    default: {
+      // n >= 5: generic chain kernel.  Gather positions/types into
+      // chain-ordered scratch, scatter forces back.
+      std::array<int, kMaxTupleLen> ct{};
+      std::array<Vec3, kMaxTupleLen> cr{};
+      std::array<Vec3, kMaxTupleLen> cf{};
+      for (int k = 0; k < n; ++k) {
+        ct[static_cast<std::size_t>(k)] = type[t[k]];
+        cr[static_cast<std::size_t>(k)] = pos[t[k]];
+      }
+      const double e = field.eval_chain(n, ct.data(), cr.data(), cf.data());
+      for (int k = 0; k < n; ++k) fd[t[k]] += cf[static_cast<std::size_t>(k)];
+      return e;
+    }
+  }
+}
+
+/// Do all n-1 consecutive chain distances pass the exact cutoff?
+inline bool chain_within(std::span<const Vec3> pos, const int* t, int n,
+                         double rcut2) {
+  for (int k = 0; k + 1 < n; ++k) {
+    const Vec3 d = pos[t[k + 1]] - pos[t[k]];
+    if (d.norm2() >= rcut2) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 TupleStrategy::TupleStrategy(const ForceField& field, PatternKind kind,
                              bool measure_force_set, int reach,
                              bool shared_prefix)
@@ -102,6 +151,24 @@ void TupleStrategy::set_num_threads(int num_threads) {
   num_threads_ = num_threads;
 }
 
+std::vector<Vec3> TupleStrategy::ScratchPool::checkout(std::size_t size) {
+  std::vector<Vec3> buf;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  buf.assign(size, Vec3{});
+  return buf;
+}
+
+void TupleStrategy::ScratchPool::checkin(std::vector<Vec3>&& buf) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(buf));
+}
+
 template <class EvalFn>
 double TupleStrategy::run_term(const CellDomain& dom,
                                const CompiledPattern& cp, double rcut,
@@ -115,18 +182,15 @@ double TupleStrategy::run_term(const CellDomain& dom,
 
   if (threads <= 1) {
     double energy = 0.0;
-    std::uint64_t evals = 0;
+    EvalCtx ctx;
     TupleCounters tc;
     Vec3* fd = f.data();
     enumerate_tuples(
         shared_prefix_, dom, cp, rcut, 0, z_dim,
-        [&](std::span<const int> t) {
-          energy += eval(t, fd);
-          ++evals;
-        },
+        [&](std::span<const int> t) { energy += eval(t, fd, ctx); },
         &tc, cell_cost);
     counters.tuples[ni] += tc;
-    counters.evals[ni] += evals;
+    counters.evals[ni] += ctx.evals;
     return energy;
   }
 
@@ -137,7 +201,7 @@ double TupleStrategy::run_term(const CellDomain& dom,
     std::vector<Vec3> f;
     TupleCounters tc;
     double energy = 0.0;
-    std::uint64_t evals = 0;
+    EvalCtx ctx;
   };
   std::vector<Part> parts(static_cast<std::size_t>(threads));
   std::vector<std::thread> workers;
@@ -145,7 +209,8 @@ double TupleStrategy::run_term(const CellDomain& dom,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       Part& part = parts[static_cast<std::size_t>(t)];
-      part.f.assign(static_cast<std::size_t>(dom.num_atoms()), Vec3{});
+      part.ctx.part = t;
+      part.f = scratch_.checkout(static_cast<std::size_t>(dom.num_atoms()));
       const int z0 = t * z_dim / threads;
       const int z1 = (t + 1) * z_dim / threads;
       Vec3* fd = part.f.data();
@@ -154,8 +219,7 @@ double TupleStrategy::run_term(const CellDomain& dom,
       enumerate_tuples(
           shared_prefix_, dom, cp, rcut, z0, z1,
           [&](std::span<const int> tup) {
-            part.energy += eval(tup, fd);
-            ++part.evals;
+            part.energy += eval(tup, fd, part.ctx);
           },
           &part.tc, cell_cost);
     });
@@ -163,11 +227,15 @@ double TupleStrategy::run_term(const CellDomain& dom,
   for (std::thread& w : workers) w.join();
 
   double energy = 0.0;
-  for (const Part& part : parts) {
-    for (std::size_t i = 0; i < f.size(); ++i) f[i] += part.f[i];
+  for (Part& part : parts) {
+    // A part that evaluated nothing never touched its force buffer.
+    if (part.ctx.evals != 0) {
+      for (std::size_t i = 0; i < f.size(); ++i) f[i] += part.f[i];
+    }
     counters.tuples[ni] += part.tc;
-    counters.evals[ni] += part.evals;
+    counters.evals[ni] += part.ctx.evals;
     energy += part.energy;
+    scratch_.checkin(std::move(part.f));
   }
   return energy;
 }
@@ -201,55 +269,160 @@ double TupleStrategy::compute(const ForceField& field,
       cell_cost = forces.cell_cost[ni]->data();
     }
 
-    switch (n) {
-      case 2:
-        energy += run_term(
-            *dom, cp, field.rcut(2), *f, counters, 2, cell_cost,
-            [&](std::span<const int> t, Vec3* fd) {
-              return field.eval_pair(type[t[0]], type[t[1]], pos[t[0]],
-                                     pos[t[1]], fd[t[0]], fd[t[1]]);
-            });
-        break;
-      case 3:
-        energy += run_term(
-            *dom, cp, field.rcut(3), *f, counters, 3, cell_cost,
-            [&](std::span<const int> t, Vec3* fd) {
-              return field.eval_triplet(type[t[0]], type[t[1]], type[t[2]],
-                                        pos[t[0]], pos[t[1]], pos[t[2]],
-                                        fd[t[0]], fd[t[1]], fd[t[2]]);
-            });
-        break;
-      case 4:
-        energy += run_term(
-            *dom, cp, field.rcut(4), *f, counters, 4, cell_cost,
-            [&](std::span<const int> t, Vec3* fd) {
-              return field.eval_quad(type[t[0]], type[t[1]], type[t[2]],
-                                     type[t[3]], pos[t[0]], pos[t[1]],
-                                     pos[t[2]], pos[t[3]], fd[t[0]],
-                                     fd[t[1]], fd[t[2]], fd[t[3]]);
-            });
-        break;
-      default:
-        // n >= 5: generic chain kernel.  Gather positions/types into
-        // chain-ordered scratch, scatter forces back.
-        energy += run_term(
-            *dom, cp, field.rcut(n), *f, counters, n, cell_cost,
-            [&, n](std::span<const int> t, Vec3* fd) {
-              std::array<int, kMaxTupleLen> ct{};
-              std::array<Vec3, kMaxTupleLen> cr{};
-              std::array<Vec3, kMaxTupleLen> cf{};
-              for (int k = 0; k < n; ++k) {
-                ct[static_cast<std::size_t>(k)] = type[t[k]];
-                cr[static_cast<std::size_t>(k)] = pos[t[k]];
-              }
-              const double e =
-                  field.eval_chain(n, ct.data(), cr.data(), cf.data());
-              for (int k = 0; k < n; ++k)
-                fd[t[k]] += cf[static_cast<std::size_t>(k)];
-              return e;
-            });
-        break;
+    energy += run_term(
+        *dom, cp, field.rcut(n), *f, counters, n, cell_cost,
+        [&, n](std::span<const int> t, Vec3* fd, EvalCtx& ctx) {
+          ++ctx.evals;
+          return eval_tuple(field, n, pos, type, t.data(), fd);
+        });
+  }
+  return energy;
+}
+
+double TupleStrategy::compute_build(const ForceField& field,
+                                    const DomainSet& domains, double skin,
+                                    TupleListCache& cache, ForceAccum& forces,
+                                    EngineCounters& counters) const {
+  SCMD_REQUIRE(skin >= 0.0, "tuple-cache skin must be non-negative");
+  double energy = 0.0;
+  ++counters.cache_rebuilds;
+  for (int n = 2; n <= max_n_; ++n) {
+    if (!needs_grid(n)) continue;
+    SCMD_TRACE(obs::search_phase_name(n));
+    const std::size_t ni = static_cast<std::size_t>(n);
+    const CellDomain* dom = domains.dom[ni];
+    std::vector<Vec3>* f = forces.f[ni];
+    SCMD_REQUIRE(dom != nullptr && f != nullptr,
+                 "missing domain or force array for active n");
+    SCMD_REQUIRE(static_cast<int>(f->size()) == dom->num_atoms(),
+                 "force array size mismatch");
+    const CompiledPattern& cp = compiled_[ni];
+    const auto pos = dom->positions();
+    const auto type = dom->types();
+
+    if (measure_force_set_)
+      counters.force_set[ni] += force_set_size(*dom, cp);
+
+    std::uint64_t* cell_cost = nullptr;
+    if (forces.cell_cost[ni] != nullptr) {
+      SCMD_REQUIRE(static_cast<long long>(forces.cell_cost[ni]->size()) ==
+                       dom->owned_dims().volume(),
+                   "cell_cost array size mismatch");
+      cell_cost = forces.cell_cost[ni]->data();
     }
+
+    const double rcut = field.rcut(n);
+    const double rcut2 = rcut * rcut;
+    TupleList& list = cache.list(n);
+    list.reset(*dom, n);
+    // Per-part tuple recording, concatenated in part order below so the
+    // list layout is deterministic for a fixed thread count.
+    std::vector<std::vector<int>> rec(
+        static_cast<std::size_t>(num_threads_));
+
+    energy += run_term(
+        *dom, cp, rcut + skin, *f, counters, n, cell_cost,
+        [&, n](std::span<const int> t, Vec3* fd, EvalCtx& ctx) {
+          std::vector<int>& r = rec[static_cast<std::size_t>(ctx.part)];
+          r.insert(r.end(), t.begin(), t.end());
+          // The enumeration accepted at rcut + skin; only the exact-rcut
+          // subset contributes to this step's forces.
+          if (!chain_within(pos, t.data(), n, rcut2)) return 0.0;
+          ++ctx.evals;
+          return eval_tuple(field, n, pos, type, t.data(), fd);
+        });
+
+    for (const std::vector<int>& r : rec) list.append_flat(r);
+  }
+  return energy;
+}
+
+double TupleStrategy::compute_replay(const ForceField& field,
+                                     const TupleListCache& cache,
+                                     ForceAccum& forces,
+                                     EngineCounters& counters) const {
+  double energy = 0.0;
+  ++counters.cache_reuse_steps;
+  for (int n = 2; n <= max_n_; ++n) {
+    if (!needs_grid(n)) continue;
+    SCMD_TRACE(obs::replay_phase_name(n));
+    const std::size_t ni = static_cast<std::size_t>(n);
+    const TupleList& list = cache.list(n);
+    SCMD_REQUIRE(list.n() == n, "tuple cache has no list for this n");
+    std::vector<Vec3>* f = forces.f[ni];
+    SCMD_REQUIRE(f != nullptr &&
+                     static_cast<int>(f->size()) == list.num_slots(),
+                 "replay force array must match the cached slot table");
+    energy += replay_term(field, list, field.rcut(n), *f, counters, n);
+  }
+  return energy;
+}
+
+double TupleStrategy::replay_term(const ForceField& field,
+                                  const TupleList& list, double rcut,
+                                  std::vector<Vec3>& f,
+                                  EngineCounters& counters, int n) const {
+  const std::size_t ni = static_cast<std::size_t>(n);
+  const double rcut2 = rcut * rcut;
+  const long long count = list.num_tuples();
+  counters.cache_replayed += static_cast<std::uint64_t>(count);
+  const int* tuples = list.tuples().data();
+  const auto pos = list.positions();
+  const auto type = list.types();
+
+  auto scan = [&](long long begin, long long end, Vec3* fd,
+                  std::uint64_t& evals) {
+    double e = 0.0;
+    for (long long i = begin; i < end; ++i) {
+      const int* t = tuples + i * n;
+      if (!chain_within(pos, t, n, rcut2)) continue;
+      ++evals;
+      e += eval_tuple(field, n, pos, type, t, fd);
+    }
+    return e;
+  };
+
+  // Threaded replay over contiguous tuple blocks (same deterministic
+  // part-order reduce as the search path); short lists are not worth the
+  // thread spawns.
+  const int threads =
+      count >= 2048 ? std::min<int>(num_threads_,
+                                    static_cast<int>(count / 1024))
+                    : 1;
+  if (threads <= 1) {
+    std::uint64_t evals = 0;
+    const double energy = scan(0, count, f.data(), evals);
+    counters.evals[ni] += evals;
+    return energy;
+  }
+
+  struct Part {
+    std::vector<Vec3> f;
+    double energy = 0.0;
+    std::uint64_t evals = 0;
+  };
+  std::vector<Part> parts(static_cast<std::size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Part& part = parts[static_cast<std::size_t>(t)];
+      part.f = scratch_.checkout(f.size());
+      const long long b = count * t / threads;
+      const long long e = count * (t + 1) / threads;
+      part.energy = scan(b, e, part.f.data(), part.evals);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  double energy = 0.0;
+  for (Part& part : parts) {
+    if (part.evals != 0) {
+      for (std::size_t i = 0; i < f.size(); ++i) f[i] += part.f[i];
+    }
+    counters.evals[ni] += part.evals;
+    energy += part.energy;
+    scratch_.checkin(std::move(part.f));
   }
   return energy;
 }

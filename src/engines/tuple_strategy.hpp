@@ -4,8 +4,20 @@
 /// Pattern-based force strategy: UCP enumeration with either the
 /// shift-collapse (SC-MD) or full-shell (FS-MD) computation pattern for
 /// every n-body term of the field.
+///
+/// Besides the per-step enumeration (compute), the strategy implements
+/// the two halves of the persistent tuple-list cache
+/// (docs/TUPLECACHE.md): compute_build enumerates once at the inflated
+/// cutoff rcut + skin and records every accepted tuple into a
+/// TupleListCache while evaluating the exact-rcut subset; compute_replay
+/// re-evaluates the recorded lists with exact-rcut filtering and no
+/// search at all.
+
+#include <mutex>
+#include <vector>
 
 #include "engines/strategy.hpp"
+#include "tuples/tuple_list.hpp"
 #include "tuples/ucp.hpp"
 
 namespace scmd {
@@ -34,15 +46,62 @@ class TupleStrategy final : public ForceStrategy {
   double compute(const ForceField& field, const DomainSet& domains,
                  ForceAccum& forces, EngineCounters& counters) const override;
 
+  /// Tuple-cache build pass: enumerate every term at rcut(n) + skin,
+  /// record the accepted tuples into `cache` (lists are reset here), and
+  /// evaluate the subset whose consecutive pairs pass the exact rcut(n).
+  /// Domains must be binned on grids sized by min_cell_size(n,
+  /// rcut(n) + skin).  The caller marks the cache built (it owns the
+  /// displacement reference).
+  double compute_build(const ForceField& field, const DomainSet& domains,
+                       double skin, TupleListCache& cache, ForceAccum& forces,
+                       EngineCounters& counters) const;
+
+  /// Tuple-cache replay pass: re-evaluate the cached lists (slot
+  /// positions must be refreshed first) with exact-rcut filtering.
+  /// `forces.f[n]` must be sized to the list's slot count; threads split
+  /// contiguous tuple blocks.
+  double compute_replay(const ForceField& field, const TupleListCache& cache,
+                        ForceAccum& forces, EngineCounters& counters) const;
+
   /// The compiled pattern used for tuple length n (for tests/benches).
   const CompiledPattern& compiled(int n) const;
 
  private:
+  /// Per-thread context handed to eval callbacks: which enumeration part
+  /// this is (for per-thread recording) and how many force terms the
+  /// callback actually evaluated (run_term folds it into
+  /// counters.evals[n]; a part with zero evals has an untouched force
+  /// buffer, so its O(N) reduce is skipped).
+  struct EvalCtx {
+    int part = 0;
+    std::uint64_t evals = 0;
+  };
+
+  /// Mutex-guarded free list of force scratch buffers, reused across
+  /// calls so the threaded paths don't allocate num_atoms-sized arrays
+  /// every step.  The pool is shared across rank threads (the strategy
+  /// instance is); it is touched once per term per thread, never inside
+  /// tuple loops.
+  class ScratchPool {
+   public:
+    /// A zeroed buffer of `size` (recycled allocation when available).
+    std::vector<Vec3> checkout(std::size_t size);
+    void checkin(std::vector<Vec3>&& buf);
+
+   private:
+    std::mutex mu_;
+    std::vector<std::vector<Vec3>> free_;
+  };
+
   template <class EvalFn>
   double run_term(const CellDomain& dom, const CompiledPattern& cp,
                   double rcut, std::vector<Vec3>& f,
                   EngineCounters& counters, int n,
                   std::uint64_t* cell_cost, EvalFn&& eval) const;
+
+  double replay_term(const ForceField& field, const TupleList& list,
+                     double rcut, std::vector<Vec3>& f,
+                     EngineCounters& counters, int n) const;
 
   PatternKind kind_;
   bool measure_force_set_;
@@ -53,6 +112,7 @@ class TupleStrategy final : public ForceStrategy {
   std::array<bool, kMaxTupleLen + 1> active_{};
   std::array<CompiledPattern, kMaxTupleLen + 1> compiled_{};
   std::array<HaloSpec, kMaxTupleLen + 1> halo_{};
+  mutable ScratchPool scratch_;
 };
 
 }  // namespace scmd

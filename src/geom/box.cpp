@@ -36,6 +36,15 @@ Vec3 Box::min_image(const Vec3& a, const Vec3& b) const {
   return d;
 }
 
+Vec3 Box::image_near(const Vec3& src, const Vec3& ref) const {
+  Vec3 out = src;
+  for (int ax = 0; ax < 3; ++ax) {
+    const double L = lengths_[ax];
+    out[ax] += L * std::round((ref[ax] - src[ax]) / L);
+  }
+  return out;
+}
+
 std::ostream& operator<<(std::ostream& os, const Vec3& v) {
   return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
 }

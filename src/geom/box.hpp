@@ -38,6 +38,11 @@ class Box {
     return min_image(a, b).norm2();
   }
 
+  /// The periodic image of `src` nearest to `ref`: src + k*L per axis
+  /// with integer k.  Lets a consumer holding unwrapped (frame-shifted)
+  /// coordinates absorb a wrapped source position without a frame jump.
+  Vec3 image_near(const Vec3& src, const Vec3& ref) const;
+
   bool operator==(const Box&) const = default;
 
  private:

@@ -33,6 +33,10 @@ void record_step(MetricsRegistry& reg, const StepSample& sample) {
   reg.set("comm.messages", static_cast<double>(w.messages));
   reg.set("comm.bytes_in", static_cast<double>(w.bytes_imported));
   reg.set("comm.bytes_out", static_cast<double>(w.bytes_written_back));
+  reg.set("tuple_cache.rebuilds", static_cast<double>(w.cache_rebuilds));
+  reg.set("tuple_cache.reuse_steps",
+          static_cast<double>(w.cache_reuse_steps));
+  reg.set("tuple_cache.replayed", static_cast<double>(w.cache_replayed));
 }
 
 void record_rank_imbalance(MetricsRegistry& reg,

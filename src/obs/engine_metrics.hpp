@@ -29,7 +29,8 @@ struct StepSample {
 ///   search.steps.n{2..max_n}, search.visits.n{n}, search.accepted.n{n},
 ///   evals.n{n}, force_set.n{n},
 ///   list.pairs, list.scan_steps, search.total,
-///   comm.ghosts, comm.messages, comm.bytes_in, comm.bytes_out
+///   comm.ghosts, comm.messages, comm.bytes_in, comm.bytes_out,
+///   tuple_cache.rebuilds, tuple_cache.reuse_steps, tuple_cache.replayed
 /// Every name in the fixed range is always set (zero when inactive) so
 /// CSV headers are identical for every strategy.
 void record_step(MetricsRegistry& reg, const StepSample& sample);

@@ -90,4 +90,13 @@ const char* search_phase_name(int n) {
   return names[n - 2];
 }
 
+const char* replay_phase_name(int n) {
+  static const char* const names[] = {"replay.n2", "replay.n3", "replay.n4",
+                                      "replay.n5", "replay.n6", "replay.n7",
+                                      "replay.n8"};
+  if (n < 2) n = 2;
+  if (n > 8) n = 8;
+  return names[n - 2];
+}
+
 }  // namespace scmd::obs

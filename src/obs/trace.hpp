@@ -115,6 +115,12 @@ class TraceScope {
 /// clamped into [2, kMaxTupleLen].  Returns a static string.
 const char* search_phase_name(int n);
 
+/// Span names for per-n tuple-cache replay phases ("replay.n2" ..
+/// "replay.n8"); same clamping.  Replay spans take the place of search
+/// spans on cache-reuse steps, so a trace shows replay-vs-search time
+/// directly.
+const char* replay_phase_name(int n);
+
 }  // namespace scmd::obs
 
 // SCMD_TRACE(name): open a span named `name` (string literal) on the

@@ -29,6 +29,7 @@ struct MigrateWire {
 constexpr int kTagImportBase = 100;
 constexpr int kTagWritebackBase = 200;
 constexpr int kTagMigrateBase = 300;
+constexpr int kTagRefreshBase = 400;
 
 }  // namespace
 
@@ -86,16 +87,20 @@ HaloExchange::HaloExchange(
 
 void HaloExchange::validate_slabs() const {
   // One forwarding hop per axis: each rank must be able to serve its
-  // neighbors' reach from its own region.
+  // neighbors' reach from its own region.  The balance solver enforces
+  // this feasibility exactly in integer fine-lattice units; re-deriving
+  // the same boundary here in physical lengths can round a hair past an
+  // exactly-feasible cut, hence the tolerance.
   const ProcessGrid& pg = decomp_->pgrid();
   for (int r = 0; r < pg.num_ranks(); ++r) {
     const Vec3 len = decomp_->region_len(r);
     for (int a = 0; a < 3; ++a) {
+      const double tol = 1e-12 * (decomp_->box().length(a) + 1.0);
       const int down = pg.neighbor(r, a, -1);
       const int up = pg.neighbor(r, a, +1);
       const SlabSpec& sd = rank_slabs_[static_cast<std::size_t>(down)];
       const SlabSpec& su = rank_slabs_[static_cast<std::size_t>(up)];
-      SCMD_REQUIRE(sd.t_hi[a] <= len[a] && su.t_lo[a] <= len[a],
+      SCMD_REQUIRE(sd.t_hi[a] <= len[a] + tol && su.t_lo[a] <= len[a] + tol,
                    "halo slab thicker than a neighbor rank region: region "
                    "too thin for this cutoff/pattern");
     }
@@ -214,6 +219,37 @@ void HaloExchange::write_back(Comm& comm,
                  "write-back size mismatch with sent slab");
     for (std::size_t k = 0; k < in.size(); ++k)
       force[static_cast<std::size_t>(rec.sent[k])] += in[k];
+  }
+}
+
+void HaloExchange::refresh(Comm& comm,
+                           const std::vector<ImportStageRecord>& stages,
+                           RankState& state,
+                           EngineCounters& counters) const {
+  const Box& box = decomp_->box();
+  const int num_owned = state.num_owned();
+  for (const ImportStageRecord& rec : stages) {
+    std::vector<Vec3> out;
+    out.reserve(rec.sent.size());
+    // Frame does not matter on the wire: the receiver snaps to its own
+    // previous value.  Forwarded ghosts were refreshed by earlier stages
+    // of this loop, so multi-hop routes carry current positions.
+    for (const int i : rec.sent) out.push_back(state.combined_pos(i));
+    const int tag = kTagRefreshBase + rec.tag;
+    comm.send(rec.sent_to, tag, pack(out));
+    ++counters.messages;
+    counters.bytes_imported += out.size() * sizeof(Vec3);
+
+    const std::vector<Vec3> in =
+        unpack<Vec3>(comm.recv(rec.received_from, tag));
+    SCMD_REQUIRE(static_cast<int>(in.size()) == rec.recv_end - rec.recv_begin,
+                 "ghost refresh size mismatch with recorded stage");
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      Vec3& g = state.ghost_pos[static_cast<std::size_t>(
+          rec.recv_begin - num_owned) + k];
+      g = box.image_near(in[k], g);
+    }
+    counters.ghost_atoms_imported += in.size();
   }
 }
 

@@ -116,6 +116,19 @@ class HaloExchange {
                   RankState& state, std::vector<Vec3>& force,
                   EngineCounters& counters) const;
 
+  /// Positions-only re-import over a recorded stage sequence (the
+  /// tuple-cache reuse path, docs/TUPLECACHE.md): resend each stage's
+  /// exact atom selection and overwrite the matching ghost range in
+  /// place.  Each received position is snapped to the periodic image
+  /// nearest the ghost's previous value, which reproduces the original
+  /// wrap shift without re-deriving it — valid while atoms move much
+  /// less than half a box length between rebuilds, which the skin/2
+  /// retention criterion guarantees.  Stages replay in recorded order so
+  /// forwarded (multi-hop) ghosts pick up already-refreshed values.
+  /// Counters: messages, bytes_imported, ghost_atoms_imported.
+  void refresh(Comm& comm, const std::vector<ImportStageRecord>& stages,
+               RankState& state, EngineCounters& counters) const;
+
   int num_import_stages() const { return both_directions_ ? 6 : 3; }
 
   /// The slab thicknesses rank r imports (its own halo reach).

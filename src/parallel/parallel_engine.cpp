@@ -85,6 +85,7 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
         rc.dt = config.dt;
         rc.measure_force_set = config.measure_force_set;
         rc.collect_cell_costs = balancing;
+        rc.tuple_cache = config.tuple_cache;
         RankEngine engine(comm, decomp, field, *strategy, rc);
         std::unique_ptr<RankBalancer> balancer;
         if (balancing) {
@@ -169,6 +170,9 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
     }
     maxu(result.max_rank.list_pairs, c.list_pairs);
     maxu(result.max_rank.list_scan_steps, c.list_scan_steps);
+    maxu(result.max_rank.cache_rebuilds, c.cache_rebuilds);
+    maxu(result.max_rank.cache_reuse_steps, c.cache_reuse_steps);
+    maxu(result.max_rank.cache_replayed, c.cache_replayed);
     maxu(result.max_rank.ghost_atoms_imported, c.ghost_atoms_imported);
     maxu(result.max_rank.messages, c.messages);
     maxu(result.max_rank.bytes_imported, c.bytes_imported);

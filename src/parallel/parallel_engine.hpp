@@ -44,6 +44,11 @@ struct ParallelRunConfig {
   /// configuration expected) and per-cell cost collection is switched on.
   /// Null = balancing off.  See src/balance for implementations.
   std::function<std::unique_ptr<RankBalancer>(int rank)> make_balancer;
+
+  /// Persistent tuple lists (docs/TUPLECACHE.md), forwarded to every
+  /// rank engine.  Pattern strategies only; the reuse decision is
+  /// collective across ranks.
+  TupleCacheConfig tuple_cache;
 };
 
 /// Aggregated results of a parallel run.

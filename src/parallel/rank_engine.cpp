@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "engines/tuple_strategy.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -15,15 +16,28 @@ RankEngine::RankEngine(Comm& comm, const Decomposition& decomp,
       field_(field),
       strategy_(strategy),
       config_(config),
-      migrator_(decomp_) {
+      migrator_(decomp_),
+      cache_(config.tuple_cache) {
   SCMD_REQUIRE(config.dt > 0.0, "time step must be positive");
+  if (config.tuple_cache.enabled) {
+    SCMD_REQUIRE(config.tuple_cache.skin >= 0.0,
+                 "tuple-cache skin must be non-negative");
+    tuple_strategy_ = dynamic_cast<const TupleStrategy*>(&strategy);
+    SCMD_REQUIRE(tuple_strategy_ != nullptr,
+                 "tuple_cache needs a pattern strategy (SC/FS/OC/RC)");
+  }
 
+  // Cell side inflated by the skin when tuple caching: the inflated
+  // enumeration stays covered by the cell walk, and the physical halo
+  // slabs (derived from the grids below) grow with it, so ghosts cover
+  // rcut + skin and survive skin/2 of drift on either side.
+  const double skin = config.tuple_cache.enabled ? config.tuple_cache.skin : 0.0;
   for (int n = 2; n <= field.max_n(); ++n) {
     if (!strategy.needs_grid(n)) continue;
     const std::size_t ni = static_cast<std::size_t>(n);
     grid_active_[ni] = true;
     grids_[ni] =
-        decomp_.aligned_grid(strategy.min_cell_size(n, field.rcut(n)));
+        decomp_.aligned_grid(strategy.min_cell_size(n, field.rcut(n) + skin));
     grid_halos_.emplace_back(grids_[ni], strategy.halo(n));
   }
   rebuild_halo_exchange();
@@ -84,11 +98,13 @@ void RankEngine::apply_decomposition(const Decomposition& decomp) {
                "rebalance must keep the alignment process grid (cell "
                "grids are fixed for the run)");
   decomp_ = decomp;  // migrator_ observes the member, so it follows
+  cache_.invalidate();  // slot refs are tied to the old cuts
   rebuild_halo_exchange();
 }
 
 std::uint64_t RankEngine::settle_atoms() {
   state_.clear_ghosts();
+  cache_.invalidate();
   const std::uint64_t sent = migrator_.settle(comm_, state_);
   force_.assign(static_cast<std::size_t>(state_.num_owned()), Vec3{});
   return sent;
@@ -102,6 +118,7 @@ void RankEngine::reset_cell_costs() {
 
 void RankEngine::set_atoms(RankState state) {
   state_ = std::move(state);
+  cache_.invalidate();
   force_.assign(static_cast<std::size_t>(state_.num_owned()), Vec3{});
 }
 
@@ -188,6 +205,17 @@ void RankEngine::fold_forces(const ForceAccum& accum) {
 
 void RankEngine::compute_forces() {
   SCMD_TRACE("force");
+  // The collective reuse decision lives in step(); a valid cache here
+  // means every rank agreed to replay (or positions are unchanged since
+  // the build, for direct calls).
+  if (tuple_strategy_ != nullptr && cache_.valid()) {
+    compute_forces_replay();
+    return;
+  }
+  compute_forces_full();
+}
+
+void RankEngine::compute_forces_full() {
   state_.clear_ghosts();
   std::vector<ImportStageRecord> stages;
   {
@@ -211,7 +239,12 @@ void RankEngine::compute_forces() {
   }
 
   force_.assign(static_cast<std::size_t>(state_.num_total()), Vec3{});
-  potential_energy_ = strategy_.compute(field_, domains, accum, counters_);
+  if (tuple_strategy_ != nullptr) {
+    potential_energy_ = tuple_strategy_->compute_build(
+        field_, domains, cache_.skin(), cache_, accum, counters_);
+  } else {
+    potential_energy_ = strategy_.compute(field_, domains, accum, counters_);
+  }
   {
     SCMD_TRACE("fold");
     fold_forces(accum);
@@ -219,6 +252,58 @@ void RankEngine::compute_forces() {
 
   SCMD_TRACE("exchange.write_back");
   halo_exchange_->write_back(comm_, stages, state_, force_, counters_);
+
+  if (tuple_strategy_ != nullptr) {
+    cache_.mark_built({state_.pos.data(), state_.pos.size()});
+    cached_stages_ = std::move(stages);
+  }
+}
+
+void RankEngine::compute_forces_replay() {
+  {
+    SCMD_TRACE("exchange.refresh");
+    halo_exchange_->refresh(comm_, cached_stages_, state_, counters_);
+  }
+
+  ForceAccum accum;
+  {
+    // Refresh the frozen slot tables in place of re-binning: each slot
+    // takes its source atom's current position (owned or just-refreshed
+    // ghost), snapped to the periodic image nearest its previous value
+    // so the build-time frame survives box wrap-around.
+    SCMD_TRACE("refresh");
+    for (int n = 2; n <= field_.max_n(); ++n) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      if (!grid_active_[ni]) continue;
+      TupleList& list = cache_.list(n);
+      list.refresh_positions(decomp_.box(), [&](int ref) -> const Vec3& {
+        return state_.combined_pos(ref);
+      });
+      replay_f_[ni].assign(static_cast<std::size_t>(list.num_slots()),
+                           Vec3{});
+      accum.f[ni] = &replay_f_[ni];
+    }
+  }
+
+  force_.assign(static_cast<std::size_t>(state_.num_total()), Vec3{});
+  potential_energy_ =
+      tuple_strategy_->compute_replay(field_, cache_, accum, counters_);
+
+  {
+    SCMD_TRACE("fold");
+    for (int n = 2; n <= field_.max_n(); ++n) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      if (accum.f[ni] == nullptr) continue;
+      const auto refs = cache_.list(n).refs();
+      const std::vector<Vec3>& f = replay_f_[ni];
+      for (std::size_t a = 0; a < f.size(); ++a)
+        force_[static_cast<std::size_t>(refs[a])] += f[a];
+    }
+  }
+
+  SCMD_TRACE("exchange.write_back");
+  halo_exchange_->write_back(comm_, cached_stages_, state_, force_,
+                             counters_);
 }
 
 void RankEngine::step() {
@@ -236,15 +321,33 @@ void RankEngine::step() {
     }
   }
 
-  state_.clear_ghosts();
-  {
-    SCMD_TRACE("exchange.migrate");
-    migrator_.migrate(comm_, state_);
+  // Collective tuple-list retention decision (identical on every rank):
+  // replay while the global max displacement since the build stays
+  // within skin/2.  Decided before migration because reuse steps freeze
+  // ownership and ghost routes — migration and the balancer run only on
+  // rebuild steps (drift ≤ skin/2 is covered by the inflated halos, so
+  // the one-hop migration assumption still holds at the next rebuild).
+  bool reuse = false;
+  if (tuple_strategy_ != nullptr && cache_.valid()) {
+    const double d2 = cache_.max_displacement2(
+        decomp_.box(), {state_.pos.data(), state_.pos.size()});
+    reuse = !cache_.exceeds_skin(comm_.allreduce_max(d2));
+    if (!reuse) cache_.invalidate();
   }
 
-  if (balancer_ != nullptr) {
-    SCMD_TRACE("balance");
-    balancer_->on_step(comm_, *this);
+  if (reuse) {
+    if (balancer_ != nullptr) balancer_->on_cached_step();
+  } else {
+    state_.clear_ghosts();
+    {
+      SCMD_TRACE("exchange.migrate");
+      migrator_.migrate(comm_, state_);
+    }
+
+    if (balancer_ != nullptr) {
+      SCMD_TRACE("balance");
+      balancer_->on_step(comm_, *this);
+    }
   }
 
   compute_forces();

@@ -25,10 +25,12 @@
 
 #include "engines/strategy.hpp"
 #include "parallel/exchange.hpp"
+#include "tuples/tuple_list.hpp"
 
 namespace scmd {
 
 class RankEngine;
+class TupleStrategy;
 
 /// Per-step load-balance outcome, reported by a RankBalancer.
 struct BalanceStepInfo {
@@ -50,6 +52,13 @@ class RankBalancer {
   /// Collective call (every rank, every step, same order).
   virtual void on_step(Comm& comm, RankEngine& engine) = 0;
 
+  /// Called instead of on_step on tuple-cache reuse steps, where the
+  /// frozen tuple lists pin the decomposition and no rebalance may run.
+  /// Implementations must clear any per-step outcome so last_step() does
+  /// not replay a stale rebalance; step/interval counters should not
+  /// advance (intervals count rebuild steps).
+  virtual void on_cached_step() {}
+
   /// Outcome of the most recent on_step.
   virtual const BalanceStepInfo& last_step() const = 0;
 };
@@ -59,6 +68,11 @@ struct RankEngineConfig {
   double dt = 1.0;
   bool measure_force_set = false;  ///< forwarded to strategy construction
   bool collect_cell_costs = false;  ///< accumulate per-cell search work
+  /// Persistent tuple lists (docs/TUPLECACHE.md): enumerate at
+  /// rcut + skin, replay until the *global* max displacement exceeds
+  /// skin/2 (collective decision).  Pattern strategies (SC/FS/OC/RC)
+  /// only; reuse steps skip migration and the balancer.
+  TupleCacheConfig tuple_cache;
 };
 
 /// One rank's engine state and step logic.
@@ -138,6 +152,12 @@ class RankEngine {
   void build_domains();
   void fold_forces(const ForceAccum& accum);
   void rebuild_halo_exchange();
+  /// Full pipeline: import ghosts, bin, enumerate (recording tuples when
+  /// caching), fold, write back.
+  void compute_forces_full();
+  /// Cache-reuse pipeline: refresh ghost positions over the recorded
+  /// import stages, refresh slot tables, replay lists, fold, write back.
+  void compute_forces_replay();
 
   Comm& comm_;
   Decomposition decomp_;
@@ -161,6 +181,16 @@ class RankEngine {
 
   double potential_energy_ = 0.0;
   EngineCounters counters_;
+
+  /// Non-null iff tuple caching is on (downcast of strategy_).
+  const TupleStrategy* tuple_strategy_ = nullptr;
+  TupleListCache cache_;
+  /// Import stages of the last rebuild, kept for ghost refresh and force
+  /// write-back on reuse steps.
+  std::vector<ImportStageRecord> cached_stages_;
+  /// Persistent per-n replay force storage (sized to the cached slot
+  /// tables; reused across steps).
+  std::array<std::vector<Vec3>, kMaxTupleLen + 1> replay_f_{};
 };
 
 }  // namespace scmd

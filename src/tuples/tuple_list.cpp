@@ -1,0 +1,45 @@
+#include "tuples/tuple_list.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+void TupleList::reset(const CellDomain& dom, int n) {
+  SCMD_REQUIRE(n >= 2 && n <= kMaxTupleLen, "tuple length out of range");
+  n_ = n;
+  tuples_.clear();
+  const auto pos = dom.positions();
+  const auto type = dom.types();
+  const auto ref = dom.local_refs();
+  pos_.assign(pos.begin(), pos.end());
+  type_.assign(type.begin(), type.end());
+  ref_.assign(ref.begin(), ref.end());
+}
+
+void TupleList::append_flat(const std::vector<int>& flat) {
+  SCMD_REQUIRE(n_ > 0 && flat.size() % static_cast<std::size_t>(n_) == 0,
+               "flat tuple block length must be a multiple of n");
+  tuples_.insert(tuples_.end(), flat.begin(), flat.end());
+}
+
+void TupleListCache::mark_built(std::span<const Vec3> owned_pos) {
+  ref_pos_.assign(owned_pos.begin(), owned_pos.end());
+  valid_ = true;
+}
+
+double TupleListCache::max_displacement2(
+    const Box& box, std::span<const Vec3> owned_pos) const {
+  SCMD_REQUIRE(owned_pos.size() == ref_pos_.size(),
+               "displacement check needs the same atom set as the build");
+  double max_d2 = 0.0;
+  for (std::size_t i = 0; i < owned_pos.size(); ++i) {
+    // Owned positions stay wrapped, so they can jump by a box length at
+    // the periodic boundary; min-image recovers the true displacement.
+    max_d2 = std::max(max_d2, box.dist2(owned_pos[i], ref_pos_[i]));
+  }
+  return max_d2;
+}
+
+}  // namespace scmd

@@ -1,0 +1,160 @@
+// Persistent tuple lists end to end in the serial engine
+// (docs/TUPLECACHE.md): a cached run must be physically indistinguishable
+// from an uncached one across multiple rebuild events — same energies,
+// same forces, same evaluated tuple sets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+ParticleSystem silica_system() {
+  Rng rng(310);
+  return make_silica(648, 2.2, 400.0, rng);
+}
+
+class TupleCacheTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TupleCacheTest, CachedRunMatchesUncachedAcrossRebuilds) {
+  const std::string strategy = GetParam();
+  const VashishtaSiO2 field;
+  const ParticleSystem initial = silica_system();
+  const double dt = 0.5 * units::kFemtosecond;
+  const int steps = 50;
+
+  ParticleSystem plain_sys = initial;
+  SerialEngineConfig plain_cfg;
+  plain_cfg.dt = dt;
+  SerialEngine plain(plain_sys, field, make_strategy(strategy, field),
+                     plain_cfg);
+
+  ParticleSystem cached_sys = initial;
+  SerialEngineConfig cached_cfg;
+  cached_cfg.dt = dt;
+  cached_cfg.tuple_cache.enabled = true;
+  // Narrow skin so the 50-step window spans several rebuilds while still
+  // replaying most steps.
+  cached_cfg.tuple_cache.skin = 0.12;
+  SerialEngine cached(cached_sys, field, make_strategy(strategy, field),
+                      cached_cfg);
+
+  for (int s = 0; s < steps; ++s) {
+    plain.step();
+    cached.step();
+    ASSERT_NEAR(cached.potential_energy(), plain.potential_energy(),
+                1e-8 * std::abs(plain.potential_energy()) + 1e-8)
+        << strategy << " step " << s;
+  }
+
+  // The window must have exercised the full life cycle: the priming
+  // build, >= 2 displacement-triggered rebuilds, and plenty of replays.
+  const EngineCounters& c = cached.counters();
+  EXPECT_GE(c.cache_rebuilds, 3u);
+  EXPECT_GE(c.cache_reuse_steps, 10u);
+  EXPECT_GT(c.cache_replayed, 0u);
+  EXPECT_EQ(plain.counters().cache_rebuilds, 0u);
+
+  // Same physics: replay filtering must evaluate the same tuples the
+  // uncached enumeration finds.  Trajectory noise lets a tuple sitting
+  // numerically on the cutoff flip, hence the hair of slack.
+  for (int n = 2; n <= field.max_n(); ++n) {
+    const std::size_t ni = static_cast<std::size_t>(n);
+    const double expected = static_cast<double>(plain.counters().evals[ni]);
+    EXPECT_NEAR(static_cast<double>(c.evals[ni]), expected,
+                1e-6 * expected + 2.0)
+        << "n=" << n;
+  }
+
+  for (int i = 0; i < cached_sys.num_atoms(); ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    EXPECT_NEAR(cached_sys.positions()[i].x, plain_sys.positions()[i].x,
+                1e-8)
+        << i;
+    EXPECT_NEAR(cached_sys.positions()[i].y, plain_sys.positions()[i].y,
+                1e-8)
+        << i;
+    EXPECT_NEAR(cached_sys.positions()[i].z, plain_sys.positions()[i].z,
+                1e-8)
+        << i;
+    EXPECT_NEAR(cached_sys.forces()[ii].x, plain_sys.forces()[ii].x, 1e-7)
+        << i;
+    EXPECT_NEAR(cached_sys.forces()[ii].y, plain_sys.forces()[ii].y, 1e-7)
+        << i;
+    EXPECT_NEAR(cached_sys.forces()[ii].z, plain_sys.forces()[ii].z, 1e-7)
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TupleCacheTest,
+                         ::testing::Values("SC", "FS"),
+                         [](const ::testing::TestParamInfo<std::string>& p) {
+                           return p.param;
+                         });
+
+TEST(TupleCacheDegenerateTest, ZeroSkinRebuildsEveryStep) {
+  const VashishtaSiO2 field;
+  ParticleSystem sys = silica_system();
+  SerialEngineConfig cfg;
+  cfg.dt = 0.5 * units::kFemtosecond;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = 0.0;
+  SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+  for (int s = 0; s < 5; ++s) engine.step();
+  // Priming build + one rebuild per step; nothing ever replayed.
+  EXPECT_EQ(engine.counters().cache_rebuilds, 6u);
+  EXPECT_EQ(engine.counters().cache_reuse_steps, 0u);
+  EXPECT_EQ(engine.counters().cache_replayed, 0u);
+}
+
+TEST(TupleCacheDegenerateTest, CacheThreadsMatchSingleThread) {
+  // Replay threading must not change physics: same run, 1 vs 4 threads.
+  const VashishtaSiO2 field;
+  const ParticleSystem initial = silica_system();
+  auto run = [&](int threads) {
+    ParticleSystem sys = initial;
+    SerialEngineConfig cfg;
+    cfg.dt = 0.5 * units::kFemtosecond;
+    cfg.num_threads = threads;
+    cfg.tuple_cache.enabled = true;
+    cfg.tuple_cache.skin = 0.3;
+    SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+    for (int s = 0; s < 10; ++s) engine.step();
+    return engine.potential_energy();
+  };
+  const double e1 = run(1);
+  const double e4 = run(4);
+  EXPECT_NEAR(e4, e1, 1e-9 * std::abs(e1) + 1e-9);
+}
+
+TEST(TupleCacheDegenerateTest, HybridStrategyRejected) {
+  const VashishtaSiO2 field;
+  ParticleSystem sys = silica_system();
+  SerialEngineConfig cfg;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = 0.3;
+  EXPECT_THROW(SerialEngine(sys, field, make_strategy("Hybrid", field), cfg),
+               Error);
+}
+
+TEST(TupleCacheDegenerateTest, NegativeSkinRejected) {
+  const VashishtaSiO2 field;
+  ParticleSystem sys = silica_system();
+  SerialEngineConfig cfg;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = -0.1;
+  EXPECT_THROW(SerialEngine(sys, field, make_strategy("SC", field), cfg),
+               Error);
+}
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,158 @@
+// Persistent tuple lists under message passing (docs/TUPLECACHE.md): the
+// 8-rank cached run — collective reuse decision, ghost position refresh
+// over the recorded import stages, frozen slot tables per rank — must
+// reproduce the serial engine, including across a load-balance re-cut
+// (apply_decomposition forces a rebuild).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "balance/rebalancer.hpp"
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+struct Reference {
+  double energy;
+  std::vector<Vec3> pos, force;
+};
+
+Reference serial_reference(const ParticleSystem& initial,
+                           const ForceField& field,
+                           const std::string& strategy, double dt,
+                           int steps) {
+  ParticleSystem sys = initial;
+  SerialEngineConfig cfg;
+  cfg.dt = dt;
+  SerialEngine engine(sys, field, make_strategy(strategy, field), cfg);
+  for (int s = 0; s < steps; ++s) engine.step();
+  Reference ref;
+  ref.energy = engine.potential_energy();
+  ref.pos.assign(sys.positions().begin(), sys.positions().end());
+  ref.force.assign(sys.forces().begin(), sys.forces().end());
+  return ref;
+}
+
+void expect_matches(const ParticleSystem& sys, const Reference& ref,
+                    double energy, const char* label) {
+  EXPECT_NEAR(energy, ref.energy, 1e-8 * std::abs(ref.energy) + 1e-8)
+      << label;
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    EXPECT_NEAR(sys.positions()[i].x, ref.pos[ii].x, 1e-8) << label << i;
+    EXPECT_NEAR(sys.positions()[i].y, ref.pos[ii].y, 1e-8) << label << i;
+    EXPECT_NEAR(sys.positions()[i].z, ref.pos[ii].z, 1e-8) << label << i;
+    EXPECT_NEAR(sys.forces()[i].x, ref.force[ii].x, 1e-7) << label << i;
+    EXPECT_NEAR(sys.forces()[i].y, ref.force[ii].y, 1e-7) << label << i;
+    EXPECT_NEAR(sys.forces()[i].z, ref.force[ii].z, 1e-7) << label << i;
+  }
+}
+
+class ParallelCacheTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelCacheTest, EightRankCachedRunMatchesSerial) {
+  const std::string strategy = GetParam();
+  Rng rng(320);
+  const ParticleSystem initial = make_silica(2400, 2.2, 400.0, rng);
+  const VashishtaSiO2 field;
+  const double dt = 1.0 * units::kFemtosecond;
+  const int steps = 6;
+
+  const Reference ref =
+      serial_reference(initial, field, strategy, dt, steps);
+
+  ParticleSystem sys = initial;
+  ParallelRunConfig cfg;
+  cfg.dt = dt;
+  cfg.num_steps = steps;
+  cfg.tuple_cache.enabled = true;
+  // Narrow skin: the 6-step window spans at least one mid-run rebuild
+  // while still replaying on the steps in between.
+  cfg.tuple_cache.skin = 0.05;
+  const ParallelRunResult res =
+      run_parallel_md(sys, field, strategy, ProcessGrid({2, 2, 2}), cfg);
+
+  // The decision is collective, so per-rank counts agree and the max
+  // over ranks is the cluster-wide event count.
+  EXPECT_GE(res.max_rank.cache_rebuilds, 2u);
+  EXPECT_GE(res.max_rank.cache_reuse_steps, 1u);
+  EXPECT_GT(res.total.cache_replayed, 0u);
+
+  expect_matches(sys, ref, res.potential_energy, "atom ");
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ParallelCacheTest,
+                         ::testing::Values("SC", "FS"),
+                         [](const ::testing::TestParamInfo<std::string>& p) {
+                           return p.param;
+                         });
+
+TEST(ParallelCacheTest, CachedRunSurvivesLoadBalanceRecut) {
+  Rng rng(321);
+  const ParticleSystem initial = make_silica(2400, 2.2, 400.0, rng);
+  const VashishtaSiO2 field;
+  const double dt = 1.0 * units::kFemtosecond;
+  const int steps = 6;
+
+  const Reference ref = serial_reference(initial, field, "SC", dt, steps);
+
+  ParticleSystem sys = initial;
+  ParallelRunConfig cfg;
+  cfg.dt = dt;
+  cfg.num_steps = steps;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = 0.05;
+  BalanceConfig bc;
+  // Re-cut on every rebuild step (cache reuse freezes the cuts, so the
+  // balancer only runs when the lists rebuild anyway).
+  bc.mode = BalanceConfig::Mode::kEvery;
+  bc.every = 1;
+  cfg.make_balancer = make_rebalancer_factory(bc);
+  const ParallelRunResult res =
+      run_parallel_md(sys, field, "SC", ProcessGrid({2, 2, 2}), cfg);
+
+  // The run must have re-cut at least once AND replayed at least once
+  // after a re-cut-induced rebuild.
+  EXPECT_GE(res.rebalances, 1);
+  EXPECT_GE(res.max_rank.cache_rebuilds, 2u);
+  EXPECT_GE(res.max_rank.cache_reuse_steps, 1u);
+
+  expect_matches(sys, ref, res.potential_energy, "atom ");
+}
+
+TEST(ParallelCacheTest, ZeroSkinMatchesUncachedCounters) {
+  Rng rng(322);
+  const ParticleSystem initial = make_silica(2400, 2.2, 400.0, rng);
+  const VashishtaSiO2 field;
+  const double dt = 1.0 * units::kFemtosecond;
+  const int steps = 3;
+
+  const Reference ref = serial_reference(initial, field, "SC", dt, steps);
+
+  ParticleSystem sys = initial;
+  ParallelRunConfig cfg;
+  cfg.dt = dt;
+  cfg.num_steps = steps;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = 0.0;
+  const ParallelRunResult res =
+      run_parallel_md(sys, field, "SC", ProcessGrid({2, 2, 2}), cfg);
+
+  EXPECT_EQ(res.max_rank.cache_rebuilds,
+            static_cast<std::uint64_t>(steps) + 1);
+  EXPECT_EQ(res.max_rank.cache_reuse_steps, 0u);
+
+  expect_matches(sys, ref, res.potential_energy, "atom ");
+}
+
+}  // namespace
+}  // namespace scmd

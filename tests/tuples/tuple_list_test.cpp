@@ -1,0 +1,139 @@
+// Unit coverage for the persistent tuple-list building blocks
+// (docs/TUPLECACHE.md): periodic image snapping, frozen slot tables, and
+// the Verlet-skin retention state machine.
+
+#include "tuples/tuple_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cell/domain.hpp"
+#include "geom/box.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+TEST(ImageNearTest, PicksThePeriodicImageNearestTheReference) {
+  const Box box = Box::cubic(10.0);
+  // Same image: unchanged.
+  Vec3 r = box.image_near({1.0, 2.0, 3.0}, {1.2, 2.2, 3.2});
+  EXPECT_NEAR(r.x, 1.0, 1e-12);
+  EXPECT_NEAR(r.y, 2.0, 1e-12);
+  EXPECT_NEAR(r.z, 3.0, 1e-12);
+  // An atom that wrapped below zero: wrapped value 9.9, previous frame
+  // value near 0 -> the nearest image is -0.1.
+  r = box.image_near({9.9, 5.0, 5.0}, {0.05, 5.0, 5.0});
+  EXPECT_NEAR(r.x, -0.1, 1e-12);
+  // A ghost slot in a +L shifted frame keeps that frame.
+  r = box.image_near({0.3, 5.0, 5.0}, {10.2, 5.0, 5.0});
+  EXPECT_NEAR(r.x, 10.3, 1e-12);
+}
+
+CellDomain tiny_domain(const Box& box, const std::vector<Vec3>& pos,
+                       const std::vector<int>& type) {
+  const CellGrid grid(box, 3.0);
+  return make_serial_domain(grid, HaloSpec{{1, 1, 1}, {1, 1, 1}}, pos, type);
+}
+
+TEST(TupleListTest, ResetFreezesTheDomainTable) {
+  const Box box = Box::cubic(9.0);
+  const std::vector<Vec3> pos{{1, 1, 1}, {2, 2, 2}, {8, 8, 8}};
+  const std::vector<int> type{0, 1, 0};
+  const CellDomain dom = tiny_domain(box, pos, type);
+
+  TupleList list;
+  list.reset(dom, 3);
+  EXPECT_EQ(list.n(), 3);
+  EXPECT_EQ(list.num_slots(), dom.num_atoms());
+  EXPECT_EQ(list.num_tuples(), 0);
+  for (int s = 0; s < list.num_slots(); ++s) {
+    const std::size_t si = static_cast<std::size_t>(s);
+    EXPECT_EQ(list.types()[si], dom.types()[si]);
+    EXPECT_EQ(list.refs()[si], dom.local_refs()[si]);
+    EXPECT_NEAR(list.positions()[si].x, dom.positions()[si].x, 0.0);
+  }
+
+  list.append_flat({0, 1, 2, 2, 1, 0});
+  EXPECT_EQ(list.num_tuples(), 2);
+  EXPECT_EQ(list.tuples()[3], 2);
+  // Flat length must be a multiple of n.
+  EXPECT_THROW(list.append_flat({0, 1}), Error);
+}
+
+TEST(TupleListTest, RefreshKeepsEachSlotInItsBuildFrame) {
+  const Box box = Box::cubic(9.0);
+  // One atom near the lower x face: the serial domain holds its primary
+  // copy plus periodic ghost copies in shifted frames.
+  const std::vector<Vec3> pos{{0.1, 4.5, 4.5}};
+  const std::vector<int> type{0};
+  const CellDomain dom = tiny_domain(box, pos, type);
+
+  TupleList list;
+  list.reset(dom, 2);
+  const std::vector<Vec3> before(list.positions().begin(),
+                                 list.positions().end());
+
+  // The source atom drifts across the boundary and re-wraps to 8.95.
+  const Vec3 moved{8.95, 4.6, 4.5};
+  list.refresh_positions(box, [&](int ref) -> const Vec3& {
+    EXPECT_EQ(ref, 0);
+    return moved;
+  });
+
+  // Every slot (primary and ghosts alike) must move by the physical
+  // displacement (-0.15, +0.1, 0), not jump by a box length.
+  for (int s = 0; s < list.num_slots(); ++s) {
+    const std::size_t si = static_cast<std::size_t>(s);
+    EXPECT_NEAR(list.positions()[si].x - before[si].x, -0.15, 1e-12) << s;
+    EXPECT_NEAR(list.positions()[si].y - before[si].y, 0.1, 1e-12) << s;
+    EXPECT_NEAR(list.positions()[si].z - before[si].z, 0.0, 1e-12) << s;
+  }
+}
+
+TEST(TupleListCacheTest, DisplacementTriggerUsesMinimumImage) {
+  TupleCacheConfig cfg;
+  cfg.enabled = true;
+  cfg.skin = 1.0;
+  TupleListCache cache(cfg);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.valid());
+
+  const Box box = Box::cubic(10.0);
+  std::vector<Vec3> pos{{0.2, 0.0, 0.0}, {5.0, 5.0, 5.0}};
+  cache.mark_built({pos.data(), pos.size()});
+  EXPECT_TRUE(cache.valid());
+  EXPECT_EQ(cache.max_displacement2(box, {pos.data(), pos.size()}), 0.0);
+
+  // 0.2 -> 9.9 wrapped: the min-image displacement is 0.3, not 9.7.
+  pos[0].x = 9.9;
+  const double d2 = cache.max_displacement2(box, {pos.data(), pos.size()});
+  EXPECT_NEAR(d2, 0.09, 1e-12);
+  EXPECT_FALSE(cache.exceeds_skin(d2));  // skin/2 = 0.5
+
+  pos[1].y += 0.51;
+  EXPECT_TRUE(cache.exceeds_skin(
+      cache.max_displacement2(box, {pos.data(), pos.size()})));
+
+  cache.invalidate();
+  EXPECT_FALSE(cache.valid());
+
+  // A different atom count means the snapshot is stale: loud failure.
+  pos.push_back({1.0, 1.0, 1.0});
+  EXPECT_THROW(cache.max_displacement2(box, {pos.data(), pos.size()}),
+               Error);
+}
+
+TEST(TupleListCacheTest, ZeroSkinRetainsNothing) {
+  TupleCacheConfig cfg;
+  cfg.enabled = true;
+  cfg.skin = 0.0;
+  TupleListCache cache(cfg);
+  EXPECT_FALSE(cache.exceeds_skin(0.0));
+  EXPECT_TRUE(cache.exceeds_skin(1e-30));
+}
+
+}  // namespace
+}  // namespace scmd

@@ -8,11 +8,16 @@ trace_event document with properly nested spans.
 Usage:
     validate_obs.py [--metrics m.jsonl] [--trace t.json]
                     [--require-metrics name1,name2,...]
-                    [--min-steps N] [--expect-balance]
+                    [--min-steps N] [--expect-balance] [--expect-cache]
 
 --expect-balance asserts the dynamic load-balancing schema: every metrics
 record carries the balance.* gauges, at least one record observed a
 rebalance, and the trace (when given) contains the per-step balance span.
+
+--expect-cache asserts the persistent-tuple-list schema: every metrics
+record carries the tuple_cache.* gauges, the run observed at least one
+rebuild AND at least one reuse step, and the trace (when given) contains
+a replay.* span.
 
 Exits non-zero (with a message on stderr) on the first violation.
 """
@@ -30,11 +35,19 @@ def fail(msg):
 BALANCE_METRICS = ("balance.ratio", "balance.rebalanced",
                    "balance.predicted_ratio", "balance.migrated_atoms")
 
+CACHE_METRICS = ("tuple_cache.rebuilds", "tuple_cache.reuse_steps",
+                 "tuple_cache.replayed")
 
-def validate_metrics(path, require_metrics, min_steps, expect_balance=False):
+
+def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
+                     expect_cache=False):
     if expect_balance:
         require_metrics = list(require_metrics) + list(BALANCE_METRICS)
+    if expect_cache:
+        require_metrics = list(require_metrics) + list(CACHE_METRICS)
     rebalances = 0
+    cache_rebuilds = 0
+    cache_reuses = 0
     steps = []
     series = {}  # attrs tuple -> step list (one series per strategy/platform)
     with open(path, "r", encoding="utf-8") as f:
@@ -67,11 +80,17 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False):
                     fail(f"{path}:{line_no}: hist {hname!r} counts don't sum")
             if rec["metrics"].get("balance.rebalanced"):
                 rebalances += 1
+            cache_rebuilds += rec["metrics"].get("tuple_cache.rebuilds") or 0
+            cache_reuses += rec["metrics"].get("tuple_cache.reuse_steps") or 0
             steps.append(rec["step"])
             key = tuple(sorted(rec.get("attrs", {}).items()))
             series.setdefault(key, []).append(rec["step"])
     if expect_balance and rebalances == 0:
         fail(f"{path}: --expect-balance, but no record observed a rebalance")
+    if expect_cache and cache_rebuilds == 0:
+        fail(f"{path}: --expect-cache, but no record observed a rebuild")
+    if expect_cache and cache_reuses == 0:
+        fail(f"{path}: --expect-cache, but no record observed a reuse step")
     if len(steps) < min_steps:
         fail(f"{path}: only {len(steps)} records, expected >= {min_steps}")
     # Steps must be non-decreasing within each series (attrs identify the
@@ -83,7 +102,8 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False):
           f"{len(series)} series, steps {min(steps)}..{max(steps)})")
 
 
-def validate_trace(path, min_spans=1, expect_balance=False):
+def validate_trace(path, min_spans=1, expect_balance=False,
+                   expect_cache=False):
     with open(path, "r", encoding="utf-8") as f:
         try:
             doc = json.load(f)
@@ -123,6 +143,8 @@ def validate_trace(path, min_spans=1, expect_balance=False):
     names = sorted({e["name"] for e in events})
     if expect_balance and "balance" not in names:
         fail(f"{path}: --expect-balance, but no 'balance' span present")
+    if expect_cache and not any(n.startswith("replay") for n in names):
+        fail(f"{path}: --expect-cache, but no 'replay.*' span present")
     print(f"validate_obs: {path}: OK ({len(events)} spans, "
           f"{len(lanes)} lane(s), phases: {', '.join(names)})")
 
@@ -138,15 +160,20 @@ def main():
     ap.add_argument("--expect-balance", action="store_true",
                     help="require balance.* metrics, >= 1 rebalance, and "
                          "the balance trace span")
+    ap.add_argument("--expect-cache", action="store_true",
+                    help="require tuple_cache.* metrics, >= 1 rebuild and "
+                         ">= 1 reuse step, and a replay.* trace span")
     args = ap.parse_args()
     if not args.metrics and not args.trace:
         fail("nothing to validate: pass --metrics and/or --trace")
     require = [n for n in args.require_metrics.split(",") if n]
     if args.metrics:
         validate_metrics(args.metrics, require, args.min_steps,
-                         expect_balance=args.expect_balance)
+                         expect_balance=args.expect_balance,
+                         expect_cache=args.expect_cache)
     if args.trace:
-        validate_trace(args.trace, expect_balance=args.expect_balance)
+        validate_trace(args.trace, expect_balance=args.expect_balance,
+                       expect_cache=args.expect_cache)
 
 
 if __name__ == "__main__":
