@@ -39,6 +39,13 @@
 //                    cached lists with exact-rcut filtering until any
 //                    atom drifts farther than s/2 (docs/TUPLECACHE.md;
 //                    pattern strategies SC/FS/OC/RC only)
+//   check            off (default) | on — runtime invariant checker
+//                    (docs/CHECKING.md): assert force balance, exactly-
+//                    once tuple ownership, ghost/home consistency, and
+//                    replay parity at phase boundaries; any violation
+//                    aborts the run.  Needs the SCMD_CHECK build option
+//                    (on by default); the SCMD_CHECK=1 environment
+//                    variable enables it too.
 //   log_every        table row cadence (default 10)
 //   traj             extended-XYZ output path
 //   checkpoint_in    resume from a checkpoint instead of building
@@ -59,6 +66,7 @@
 #include <vector>
 
 #include "balance/rebalancer.hpp"
+#include "check/invariant.hpp"
 #include "engines/observables.hpp"
 #include "engines/serial_engine.hpp"
 #include "io/checkpoint.hpp"
@@ -145,7 +153,7 @@ int run(const std::string& path,
                      "measure_pressure", "metrics_out", "metrics_every",
                      "trace_out", "measure_force_set", "dense_fraction",
                      "balance", "balance_threshold",
-                     "balance_min_interval", "tuple_cache"});
+                     "balance_min_interval", "tuple_cache", "check"});
   SCMD_REQUIRE(cfg.has("field"), "config must set `field`");
 
   const std::string field_name = cfg.get("field", "");
@@ -181,6 +189,29 @@ int run(const std::string& path,
   // defaults to on whenever metrics are requested.
   const bool measure_fs =
       cfg.get_bool("measure_force_set", metrics != nullptr);
+
+  // Runtime invariant checker: `check=on` in the config, or SCMD_CHECK=1
+  // in the environment.  Violations abort with a structured report.
+  bool checking = false;
+  {
+    const std::string ck = cfg.get("check", "off");
+    SCMD_REQUIRE(ck == "on" || ck == "off",
+                 "check must be off | on, got: " + ck);
+    check::Options copt;
+    copt.enabled = (ck == "on");
+    copt.action = check::FailureAction::kAbort;
+    check::set_options(copt);
+    check::init_from_env();
+    checking = check::enabled();
+#if !defined(SCMD_CHECK_ENABLED)
+    if (checking) {
+      std::printf("# check: requested, but this binary was built with "
+                  "-DSCMD_CHECK=OFF — no invariants will run\n");
+      checking = false;
+    }
+#endif
+    if (checking) check::reset_checks_passed();
+  }
 
   const std::string balance = cfg.get("balance", "off");
   TupleCacheConfig cache_cfg;
@@ -313,6 +344,11 @@ int run(const std::string& path,
                   p.total(), p.kinetic, p.virial);
     }
   }
+
+  if (checking)
+    std::printf("# check: %llu invariant check(s) verified, zero "
+                "violations\n",
+                static_cast<unsigned long long>(check::checks_passed()));
 
   if (trace) {
     trace->save(cfg.get("trace_out", ""));

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file engine_checks.hpp
+/// Engine-level structural invariants (docs/CHECKING.md).
+///
+/// Each function asserts one of the paper's correctness properties over a
+/// rank's per-step state and fails through SCMD_INVARIANT when it does
+/// not hold.  All of them are gated on check::enabled() plus their
+/// per-family option and return immediately when off.
+///
+/// Cross-rank checks are collective: pass the rank's Channel (null for
+/// serial/single-rank callers) and call them in the same order on every
+/// rank.  Failures are made collective — every rank learns the verdict
+/// before anyone throws — so a throwing FailureAction cannot strand peer
+/// ranks inside a blocking receive.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "check/channel.hpp"
+#include "check/invariant.hpp"
+#include "geom/box.hpp"
+#include "geom/vec3.hpp"
+
+namespace scmd::check {
+
+/// Assert a condition whose failure may be local to one rank: reduces
+/// the verdict over the cluster first, then fails on every rank (with
+/// `local_msg` where the violation was seen, a generic message
+/// elsewhere).  `what` names the invariant family for remote-rank
+/// reports.  Counts one passed check when ok.
+void collective_invariant(Channel* channel, bool local_ok,
+                          const std::string& local_msg, const char* what);
+
+/// Newton's third law over all evaluated kernels: the global sum of
+/// owned-atom forces vanishes (relative to the global sum of component
+/// magnitudes, tolerance options().force_rel_tol).  Collective sum when
+/// `channel` spans more than one rank.
+void check_force_balance(Channel* channel, std::span<const Vec3> owned_forces);
+
+/// Ghost/home consistency and exactly-once atom ownership: every owned
+/// gid is owned by exactly one rank, the global atom count matches
+/// `expected_total` (pass < 0 to skip), and every ghost position equals
+/// its owner's current position up to a periodic image shift within
+/// options().ghost_tol.  Gathers the owned-atom table at rank 0 and
+/// redistributes it, so every rank can verify its own ghosts.
+void check_ghost_consistency(Channel* channel, const Box& box,
+                             std::span<const std::int64_t> owned_gid,
+                             std::span<const Vec3> owned_pos,
+                             std::span<const std::int64_t> ghost_gid,
+                             std::span<const Vec3> ghost_pos,
+                             long long expected_total);
+
+/// Exactly-once n-tuple ownership (the paper's n-completeness claim
+/// applied across ranks): `tuples_flat` holds this rank's enumerated
+/// tuples as n consecutive gids each, in chain order.  Tuples are
+/// canonicalized (a chain and its reversal are the same undirected
+/// tuple), gathered at rank 0, and any tuple enumerated twice — by one
+/// rank or by two — is a violation.  When `reference_total` >= 0 the
+/// global tuple count must equal it (catches missing tuples against a
+/// serial reference).
+void check_tuple_ownership(Channel* channel, int n,
+                           std::span<const std::int64_t> tuples_flat,
+                           long long reference_total);
+
+/// Tuple-cache replay parity: forces and energy from replaying the
+/// cached lists must match a fresh enumeration over the same positions
+/// within options().parity_rel_tol (the two compute the same term set in
+/// different order).  Arrays are compared elementwise; both must have
+/// equal size.  Multi-rank callers gather both sides at one inspector
+/// rank (identically ordered, e.g. by gid), which passes the full
+/// arrays while the other ranks pass empty spans; the verdict is made
+/// collective.  Energies may be per-rank partials (zero on ranks that
+/// hold no share of a side); they are summed over the channel before
+/// comparison.
+void check_replay_parity(Channel* channel, std::span<const Vec3> replay_f,
+                         std::span<const Vec3> fresh_f, double replay_energy,
+                         double fresh_energy);
+
+}  // namespace scmd::check

@@ -1,0 +1,105 @@
+#include "check/invariant.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace scmd::check {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+Options g_options;
+std::atomic<std::uint64_t> g_checks_passed{0};
+
+thread_local int t_rank = -1;
+thread_local std::vector<const char*> t_scopes;
+
+}  // namespace
+
+void set_options(const Options& options) {
+  g_options = options;
+  detail::g_enabled.store(options.enabled, std::memory_order_relaxed);
+}
+
+const Options& options() { return g_options; }
+
+bool init_from_env() {
+  if (const char* v = std::getenv("SCMD_CHECK")) {
+    const std::string s(v);
+    if (s == "1" || s == "on" || s == "true") {
+      Options o = g_options;
+      o.enabled = true;
+      set_options(o);
+    }
+  }
+  return enabled();
+}
+
+std::uint64_t checks_passed() {
+  return g_checks_passed.load(std::memory_order_relaxed);
+}
+
+void reset_checks_passed() {
+  g_checks_passed.store(0, std::memory_order_relaxed);
+}
+
+void count_check() {
+  g_checks_passed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void bind_rank(int rank) { t_rank = rank; }
+
+int bound_rank() { return t_rank; }
+
+Scope::Scope(const char* name) {
+  if (enabled()) {
+    t_scopes.push_back(name);
+    pushed_ = true;
+  }
+}
+
+Scope::~Scope() {
+  if (pushed_) t_scopes.pop_back();
+}
+
+std::string Scope::current_path() {
+  std::string path;
+  for (const char* s : t_scopes) {
+    if (!path.empty()) path += '/';
+    path += s;
+  }
+  return path;
+}
+
+void fail_invariant(const char* expr, const std::string& msg,
+                    const char* file, int line) {
+  std::string report = "invariant violated: ";
+  report += expr;
+  report += "\n  ";
+  report += msg;
+  const std::string phase = Scope::current_path();
+  if (!phase.empty() || t_rank >= 0) {
+    report += "\n  phase: ";
+    report += phase.empty() ? "(none)" : phase;
+    if (t_rank >= 0) {
+      report += " (rank ";
+      report += std::to_string(t_rank);
+      report += ")";
+    }
+  }
+  report += "\n  at ";
+  report += file;
+  report += ":";
+  report += std::to_string(line);
+  if (g_options.action == FailureAction::kThrow)
+    throw InvariantViolation(report);
+  std::fprintf(stderr, "SCMD_INVARIANT failure:\n%s\n", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace scmd::check

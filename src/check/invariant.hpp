@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file invariant.hpp
+/// Runtime invariant-checker core (docs/CHECKING.md).
+///
+/// The check subsystem asserts the paper's structural invariants —
+/// exactly-once tuple ownership, Newton's-third-law force balance,
+/// ghost/home position consistency, tuple-cache replay parity — at engine
+/// phase boundaries.  It is double-gated:
+///
+///  - compile time: the SCMD_CHECK CMake option defines
+///    SCMD_CHECK_ENABLED; with it OFF every SCMD_INVARIANT /
+///    SCMD_CHECK_SCOPE compiles to nothing and the engines contain no
+///    checker code at all (Release builds pay zero cost);
+///  - run time: with it compiled in, checks run only after
+///    set_options({.enabled = true, ...}) (or SCMD_CHECK=1 in the
+///    environment via init_from_env()); disabled cost is one relaxed
+///    atomic load per check site.
+///
+/// A violation is reported with the failed expression, a message, the
+/// thread's phase-scope path (see Scope), the bound rank, and the source
+/// location; the configured FailureAction then aborts (default — the
+/// report is the last thing on stderr, which is what sanitizer CI jobs
+/// want) or throws InvariantViolation (what tests want).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace scmd::check {
+
+/// Thrown by failed invariants under FailureAction::kThrow.
+class InvariantViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// What a failed invariant does after printing its report.
+enum class FailureAction {
+  kAbort,  ///< report to stderr, then std::abort()
+  kThrow,  ///< throw InvariantViolation with the report text
+};
+
+/// Checker configuration.  Set once before a run; not thread-safe to
+/// mutate while engine threads are checking.
+struct Options {
+  bool enabled = false;
+  FailureAction action = FailureAction::kAbort;
+
+  /// Per-family switches (all on by default when enabled).
+  bool force_balance = true;     ///< per-step total force ~ 0
+  bool tuple_ownership = true;   ///< exactly-once n-tuple ownership
+  bool ghost_consistency = true; ///< ghost == owner position (mod image)
+  bool replay_parity = true;     ///< cached replay vs fresh enumeration
+
+  /// Relative tolerance for the force-balance check, scaled by the
+  /// global sum of |F| component magnitudes.
+  double force_rel_tol = 1e-9;
+  /// Relative tolerance for replay-parity force/energy comparison.
+  double parity_rel_tol = 1e-8;
+  /// Absolute tolerance (distance units) for ghost/home consistency.
+  double ghost_tol = 1e-9;
+
+  /// Run the ownership census every K-th rebuild step (it re-enumerates
+  /// tuples and gathers them at rank 0 — the most expensive check).
+  int ownership_every = 1;
+  /// Check replay parity on every K-th cache-reuse step (a parity check
+  /// re-runs the full enumeration, erasing the replay speedup for that
+  /// step).
+  int replay_parity_every = 4;
+};
+
+/// Install checker options.  `options.enabled` drives the fast gate read
+/// by every check site.
+void set_options(const Options& options);
+
+/// The active options (read-only; mutate via set_options).
+const Options& options();
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Fast runtime gate: true when checking is enabled.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Enable with SCMD_CHECK=1 (or "on"/"true") in the environment; any
+/// other value (or unset) leaves the current options untouched.  Returns
+/// the resulting enabled() state.
+bool init_from_env();
+
+/// Number of invariant checks that have passed since the last
+/// reset_checks_passed() — lets a driver report "N invariants verified,
+/// zero violations" at the end of a run.
+std::uint64_t checks_passed();
+void reset_checks_passed();
+/// Count one passed check (called by the engine_checks implementations).
+void count_check();
+
+/// Bind the calling thread's rank id for failure reports (parallel
+/// engines bind their rank; serial/test threads default to -1 = unbound).
+void bind_rank(int rank);
+int bound_rank();
+
+/// RAII phase scope: pushes `name` (a string literal — the pointer is
+/// kept, not copied) onto a thread-local stack that failure reports print
+/// as "step/force/replay".  Use through SCMD_CHECK_SCOPE so scopes
+/// compile out with the subsystem.
+class Scope {
+ public:
+  explicit Scope(const char* name);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  /// The calling thread's scope path, joined with '/'; empty when no
+  /// scope is open.
+  static std::string current_path();
+
+ private:
+  bool pushed_ = false;  ///< scopes are recorded only while enabled()
+};
+
+/// Report a violated invariant and abort or throw per the configured
+/// FailureAction.  Called by SCMD_INVARIANT; callable directly by checks
+/// that detect a violation on another rank ("collective" failures).
+[[noreturn]] void fail_invariant(const char* expr, const std::string& msg,
+                                 const char* file, int line);
+
+}  // namespace scmd::check
+
+// SCMD_INVARIANT(cond, msg): assert a structural invariant.  `cond` and
+// `msg` are evaluated only when runtime checking is enabled; with the
+// SCMD_CHECK CMake option OFF the whole statement compiles away.
+#if defined(SCMD_CHECK_ENABLED)
+#define SCMD_CHECK_CONCAT_(a, b) a##b
+#define SCMD_CHECK_CONCAT(a, b) SCMD_CHECK_CONCAT_(a, b)
+#define SCMD_INVARIANT(cond, msg)                                   \
+  do {                                                              \
+    if (::scmd::check::enabled() && !(cond))                        \
+      ::scmd::check::fail_invariant(#cond, (msg), __FILE__, __LINE__); \
+  } while (false)
+#define SCMD_CHECK_SCOPE(name) \
+  ::scmd::check::Scope SCMD_CHECK_CONCAT(scmd_check_scope_, __LINE__)(name)
+#else
+#define SCMD_INVARIANT(cond, msg) ((void)0)
+#define SCMD_CHECK_SCOPE(name) ((void)0)
+#endif

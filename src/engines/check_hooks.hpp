@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file check_hooks.hpp
+/// Engine-side data collection for the runtime invariant checker.
+///
+/// The checker (src/check) asserts properties over plain gid arrays so it
+/// stays independent of the enumeration machinery; this helper produces
+/// those arrays from an engine's binned state.
+
+#include <cstdint>
+#include <vector>
+
+#include "cell/domain.hpp"
+#include "engines/tuple_strategy.hpp"
+
+namespace scmd {
+
+/// This rank's accepted n-tuples at exact `rcut`, re-enumerated over the
+/// already-binned domain and flattened to n gids per tuple in chain
+/// order — the input to check::check_tuple_ownership.  An independent
+/// second enumeration, so it validates the evaluated tuple stream rather
+/// than replaying the engine's bookkeeping.
+std::vector<std::int64_t> census_tuples(const TupleStrategy& strategy,
+                                        const CellDomain& dom, int n,
+                                        double rcut);
+
+}  // namespace scmd

@@ -1,6 +1,10 @@
 #include "engines/serial_engine.hpp"
 
+#include <algorithm>
+
 #include "cell/domain.hpp"
+#include "check/engine_checks.hpp"
+#include "engines/check_hooks.hpp"
 #include "engines/tuple_strategy.hpp"
 #include "support/error.hpp"
 
@@ -24,6 +28,9 @@ SerialEngine::SerialEngine(ParticleSystem& sys, const ForceField& field,
     SCMD_REQUIRE(tuple_strategy_ != nullptr,
                  "tuple_cache needs a pattern strategy (SC/FS/OC/RC)");
   }
+  // The invariant checker's tuple census covers pattern strategies only
+  // (Hybrid runs without the census; see docs/CHECKING.md).
+  census_strategy_ = dynamic_cast<const TupleStrategy*>(strategy_.get());
   strategy_->set_num_threads(config.num_threads);
   compute_forces();
 }
@@ -42,6 +49,7 @@ void SerialEngine::compute_forces() {
 }
 
 void SerialEngine::compute_forces_full() {
+  SCMD_CHECK_SCOPE("force.full");
   sys_.zero_forces();
 
   // Per-n domains requested by the strategy, each on its own grid with
@@ -88,20 +96,48 @@ void SerialEngine::compute_forces_full() {
 
   // Fold per-domain forces back to the owning atoms by global id; ghost
   // copies contribute to their primaries (serial write-back).
-  SCMD_TRACE("fold");
-  const auto sys_f = sys_.forces();
-  for (int n = 2; n <= field_.max_n(); ++n) {
-    const std::size_t ni = static_cast<std::size_t>(n);
-    if (domains.dom[ni] == nullptr) continue;
-    const auto gids = domains.dom[ni]->gids();
-    const std::vector<Vec3>& f = f_storage[ni];
-    for (std::size_t a = 0; a < f.size(); ++a) {
-      sys_f[static_cast<std::size_t>(gids[a])] += f[a];
+  {
+    SCMD_TRACE("fold");
+    const auto sys_f = sys_.forces();
+    for (int n = 2; n <= field_.max_n(); ++n) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      if (domains.dom[ni] == nullptr) continue;
+      const auto gids = domains.dom[ni]->gids();
+      const std::vector<Vec3>& f = f_storage[ni];
+      for (std::size_t a = 0; a < f.size(); ++a) {
+        sys_f[static_cast<std::size_t>(gids[a])] += f[a];
+      }
     }
   }
+
+#if defined(SCMD_CHECK_ENABLED)
+  if (check::enabled()) {
+    {
+      SCMD_CHECK_SCOPE("force_balance");
+      check::check_force_balance(nullptr, sys_.forces());
+    }
+    // The census must run here, while the binned domains are still alive.
+    if (check::options().tuple_ownership && census_strategy_ != nullptr &&
+        static_cast<int>(++check_builds_ %
+                         static_cast<std::uint64_t>(std::max(
+                             1, check::options().ownership_every))) == 0) {
+      SCMD_CHECK_SCOPE("tuple_census");
+      for (int n = 2; n <= field_.max_n(); ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        if (domains.dom[ni] == nullptr) continue;
+        const double rcut =
+            field_.rcut(n) > 0.0 ? field_.rcut(n) : field_.rcut(2);
+        const std::vector<std::int64_t> flat =
+            census_tuples(*census_strategy_, dom_storage[ni], n, rcut);
+        check::check_tuple_ownership(nullptr, n, flat, -1);
+      }
+    }
+  }
+#endif
 }
 
 void SerialEngine::compute_forces_replay() {
+  SCMD_CHECK_SCOPE("force.replay");
   sys_.zero_forces();
   const auto pos = sys_.positions();
   ForceAccum accum;
@@ -127,22 +163,51 @@ void SerialEngine::compute_forces_replay() {
   potential_energy_ =
       tuple_strategy_->compute_replay(field_, cache_, accum, counters_);
 
-  SCMD_TRACE("fold");
-  const auto sys_f = sys_.forces();
-  for (int n = 2; n <= field_.max_n(); ++n) {
-    const std::size_t ni = static_cast<std::size_t>(n);
-    if (accum.f[ni] == nullptr) continue;
-    const auto refs = cache_.list(n).refs();
-    const std::vector<Vec3>& f = replay_f_[ni];
-    for (std::size_t a = 0; a < f.size(); ++a) {
-      sys_f[static_cast<std::size_t>(refs[a])] += f[a];
+  {
+    SCMD_TRACE("fold");
+    const auto sys_f = sys_.forces();
+    for (int n = 2; n <= field_.max_n(); ++n) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      if (accum.f[ni] == nullptr) continue;
+      const auto refs = cache_.list(n).refs();
+      const std::vector<Vec3>& f = replay_f_[ni];
+      for (std::size_t a = 0; a < f.size(); ++a) {
+        sys_f[static_cast<std::size_t>(refs[a])] += f[a];
+      }
     }
   }
+
+#if defined(SCMD_CHECK_ENABLED)
+  if (check::enabled()) {
+    {
+      SCMD_CHECK_SCOPE("force_balance");
+      check::check_force_balance(nullptr, sys_.forces());
+    }
+    if (check::options().replay_parity &&
+        static_cast<int>(++check_replays_ %
+                         static_cast<std::uint64_t>(std::max(
+                             1, check::options().replay_parity_every))) ==
+            0) {
+      SCMD_CHECK_SCOPE("replay_parity");
+      // Re-derive the forces by a fresh full build over the same
+      // positions and compare (the two evaluate the same term set in
+      // different order).  The rebuild re-primes the cache, so this step
+      // loses the replay speedup but stays correct.
+      const std::span<const Vec3> cur = sys_.forces();
+      const std::vector<Vec3> replayed(cur.begin(), cur.end());
+      const double replay_e = potential_energy_;
+      compute_forces_full();
+      check::check_replay_parity(nullptr, replayed, sys_.forces(), replay_e,
+                                 potential_energy_);
+    }
+  }
+#endif
 }
 
 void SerialEngine::step() {
   const obs::ThreadTraceGuard trace_guard(config_.trace, /*tid=*/0);
   SCMD_TRACE("step");
+  SCMD_CHECK_SCOPE("step");
   {
     SCMD_TRACE("integrate.kick_drift");
     integrator_.kick_drift(sys_);

@@ -10,6 +10,7 @@
 /// engines are validated against.
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -90,6 +91,12 @@ class SerialEngine {
   /// Persistent per-n replay force storage (sized to the cached slot
   /// tables; reused across steps).
   std::array<std::vector<Vec3>, kMaxTupleLen + 1> replay_f_{};
+
+  /// --- Invariant-checker state (src/check; inert unless enabled) ------
+  /// Pattern strategy for the tuple-ownership census (null for Hybrid).
+  const TupleStrategy* census_strategy_ = nullptr;
+  std::uint64_t check_builds_ = 0;   ///< rebuild steps seen (census cadence)
+  std::uint64_t check_replays_ = 0;  ///< reuse steps seen (parity cadence)
 };
 
 }  // namespace scmd

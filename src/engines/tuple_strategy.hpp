@@ -82,6 +82,12 @@ class TupleStrategy final : public ForceStrategy {
   /// every step.  The pool is shared across rank threads (the strategy
   /// instance is); it is touched once per term per thread, never inside
   /// tuple loops.
+  ///
+  /// Ownership contract: a checked-out buffer is exclusively the
+  /// caller's until checked back in — the lock covers only the free
+  /// list, never the buffers, so a buffer must not be touched after
+  /// checkin (the oversubscribed-replay test in
+  /// tests/check/checked_md_test.cpp pins this under contention).
   class ScratchPool {
    public:
     /// A zeroed buffer of `size` (recycled allocation when available).

@@ -84,16 +84,23 @@ struct Int3 {
 
 /// Mathematical floor modulo: result in [0, m) for m > 0.  Needed for
 /// periodic cell-index wrapping where C++ % is implementation-inconvenient
-/// for negative operands.
+/// for negative operands.  Requires m != 0.  The intermediate arithmetic
+/// is widened: INT_MIN % -1 overflows int (UB) even though the
+/// mathematical result (0) is representable.
 constexpr int floor_mod(int a, int m) {
-  const int r = a % m;
-  return r < 0 ? r + m : r;
+  const long long r = static_cast<long long>(a) % m;
+  return static_cast<int>(r < 0 ? r + m : r);
 }
 
-/// Mathematical floor division paired with floor_mod.
+/// Mathematical floor division paired with floor_mod.  Requires m != 0;
+/// widened for the same INT_MIN / -1 overflow case (the quotient then
+/// wraps modularly on the way back to int, like every other
+/// unrepresentable-result conversion).
 constexpr int floor_div(int a, int m) {
-  const int q = a / m;
-  return (a % m != 0 && ((a < 0) != (m < 0))) ? q - 1 : q;
+  const long long q = static_cast<long long>(a) / m;
+  return static_cast<int>(
+      (static_cast<long long>(a) % m != 0 && ((a < 0) != (m < 0))) ? q - 1
+                                                                   : q);
 }
 
 /// Componentwise periodic wrap into [0, dims).

@@ -100,6 +100,7 @@ void Histogram::clear() {
   sum_ = 0.0;
 }
 
+// Callers hold mu_.
 MetricsRegistry::Scalar& MetricsRegistry::scalar(const std::string& name,
                                                  bool is_counter) {
   const auto it = scalar_index_.find(name);
@@ -115,15 +116,18 @@ MetricsRegistry::Scalar& MetricsRegistry::scalar(const std::string& name,
 }
 
 void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   scalar(name, /*is_counter=*/true).value += static_cast<double>(delta);
 }
 
 void MetricsRegistry::set(const std::string& name, double value) {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   scalar(name, /*is_counter=*/false).value = value;
 }
 
-Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
-                                      double hi, int num_buckets) {
+Histogram& MetricsRegistry::histogram_locked(const std::string& name,
+                                             double lo, double hi,
+                                             int num_buckets) {
   for (auto& [n, h] : hists_) {
     if (n != name) continue;
     SCMD_REQUIRE(h->lo() == lo && h->hi() == hi &&
@@ -135,8 +139,21 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
   return *hists_.back().second;
 }
 
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, int num_buckets) {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  return histogram_locked(name, lo, hi, num_buckets);
+}
+
+void MetricsRegistry::observe(const std::string& name, double lo, double hi,
+                              int num_buckets, double x) {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  histogram_locked(name, lo, hi, num_buckets).observe(x);
+}
+
 void MetricsRegistry::set_attr(const std::string& key,
                                const std::string& value) {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   for (auto& [k, v] : attrs_) {
     if (k == key) {
       v = value;
@@ -147,16 +164,19 @@ void MetricsRegistry::set_attr(const std::string& key,
 }
 
 bool MetricsRegistry::has(const std::string& name) const {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   return scalar_index_.count(name) != 0;
 }
 
 double MetricsRegistry::value(const std::string& name) const {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   const auto it = scalar_index_.find(name);
   SCMD_REQUIRE(it != scalar_index_.end(), "unknown metric: " + name);
   return scalars_[it->second].value;
 }
 
 std::vector<std::string> MetricsRegistry::scalar_names() const {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(scalars_.size());
   for (const Scalar& s : scalars_) names.push_back(s.name);
@@ -164,6 +184,7 @@ std::vector<std::string> MetricsRegistry::scalar_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::histogram_names() const {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(hists_.size());
   for (const auto& [n, h] : hists_) names.push_back(n);
@@ -171,6 +192,7 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
 }
 
 const Histogram& MetricsRegistry::histogram_at(const std::string& name) const {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const auto& [n, h] : hists_) {
     if (n == name) return *h;
   }
@@ -179,11 +201,16 @@ const Histogram& MetricsRegistry::histogram_at(const std::string& name) const {
 }
 
 void MetricsRegistry::add_sink(std::unique_ptr<MetricsSink> sink) {
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   SCMD_REQUIRE(sink != nullptr, "null metrics sink");
   sinks_.push_back(std::move(sink));
 }
 
 void MetricsRegistry::emit(long long step) {
+  // Held across the sink writes: sinks read back through the const
+  // accessors, which re-enter the recursive lock, and the snapshot a
+  // sink writes must not interleave with a concurrent add()/set().
+  const std::lock_guard<std::recursive_mutex> lock(mu_);
   if (sinks_.empty()) return;
   for (auto& sink : sinks_) sink->write_step(step, *this);
 }

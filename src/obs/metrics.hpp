@@ -20,6 +20,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,6 +73,12 @@ class MetricsSink {
 
 /// The registry.  Metric names are registered on first use and keep
 /// their registration order in every export.
+///
+/// Thread safety: every member below takes an internal lock, so rank
+/// threads may add()/set()/observe() concurrently.  The one escape hatch
+/// is the Histogram& returned by histogram() — observe() through that
+/// reference is unsynchronized; concurrent writers must go through
+/// MetricsRegistry::observe() instead.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -89,6 +96,12 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, double lo, double hi,
                        int num_buckets);
 
+  /// Record one observation into histogram `name` (get-or-create with
+  /// the given spec) under the registry lock — the thread-safe
+  /// counterpart of histogram(...).observe(x).
+  void observe(const std::string& name, double lo, double hi,
+               int num_buckets, double x);
+
   /// Set a string attribute attached to every emitted record (strategy
   /// name, platform, ...).
   void set_attr(const std::string& key, const std::string& value);
@@ -98,6 +111,8 @@ class MetricsRegistry {
 
   /// Scalar (counter + gauge) names in registration order.
   std::vector<std::string> scalar_names() const;
+  /// Unsynchronized view; safe inside a sink's write_step (emit holds
+  /// the registry lock) or once all writer threads have joined.
   const std::vector<std::pair<std::string, std::string>>& attrs() const {
     return attrs_;
   }
@@ -120,7 +135,12 @@ class MetricsRegistry {
   };
 
   Scalar& scalar(const std::string& name, bool is_counter);
+  Histogram& histogram_locked(const std::string& name, double lo, double hi,
+                              int num_buckets);
 
+  /// Recursive: emit() holds the lock while sinks call back into the
+  /// const readers (value(), scalar_names(), ...).
+  mutable std::recursive_mutex mu_;
   std::vector<Scalar> scalars_;
   std::map<std::string, std::size_t> scalar_index_;
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_;

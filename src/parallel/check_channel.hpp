@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file check_channel.hpp
+/// check::Channel adapter over the threads-as-ranks Comm.
+///
+/// Checker traffic runs on its own tag so it can never interleave with
+/// engine exchanges (import 100, write-back 200, migrate 300, refresh
+/// 400/401).  The adapter is stateless and cheap to construct at a check
+/// site.
+
+#include "check/channel.hpp"
+#include "parallel/comm.hpp"
+
+namespace scmd {
+
+/// Message tag reserved for invariant-checker traffic.
+inline constexpr int kCheckTag = 900;
+
+/// One rank's checker view of the cluster.
+class CommCheckChannel final : public check::Channel {
+ public:
+  explicit CommCheckChannel(Comm& comm) : comm_(&comm) {}
+
+  int rank() const override { return comm_->rank(); }
+  int num_ranks() const override { return comm_->num_ranks(); }
+
+  void send(int dst, check::CheckBytes payload) override {
+    comm_->send(dst, kCheckTag, std::move(payload));
+  }
+  check::CheckBytes recv(int src) override {
+    return comm_->recv(src, kCheckTag);
+  }
+
+  double allreduce_sum(double value) override {
+    return comm_->allreduce_sum(value);
+  }
+  double allreduce_max(double value) override {
+    return comm_->allreduce_max(value);
+  }
+
+ private:
+  Comm* comm_;
+};
+
+}  // namespace scmd

@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "check/invariant.hpp"
 #include "parallel/rank_engine.hpp"
 #include "support/error.hpp"
 
@@ -80,6 +81,8 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
         // Rank-tagged spans: every SCMD_TRACE below this binding (halo
         // import, search, write-back, ...) lands on lane tid = r.
         obs::bind_thread(config.trace, r);
+        // Invariant-violation reports name the failing rank.
+        check::bind_rank(r);
         Comm comm(cluster, r);
         RankEngineConfig rc;
         rc.dt = config.dt;

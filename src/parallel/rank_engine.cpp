@@ -1,9 +1,17 @@
 #include "parallel/rank_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
 
+#include "check/engine_checks.hpp"
+#include "engines/check_hooks.hpp"
 #include "engines/tuple_strategy.hpp"
 #include "obs/trace.hpp"
+#include "parallel/check_channel.hpp"
 #include "support/error.hpp"
 
 namespace scmd {
@@ -26,6 +34,10 @@ RankEngine::RankEngine(Comm& comm, const Decomposition& decomp,
     SCMD_REQUIRE(tuple_strategy_ != nullptr,
                  "tuple_cache needs a pattern strategy (SC/FS/OC/RC)");
   }
+  // The invariant checker's tuple census re-enumerates through the
+  // pattern machinery, so it covers pattern strategies only (Hybrid runs
+  // without the census; see docs/CHECKING.md).
+  census_strategy_ = dynamic_cast<const TupleStrategy*>(&strategy);
 
   // Cell side inflated by the skin when tuple caching: the inflated
   // enumeration stays covered by the cell walk, and the physical halo
@@ -216,12 +228,14 @@ void RankEngine::compute_forces() {
 }
 
 void RankEngine::compute_forces_full() {
+  SCMD_CHECK_SCOPE("force.full");
   state_.clear_ghosts();
   std::vector<ImportStageRecord> stages;
   {
     SCMD_TRACE("exchange.import");
     stages = halo_exchange_->import(comm_, state_, counters_);
   }
+  verify_ghosts();
 
   {
     SCMD_TRACE("binning");
@@ -250,20 +264,66 @@ void RankEngine::compute_forces_full() {
     fold_forces(accum);
   }
 
-  SCMD_TRACE("exchange.write_back");
-  halo_exchange_->write_back(comm_, stages, state_, force_, counters_);
+  {
+    SCMD_TRACE("exchange.write_back");
+    halo_exchange_->write_back(comm_, stages, state_, force_, counters_);
+  }
 
   if (tuple_strategy_ != nullptr) {
     cache_.mark_built({state_.pos.data(), state_.pos.size()});
     cached_stages_ = std::move(stages);
   }
+
+#if defined(SCMD_CHECK_ENABLED)
+  if (check::enabled()) {
+    CommCheckChannel ch(comm_);
+    {
+      SCMD_CHECK_SCOPE("force_balance");
+      check::check_force_balance(&ch, owned_forces());
+    }
+    if (check::options().tuple_ownership && census_strategy_ != nullptr &&
+        static_cast<int>(++check_builds_ %
+                         static_cast<std::uint64_t>(std::max(
+                             1, check::options().ownership_every))) == 0) {
+      SCMD_CHECK_SCOPE("tuple_census");
+      for (int n = 2; n <= field_.max_n(); ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        if (!grid_active_[ni]) continue;
+        const std::vector<std::int64_t> flat = census_tuples(
+            *census_strategy_, domains_[ni], n, field_.rcut(n));
+        check::check_tuple_ownership(&ch, n, flat, -1);
+      }
+    }
+  }
+#endif
+}
+
+/// Ghost/home consistency plus global atom conservation, collective over
+/// the cluster; runs after every ghost import/refresh when checking is
+/// enabled.  The conserved atom count is captured by a reduction the
+/// first time the check runs.
+void RankEngine::verify_ghosts() {
+#if defined(SCMD_CHECK_ENABLED)
+  if (!check::enabled() || !check::options().ghost_consistency) return;
+  SCMD_CHECK_SCOPE("ghost_consistency");
+  CommCheckChannel ch(comm_);
+  if (check_atom_total_ < 0) {
+    check_atom_total_ = std::llround(
+        comm_.allreduce_sum(static_cast<double>(state_.num_owned())));
+  }
+  check::check_ghost_consistency(&ch, decomp_.box(), state_.gid, state_.pos,
+                                 state_.ghost_gid, state_.ghost_pos,
+                                 check_atom_total_);
+#endif
 }
 
 void RankEngine::compute_forces_replay() {
+  SCMD_CHECK_SCOPE("force.replay");
   {
     SCMD_TRACE("exchange.refresh");
     halo_exchange_->refresh(comm_, cached_stages_, state_, counters_);
   }
+  verify_ghosts();
 
   ForceAccum accum;
   {
@@ -301,13 +361,138 @@ void RankEngine::compute_forces_replay() {
     }
   }
 
-  SCMD_TRACE("exchange.write_back");
-  halo_exchange_->write_back(comm_, cached_stages_, state_, force_,
-                             counters_);
+#if defined(SCMD_CHECK_ENABLED)
+  if (check::enabled() && check::options().replay_parity &&
+      static_cast<int>(++check_replays_ %
+                       static_cast<std::uint64_t>(std::max(
+                           1, check::options().replay_parity_every))) == 0) {
+    SCMD_CHECK_SCOPE("replay_parity");
+    // No per-rank rebuild can produce the fresh reference on a reuse
+    // step: migration is skipped, so owned atoms may have drifted across
+    // brick boundaries, and under the upper-only octant import a
+    // downward drift re-bins the atom into a peer's home cells (double
+    // count) while an upward drift lands in cells whose anchoring rank
+    // never imported it (lost tuples).  The full pipeline is only exact
+    // because migration precedes binning.  Instead, gather the owned
+    // atoms at rank 0 and recompute there over the serial-MD domain
+    // ("halo exchange with oneself"), which is drift-agnostic.
+    //
+    // The recorded lists partition tuples by build-time binning, so the
+    // per-rank replay arrays are not comparable either; route them
+    // through the force write-back first (every ghost contribution
+    // reaches its owner) and gather the owned forces.  The extra
+    // write-back runs on every rank in the same order (the parity
+    // cadence is collective), so the traffic stays matched.
+    EngineCounters scratch_counters;
+    std::vector<Vec3> replayed(force_);
+    halo_exchange_->write_back(comm_, cached_stages_, state_, replayed,
+                               scratch_counters);
+
+    struct ParityAtom {
+      std::int64_t gid;
+      std::int64_t type;
+      double px, py, pz;
+      double fx, fy, fz;
+    };
+    static_assert(std::is_trivially_copyable_v<ParityAtom>);
+    const std::size_t owned = static_cast<std::size_t>(state_.num_owned());
+    std::vector<ParityAtom> atoms(owned);
+    for (std::size_t i = 0; i < owned; ++i) {
+      atoms[i] = ParityAtom{state_.gid[i],
+                            static_cast<std::int64_t>(state_.type[i]),
+                            state_.pos[i].x,
+                            state_.pos[i].y,
+                            state_.pos[i].z,
+                            replayed[i].x,
+                            replayed[i].y,
+                            replayed[i].z};
+    }
+
+    CommCheckChannel ch(comm_);
+    std::vector<Vec3> replay_all;
+    std::vector<Vec3> fresh_all;
+    double fresh_e = 0.0;
+    if (ch.rank() != 0) {
+      check::CheckBytes bytes(atoms.size() * sizeof(ParityAtom));
+      if (!bytes.empty())
+        std::memcpy(bytes.data(), atoms.data(), bytes.size());
+      ch.send(0, std::move(bytes));
+    } else {
+      for (int r = 1; r < ch.num_ranks(); ++r) {
+        const check::CheckBytes bytes = ch.recv(r);
+        const std::size_t count = bytes.size() / sizeof(ParityAtom);
+        const std::size_t base = atoms.size();
+        atoms.resize(base + count);
+        if (count != 0)
+          std::memcpy(atoms.data() + base, bytes.data(),
+                      count * sizeof(ParityAtom));
+      }
+      // Deterministic order (and a dense index space for the serial
+      // domain, whose gids are indices into the position array).
+      std::sort(atoms.begin(), atoms.end(),
+                [](const ParityAtom& a, const ParityAtom& b) {
+                  return a.gid < b.gid;
+                });
+      const std::size_t total = atoms.size();
+      std::vector<Vec3> pos(total);
+      std::vector<int> types(total);
+      replay_all.resize(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        pos[i] = Vec3(atoms[i].px, atoms[i].py, atoms[i].pz);
+        types[i] = static_cast<int>(atoms[i].type);
+        replay_all[i] = Vec3(atoms[i].fx, atoms[i].fy, atoms[i].fz);
+      }
+      DomainSet domains;
+      ForceAccum accum;
+      std::array<CellDomain, kMaxTupleLen + 1> dom_storage;
+      std::array<std::vector<Vec3>, kMaxTupleLen + 1> f_storage;
+      for (int n = 2; n <= field_.max_n(); ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        if (!grid_active_[ni]) continue;
+        dom_storage[ni] =
+            make_serial_domain(grids_[ni], strategy_.halo(n), pos, types);
+        f_storage[ni].assign(
+            static_cast<std::size_t>(dom_storage[ni].num_atoms()), Vec3{});
+        domains.dom[ni] = &dom_storage[ni];
+        accum.f[ni] = &f_storage[ni];
+      }
+      fresh_e = strategy_.compute(field_, domains, accum, scratch_counters);
+      fresh_all.assign(total, Vec3{});
+      for (int n = 2; n <= field_.max_n(); ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        if (accum.f[ni] == nullptr) continue;
+        const auto gids = dom_storage[ni].gids();
+        const std::vector<Vec3>& f = f_storage[ni];
+        for (std::size_t a = 0; a < f.size(); ++a)
+          fresh_all[static_cast<std::size_t>(gids[a])] += f[a];
+      }
+    }
+    // Rank 0 carries the arrays and the reference energy; the others
+    // contribute their replay-energy partials (summed inside the check)
+    // and learn the verdict collectively.
+    check::check_replay_parity(&ch, replay_all, fresh_all,
+                               potential_energy_, fresh_e);
+  }
+#endif
+
+  {
+    SCMD_TRACE("exchange.write_back");
+    halo_exchange_->write_back(comm_, cached_stages_, state_, force_,
+                               counters_);
+  }
+
+#if defined(SCMD_CHECK_ENABLED)
+  if (check::enabled()) {
+    SCMD_CHECK_SCOPE("force_balance");
+    CommCheckChannel ch(comm_);
+    check::check_force_balance(&ch, owned_forces());
+  }
+#endif
 }
 
 void RankEngine::step() {
   SCMD_TRACE("step");
+  SCMD_CHECK_SCOPE("step");
   // Half-kick + drift on owned atoms.
   const double dt = config_.dt;
   const Box& box = decomp_.box();

@@ -149,9 +149,13 @@ class RankEngine {
   void reset_cell_costs();
 
  private:
+  /// Bin this rank's atoms into per-n cell domains.
   void build_domains();
   void fold_forces(const ForceAccum& accum);
   void rebuild_halo_exchange();
+  /// Invariant-checker hook: ghost/home consistency + atom conservation
+  /// after an import or refresh (no-op unless checking is enabled).
+  void verify_ghosts();
   /// Full pipeline: import ghosts, bin, enumerate (recording tuples when
   /// caching), fold, write back.
   void compute_forces_full();
@@ -191,6 +195,14 @@ class RankEngine {
   /// Persistent per-n replay force storage (sized to the cached slot
   /// tables; reused across steps).
   std::array<std::vector<Vec3>, kMaxTupleLen + 1> replay_f_{};
+
+  /// --- Invariant-checker state (src/check; inert unless enabled) ------
+  /// Pattern strategy for the tuple-ownership census (null for Hybrid).
+  const TupleStrategy* census_strategy_ = nullptr;
+  /// Conserved global atom count, captured collectively at first check.
+  long long check_atom_total_ = -1;
+  std::uint64_t check_builds_ = 0;   ///< rebuild steps seen (census cadence)
+  std::uint64_t check_replays_ = 0;  ///< reuse steps seen (parity cadence)
 };
 
 }  // namespace scmd

@@ -20,9 +20,14 @@ Pattern generate_fs(int n, int reach) {
   const int w = 2 * reach + 1;
   const int steps = w * w * w;
   long long total = 1;
-  for (int k = 1; k < n; ++k) total *= steps;
-  SCMD_REQUIRE(total <= (1LL << 24),
-               "pattern too large to materialize; lower n or reach");
+  // Guard inside the loop: n = 8, reach = 4 passes both range checks yet
+  // 729^7 overflows long long, so a post-loop check would be reached
+  // only after the UB it is meant to prevent.
+  for (int k = 1; k < n; ++k) {
+    total *= steps;
+    SCMD_REQUIRE(total <= (1LL << 24),
+                 "pattern too large to materialize; lower n or reach");
+  }
   Path p;
   p.push_back({0, 0, 0});
   auto extend = [&](auto&& self) -> void {

@@ -1,0 +1,166 @@
+// The invariant checker riding a real simulation (docs/CHECKING.md):
+// randomized multi-step silica runs with the balancer and the tuple
+// cache active must pass every invariant (ownership census, force
+// balance, ghost consistency, replay parity) in throw mode, and an
+// oversubscribed cached run (more ranks than hardware threads) must
+// still reproduce the serial engine — the ScratchPool regression guard.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "balance/rebalancer.hpp"
+#include "check/invariant.hpp"
+#include "engines/serial_engine.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+namespace {
+
+#if defined(SCMD_CHECK_ENABLED)
+
+class CheckedMdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    check::Options o;
+    o.enabled = true;
+    o.action = check::FailureAction::kThrow;
+    check::set_options(o);
+    check::reset_checks_passed();
+  }
+  void TearDown() override {
+    check::set_options(check::Options{});
+    check::bind_rank(-1);
+  }
+};
+
+struct Reference {
+  double energy;
+  std::vector<Vec3> pos, force;
+};
+
+Reference serial_reference(const ParticleSystem& initial,
+                           const ForceField& field,
+                           const std::string& strategy, double dt,
+                           int steps) {
+  // The reference runs with the checker off; only the checked run under
+  // test may consume invariant machinery.
+  const check::Options saved = check::options();
+  check::set_options(check::Options{});
+  ParticleSystem sys = initial;
+  SerialEngineConfig cfg;
+  cfg.dt = dt;
+  SerialEngine engine(sys, field, make_strategy(strategy, field), cfg);
+  for (int s = 0; s < steps; ++s) engine.step();
+  Reference ref;
+  ref.energy = engine.potential_energy();
+  ref.pos.assign(sys.positions().begin(), sys.positions().end());
+  ref.force.assign(sys.forces().begin(), sys.forces().end());
+  check::set_options(saved);
+  return ref;
+}
+
+// Randomized stress: 20 steps, rebalance every 3 steps, tuple cache with
+// a generous skin so the run mixes rebuild and replay steps.  Every
+// invariant fires in throw mode; any violation fails the test with the
+// full phase-path report.
+class CheckedMdSeedTest : public CheckedMdTest,
+                          public ::testing::WithParamInterface<int> {};
+
+TEST_P(CheckedMdSeedTest, TwentyStepBalancedCachedRunPassesAllInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Hot start: enough thermal drift that the skin is exhausted every few
+  // steps, so the run interleaves cache rebuilds (where the balancer may
+  // re-cut) with replay steps (where the parity check fires).
+  ParticleSystem sys = make_silica(1500, 2.2, 3000.0, rng);
+  const VashishtaSiO2 field;
+
+  ParallelRunConfig cfg;
+  cfg.dt = 1.0 * units::kFemtosecond;
+  cfg.num_steps = 20;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = 0.3;
+  BalanceConfig bc;
+  bc.mode = BalanceConfig::Mode::kEvery;
+  bc.every = 3;
+  cfg.make_balancer = make_rebalancer_factory(bc);
+
+  ParallelRunResult res;
+  EXPECT_NO_THROW(res = run_parallel_md(sys, field, "SC",
+                                        ProcessGrid({2, 2, 2}), cfg));
+  EXPECT_GE(res.rebalances, 1);
+  EXPECT_GT(res.total.cache_replayed, 0u);
+  // Force balance runs every step on every pipeline, so the counter must
+  // have moved a lot; the census and parity run on their cadences.
+  EXPECT_GT(check::checks_passed(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckedMdSeedTest,
+                         ::testing::Values(101, 202, 303));
+
+TEST_F(CheckedMdTest, SerialCachedRunPassesAllInvariants) {
+  Rng rng(404);
+  ParticleSystem sys = make_silica(648, 2.2, 400.0, rng);
+  const VashishtaSiO2 field;
+  SerialEngineConfig cfg;
+  cfg.dt = 0.5 * units::kFemtosecond;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = 0.3;
+  SerialEngine engine(sys, field, make_strategy("SC", field), cfg);
+  EXPECT_NO_THROW({
+    for (int s = 0; s < 20; ++s) engine.step();
+  });
+  EXPECT_GT(engine.counters().cache_replayed, 0u);
+  EXPECT_GT(check::checks_passed(), 20u);
+}
+
+// ScratchPool regression (src/engines/tuple_strategy.cpp): more ranks
+// than this machine has hardware threads, all replaying cached lists
+// concurrently.  The pool must hand each rank-thread its own scratch
+// block (no reuse-after-release across a still-running peer), which the
+// serial comparison detects as force corruption if it breaks.
+TEST_F(CheckedMdTest, OversubscribedCachedReplayMatchesSerial) {
+  Rng rng(505);
+  const ParticleSystem initial = make_silica(1500, 2.2, 400.0, rng);
+  const VashishtaSiO2 field;
+  const double dt = 0.5 * units::kFemtosecond;
+  const int steps = 6;
+
+  const Reference ref = serial_reference(initial, field, "SC", dt, steps);
+
+  ParticleSystem sys = initial;
+  ParallelRunConfig cfg;
+  cfg.dt = dt;
+  cfg.num_steps = steps;
+  cfg.tuple_cache.enabled = true;
+  cfg.tuple_cache.skin = 0.3;
+  ParallelRunResult res;
+  // 12 rank-threads beats hardware_concurrency on typical CI hosts, so
+  // the scheduler interleaves replays on shared cores.
+  EXPECT_NO_THROW(res = run_parallel_md(sys, field, "SC",
+                                        ProcessGrid({3, 2, 2}), cfg));
+  EXPECT_GT(res.total.cache_replayed, 0u);
+
+  EXPECT_NEAR(res.potential_energy, ref.energy,
+              1e-8 * std::abs(ref.energy) + 1e-8);
+  for (int i = 0; i < sys.num_atoms(); ++i) {
+    const std::size_t ii = static_cast<std::size_t>(i);
+    EXPECT_NEAR(sys.positions()[i].x, ref.pos[ii].x, 1e-8) << i;
+    EXPECT_NEAR(sys.positions()[i].y, ref.pos[ii].y, 1e-8) << i;
+    EXPECT_NEAR(sys.positions()[i].z, ref.pos[ii].z, 1e-8) << i;
+    EXPECT_NEAR(sys.forces()[i].x, ref.force[ii].x, 1e-7) << i;
+    EXPECT_NEAR(sys.forces()[i].y, ref.force[ii].y, 1e-7) << i;
+    EXPECT_NEAR(sys.forces()[i].z, ref.force[ii].z, 1e-7) << i;
+  }
+}
+
+#endif  // SCMD_CHECK_ENABLED
+
+}  // namespace
+}  // namespace scmd

@@ -1,0 +1,154 @@
+// Core invariant-checker machinery (docs/CHECKING.md): the runtime gate,
+// failure reporting through both FailureActions, phase-scope paths, rank
+// binding, and the passed-check counter.
+
+#include "check/invariant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace scmd::check {
+namespace {
+
+#if defined(SCMD_CHECK_ENABLED)
+
+// Every test restores the default (disabled) options so the global gate
+// never leaks into other tests in this binary.
+class InvariantTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    set_options(Options{});
+    bind_rank(-1);
+    reset_checks_passed();
+  }
+
+  void enable_throwing() {
+    Options o;
+    o.enabled = true;
+    o.action = FailureAction::kThrow;
+    set_options(o);
+  }
+};
+
+TEST_F(InvariantTest, DisabledGateSkipsConditionAndNeverFails) {
+  set_options(Options{});
+  ASSERT_FALSE(enabled());
+  int evaluations = 0;
+  // The condition expression must not even be evaluated while disabled.
+  SCMD_INVARIANT((++evaluations, false), "must not trigger");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(InvariantTest, ThrowActionCarriesExpressionMessageAndLocation) {
+  enable_throwing();
+  try {
+    SCMD_INVARIANT(1 + 1 == 3, "arithmetic is broken");
+    FAIL() << "SCMD_INVARIANT did not throw";
+  } catch (const InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos) << what;
+    EXPECT_NE(what.find("invariant_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST_F(InvariantTest, ScopePathNestsAndUnwinds) {
+  enable_throwing();
+  EXPECT_EQ(Scope::current_path(), "");
+  {
+    SCMD_CHECK_SCOPE("step");
+    {
+      SCMD_CHECK_SCOPE("force");
+      EXPECT_EQ(Scope::current_path(), "step/force");
+    }
+    EXPECT_EQ(Scope::current_path(), "step");
+  }
+  EXPECT_EQ(Scope::current_path(), "");
+}
+
+TEST_F(InvariantTest, FailureReportNamesPhaseAndBoundRank) {
+  enable_throwing();
+  bind_rank(3);
+  EXPECT_EQ(bound_rank(), 3);
+  try {
+    SCMD_CHECK_SCOPE("step");
+    SCMD_CHECK_SCOPE("ghost_consistency");
+    SCMD_INVARIANT(false, "ghost drifted");
+    FAIL() << "SCMD_INVARIANT did not throw";
+  } catch (const InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("step/ghost_consistency"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 3"), std::string::npos) << what;
+  }
+}
+
+TEST_F(InvariantTest, ScopesOpenedWhileDisabledDoNotLeakIntoThePath) {
+  set_options(Options{});
+  {
+    SCMD_CHECK_SCOPE("ignored");
+    enable_throwing();
+    // The scope above was opened with the gate off, so it never pushed.
+    EXPECT_EQ(Scope::current_path(), "");
+  }
+}
+
+TEST_F(InvariantTest, PassedCheckCounterAccumulatesAndResets) {
+  enable_throwing();
+  reset_checks_passed();
+  EXPECT_EQ(checks_passed(), 0u);
+  count_check();
+  count_check();
+  EXPECT_EQ(checks_passed(), 2u);
+  reset_checks_passed();
+  EXPECT_EQ(checks_passed(), 0u);
+}
+
+TEST_F(InvariantTest, InitFromEnvEnablesOnScmdCheckOne) {
+  set_options(Options{});
+  ::setenv("SCMD_CHECK", "1", 1);
+  EXPECT_TRUE(init_from_env());
+  EXPECT_TRUE(enabled());
+  ::unsetenv("SCMD_CHECK");
+}
+
+TEST_F(InvariantTest, InitFromEnvIgnoresOtherValues) {
+  set_options(Options{});
+  ::setenv("SCMD_CHECK", "0", 1);
+  EXPECT_FALSE(init_from_env());
+  EXPECT_FALSE(enabled());
+  ::unsetenv("SCMD_CHECK");
+}
+
+using InvariantDeathTest = InvariantTest;
+
+TEST_F(InvariantDeathTest, AbortActionPrintsReportAndDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Options o;
+  o.enabled = true;
+  o.action = FailureAction::kAbort;
+  set_options(o);
+  EXPECT_DEATH(
+      {
+        SCMD_CHECK_SCOPE("step");
+        SCMD_INVARIANT(false, "total force not zero");
+      },
+      "SCMD_INVARIANT failure(.|\n)*invariant violated(.|\n)*total force "
+      "not zero(.|\n)*step");
+  set_options(Options{});
+}
+
+#else  // !SCMD_CHECK_ENABLED
+
+TEST(InvariantTest, MacrosCompileToNothingWhenCheckerIsCompiledOut) {
+  int evaluations = 0;
+  SCMD_INVARIANT((++evaluations, false), "compiled out");
+  SCMD_CHECK_SCOPE("compiled out");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif
+
+}  // namespace
+}  // namespace scmd::check

@@ -89,6 +89,19 @@ TEST(BoxTest, MinImageWithinHalfBox) {
   }
 }
 
+TEST(BoxTest, MinImageOfFarImagesStaysWithinHalfBox) {
+  // Unwrapped trajectories can drift thousands of box lengths from the
+  // primary image; the reduction must stay finite and exact in that
+  // regime (all the arithmetic is double — no float-cast shortcuts).
+  const Box b = Box::cubic(5.0);
+  const Vec3 far{1.0 + 5.0 * 1e6, 2.0 - 5.0 * 2e6, 3.0 + 5.0 * 3e6};
+  const Vec3 near{1.5, 1.5, 2.0};
+  const Vec3 d = b.min_image(far, near);
+  EXPECT_NEAR(d.x, -0.5, 1e-6);
+  EXPECT_NEAR(d.y, 0.5, 1e-6);
+  EXPECT_NEAR(d.z, 1.0, 1e-6);
+}
+
 TEST(BoxTest, Dist2MatchesMinImage) {
   const Box b = Box::cubic(10.0);
   EXPECT_NEAR(b.dist2({9.5, 0, 0}, {0.5, 0, 0}), 1.0, 1e-12);

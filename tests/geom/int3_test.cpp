@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
 #include <functional>
 #include <set>
 
@@ -71,12 +72,36 @@ TEST(FloorDivTest, PairsWithFloorMod) {
   }
 }
 
+TEST(FloorModTest, ExtremeOperandsStayDefined) {
+  // Pins the widened arithmetic: INT_MIN % -1 / INT_MIN / -1 overflow
+  // plain int even though floor_mod's result is representable.  Run
+  // under UBSan this is the regression guard.
+  EXPECT_EQ(floor_mod(INT_MIN, -1), 0);
+  EXPECT_EQ(floor_mod(INT_MIN, 3), floor_mod(INT_MIN % 3 + 3, 3));
+  EXPECT_EQ(floor_mod(INT_MAX, 7), INT_MAX % 7);
+  EXPECT_EQ(floor_div(INT_MIN, 1), INT_MIN);
+  EXPECT_EQ(floor_div(INT_MAX, 1), INT_MAX);
+  EXPECT_EQ(floor_div(INT_MIN, INT_MAX) * static_cast<long long>(INT_MAX) +
+                floor_mod(INT_MIN, INT_MAX),
+            INT_MIN);
+}
+
 TEST(WrapTest, WrapsIntoRange) {
   const Int3 dims{4, 5, 6};
   EXPECT_EQ(wrap({4, 5, 6}, dims), (Int3{0, 0, 0}));
   EXPECT_EQ(wrap({-1, -1, -1}, dims), (Int3{3, 4, 5}));
   EXPECT_EQ(wrap({9, 11, 13}, dims), (Int3{1, 1, 1}));
   EXPECT_EQ(wrap({2, 3, 4}, dims), (Int3{2, 3, 4}));
+}
+
+TEST(Int3HashTest, ExtremeComponentsPackWithoutOverflow) {
+  // The 21-bit packing must stay in unsigned arithmetic for any int
+  // component, including the sign-extension-hostile extremes.
+  std::hash<Int3> h;
+  const std::size_t a = h({INT_MIN, INT_MAX, -1});
+  const std::size_t b = h({INT_MAX, INT_MIN, 1});
+  EXPECT_NE(a, b);  // the mix must still see different inputs
+  EXPECT_EQ(a, h({INT_MIN, INT_MAX, -1}));  // and stay deterministic
 }
 
 TEST(Int3HashTest, DistinctValuesRarelyCollide) {

@@ -156,6 +156,14 @@ TEST(MakeScTest, RejectsOutOfRangeN) {
   EXPECT_THROW(generate_fs(kMaxTupleLen + 1), Error);
 }
 
+TEST(GenerateFsTest, OversizedPatternIsRejectedBeforeTheCountOverflows) {
+  // n = 8, reach = 4 passes both range checks, but 729^7 overflows the
+  // long long path count; the guard must fire mid-accumulation, never
+  // after.  Run under UBSan this pins the fix.
+  EXPECT_THROW(generate_fs(kMaxTupleLen, 4), Error);
+  EXPECT_THROW(generate_fs(kMaxTupleLen, 3), Error);
+}
+
 TEST(PatternTest, AddRejectsWrongLength) {
   Pattern psi(3);
   EXPECT_THROW(psi.add(Path{{0, 0, 0}, {1, 0, 0}}), Error);

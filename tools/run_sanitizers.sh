@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Local sanitizer + lint driver (docs/CHECKING.md).
+#
+# Usage: tools/run_sanitizers.sh [asan|tsan|tidy|all]
+#
+# Mirrors the CI jobs exactly, via the checked-in CMake presets:
+#   asan — Debug build with ASan+UBSan and the invariant checker, full
+#          ctest suite.
+#   tsan — ThreadSanitizer build, `parallel`-labelled tests only (the
+#          threaded subset; TSan's 5-20x slowdown makes the full suite
+#          impractical).
+#   tidy — clang-tidy over the compile database.  Skipped with a notice
+#          when clang-tidy is not installed.
+# Logs land in build-<preset>/sanitizer-logs/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+run_preset() {
+  local preset="$1" build_dir="$2"
+  shift 2
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  mkdir -p "$build_dir/sanitizer-logs"
+  # Sanitizer reports go to stderr; keep a copy for postmortems the way
+  # the CI artifact upload does.
+  ctest --preset "$preset" "$@" 2>&1 | tee "$build_dir/sanitizer-logs/ctest.log"
+}
+
+case "$mode" in
+  asan|all)
+    run_preset asan-ubsan build-asan
+    ;;&
+  tsan|all)
+    run_preset tsan build-tsan
+    ;;&
+  tidy|all)
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+      echo "clang-tidy not installed; skipping the lint gate" >&2
+      [ "$mode" = tidy ] && exit 1
+    else
+      cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+      # Lint first-party code only; gtest/benchmark glue is third-party.
+      git ls-files 'src/**/*.cpp' 'apps/*.cpp' 'bench/*.cpp' \
+        | xargs -P "$(nproc)" -n 8 clang-tidy -p build --quiet
+    fi
+    ;;&
+  asan|tsan|tidy|all)
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan|tidy|all]" >&2
+    exit 2
+    ;;
+esac
