@@ -58,6 +58,25 @@
 //   trace_out        Chrome trace_event JSON path (open in Perfetto)
 //   measure_force_set record |S(n)| per step (default: on when
 //                    metrics_out is set)
+//   transport        inproc (default) | tcp — communication backend for
+//                    parallel runs (docs/TRANSPORT.md).  `inproc` runs
+//                    `ranks` threads in this process; `tcp` makes this
+//                    process ONE rank of a multi-process cluster — start
+//                    one process per rank (tools/launch_tcp.sh does it):
+//                      --transport=tcp --rank=i --nranks=N
+//                      --rendezvous=host:port
+//                    Output artifacts (metrics, trace, trajectory,
+//                    checkpoint_out, stdout report) are written by
+//                    rank 0 only.
+//   rank             tcp: this process's rank in [0, nranks)
+//   nranks           tcp: total process count (the cluster size)
+//   rendezvous       tcp: host:port where rank 0 listens for bootstrap
+//   advertise_host   tcp: address peers use to reach this rank
+//                    (default 127.0.0.1; set for multi-host runs)
+//   connect_timeout_s  tcp: give up dialing after this long (default 30)
+//   recv_timeout_s   tcp: recv/collective wait bound in seconds before
+//                    the run fails with an error; 0 = wait forever
+//                    (default 60)
 
 #include <cstdio>
 #include <memory>
@@ -76,6 +95,7 @@
 #include "io/xyz.hpp"
 #include "md/builders.hpp"
 #include "md/units.hpp"
+#include "net/tcp.hpp"
 #include "parallel/parallel_engine.hpp"
 #include "potentials/bks.hpp"
 #include "potentials/dihedral.hpp"
@@ -153,7 +173,10 @@ int run(const std::string& path,
                      "measure_pressure", "metrics_out", "metrics_every",
                      "trace_out", "measure_force_set", "dense_fraction",
                      "balance", "balance_threshold",
-                     "balance_min_interval", "tuple_cache", "check"});
+                     "balance_min_interval", "tuple_cache", "check",
+                     "transport", "rank", "nranks", "rendezvous",
+                     "advertise_host", "connect_timeout_s",
+                     "recv_timeout_s"});
   SCMD_REQUIRE(cfg.has("field"), "config must set `field`");
 
   const std::string field_name = cfg.get("field", "");
@@ -164,25 +187,54 @@ int run(const std::string& path,
   const double tau_fs = cfg.get_double("thermostat_tau_fs", 0.0);
   const int log_every = static_cast<int>(cfg.get_int("log_every", 10));
 
+  // Communication backend.  `tcp` makes this process one rank of a
+  // multi-process cluster; every process builds the same system from the
+  // same seed, so only ids/positions each rank owns need no broadcast.
+  const std::string transport_name = cfg.get("transport", "inproc");
+  SCMD_REQUIRE(transport_name == "inproc" || transport_name == "tcp",
+               "transport must be inproc | tcp, got: " + transport_name);
+  const bool tcp = transport_name == "tcp";
+  int tcp_rank = 0;
+  int tcp_nranks = 0;
+  if (tcp) {
+    tcp_rank = static_cast<int>(cfg.get_int("rank", -1));
+    tcp_nranks = static_cast<int>(cfg.get_int("nranks", 0));
+    SCMD_REQUIRE(tcp_nranks >= 2 && tcp_rank >= 0 && tcp_rank < tcp_nranks,
+                 "tcp transport needs rank in [0, nranks) and nranks >= 2");
+    SCMD_REQUIRE(cfg.has("rendezvous"),
+                 "tcp transport needs rendezvous=host:port");
+    SCMD_REQUIRE(!cfg.has("ranks"),
+                 "tcp runs take the cluster size from nranks, not ranks");
+  } else {
+    SCMD_REQUIRE(!cfg.has("rank") && !cfg.has("nranks") &&
+                     !cfg.has("rendezvous"),
+                 "rank/nranks/rendezvous need transport=tcp");
+  }
+  // In a TCP run only rank 0 reports and writes artifacts.
+  const bool root = !tcp || tcp_rank == 0;
+
   const auto field = make_field(field_name);
   Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 1)));
   ParticleSystem sys = build_system(cfg, field_name, *field, rng);
 
-  std::printf("# scmd_run: field=%s strategy=%s atoms=%d steps=%d ranks=%d\n",
-              field_name.c_str(), strategy.c_str(), sys.num_atoms(), steps,
-              ranks);
+  if (root)
+    std::printf(
+        "# scmd_run: field=%s strategy=%s atoms=%d steps=%d ranks=%d\n",
+        field_name.c_str(), strategy.c_str(), sys.num_atoms(), steps,
+        tcp ? tcp_nranks : ranks);
 
   // Observability artifacts: structured per-step metrics (JSONL/CSV) and
   // Chrome-trace phase spans.
   std::unique_ptr<obs::MetricsRegistry> metrics;
-  if (cfg.has("metrics_out")) {
+  if (cfg.has("metrics_out") && root) {
     metrics = std::make_unique<obs::MetricsRegistry>();
     metrics->add_sink(make_metrics_sink(cfg.get("metrics_out", "")));
     metrics->set_attr("field", field_name);
     metrics->set_attr("strategy", strategy);
   }
   std::unique_ptr<obs::TraceSession> trace;
-  if (cfg.has("trace_out")) trace = std::make_unique<obs::TraceSession>();
+  if (cfg.has("trace_out") && root)
+    trace = std::make_unique<obs::TraceSession>();
   const int metrics_every =
       static_cast<int>(cfg.get_int("metrics_every", 1));
   // |S(n)| is cheap to measure and part of the structured record, so it
@@ -227,7 +279,7 @@ int run(const std::string& path,
                    "tuple_cache must be off | skin=<s>, got: " + tc);
     }
   }
-  if (ranks > 1) {
+  if (ranks > 1 || tcp) {
     SCMD_REQUIRE(tau_fs == 0.0,
                  "thermostatted runs need ranks = 1 (parallel runs are NVE)");
     ParallelRunConfig pcfg;
@@ -254,24 +306,49 @@ int run(const std::string& path,
           static_cast<int>(cfg.get_int("balance_min_interval", 10));
       pcfg.make_balancer = make_rebalancer_factory(bc);
     }
-    const ParallelRunResult res = run_parallel_md(
-        sys, *field, strategy, ProcessGrid::factor(ranks), pcfg);
-    std::printf("# E_pot = %.6f, T = %.1f K, max-rank ghosts = %llu\n",
-                res.potential_energy, sys.temperature(),
-                static_cast<unsigned long long>(
-                    res.max_rank.ghost_atoms_imported));
-    if (balance != "off")
-      std::printf("# balance: %d rebalance(s), last max/mean work ratio "
-                  "%.4f\n",
-                  res.rebalances, res.last_balance_ratio);
-    if (cache_cfg.enabled)
-      // Collective decision: every rank counts the same events, so the
-      // max over ranks is the cluster-wide count.
-      std::printf("# tuple_cache: %llu rebuild(s), %llu reuse step(s)\n",
+    ParallelRunResult res;
+    if (tcp) {
+      // One rank of a multi-process cluster: connect the mesh, run, and
+      // let rank 0 gather the final state into `sys`.
+      TcpConfig tc;
+      tc.rank = tcp_rank;
+      tc.num_ranks = tcp_nranks;
+      const std::string rv = cfg.get("rendezvous", "");
+      const auto colon = rv.rfind(':');
+      SCMD_REQUIRE(colon != std::string::npos && colon > 0 &&
+                       colon + 1 < rv.size(),
+                   "rendezvous must be host:port, got: " + rv);
+      tc.rendezvous_host = rv.substr(0, colon);
+      tc.rendezvous_port = std::stoi(rv.substr(colon + 1));
+      tc.advertise_host = cfg.get("advertise_host", "127.0.0.1");
+      tc.connect_timeout_s = cfg.get_double("connect_timeout_s", 30.0);
+      tc.recv_timeout_s = cfg.get_double("recv_timeout_s", 60.0);
+      TcpTransport transport(tc);
+      Comm comm(transport);
+      res = run_parallel_md_rank(sys, *field, strategy,
+                                 ProcessGrid::factor(tcp_nranks), pcfg, comm);
+    } else {
+      res = run_parallel_md(sys, *field, strategy, ProcessGrid::factor(ranks),
+                            pcfg);
+    }
+    if (root) {
+      std::printf("# E_pot = %.6f, T = %.1f K, max-rank ghosts = %llu\n",
+                  res.potential_energy, sys.temperature(),
                   static_cast<unsigned long long>(
-                      res.max_rank.cache_rebuilds),
-                  static_cast<unsigned long long>(
-                      res.max_rank.cache_reuse_steps));
+                      res.max_rank.ghost_atoms_imported));
+      if (balance != "off")
+        std::printf("# balance: %d rebalance(s), last max/mean work ratio "
+                    "%.4f\n",
+                    res.rebalances, res.last_balance_ratio);
+      if (cache_cfg.enabled)
+        // Collective decision: every rank counts the same events, so the
+        // max over ranks is the cluster-wide count.
+        std::printf("# tuple_cache: %llu rebuild(s), %llu reuse step(s)\n",
+                    static_cast<unsigned long long>(
+                        res.max_rank.cache_rebuilds),
+                    static_cast<unsigned long long>(
+                        res.max_rank.cache_reuse_steps));
+    }
   } else {
     SCMD_REQUIRE(balance == "off",
                  "balance needs a parallel run (set ranks > 1)");
@@ -345,7 +422,7 @@ int run(const std::string& path,
     }
   }
 
-  if (checking)
+  if (checking && root)
     std::printf("# check: %llu invariant check(s) verified, zero "
                 "violations\n",
                 static_cast<unsigned long long>(check::checks_passed()));
@@ -359,7 +436,8 @@ int run(const std::string& path,
   if (metrics)
     std::printf("# metrics: %s\n", cfg.get("metrics_out", "").c_str());
 
-  if (cfg.has("checkpoint_out"))
+  // Only rank 0's `sys` holds the gathered final state in a TCP run.
+  if (cfg.has("checkpoint_out") && root)
     save_checkpoint(sys, cfg.get("checkpoint_out", ""));
   return 0;
 }

@@ -1,0 +1,228 @@
+// Message-rate / bandwidth micro-benchmark for the transport backends
+// (docs/TRANSPORT.md): ping-pong latency and message rate between two
+// ranks, and all-to-all bandwidth across P ranks, over the in-process
+// cluster and the loopback TCP mesh.  Separates the algorithmic
+// communication volume (counted by EngineCounters) from what the
+// runtime actually moves — and prices the backends against each other.
+//
+//   ./bench_comm [--ranks=4] [--rounds=2000] [--bytes=16384]
+//                [--backend=all|inproc|tcp] [--metrics-out=FILE]
+//
+// --metrics-out writes one structured record per (backend, pattern)
+// with the measured rates plus the comm.transport.* statistics the
+// engines report (docs/OBSERVABILITY.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+#include "net/transport_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace scmd;
+
+/// Run `fn` once per rank over the chosen backend (TCP = loopback mesh
+/// in this process, same transport code as a multi-process run).
+void run_ranks(const std::string& backend, int P,
+               const std::function<void(Transport&)>& fn,
+               TransportStats* agg) {
+  std::unique_ptr<Cluster> cluster;
+  int rendezvous_fd = -1;
+  int rendezvous_port = 0;
+  if (backend == "inproc") {
+    cluster = std::make_unique<Cluster>(P);
+  } else {
+    std::tie(rendezvous_fd, rendezvous_port) =
+        bind_listener("127.0.0.1", 0);
+  }
+  std::mutex agg_m;
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        std::unique_ptr<TcpTransport> tcp;
+        Transport* t;
+        if (cluster) {
+          t = &cluster->transport(r);
+        } else {
+          TcpConfig cfg;
+          cfg.rank = r;
+          cfg.num_ranks = P;
+          cfg.rendezvous_port = rendezvous_port;
+          if (r == 0) cfg.rendezvous_fd = rendezvous_fd;
+          tcp = std::make_unique<TcpTransport>(cfg);
+          t = tcp.get();
+        }
+        fn(*t);
+        if (agg) {
+          std::lock_guard<std::mutex> lk(agg_m);
+          *agg += t->stats();
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+struct Measurement {
+  double seconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  TransportStats stats;
+};
+
+/// Rank 0 <-> rank 1 ping-pong: latency and message rate for `bytes`
+/// payloads.  Other ranks idle at the barriers.
+Measurement ping_pong(const std::string& backend, int P, int rounds,
+                      std::size_t bytes) {
+  Measurement m;
+  m.messages = 2ull * static_cast<std::uint64_t>(rounds);
+  m.bytes = m.messages * bytes;
+  std::mutex time_m;
+  run_ranks(
+      backend, P,
+      [&](Transport& t) {
+        Bytes payload(bytes);
+        t.barrier();
+        Timer timer;
+        for (int i = 0; i < rounds; ++i) {
+          if (t.rank() == 0) {
+            t.send(1, 1, payload);
+            payload = t.recv(1, 2);
+          } else if (t.rank() == 1) {
+            payload = t.recv(0, 1);
+            t.send(0, 2, payload);
+          }
+        }
+        t.barrier();
+        if (t.rank() == 0) {
+          std::lock_guard<std::mutex> lk(time_m);
+          m.seconds = timer.seconds();
+        }
+      },
+      &m.stats);
+  return m;
+}
+
+/// Every rank sends `rounds` payloads to every other rank and drains its
+/// own inbound traffic: aggregate bandwidth under full mesh load.
+Measurement all_to_all(const std::string& backend, int P, int rounds,
+                       std::size_t bytes) {
+  Measurement m;
+  m.messages = static_cast<std::uint64_t>(rounds) *
+               static_cast<std::uint64_t>(P) *
+               static_cast<std::uint64_t>(P - 1);
+  m.bytes = m.messages * bytes;
+  std::mutex time_m;
+  run_ranks(
+      backend, P,
+      [&](Transport& t) {
+        const Bytes payload(bytes);
+        t.barrier();
+        Timer timer;
+        for (int i = 0; i < rounds; ++i) {
+          for (int dst = 0; dst < P; ++dst) {
+            if (dst != t.rank()) t.send(dst, 3, payload);
+          }
+          for (int src = 0; src < P; ++src) {
+            if (src != t.rank()) t.recv(src, 3);
+          }
+        }
+        t.barrier();
+        if (t.rank() == 0) {
+          std::lock_guard<std::mutex> lk(time_m);
+          m.seconds = timer.seconds();
+        }
+      },
+      &m.stats);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scmd;
+  try {
+    const Cli cli(argc, argv,
+                  {"ranks", "rounds", "bytes", "backend", "metrics-out"});
+    const int ranks = static_cast<int>(cli.get_int("ranks", 4));
+    const int rounds = static_cast<int>(cli.get_int("rounds", 2000));
+    const std::size_t bytes =
+        static_cast<std::size_t>(cli.get_int("bytes", 16384));
+    const std::string which = cli.get("backend", "all");
+    SCMD_REQUIRE(which == "all" || which == "inproc" || which == "tcp",
+                 "--backend must be all | inproc | tcp");
+    SCMD_REQUIRE(ranks >= 2, "--ranks must be >= 2");
+
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    if (!cli.get("metrics-out", "").empty()) {
+      metrics = std::make_unique<obs::MetricsRegistry>();
+      metrics->add_sink(
+          std::make_unique<obs::JsonlSink>(cli.get("metrics-out", "")));
+    }
+
+    std::printf("# bench_comm: ranks=%d rounds=%d bytes=%zu\n", ranks,
+                rounds, bytes);
+    Table table({"backend", "pattern", "msgs/s", "MB/s", "us/msg",
+                 "stall s", "watermark"});
+    int emit_seq = 0;
+    std::vector<std::string> backends;
+    if (which == "all") {
+      backends = {"inproc", "tcp"};
+    } else {
+      backends = {which};
+    }
+    const std::vector<std::string> patterns{"pingpong", "alltoall"};
+    for (const std::string& backend : backends) {
+      for (const std::string& pattern : patterns) {
+        const Measurement m = pattern == "pingpong"
+                                  ? ping_pong(backend, ranks, rounds, bytes)
+                                  : all_to_all(backend, ranks, rounds, bytes);
+        const double rate =
+            static_cast<double>(m.messages) / std::max(m.seconds, 1e-12);
+        const double mbps = static_cast<double>(m.bytes) / 1.0e6 /
+                            std::max(m.seconds, 1e-12);
+        table.add_row({backend, pattern, rate, mbps,
+                       1e6 * m.seconds / static_cast<double>(m.messages),
+                       1e-9 * static_cast<double>(m.stats.recv_stall_ns),
+                       static_cast<double>(m.stats.max_mailbox_depth)});
+        if (metrics) {
+          metrics->set_attr("backend", backend);
+          metrics->set_attr("pattern", pattern);
+          metrics->set("bench.msg_rate", rate);
+          metrics->set("bench.bandwidth_mbps", mbps);
+          obs::record_transport(*metrics, m.stats);
+          metrics->emit(emit_seq++);
+        }
+      }
+    }
+    table.print(std::cout);
+    if (metrics)
+      std::printf("# metrics: %s\n", cli.get("metrics-out", "").c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

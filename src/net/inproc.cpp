@@ -1,0 +1,110 @@
+#include "net/inproc.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+Cluster::Cluster(int num_ranks) : num_ranks_(num_ranks), boxes_(num_ranks) {
+  SCMD_REQUIRE(num_ranks >= 1, "cluster needs at least one rank");
+  transports_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r)
+    transports_.push_back(std::make_unique<InProcTransport>(*this, r));
+}
+
+InProcTransport& Cluster::transport(int rank) {
+  SCMD_REQUIRE(rank >= 0 && rank < num_ranks_, "transport for invalid rank");
+  return *transports_[static_cast<std::size_t>(rank)];
+}
+
+void Cluster::send(int src, int dst, int tag, Bytes payload) {
+  SCMD_REQUIRE(dst >= 0 && dst < num_ranks_, "send to invalid rank");
+  {
+    std::lock_guard lk(stats_m_);
+    ++total_messages_;
+    total_bytes_ += payload.size();
+  }
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lk(box.m);
+    box.queues[{src, tag}].push_back(std::move(payload));
+    ++box.depth;
+    if (box.depth > box.high_water) box.high_water = box.depth;
+  }
+  box.cv.notify_all();
+}
+
+Bytes Cluster::recv(int dst, int src, int tag, std::uint64_t* stall_ns) {
+  SCMD_REQUIRE(dst >= 0 && dst < num_ranks_, "recv on invalid rank");
+  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lk(box.m);
+  auto& q = box.queues[{src, tag}];
+  if (q.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    box.cv.wait(lk, [&] { return !q.empty(); });
+    if (stall_ns != nullptr)
+      *stall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+  }
+  Bytes out = std::move(q.front());
+  q.pop_front();
+  --box.depth;
+  return out;
+}
+
+double Cluster::reduce(double value, bool is_max) {
+  std::unique_lock lk(coll_m_);
+  const std::uint64_t my_gen = coll_gen_;
+  if (!coll_started_) {
+    coll_acc_ = value;
+    coll_started_ = true;
+  } else {
+    coll_acc_ = is_max ? std::max(coll_acc_, value) : coll_acc_ + value;
+  }
+  if (++coll_count_ == num_ranks_) {
+    coll_result_ = coll_acc_;
+    coll_count_ = 0;
+    coll_started_ = false;
+    ++coll_gen_;
+    coll_cv_.notify_all();
+    return coll_result_;
+  }
+  coll_cv_.wait(lk, [&] { return coll_gen_ != my_gen; });
+  return coll_result_;
+}
+
+void Cluster::barrier() { reduce(0.0, false); }
+
+double Cluster::allreduce_sum(double value) { return reduce(value, false); }
+
+double Cluster::allreduce_max(double value) { return reduce(value, true); }
+
+std::uint64_t Cluster::total_messages() const {
+  std::lock_guard lk(stats_m_);
+  return total_messages_;
+}
+
+std::uint64_t Cluster::total_bytes() const {
+  std::lock_guard lk(stats_m_);
+  return total_bytes_;
+}
+
+std::uint64_t Cluster::mailbox_high_water(int rank) const {
+  SCMD_REQUIRE(rank >= 0 && rank < num_ranks_, "watermark for invalid rank");
+  const Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard lk(box.m);
+  return box.high_water;
+}
+
+std::uint64_t Cluster::max_mailbox_depth() const {
+  std::uint64_t max_depth = 0;
+  for (int r = 0; r < num_ranks_; ++r)
+    max_depth = std::max(max_depth, mailbox_high_water(r));
+  return max_depth;
+}
+
+}  // namespace scmd

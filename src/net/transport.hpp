@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file transport.hpp
+/// Pluggable communication transport for the SC-MD cluster runtime.
+///
+/// Every parallel protocol in this repo — octant 3-stage forwarded
+/// import, full-shell 6-stage import, reverse force write-back, staged
+/// migration, the collective balance/cache decisions — talks to the
+/// cluster through the MPI-like semantics defined here:
+///
+///  - send() is asynchronous and never blocks the sender;
+///  - recv() blocks until a message with the given (src, tag) arrives
+///    (backends may bound the wait and surface a timeout as an error);
+///  - message order is preserved per (src, dst, tag);
+///  - collectives (barrier, allreduce) must be entered by every rank,
+///    in the same order.
+///
+/// Backends:
+///  - InProcTransport (net/inproc.hpp): ranks are threads of one
+///    process, messages move through shared-memory mailboxes.  The
+///    testing and single-node workhorse.
+///  - TcpTransport (net/tcp.hpp): one process per rank, length-prefixed
+///    frames over TCP sockets, rank-0 rendezvous for address exchange.
+///    The multi-process / multi-host backend.
+///
+/// The engine layers never see a backend type: src/parallel adapts a
+/// Transport into its per-rank Comm handle, so RankEngine, HaloExchange,
+/// Migrator, the balancer protocol, and check::Channel run unchanged on
+/// either backend (docs/TRANSPORT.md).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace scmd {
+
+/// Payload type for messages.
+using Bytes = std::vector<std::byte>;
+
+/// Pack a trivially copyable array into a byte payload.
+template <class T>
+Bytes pack(const std::vector<T>& items) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  Bytes out(items.size() * sizeof(T));
+  if (!items.empty()) std::memcpy(out.data(), items.data(), out.size());
+  return out;
+}
+
+/// Unpack a byte payload produced by pack<T>.  A payload whose size is
+/// not a whole number of T records cannot have come from pack<T> —
+/// truncating it would silently drop the trailing bytes of a corrupt or
+/// mis-tagged message, so it throws instead.
+template <class T>
+std::vector<T> unpack(const Bytes& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  SCMD_REQUIRE(bytes.size() % sizeof(T) == 0,
+               "unpack: payload of " + std::to_string(bytes.size()) +
+                   " bytes is not a whole number of " +
+                   std::to_string(sizeof(T)) + "-byte records");
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+/// Cumulative per-rank transport statistics.  Sent counts are recorded
+/// when the message is accepted (enqueue), received counts when it is
+/// taken off the wire/mailbox; recv_stall_ns is the time this rank spent
+/// blocked in recv() waiting for a message that had not arrived yet;
+/// max_mailbox_depth is the high watermark of messages queued for this
+/// rank but not yet received — the observable for the unbounded-mailbox
+/// assumption (docs/TRANSPORT.md).
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t recv_stall_ns = 0;
+  std::uint64_t max_mailbox_depth = 0;
+
+  TransportStats& operator+=(const TransportStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    recv_stall_ns += o.recv_stall_ns;
+    if (o.max_mailbox_depth > max_mailbox_depth)
+      max_mailbox_depth = o.max_mailbox_depth;
+    return *this;
+  }
+};
+
+/// One rank's endpoint onto the cluster.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int rank() const = 0;
+  virtual int num_ranks() const = 0;
+
+  /// Deposit a message for `dst`; never blocks on the receiver.
+  virtual void send(int dst, int tag, Bytes payload) = 0;
+
+  /// Blocking receive of the next message from (src, tag).  Backends
+  /// with a receive timeout throw scmd::Error when it expires or when
+  /// the peer is known dead — a fault is an error, never a hang.
+  virtual Bytes recv(int src, int tag) = 0;
+
+  /// Generation barrier; all ranks must call.
+  virtual void barrier() = 0;
+
+  /// Sum reduction over all ranks; all ranks must call, all get the sum.
+  virtual double allreduce_sum(double value) = 0;
+
+  /// Max reduction over all ranks.
+  virtual double allreduce_max(double value) = 0;
+
+  /// Snapshot of this rank's cumulative statistics.
+  virtual TransportStats stats() const = 0;
+};
+
+}  // namespace scmd

@@ -1,0 +1,19 @@
+#include "net/transport_metrics.hpp"
+
+namespace scmd::obs {
+
+void record_transport(MetricsRegistry& reg, const TransportStats& agg) {
+  reg.set("comm.transport.messages_sent",
+          static_cast<double>(agg.messages_sent));
+  reg.set("comm.transport.bytes_sent", static_cast<double>(agg.bytes_sent));
+  reg.set("comm.transport.messages_recv",
+          static_cast<double>(agg.messages_received));
+  reg.set("comm.transport.bytes_recv",
+          static_cast<double>(agg.bytes_received));
+  reg.set("comm.transport.recv_stall_s",
+          static_cast<double>(agg.recv_stall_ns) * 1e-9);
+  reg.set("comm.transport.max_mailbox_depth",
+          static_cast<double>(agg.max_mailbox_depth));
+}
+
+}  // namespace scmd::obs

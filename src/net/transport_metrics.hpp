@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file transport_metrics.hpp
+/// Transport statistics → MetricsRegistry schema bridge.
+///
+/// Extends the append-only observability schema (docs/OBSERVABILITY.md)
+/// with per-transport gauges under comm.transport.*.  Parallel drivers
+/// aggregate the per-rank TransportStats (sums, except the mailbox
+/// watermark which is a max over ranks) and record the run-cumulative
+/// values once; every emitted record then carries them.
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+
+namespace scmd::obs {
+
+/// Record aggregated transport statistics as gauges:
+///   comm.transport.messages_sent, comm.transport.bytes_sent,
+///   comm.transport.messages_recv,  comm.transport.bytes_recv,
+///   comm.transport.recv_stall_s   (summed over ranks, seconds),
+///   comm.transport.max_mailbox_depth (max over ranks)
+void record_transport(MetricsRegistry& reg, const TransportStats& agg);
+
+}  // namespace scmd::obs

@@ -1,79 +1,10 @@
 #include "parallel/comm.hpp"
 
-#include <algorithm>
 #include <exception>
 #include <thread>
-
-#include "support/error.hpp"
+#include <vector>
 
 namespace scmd {
-
-Cluster::Cluster(int num_ranks) : num_ranks_(num_ranks), boxes_(num_ranks) {
-  SCMD_REQUIRE(num_ranks >= 1, "cluster needs at least one rank");
-}
-
-void Cluster::send(int src, int dst, int tag, Bytes payload) {
-  SCMD_REQUIRE(dst >= 0 && dst < num_ranks_, "send to invalid rank");
-  {
-    std::lock_guard lk(stats_m_);
-    ++total_messages_;
-    total_bytes_ += payload.size();
-  }
-  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
-  {
-    std::lock_guard lk(box.m);
-    box.queues[{src, tag}].push_back(std::move(payload));
-  }
-  box.cv.notify_all();
-}
-
-Bytes Cluster::recv(int dst, int src, int tag) {
-  SCMD_REQUIRE(dst >= 0 && dst < num_ranks_, "recv on invalid rank");
-  Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock lk(box.m);
-  auto& q = box.queues[{src, tag}];
-  box.cv.wait(lk, [&] { return !q.empty(); });
-  Bytes out = std::move(q.front());
-  q.pop_front();
-  return out;
-}
-
-double Cluster::reduce(double value, bool is_max) {
-  std::unique_lock lk(coll_m_);
-  const std::uint64_t my_gen = coll_gen_;
-  if (!coll_started_) {
-    coll_acc_ = value;
-    coll_started_ = true;
-  } else {
-    coll_acc_ = is_max ? std::max(coll_acc_, value) : coll_acc_ + value;
-  }
-  if (++coll_count_ == num_ranks_) {
-    coll_result_ = coll_acc_;
-    coll_count_ = 0;
-    coll_started_ = false;
-    ++coll_gen_;
-    coll_cv_.notify_all();
-    return coll_result_;
-  }
-  coll_cv_.wait(lk, [&] { return coll_gen_ != my_gen; });
-  return coll_result_;
-}
-
-void Cluster::barrier() { reduce(0.0, false); }
-
-double Cluster::allreduce_sum(double value) { return reduce(value, false); }
-
-double Cluster::allreduce_max(double value) { return reduce(value, true); }
-
-std::uint64_t Cluster::total_messages() const {
-  std::lock_guard lk(stats_m_);
-  return total_messages_;
-}
-
-std::uint64_t Cluster::total_bytes() const {
-  std::lock_guard lk(stats_m_);
-  return total_bytes_;
-}
 
 void run_cluster(int num_ranks, const std::function<void(Comm&)>& fn) {
   Cluster cluster(num_ranks);

@@ -1,129 +1,54 @@
 #pragma once
 
 /// \file comm.hpp
-/// In-process message-passing runtime.
+/// Per-rank communication handle over a pluggable Transport.
 ///
-/// Substitute for MPI on the paper's clusters (see DESIGN.md §4): ranks
-/// are threads in one process, point-to-point messages are byte payloads
-/// moved through per-destination mailboxes, and collectives are built on a
-/// generation-counted monitor.  Every communication pattern of the paper —
-/// octant 3-stage forwarded import, full-shell 6-stage import, reverse
-/// force write-back, staged migration — runs for real on this layer, so
-/// parallel correctness is testable without cluster hardware.
-///
-/// Semantics (deliberately MPI-like):
-///  - send() is asynchronous and never blocks (unbounded mailboxes);
+/// The engine layers (HaloExchange, Migrator, RankEngine, the balancer
+/// protocol, check::Channel) all talk through Comm, which forwards to an
+/// abstract Transport endpoint (src/net): the in-process thread cluster
+/// for tests and single-node runs, or the multi-process TCP backend for
+/// real cluster runs — same MPI-like semantics either way
+/// (docs/TRANSPORT.md):
+///  - send() is asynchronous and never blocks;
 ///  - recv() blocks until a message with the given (src, tag) arrives;
 ///  - message order is preserved per (src, dst, tag);
 ///  - collectives must be entered by every rank.
 
-#include <condition_variable>
-#include <cstddef>
-#include <cstdint>
-#include <cstring>
-#include <deque>
 #include <functional>
-#include <map>
-#include <mutex>
-#include <vector>
+
+#include "net/inproc.hpp"
+#include "net/transport.hpp"
 
 namespace scmd {
 
-/// Payload type for messages.
-using Bytes = std::vector<std::byte>;
-
-/// Pack a trivially copyable array into a byte payload.
-template <class T>
-Bytes pack(const std::vector<T>& items) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  Bytes out(items.size() * sizeof(T));
-  if (!items.empty()) std::memcpy(out.data(), items.data(), out.size());
-  return out;
-}
-
-/// Unpack a byte payload produced by pack<T>.
-template <class T>
-std::vector<T> unpack(const Bytes& bytes) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  std::vector<T> out(bytes.size() / sizeof(T));
-  if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
-  return out;
-}
-
-/// Shared communication state for a set of ranks.
-class Cluster {
- public:
-  explicit Cluster(int num_ranks);
-
-  int num_ranks() const { return num_ranks_; }
-
-  /// Deposit a message; never blocks.
-  void send(int src, int dst, int tag, Bytes payload);
-
-  /// Blocking receive of the next message from (src, tag).
-  Bytes recv(int dst, int src, int tag);
-
-  /// Generation barrier; all ranks must call.
-  void barrier();
-
-  /// Sum reduction over all ranks; all ranks must call, all get the sum.
-  double allreduce_sum(double value);
-
-  /// Max reduction over all ranks.
-  double allreduce_max(double value);
-
-  /// Cumulative message statistics (for tests/diagnostics).
-  std::uint64_t total_messages() const;
-  std::uint64_t total_bytes() const;
-
- private:
-  struct Mailbox {
-    std::mutex m;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<Bytes>> queues;  // (src,tag)
-  };
-
-  double reduce(double value, bool is_max);
-
-  int num_ranks_;
-  std::vector<Mailbox> boxes_;
-
-  std::mutex coll_m_;
-  std::condition_variable coll_cv_;
-  std::uint64_t coll_gen_ = 0;
-  int coll_count_ = 0;
-  double coll_acc_ = 0.0;
-  double coll_result_ = 0.0;
-  bool coll_started_ = false;
-
-  mutable std::mutex stats_m_;
-  std::uint64_t total_messages_ = 0;
-  std::uint64_t total_bytes_ = 0;
-};
-
-/// One rank's handle onto a Cluster.
+/// One rank's handle onto the cluster, bound to a Transport endpoint.
 class Comm {
  public:
-  Comm(Cluster& cluster, int rank) : cluster_(&cluster), rank_(rank) {}
+  explicit Comm(Transport& transport) : transport_(&transport) {}
+  /// Convenience: bind to rank's endpoint of an in-process cluster.
+  Comm(Cluster& cluster, int rank) : transport_(&cluster.transport(rank)) {}
 
-  int rank() const { return rank_; }
-  int num_ranks() const { return cluster_->num_ranks(); }
+  int rank() const { return transport_->rank(); }
+  int num_ranks() const { return transport_->num_ranks(); }
 
   void send(int dst, int tag, Bytes payload) {
-    cluster_->send(rank_, dst, tag, std::move(payload));
+    transport_->send(dst, tag, std::move(payload));
   }
-  Bytes recv(int src, int tag) { return cluster_->recv(rank_, src, tag); }
-  void barrier() { cluster_->barrier(); }
-  double allreduce_sum(double v) { return cluster_->allreduce_sum(v); }
-  double allreduce_max(double v) { return cluster_->allreduce_max(v); }
+  Bytes recv(int src, int tag) { return transport_->recv(src, tag); }
+  void barrier() { transport_->barrier(); }
+  double allreduce_sum(double v) { return transport_->allreduce_sum(v); }
+  double allreduce_max(double v) { return transport_->allreduce_max(v); }
+
+  /// The underlying endpoint (statistics, backend-specific knobs).
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
 
  private:
-  Cluster* cluster_;
-  int rank_;
+  Transport* transport_;
 };
 
-/// Run `fn` once per rank on its own thread; rethrows the first rank
-/// exception after all threads join.
+/// Run `fn` once per rank on its own thread over an in-process cluster;
+/// rethrows the first rank exception after all threads join.
 void run_cluster(int num_ranks, const std::function<void(Comm&)>& fn);
 
 }  // namespace scmd

@@ -1,13 +1,74 @@
 #include "parallel/parallel_engine.hpp"
 
+#include <cstdint>
 #include <exception>
 #include <thread>
+#include <type_traits>
 
 #include "check/invariant.hpp"
+#include "net/transport_metrics.hpp"
 #include "parallel/rank_engine.hpp"
 #include "support/error.hpp"
 
 namespace scmd {
+
+namespace {
+
+/// Componentwise max over ranks, for load-imbalance analysis.
+void accumulate_max_rank(EngineCounters& max_rank, const EngineCounters& c) {
+  auto maxu = [](std::uint64_t& a, std::uint64_t b) {
+    if (b > a) a = b;
+  };
+  for (std::size_t n = 0; n < c.tuples.size(); ++n) {
+    maxu(max_rank.tuples[n].search_steps, c.tuples[n].search_steps);
+    maxu(max_rank.tuples[n].chain_candidates, c.tuples[n].chain_candidates);
+    maxu(max_rank.tuples[n].cell_visits, c.tuples[n].cell_visits);
+    maxu(max_rank.tuples[n].accepted, c.tuples[n].accepted);
+    maxu(max_rank.evals[n], c.evals[n]);
+    if (c.force_set[n] > max_rank.force_set[n])
+      max_rank.force_set[n] = c.force_set[n];
+  }
+  maxu(max_rank.list_pairs, c.list_pairs);
+  maxu(max_rank.list_scan_steps, c.list_scan_steps);
+  maxu(max_rank.cache_rebuilds, c.cache_rebuilds);
+  maxu(max_rank.cache_reuse_steps, c.cache_reuse_steps);
+  maxu(max_rank.cache_replayed, c.cache_replayed);
+  maxu(max_rank.ghost_atoms_imported, c.ghost_atoms_imported);
+  maxu(max_rank.messages, c.messages);
+  maxu(max_rank.bytes_imported, c.bytes_imported);
+  maxu(max_rank.bytes_written_back, c.bytes_written_back);
+}
+
+/// Per-step structured records shared by both drivers: cluster totals
+/// plus the rank-imbalance summary (Eq.-33 import volume per rank) and,
+/// when balancing, the per-step balance outcome.
+void emit_step_metrics(obs::MetricsRegistry& reg, int metrics_every,
+                       int max_n, bool balancing,
+                       const std::vector<std::vector<EngineCounters>>& work,
+                       const std::vector<std::vector<double>>& energy,
+                       const std::vector<BalanceStepInfo>& balance) {
+  const int every = metrics_every > 0 ? metrics_every : 1;
+  const std::size_t num_records = work.size();
+  for (std::size_t s = 0; s < num_records; ++s) {
+    obs::StepSample sample;
+    sample.max_n = max_n;
+    for (std::size_t r = 0; r < work[s].size(); ++r) {
+      sample.work += work[s][r];
+      sample.potential_energy += energy[s][r];
+    }
+    obs::record_step(reg, sample);
+    obs::record_rank_imbalance(reg, work[s]);
+    if (balancing) {
+      const BalanceStepInfo& b = balance[s];
+      obs::record_balance(reg, b.ratio, b.rebalanced, b.predicted_ratio,
+                          b.migrated_atoms);
+    }
+    if (s % static_cast<std::size_t>(every) == 0 || s + 1 == num_records)
+      reg.emit(static_cast<long long>(s));
+  }
+}
+
+}  // namespace
 
 std::vector<RankState> scatter_atoms(const ParticleSystem& sys,
                                      const Decomposition& decomp) {
@@ -157,29 +218,7 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
     const EngineCounters& c = rank_counters[static_cast<std::size_t>(r)];
     result.potential_energy += rank_energy[static_cast<std::size_t>(r)];
     result.total += c;
-    // Componentwise max for load-imbalance analysis.
-    auto maxu = [](std::uint64_t& a, std::uint64_t b) {
-      if (b > a) a = b;
-    };
-    for (std::size_t n = 0; n < c.tuples.size(); ++n) {
-      maxu(result.max_rank.tuples[n].search_steps, c.tuples[n].search_steps);
-      maxu(result.max_rank.tuples[n].chain_candidates,
-           c.tuples[n].chain_candidates);
-      maxu(result.max_rank.tuples[n].cell_visits, c.tuples[n].cell_visits);
-      maxu(result.max_rank.tuples[n].accepted, c.tuples[n].accepted);
-      maxu(result.max_rank.evals[n], c.evals[n]);
-      if (c.force_set[n] > result.max_rank.force_set[n])
-        result.max_rank.force_set[n] = c.force_set[n];
-    }
-    maxu(result.max_rank.list_pairs, c.list_pairs);
-    maxu(result.max_rank.list_scan_steps, c.list_scan_steps);
-    maxu(result.max_rank.cache_rebuilds, c.cache_rebuilds);
-    maxu(result.max_rank.cache_reuse_steps, c.cache_reuse_steps);
-    maxu(result.max_rank.cache_replayed, c.cache_replayed);
-    maxu(result.max_rank.ghost_atoms_imported, c.ghost_atoms_imported);
-    maxu(result.max_rank.messages, c.messages);
-    maxu(result.max_rank.bytes_imported, c.bytes_imported);
-    maxu(result.max_rank.bytes_written_back, c.bytes_written_back);
+    accumulate_max_rank(result.max_rank, c);
   }
   result.runtime_messages = cluster.total_messages();
   result.runtime_bytes = cluster.total_bytes();
@@ -187,28 +226,194 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   result.last_balance_ratio = last_ratio;
 
   // Per-step structured records: cluster totals plus the rank-imbalance
-  // summary (max/avg work and Eq.-33 import volume per rank).
+  // summary (max/avg work and Eq.-33 import volume per rank).  Transport
+  // statistics are run-cumulative, recorded once so every record
+  // carries them.
   if (collect_steps) {
-    obs::MetricsRegistry& reg = *config.metrics;
-    const int every = config.metrics_every > 0 ? config.metrics_every : 1;
-    for (std::size_t s = 0; s < num_records; ++s) {
-      obs::StepSample sample;
-      sample.max_n = field.max_n();
-      for (int r = 0; r < P; ++r) {
-        sample.work += step_work[s][static_cast<std::size_t>(r)];
-        sample.potential_energy += step_energy[s][static_cast<std::size_t>(r)];
-      }
-      obs::record_step(reg, sample);
-      obs::record_rank_imbalance(reg, step_work[s]);
-      if (balancing) {
-        const BalanceStepInfo& b = step_balance[s];
-        obs::record_balance(reg, b.ratio, b.rebalanced, b.predicted_ratio,
-                            b.migrated_atoms);
-      }
-      if (s % static_cast<std::size_t>(every) == 0 || s + 1 == num_records)
-        reg.emit(static_cast<long long>(s));
+    TransportStats agg;
+    for (int r = 0; r < P; ++r) agg += cluster.transport(r).stats();
+    obs::record_transport(*config.metrics, agg);
+    emit_step_metrics(*config.metrics, config.metrics_every, field.max_n(),
+                      balancing, step_work, step_energy, step_balance);
+  }
+  return result;
+}
+
+ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
+                                       const ForceField& field,
+                                       const std::string& strategy_name,
+                                       const ProcessGrid& pgrid,
+                                       const ParallelRunConfig& config,
+                                       Comm& comm) {
+  SCMD_REQUIRE(pgrid.num_ranks() == comm.num_ranks(),
+               "process grid and transport disagree on the rank count");
+  const int P = comm.num_ranks();
+  const int rank = comm.rank();
+  const bool root = rank == 0;
+
+  const Decomposition decomp(sys.box(), pgrid);
+  const auto strategy =
+      make_strategy(strategy_name, field, config.measure_force_set);
+  // Every rank scatters the identical global system and keeps its share.
+  std::vector<RankState> initial = scatter_atoms(sys, decomp);
+
+  obs::bind_thread(config.trace, rank);
+  check::bind_rank(rank);
+  const bool balancing = static_cast<bool>(config.make_balancer);
+  RankEngineConfig rc;
+  rc.dt = config.dt;
+  rc.measure_force_set = config.measure_force_set;
+  rc.collect_cell_costs = balancing;
+  rc.tuple_cache = config.tuple_cache;
+  RankEngine engine(comm, decomp, field, *strategy, rc);
+  std::unique_ptr<RankBalancer> balancer;
+  if (balancing) {
+    balancer = config.make_balancer(rank);
+    engine.set_balancer(balancer.get());
+  }
+  engine.set_atoms(std::move(initial[static_cast<std::size_t>(rank)]));
+
+  // Whether per-step work is recorded is a collective decision: rank 0
+  // gathers every rank's deltas at the end, so all ranks must agree.
+  const bool collect_steps =
+      comm.allreduce_max(config.metrics != nullptr && root ? 1.0 : 0.0) > 0.0;
+  const std::size_t num_records =
+      static_cast<std::size_t>(config.num_steps) + 1;
+  std::vector<EngineCounters> my_step_work;
+  std::vector<double> my_step_energy;
+  std::vector<BalanceStepInfo> step_balance;
+  if (collect_steps) {
+    my_step_work.reserve(num_records);
+    my_step_energy.reserve(num_records);
+    if (balancing) step_balance.assign(num_records, {});
+  }
+  int rebalances = 0;
+  double last_ratio = 0.0;
+
+  EngineCounters prev;
+  engine.compute_forces();
+  if (collect_steps) {
+    my_step_work.push_back(engine.counters().delta_since(prev));
+    my_step_energy.push_back(engine.potential_energy());
+    prev = engine.counters();
+  }
+  for (int s = 0; s < config.num_steps; ++s) {
+    engine.step();
+    if (balancer && root) {
+      // The balancer's view is collectively agreed, so rank 0's copy is
+      // the cluster's.
+      const BalanceStepInfo& info = balancer->last_step();
+      if (info.rebalanced) ++rebalances;
+      if (info.ratio > 0.0) last_ratio = info.ratio;
+      if (collect_steps) step_balance[static_cast<std::size_t>(s) + 1] = info;
+    }
+    if (collect_steps) {
+      my_step_work.push_back(engine.counters().delta_since(prev));
+      my_step_energy.push_back(engine.potential_energy());
+      prev = engine.counters();
     }
   }
+
+  ParallelRunResult result;
+  result.potential_energy = comm.allreduce_sum(engine.potential_energy());
+  result.rebalances = rebalances;
+  result.last_balance_ratio = last_ratio;
+
+  // Gather counters, per-step records, transport stats, and the final
+  // atom state to rank 0.  Tags live above the engine's exchange tags
+  // (import 100, write-back 200, migrate 300, refresh 400, check 900).
+  constexpr int kTagCounters = 920;
+  constexpr int kTagStepWork = 921;
+  constexpr int kTagStepEnergy = 922;
+  constexpr int kTagState = 923;
+  constexpr int kTagStats = 924;
+  struct AtomWire {
+    std::int64_t gid;
+    Vec3 pos, vel, force;
+  };
+  static_assert(std::is_trivially_copyable_v<AtomWire>);
+
+  const RankState& st = engine.state();
+  const auto forces = engine.owned_forces();
+  std::vector<AtomWire> my_atoms(static_cast<std::size_t>(st.num_owned()));
+  for (int i = 0; i < st.num_owned(); ++i) {
+    auto& a = my_atoms[static_cast<std::size_t>(i)];
+    a.gid = st.gid[static_cast<std::size_t>(i)];
+    a.pos = st.pos[static_cast<std::size_t>(i)];
+    a.vel = st.vel[static_cast<std::size_t>(i)];
+    a.force = forces[static_cast<std::size_t>(i)];
+  }
+
+  if (root) {
+    result.total = engine.counters();
+    accumulate_max_rank(result.max_rank, engine.counters());
+    TransportStats agg = comm.transport().stats();
+    std::vector<std::vector<EngineCounters>> step_work;
+    std::vector<std::vector<double>> step_energy;
+    if (collect_steps) {
+      step_work.assign(num_records,
+                       std::vector<EngineCounters>(static_cast<std::size_t>(P)));
+      step_energy.assign(num_records,
+                         std::vector<double>(static_cast<std::size_t>(P), 0.0));
+      for (std::size_t s = 0; s < num_records; ++s) {
+        step_work[s][0] = my_step_work[s];
+        step_energy[s][0] = my_step_energy[s];
+      }
+    }
+    auto place = [&](const std::vector<AtomWire>& atoms) {
+      for (const AtomWire& a : atoms) {
+        const int g = static_cast<int>(a.gid);
+        sys.positions()[g] = a.pos;
+        sys.velocities()[g] = a.vel;
+        sys.forces()[g] = a.force;
+      }
+    };
+    place(my_atoms);
+    for (int r = 1; r < P; ++r) {
+      const auto counters =
+          unpack<EngineCounters>(comm.recv(r, kTagCounters));
+      SCMD_REQUIRE(counters.size() == 1, "malformed counters gather");
+      result.total += counters[0];
+      accumulate_max_rank(result.max_rank, counters[0]);
+      if (collect_steps) {
+        const auto work = unpack<EngineCounters>(comm.recv(r, kTagStepWork));
+        const auto energy = unpack<double>(comm.recv(r, kTagStepEnergy));
+        SCMD_REQUIRE(work.size() == num_records &&
+                         energy.size() == num_records,
+                     "malformed per-step gather");
+        for (std::size_t s = 0; s < num_records; ++s) {
+          step_work[s][static_cast<std::size_t>(r)] = work[s];
+          step_energy[s][static_cast<std::size_t>(r)] = energy[s];
+        }
+      }
+      place(unpack<AtomWire>(comm.recv(r, kTagState)));
+      const auto stats = unpack<TransportStats>(comm.recv(r, kTagStats));
+      SCMD_REQUIRE(stats.size() == 1, "malformed stats gather");
+      agg += stats[0];
+    }
+    result.runtime_messages = agg.messages_sent;
+    result.runtime_bytes = agg.bytes_sent;
+    if (collect_steps && config.metrics != nullptr) {
+      obs::record_transport(*config.metrics, agg);
+      emit_step_metrics(*config.metrics, config.metrics_every, field.max_n(),
+                        balancing, step_work, step_energy, step_balance);
+    }
+  } else {
+    result.total = engine.counters();
+    comm.send(0, kTagCounters,
+              pack(std::vector<EngineCounters>{engine.counters()}));
+    if (collect_steps) {
+      comm.send(0, kTagStepWork, pack(my_step_work));
+      comm.send(0, kTagStepEnergy, pack(my_step_energy));
+    }
+    comm.send(0, kTagState, pack(my_atoms));
+    comm.send(0, kTagStats,
+              pack(std::vector<TransportStats>{comm.transport().stats()}));
+  }
+
+  // Drain-and-sync before the caller tears the transport down, so no
+  // backend is destroyed with traffic still in flight.
+  comm.barrier();
   return result;
 }
 

@@ -73,6 +73,26 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys, const ForceField& field,
                                   const ProcessGrid& pgrid,
                                   const ParallelRunConfig& config);
 
+/// One rank of a distributed MD run over an already-connected Comm (any
+/// Transport backend: the caller owns the endpoint — a TcpTransport in
+/// multi-process runs, or one rank's InProcTransport under run_cluster).
+///
+/// Every rank must call this collectively with an *identical* `sys`
+/// (same build seed/config) and identical run configuration; each rank
+/// keeps only the atoms its region owns.  On return, rank 0's `sys`
+/// holds the gathered final positions/velocities/forces and rank 0's
+/// result carries the cluster totals; other ranks' `sys` is left at the
+/// input state and their result holds the global potential energy,
+/// cluster-wide message totals, and their own counters.  Metrics/trace
+/// hooks in `config` are honored on rank 0 (the per-rank step work is
+/// gathered there; the decision to collect is itself collective).
+ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
+                                       const ForceField& field,
+                                       const std::string& strategy_name,
+                                       const ProcessGrid& pgrid,
+                                       const ParallelRunConfig& config,
+                                       Comm& comm);
+
 /// Split a global system into per-rank atom states by region ownership.
 std::vector<RankState> scatter_atoms(const ParticleSystem& sys,
                                      const Decomposition& decomp);

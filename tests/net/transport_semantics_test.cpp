@@ -1,0 +1,309 @@
+// Transport-semantics contract (docs/TRANSPORT.md): every backend must
+// provide async sends, blocking tagged receives, per-(src, dst, tag)
+// ordering, and collectives — so the same suite runs against the
+// in-process cluster and the TCP mesh.  TCP-only failure semantics
+// (recv timeout, killed peer) are covered at the bottom.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+namespace {
+
+enum class Backend { kInProc, kTcp };
+
+/// Run `fn` once per rank, each on its own thread, over the requested
+/// backend; rethrows the first rank exception after all threads join.
+/// The TCP cluster runs P processes' worth of endpoints in this process
+/// over loopback (the rendezvous listener is pre-bound on an ephemeral
+/// port and adopted by rank 0, so concurrent tests cannot collide).
+void run_ranks(Backend backend, int P,
+               const std::function<void(Transport&)>& fn,
+               double recv_timeout_s = 30.0) {
+  std::unique_ptr<Cluster> cluster;
+  int rendezvous_fd = -1;
+  int rendezvous_port = 0;
+  if (backend == Backend::kInProc) {
+    cluster = std::make_unique<Cluster>(P);
+  } else {
+    std::tie(rendezvous_fd, rendezvous_port) =
+        bind_listener("127.0.0.1", 0);
+  }
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        if (backend == Backend::kInProc) {
+          fn(cluster->transport(r));
+        } else {
+          TcpConfig cfg;
+          cfg.rank = r;
+          cfg.num_ranks = P;
+          cfg.rendezvous_port = rendezvous_port;
+          if (r == 0) cfg.rendezvous_fd = rendezvous_fd;
+          cfg.recv_timeout_s = recv_timeout_s;
+          TcpTransport transport(cfg);
+          fn(transport);
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+class TransportSemanticsTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(TransportSemanticsTest, PointToPointDelivery) {
+  run_ranks(GetParam(), 2, [](Transport& t) {
+    if (t.rank() == 0) {
+      t.send(1, 7, pack(std::vector<int>{42}));
+    } else {
+      const auto v = unpack<int>(t.recv(0, 7));
+      ASSERT_EQ(v.size(), 1u);
+      EXPECT_EQ(v[0], 42);
+    }
+  });
+}
+
+TEST_P(TransportSemanticsTest, OrderPreservedPerChannel) {
+  run_ranks(GetParam(), 2, [](Transport& t) {
+    if (t.rank() == 0) {
+      for (int i = 0; i < 50; ++i) t.send(1, 1, pack(std::vector<int>{i}));
+    } else {
+      for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(unpack<int>(t.recv(0, 1))[0], i);
+    }
+  });
+}
+
+TEST_P(TransportSemanticsTest, TagsSeparateStreams) {
+  run_ranks(GetParam(), 2, [](Transport& t) {
+    if (t.rank() == 0) {
+      // Interleave three tag streams; each must stay ordered on its own
+      // even when drained in a different global order.
+      for (int i = 0; i < 10; ++i) {
+        for (int tag : {1, 2, 3})
+          t.send(1, tag, pack(std::vector<int>{tag * 100 + i}));
+      }
+    } else {
+      for (int tag : {3, 1, 2}) {
+        for (int i = 0; i < 10; ++i)
+          EXPECT_EQ(unpack<int>(t.recv(0, tag))[0], tag * 100 + i);
+      }
+    }
+  });
+}
+
+TEST_P(TransportSemanticsTest, AllRanksTalkToAllRanks) {
+  run_ranks(GetParam(), 4, [](Transport& t) {
+    for (int dst = 0; dst < t.num_ranks(); ++dst) {
+      if (dst == t.rank()) continue;
+      t.send(dst, 5, pack(std::vector<int>{t.rank() * 10 + dst}));
+    }
+    for (int src = 0; src < t.num_ranks(); ++src) {
+      if (src == t.rank()) continue;
+      EXPECT_EQ(unpack<int>(t.recv(src, 5))[0], src * 10 + t.rank());
+    }
+  });
+}
+
+TEST_P(TransportSemanticsTest, LargeAndEmptyPayloads) {
+  run_ranks(GetParam(), 2, [](Transport& t) {
+    if (t.rank() == 0) {
+      std::vector<double> big(1 << 16);
+      for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<double>(i);
+      t.send(1, 2, pack(big));
+      t.send(1, 2, Bytes{});
+    } else {
+      const auto big = unpack<double>(t.recv(0, 2));
+      ASSERT_EQ(big.size(), static_cast<std::size_t>(1 << 16));
+      EXPECT_DOUBLE_EQ(big[12345], 12345.0);
+      EXPECT_TRUE(t.recv(0, 2).empty());
+    }
+  });
+}
+
+TEST_P(TransportSemanticsTest, Collectives) {
+  const int P = 3;
+  run_ranks(GetParam(), P, [P](Transport& t) {
+    EXPECT_DOUBLE_EQ(t.allreduce_sum(t.rank() + 1.0), P * (P + 1) / 2.0);
+    EXPECT_DOUBLE_EQ(t.allreduce_max(static_cast<double>(t.rank())),
+                     static_cast<double>(P - 1));
+  });
+}
+
+TEST_P(TransportSemanticsTest, CollectivesInterleavedWithPointToPoint) {
+  // The engine's real pattern: tagged halo traffic in flight while
+  // collectives run on their reserved channel, repeatedly.
+  const int P = 4;
+  run_ranks(GetParam(), P, [P](Transport& t) {
+    const int next = (t.rank() + 1) % P;
+    const int prev = (t.rank() + P - 1) % P;
+    for (int round = 0; round < 20; ++round) {
+      t.send(next, 11, pack(std::vector<int>{round}));
+      const double s = t.allreduce_sum(1.0);
+      EXPECT_DOUBLE_EQ(s, static_cast<double>(P));
+      EXPECT_EQ(unpack<int>(t.recv(prev, 11))[0], round);
+      t.barrier();
+    }
+  });
+}
+
+TEST_P(TransportSemanticsTest, BarrierSeparatesPhases) {
+  std::atomic<int> phase1{0};
+  run_ranks(GetParam(), 4, [&](Transport& t) {
+    phase1.fetch_add(1);
+    t.barrier();
+    EXPECT_EQ(phase1.load(), 4);
+  });
+}
+
+TEST_P(TransportSemanticsTest, StatsCountTraffic) {
+  run_ranks(GetParam(), 2, [](Transport& t) {
+    if (t.rank() == 0) {
+      t.send(1, 1, Bytes(100));
+      t.send(1, 1, Bytes(28));
+      t.barrier();
+      const TransportStats s = t.stats();
+      EXPECT_GE(s.messages_sent, 2u);
+      EXPECT_GE(s.bytes_sent, 128u);
+    } else {
+      t.recv(0, 1);
+      t.recv(0, 1);
+      t.barrier();
+      const TransportStats s = t.stats();
+      EXPECT_GE(s.messages_received, 2u);
+      EXPECT_GE(s.bytes_received, 128u);
+    }
+  });
+}
+
+TEST_P(TransportSemanticsTest, MailboxWatermarkSeesBacklog) {
+  run_ranks(GetParam(), 2, [](Transport& t) {
+    if (t.rank() == 0) {
+      for (int i = 0; i < 8; ++i) t.send(1, 1, Bytes(4));
+      t.barrier();  // all 8 queued before the receiver drains
+    } else {
+      t.barrier();
+      for (int i = 0; i < 8; ++i) t.recv(0, 1);
+      EXPECT_GE(t.stats().max_mailbox_depth, 8u);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TransportSemanticsTest,
+                         ::testing::Values(Backend::kInProc, Backend::kTcp),
+                         [](const auto& param_info) {
+                           return param_info.param == Backend::kInProc
+                                      ? "InProc"
+                                      : "Tcp";
+                         });
+
+// --- TCP-only failure semantics -------------------------------------
+
+TEST(TcpFaultTest, RecvTimesOutInsteadOfHanging) {
+  std::atomic<bool> timed_out{false};
+  run_ranks(
+      Backend::kTcp, 2,
+      [&](Transport& t) {
+        if (t.rank() == 0) {
+          // Nobody ever sends on tag 99: the bounded wait must throw.
+          try {
+            t.recv(1, 99);
+          } catch (const Error& e) {
+            timed_out = true;
+            EXPECT_NE(std::string(e.what()).find("timed out"),
+                      std::string::npos)
+                << e.what();
+          }
+        } else {
+          // Keep the peer alive past rank 0's timeout so the failure is
+          // a timeout, not a dropped connection.
+          std::this_thread::sleep_for(std::chrono::milliseconds(900));
+        }
+      },
+      /*recv_timeout_s=*/0.3);
+  EXPECT_TRUE(timed_out.load());
+}
+
+TEST(TcpFaultTest, KilledPeerSurfacesAsErrorNotHang) {
+  // Rank 1 "crashes" (sockets torn down, nothing flushed); the survivors
+  // must get an error from any recv involving it — well before the
+  // 20 s timeout backstop.
+  std::atomic<int> errors_seen{0};
+  run_ranks(
+      Backend::kTcp, 3,
+      [&](Transport& t) {
+        if (t.rank() == 1) {
+          auto& tcp = static_cast<TcpTransport&>(t);
+          tcp.hard_kill();
+          return;
+        }
+        try {
+          t.recv(1, 7);  // rank 1 never sends: must fail fast
+          ADD_FAILURE() << "recv from killed peer returned";
+        } catch (const Error&) {
+          errors_seen.fetch_add(1);
+        }
+      },
+      /*recv_timeout_s=*/20.0);
+  EXPECT_EQ(errors_seen.load(), 2);
+}
+
+TEST(TcpFaultTest, CollectiveWithKilledPeerFails) {
+  std::atomic<int> errors_seen{0};
+  run_ranks(
+      Backend::kTcp, 3,
+      [&](Transport& t) {
+        if (t.rank() == 1) {
+          static_cast<TcpTransport&>(t).hard_kill();
+          return;
+        }
+        try {
+          t.allreduce_sum(1.0);
+          ADD_FAILURE() << "collective with killed peer returned";
+        } catch (const Error&) {
+          errors_seen.fetch_add(1);
+        }
+      },
+      /*recv_timeout_s=*/20.0);
+  EXPECT_EQ(errors_seen.load(), 2);
+}
+
+TEST(TcpTest, RejectsBadConfig) {
+  TcpConfig cfg;
+  cfg.rank = 2;
+  cfg.num_ranks = 2;
+  EXPECT_THROW(TcpTransport{cfg}, Error);
+}
+
+TEST(TcpTest, ConnectTimesOutWhenRendezvousNeverAppears) {
+  // No rank 0 behind this port: the dial loop must give up, not spin
+  // forever.
+  TcpConfig cfg;
+  cfg.rank = 1;
+  cfg.num_ranks = 2;
+  cfg.rendezvous_port = 1;  // reserved port, nothing listens
+  cfg.connect_timeout_s = 0.3;
+  EXPECT_THROW(TcpTransport{cfg}, Error);
+}
+
+}  // namespace
+}  // namespace scmd

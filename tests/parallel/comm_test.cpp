@@ -18,6 +18,15 @@ TEST(PackTest, RoundTripsTrivialTypes) {
   EXPECT_TRUE(unpack<int>(pack(std::vector<int>{})).empty());
 }
 
+TEST(PackTest, UnpackRejectsMisalignedPayload) {
+  // A truncated or corrupted frame must fail loudly, not silently drop
+  // the tail bytes.
+  Bytes bytes(sizeof(double) * 2 + 1);
+  EXPECT_THROW(unpack<double>(bytes), Error);
+  EXPECT_THROW(unpack<int>(Bytes(3)), Error);
+  EXPECT_TRUE(unpack<int>(Bytes{}).empty());
+}
+
 TEST(ClusterTest, PointToPointDelivery) {
   run_cluster(2, [](Comm& comm) {
     if (comm.rank() == 0) {
@@ -110,6 +119,25 @@ TEST(ClusterTest, StatsCountMessagesAndBytes) {
   c0.send(1, 0, Bytes(8));
   EXPECT_EQ(cluster.total_messages(), 2u);
   EXPECT_EQ(cluster.total_bytes(), 24u);
+}
+
+TEST(ClusterTest, MailboxHighWaterTracksBacklog) {
+  // The unbounded-mailbox assumption made visible: the watermark is the
+  // deepest any rank's queue of undelivered messages ever got.
+  Cluster cluster(2);
+  Comm c0(cluster, 0);
+  Comm c1(cluster, 1);
+  for (int i = 0; i < 5; ++i) c0.send(1, 1, Bytes(4));
+  for (int i = 0; i < 5; ++i) c1.recv(0, 1);
+  c0.send(1, 1, Bytes(4));  // depth never exceeds 5 again
+  c1.recv(0, 1);
+  EXPECT_EQ(cluster.mailbox_high_water(1), 5u);
+  EXPECT_EQ(cluster.mailbox_high_water(0), 0u);
+  EXPECT_EQ(cluster.max_mailbox_depth(), 5u);
+  // The per-endpoint statistics view agrees.
+  EXPECT_EQ(cluster.transport(1).stats().max_mailbox_depth, 5u);
+  EXPECT_EQ(cluster.transport(0).stats().messages_sent, 6u);
+  EXPECT_EQ(cluster.transport(1).stats().messages_received, 6u);
 }
 
 TEST(ClusterTest, RejectsInvalidRanks) {

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compare two SC-MD binary checkpoints within tolerances.
+
+Used by the TCP-parity tests: a 4-process `scmd_run --transport=tcp` run
+and the serial engine write checkpoints of the same trajectory endpoint,
+and this script asserts they agree atom by atom:
+
+    compare_checkpoints.py a.ckpt b.ckpt --pos-tol 1e-8 --force-tol 1e-7
+
+Exit status 0 = match, 1 = mismatch (largest deviations printed), 2 =
+malformed file / usage error.  Format: see src/io/checkpoint.cpp
+(magic "SCMD_CK1", version 1, little-endian).
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = 0x53434D445F434B31
+VERSION = 1
+
+
+def fail(msg):
+    print(f"compare_checkpoints: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def read_checkpoint(path):
+    """Return (box_lengths, masses, atoms) where atoms is a list of
+    (pos, vel, force, type) tuples of 3-vectors."""
+    with open(path, "rb") as f:
+        data = f.read()
+    off = 0
+
+    def take(fmt):
+        nonlocal off
+        size = struct.calcsize(fmt)
+        if off + size > len(data):
+            fail(f"{path}: truncated at offset {off}")
+        values = struct.unpack_from(fmt, data, off)
+        off += size
+        return values
+
+    (magic,) = take("<Q")
+    if magic != MAGIC:
+        fail(f"{path}: not an SC-MD checkpoint (bad magic {magic:#x})")
+    (version,) = take("<I")
+    if version != VERSION:
+        fail(f"{path}: unsupported checkpoint version {version}")
+    box = take("<3d")
+    (num_types,) = take("<i")
+    if not 0 < num_types < 1024:
+        fail(f"{path}: implausible species count {num_types}")
+    masses = [take("<d")[0] for _ in range(num_types)]
+    (num_atoms,) = take("<q")
+    if num_atoms < 0:
+        fail(f"{path}: negative atom count")
+    atoms = []
+    for _ in range(num_atoms):
+        pos = take("<3d")
+        vel = take("<3d")
+        force = take("<3d")
+        (atype,) = take("<i")
+        atoms.append((pos, vel, force, atype))
+    if off != len(data):
+        fail(f"{path}: {len(data) - off} trailing bytes")
+    return box, masses, atoms
+
+
+def max_abs_diff(a, b):
+    return max(abs(x - y) for x, y in zip(a, b))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("reference")
+    ap.add_argument("candidate")
+    ap.add_argument("--pos-tol", type=float, default=1e-8)
+    ap.add_argument("--vel-tol", type=float, default=1e-8)
+    ap.add_argument("--force-tol", type=float, default=1e-7)
+    args = ap.parse_args()
+
+    box_a, masses_a, atoms_a = read_checkpoint(args.reference)
+    box_b, masses_b, atoms_b = read_checkpoint(args.candidate)
+
+    if len(atoms_a) != len(atoms_b):
+        fail(f"atom count mismatch: {len(atoms_a)} vs {len(atoms_b)}")
+    if masses_a != masses_b:
+        fail("species mass tables differ")
+    if max_abs_diff(box_a, box_b) > 1e-12:
+        fail("box dimensions differ")
+
+    worst = {"pos": (0.0, -1), "vel": (0.0, -1), "force": (0.0, -1)}
+    mismatches = 0
+    for i, (a, b) in enumerate(zip(atoms_a, atoms_b)):
+        if a[3] != b[3]:
+            fail(f"atom {i}: type mismatch {a[3]} vs {b[3]}")
+        for key, idx, tol in (
+            ("pos", 0, args.pos_tol),
+            ("vel", 1, args.vel_tol),
+            ("force", 2, args.force_tol),
+        ):
+            d = max_abs_diff(a[idx], b[idx])
+            if d > worst[key][0]:
+                worst[key] = (d, i)
+            if d > tol:
+                mismatches += 1
+
+    print(
+        f"compare_checkpoints: {len(atoms_a)} atoms; max |d_pos| = "
+        f"{worst['pos'][0]:.3e} (atom {worst['pos'][1]}), max |d_vel| = "
+        f"{worst['vel'][0]:.3e}, max |d_force| = {worst['force'][0]:.3e}"
+    )
+    if mismatches:
+        print(
+            f"compare_checkpoints: FAIL — {mismatches} component(s) above "
+            f"tolerance (pos {args.pos_tol:g}, vel {args.vel_tol:g}, "
+            f"force {args.force_tol:g})",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print("compare_checkpoints: OK")
+
+
+if __name__ == "__main__":
+    main()

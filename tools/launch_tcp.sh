@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Launch an N-process scmd_run TCP cluster on this host.
+#
+#   tools/launch_tcp.sh <scmd_run> <nranks> <config> [--key=value ...]
+#
+# Starts one scmd_run process per rank with --transport=tcp, a shared
+# rendezvous port, and per-rank log files, then waits for all of them.
+# Extra flags are forwarded to every rank (rank 0 additionally gets any
+# flags in SCMD_TCP_RANK0_ARGS — output artifacts like
+# --checkpoint-out=... belong there, although rank 0 is the only writer
+# anyway).
+#
+# Environment:
+#   SCMD_TCP_PORT        rendezvous port (default: derived from PID)
+#   SCMD_TCP_LOG_DIR     per-rank log directory (default: mktemp -d)
+#   SCMD_TCP_RANK0_ARGS  extra flags for rank 0 only
+#
+# Exit status: 0 when every rank exits 0; otherwise the first non-zero
+# rank status, with that rank's log echoed to stderr.
+set -u
+
+if [ $# -lt 3 ]; then
+    echo "usage: $0 <scmd_run-binary> <nranks> <config> [--key=value ...]" >&2
+    exit 2
+fi
+
+BIN=$1
+NRANKS=$2
+CONFIG=$3
+shift 3
+
+if ! [ -x "$BIN" ]; then
+    echo "launch_tcp: $BIN is not executable" >&2
+    exit 2
+fi
+case $NRANKS in
+    ''|*[!0-9]*) echo "launch_tcp: nranks must be a number" >&2; exit 2 ;;
+esac
+
+# Spread concurrent invocations (CI, parallel ctest) across ports; the
+# range keeps clear of the ephemeral range used by outgoing connections.
+PORT=${SCMD_TCP_PORT:-$((20000 + $$ % 10000))}
+LOG_DIR=${SCMD_TCP_LOG_DIR:-$(mktemp -d)}
+mkdir -p "$LOG_DIR"
+
+echo "launch_tcp: $NRANKS ranks, rendezvous 127.0.0.1:$PORT, logs in $LOG_DIR"
+
+PIDS=""
+for RANK in $(seq 0 $((NRANKS - 1))); do
+    EXTRA=""
+    if [ "$RANK" -eq 0 ] && [ -n "${SCMD_TCP_RANK0_ARGS:-}" ]; then
+        EXTRA=$SCMD_TCP_RANK0_ARGS
+    fi
+    # shellcheck disable=SC2086  # EXTRA/"$@" are intentionally word-split
+    "$BIN" "$CONFIG" --transport=tcp --rank="$RANK" --nranks="$NRANKS" \
+        --rendezvous=127.0.0.1:"$PORT" "$@" $EXTRA \
+        > "$LOG_DIR/rank$RANK.log" 2>&1 &
+    PIDS="$PIDS $!"
+done
+
+STATUS=0
+FAILED_RANK=-1
+RANK=0
+for PID in $PIDS; do
+    if ! wait "$PID"; then
+        RC=$?
+        if [ "$STATUS" -eq 0 ]; then
+            STATUS=$RC
+            FAILED_RANK=$RANK
+        fi
+    fi
+    RANK=$((RANK + 1))
+done
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "launch_tcp: rank $FAILED_RANK failed (exit $STATUS); its log:" >&2
+    cat "$LOG_DIR/rank$FAILED_RANK.log" >&2
+    exit "$STATUS"
+fi
+
+# Rank 0 carries the run report.
+cat "$LOG_DIR/rank0.log"

@@ -9,6 +9,7 @@ Usage:
     validate_obs.py [--metrics m.jsonl] [--trace t.json]
                     [--require-metrics name1,name2,...]
                     [--min-steps N] [--expect-balance] [--expect-cache]
+                    [--expect-comm]
 
 --expect-balance asserts the dynamic load-balancing schema: every metrics
 record carries the balance.* gauges, at least one record observed a
@@ -18,6 +19,10 @@ rebalance, and the trace (when given) contains the per-step balance span.
 record carries the tuple_cache.* gauges, the run observed at least one
 rebuild AND at least one reuse step, and the trace (when given) contains
 a replay.* span.
+
+--expect-comm asserts the transport-statistics schema (docs/TRANSPORT.md):
+every metrics record carries the comm.transport.* gauges and at least one
+record observed traffic (comm.transport.messages_sent > 0).
 
 Exits non-zero (with a message on stderr) on the first violation.
 """
@@ -38,16 +43,24 @@ BALANCE_METRICS = ("balance.ratio", "balance.rebalanced",
 CACHE_METRICS = ("tuple_cache.rebuilds", "tuple_cache.reuse_steps",
                  "tuple_cache.replayed")
 
+COMM_METRICS = ("comm.transport.messages_sent", "comm.transport.bytes_sent",
+                "comm.transport.messages_recv", "comm.transport.bytes_recv",
+                "comm.transport.recv_stall_s",
+                "comm.transport.max_mailbox_depth")
+
 
 def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
-                     expect_cache=False):
+                     expect_cache=False, expect_comm=False):
     if expect_balance:
         require_metrics = list(require_metrics) + list(BALANCE_METRICS)
     if expect_cache:
         require_metrics = list(require_metrics) + list(CACHE_METRICS)
+    if expect_comm:
+        require_metrics = list(require_metrics) + list(COMM_METRICS)
     rebalances = 0
     cache_rebuilds = 0
     cache_reuses = 0
+    comm_messages = 0
     steps = []
     series = {}  # attrs tuple -> step list (one series per strategy/platform)
     with open(path, "r", encoding="utf-8") as f:
@@ -82,6 +95,8 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
                 rebalances += 1
             cache_rebuilds += rec["metrics"].get("tuple_cache.rebuilds") or 0
             cache_reuses += rec["metrics"].get("tuple_cache.reuse_steps") or 0
+            comm_messages += rec["metrics"].get(
+                "comm.transport.messages_sent") or 0
             steps.append(rec["step"])
             key = tuple(sorted(rec.get("attrs", {}).items()))
             series.setdefault(key, []).append(rec["step"])
@@ -91,6 +106,9 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
         fail(f"{path}: --expect-cache, but no record observed a rebuild")
     if expect_cache and cache_reuses == 0:
         fail(f"{path}: --expect-cache, but no record observed a reuse step")
+    if expect_comm and comm_messages == 0:
+        fail(f"{path}: --expect-comm, but no record observed transport "
+             f"traffic")
     if len(steps) < min_steps:
         fail(f"{path}: only {len(steps)} records, expected >= {min_steps}")
     # Steps must be non-decreasing within each series (attrs identify the
@@ -163,6 +181,9 @@ def main():
     ap.add_argument("--expect-cache", action="store_true",
                     help="require tuple_cache.* metrics, >= 1 rebuild and "
                          ">= 1 reuse step, and a replay.* trace span")
+    ap.add_argument("--expect-comm", action="store_true",
+                    help="require comm.transport.* metrics and >= 1 record "
+                         "with messages_sent > 0")
     args = ap.parse_args()
     if not args.metrics and not args.trace:
         fail("nothing to validate: pass --metrics and/or --trace")
@@ -170,7 +191,8 @@ def main():
     if args.metrics:
         validate_metrics(args.metrics, require, args.min_steps,
                          expect_balance=args.expect_balance,
-                         expect_cache=args.expect_cache)
+                         expect_cache=args.expect_cache,
+                         expect_comm=args.expect_comm)
     if args.trace:
         validate_trace(args.trace, expect_balance=args.expect_balance,
                        expect_cache=args.expect_cache)
