@@ -77,6 +77,12 @@
 //   recv_timeout_s   tcp: recv/collective wait bound in seconds before
 //                    the run fails with an error; 0 = wait forever
 //                    (default 60)
+//   status_port      tcp, rank 0: serve a live run-status snapshot on
+//                    this TCP port (0 picks an ephemeral port; the bound
+//                    port is printed).  Poll it with tools/scmd_top.py.
+//                    Omit the key to disable the monitor.  Safe to pass
+//                    to every rank (launch_tcp.sh does) — only rank 0
+//                    binds it.
 
 #include <cstdio>
 #include <memory>
@@ -95,7 +101,9 @@
 #include "io/xyz.hpp"
 #include "md/builders.hpp"
 #include "md/units.hpp"
+#include "net/status_server.hpp"
 #include "net/tcp.hpp"
+#include "obs/phase_hist.hpp"
 #include "parallel/parallel_engine.hpp"
 #include "potentials/bks.hpp"
 #include "potentials/dihedral.hpp"
@@ -176,7 +184,7 @@ int run(const std::string& path,
                      "balance_min_interval", "tuple_cache", "check",
                      "transport", "rank", "nranks", "rendezvous",
                      "advertise_host", "connect_timeout_s",
-                     "recv_timeout_s"});
+                     "recv_timeout_s", "status_port"});
   SCMD_REQUIRE(cfg.has("field"), "config must set `field`");
 
   const std::string field_name = cfg.get("field", "");
@@ -209,6 +217,9 @@ int run(const std::string& path,
     SCMD_REQUIRE(!cfg.has("rank") && !cfg.has("nranks") &&
                      !cfg.has("rendezvous"),
                  "rank/nranks/rendezvous need transport=tcp");
+    SCMD_REQUIRE(!cfg.has("status_port"),
+                 "status_port needs transport=tcp (the monitor serves a "
+                 "distributed run's rank 0)");
   }
   // In a TCP run only rank 0 reports and writes artifacts.
   const bool root = !tcp || tcp_rank == 0;
@@ -306,6 +317,19 @@ int run(const std::string& path,
           static_cast<int>(cfg.get_int("balance_min_interval", 10));
       pcfg.make_balancer = make_rebalancer_factory(bc);
     }
+    // Live run monitor: rank 0 serves collector snapshots over a
+    // length-prefixed status socket (tools/scmd_top.py polls it).  The
+    // launcher passes the same flags to every rank; only rank 0 binds.
+    std::unique_ptr<StatusServer> status;
+    if (cfg.has("status_port") && root) {
+      status = std::make_unique<StatusServer>(
+          static_cast<int>(cfg.get_int("status_port", 0)));
+      pcfg.status = status.get();
+      std::printf("# status: serving live run status on port %d "
+                  "(tools/scmd_top.py --port %d)\n",
+                  status->port(), status->port());
+      std::fflush(stdout);
+    }
     ParallelRunResult res;
     if (tcp) {
       // One rank of a multi-process cluster: connect the mesh, run, and
@@ -356,7 +380,12 @@ int run(const std::string& path,
     ecfg.dt = dt;
     ecfg.num_threads = static_cast<int>(cfg.get_int("threads", 1));
     ecfg.measure_force_set = measure_fs;
-    ecfg.trace = trace.get();
+    // phase_hist.* channels are derived from trace spans; when metrics
+    // are on without trace_out, an internal session feeds them.
+    obs::TraceSession internal_trace;
+    obs::TraceSession* span_source =
+        trace ? trace.get() : (metrics ? &internal_trace : nullptr);
+    ecfg.trace = span_source;
     ecfg.tuple_cache = cache_cfg;
     SerialEngine engine(sys, *field,
                         make_strategy(strategy, *field, measure_fs), ecfg);
@@ -377,6 +406,7 @@ int run(const std::string& path,
     // the constructor's priming force pass.  Deltas come from cumulative
     // counter snapshots, never from clear_counters().
     EngineCounters prev_counters;
+    std::size_t span_cursor = 0;
     const auto record_obs = [&](int s) {
       if (!metrics) return;
       obs::StepSample sample;
@@ -387,6 +417,11 @@ int run(const std::string& path,
       prev_counters = engine.counters();
       sample.max_n = field->max_n();
       obs::record_step(*metrics, sample);
+      // Drain the spans recorded since the previous record into the
+      // log-bucketed phase_hist.* latency histograms.
+      const auto spans = span_source->events_since(span_cursor);
+      span_cursor += spans.size();
+      obs::observe_phase_events(*metrics, spans);
       if (s % (metrics_every > 0 ? metrics_every : 1) == 0 || s == steps)
         metrics->emit(s);
     };

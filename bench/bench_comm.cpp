@@ -7,10 +7,14 @@
 //
 //   ./bench_comm [--ranks=4] [--rounds=2000] [--bytes=16384]
 //                [--backend=all|inproc|tcp] [--metrics-out=FILE]
+//                [--json-out=FILE]
 //
 // --metrics-out writes one structured record per (backend, pattern)
 // with the measured rates plus the comm.transport.* statistics the
 // engines report (docs/OBSERVABILITY.md).
+// --json-out writes a machine-readable summary keyed
+// "<backend>.<pattern>" for baseline diffing with tools/bench_report.py
+// (committed baselines live in results/).
 
 #include <algorithm>
 #include <cstdio>
@@ -25,7 +29,7 @@
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
-#include "net/transport_metrics.hpp"
+#include "obs/transport_metrics.hpp"
 #include "obs/metrics.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -164,8 +168,8 @@ Measurement all_to_all(const std::string& backend, int P, int rounds,
 int main(int argc, char** argv) {
   using namespace scmd;
   try {
-    const Cli cli(argc, argv,
-                  {"ranks", "rounds", "bytes", "backend", "metrics-out"});
+    const Cli cli(argc, argv, {"ranks", "rounds", "bytes", "backend",
+                               "metrics-out", "json-out"});
     const int ranks = static_cast<int>(cli.get_int("ranks", 4));
     const int rounds = static_cast<int>(cli.get_int("rounds", 2000));
     const std::size_t bytes =
@@ -194,6 +198,13 @@ int main(int argc, char** argv) {
       backends = {which};
     }
     const std::vector<std::string> patterns{"pingpong", "alltoall"};
+    struct CaseSummary {
+      std::string key;
+      double msg_rate = 0.0;
+      double bandwidth_mbps = 0.0;
+      double us_per_msg = 0.0;
+    };
+    std::vector<CaseSummary> summary;
     for (const std::string& backend : backends) {
       for (const std::string& pattern : patterns) {
         const Measurement m = pattern == "pingpong"
@@ -215,11 +226,34 @@ int main(int argc, char** argv) {
           obs::record_transport(*metrics, m.stats);
           metrics->emit(emit_seq++);
         }
+        summary.push_back(
+            {backend + "." + pattern, rate, mbps,
+             1e6 * m.seconds / static_cast<double>(m.messages)});
       }
     }
     table.print(std::cout);
     if (metrics)
       std::printf("# metrics: %s\n", cli.get("metrics-out", "").c_str());
+    const std::string json_out = cli.get("json-out", "");
+    if (!json_out.empty()) {
+      std::FILE* f = std::fopen(json_out.c_str(), "w");
+      SCMD_REQUIRE(f != nullptr, "cannot open --json-out: " + json_out);
+      std::fprintf(f,
+                   "{\n  \"bench\": \"comm\",\n  \"ranks\": %d,\n"
+                   "  \"rounds\": %d,\n  \"bytes\": %zu,\n  \"cases\": {\n",
+                   ranks, rounds, bytes);
+      for (std::size_t i = 0; i < summary.size(); ++i) {
+        const CaseSummary& c = summary[i];
+        std::fprintf(f,
+                     "    \"%s\": {\"msg_rate\": %.6g, \"bandwidth_mbps\": "
+                     "%.6g, \"us_per_msg\": %.6g}%s\n",
+                     c.key.c_str(), c.msg_rate, c.bandwidth_mbps,
+                     c.us_per_msg, i + 1 < summary.size() ? "," : "");
+      }
+      std::fprintf(f, "  }\n}\n");
+      std::fclose(f);
+      std::printf("# json: %s\n", json_out.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -8,6 +8,7 @@
 //   ./bench_walltime [--atoms=6000] [--steps=10] [--warmup=2]
 //                    [--reach-sweep] [--tuple-cache=off|skin=<s>]
 //                    [--metrics-out=FILE] [--trace-out=FILE]
+//                    [--json-out=FILE]
 //
 // --warmup steps run before the clock starts (page faults, allocator
 // growth, and the priming force pass stay out of the figure).
@@ -15,9 +16,14 @@
 // the pattern variants; Hybrid keeps its own pair list and is skipped.
 // --metrics-out writes one structured record per step per strategy
 // (JSONL, or CSV with a .csv path) so the figure is reproducible from
-// the artifact instead of stdout scraping; --trace-out writes a Chrome
-// trace_event JSON of the phase spans.
+// the artifact instead of stdout scraping — records include the
+// log-bucketed phase_hist.* latency histograms; --trace-out writes a
+// Chrome trace_event JSON of the phase spans.
+// --json-out writes a machine-readable summary of the whole table for
+// baseline diffing with tools/bench_report.py (committed baselines live
+// in results/).
 
+#include <cstdio>
 #include <iostream>
 
 #include "engines/serial_engine.hpp"
@@ -25,7 +31,9 @@
 #include "md/units.hpp"
 #include "obs/engine_metrics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase_hist.hpp"
 #include "obs/trace.hpp"
+#include "support/error.hpp"
 #include "potentials/vashishta.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -36,7 +44,7 @@ int main(int argc, char** argv) {
   using namespace scmd;
   const Cli cli(argc, argv, {"atoms", "steps", "warmup", "reach-sweep",
                              "seed", "tuple-cache", "metrics-out",
-                             "trace-out"});
+                             "trace-out", "json-out"});
   const long long atoms = cli.get_int("atoms", 6000);
   const int steps = static_cast<int>(cli.get_int("steps", 10));
   const int warmup = static_cast<int>(cli.get_int("warmup", 2));
@@ -76,6 +84,20 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::TraceSession> trace;
   const std::string trace_out = cli.get("trace-out", "");
   if (!trace_out.empty()) trace = std::make_unique<obs::TraceSession>();
+  // phase_hist.* channels are fed from trace spans; when metrics are on
+  // without --trace-out, an internal session supplies them.
+  obs::TraceSession internal_trace;
+  obs::TraceSession* span_source =
+      trace ? trace.get() : (metrics ? &internal_trace : nullptr);
+
+  // Machine-readable summary for baseline diffing (tools/bench_report.py).
+  struct VariantSummary {
+    std::string name;
+    double ms_per_step = 0.0;
+    double steps_per_sec = 0.0;
+    double search_per_step = 0.0;
+  };
+  std::vector<VariantSummary> summary;
 
   Table table({"strategy", "ms/step", "steps/sec", "search/step",
                "cell visits/step", "accepted3/step", "pair evals/step",
@@ -93,11 +115,13 @@ int main(int argc, char** argv) {
     ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
     SerialEngineConfig cfg;
     cfg.dt = 1.0 * units::kFemtosecond;
-    cfg.trace = trace.get();
+    cfg.trace = span_source;
     if (cacheable) cfg.tuple_cache = cache_cfg;
     SerialEngine engine(sys, field, make_strategy(name, field), cfg);
     if (metrics) metrics->set_attr("strategy", name);
+    std::size_t span_cursor = 0;
     for (int s = 0; s < warmup; ++s) engine.step();
+    if (span_source != nullptr) span_cursor = span_source->num_events();
     // Per-step work from cumulative snapshot deltas — never
     // clear_counters() mid-run (it would race against totals consumers).
     EngineCounters prev = engine.counters();
@@ -118,6 +142,9 @@ int main(int argc, char** argv) {
         sample.max_n = field.max_n();
         obs::record_step(*metrics, sample);
         metrics->set("time.ms_per_step", step_timer.total() * 1e3);
+        const auto spans = span_source->events_since(span_cursor);
+        span_cursor += spans.size();
+        obs::observe_phase_events(*metrics, spans);
         metrics->emit(s + 1);
       }
     }
@@ -134,8 +161,32 @@ int main(int argc, char** argv) {
          static_cast<long long>(c.tuples[3].accepted / steps),
          static_cast<long long>(c.evals[2] / steps),
          static_cast<long long>(c.evals[3] / steps)});
+    summary.push_back(
+        {name, ms, steps_per_sec,
+         static_cast<double>(c.total_search_steps()) / steps});
   }
   table.print(std::cout);
   if (trace) trace->save(trace_out);
+
+  const std::string json_out = cli.get("json-out", "");
+  if (!json_out.empty()) {
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    SCMD_REQUIRE(f != nullptr, "cannot open --json-out: " + json_out);
+    std::fprintf(f,
+                 "{\n  \"bench\": \"walltime\",\n  \"atoms\": %lld,\n"
+                 "  \"steps\": %d,\n  \"variants\": {\n",
+                 atoms, steps);
+    for (std::size_t i = 0; i < summary.size(); ++i) {
+      const VariantSummary& v = summary[i];
+      std::fprintf(f,
+                   "    \"%s\": {\"ms_per_step\": %.6g, \"steps_per_sec\": "
+                   "%.6g, \"search_per_step\": %.6g}%s\n",
+                   v.name.c_str(), v.ms_per_step, v.steps_per_sec,
+                   v.search_per_step, i + 1 < summary.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("# json: %s\n", json_out.c_str());
+  }
   return 0;
 }

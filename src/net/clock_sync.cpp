@@ -1,0 +1,52 @@
+#include "net/clock_sync.hpp"
+
+#include <limits>
+
+#include "obs/telemetry.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+std::vector<ClockEstimate> estimate_clock_offsets(
+    Transport& transport, const std::function<double()>& now_us,
+    int rounds) {
+  SCMD_REQUIRE(rounds >= 1, "clock sync needs at least one round");
+  const int P = transport.num_ranks();
+  const int rank = transport.rank();
+
+  if (rank != 0) {
+    // Serve the exchange: answer each ping with the local clock reading.
+    // Reply *immediately* — every instruction between recv and send
+    // widens the root's RTT and with it the uncertainty bound.
+    for (int round = 0; round < rounds; ++round) {
+      transport.recv(0, obs::kTagClockPing);
+      transport.send(0, obs::kTagClockPong,
+                     pack(std::vector<double>{now_us()}));
+    }
+    transport.barrier();
+    return {};
+  }
+
+  std::vector<ClockEstimate> estimates(static_cast<std::size_t>(P));
+  for (int r = 1; r < P; ++r) {
+    double best_rtt = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < rounds; ++round) {
+      const double t0 = now_us();
+      transport.send(r, obs::kTagClockPing, Bytes{});
+      const auto reply = unpack<double>(transport.recv(r, obs::kTagClockPong));
+      const double t1 = now_us();
+      SCMD_REQUIRE(reply.size() == 1, "malformed clock-sync pong");
+      const double rtt = t1 - t0;
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        ClockEstimate& e = estimates[static_cast<std::size_t>(r)];
+        e.offset_us = 0.5 * (t0 + t1) - reply[0];
+        e.uncertainty_us = 0.5 * rtt;
+      }
+    }
+  }
+  transport.barrier();
+  return estimates;
+}
+
+}  // namespace scmd

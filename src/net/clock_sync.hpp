@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file clock_sync.hpp
+/// Ping-style clock-offset estimation between rank sessions.
+///
+/// Each rank of a distributed run timestamps its trace spans against its
+/// own TraceSession epoch (a local steady_clock origin), so spans from
+/// different processes live in unrelated timebases.  To merge them into
+/// one trace, rank 0 estimates per-rank offsets at bootstrap with the
+/// classic NTP-style exchange:
+///
+///   t0 = root now;  ping(r);  remote = pong(r);  t1 = root now
+///   offset_r = (t0 + t1)/2 - remote        (assumes symmetric paths)
+///
+/// Over `rounds` exchanges the estimate from the round with the smallest
+/// round-trip is kept — queueing noise only ever inflates the RTT, so
+/// min-RTT is the least-contaminated sample — and the reported
+/// uncertainty is half that best RTT (the worst-case asymmetry error).
+/// Adding offset_r to a rank-r local timestamp lands it in rank 0's
+/// session timebase.
+///
+/// This is a collective: every rank must call it, with `now_us` reading
+/// the clock its spans are stamped with (TraceSession::now_us of the
+/// rank-local session).
+
+#include <functional>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace scmd {
+
+struct ClockEstimate {
+  double offset_us = 0.0;       ///< add to local ts to get root-session ts
+  double uncertainty_us = 0.0;  ///< half the best round-trip
+};
+
+/// Collective offset estimation.  Rank 0 returns one estimate per rank
+/// (its own is exactly {0, 0}); every other rank serves the exchange and
+/// returns an empty vector.  Uses the reserved kTagClockPing/Pong tags.
+std::vector<ClockEstimate> estimate_clock_offsets(
+    Transport& transport, const std::function<double()>& now_us,
+    int rounds = 16);
+
+}  // namespace scmd

@@ -1,0 +1,124 @@
+#include "net/status_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "net/tcp.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+namespace {
+
+/// A status request larger than this is a confused client, not a
+/// request.
+constexpr std::uint32_t kMaxRequestBytes = 1 << 16;
+
+bool write_full(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_full(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, p, size, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusServer::StatusServer(int port) {
+  const auto [fd, bound] = bind_listener("0.0.0.0", port);
+  listen_fd_ = fd;
+  port_ = bound;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+StatusServer::~StatusServer() { stop(); }
+
+void StatusServer::publish(std::string json) {
+  const std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(json);
+}
+
+void StatusServer::accept_loop() {
+  while (running_.load()) {
+    // Short poll so stop() is observed promptly even with no clients.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve(fd); });
+  }
+}
+
+void StatusServer::serve(int fd) {
+  while (running_.load()) {
+    std::uint32_t len = 0;
+    if (!read_full(fd, &len, sizeof(len))) break;
+    if (len > kMaxRequestBytes) break;
+    std::string request(len, '\0');
+    if (len > 0 && !read_full(fd, request.data(), len)) break;
+
+    std::string reply;
+    {
+      const std::lock_guard<std::mutex> lock(snapshot_mu_);
+      reply = snapshot_;
+    }
+    const auto reply_len = static_cast<std::uint32_t>(reply.size());
+    if (!write_full(fd, &reply_len, sizeof(reply_len))) break;
+    if (!write_full(fd, reply.data(), reply.size())) break;
+  }
+  ::close(fd);
+}
+
+void StatusServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Unblock serve() threads stuck in recv by half-closing their sockets;
+  // serve() owns the close itself.
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace scmd

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file status_server.hpp
+/// Live-status socket for the run monitor.
+///
+/// A StatusServer listens on a TCP port and answers length-prefixed
+/// requests with the most recently publish()ed JSON snapshot — the
+/// consumer is tools/scmd_top.py (and anything else that speaks the
+/// trivial protocol).  Wire format, both directions:
+///
+///     u32 length (little-endian) | `length` bytes of UTF-8
+///
+/// The request body is ignored ("status" by convention); every request
+/// gets exactly one response.  A connection serves any number of
+/// requests until the client closes it.  The server thread never touches
+/// the collector directly: the driver publishes fresh snapshots at its
+/// own cadence, so a slow or absent monitor costs the run one string
+/// copy per step and nothing more.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scmd {
+
+class StatusServer {
+ public:
+  /// Bind 0.0.0.0:`port` (0 = ephemeral) and start the accept loop.
+  /// Throws scmd::Error if the port cannot be bound.
+  explicit StatusServer(int port);
+  ~StatusServer();
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  /// The bound port (useful with port 0).
+  int port() const { return port_; }
+
+  /// Replace the snapshot served to clients.
+  void publish(std::string json);
+
+  /// Stop accepting, close every connection, join all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve(int fd);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{true};
+
+  std::mutex snapshot_mu_;
+  std::string snapshot_ = "{}";
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace scmd

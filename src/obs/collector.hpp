@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file collector.hpp
+/// Rank-0 telemetry collector: turns the per-rank frame stream into the
+/// run's observability artifacts *while the run executes*.
+///
+/// The collector owns three responsibilities:
+///
+///  1. **Metric reduction.** Frames carry each rank's per-step
+///     EngineCounters delta, potential energy, and cumulative
+///     TransportStats snapshot.  When every rank's record for step s has
+///     arrived the step is *finalized*: cluster totals, the
+///     imbalance.* summary, balance.* scalars, and per-step
+///     comm.transport.* deltas are recorded into the registry and
+///     emitted on the metrics_every cadence — the same records the old
+///     end-of-run gather produced, now available live.
+///
+///  2. **Clock-aligned trace merging.** Frame spans are timestamped in
+///     the sender's local TraceSession microseconds.  set_clock() gives
+///     the per-rank offset into rank 0's session timebase (estimated by
+///     net/clock_sync.hpp); ingest() re-records each span into the
+///     merged session shifted by that offset, on lane tid = rank.
+///
+///  3. **Live status.** status_json() snapshots the run for the status
+///     socket: latest finalized step, per-rank progress and step rate,
+///     the current imbalance ratio, mailbox watermarks, and slow-step
+///     anomalies (a step span slower than 3x the rank's median).
+///
+/// Thread safety: all public methods lock an internal mutex, so the
+/// driver thread can ingest while a StatusServer thread polls
+/// status_json().
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace scmd::obs {
+
+class TelemetryCollector {
+ public:
+  struct Config {
+    int num_ranks = 1;
+    int max_n = 3;            ///< highest tuple length in metric names
+    bool balancing = false;   ///< emit balance.* scalars per step
+    int metrics_every = 1;    ///< emit cadence (final record always emitted)
+    long long num_records = 0;  ///< expected records per rank (steps + 1)
+    MetricsRegistry* metrics = nullptr;   ///< may be null (trace-only run)
+    TraceSession* merged_trace = nullptr; ///< may be null (metrics-only run)
+  };
+
+  explicit TelemetryCollector(const Config& config);
+
+  /// Clock alignment for `rank`: add `offset_us` to its local span
+  /// timestamps to land in rank 0's session timebase.  `uncertainty_us`
+  /// is the estimator's error bound (half the best round-trip), kept for
+  /// status reporting and tests.  Defaults to 0 for every rank — correct
+  /// for the in-process driver, where all ranks share one session.
+  void set_clock(int rank, double offset_us, double uncertainty_us);
+  double clock_offset_us(int rank) const;
+  double clock_uncertainty_us(int rank) const;
+
+  /// Balance outcome of record `step` (rank 0's collectively-agreed
+  /// view).  Must be called before the step finalizes; scalar arguments
+  /// keep obs independent of the parallel layer's types.
+  void set_balance(long long step, double ratio, bool rebalanced,
+                   double predicted_ratio, std::uint64_t migrated_atoms);
+
+  /// Ingest one frame: merge its spans (clock-shifted, lane = rank),
+  /// feed phase histograms, stage its step records, and finalize every
+  /// step whose records are now complete.  Frames from one rank must
+  /// arrive in step order (the transport guarantees this per (src,
+  /// tag)); ranks may interleave arbitrarily.
+  void ingest(const TelemetryFrame& frame);
+
+  /// Feed phase histograms (and slow-step tracking, lane = event tid)
+  /// from spans that are *already* in the merged session — the
+  /// in-process driver's path, where all ranks record into one session
+  /// directly and re-recording them would duplicate the trace.
+  void observe_events(const std::vector<TraceEvent>& events);
+
+  /// Emit the final record if the cadence missed it (the old gather
+  /// always emitted the last step) and flag any rank that never
+  /// delivered all its records.  Idempotent.
+  void finish();
+
+  /// Steps finalized so far (all ranks' records arrived).
+  long long finalized_steps() const;
+
+  /// One-line JSON snapshot for the status socket.  Schema documented in
+  /// docs/OBSERVABILITY.md ("Live run monitor").
+  std::string status_json() const;
+
+ private:
+  struct StepSlot {
+    std::vector<TelemetryStepRecord> by_rank;
+    std::vector<bool> present;
+    int arrived = 0;
+    double balance_ratio = 0.0;
+    bool rebalanced = false;
+    double balance_predicted = 0.0;
+    std::uint64_t balance_migrated = 0;
+    bool has_balance = false;
+  };
+
+  struct RankStatus {
+    long long last_step = -1;          ///< highest record index received
+    double last_seen_us = 0.0;         ///< collector clock, for step rate
+    double prev_seen_us = 0.0;
+    long long prev_step = -1;
+    std::uint64_t mailbox_watermark = 0;
+    std::vector<double> step_span_ms;  ///< per-rank "step" span durations
+  };
+
+  struct Anomaly {
+    int rank = 0;
+    long long span_index = 0;  ///< ordinal of the slow "step" span
+    double dur_ms = 0.0;
+    double median_ms = 0.0;
+  };
+
+  StepSlot& slot(long long step);
+  void finalize_ready();
+  void finalize(StepSlot& s, long long step);
+  void track_span(int rank, const TraceEvent& e);
+  double mono_us() const;
+
+  Config config_;
+  mutable std::mutex mu_;
+
+  std::vector<StepSlot> slots_;     ///< ring over [next_final_, ...)
+  long long next_final_ = 0;        ///< first step not yet finalized
+  long long last_emitted_ = -1;
+  bool finished_ = false;
+
+  std::vector<double> clock_offset_us_;
+  std::vector<double> clock_uncertainty_us_;
+  std::vector<TransportStats> prev_stats_;  ///< previous cumulative snapshot
+  std::vector<RankStatus> ranks_;
+  std::vector<Anomaly> anomalies_;
+  double latest_imbalance_ratio_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace scmd::obs

@@ -1,0 +1,38 @@
+#include "obs/phase_hist.hpp"
+
+#include <cmath>
+
+namespace scmd::obs {
+
+namespace {
+
+constexpr const char* kTrackedPhases[] = {
+    "step",           "force",           "exchange.import",
+    "exchange.write_back", "exchange.migrate", "exchange.refresh",
+    "balance",
+};
+
+}  // namespace
+
+bool phase_tracked(const std::string& span_name) {
+  for (const char* p : kTrackedPhases) {
+    if (span_name == p) return true;
+  }
+  return false;
+}
+
+void observe_phase(MetricsRegistry& reg, const std::string& phase,
+                   double dur_s) {
+  if (dur_s < 1e-12) dur_s = 1e-12;  // log-safe; lands in underflow
+  reg.observe("phase_hist." + phase, kPhaseHistLogLo, kPhaseHistLogHi,
+              kPhaseHistBuckets, std::log10(dur_s));
+}
+
+void observe_phase_events(MetricsRegistry& reg,
+                          const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    if (phase_tracked(e.name)) observe_phase(reg, e.name, e.dur_us * 1e-6);
+  }
+}
+
+}  // namespace scmd::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file phase_hist.hpp
+/// Log-bucketed per-phase latency histograms.
+///
+/// Phase durations in an MD run span six orders of magnitude (a cached
+/// replay refresh is microseconds, a rebalance step can be seconds), so
+/// fixed-width buckets waste resolution exactly where the interesting
+/// tail lives.  The phase_hist.* channel reuses the registry's Histogram
+/// machinery but observes log10(seconds): buckets are log-spaced at four
+/// per decade over [100 ns, 100 s), with out-of-range durations landing
+/// in underflow/overflow as usual.
+///
+/// Tracked phases are the step-level spans of the trace taxonomy
+/// (docs/OBSERVABILITY.md): step, force, exchange.import,
+/// exchange.write_back, exchange.migrate, exchange.refresh, balance.
+/// Histogram names are "phase_hist." + phase; the value distribution is
+/// log10(duration in seconds).
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace scmd::obs {
+
+/// log10(seconds) histogram domain: 1e-7 s (100 ns) .. 1e2 s (100 s),
+/// four buckets per decade.
+inline constexpr double kPhaseHistLogLo = -7.0;
+inline constexpr double kPhaseHistLogHi = 2.0;
+inline constexpr int kPhaseHistBuckets = 36;
+
+/// Is `span_name` one of the phases with a phase_hist.* channel?
+bool phase_tracked(const std::string& span_name);
+
+/// Record one duration into "phase_hist.<phase>" (get-or-create with the
+/// canonical log-bucket spec).  `dur_s` is clamped away from zero before
+/// the log so degenerate spans land in underflow, not -inf.
+void observe_phase(MetricsRegistry& reg, const std::string& phase,
+                   double dur_s);
+
+/// Bucket every tracked phase span in `events` (durations are trace
+/// microseconds).  The drain-cursor companion of
+/// TraceSession::events_since().
+void observe_phase_events(MetricsRegistry& reg,
+                          const std::vector<TraceEvent>& events);
+
+}  // namespace scmd::obs

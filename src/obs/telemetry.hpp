@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// Telemetry frame wire format for cross-rank metric streaming.
+///
+/// Each rank of a distributed run batches its per-step observables — the
+/// EngineCounters delta, potential-energy contribution, a cumulative
+/// TransportStats snapshot — together with the trace spans recorded
+/// since the last flush into one compact frame, and streams it to the
+/// collector on rank 0 over the ordinary Transport using the reserved
+/// kTagTelemetry tag.  Frames from one rank arrive in step order
+/// (per-(src, dst, tag) ordering); ranks interleave arbitrarily.
+///
+/// Wire format (same-architecture cluster, like pack()/unpack():
+/// little-endian x86-64 assumed throughout the transport layer):
+///
+///   u32  magic    0x53435446 ("SCTF")
+///   u32  version  1
+///   i32  rank
+///   u32  num_step_records
+///        num_step_records x TelemetryStepRecord (raw struct bytes)
+///   u32  num_events
+///        per event: u16 name_len, name bytes,
+///                   f64 ts_us, f64 dur_us   (rank-local session time)
+///
+/// decode_frame() throws scmd::Error on truncation or a bad
+/// magic/version — a corrupt frame is an error, never a silent skip.
+
+#include <cstdint>
+#include <vector>
+
+#include "engines/counters.hpp"
+#include "net/transport.hpp"
+#include "obs/trace.hpp"
+
+namespace scmd::obs {
+
+/// Transport tags reserved for the telemetry pipeline.  They sit above
+/// the engine exchange tags (import 100, write-back 200, migrate 300,
+/// refresh/cost 400, check 900, end-of-run gather 920-924) and below the
+/// TCP backend's collective tag (0x7fffff00).
+constexpr int kTagTelemetry = 930;
+constexpr int kTagClockPing = 931;
+constexpr int kTagClockPong = 932;
+
+/// One step's observables from one rank.  `step` is the record index:
+/// 0 is the priming force pass, s >= 1 the state after MD step s.
+/// `transport` is the rank's *cumulative* statistics snapshot at the end
+/// of the step — the collector differences consecutive snapshots into
+/// per-step deltas.
+struct TelemetryStepRecord {
+  long long step = 0;
+  double potential_energy = 0.0;
+  EngineCounters work;       ///< per-step delta
+  TransportStats transport;  ///< cumulative snapshot
+};
+
+/// One flush from one rank.
+struct TelemetryFrame {
+  int rank = 0;
+  std::vector<TelemetryStepRecord> steps;
+  /// Spans recorded since the previous flush, timestamped in the rank's
+  /// local TraceSession microseconds (the collector clock-aligns them).
+  std::vector<TraceEvent> events;
+};
+
+Bytes encode_frame(const TelemetryFrame& frame);
+TelemetryFrame decode_frame(const Bytes& bytes);
+
+}  // namespace scmd::obs

@@ -39,6 +39,13 @@ std::vector<TraceEvent> TraceSession::events() const {
   return events_;
 }
 
+std::vector<TraceEvent> TraceSession::events_since(std::size_t from) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (from >= events_.size()) return {};
+  return {events_.begin() + static_cast<std::ptrdiff_t>(from),
+          events_.end()};
+}
+
 void TraceSession::write_chrome_json(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mu_);
   // Default stream precision (6 significant digits) quantizes ts to

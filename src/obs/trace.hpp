@@ -47,6 +47,11 @@ class TraceSession {
   std::size_t num_events() const;
   std::vector<TraceEvent> events() const;
 
+  /// Events appended since index `from` (a previous num_events() value).
+  /// The telemetry pipeline uses this as a drain cursor: each flush ships
+  /// only the spans recorded since the last one.
+  std::vector<TraceEvent> events_since(std::size_t from) const;
+
   /// Serialize as Chrome trace_event JSON ({"traceEvents": [...]}).
   void write_chrome_json(std::ostream& os) const;
 

@@ -1,4 +1,4 @@
-#include "net/transport_metrics.hpp"
+#include "obs/transport_metrics.hpp"
 
 namespace scmd::obs {
 

@@ -2,11 +2,15 @@
 
 #include <cstdint>
 #include <exception>
+#include <optional>
 #include <thread>
 #include <type_traits>
 
 #include "check/invariant.hpp"
-#include "net/transport_metrics.hpp"
+#include "net/clock_sync.hpp"
+#include "net/status_server.hpp"
+#include "obs/collector.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/rank_engine.hpp"
 #include "support/error.hpp"
 
@@ -39,33 +43,19 @@ void accumulate_max_rank(EngineCounters& max_rank, const EngineCounters& c) {
   maxu(max_rank.bytes_written_back, c.bytes_written_back);
 }
 
-/// Per-step structured records shared by both drivers: cluster totals
-/// plus the rank-imbalance summary (Eq.-33 import volume per rank) and,
-/// when balancing, the per-step balance outcome.
-void emit_step_metrics(obs::MetricsRegistry& reg, int metrics_every,
-                       int max_n, bool balancing,
-                       const std::vector<std::vector<EngineCounters>>& work,
-                       const std::vector<std::vector<double>>& energy,
-                       const std::vector<BalanceStepInfo>& balance) {
-  const int every = metrics_every > 0 ? metrics_every : 1;
-  const std::size_t num_records = work.size();
-  for (std::size_t s = 0; s < num_records; ++s) {
-    obs::StepSample sample;
-    sample.max_n = max_n;
-    for (std::size_t r = 0; r < work[s].size(); ++r) {
-      sample.work += work[s][r];
-      sample.potential_energy += energy[s][r];
-    }
-    obs::record_step(reg, sample);
-    obs::record_rank_imbalance(reg, work[s]);
-    if (balancing) {
-      const BalanceStepInfo& b = balance[s];
-      obs::record_balance(reg, b.ratio, b.rebalanced, b.predicted_ratio,
-                          b.migrated_atoms);
-    }
-    if (s % static_cast<std::size_t>(every) == 0 || s + 1 == num_records)
-      reg.emit(static_cast<long long>(s));
-  }
+obs::TelemetryCollector::Config collector_config(
+    int num_ranks, int max_n, bool balancing,
+    const ParallelRunConfig& config, std::size_t num_records,
+    obs::TraceSession* merged_trace) {
+  obs::TelemetryCollector::Config cc;
+  cc.num_ranks = num_ranks;
+  cc.max_n = max_n;
+  cc.balancing = balancing;
+  cc.metrics_every = config.metrics_every;
+  cc.num_records = static_cast<long long>(num_records);
+  cc.metrics = config.metrics;
+  cc.merged_trace = merged_trace;
+  return cc;
 }
 
 }  // namespace
@@ -105,20 +95,26 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   std::vector<EngineCounters> rank_counters(static_cast<std::size_t>(P));
   std::vector<double> rank_energy(static_cast<std::size_t>(P), 0.0);
 
-  // Per-step per-rank work deltas for the observability summary.  Slot
-  // s=0 is the initial force pass; each rank writes only its own column,
-  // so no synchronization is needed beyond the final join.
+  // Per-step per-rank telemetry records for the collector.  Slot s=0 is
+  // the initial force pass; each rank writes only its own column, so no
+  // synchronization is needed beyond the final join.
   const bool collect_steps = config.metrics != nullptr;
   const std::size_t num_records =
       static_cast<std::size_t>(config.num_steps) + 1;
-  std::vector<std::vector<EngineCounters>> step_work;
-  std::vector<std::vector<double>> step_energy;
+  std::vector<std::vector<obs::TelemetryStepRecord>> step_records;
   if (collect_steps) {
-    step_work.assign(num_records,
-                     std::vector<EngineCounters>(static_cast<std::size_t>(P)));
-    step_energy.assign(num_records,
-                       std::vector<double>(static_cast<std::size_t>(P), 0.0));
+    step_records.assign(
+        num_records,
+        std::vector<obs::TelemetryStepRecord>(static_cast<std::size_t>(P)));
   }
+
+  // The threads of one process share one session, so the trace is merged
+  // by construction.  Phase histograms are derived from its spans: with
+  // metrics on but no trace requested, an internal session feeds them.
+  obs::TraceSession internal_trace;
+  obs::TraceSession* trace =
+      config.trace != nullptr ? config.trace
+                              : (collect_steps ? &internal_trace : nullptr);
 
   // Per-step balance outcomes, written by rank 0 only (the balancer's
   // view is collectively agreed, so one rank's copy is the cluster's).
@@ -141,7 +137,7 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
       try {
         // Rank-tagged spans: every SCMD_TRACE below this binding (halo
         // import, search, write-back, ...) lands on lane tid = r.
-        obs::bind_thread(config.trace, r);
+        obs::bind_thread(trace, r);
         // Invariant-violation reports name the failing rank.
         check::bind_rank(r);
         Comm comm(cluster, r);
@@ -158,14 +154,17 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
         }
         engine.set_atoms(std::move(initial[static_cast<std::size_t>(r)]));
         EngineCounters prev;
-        engine.compute_forces();
-        if (collect_steps) {
-          step_work[0][static_cast<std::size_t>(r)] =
-              engine.counters().delta_since(prev);
-          step_energy[0][static_cast<std::size_t>(r)] =
-              engine.potential_energy();
+        auto record = [&](std::size_t s) {
+          obs::TelemetryStepRecord& rec =
+              step_records[s][static_cast<std::size_t>(r)];
+          rec.step = static_cast<long long>(s);
+          rec.potential_energy = engine.potential_energy();
+          rec.work = engine.counters().delta_since(prev);
+          rec.transport = comm.transport().stats();
           prev = engine.counters();
-        }
+        };
+        engine.compute_forces();
+        if (collect_steps) record(0);
         for (int s = 0; s < config.num_steps; ++s) {
           engine.step();
           if (balancer && r == 0) {
@@ -175,14 +174,7 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
             if (collect_steps)
               step_balance[static_cast<std::size_t>(s) + 1] = info;
           }
-          if (collect_steps) {
-            const std::size_t si = static_cast<std::size_t>(s) + 1;
-            step_work[si][static_cast<std::size_t>(r)] =
-                engine.counters().delta_since(prev);
-            step_energy[si][static_cast<std::size_t>(r)] =
-                engine.potential_energy();
-            prev = engine.counters();
-          }
+          if (collect_steps) record(static_cast<std::size_t>(s) + 1);
         }
 
         rank_energy[static_cast<std::size_t>(r)] = engine.potential_energy();
@@ -225,16 +217,31 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   result.rebalances = rebalances;
   result.last_balance_ratio = last_ratio;
 
-  // Per-step structured records: cluster totals plus the rank-imbalance
-  // summary (max/avg work and Eq.-33 import volume per rank).  Transport
-  // statistics are run-cumulative, recorded once so every record
-  // carries them.
+  // Replay the per-rank records through the same collector the
+  // distributed driver streams into live: cluster totals, the per-rank
+  // imbalance summary, per-step comm.transport.* deltas, and the
+  // span-derived phase_hist.* channels all come out of one code path.
   if (collect_steps) {
-    TransportStats agg;
-    for (int r = 0; r < P; ++r) agg += cluster.transport(r).stats();
-    obs::record_transport(*config.metrics, agg);
-    emit_step_metrics(*config.metrics, config.metrics_every, field.max_n(),
-                      balancing, step_work, step_energy, step_balance);
+    obs::TelemetryCollector collector(collector_config(
+        P, field.max_n(), balancing, config, num_records, nullptr));
+    if (balancing) {
+      for (std::size_t s = 0; s < num_records; ++s) {
+        const BalanceStepInfo& b = step_balance[s];
+        collector.set_balance(static_cast<long long>(s), b.ratio,
+                              b.rebalanced, b.predicted_ratio,
+                              b.migrated_atoms);
+      }
+    }
+    collector.observe_events(trace->events());
+    for (int r = 0; r < P; ++r) {
+      obs::TelemetryFrame frame;
+      frame.rank = r;
+      frame.steps.reserve(num_records);
+      for (std::size_t s = 0; s < num_records; ++s)
+        frame.steps.push_back(step_records[s][static_cast<std::size_t>(r)]);
+      collector.ingest(frame);
+    }
+    collector.finish();
   }
   return result;
 }
@@ -257,8 +264,42 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   // Every rank scatters the identical global system and keeps its share.
   std::vector<RankState> initial = scatter_atoms(sys, decomp);
 
-  obs::bind_thread(config.trace, rank);
+  // Whether telemetry streams is a collective decision: rank 0's hooks
+  // decide for the whole cluster, so all ranks agree before any of them
+  // touches the reserved tags.
+  const bool telemetry =
+      comm.allreduce_max(root && (config.metrics != nullptr ||
+                                  config.trace != nullptr)
+                             ? 1.0
+                             : 0.0) > 0.0;
+
+  // When streaming, every rank records spans into its own local session
+  // and ships them; rank 0's collector re-records them clock-aligned
+  // into config.trace.  Rank 0 itself uses a local session too (offset
+  // exactly 0), so its spans travel the same path as everyone else's.
+  obs::TraceSession local_trace;
+  obs::bind_thread(telemetry ? &local_trace : config.trace, rank);
   check::bind_rank(rank);
+
+  std::optional<obs::TelemetryCollector> collector;
+  if (telemetry) {
+    // Bootstrap clock sync: offsets map each rank's session time into
+    // rank 0's session timebase.  Sessions were created a moment ago, so
+    // the offsets hold for the whole run — steady clocks on one cluster
+    // don't drift apart measurably at MD-run timescales.
+    const std::vector<ClockEstimate> clock = estimate_clock_offsets(
+        comm.transport(), [&] { return local_trace.now_us(); });
+    if (root) {
+      collector.emplace(collector_config(
+          P, field.max_n(), static_cast<bool>(config.make_balancer), config,
+          static_cast<std::size_t>(config.num_steps) + 1, config.trace));
+      for (int r = 1; r < P; ++r) {
+        collector->set_clock(r, clock[static_cast<std::size_t>(r)].offset_us,
+                             clock[static_cast<std::size_t>(r)].uncertainty_us);
+      }
+    }
+  }
+
   const bool balancing = static_cast<bool>(config.make_balancer);
   RankEngineConfig rc;
   rc.dt = config.dt;
@@ -273,30 +314,42 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   }
   engine.set_atoms(std::move(initial[static_cast<std::size_t>(rank)]));
 
-  // Whether per-step work is recorded is a collective decision: rank 0
-  // gathers every rank's deltas at the end, so all ranks must agree.
-  const bool collect_steps =
-      comm.allreduce_max(config.metrics != nullptr && root ? 1.0 : 0.0) > 0.0;
-  const std::size_t num_records =
-      static_cast<std::size_t>(config.num_steps) + 1;
-  std::vector<EngineCounters> my_step_work;
-  std::vector<double> my_step_energy;
-  std::vector<BalanceStepInfo> step_balance;
-  if (collect_steps) {
-    my_step_work.reserve(num_records);
-    my_step_energy.reserve(num_records);
-    if (balancing) step_balance.assign(num_records, {});
-  }
   int rebalances = 0;
   double last_ratio = 0.0;
 
+  // One frame per rank per record: this rank's step observables plus the
+  // spans recorded since the previous flush.  Rank 0 ingests its own
+  // frame, then one from every peer — per-(src, tag) ordering makes the
+  // step sequence implicit, and the collector finalizes a step once all
+  // ranks have reported it.
   EngineCounters prev;
-  engine.compute_forces();
-  if (collect_steps) {
-    my_step_work.push_back(engine.counters().delta_since(prev));
-    my_step_energy.push_back(engine.potential_energy());
+  std::size_t trace_cursor = 0;
+  auto flush_telemetry = [&](long long record_step) {
+    obs::TelemetryFrame frame;
+    frame.rank = rank;
+    obs::TelemetryStepRecord rec;
+    rec.step = record_step;
+    rec.potential_energy = engine.potential_energy();
+    rec.work = engine.counters().delta_since(prev);
+    rec.transport = comm.transport().stats();
+    frame.steps.push_back(rec);
+    frame.events = local_trace.events_since(trace_cursor);
+    trace_cursor += frame.events.size();
     prev = engine.counters();
-  }
+    if (root) {
+      collector->ingest(frame);
+      for (int r = 1; r < P; ++r)
+        collector->ingest(
+            obs::decode_frame(comm.recv(r, obs::kTagTelemetry)));
+      if (config.status != nullptr)
+        config.status->publish(collector->status_json());
+    } else {
+      comm.send(0, obs::kTagTelemetry, obs::encode_frame(frame));
+    }
+  };
+
+  engine.compute_forces();
+  if (telemetry) flush_telemetry(0);
   for (int s = 0; s < config.num_steps; ++s) {
     engine.step();
     if (balancer && root) {
@@ -305,13 +358,17 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
       const BalanceStepInfo& info = balancer->last_step();
       if (info.rebalanced) ++rebalances;
       if (info.ratio > 0.0) last_ratio = info.ratio;
-      if (collect_steps) step_balance[static_cast<std::size_t>(s) + 1] = info;
+      if (collector) {
+        collector->set_balance(s + 1, info.ratio, info.rebalanced,
+                               info.predicted_ratio, info.migrated_atoms);
+      }
     }
-    if (collect_steps) {
-      my_step_work.push_back(engine.counters().delta_since(prev));
-      my_step_energy.push_back(engine.potential_energy());
-      prev = engine.counters();
-    }
+    if (telemetry) flush_telemetry(s + 1);
+  }
+  if (collector) {
+    collector->finish();
+    if (config.status != nullptr)
+      config.status->publish(collector->status_json());
   }
 
   ParallelRunResult result;
@@ -319,12 +376,12 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   result.rebalances = rebalances;
   result.last_balance_ratio = last_ratio;
 
-  // Gather counters, per-step records, transport stats, and the final
-  // atom state to rank 0.  Tags live above the engine's exchange tags
-  // (import 100, write-back 200, migrate 300, refresh 400, check 900).
+  // Gather counters and the final atom state to rank 0.  (Per-step
+  // metrics used to be gathered here too; they now stream live through
+  // the telemetry tag above.)  Tags live above the engine's exchange
+  // tags (import 100, write-back 200, migrate 300, refresh 400, check
+  // 900).
   constexpr int kTagCounters = 920;
-  constexpr int kTagStepWork = 921;
-  constexpr int kTagStepEnergy = 922;
   constexpr int kTagState = 923;
   constexpr int kTagStats = 924;
   struct AtomWire {
@@ -348,18 +405,6 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
     result.total = engine.counters();
     accumulate_max_rank(result.max_rank, engine.counters());
     TransportStats agg = comm.transport().stats();
-    std::vector<std::vector<EngineCounters>> step_work;
-    std::vector<std::vector<double>> step_energy;
-    if (collect_steps) {
-      step_work.assign(num_records,
-                       std::vector<EngineCounters>(static_cast<std::size_t>(P)));
-      step_energy.assign(num_records,
-                         std::vector<double>(static_cast<std::size_t>(P), 0.0));
-      for (std::size_t s = 0; s < num_records; ++s) {
-        step_work[s][0] = my_step_work[s];
-        step_energy[s][0] = my_step_energy[s];
-      }
-    }
     auto place = [&](const std::vector<AtomWire>& atoms) {
       for (const AtomWire& a : atoms) {
         const int g = static_cast<int>(a.gid);
@@ -375,17 +420,6 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
       SCMD_REQUIRE(counters.size() == 1, "malformed counters gather");
       result.total += counters[0];
       accumulate_max_rank(result.max_rank, counters[0]);
-      if (collect_steps) {
-        const auto work = unpack<EngineCounters>(comm.recv(r, kTagStepWork));
-        const auto energy = unpack<double>(comm.recv(r, kTagStepEnergy));
-        SCMD_REQUIRE(work.size() == num_records &&
-                         energy.size() == num_records,
-                     "malformed per-step gather");
-        for (std::size_t s = 0; s < num_records; ++s) {
-          step_work[s][static_cast<std::size_t>(r)] = work[s];
-          step_energy[s][static_cast<std::size_t>(r)] = energy[s];
-        }
-      }
       place(unpack<AtomWire>(comm.recv(r, kTagState)));
       const auto stats = unpack<TransportStats>(comm.recv(r, kTagStats));
       SCMD_REQUIRE(stats.size() == 1, "malformed stats gather");
@@ -393,19 +427,10 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
     }
     result.runtime_messages = agg.messages_sent;
     result.runtime_bytes = agg.bytes_sent;
-    if (collect_steps && config.metrics != nullptr) {
-      obs::record_transport(*config.metrics, agg);
-      emit_step_metrics(*config.metrics, config.metrics_every, field.max_n(),
-                        balancing, step_work, step_energy, step_balance);
-    }
   } else {
     result.total = engine.counters();
     comm.send(0, kTagCounters,
               pack(std::vector<EngineCounters>{engine.counters()}));
-    if (collect_steps) {
-      comm.send(0, kTagStepWork, pack(my_step_work));
-      comm.send(0, kTagStepEnergy, pack(my_step_energy));
-    }
     comm.send(0, kTagState, pack(my_atoms));
     comm.send(0, kTagStats,
               pack(std::vector<TransportStats>{comm.transport().stats()}));
@@ -414,6 +439,9 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   // Drain-and-sync before the caller tears the transport down, so no
   // backend is destroyed with traffic still in flight.
   comm.barrier();
+  // The span sink bound above is (or may be) the stack-local session —
+  // don't leave the thread-local binding dangling past this frame.
+  obs::bind_thread(nullptr, 0);
   return result;
 }
 

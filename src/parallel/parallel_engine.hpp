@@ -24,6 +24,8 @@
 
 namespace scmd {
 
+class StatusServer;
+
 /// Options for a parallel run.
 struct ParallelRunConfig {
   double dt = 1.0;
@@ -31,13 +33,22 @@ struct ParallelRunConfig {
   bool measure_force_set = false;
 
   /// Optional observability hooks.  `trace` receives rank-tagged phase
-  /// spans (tid = rank).  `metrics` receives one record per MD step
-  /// (emitted every `metrics_every` steps) with cluster totals plus the
-  /// per-rank max/avg imbalance summary (Eq. 33 import volume).  Both
-  /// null by default — the run then pays no instrumentation cost.
+  /// spans (tid = rank); in the distributed driver it is rank 0's
+  /// *merged* session — every rank streams its spans there, clock-aligned
+  /// into rank 0's timebase (one lane per rank).  `metrics` receives one
+  /// record per MD step (emitted every `metrics_every` steps) with
+  /// cluster totals, the per-rank max/avg imbalance summary (Eq. 33
+  /// import volume), per-step comm.transport.* deltas, and log-bucketed
+  /// phase_hist.* latency histograms.  Both null by default — the run
+  /// then pays no instrumentation cost.
   obs::TraceSession* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
   int metrics_every = 1;
+
+  /// Live run monitor (distributed driver, honored on rank 0): when set,
+  /// a status snapshot is published after every finalized step for the
+  /// status socket to serve (net/status_server.hpp, tools/scmd_top.py).
+  StatusServer* status = nullptr;
 
   /// Dynamic load balancing: when set, each rank constructs its balancer
   /// through this factory (called once per rank, collectively consistent
@@ -83,9 +94,15 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys, const ForceField& field,
 /// holds the gathered final positions/velocities/forces and rank 0's
 /// result carries the cluster totals; other ranks' `sys` is left at the
 /// input state and their result holds the global potential energy,
-/// cluster-wide message totals, and their own counters.  Metrics/trace
-/// hooks in `config` are honored on rank 0 (the per-rank step work is
-/// gathered there; the decision to collect is itself collective).
+/// cluster-wide message totals, and their own counters.
+///
+/// Observability hooks in `config` are honored on rank 0; the decision
+/// to instrument is itself collective.  When rank 0 passes metrics or a
+/// trace, every rank records spans into a rank-local session, estimates
+/// its clock offset against rank 0 at bootstrap (net/clock_sync.hpp),
+/// and streams one telemetry frame per step to rank 0's collector
+/// (obs/collector.hpp) — metrics are reduced and emitted live, and all
+/// rank traces merge into `config.trace` as one clock-aligned timeline.
 ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
                                        const ForceField& field,
                                        const std::string& strategy_name,

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Tests for tools/bench_report.py: direction-aware regression math and
+the --max-regress gate.  Stdlib unittest only."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     os.pardir, os.pardir, "tools")
+REPORT = os.path.join(TOOLS, "bench_report.py")
+
+
+def walltime_doc(ms, rate):
+    return {"bench": "walltime", "atoms": 3000, "steps": 8,
+            "variants": {"SC": {"ms_per_step": ms, "steps_per_sec": rate}}}
+
+
+class BenchReportTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_report(self, baseline, current, *extra):
+        return subprocess.run(
+            [sys.executable, REPORT, "--baseline", baseline,
+             "--current", current, *extra],
+            capture_output=True, text=True, check=False)
+
+    def test_identical_runs_pass(self):
+        b = self.write("b.json", walltime_doc(40.0, 25.0))
+        c = self.write("c.json", walltime_doc(40.0, 25.0))
+        proc = self.run_report(b, c, "--max-regress", "5")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("bench_report: OK", proc.stdout)
+
+    def test_slower_ms_per_step_gates(self):
+        # ms_per_step is lower-is-better: 40 -> 50 is a +25% regression.
+        b = self.write("b.json", walltime_doc(40.0, 25.0))
+        c = self.write("c.json", walltime_doc(50.0, 25.0))
+        self.assertEqual(self.run_report(b, c, "--max-regress", "30")
+                         .returncode, 0)
+        proc = self.run_report(b, c, "--max-regress", "20")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("regressed", proc.stderr)
+
+    def test_lower_throughput_gates(self):
+        # steps_per_sec is higher-is-better: 25 -> 20 is a +20% regression.
+        b = self.write("b.json", walltime_doc(40.0, 25.0))
+        c = self.write("c.json", walltime_doc(40.0, 20.0))
+        proc = self.run_report(b, c, "--max-regress", "10")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("steps_per_sec", proc.stderr)
+
+    def test_faster_run_never_gates(self):
+        b = self.write("b.json", walltime_doc(40.0, 25.0))
+        c = self.write("c.json", walltime_doc(30.0, 33.0))
+        self.assertEqual(self.run_report(b, c, "--max-regress", "0")
+                         .returncode, 0)
+
+    def test_comm_summaries_compare(self):
+        doc = {"bench": "comm", "ranks": 4, "rounds": 500, "bytes": 16384,
+               "cases": {"tcp.pingpong": {"msg_rate": 50000.0,
+                                          "us_per_msg": 20.0}}}
+        b = self.write("b.json", doc)
+        worse = {"bench": "comm", "ranks": 4, "rounds": 500, "bytes": 16384,
+                 "cases": {"tcp.pingpong": {"msg_rate": 30000.0,
+                                            "us_per_msg": 33.0}}}
+        c = self.write("c.json", worse)
+        proc = self.run_report(b, c, "--max-regress", "25")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_mismatched_bench_kinds_fail(self):
+        b = self.write("b.json", walltime_doc(40.0, 25.0))
+        c = self.write("c.json", {"bench": "comm", "cases": {}})
+        proc = self.run_report(b, c)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("bench kinds differ", proc.stderr)
+
+    def test_case_missing_in_current_fails(self):
+        b = self.write("b.json", walltime_doc(40.0, 25.0))
+        c = self.write("c.json", {"bench": "walltime", "variants": {}})
+        proc = self.run_report(b, c)
+        self.assertEqual(proc.returncode, 2)
+
+    def test_invalid_json_fails(self):
+        b = self.write("b.json", walltime_doc(40.0, 25.0))
+        c = os.path.join(self.dir.name, "broken.json")
+        with open(c, "w", encoding="utf-8") as f:
+            f.write("{not json")
+        self.assertEqual(self.run_report(b, c).returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Diff a bench --json-out run against a committed baseline.
+
+The benches (bench_walltime, bench_comm) write machine-readable
+summaries with --json-out=FILE; baselines captured the same way live in
+results/.  This tool compares a fresh run against a baseline metric by
+metric, direction-aware (lower is better for ms_per_step / us_per_msg,
+higher is better for steps_per_sec / msg_rate / bandwidth_mbps), and
+can gate on a maximum regression percentage.
+
+Usage:
+    bench_report.py --baseline results/BENCH_walltime.json \
+                    --current bench_walltime.json \
+                    [--max-regress 25]
+
+--max-regress N exits non-zero when any metric regressed by more than
+N percent.  Without it the report is informational (exit 0 as long as
+the two files are comparable).  Absolute numbers are host-dependent;
+the gate is meant for same-host comparisons (a CI runner against its
+own earlier artifact), not cross-machine ones.
+
+Exits: 0 OK, 1 regression beyond --max-regress, 2 files not comparable.
+"""
+
+import argparse
+import json
+import sys
+
+# metric name -> True when larger values are better.
+HIGHER_IS_BETTER = {
+    "ms_per_step": False,
+    "us_per_msg": False,
+    "search_per_step": False,
+    "steps_per_sec": True,
+    "msg_rate": True,
+    "bandwidth_mbps": True,
+}
+
+
+def fail(msg, code=2):
+    print(f"bench_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict) or "bench" not in doc:
+        fail(f"{path}: not a bench summary (missing 'bench' key)")
+    return doc
+
+
+def case_map(doc, path):
+    """The per-case metric dict: 'variants' (walltime) or 'cases' (comm)."""
+    for key in ("variants", "cases"):
+        if key in doc:
+            if not isinstance(doc[key], dict):
+                fail(f"{path}: {key!r} is not an object")
+            return doc[key]
+    fail(f"{path}: no 'variants' or 'cases' section")
+
+
+def compare(baseline, current):
+    """Yield (case, metric, base, cur, regress_pct) rows.
+
+    regress_pct > 0 means the current run is worse; direction-aware.
+    """
+    rows = []
+    for case in sorted(baseline):
+        if case not in current:
+            rows.append((case, "<missing in current>", None, None, None))
+            continue
+        for metric, base in sorted(baseline[case].items()):
+            if metric not in current[case]:
+                rows.append((case, metric, base, None, None))
+                continue
+            cur = current[case][metric]
+            if not isinstance(base, (int, float)) or \
+                    not isinstance(cur, (int, float)):
+                fail(f"{case}.{metric}: non-numeric value")
+            if metric not in HIGHER_IS_BETTER:
+                continue  # unknown metric: carried but not gated
+            if base == 0:
+                regress = 0.0
+            elif HIGHER_IS_BETTER[metric]:
+                regress = (base - cur) / base * 100.0
+            else:
+                regress = (cur - base) / base * 100.0
+            rows.append((case, metric, base, cur, regress))
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (results/BENCH_*.json)")
+    ap.add_argument("--current", required=True,
+                    help="fresh --json-out summary to compare")
+    ap.add_argument("--max-regress", type=float, default=None,
+                    help="fail (exit 1) when any metric regressed by more "
+                         "than this percentage")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cur_doc = load(args.current)
+    if base_doc["bench"] != cur_doc["bench"]:
+        fail(f"bench kinds differ: {base_doc['bench']!r} vs "
+             f"{cur_doc['bench']!r}")
+
+    rows = compare(case_map(base_doc, args.baseline),
+                   case_map(cur_doc, args.current))
+    if not rows:
+        fail("no comparable metrics")
+
+    print(f"bench_report: {base_doc['bench']}  "
+          f"baseline={args.baseline}  current={args.current}")
+    print(f"{'case':<16} {'metric':<16} {'baseline':>12} {'current':>12} "
+          f"{'regress %':>10}")
+    worst = None
+    for case, metric, base, cur, regress in rows:
+        if regress is None:
+            print(f"{case:<16} {metric:<16} "
+                  f"{'-' if base is None else f'{base:>12.4g}'} "
+                  f"{'MISSING':>12}")
+            fail(f"{case}.{metric}: present in baseline, absent in current")
+        marker = " <-- regressed" if args.max_regress is not None and \
+            regress > args.max_regress else ""
+        print(f"{case:<16} {metric:<16} {base:>12.4g} {cur:>12.4g} "
+              f"{regress:>+10.1f}{marker}")
+        if worst is None or regress > worst[4]:
+            worst = (case, metric, base, cur, regress)
+
+    if worst is not None:
+        print(f"bench_report: worst regression: {worst[0]}.{worst[1]} "
+              f"{worst[4]:+.1f}%")
+    if args.max_regress is not None and worst is not None and \
+            worst[4] > args.max_regress:
+        print(f"bench_report: FAIL: {worst[0]}.{worst[1]} regressed "
+              f"{worst[4]:+.1f}% (> {args.max_regress:g}% allowed)",
+              file=sys.stderr)
+        sys.exit(1)
+    print("bench_report: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Live run monitor for a distributed scmd_run (docs/OBSERVABILITY.md).
+
+Connects to the status socket rank 0 opens when scmd_run is launched
+with --status-port=N (0 picks an ephemeral port, printed on the `#
+status:` line of rank 0's log), polls the latest run snapshot, and
+renders a per-rank table: current step, step rate, mailbox watermark,
+median step latency, clock offset, plus recent slow-step anomalies
+(steps > 3x the rank's median).
+
+Usage:
+    scmd_top.py --port N [--host 127.0.0.1] [--interval 1.0]
+                [--once] [--json]
+
+--once prints a single snapshot and exits (scripts, CI); --json prints
+the raw snapshot JSON instead of the table.  Exits 0 when the run
+reports finished, 1 on protocol/connection errors.
+
+Wire protocol: client sends a length-prefixed request (u32 LE byte
+count + payload, content ignored), server replies with a
+length-prefixed JSON snapshot.  One connection can issue many requests.
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import time
+
+
+def fail(msg):
+    print(f"scmd_top: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("status socket closed mid-message")
+        buf += chunk
+    return buf
+
+
+def request_snapshot(sock):
+    """One request/response round trip; returns the parsed snapshot."""
+    sock.sendall(struct.pack("<I", 0))
+    (length,) = struct.unpack("<I", recv_exact(sock, 4))
+    if length > (1 << 24):
+        raise ConnectionError(f"implausible snapshot length {length}")
+    return json.loads(recv_exact(sock, length).decode("utf-8"))
+
+
+def render(snap):
+    lines = []
+    total = snap.get("num_records", 0)
+    latest = snap.get("latest_step", -1)
+    done = f"{snap.get('finalized_steps', 0)}/{total}" if total else \
+        str(snap.get("finalized_steps", 0))
+    state = "finished" if snap.get("finished") else "running"
+    lines.append(f"scmd_top  step {latest}  records {done}  "
+                 f"imbalance {snap.get('imbalance_ratio', 0.0):.3f}  "
+                 f"[{state}]")
+    lines.append(f"{'rank':>4} {'step':>8} {'steps/s':>9} {'mailbox':>8} "
+                 f"{'med ms':>8} {'clk off us':>11} {'clk +/- us':>11}")
+    for r in snap.get("ranks", []):
+        lines.append(
+            f"{r['rank']:>4} {r['step']:>8} {r['steps_per_sec']:>9.2f} "
+            f"{r['mailbox_depth']:>8} {r['median_step_ms']:>8.3f} "
+            f"{r['clock_offset_us']:>11.1f} {r['clock_uncertainty_us']:>11.1f}")
+    anomalies = snap.get("anomalies", [])
+    if anomalies:
+        lines.append(f"slow steps (> 3x rank median), last "
+                     f"{len(anomalies)}:")
+        for a in anomalies[-8:]:
+            lines.append(f"  rank {a['rank']} span #{a['span_index']}: "
+                         f"{a['dur_ms']:.3f} ms vs median "
+                         f"{a['median_ms']:.3f} ms")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1",
+                    help="status socket host (default 127.0.0.1)")
+    ap.add_argument("--port", type=int, required=True,
+                    help="status socket port (scmd_run --status-port)")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="seconds between polls (default 1.0)")
+    ap.add_argument("--once", action="store_true",
+                    help="print one snapshot and exit")
+    ap.add_argument("--json", action="store_true",
+                    help="print raw snapshot JSON instead of the table")
+    args = ap.parse_args()
+
+    try:
+        sock = socket.create_connection((args.host, args.port), timeout=10.0)
+    except OSError as e:
+        fail(f"cannot connect to {args.host}:{args.port}: {e}")
+    with sock:
+        while True:
+            try:
+                snap = request_snapshot(sock)
+            except (OSError, ValueError, ConnectionError) as e:
+                fail(f"snapshot request failed: {e}")
+            if args.json:
+                print(json.dumps(snap))
+            else:
+                print(render(snap))
+            if args.once or snap.get("finished"):
+                return
+            time.sleep(args.interval)
+            if not args.json:
+                print()
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
+    except KeyboardInterrupt:
+        sys.exit(130)

@@ -21,8 +21,20 @@ rebuild AND at least one reuse step, and the trace (when given) contains
 a replay.* span.
 
 --expect-comm asserts the transport-statistics schema (docs/TRANSPORT.md):
-every metrics record carries the comm.transport.* gauges and at least one
-record observed traffic (comm.transport.messages_sent > 0).
+every metrics record carries the comm.transport.* gauges, at least one
+record observed traffic (comm.transport.messages_sent > 0), and the
+values are true per-step deltas — a series whose bytes_sent is identical
+across every record is rejected as the once-per-run cumulative-constant
+bug the deltas replaced (record 0 includes bootstrap traffic, so real
+delta series always vary).
+
+--expect-merged N asserts the distributed-telemetry schema
+(docs/OBSERVABILITY.md): the metrics carry the per-step imbalance.*
+summary, the comm.transport.* deltas, and phase_hist.* histograms; the
+trace is ONE clock-aligned merged timeline with exactly N lanes (tid =
+rank), every lane carrying step spans, and the k-th step span of every
+rank mutually overlapping within --merge-slack-us (default 50000) — the
+signature of per-rank clocks mapped into rank 0's timebase.
 
 Exits non-zero (with a message on stderr) on the first violation.
 """
@@ -48,21 +60,30 @@ COMM_METRICS = ("comm.transport.messages_sent", "comm.transport.bytes_sent",
                 "comm.transport.recv_stall_s",
                 "comm.transport.max_mailbox_depth")
 
+MERGED_METRICS = ("imbalance.search.max", "imbalance.search.avg",
+                  "imbalance.search.ratio")
+
 
 def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
-                     expect_cache=False, expect_comm=False):
+                     expect_cache=False, expect_comm=False,
+                     expect_merged=None):
     if expect_balance:
         require_metrics = list(require_metrics) + list(BALANCE_METRICS)
     if expect_cache:
         require_metrics = list(require_metrics) + list(CACHE_METRICS)
     if expect_comm:
         require_metrics = list(require_metrics) + list(COMM_METRICS)
+    if expect_merged:
+        require_metrics = (list(require_metrics) + list(MERGED_METRICS) +
+                           list(COMM_METRICS))
     rebalances = 0
     cache_rebuilds = 0
     cache_reuses = 0
     comm_messages = 0
+    phase_hists = 0
     steps = []
     series = {}  # attrs tuple -> step list (one series per strategy/platform)
+    comm_series = {}  # attrs tuple -> comm.transport.bytes_sent list
     with open(path, "r", encoding="utf-8") as f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
@@ -91,6 +112,8 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
                 if sum(h["buckets"]) + h.get("underflow", 0) + h.get(
                         "overflow", 0) != h["count"]:
                     fail(f"{path}:{line_no}: hist {hname!r} counts don't sum")
+                if hname.startswith("phase_hist."):
+                    phase_hists += 1
             if rec["metrics"].get("balance.rebalanced"):
                 rebalances += 1
             cache_rebuilds += rec["metrics"].get("tuple_cache.rebuilds") or 0
@@ -100,6 +123,9 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
             steps.append(rec["step"])
             key = tuple(sorted(rec.get("attrs", {}).items()))
             series.setdefault(key, []).append(rec["step"])
+            if "comm.transport.bytes_sent" in rec["metrics"]:
+                comm_series.setdefault(key, []).append(
+                    rec["metrics"]["comm.transport.bytes_sent"])
     if expect_balance and rebalances == 0:
         fail(f"{path}: --expect-balance, but no record observed a rebalance")
     if expect_cache and cache_rebuilds == 0:
@@ -109,6 +135,20 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
     if expect_comm and comm_messages == 0:
         fail(f"{path}: --expect-comm, but no record observed transport "
              f"traffic")
+    if expect_comm or expect_merged:
+        # Per-step delta semantics: record 0 includes the bootstrap
+        # traffic (scatter, clock sync), so a real delta series varies.
+        # All-identical values across >= 3 records are the old
+        # cumulative-constant bug.
+        for key, vals in comm_series.items():
+            if len(vals) >= 3 and vals[0] > 0 and len(set(vals)) == 1:
+                fail(f"{path}: series {dict(key)}: "
+                     f"comm.transport.bytes_sent identical across "
+                     f"{len(vals)} records — cumulative constants, not "
+                     f"per-step deltas")
+    if expect_merged and phase_hists == 0:
+        fail(f"{path}: --expect-merged, but no phase_hist.* histogram "
+             f"present")
     if len(steps) < min_steps:
         fail(f"{path}: only {len(steps)} records, expected >= {min_steps}")
     # Steps must be non-decreasing within each series (attrs identify the
@@ -121,7 +161,8 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
 
 
 def validate_trace(path, min_spans=1, expect_balance=False,
-                   expect_cache=False):
+                   expect_cache=False, expect_merged=None,
+                   merge_slack_us=50000.0):
     with open(path, "r", encoding="utf-8") as f:
         try:
             doc = json.load(f)
@@ -163,6 +204,32 @@ def validate_trace(path, min_spans=1, expect_balance=False,
         fail(f"{path}: --expect-balance, but no 'balance' span present")
     if expect_cache and not any(n.startswith("replay") for n in names):
         fail(f"{path}: --expect-cache, but no 'replay.*' span present")
+    if expect_merged:
+        # One merged timeline: exactly N lanes (tid = rank), each with
+        # step spans, and the k-th step span of every rank mutually
+        # overlapping within the clock-alignment slack.
+        want = set(range(expect_merged))
+        if set(lanes) != want:
+            fail(f"{path}: --expect-merged {expect_merged}: lanes (tids) "
+                 f"are {sorted(lanes)}, expected {sorted(want)}")
+        step_spans = {}
+        for tid, spans in lanes.items():
+            mine = sorted((e for e in spans if e["name"] == "step"),
+                          key=lambda e: e["ts"])
+            if not mine:
+                fail(f"{path}: --expect-merged: lane {tid} has no "
+                     f"'step' span")
+            step_spans[tid] = mine
+        depth = min(len(s) for s in step_spans.values())
+        for k in range(depth):
+            kth = [step_spans[tid][k] for tid in sorted(step_spans)]
+            last_start = max(e["ts"] for e in kth)
+            first_end = min(e["ts"] + e["dur"] for e in kth)
+            if last_start > first_end + merge_slack_us:
+                fail(f"{path}: --expect-merged: step span {k} does not "
+                     f"overlap across ranks (gap "
+                     f"{last_start - first_end:.1f} us > slack "
+                     f"{merge_slack_us:g} us) — traces not clock-aligned")
     print(f"validate_obs: {path}: OK ({len(events)} spans, "
           f"{len(lanes)} lane(s), phases: {', '.join(names)})")
 
@@ -182,8 +249,17 @@ def main():
                     help="require tuple_cache.* metrics, >= 1 rebuild and "
                          ">= 1 reuse step, and a replay.* trace span")
     ap.add_argument("--expect-comm", action="store_true",
-                    help="require comm.transport.* metrics and >= 1 record "
-                         "with messages_sent > 0")
+                    help="require comm.transport.* metrics, >= 1 record "
+                         "with messages_sent > 0, and per-step delta "
+                         "(non-constant) series")
+    ap.add_argument("--expect-merged", type=int, default=None, metavar="N",
+                    help="require the distributed-telemetry schema: "
+                         "imbalance.* + comm.transport.* + phase_hist.* "
+                         "metrics, and a merged trace with N clock-aligned "
+                         "rank lanes")
+    ap.add_argument("--merge-slack-us", type=float, default=50000.0,
+                    help="clock-alignment tolerance for --expect-merged "
+                         "step-span overlap (default 50000)")
     args = ap.parse_args()
     if not args.metrics and not args.trace:
         fail("nothing to validate: pass --metrics and/or --trace")
@@ -192,10 +268,13 @@ def main():
         validate_metrics(args.metrics, require, args.min_steps,
                          expect_balance=args.expect_balance,
                          expect_cache=args.expect_cache,
-                         expect_comm=args.expect_comm)
+                         expect_comm=args.expect_comm,
+                         expect_merged=args.expect_merged)
     if args.trace:
         validate_trace(args.trace, expect_balance=args.expect_balance,
-                       expect_cache=args.expect_cache)
+                       expect_cache=args.expect_cache,
+                       expect_merged=args.expect_merged,
+                       merge_slack_us=args.merge_slack_us)
 
 
 if __name__ == "__main__":
