@@ -50,6 +50,24 @@
 //   traj             extended-XYZ output path
 //   checkpoint_in    resume from a checkpoint instead of building
 //   checkpoint_out   write the final state here
+//   checkpoint_every periodic durable snapshots: write a full resumable
+//                    checkpoint (step counter, RNG, thermostat,
+//                    decomposition, tuple-cache epoch) after every K
+//                    completed steps into checkpoint_dir (default 0 =
+//                    off; docs/DURABILITY.md).  Serial and tcp runs.
+//   checkpoint_dir   snapshot directory (required with checkpoint_every)
+//   checkpoint_retain  snapshots kept before pruning oldest (default 3)
+//   restore          off (default) | auto | <path> — resume from the
+//                    newest valid snapshot in checkpoint_dir (auto) or an
+//                    explicit snapshot file; the run continues at the
+//                    saved step counter
+//   wal              write-ahead log path: CRC-framed trajectory frames
+//                    at snapshot cadence plus every metrics record;
+//                    reopening truncates a torn tail (crash recovery)
+//   max_recoveries   tcp: rank failures survived by re-running the
+//                    rendezvous and restoring from the last checkpoint
+//                    before giving up (default 2 when checkpoint_every
+//                    is set, else 0; pair with launch_tcp.sh --respawn)
 //   seed             RNG seed (default 1)
 //   measure_pressure true: report pressure at the end (serial only)
 //   metrics_out      structured per-step metrics path (.csv => CSV,
@@ -92,6 +110,9 @@
 
 #include "balance/rebalancer.hpp"
 #include "check/invariant.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/fault.hpp"
+#include "ckpt/wal.hpp"
 #include "engines/observables.hpp"
 #include "engines/serial_engine.hpp"
 #include "io/checkpoint.hpp"
@@ -105,6 +126,7 @@
 #include "net/tcp.hpp"
 #include "obs/phase_hist.hpp"
 #include "parallel/parallel_engine.hpp"
+#include "parallel/supervisor.hpp"
 #include "potentials/bks.hpp"
 #include "potentials/dihedral.hpp"
 #include "potentials/gaussian_chain.hpp"
@@ -177,7 +199,10 @@ int run(const std::string& path,
   cfg.require_known({"field", "strategy", "atoms", "density",
                      "atoms_per_cell", "temperature", "dt_fs", "steps",
                      "thermostat_tau_fs", "threads", "ranks", "log_every",
-                     "traj", "checkpoint_in", "checkpoint_out", "seed",
+                     "traj", "checkpoint_in", "checkpoint_out",
+                     "checkpoint_every", "checkpoint_dir",
+                     "checkpoint_retain", "restore", "wal",
+                     "max_recoveries", "seed",
                      "measure_pressure", "metrics_out", "metrics_every",
                      "trace_out", "measure_force_set", "dense_fraction",
                      "balance", "balance_threshold",
@@ -234,6 +259,41 @@ int run(const std::string& path,
         field_name.c_str(), strategy.c_str(), sys.num_atoms(), steps,
         tcp ? tcp_nranks : ranks);
 
+  // Durability (docs/DURABILITY.md): periodic full-state snapshots, a
+  // crash-recoverable write-ahead log, and (tcp) supervised rank-failure
+  // recovery.  The in-process cluster has no dead-peer detection, so
+  // durability keys are serial/tcp only.
+  const int checkpoint_every =
+      static_cast<int>(cfg.get_int("checkpoint_every", 0));
+  const std::string checkpoint_dir = cfg.get("checkpoint_dir", "");
+  const int checkpoint_retain =
+      static_cast<int>(cfg.get_int("checkpoint_retain", 3));
+  const std::string restore = cfg.get("restore", "off");
+  const int max_recoveries = static_cast<int>(cfg.get_int(
+      "max_recoveries", tcp && checkpoint_every > 0 ? 2 : 0));
+  SCMD_REQUIRE(checkpoint_every == 0 || !checkpoint_dir.empty(),
+               "checkpoint_every needs checkpoint_dir");
+  SCMD_REQUIRE(restore == "off" || !checkpoint_dir.empty() ||
+                   (restore != "auto" && !restore.empty()),
+               "restore=auto needs checkpoint_dir");
+  if (ranks > 1) {
+    SCMD_REQUIRE(checkpoint_every == 0 && restore == "off" &&
+                     !cfg.has("wal") && max_recoveries == 0,
+                 "durability keys (checkpoint_every/restore/wal/"
+                 "max_recoveries) need transport=tcp or ranks=1");
+  }
+  SCMD_REQUIRE(max_recoveries == 0 || tcp,
+               "max_recoveries needs transport=tcp");
+  // Declared before the metrics registry: the registry may hold a sink
+  // writing into this WAL, so the WAL must be destroyed last.
+  std::unique_ptr<ckpt::WalWriter> wal;
+  if (cfg.has("wal") && root) {
+    wal = std::make_unique<ckpt::WalWriter>(cfg.get("wal", ""));
+    if (wal->recovered_torn_tail())
+      std::printf("# wal: recovered %llu record(s), torn tail truncated\n",
+                  static_cast<unsigned long long>(wal->recovered_records()));
+  }
+
   // Observability artifacts: structured per-step metrics (JSONL/CSV) and
   // Chrome-trace phase spans.
   std::unique_ptr<obs::MetricsRegistry> metrics;
@@ -242,6 +302,9 @@ int run(const std::string& path,
     metrics->add_sink(make_metrics_sink(cfg.get("metrics_out", "")));
     metrics->set_attr("field", field_name);
     metrics->set_attr("strategy", strategy);
+    // Metrics ride the WAL too: each emitted record becomes a durable
+    // CRC-framed kMetrics line next to the trajectory frames.
+    if (wal) metrics->add_sink(std::make_unique<ckpt::WalMetricsSink>(*wal));
   }
   std::unique_ptr<obs::TraceSession> trace;
   if (cfg.has("trace_out") && root)
@@ -330,6 +393,17 @@ int run(const std::string& path,
                   status->port(), status->port());
       std::fflush(stdout);
     }
+    // Durability plumbing for the distributed driver.
+    pcfg.durability.checkpoint_every = checkpoint_every;
+    pcfg.durability.checkpoint_dir = checkpoint_dir;
+    pcfg.durability.checkpoint_retain = checkpoint_retain;
+    pcfg.durability.wal = wal.get();
+    if (restore != "off") {
+      pcfg.durability.restore = true;
+      if (restore != "auto") pcfg.durability.restore_path = restore;
+    }
+    const bool durable =
+        checkpoint_every > 0 || restore != "off" || max_recoveries > 0;
     ParallelRunResult res;
     if (tcp) {
       // One rank of a multi-process cluster: connect the mesh, run, and
@@ -347,10 +421,24 @@ int run(const std::string& path,
       tc.advertise_host = cfg.get("advertise_host", "127.0.0.1");
       tc.connect_timeout_s = cfg.get_double("connect_timeout_s", 30.0);
       tc.recv_timeout_s = cfg.get_double("recv_timeout_s", 60.0);
-      TcpTransport transport(tc);
-      Comm comm(transport);
-      res = run_parallel_md_rank(sys, *field, strategy,
-                                 ProcessGrid::factor(tcp_nranks), pcfg, comm);
+      const ProcessGrid grid = ProcessGrid::factor(tcp_nranks);
+      if (durable) {
+        // Supervised: a rank failure tears this attempt down, re-runs
+        // the rendezvous (blocking until the respawned rank is back; see
+        // tools/launch_tcp.sh --respawn), restores the last checkpoint,
+        // and continues.
+        SupervisorConfig sup;
+        sup.make_transport = [tc]() -> std::unique_ptr<Transport> {
+          return std::make_unique<TcpTransport>(tc);
+        };
+        sup.max_recoveries = max_recoveries;
+        res = run_parallel_md_supervised(sys, *field, strategy, grid, pcfg,
+                                         sup);
+      } else {
+        TcpTransport transport(tc);
+        Comm comm(transport);
+        res = run_parallel_md_rank(sys, *field, strategy, grid, pcfg, comm);
+      }
     } else {
       res = run_parallel_md(sys, *field, strategy, ProcessGrid::factor(ranks),
                             pcfg);
@@ -372,10 +460,44 @@ int run(const std::string& path,
                         res.max_rank.cache_rebuilds),
                     static_cast<unsigned long long>(
                         res.max_rank.cache_reuse_steps));
+      if (durable)
+        std::printf("# ckpt: %lld snapshot(s), restored from step %lld, "
+                    "%d recover(y/ies)\n",
+                    res.snapshots_written, res.restored_step,
+                    res.recoveries);
     }
   } else {
     SCMD_REQUIRE(balance == "off",
                  "balance needs a parallel run (set ranks > 1)");
+
+    // Serial durability: restore replaces the built system *before* the
+    // engine primes forces from it, so the resumed trajectory continues
+    // exactly where the snapshot left off.
+    std::optional<ckpt::CheckpointDir> cdir;
+    if (!checkpoint_dir.empty())
+      cdir.emplace(checkpoint_dir, checkpoint_retain);
+    const auto fault = ckpt::fault_plan_from_env();
+    long long start_step = 0;
+    if (restore != "off") {
+      std::optional<ckpt::CheckpointData> data;
+      if (restore != "auto") {
+        data = ckpt::read_checkpoint(restore);
+      } else if (cdir) {
+        data = cdir->load_latest();
+      }
+      if (data) {
+        SCMD_REQUIRE(data->system.num_atoms() == sys.num_atoms(),
+                     "restored snapshot has a different atom count than "
+                     "the configured system");
+        SCMD_REQUIRE(data->clock.step <= steps,
+                     "restored snapshot is past this run's step budget");
+        sys = std::move(data->system);
+        start_step = data->clock.step;
+        if (data->rng) rng.set_state(*data->rng);
+        std::printf("# restore: resuming at step %lld\n", start_step);
+      }
+    }
+
     SerialEngineConfig ecfg;
     ecfg.dt = dt;
     ecfg.num_threads = static_cast<int>(cfg.get_int("threads", 1));
@@ -426,9 +548,48 @@ int run(const std::string& path,
         metrics->emit(s);
     };
 
+    // Snapshot after `done` completed steps: full resumable state —
+    // atoms, clock, RNG stream, thermostat, tuple-cache epoch.
+    long long snapshots = 0;
+    const auto write_snapshot = [&](long long done) {
+      ckpt::CheckpointData data;
+      data.system = sys;
+      data.clock.step = done;
+      data.clock.total_steps = steps;
+      data.clock.dt = dt;
+      data.rng = rng.state();
+      if (thermo) {
+        data.thermo =
+            ckpt::ThermoState{1, cfg.get_double("temperature", 300.0),
+                              tau_fs * units::kFemtosecond};
+      }
+      data.cache = ckpt::CacheState{engine.counters().cache_rebuilds,
+                                    cache_cfg.skin};
+      cdir->write(data);
+      ++snapshots;
+      if (wal) {
+        ckpt::TrajFrame frame;
+        frame.step = done;
+        const auto pos = sys.positions();
+        const auto vel = sys.velocities();
+        frame.pos.assign(pos.begin(), pos.end());
+        frame.vel.assign(vel.begin(), vel.end());
+        wal->append(ckpt::WalRecordType::kTrajectory,
+                    ckpt::encode_traj_frame(frame));
+        wal->sync();
+      }
+      if (metrics) {
+        metrics->add("ckpt.snapshots", 1);
+        metrics->set("ckpt.last_step", static_cast<double>(done));
+        if (wal)
+          metrics->set("ckpt.wal_bytes",
+                       static_cast<double>(wal->bytes_written()));
+      }
+    };
+
     std::printf("# %8s %14s %14s %10s\n", "step", "E_pot", "E_total",
                 "T(K)");
-    for (int s = 0; s <= steps; ++s) {
+    for (int s = static_cast<int>(start_step); s <= steps; ++s) {
       record_obs(s);
       if (log_every > 0 && s % log_every == 0) {
         std::printf("  %8d %14.6f %14.6f %10.1f\n", s,
@@ -442,7 +603,18 @@ int run(const std::string& path,
       } else {
         engine.step();
       }
+      const long long done = s + 1;
+      // Fault before snapshot: a killed run never checkpoints the step
+      // it died on, so recovery resumes from the previous snapshot.
+      ckpt::maybe_kill(fault, 0, done, nullptr);
+      if (checkpoint_every > 0 &&
+          (done % checkpoint_every == 0 || done == steps)) {
+        write_snapshot(done);
+      }
     }
+    if (checkpoint_every > 0)
+      std::printf("# ckpt: %lld snapshot(s) in %s\n", snapshots,
+                  checkpoint_dir.c_str());
     if (cache_cfg.enabled)
       std::printf("# tuple_cache: %llu rebuild(s), %llu reuse step(s)\n",
                   static_cast<unsigned long long>(

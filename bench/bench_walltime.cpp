@@ -7,6 +7,7 @@
 //
 //   ./bench_walltime [--atoms=6000] [--steps=10] [--warmup=2]
 //                    [--reach-sweep] [--tuple-cache=off|skin=<s>]
+//                    [--checkpoint-every=N] [--checkpoint-dir=DIR]
 //                    [--metrics-out=FILE] [--trace-out=FILE]
 //                    [--json-out=FILE]
 //
@@ -22,10 +23,15 @@
 // --json-out writes a machine-readable summary of the whole table for
 // baseline diffing with tools/bench_report.py (committed baselines live
 // in results/).
+// --checkpoint-every cuts a full durable snapshot (docs/DURABILITY.md)
+// every N steps *inside the timed loop*, so the ms/step column prices
+// the checkpoint overhead directly against an uncheckpointed run.
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
+#include "ckpt/checkpoint.hpp"
 #include "engines/serial_engine.hpp"
 #include "md/builders.hpp"
 #include "md/units.hpp"
@@ -43,12 +49,23 @@
 int main(int argc, char** argv) {
   using namespace scmd;
   const Cli cli(argc, argv, {"atoms", "steps", "warmup", "reach-sweep",
-                             "seed", "tuple-cache", "metrics-out",
+                             "seed", "tuple-cache", "checkpoint-every",
+                             "checkpoint-dir", "metrics-out",
                              "trace-out", "json-out"});
   const long long atoms = cli.get_int("atoms", 6000);
   const int steps = static_cast<int>(cli.get_int("steps", 10));
   const int warmup = static_cast<int>(cli.get_int("warmup", 2));
   const VashishtaSiO2 field;
+
+  const int checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every", 0));
+  std::optional<ckpt::CheckpointDir> cdir;
+  if (checkpoint_every > 0) {
+    const std::string dir = cli.get("checkpoint-dir", "");
+    SCMD_REQUIRE(!dir.empty(),
+                 "--checkpoint-every needs --checkpoint-dir=DIR");
+    cdir.emplace(dir, /*retain=*/3);
+  }
 
   TupleCacheConfig cache_cfg;
   {
@@ -131,6 +148,15 @@ int main(int argc, char** argv) {
       AccumTimer step_timer;
       step_timer.start();
       engine.step();
+      if (cdir && (s + 1) % checkpoint_every == 0) {
+        ckpt::CheckpointData data;
+        data.system = sys;
+        data.clock.step = s + 1;
+        data.clock.total_steps = steps;
+        data.clock.dt = cfg.dt;
+        data.rng = rng.state();
+        cdir->write(data);
+      }
       step_timer.stop();
       if (metrics) {
         obs::StepSample sample;

@@ -1,0 +1,244 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "geom/vec3.hpp"
+#include "support/error.hpp"
+
+namespace scmd::ckpt {
+
+namespace {
+
+constexpr std::uint32_t kSecBox = section_id("BOXX");
+constexpr std::uint32_t kSecMass = section_id("MASS");
+constexpr std::uint32_t kSecAtom = section_id("ATOM");
+constexpr std::uint32_t kSecSim = section_id("SIMS");
+constexpr std::uint32_t kSecRng = section_id("RNGS");
+constexpr std::uint32_t kSecThermo = section_id("THRM");
+constexpr std::uint32_t kSecDecomp = section_id("DCMP");
+constexpr std::uint32_t kSecCache = section_id("TCEP");
+
+/// One atom on the wire/disk, gid == record index.
+struct AtomRecord {
+  Vec3 pos, vel, force;
+  std::int32_t type = 0;
+  std::int32_t pad = 0;  ///< explicit, so sizeof is stable at 80 bytes
+};
+static_assert(std::is_trivially_copyable_v<AtomRecord>);
+static_assert(sizeof(AtomRecord) == 80, "on-disk atom layout drifted");
+
+}  // namespace
+
+Bytes encode_checkpoint(const CheckpointData& data) {
+  SectionFile file;
+  const ParticleSystem& sys = data.system;
+  {
+    ByteWriter w;
+    w.pod(sys.box().lengths());
+    file.add(kSecBox, w.take());
+  }
+  {
+    ByteWriter w;
+    std::vector<double> masses;
+    masses.reserve(static_cast<std::size_t>(sys.num_types()));
+    for (int t = 0; t < sys.num_types(); ++t)
+      masses.push_back(sys.mass_of_type(t));
+    w.array(masses);
+    file.add(kSecMass, w.take());
+  }
+  {
+    ByteWriter w;
+    std::vector<AtomRecord> atoms(static_cast<std::size_t>(sys.num_atoms()));
+    for (int i = 0; i < sys.num_atoms(); ++i) {
+      AtomRecord& a = atoms[static_cast<std::size_t>(i)];
+      a.pos = sys.positions()[i];
+      a.vel = sys.velocities()[i];
+      a.force = sys.forces()[i];
+      a.type = sys.types()[i];
+    }
+    w.array(atoms);
+    file.add(kSecAtom, w.take());
+  }
+  {
+    ByteWriter w;
+    w.pod(data.clock);
+    file.add(kSecSim, w.take());
+  }
+  if (data.rng) {
+    ByteWriter w;
+    for (const std::uint64_t s : data.rng->s) w.pod(s);
+    w.pod(static_cast<std::uint32_t>(data.rng->have_cached ? 1 : 0));
+    w.pod(data.rng->cached);
+    file.add(kSecRng, w.take());
+  }
+  if (data.thermo) {
+    // Field-wise, with an explicit zero pad word: POD-writing the struct
+    // would persist its indeterminate padding bytes, breaking the
+    // byte-stability the golden-fixture test pins down.
+    ByteWriter w;
+    w.pod(data.thermo->kind);
+    w.pod(std::uint32_t{0});
+    w.pod(data.thermo->target_k);
+    w.pod(data.thermo->tau);
+    file.add(kSecThermo, w.take());
+  }
+  if (data.decomp) {
+    ByteWriter w;
+    w.pod(data.decomp->pgrid_dims);
+    w.pod(data.decomp->align_dims);
+    w.pod(data.decomp->fine_res);
+    for (const auto& axis_cuts : data.decomp->cuts) w.array(axis_cuts);
+    file.add(kSecDecomp, w.take());
+  }
+  if (data.cache) {
+    ByteWriter w;
+    w.pod(data.cache->epoch);
+    w.pod(data.cache->skin);
+    file.add(kSecCache, w.take());
+  }
+  return file.encode();
+}
+
+CheckpointData decode_checkpoint(const Bytes& bytes) {
+  const SectionFile file = SectionFile::decode(bytes);
+
+  Vec3 lengths;
+  {
+    ByteReader r(file.require(kSecBox));
+    lengths = r.pod<Vec3>();
+  }
+  std::vector<double> masses;
+  {
+    ByteReader r(file.require(kSecMass));
+    masses = r.array<double>();
+    SCMD_REQUIRE(!masses.empty() && masses.size() < 1024,
+                 "implausible species count in checkpoint");
+  }
+
+  CheckpointData data;
+  data.system = ParticleSystem(Box(lengths), std::move(masses));
+  {
+    ByteReader r(file.require(kSecAtom));
+    const auto atoms = r.array<AtomRecord>();
+    for (const AtomRecord& a : atoms) {
+      SCMD_REQUIRE(a.type >= 0 && a.type < data.system.num_types(),
+                   "atom type out of range in checkpoint");
+      const int id = data.system.add_atom(a.pos, a.vel, a.type);
+      data.system.forces()[id] = a.force;
+    }
+  }
+  {
+    ByteReader r(file.require(kSecSim));
+    data.clock = r.pod<SimClock>();
+    SCMD_REQUIRE(data.clock.step >= 0, "negative step counter in checkpoint");
+  }
+  if (const Bytes* payload = file.find(kSecRng)) {
+    ByteReader r(*payload);
+    Rng::State st;
+    for (std::uint64_t& s : st.s) s = r.pod<std::uint64_t>();
+    st.have_cached = r.pod<std::uint32_t>() != 0;
+    st.cached = r.pod<double>();
+    data.rng = st;
+  }
+  if (const Bytes* payload = file.find(kSecThermo)) {
+    ByteReader r(*payload);
+    ThermoState t;
+    t.kind = r.pod<std::int32_t>();
+    r.pod<std::uint32_t>();  // pad word
+    t.target_k = r.pod<double>();
+    t.tau = r.pod<double>();
+    data.thermo = t;
+  }
+  if (const Bytes* payload = file.find(kSecDecomp)) {
+    ByteReader r(*payload);
+    DecompState d;
+    d.pgrid_dims = r.pod<Int3>();
+    d.align_dims = r.pod<Int3>();
+    d.fine_res = r.pod<Int3>();
+    for (auto& axis_cuts : d.cuts) axis_cuts = r.array<std::int32_t>();
+    data.decomp = std::move(d);
+  }
+  if (const Bytes* payload = file.find(kSecCache)) {
+    ByteReader r(*payload);
+    CacheState c;
+    c.epoch = r.pod<std::uint64_t>();
+    c.skin = r.pod<double>();
+    data.cache = c;
+  }
+  return data;
+}
+
+void write_checkpoint(const CheckpointData& data, const std::string& path) {
+  atomic_write_file(path, encode_checkpoint(data));
+}
+
+CheckpointData read_checkpoint(const std::string& path) {
+  try {
+    return decode_checkpoint(read_file(path));
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+CheckpointDir::CheckpointDir(std::string dir, int retain)
+    : dir_(std::move(dir)), retain_(retain) {
+  SCMD_REQUIRE(retain_ >= 1, "checkpoint retention must be >= 1");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  SCMD_REQUIRE(!ec, "cannot create checkpoint dir " + dir_ + ": " +
+                        ec.message());
+}
+
+std::string CheckpointDir::path_for_step(long long step) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt_%010lld.sc2", step);
+  return dir_ + "/" + name;
+}
+
+void CheckpointDir::write(const CheckpointData& data) {
+  write_checkpoint(data, path_for_step(data.clock.step));
+  const std::vector<long long> have = steps();
+  if (static_cast<int>(have.size()) <= retain_) return;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(retain_) < have.size();
+       ++i) {
+    std::error_code ec;
+    std::filesystem::remove(path_for_step(have[i]), ec);
+  }
+}
+
+std::vector<long long> CheckpointDir::steps() const {
+  std::vector<long long> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    long long step = -1;
+    if (std::sscanf(name.c_str(), "ckpt_%lld.sc2", &step) == 1 &&
+        step >= 0 && name == path_for_step(step).substr(dir_.size() + 1)) {
+      out.push_back(step);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<CheckpointData> CheckpointDir::load_latest(
+    std::string* path_out) const {
+  const std::vector<long long> have = steps();
+  for (auto it = have.rbegin(); it != have.rend(); ++it) {
+    const std::string path = path_for_step(*it);
+    try {
+      CheckpointData data = read_checkpoint(path);
+      if (path_out != nullptr) *path_out = path;
+      return data;
+    } catch (const Error& e) {
+      std::fprintf(stderr,
+                   "ckpt: skipping unreadable snapshot %s (%s)\n",
+                   path.c_str(), e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace scmd::ckpt

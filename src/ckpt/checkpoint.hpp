@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Versioned binary checkpoints of the full resumable simulation state.
+///
+/// A checkpoint is a SectionFile (ckpt/codec.hpp) holding:
+///
+///   BOXX  box lengths                          (required)
+///   MASS  per-type masses                      (required)
+///   ATOM  atoms in gid order: pos/vel/force/type  (required)
+///   SIMS  step counter, total steps, dt        (optional)
+///   RNGS  xoshiro stream state                 (optional)
+///   THRM  thermostat kind + parameters         (optional)
+///   DCMP  decomposition cuts / process grid    (optional)
+///   TCEP  tuple-cache epoch + skin             (optional)
+///
+/// Required sections restore a ParticleSystem; the optional ones make the
+/// restore a *resume*: the drivers continue from SIMS.step with the same
+/// RNG stream, thermostat, and (rank-count permitting) decomposition
+/// cuts.  Unknown sections are ignored on read, so the format grows
+/// append-only (docs/DURABILITY.md).
+///
+/// CheckpointDir manages a directory of periodic snapshots
+/// (`ckpt_<step>.sc2`) with bounded retention; load_latest() walks from
+/// the newest down, skipping files that fail CRC/size validation, so a
+/// crash mid-write (impossible with atomic_write_file, but cheap to
+/// tolerate) or a corrupted tail never blocks recovery.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "geom/int3.hpp"
+#include "md/system.hpp"
+#include "support/rng.hpp"
+
+namespace scmd::ckpt {
+
+/// Transport tags reserved for durability collectives (the 940s; above
+/// the 930s telemetry tags, below the TCP collective tag).
+constexpr int kTagSnapshotAtoms = 940;  ///< per-rank atom gather to rank 0
+constexpr int kTagRestoreBlob = 941;    ///< rank-0 checkpoint broadcast
+
+/// Simulation clock: where the run is and where it is going.
+struct SimClock {
+  long long step = 0;         ///< completed MD steps at snapshot time
+  long long total_steps = 0;  ///< the run's step budget
+  double dt = 0.0;
+};
+
+/// Thermostat state (kind 0 = none, 1 = Berendsen).
+struct ThermoState {
+  std::int32_t kind = 0;
+  double target_k = 0.0;
+  double tau = 0.0;
+};
+
+/// Decomposition cuts, for resuming a balanced run on the same grid.
+struct DecompState {
+  Int3 pgrid_dims{1, 1, 1};
+  Int3 align_dims{1, 1, 1};
+  Int3 fine_res{1, 1, 1};
+  std::array<std::vector<std::int32_t>, 3> cuts;
+};
+
+/// Tuple-cache epoch: rebuild count at snapshot time plus the skin, so a
+/// resumed run can report a continuous epoch counter.  Caches themselves
+/// are always rebuilt after restore (they are derived state).
+struct CacheState {
+  std::uint64_t epoch = 0;
+  double skin = 0.0;
+};
+
+/// Everything a checkpoint can carry.
+struct CheckpointData {
+  ParticleSystem system;
+  SimClock clock;
+  std::optional<Rng::State> rng;
+  std::optional<ThermoState> thermo;
+  std::optional<DecompState> decomp;
+  std::optional<CacheState> cache;
+};
+
+/// Serialize to container bytes (what atomic_write_file persists and the
+/// restore path broadcasts to peers).
+Bytes encode_checkpoint(const CheckpointData& data);
+
+/// Parse + validate container bytes.  Throws scmd::Error on corruption.
+CheckpointData decode_checkpoint(const Bytes& bytes);
+
+/// encode + crash-safe write (temp file, fsync, atomic rename).
+void write_checkpoint(const CheckpointData& data, const std::string& path);
+
+/// read + decode.  Throws scmd::Error on I/O failure or corruption.
+CheckpointData read_checkpoint(const std::string& path);
+
+/// A directory of periodic snapshots with bounded retention.
+class CheckpointDir {
+ public:
+  /// Creates `dir` (and parents) when missing.  `retain` bounds how many
+  /// snapshots write() keeps (>= 1).
+  CheckpointDir(std::string dir, int retain);
+
+  const std::string& dir() const { return dir_; }
+
+  /// `<dir>/ckpt_<step, zero-padded>.sc2`.
+  std::string path_for_step(long long step) const;
+
+  /// Write data.clock.step's snapshot crash-safely, then prune snapshots
+  /// beyond the retention bound (oldest first).
+  void write(const CheckpointData& data);
+
+  /// Steps with a snapshot file present, ascending.
+  std::vector<long long> steps() const;
+
+  /// Newest snapshot that parses and passes CRC validation; corrupt or
+  /// unreadable files are skipped (with a note to stderr), older ones
+  /// tried next.  Empty when none load.  `path_out`, when non-null,
+  /// receives the winning file path.
+  std::optional<CheckpointData> load_latest(
+      std::string* path_out = nullptr) const;
+
+ private:
+  std::string dir_;
+  int retain_;
+};
+
+}  // namespace scmd::ckpt

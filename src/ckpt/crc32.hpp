@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) for framing
+/// durable on-disk records.
+///
+/// Every checkpoint section and write-ahead-log frame carries a CRC so a
+/// torn write, a flipped bit, or a mis-length is detected on read instead
+/// of being deserialized into garbage state.  Table-driven, byte-at-a-time
+/// — durability I/O is never a hot path.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scmd::ckpt {
+
+/// CRC of `len` bytes at `data`.  Chain incremental updates by passing
+/// the previous return value as `seed` (the seed is the *finalized* CRC;
+/// the pre/post inversion is handled internally).
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+}  // namespace scmd::ckpt

@@ -1,0 +1,59 @@
+#include "ckpt/fault.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/tcp.hpp"
+#include "support/error.hpp"
+
+namespace scmd::ckpt {
+
+namespace {
+
+/// Claim the fire-once token.  True when we created it (fault fires);
+/// false when it already exists (fault already burned).
+bool claim_token(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> fault_plan_from_env() {
+  const char* step_env = std::getenv("SCMD_FAULT_KILL_AT_STEP");
+  if (step_env == nullptr || *step_env == '\0') return std::nullopt;
+  FaultPlan plan;
+  plan.kill_at_step = std::atoll(step_env);
+  SCMD_REQUIRE(plan.kill_at_step >= 1,
+               "SCMD_FAULT_KILL_AT_STEP must be >= 1");
+  if (const char* rank_env = std::getenv("SCMD_FAULT_KILL_RANK"))
+    plan.kill_rank = std::atoi(rank_env);
+  if (const char* token_env = std::getenv("SCMD_FAULT_TOKEN"))
+    plan.token_path = token_env;
+  return plan;
+}
+
+void maybe_kill(const std::optional<FaultPlan>& plan, int rank,
+                long long completed_step, Transport* transport) {
+  if (!plan) return;
+  if (rank != plan->kill_rank || completed_step != plan->kill_at_step) return;
+  if (!plan->token_path.empty() && !claim_token(plan->token_path)) return;
+  std::fprintf(stderr,
+               "ckpt: fault injection killing rank %d after step %lld\n",
+               rank, completed_step);
+  if (auto* tcp = dynamic_cast<TcpTransport*>(transport)) {
+    // Die like a crashed process: sockets dropped unflushed, no unwind,
+    // no destructors (they would flush sends and look like a clean exit).
+    tcp->hard_kill();
+    std::_Exit(kFaultExitCode);
+  }
+  throw Error("fault injection: rank " + std::to_string(rank) +
+              " killed after step " + std::to_string(completed_step));
+}
+
+}  // namespace scmd::ckpt

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file fault.hpp
+/// Deterministic fault injection for recovery testing.
+///
+/// A FaultPlan says "rank R dies after completing step N".  It is read
+/// from the environment so tests and CI can arm a kill without touching
+/// run configs:
+///
+///   SCMD_FAULT_KILL_AT_STEP=<n>   arm the fault (required)
+///   SCMD_FAULT_KILL_RANK=<r>     which rank dies (default 0)
+///   SCMD_FAULT_TOKEN=<path>      fire-once token file (optional)
+///
+/// Without a token the fault fires every time step N is crossed — fine
+/// for a single-shot process kill, fatal for supervised recovery (the
+/// resumed run would re-cross N and die again, forever).  With a token,
+/// the first firing creates `path` with O_CREAT|O_EXCL and later
+/// crossings see the file and stand down.
+///
+/// How the process "dies" depends on the transport: a TcpTransport gets
+/// hard_kill() (sockets dropped unflushed, like a real crash) followed
+/// by _Exit(42); anything else throws scmd::Error so in-process tests
+/// can observe the fault without losing the test runner.
+
+#include <optional>
+#include <string>
+
+namespace scmd {
+class Transport;
+}
+
+namespace scmd::ckpt {
+
+/// Exit code used when fault injection kills the process outright.
+constexpr int kFaultExitCode = 42;
+
+struct FaultPlan {
+  long long kill_at_step = -1;  ///< fire after this step completes
+  int kill_rank = 0;
+  std::string token_path;  ///< empty = fire on every crossing
+};
+
+/// Parse SCMD_FAULT_* from the environment.  Empty when unarmed.
+std::optional<FaultPlan> fault_plan_from_env();
+
+/// Fire the fault if `plan` targets this rank/step (and the token, when
+/// configured, has not burned).  Returns normally when the fault does
+/// not apply.  `transport` may be null (serial runs).
+void maybe_kill(const std::optional<FaultPlan>& plan, int rank,
+                long long completed_step, Transport* transport);
+
+}  // namespace scmd::ckpt

@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file wal.hpp
+/// Append-only write-ahead log for trajectory frames and per-step
+/// metrics, so run output survives a crash instead of living in buffers.
+///
+/// File grammar (docs/DURABILITY.md):
+///
+///   u64  magic    0x53434d44_57414c31 ("SCMDWAL1")
+///   u32  version  1
+///   per record:
+///     u32  type      (WalRecordType)
+///     u32  payload length
+///     u32  crc32 over (type, length, payload)
+///     payload bytes
+///
+/// Durability model: records are appended to an O_APPEND fd and fsynced
+/// in batches (every `fsync_interval_bytes`, plus on sync() and on
+/// destruction), trading one tunable window of loss for not paying an
+/// fsync per MD step.  A crash can therefore leave a *torn tail*: scan()
+/// validates records front to back and stops at the first frame whose
+/// length overruns the file or whose CRC fails — the valid prefix is the
+/// recovered log, the tail is garbage by definition.
+///
+/// WalWriter::open on an existing file performs exactly that recovery:
+/// it truncates the file to the valid prefix and resumes appending, so a
+/// respawned rank continues the same log without replaying corruption.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hpp"
+#include "geom/vec3.hpp"
+#include "obs/metrics.hpp"
+
+namespace scmd::ckpt {
+
+constexpr std::uint64_t kWalMagic = 0x53434d4457414c31ULL;  // SCMDWAL1
+constexpr std::uint32_t kWalVersion = 1;
+
+enum class WalRecordType : std::uint32_t {
+  kTrajectory = 1,  ///< TrajFrame payload
+  kMetrics = 2,     ///< one metrics JSON line (UTF-8, no newline)
+  kNote = 3,        ///< free-form operational marker (recovery, restore)
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kNote;
+  Bytes payload;
+};
+
+/// Result of validating a log file front to back.
+struct WalScan {
+  std::vector<WalRecord> records;  ///< the valid prefix
+  std::uint64_t valid_bytes = 0;   ///< prefix length including header
+  bool torn_tail = false;          ///< trailing bytes failed validation
+  std::uint64_t dropped_bytes = 0; ///< size of the discarded tail
+};
+
+/// Validate `path`.  Throws scmd::Error only when the file cannot be
+/// read or its header is not a WAL at all; torn/corrupt *records* are
+/// reported via torn_tail, never thrown — recovery is the normal path.
+WalScan scan_wal(const std::string& path);
+
+/// One trajectory frame: positions + velocities at a step.
+struct TrajFrame {
+  long long step = 0;
+  std::vector<Vec3> pos;
+  std::vector<Vec3> vel;
+};
+
+Bytes encode_traj_frame(const TrajFrame& frame);
+TrajFrame decode_traj_frame(const Bytes& payload);
+
+/// Appending writer with batched fsync and open-time recovery.
+class WalWriter {
+ public:
+  /// Open (creating or recovering) `path`.  `fsync_interval_bytes` = 0
+  /// fsyncs on every append.
+  explicit WalWriter(const std::string& path,
+                     std::uint64_t fsync_interval_bytes = 1u << 20);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  void append(WalRecordType type, const Bytes& payload);
+  void append(WalRecordType type, const std::string& text);
+
+  /// Force everything appended so far onto stable storage.
+  void sync();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t records_written() const { return records_written_; }
+
+  /// Open-time recovery outcome.
+  std::uint64_t recovered_records() const { return recovered_records_; }
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t fsync_interval_;
+  std::uint64_t unsynced_ = 0;
+  std::uint64_t bytes_written_ = 0;   ///< cumulative this writer
+  std::uint64_t records_written_ = 0;
+  std::uint64_t recovered_records_ = 0;
+  bool recovered_torn_tail_ = false;
+};
+
+/// MetricsSink adapter: every emitted metrics record is appended to the
+/// WAL as a kMetrics JSON line, making the metrics stream durable and
+/// crash-recoverable alongside the trajectory (scmd_run `wal=` key).
+class WalMetricsSink : public obs::MetricsSink {
+ public:
+  /// Not owned; must outlive the registry holding the sink.
+  explicit WalMetricsSink(WalWriter& wal) : wal_(wal) {}
+
+  void write_step(long long step, const obs::MetricsRegistry& reg) override;
+
+ private:
+  WalWriter& wal_;
+};
+
+}  // namespace scmd::ckpt

@@ -5,92 +5,80 @@
 #include <fstream>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/codec.hpp"
 #include "support/error.hpp"
 
 namespace scmd {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x53434d445f434b31ULL;  // "SCMD_CK1"
-constexpr std::uint32_t kVersion = 1;
-
-void write_bytes(std::ofstream& out, const void* data, std::size_t size) {
-  out.write(static_cast<const char*>(data),
-            static_cast<std::streamsize>(size));
-  SCMD_REQUIRE(out.good(), "checkpoint write failed");
-}
-
-void read_bytes(std::ifstream& in, void* data, std::size_t size) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-  SCMD_REQUIRE(in.good(), "checkpoint read failed (truncated file?)");
-}
+// Legacy v1 layout ("SCMD_CK1"): raw little-endian fields, no CRC, no
+// sections.  Still read for old files; never written anymore — save goes
+// through the v2 section container (src/ckpt), which adds per-section
+// CRCs and a crash-safe temp-file + atomic-rename write path.
+constexpr std::uint64_t kMagicV1 = 0x53434d445f434b31ULL;  // "SCMD_CK1"
 
 template <class T>
-void write_pod(std::ofstream& out, const T& value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  write_bytes(out, &value, sizeof(T));
-}
-
-template <class T>
-T read_pod(std::ifstream& in) {
+T read_pod(std::ifstream& in, const std::string& path) {
   static_assert(std::is_trivially_copyable_v<T>);
   T value;
-  read_bytes(in, &value, sizeof(T));
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  SCMD_REQUIRE(in.good() && in.gcount() == sizeof(T),
+               path + ": checkpoint truncated mid-field");
   return value;
 }
 
-}  // namespace
-
-void save_checkpoint(const ParticleSystem& sys, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  SCMD_REQUIRE(out.good(), "cannot open " + path + " for writing");
-
-  write_pod(out, kMagic);
-  write_pod(out, kVersion);
-  const Vec3 lengths = sys.box().lengths();
-  write_pod(out, lengths);
-  write_pod(out, static_cast<std::int32_t>(sys.num_types()));
-  for (int t = 0; t < sys.num_types(); ++t)
-    write_pod(out, sys.mass_of_type(t));
-  write_pod(out, static_cast<std::int64_t>(sys.num_atoms()));
-  for (int i = 0; i < sys.num_atoms(); ++i) {
-    write_pod(out, sys.positions()[i]);
-    write_pod(out, sys.velocities()[i]);
-    write_pod(out, sys.forces()[i]);
-    write_pod(out, static_cast<std::int32_t>(sys.types()[i]));
-  }
-  SCMD_REQUIRE(out.good(), "checkpoint write failed");
-}
-
-ParticleSystem load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  SCMD_REQUIRE(in.good(), "cannot open " + path + " for reading");
-
-  SCMD_REQUIRE(read_pod<std::uint64_t>(in) == kMagic,
-               path + " is not an SC-MD checkpoint");
-  SCMD_REQUIRE(read_pod<std::uint32_t>(in) == kVersion,
+ParticleSystem load_v1(std::ifstream& in, const std::string& path) {
+  SCMD_REQUIRE(read_pod<std::uint32_t>(in, path) == 1,
                "unsupported checkpoint version in " + path);
-  const Vec3 lengths = read_pod<Vec3>(in);
-  const auto num_types = read_pod<std::int32_t>(in);
+  const Vec3 lengths = read_pod<Vec3>(in, path);
+  const auto num_types = read_pod<std::int32_t>(in, path);
   SCMD_REQUIRE(num_types > 0 && num_types < 1024,
                "implausible species count in " + path);
   std::vector<double> masses;
   masses.reserve(static_cast<std::size_t>(num_types));
   for (std::int32_t t = 0; t < num_types; ++t)
-    masses.push_back(read_pod<double>(in));
+    masses.push_back(read_pod<double>(in, path));
 
   ParticleSystem sys(Box(lengths), std::move(masses));
-  const auto num_atoms = read_pod<std::int64_t>(in);
+  const auto num_atoms = read_pod<std::int64_t>(in, path);
   SCMD_REQUIRE(num_atoms >= 0, "negative atom count in " + path);
   for (std::int64_t i = 0; i < num_atoms; ++i) {
-    const Vec3 pos = read_pod<Vec3>(in);
-    const Vec3 vel = read_pod<Vec3>(in);
-    const Vec3 force = read_pod<Vec3>(in);
-    const auto type = read_pod<std::int32_t>(in);
+    const Vec3 pos = read_pod<Vec3>(in, path);
+    const Vec3 vel = read_pod<Vec3>(in, path);
+    const Vec3 force = read_pod<Vec3>(in, path);
+    const auto type = read_pod<std::int32_t>(in, path);
+    SCMD_REQUIRE(type >= 0 && type < sys.num_types(),
+                 "atom type out of range in " + path);
     const int id = sys.add_atom(pos, vel, type);
     sys.forces()[id] = force;
   }
+  // A v1 file is exactly header + atoms; trailing bytes mean the file
+  // was appended to or corrupted, and silently ignoring them would mask
+  // that.
+  in.peek();
+  SCMD_REQUIRE(in.eof(), path + ": trailing bytes after checkpoint data");
   return sys;
+}
+
+}  // namespace
+
+void save_checkpoint(const ParticleSystem& sys, const std::string& path) {
+  ckpt::CheckpointData data;
+  data.system = sys;
+  ckpt::write_checkpoint(data, path);
+}
+
+ParticleSystem load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SCMD_REQUIRE(in.good(), "cannot open " + path + " for reading");
+  const auto magic = read_pod<std::uint64_t>(in, path);
+  if (magic == kMagicV1) return load_v1(in, path);
+  in.close();
+  SCMD_REQUIRE(magic == ckpt::kContainerMagic,
+               path + " is not an SC-MD checkpoint");
+  return ckpt::read_checkpoint(path).system;
 }
 
 }  // namespace scmd

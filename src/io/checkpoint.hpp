@@ -4,9 +4,10 @@
 /// Binary checkpoint save/restore for particle systems.
 ///
 /// Long benchmark campaigns (the paper averages over 10,000 steps)
-/// restart from equilibrated states instead of re-equilibrating.  The
-/// format is a fixed little-endian layout with a magic/version header and
-/// exact double round-tripping.
+/// restart from equilibrated states instead of re-equilibrating.  Writes
+/// go through the v2 section container (src/ckpt: per-section CRC32,
+/// temp-file + fsync + atomic rename); reads accept both v2 and the
+/// legacy v1 fixed layout.  Exact double round-tripping either way.
 
 #include <string>
 

@@ -217,7 +217,7 @@ void TelemetryCollector::finalize(StepSlot& s, long long step) {
   }
   const int every = config_.metrics_every > 0 ? config_.metrics_every : 1;
   if (step % every == 0) {
-    reg.emit(step);
+    reg.emit(step + config_.step_offset);
     last_emitted_ = step;
   }
 }
@@ -242,7 +242,7 @@ void TelemetryCollector::finish() {
   // finalized step's values (finalization is in order).
   const long long last = next_final_ - 1;
   if (config_.metrics != nullptr && last >= 0 && last_emitted_ != last) {
-    config_.metrics->emit(last);
+    config_.metrics->emit(last + config_.step_offset);
     last_emitted_ = last;
   }
 }
@@ -260,6 +260,8 @@ std::string TelemetryCollector::status_json() const {
      << ",\"num_records\":" << config_.num_records
      << ",\"finalized_steps\":" << next_final_
      << ",\"latest_step\":" << next_final_ - 1
+     << ",\"step_offset\":" << config_.step_offset
+     << ",\"recoveries\":" << config_.recoveries
      << ",\"imbalance_ratio\":" << latest_imbalance_ratio_
      << ",\"finished\":" << (finished_ ? "true" : "false") << ",\"ranks\":[";
   for (std::size_t r = 0; r < ranks_.size(); ++r) {

@@ -52,6 +52,13 @@ class TelemetryCollector {
     long long num_records = 0;  ///< expected records per rank (steps + 1)
     MetricsRegistry* metrics = nullptr;   ///< may be null (trace-only run)
     TraceSession* merged_trace = nullptr; ///< may be null (metrics-only run)
+
+    /// Resumed runs (src/ckpt): records stay 0-based within the attempt,
+    /// and the offset maps them back to global step numbers at emit time
+    /// (record k emits as step step_offset + k).  `recoveries` is the
+    /// supervisor's rank-failure count, surfaced in status_json.
+    long long step_offset = 0;
+    int recoveries = 0;
   };
 
   explicit TelemetryCollector(const Config& config);

@@ -7,6 +7,9 @@
 #include <type_traits>
 
 #include "check/invariant.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/fault.hpp"
+#include "ckpt/wal.hpp"
 #include "net/clock_sync.hpp"
 #include "net/status_server.hpp"
 #include "obs/collector.hpp"
@@ -17,6 +20,13 @@
 namespace scmd {
 
 namespace {
+
+/// One atom on the wire for gathers (final state, snapshots).
+struct AtomWire {
+  std::int64_t gid;
+  Vec3 pos, vel, force;
+};
+static_assert(std::is_trivially_copyable_v<AtomWire>);
 
 /// Componentwise max over ranks, for load-imbalance analysis.
 void accumulate_max_rank(EngineCounters& max_rank, const EngineCounters& c) {
@@ -258,6 +268,62 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   const int rank = comm.rank();
   const bool root = rank == 0;
 
+  // --- Durability bootstrap (src/ckpt, docs/DURABILITY.md). ------------
+  // Only rank 0 owns files; restore state reaches peers by broadcast, so
+  // the cluster needs no shared filesystem.
+  const DurabilityConfig& dur = config.durability;
+  const bool snapshots_on = dur.checkpoint_every > 0;
+  SCMD_REQUIRE(!snapshots_on || !dur.checkpoint_dir.empty(),
+               "checkpoint_every needs a checkpoint_dir");
+  std::optional<ckpt::CheckpointDir> ckpt_dir;
+  if (root && (snapshots_on || (dur.restore && !dur.checkpoint_dir.empty())))
+    ckpt_dir.emplace(dur.checkpoint_dir, dur.checkpoint_retain);
+  ckpt::WalWriter* wal = root ? dur.wal : nullptr;
+  const std::optional<ckpt::FaultPlan> fault = ckpt::fault_plan_from_env();
+
+  // Restore before scatter: rank 0 picks the snapshot (newest valid, or
+  // the explicit path) and broadcasts its encoded bytes; an empty blob
+  // means "no snapshot, start fresh".  Every rank then re-shards the
+  // identical restored system, exactly like a fresh scatter.  Whether to
+  // restore is rank 0's call, made collective: a freshly respawned rank
+  // (attempt 0, CLI defaults) then follows the surviving supervisor
+  // ranks (attempt > 0, restore forced on) instead of deadlocking on a
+  // mismatched broadcast.
+  long long start_step = 0;
+  const bool do_restore =
+      comm.allreduce_max(root && dur.restore ? 1.0 : 0.0) > 0.0;
+  if (do_restore) {
+    Bytes blob;
+    if (root) {
+      std::optional<ckpt::CheckpointData> data;
+      if (!dur.restore_path.empty()) {
+        data = ckpt::read_checkpoint(dur.restore_path);
+      } else if (ckpt_dir) {
+        std::string from;
+        data = ckpt_dir->load_latest(&from);
+      }
+      if (data) blob = ckpt::encode_checkpoint(*data);
+      for (int r = 1; r < P; ++r) comm.send(r, ckpt::kTagRestoreBlob, blob);
+    } else {
+      blob = comm.recv(0, ckpt::kTagRestoreBlob);
+    }
+    if (!blob.empty()) {
+      ckpt::CheckpointData data = ckpt::decode_checkpoint(blob);
+      SCMD_REQUIRE(data.system.num_atoms() == sys.num_atoms(),
+                   "restored snapshot has a different atom count than the "
+                   "configured system");
+      SCMD_REQUIRE(data.clock.step <= config.num_steps,
+                   "restored snapshot is past this run's step budget");
+      sys = std::move(data.system);
+      start_step = data.clock.step;
+      if (root && wal) {
+        wal->append(ckpt::WalRecordType::kNote,
+                    "restore step=" + std::to_string(start_step) +
+                        " attempt=" + std::to_string(dur.attempt));
+      }
+    }
+  }
+
   const Decomposition decomp(sys.box(), pgrid);
   const auto strategy =
       make_strategy(strategy_name, field, config.measure_force_set);
@@ -290,9 +356,16 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
     const std::vector<ClockEstimate> clock = estimate_clock_offsets(
         comm.transport(), [&] { return local_trace.now_us(); });
     if (root) {
-      collector.emplace(collector_config(
+      // Records are 0-based within this attempt; a resumed run tells the
+      // collector the global offset so emitted step numbers continue
+      // where the pre-failure run left off.
+      obs::TelemetryCollector::Config cc = collector_config(
           P, field.max_n(), static_cast<bool>(config.make_balancer), config,
-          static_cast<std::size_t>(config.num_steps) + 1, config.trace));
+          static_cast<std::size_t>(config.num_steps - start_step) + 1,
+          config.trace);
+      cc.step_offset = start_step;
+      cc.recoveries = dur.attempt;
+      collector.emplace(cc);
       for (int r = 1; r < P; ++r) {
         collector->set_clock(r, clock[static_cast<std::size_t>(r)].offset_us,
                              clock[static_cast<std::size_t>(r)].uncertainty_us);
@@ -348,10 +421,96 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
     }
   };
 
+  // Collective snapshot: every rank ships its owned atoms to rank 0,
+  // which assembles the global state by gid onto a copy of `sys` (types
+  // and masses never change) and persists it crash-safely.
+  long long snapshots_written = 0;
+  auto pack_owned = [&] {
+    const RankState& st = engine.state();
+    const auto forces = engine.owned_forces();
+    std::vector<AtomWire> atoms(static_cast<std::size_t>(st.num_owned()));
+    for (int i = 0; i < st.num_owned(); ++i) {
+      auto& a = atoms[static_cast<std::size_t>(i)];
+      a.gid = st.gid[static_cast<std::size_t>(i)];
+      a.pos = st.pos[static_cast<std::size_t>(i)];
+      a.vel = st.vel[static_cast<std::size_t>(i)];
+      a.force = forces[static_cast<std::size_t>(i)];
+    }
+    return atoms;
+  };
+  auto snapshot = [&](long long completed_steps) {
+    SCMD_TRACE("ckpt.snapshot");
+    if (!root) {
+      comm.send(0, ckpt::kTagSnapshotAtoms, pack(pack_owned()));
+      return;
+    }
+    ckpt::CheckpointData data;
+    data.system = sys;
+    auto place = [&](const std::vector<AtomWire>& atoms) {
+      for (const AtomWire& a : atoms) {
+        const int g = static_cast<int>(a.gid);
+        data.system.positions()[g] = a.pos;
+        data.system.velocities()[g] = a.vel;
+        data.system.forces()[g] = a.force;
+      }
+    };
+    place(pack_owned());
+    for (int r = 1; r < P; ++r)
+      place(unpack<AtomWire>(comm.recv(r, ckpt::kTagSnapshotAtoms)));
+    data.clock.step = completed_steps;
+    data.clock.total_steps = config.num_steps;
+    data.clock.dt = config.dt;
+    ckpt::DecompState d;
+    d.pgrid_dims = decomp.pgrid().dims();
+    d.align_dims = decomp.align_pgrid().dims();
+    d.fine_res = decomp.fine_res();
+    for (int a = 0; a < 3; ++a) {
+      const auto& cuts = decomp.cuts()[static_cast<std::size_t>(a)];
+      d.cuts[static_cast<std::size_t>(a)].assign(cuts.begin(), cuts.end());
+    }
+    data.decomp = std::move(d);
+    data.cache = ckpt::CacheState{engine.counters().cache_rebuilds,
+                                  config.tuple_cache.skin};
+    ckpt_dir->write(data);
+    ++snapshots_written;
+    if (wal) {
+      ckpt::TrajFrame frame;
+      frame.step = completed_steps;
+      const auto pos = data.system.positions();
+      const auto vel = data.system.velocities();
+      frame.pos.assign(pos.begin(), pos.end());
+      frame.vel.assign(vel.begin(), vel.end());
+      wal->append(ckpt::WalRecordType::kTrajectory,
+                  ckpt::encode_traj_frame(frame));
+      wal->sync();
+    }
+    if (config.metrics != nullptr) {
+      config.metrics->add("ckpt.snapshots", 1);
+      config.metrics->set("ckpt.last_step",
+                          static_cast<double>(completed_steps));
+      if (wal) {
+        config.metrics->set("ckpt.wal_bytes",
+                            static_cast<double>(wal->bytes_written()));
+      }
+    }
+  };
+  if (root && config.metrics != nullptr)
+    config.metrics->set("ckpt.recoveries", static_cast<double>(dur.attempt));
+
   engine.compute_forces();
   if (telemetry) flush_telemetry(0);
-  for (int s = 0; s < config.num_steps; ++s) {
+  for (int s = static_cast<int>(start_step); s < config.num_steps; ++s) {
     engine.step();
+    const long long done = s + 1;        // completed MD steps
+    const long long rec = done - start_step;  // this attempt's record index
+    // Fault injection fires *before* the snapshot at this boundary, so a
+    // killed rank never contributes to it and recovery has to fall back
+    // to the previous checkpoint — the hard case.
+    ckpt::maybe_kill(fault, rank, done, &comm.transport());
+    if (snapshots_on &&
+        (done % dur.checkpoint_every == 0 || done == config.num_steps)) {
+      snapshot(done);
+    }
     if (balancer && root) {
       // The balancer's view is collectively agreed, so rank 0's copy is
       // the cluster's.
@@ -359,11 +518,11 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
       if (info.rebalanced) ++rebalances;
       if (info.ratio > 0.0) last_ratio = info.ratio;
       if (collector) {
-        collector->set_balance(s + 1, info.ratio, info.rebalanced,
+        collector->set_balance(rec, info.ratio, info.rebalanced,
                                info.predicted_ratio, info.migrated_atoms);
       }
     }
-    if (telemetry) flush_telemetry(s + 1);
+    if (telemetry) flush_telemetry(rec);
   }
   if (collector) {
     collector->finish();
@@ -375,6 +534,9 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   result.potential_energy = comm.allreduce_sum(engine.potential_energy());
   result.rebalances = rebalances;
   result.last_balance_ratio = last_ratio;
+  result.restored_step = start_step;
+  result.snapshots_written = snapshots_written;
+  result.recoveries = dur.attempt;
 
   // Gather counters and the final atom state to rank 0.  (Per-step
   // metrics used to be gathered here too; they now stream live through
@@ -384,11 +546,6 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   constexpr int kTagCounters = 920;
   constexpr int kTagState = 923;
   constexpr int kTagStats = 924;
-  struct AtomWire {
-    std::int64_t gid;
-    Vec3 pos, vel, force;
-  };
-  static_assert(std::is_trivially_copyable_v<AtomWire>);
 
   const RankState& st = engine.state();
   const auto forces = engine.owned_forces();

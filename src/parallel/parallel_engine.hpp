@@ -26,6 +26,38 @@ namespace scmd {
 
 class StatusServer;
 
+namespace ckpt {
+class WalWriter;
+}
+
+/// Durability options for the distributed driver (docs/DURABILITY.md).
+/// Collective: every rank must pass identical values.  Only rank 0
+/// touches the checkpoint directory and WAL — peers contribute their
+/// atoms to rank 0's snapshot over reserved tags (src/ckpt) and receive
+/// restored state by broadcast, so no shared filesystem is required.
+struct DurabilityConfig {
+  /// Snapshot after every this-many completed steps (and after the final
+  /// step).  0 = no periodic snapshots.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir;  ///< required when checkpoint_every > 0
+  int checkpoint_retain = 3;   ///< snapshots kept on disk (oldest pruned)
+
+  /// Resume: before stepping, rank 0 loads the newest valid snapshot
+  /// (or `restore_path` when set) and broadcasts it; all ranks re-shard
+  /// from it and continue at its step counter.  With no loadable
+  /// snapshot the run starts fresh from `sys`.
+  bool restore = false;
+  std::string restore_path;
+
+  /// Rank-0 write-ahead log (not owned; honored on rank 0 only, like
+  /// the observability hooks): snapshot-cadence trajectory frames plus
+  /// operational notes (restores, recoveries).  The caller owns it so
+  /// one log spans every supervisor attempt.  Null = off.
+  ckpt::WalWriter* wal = nullptr;
+
+  int attempt = 0;  ///< supervisor attempt ordinal (0 = first try)
+};
+
 /// Options for a parallel run.
 struct ParallelRunConfig {
   double dt = 1.0;
@@ -60,6 +92,11 @@ struct ParallelRunConfig {
   /// rank engine.  Pattern strategies only; the reuse decision is
   /// collective across ranks.
   TupleCacheConfig tuple_cache;
+
+  /// Checkpoint/restore + WAL (distributed driver only; the in-process
+  /// thread driver ignores it — durability there is the serial driver's
+  /// job).
+  DurabilityConfig durability;
 };
 
 /// Aggregated results of a parallel run.
@@ -74,6 +111,10 @@ struct ParallelRunResult {
   double last_balance_ratio = 0.0; ///< most recent measured max/mean work
                                    ///< ratio (0 when balancing is off or
                                    ///< never measured)
+
+  long long restored_step = 0;     ///< step the run resumed from (0 = fresh)
+  long long snapshots_written = 0; ///< checkpoints rank 0 persisted
+  int recoveries = 0;              ///< rank failures survived (supervisor)
 };
 
 /// Run `num_steps` of MD on `pgrid.num_ranks()` threads.  On return `sys`

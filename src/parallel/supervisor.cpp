@@ -1,0 +1,65 @@
+#include "parallel/supervisor.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace scmd {
+
+ParallelRunResult run_parallel_md_supervised(ParticleSystem& sys,
+                                             const ForceField& field,
+                                             const std::string& strategy_name,
+                                             const ProcessGrid& pgrid,
+                                             ParallelRunConfig config,
+                                             const SupervisorConfig& sup) {
+  SCMD_REQUIRE(static_cast<bool>(sup.make_transport),
+               "supervisor needs a transport factory");
+  SCMD_REQUIRE(sup.max_recoveries >= 0, "max_recoveries must be >= 0");
+
+  // Restore needs somewhere to restore *from*; without checkpoints a
+  // retry silently restarting from step 0 would be correct but is almost
+  // never what an operator armed a supervisor for.
+  if (sup.max_recoveries > 0) {
+    SCMD_REQUIRE(!config.durability.checkpoint_dir.empty(),
+                 "supervised runs need a checkpoint_dir to recover from");
+  }
+
+  // A retry with no snapshot on disk restarts from the initial state, so
+  // keep a pristine copy: `sys` is left holding the failed attempt's
+  // scatter input otherwise.
+  const ParticleSystem pristine = sys;
+
+  for (int attempt = 0;; ++attempt) {
+    config.durability.attempt = attempt;
+    if (attempt > 0) config.durability.restore = true;
+    try {
+      // The transport lives exactly as long as the attempt: destroying
+      // it on failure closes this rank's sockets so peers' dead-peer
+      // detection fires, and the next make_transport() re-runs the full
+      // rendezvous bootstrap.
+      std::unique_ptr<Transport> transport = sup.make_transport();
+      Comm comm(*transport);
+      ParallelRunResult result = run_parallel_md_rank(
+          sys, field, strategy_name, pgrid, config, comm);
+      result.recoveries = attempt;
+      return result;
+    } catch (const Error& e) {
+      // The failed attempt may have left the thread bound to its (now
+      // destroyed) stack-local trace session.
+      obs::bind_thread(nullptr, 0);
+      if (attempt >= sup.max_recoveries) throw;
+      std::fprintf(stderr,
+                   "supervisor: attempt %d failed (%s); recovering "
+                   "(%d/%d)\n",
+                   attempt, e.what(), attempt + 1, sup.max_recoveries);
+      sys = pristine;
+      const double wait_s = sup.backoff_s * static_cast<double>(attempt + 1);
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+  }
+}
+
+}  // namespace scmd

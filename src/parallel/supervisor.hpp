@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file supervisor.hpp
+/// Rank-failure recovery loop around the distributed MD driver.
+///
+/// One rank dying mid-run (crash, kill, fault injection) surfaces on the
+/// survivors as transport errors: the TCP backend marks the peer dead,
+/// wakes every blocked recv, and run_parallel_md_rank unwinds with
+/// scmd::Error.  The supervisor catches that, tears the transport down,
+/// and retries the whole rank run:
+///
+///   1. destroy the failed transport (closes this rank's sockets);
+///   2. back off, then build a fresh one via `make_transport` — for TCP
+///      this re-runs the rendezvous bootstrap, so it blocks until every
+///      rank (including the respawned one; see tools/launch_tcp.sh
+///      --respawn) has come back;
+///   3. re-enter run_parallel_md_rank with restore on: rank 0 loads the
+///      last complete checkpoint, broadcasts it, every rank re-shards
+///      from it, and tuple caches rebuild from scratch (they are derived
+///      state and die with the attempt).
+///
+/// Every rank of the cluster runs this same loop, so recovery is itself
+/// collective: survivors and the respawned rank all meet in the new
+/// rendezvous.  With no checkpoint yet on disk, the retry restarts from
+/// the pristine initial system — the run loses progress but not
+/// correctness.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "parallel/parallel_engine.hpp"
+
+namespace scmd {
+
+struct SupervisorConfig {
+  /// Builds this rank's endpoint for one attempt.  Called once per
+  /// attempt; for TCP each call re-runs the rendezvous bootstrap.
+  std::function<std::unique_ptr<Transport>()> make_transport;
+
+  /// Rank failures survived before giving up and rethrowing.
+  int max_recoveries = 2;
+
+  /// Base retry delay; attempt k waits k * backoff_s, giving a killed
+  /// peer time to respawn before the survivors re-enter rendezvous.
+  double backoff_s = 0.2;
+};
+
+/// Run `run_parallel_md_rank` under the recovery loop above.  `config`
+/// is taken by value: the supervisor toggles durability.restore and the
+/// attempt counter between tries.  Returns the successful attempt's
+/// result with `recoveries` filled in; throws the last error once
+/// max_recoveries is exhausted.
+ParallelRunResult run_parallel_md_supervised(ParticleSystem& sys,
+                                             const ForceField& field,
+                                             const std::string& strategy_name,
+                                             const ProcessGrid& pgrid,
+                                             ParallelRunConfig config,
+                                             const SupervisorConfig& sup);
+
+}  // namespace scmd

@@ -26,6 +26,20 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = sm.next();
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.have_cached = have_cached_;
+  st.cached = cached_;
+  return st;
+}
+
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_ = state.have_cached;
+  cached_ = state.cached;
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -27,7 +27,19 @@ class SplitMix64 {
 /// Xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
 class Rng {
  public:
+  /// Full generator state, exposed so checkpoints can resume a stream
+  /// exactly where it left off (src/ckpt).  Trivially copyable.
+  struct State {
+    std::uint64_t s[4] = {};
+    bool have_cached = false;  ///< Marsaglia-polar spare normal present
+    double cached = 0.0;
+  };
+
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Snapshot the stream; set_state() resumes it bit-exactly.
+  State state() const;
+  void set_state(const State& state);
 
   /// Uniform 64-bit integer.
   std::uint64_t next_u64();

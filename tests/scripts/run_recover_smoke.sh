@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Kill-and-recover smoke: 4-rank TCP run, rank 2 fault-killed mid-run,
+# respawned and recovered from the last checkpoint; final state must
+# match an unkilled reference run atom-for-atom.
+#
+#   tests/scripts/run_recover_smoke.sh <scmd_run> <config> <workdir>
+#
+# Used by ctest (apps/CMakeLists.txt) and the CI kill-and-recover job —
+# one script so the gate can't drift between the two.
+#
+# Needs tools/launch_tcp.sh and tools/compare_checkpoints.py next to
+# this repo checkout (located relative to this script).
+set -eu
+
+if [ $# -ne 3 ]; then
+    echo "usage: $0 <scmd_run-binary> <config> <workdir>" >&2
+    exit 2
+fi
+
+BIN=$1
+CONFIG=$2
+WORK=$3
+ROOT=$(cd "$(dirname "$0")/../.." && pwd)
+LAUNCH=$ROOT/tools/launch_tcp.sh
+COMPARE=$ROOT/tools/compare_checkpoints.py
+
+NRANKS=4
+STEPS=20
+KILL_AT=13         # between the step-10 and step-15 checkpoints
+CKPT_EVERY=5
+
+rm -rf "$WORK"
+mkdir -p "$WORK/logs_killed" "$WORK/logs_ref"
+
+echo "recover_smoke: killed run (rank 2 dies after step $KILL_AT)"
+SCMD_FAULT_KILL_AT_STEP=$KILL_AT \
+SCMD_FAULT_KILL_RANK=2 \
+SCMD_FAULT_TOKEN="$WORK/fault_token" \
+SCMD_TCP_LOG_DIR="$WORK/logs_killed" \
+SCMD_TCP_RANK0_ARGS="--checkpoint-out=$WORK/recovered.ckpt --wal=$WORK/run.wal" \
+    "$LAUNCH" --respawn "$BIN" "$NRANKS" "$CONFIG" \
+    --steps=$STEPS --checkpoint-every=$CKPT_EVERY \
+    --checkpoint-dir="$WORK/ckpt" --restore=auto --max-recoveries=2
+
+# The fault must actually have fired and been recovered from: the token
+# file exists once the kill ran, and rank 2's log shows the respawn.
+[ -e "$WORK/fault_token" ] || {
+    echo "recover_smoke: fault never fired (no token file)" >&2; exit 1; }
+grep -q "respawn" "$WORK/logs_killed/rank2.log" || {
+    echo "recover_smoke: rank 2 was never respawned" >&2; exit 1; }
+grep -q "restored from step" "$WORK/logs_killed/rank0.log" || {
+    echo "recover_smoke: rank 0 never reported a restore" >&2; exit 1; }
+
+echo "recover_smoke: unkilled reference run"
+SCMD_TCP_LOG_DIR="$WORK/logs_ref" \
+SCMD_TCP_RANK0_ARGS="--checkpoint-out=$WORK/reference.ckpt" \
+    "$LAUNCH" "$BIN" "$NRANKS" "$CONFIG" --steps=$STEPS
+
+echo "recover_smoke: comparing recovered vs reference endpoint"
+python3 "$COMPARE" "$WORK/reference.ckpt" "$WORK/recovered.ckpt" \
+    --pos-tol=1e-7 --vel-tol=1e-7 --force-tol=1e-6
+
+echo "recover_smoke: OK"

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Self-test for tools/compare_checkpoints.py — the parity gate is
+itself gated.  Synthesizes v1 and v2 checkpoints byte-for-byte (the
+same layouts src/io and src/ckpt write), then checks the comparator's
+exit-code contract: 0 = match, 1 = mismatch, 2 = malformed file.
+Stdlib unittest only (no third-party test deps).
+
+Run directly (python3 tests/tools/test_compare_checkpoints.py) or
+through ctest (tools_compare_checkpoints_selftest).
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import tempfile
+import unittest
+import zlib
+
+TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     os.pardir, os.pardir, "tools")
+COMPARATOR = os.path.join(TOOLS, "compare_checkpoints.py")
+
+MAGIC_V1 = 0x53434D445F434B31
+MAGIC_V2 = 0x53434D445F434B32
+
+
+def fourcc(tag):
+    return int.from_bytes(tag.encode("ascii"), "little")
+
+
+def atoms_fixture(shift=0.0):
+    """Three atoms; `shift` perturbs one position component."""
+    return [
+        ((0.5 + shift, 1.0, 1.5), (0.25, -0.5, 0.75), (1.0, 2.0, 3.0), 0),
+        ((2.0, 2.5, 3.0), (-1.0, 0.0, 1.0), (-4.0, 5.0, -6.0), 1),
+        ((3.5, 4.0, 4.5), (0.125, 0.25, -0.375), (7.0, -8.0, 9.0), 0),
+    ]
+
+
+BOX = (4.0, 5.0, 6.0)
+MASSES = (1.5, 2.5)
+
+
+def encode_v1(atoms):
+    out = struct.pack("<QI", MAGIC_V1, 1)
+    out += struct.pack("<3d", *BOX)
+    out += struct.pack("<i", len(MASSES))
+    for m in MASSES:
+        out += struct.pack("<d", m)
+    out += struct.pack("<q", len(atoms))
+    for pos, vel, force, atype in atoms:
+        out += struct.pack("<3d", *pos)
+        out += struct.pack("<3d", *vel)
+        out += struct.pack("<3d", *force)
+        out += struct.pack("<i", atype)
+    return out
+
+
+def encode_v2(atoms, extra_sections=(), sim=None):
+    sections = []
+    sections.append((fourcc("BOXX"), struct.pack("<3d", *BOX)))
+    sections.append((fourcc("MASS"),
+                     struct.pack(f"<Q{len(MASSES)}d", len(MASSES), *MASSES)))
+    atom_payload = struct.pack("<Q", len(atoms))
+    for pos, vel, force, atype in atoms:
+        atom_payload += struct.pack("<9d2i", *pos, *vel, *force, atype, 0)
+    sections.append((fourcc("ATOM"), atom_payload))
+    if sim is not None:
+        sections.append((fourcc("SIMS"), struct.pack("<qqd", *sim)))
+    sections.extend(extra_sections)
+
+    out = struct.pack("<QII", MAGIC_V2, 2, len(sections))
+    for sec_id, payload in sections:
+        out += struct.pack("<IQI", sec_id, len(payload),
+                           zlib.crc32(payload) & 0xFFFFFFFF)
+        out += payload
+    return out
+
+
+class ComparatorTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, blob):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "wb") as f:
+            f.write(blob)
+        return path
+
+    def run_compare(self, a, b, *flags):
+        return subprocess.run(
+            [sys.executable, COMPARATOR, a, b, *flags],
+            capture_output=True, text=True)
+
+    def test_identical_v2_match(self):
+        a = self.write("a.ckpt", encode_v2(atoms_fixture()))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture()))
+        result = self.run_compare(a, b)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_position_drift_fails_tolerance(self):
+        a = self.write("a.ckpt", encode_v2(atoms_fixture()))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture(shift=1e-4)))
+        result = self.run_compare(a, b, "--pos-tol=1e-8")
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("FAIL", result.stderr)
+
+    def test_drift_inside_tolerance_passes(self):
+        a = self.write("a.ckpt", encode_v2(atoms_fixture()))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture(shift=1e-10)))
+        result = self.run_compare(a, b, "--pos-tol=1e-8")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_v1_reads_and_matches_v2(self):
+        a = self.write("a.ckpt", encode_v1(atoms_fixture()))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture()))
+        result = self.run_compare(a, b)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("v1 vs v2", result.stdout)
+
+    def test_crc_corruption_is_malformed(self):
+        blob = bytearray(encode_v2(atoms_fixture()))
+        blob[-3] ^= 0x01  # flip a payload bit; stored CRC now lies
+        a = self.write("a.ckpt", bytes(blob))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture()))
+        result = self.run_compare(a, b)
+        self.assertEqual(result.returncode, 2, result.stderr)
+        self.assertIn("CRC", result.stderr)
+
+    def test_truncation_is_malformed(self):
+        blob = encode_v2(atoms_fixture())
+        a = self.write("a.ckpt", blob[: len(blob) // 2])
+        b = self.write("b.ckpt", blob)
+        result = self.run_compare(a, b)
+        self.assertEqual(result.returncode, 2, result.stderr)
+
+    def test_bad_magic_is_malformed(self):
+        a = self.write("a.ckpt", b"not a checkpoint at all.........")
+        b = self.write("b.ckpt", encode_v2(atoms_fixture()))
+        result = self.run_compare(a, b)
+        self.assertEqual(result.returncode, 2, result.stderr)
+
+    def test_unknown_sections_are_ignored(self):
+        extra = [(fourcc("ZZZZ"), b"future payload")]
+        a = self.write("a.ckpt", encode_v2(atoms_fixture(),
+                                           extra_sections=extra))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture()))
+        result = self.run_compare(a, b)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_sections_flag_diffs_sim_state(self):
+        a = self.write("a.ckpt", encode_v2(atoms_fixture(),
+                                           sim=(10, 100, 0.5)))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture(),
+                                           sim=(20, 100, 0.5)))
+        # Without --sections the optional state is informational only.
+        self.assertEqual(self.run_compare(a, b).returncode, 0)
+        result = self.run_compare(a, b, "--sections")
+        self.assertEqual(result.returncode, 1, result.stderr)
+        self.assertIn("SIMS", result.stderr)
+
+    def test_atom_count_mismatch_is_malformed(self):
+        a = self.write("a.ckpt", encode_v2(atoms_fixture()))
+        b = self.write("b.ckpt", encode_v2(atoms_fixture()[:2]))
+        result = self.run_compare(a, b)
+        self.assertEqual(result.returncode, 2, result.stderr)
+        self.assertIn("atom count", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,23 +1,63 @@
 #!/usr/bin/env python3
 """Compare two SC-MD binary checkpoints within tolerances.
 
-Used by the TCP-parity tests: a 4-process `scmd_run --transport=tcp` run
-and the serial engine write checkpoints of the same trajectory endpoint,
-and this script asserts they agree atom by atom:
+Used by the TCP-parity and kill-and-recover tests: two runs (e.g. a
+4-process `scmd_run --transport=tcp` run and the serial engine, or a
+fault-injected recovered run and an unkilled reference) write
+checkpoints of the same trajectory endpoint, and this script asserts
+they agree atom by atom:
 
     compare_checkpoints.py a.ckpt b.ckpt --pos-tol 1e-8 --force-tol 1e-7
 
+Both checkpoint generations are read:
+
+  v2 ("SCMD_CK2"): the section container written by src/ckpt — a
+      magic/version/count header followed by (fourcc id, u64 length, u32
+      CRC32, payload) sections.  Every section CRC is validated; the
+      BOXX/MASS/ATOM sections are compared, and with --sections the
+      optional SIMS/RNGS/THRM/DCMP/TCEP sections are diffed too.
+  v1 ("SCMD_CK1"): the legacy fixed layout of the old
+      src/io/checkpoint.cpp writer.
+
 Exit status 0 = match, 1 = mismatch (largest deviations printed), 2 =
-malformed file / usage error.  Format: see src/io/checkpoint.cpp
-(magic "SCMD_CK1", version 1, little-endian).
+malformed file (bad magic/version/CRC, truncation) / usage error.
 """
 
 import argparse
 import struct
 import sys
+import zlib
 
-MAGIC = 0x53434D445F434B31
-VERSION = 1
+MAGIC_V1 = 0x53434D445F434B31  # "SCMD_CK1"
+MAGIC_V2 = 0x53434D445F434B32  # "SCMD_CK2"
+VERSION_V2 = 2
+
+# Section ids are little-endian fourcc tags (src/ckpt/codec.hpp).
+def fourcc(tag):
+    return int.from_bytes(tag.encode("ascii"), "little")
+
+
+SEC_BOX = fourcc("BOXX")
+SEC_MASS = fourcc("MASS")
+SEC_ATOM = fourcc("ATOM")
+SEC_SIM = fourcc("SIMS")
+SEC_RNG = fourcc("RNGS")
+SEC_THERMO = fourcc("THRM")
+SEC_DECOMP = fourcc("DCMP")
+SEC_CACHE = fourcc("TCEP")
+
+SECTION_NAMES = {
+    SEC_BOX: "BOXX",
+    SEC_MASS: "MASS",
+    SEC_ATOM: "ATOM",
+    SEC_SIM: "SIMS",
+    SEC_RNG: "RNGS",
+    SEC_THERMO: "THRM",
+    SEC_DECOMP: "DCMP",
+    SEC_CACHE: "TCEP",
+}
+
+ATOM_RECORD = struct.Struct("<9d2i")  # pos, vel, force, type, pad
 
 
 def fail(msg):
@@ -25,12 +65,70 @@ def fail(msg):
     sys.exit(2)
 
 
-def read_checkpoint(path):
-    """Return (box_lengths, masses, atoms) where atoms is a list of
-    (pos, vel, force, type) tuples of 3-vectors."""
-    with open(path, "rb") as f:
-        data = f.read()
-    off = 0
+def section_name(sec_id):
+    if sec_id in SECTION_NAMES:
+        return SECTION_NAMES[sec_id]
+    return f"{sec_id:#010x}"
+
+
+class Checkpoint:
+    """Decoded checkpoint: required state plus optional v2 sections."""
+
+    def __init__(self):
+        self.version = 0
+        self.box = None
+        self.masses = None
+        self.atoms = None  # list of (pos, vel, force, type)
+        self.sections = {}  # raw payloads by id (v2 only)
+
+    @property
+    def sim(self):
+        if SEC_SIM not in self.sections:
+            return None
+        step, total, dt = struct.unpack_from("<qqd", self.sections[SEC_SIM])
+        return {"step": step, "total_steps": total, "dt": dt}
+
+    @property
+    def decomp(self):
+        if SEC_DECOMP not in self.sections:
+            return None
+        p = self.sections[SEC_DECOMP]
+        dims = struct.unpack_from("<9i", p)
+        off = 36
+        cuts = []
+        for _ in range(3):
+            (n,) = struct.unpack_from("<Q", p, off)
+            off += 8
+            cuts.append(list(struct.unpack_from(f"<{n}i", p, off)))
+            off += 4 * n
+        return {
+            "pgrid": dims[0:3],
+            "align": dims[3:6],
+            "fine_res": dims[6:9],
+            "cuts": cuts,
+        }
+
+    @property
+    def cache(self):
+        if SEC_CACHE not in self.sections:
+            return None
+        epoch, skin = struct.unpack_from("<Qd", self.sections[SEC_CACHE])
+        return {"epoch": epoch, "skin": skin}
+
+    @property
+    def thermo(self):
+        if SEC_THERMO not in self.sections:
+            return None
+        kind, target_k, tau = struct.unpack_from(
+            "<i4x2d", self.sections[SEC_THERMO]
+        )
+        return {"kind": kind, "target_k": target_k, "tau": tau}
+
+
+def parse_v1(path, data):
+    ck = Checkpoint()
+    ck.version = 1
+    off = 8
 
     def take(fmt):
         nonlocal off
@@ -41,34 +139,117 @@ def read_checkpoint(path):
         off += size
         return values
 
-    (magic,) = take("<Q")
-    if magic != MAGIC:
-        fail(f"{path}: not an SC-MD checkpoint (bad magic {magic:#x})")
     (version,) = take("<I")
-    if version != VERSION:
+    if version != 1:
         fail(f"{path}: unsupported checkpoint version {version}")
-    box = take("<3d")
+    ck.box = take("<3d")
     (num_types,) = take("<i")
     if not 0 < num_types < 1024:
         fail(f"{path}: implausible species count {num_types}")
-    masses = [take("<d")[0] for _ in range(num_types)]
+    ck.masses = [take("<d")[0] for _ in range(num_types)]
     (num_atoms,) = take("<q")
     if num_atoms < 0:
         fail(f"{path}: negative atom count")
-    atoms = []
+    ck.atoms = []
     for _ in range(num_atoms):
         pos = take("<3d")
         vel = take("<3d")
         force = take("<3d")
         (atype,) = take("<i")
-        atoms.append((pos, vel, force, atype))
+        ck.atoms.append((pos, vel, force, atype))
     if off != len(data):
         fail(f"{path}: {len(data) - off} trailing bytes")
-    return box, masses, atoms
+    return ck
+
+
+def parse_v2(path, data):
+    ck = Checkpoint()
+    ck.version = 2
+    header = struct.Struct("<QII")
+    if len(data) < header.size:
+        fail(f"{path}: truncated header")
+    magic, version, count = header.unpack_from(data)
+    if version != VERSION_V2:
+        fail(f"{path}: unsupported checkpoint version {version}")
+    off = header.size
+    sec_header = struct.Struct("<IQI")
+    for _ in range(count):
+        if off + sec_header.size > len(data):
+            fail(f"{path}: truncated section header at offset {off}")
+        sec_id, length, crc = sec_header.unpack_from(data, off)
+        off += sec_header.size
+        if off + length > len(data):
+            fail(
+                f"{path}: section {section_name(sec_id)} overruns the file "
+                f"({length} bytes at offset {off})"
+            )
+        payload = data[off : off + length]
+        off += length
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != crc:
+            fail(
+                f"{path}: CRC mismatch in section {section_name(sec_id)} "
+                f"(stored {crc:#010x}, computed {actual:#010x})"
+            )
+        if sec_id in ck.sections:
+            fail(f"{path}: duplicate section {section_name(sec_id)}")
+        ck.sections[sec_id] = payload
+    if off != len(data):
+        fail(f"{path}: {len(data) - off} trailing bytes")
+
+    for required in (SEC_BOX, SEC_MASS, SEC_ATOM):
+        if required not in ck.sections:
+            fail(f"{path}: missing required section {section_name(required)}")
+    ck.box = struct.unpack("<3d", ck.sections[SEC_BOX])
+    mass_payload = ck.sections[SEC_MASS]
+    (num_types,) = struct.unpack_from("<Q", mass_payload)
+    if not 0 < num_types < 1024:
+        fail(f"{path}: implausible species count {num_types}")
+    ck.masses = list(struct.unpack_from(f"<{num_types}d", mass_payload, 8))
+    atom_payload = ck.sections[SEC_ATOM]
+    (num_atoms,) = struct.unpack_from("<Q", atom_payload)
+    if 8 + num_atoms * ATOM_RECORD.size != len(atom_payload):
+        fail(f"{path}: ATOM section length disagrees with its atom count")
+    ck.atoms = []
+    for i in range(num_atoms):
+        rec = ATOM_RECORD.unpack_from(atom_payload, 8 + i * ATOM_RECORD.size)
+        ck.atoms.append((rec[0:3], rec[3:6], rec[6:9], rec[9]))
+    return ck
+
+
+def read_checkpoint(path):
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) < 8:
+        fail(f"{path}: too short to be a checkpoint")
+    (magic,) = struct.unpack_from("<Q", data)
+    if magic == MAGIC_V1:
+        return parse_v1(path, data)
+    if magic == MAGIC_V2:
+        return parse_v2(path, data)
+    fail(f"{path}: not an SC-MD checkpoint (bad magic {magic:#x})")
 
 
 def max_abs_diff(a, b):
     return max(abs(x - y) for x, y in zip(a, b))
+
+
+def compare_sections(a, b):
+    """Diff the optional v2 sections both files carry.  Returns mismatch
+    descriptions (informational sections must agree exactly)."""
+    problems = []
+    for name, key in (
+        ("SIMS", "sim"),
+        ("THRM", "thermo"),
+        ("DCMP", "decomp"),
+        ("TCEP", "cache"),
+    ):
+        va, vb = getattr(a, key), getattr(b, key)
+        if va is None or vb is None:
+            continue
+        if va != vb:
+            problems.append(f"section {name} differs: {va} vs {vb}")
+    return problems
 
 
 def main():
@@ -78,46 +259,57 @@ def main():
     ap.add_argument("--pos-tol", type=float, default=1e-8)
     ap.add_argument("--vel-tol", type=float, default=1e-8)
     ap.add_argument("--force-tol", type=float, default=1e-7)
+    ap.add_argument(
+        "--sections",
+        action="store_true",
+        help="also require the optional v2 sections (SIMS/THRM/DCMP/TCEP) "
+        "present in both files to agree exactly",
+    )
     args = ap.parse_args()
 
-    box_a, masses_a, atoms_a = read_checkpoint(args.reference)
-    box_b, masses_b, atoms_b = read_checkpoint(args.candidate)
+    a = read_checkpoint(args.reference)
+    b = read_checkpoint(args.candidate)
 
-    if len(atoms_a) != len(atoms_b):
-        fail(f"atom count mismatch: {len(atoms_a)} vs {len(atoms_b)}")
-    if masses_a != masses_b:
+    if len(a.atoms) != len(b.atoms):
+        fail(f"atom count mismatch: {len(a.atoms)} vs {len(b.atoms)}")
+    if a.masses != b.masses:
         fail("species mass tables differ")
-    if max_abs_diff(box_a, box_b) > 1e-12:
+    if max_abs_diff(a.box, b.box) > 1e-12:
         fail("box dimensions differ")
 
     worst = {"pos": (0.0, -1), "vel": (0.0, -1), "force": (0.0, -1)}
     mismatches = 0
-    for i, (a, b) in enumerate(zip(atoms_a, atoms_b)):
-        if a[3] != b[3]:
-            fail(f"atom {i}: type mismatch {a[3]} vs {b[3]}")
+    for i, (ra, rb) in enumerate(zip(a.atoms, b.atoms)):
+        if ra[3] != rb[3]:
+            fail(f"atom {i}: type mismatch {ra[3]} vs {rb[3]}")
         for key, idx, tol in (
             ("pos", 0, args.pos_tol),
             ("vel", 1, args.vel_tol),
             ("force", 2, args.force_tol),
         ):
-            d = max_abs_diff(a[idx], b[idx])
+            d = max_abs_diff(ra[idx], rb[idx])
             if d > worst[key][0]:
                 worst[key] = (d, i)
             if d > tol:
                 mismatches += 1
 
     print(
-        f"compare_checkpoints: {len(atoms_a)} atoms; max |d_pos| = "
+        f"compare_checkpoints: v{a.version} vs v{b.version}, "
+        f"{len(a.atoms)} atoms; max |d_pos| = "
         f"{worst['pos'][0]:.3e} (atom {worst['pos'][1]}), max |d_vel| = "
         f"{worst['vel'][0]:.3e}, max |d_force| = {worst['force'][0]:.3e}"
     )
-    if mismatches:
-        print(
-            f"compare_checkpoints: FAIL — {mismatches} component(s) above "
-            f"tolerance (pos {args.pos_tol:g}, vel {args.vel_tol:g}, "
-            f"force {args.force_tol:g})",
-            file=sys.stderr,
-        )
+    section_problems = compare_sections(a, b) if args.sections else []
+    for problem in section_problems:
+        print(f"compare_checkpoints: {problem}", file=sys.stderr)
+    if mismatches or section_problems:
+        if mismatches:
+            print(
+                f"compare_checkpoints: FAIL — {mismatches} component(s) "
+                f"above tolerance (pos {args.pos_tol:g}, vel "
+                f"{args.vel_tol:g}, force {args.force_tol:g})",
+                file=sys.stderr,
+            )
         sys.exit(1)
     print("compare_checkpoints: OK")
 

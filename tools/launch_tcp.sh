@@ -10,17 +10,31 @@
 # --checkpoint-out=... belong there, although rank 0 is the only writer
 # anyway).
 #
+# A `--respawn` flag (before the binary) re-launches any rank that exits
+# non-zero, up to SCMD_TCP_RESPAWN times (default 2) per rank.  Pair it
+# with checkpointing (--checkpoint-every/--checkpoint-dir/--restore=auto
+# --max-recoveries=N): the respawned rank re-enters the rendezvous the
+# surviving ranks' supervisors re-run, restores the last checkpoint with
+# them, and the run continues (docs/DURABILITY.md).
+#
 # Environment:
 #   SCMD_TCP_PORT        rendezvous port (default: derived from PID)
 #   SCMD_TCP_LOG_DIR     per-rank log directory (default: mktemp -d)
 #   SCMD_TCP_RANK0_ARGS  extra flags for rank 0 only
+#   SCMD_TCP_RESPAWN     per-rank respawn budget with --respawn (default 2)
 #
 # Exit status: 0 when every rank exits 0; otherwise the first non-zero
 # rank status, with that rank's log echoed to stderr.
 set -u
 
+RESPAWN=0
+if [ "${1:-}" = "--respawn" ]; then
+    RESPAWN=${SCMD_TCP_RESPAWN:-2}
+    shift
+fi
+
 if [ $# -lt 3 ]; then
-    echo "usage: $0 <scmd_run-binary> <nranks> <config> [--key=value ...]" >&2
+    echo "usage: $0 [--respawn] <scmd_run-binary> <nranks> <config> [--key=value ...]" >&2
     exit 2
 fi
 
@@ -51,10 +65,24 @@ for RANK in $(seq 0 $((NRANKS - 1))); do
     if [ "$RANK" -eq 0 ] && [ -n "${SCMD_TCP_RANK0_ARGS:-}" ]; then
         EXTRA=$SCMD_TCP_RANK0_ARGS
     fi
+    # Each rank runs under a respawn wrapper: a crashed rank (fault
+    # injection, OOM kill, ...) is re-launched and joins the re-run
+    # rendezvous; rank logs append so the attempts stay visible.
     # shellcheck disable=SC2086  # EXTRA/"$@" are intentionally word-split
-    "$BIN" "$CONFIG" --transport=tcp --rank="$RANK" --nranks="$NRANKS" \
-        --rendezvous=127.0.0.1:"$PORT" "$@" $EXTRA \
-        > "$LOG_DIR/rank$RANK.log" 2>&1 &
+    (
+        TRIES=0
+        while :; do
+            "$BIN" "$CONFIG" --transport=tcp --rank="$RANK" \
+                --nranks="$NRANKS" --rendezvous=127.0.0.1:"$PORT" "$@" $EXTRA \
+                >> "$LOG_DIR/rank$RANK.log" 2>&1
+            RC=$?
+            [ "$RC" -eq 0 ] && exit 0
+            [ "$TRIES" -ge "$RESPAWN" ] && exit "$RC"
+            TRIES=$((TRIES + 1))
+            echo "launch_tcp: rank $RANK exited $RC; respawn $TRIES/$RESPAWN" \
+                >> "$LOG_DIR/rank$RANK.log"
+        done
+    ) &
     PIDS="$PIDS $!"
 done
 
