@@ -10,6 +10,7 @@
 #include "potentials/lj.hpp"
 #include "potentials/vashishta.hpp"
 #include "support/rng.hpp"
+#include "tuples/kernels/kernels.hpp"
 #include "tuples/ucp.hpp"
 
 namespace {
@@ -125,6 +126,114 @@ void BM_VashishtaTripletKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VashishtaTripletKernel);
+
+// --- Batched tuple-kernel benchmarks (docs/KERNELS.md) ---------------
+//
+// The arity dispatch (kernels::BoundKernels) serves two contexts: the
+// cache-build sweep (enumerate at rcut+skin, record, then one kernel
+// pass at the exact rcut) and cached replay (the kernel pass alone over
+// the recorded stream).  Both are benchmarked per arity with the
+// batched kernels and with the scalar fallback (KernelMode::kScalar),
+// so a kernel regression shows up as a ratio change between the
+// `scalar=0` and `scalar=1` rows.  Tuple counts match the silica
+// replay stream, including its exact-rcut mask failures and inert
+// bond-bending triplets — the mix the kernels are shaped around.
+
+constexpr double kBenchSkin = 0.5;
+
+/// Recorded silica tuple stream for arity n at rcut(n) + skin, plus
+/// everything a kernel eval needs.  The domain owns the slot tables the
+/// recorded indices point into.
+struct KernelStream {
+  KernelStream(const SilicaFixture& f, int n)
+      : psi(make_sc(n)),
+        grid(f.sys.box(), f.field.rcut(n) + kBenchSkin),
+        dom(make_serial_domain(grid, halo_for(psi), f.sys.positions(),
+                               f.sys.types())),
+        cp(psi),
+        rcut2(f.field.rcut(n) * f.field.rcut(n)) {
+    for_each_tuple(dom, cp, f.field.rcut(n) + kBenchSkin,
+                   [&](std::span<const int> t) {
+                     rec.insert(rec.end(), t.begin(), t.end());
+                   },
+                   nullptr);
+    count = static_cast<long long>(rec.size()) / n;
+  }
+
+  Pattern psi;
+  CellGrid grid;
+  CellDomain dom;
+  CompiledPattern cp;
+  double rcut2;
+  std::vector<int> rec;
+  long long count = 0;
+};
+
+void BM_KernelReplay(benchmark::State& state) {
+  // range(0) = arity, range(1) = 1 for the scalar fallback.
+  const int n = static_cast<int>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  SilicaFixture f;
+  const KernelStream s(f, n);
+  const kernels::BoundKernels kern(
+      f.field,
+      scalar ? kernels::KernelMode::kScalar : kernels::KernelMode::kAuto);
+  std::vector<Vec3> fd(s.dom.positions().size());
+  for (auto _ : state) {
+    std::fill(fd.begin(), fd.end(), Vec3{});
+    std::uint64_t evals = 0;
+    benchmark::DoNotOptimize(kern.eval(n, s.rec.data(), s.count,
+                                       s.dom.positions(), s.dom.types(),
+                                       s.rcut2, fd.data(), evals));
+    benchmark::DoNotOptimize(evals);
+  }
+  state.SetLabel(std::string(scalar ? "scalar" : "batched") +
+                 " n=" + std::to_string(n));
+  state.SetItemsProcessed(state.iterations() * s.count);
+}
+BENCHMARK(BM_KernelReplay)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1});
+
+void BM_KernelBuild(benchmark::State& state) {
+  // The build-side shape: enumerate at rcut + skin, record, then one
+  // kernel pass at the exact rcut over the recorded stream.
+  const int n = static_cast<int>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  SilicaFixture f;
+  const KernelStream s(f, n);
+  const kernels::BoundKernels kern(
+      f.field,
+      scalar ? kernels::KernelMode::kScalar : kernels::KernelMode::kAuto);
+  std::vector<Vec3> fd(s.dom.positions().size());
+  std::vector<int> rec;
+  rec.reserve(s.rec.size());
+  for (auto _ : state) {
+    rec.clear();
+    for_each_tuple(s.dom, s.cp, f.field.rcut(n) + kBenchSkin,
+                   [&](std::span<const int> t) {
+                     rec.insert(rec.end(), t.begin(), t.end());
+                   },
+                   nullptr);
+    std::fill(fd.begin(), fd.end(), Vec3{});
+    std::uint64_t evals = 0;
+    benchmark::DoNotOptimize(
+        kern.eval(n, rec.data(), static_cast<long long>(rec.size()) / n,
+                  s.dom.positions(), s.dom.types(), s.rcut2, fd.data(),
+                  evals));
+    benchmark::DoNotOptimize(evals);
+  }
+  state.SetLabel(std::string(scalar ? "scalar" : "batched") +
+                 " n=" + std::to_string(n));
+  state.SetItemsProcessed(state.iterations() * s.count);
+}
+BENCHMARK(BM_KernelBuild)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({3, 0})
+    ->Args({3, 1});
 
 }  // namespace
 

@@ -128,6 +128,10 @@ int main(int argc, char** argv) {
     // cache only applies to the pattern strategies.
     const bool cacheable =
         name.rfind("Hybrid", 0) != 0 && name.rfind("BondOrder", 0) != 0;
+    const bool cached = cacheable && cache_cfg.enabled;
+    // Cached rows are labelled "<name>+c" so a cached run's summary
+    // never collides with an uncached baseline in bench_report.py.
+    const std::string row = cached ? name + "+c" : name;
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 5)));
     ParticleSystem sys = make_silica(atoms, 2.2, 300.0, rng);
     SerialEngineConfig cfg;
@@ -135,7 +139,7 @@ int main(int argc, char** argv) {
     cfg.trace = span_source;
     if (cacheable) cfg.tuple_cache = cache_cfg;
     SerialEngine engine(sys, field, make_strategy(name, field), cfg);
-    if (metrics) metrics->set_attr("strategy", name);
+    if (metrics) metrics->set_attr("strategy", row);
     std::size_t span_cursor = 0;
     for (int s = 0; s < warmup; ++s) engine.step();
     if (span_source != nullptr) span_cursor = span_source->num_events();
@@ -181,14 +185,14 @@ int main(int argc, char** argv) {
     std::uint64_t visits = 0;
     for (const TupleCounters& tc : c.tuples) visits += tc.cell_visits;
     table.add_row(
-        {name, ms, steps_per_sec,
+        {row, ms, steps_per_sec,
          static_cast<long long>(c.total_search_steps() / steps),
          static_cast<long long>(visits / steps),
          static_cast<long long>(c.tuples[3].accepted / steps),
          static_cast<long long>(c.evals[2] / steps),
          static_cast<long long>(c.evals[3] / steps)});
     summary.push_back(
-        {name, ms, steps_per_sec,
+        {row, ms, steps_per_sec,
          static_cast<double>(c.total_search_steps()) / steps});
   }
   table.print(std::cout);
@@ -200,8 +204,9 @@ int main(int argc, char** argv) {
     SCMD_REQUIRE(f != nullptr, "cannot open --json-out: " + json_out);
     std::fprintf(f,
                  "{\n  \"bench\": \"walltime\",\n  \"atoms\": %lld,\n"
-                 "  \"steps\": %d,\n  \"variants\": {\n",
-                 atoms, steps);
+                 "  \"steps\": %d,\n  \"tuple_cache_skin\": %.6g,\n"
+                 "  \"variants\": {\n",
+                 atoms, steps, cache_cfg.enabled ? cache_cfg.skin : 0.0);
     for (std::size_t i = 0; i < summary.size(); ++i) {
       const VariantSummary& v = summary[i];
       std::fprintf(f,

@@ -6,57 +6,9 @@
 #include "obs/trace.hpp"
 #include "pattern/generate.hpp"
 #include "support/error.hpp"
+#include "tuples/kernels/simd.hpp"
 
 namespace scmd {
-
-namespace {
-
-/// Evaluate one accepted tuple against the field, accumulating forces
-/// into `fd` (indexed like `pos`/`type`).  Shared by the enumeration,
-/// build, and replay paths so the three agree on the eval kernel exactly.
-inline double eval_tuple(const ForceField& field, int n,
-                         std::span<const Vec3> pos, std::span<const int> type,
-                         const int* t, Vec3* fd) {
-  switch (n) {
-    case 2:
-      return field.eval_pair(type[t[0]], type[t[1]], pos[t[0]], pos[t[1]],
-                             fd[t[0]], fd[t[1]]);
-    case 3:
-      return field.eval_triplet(type[t[0]], type[t[1]], type[t[2]],
-                                pos[t[0]], pos[t[1]], pos[t[2]], fd[t[0]],
-                                fd[t[1]], fd[t[2]]);
-    case 4:
-      return field.eval_quad(type[t[0]], type[t[1]], type[t[2]], type[t[3]],
-                             pos[t[0]], pos[t[1]], pos[t[2]], pos[t[3]],
-                             fd[t[0]], fd[t[1]], fd[t[2]], fd[t[3]]);
-    default: {
-      // n >= 5: generic chain kernel.  Gather positions/types into
-      // chain-ordered scratch, scatter forces back.
-      std::array<int, kMaxTupleLen> ct{};
-      std::array<Vec3, kMaxTupleLen> cr{};
-      std::array<Vec3, kMaxTupleLen> cf{};
-      for (int k = 0; k < n; ++k) {
-        ct[static_cast<std::size_t>(k)] = type[t[k]];
-        cr[static_cast<std::size_t>(k)] = pos[t[k]];
-      }
-      const double e = field.eval_chain(n, ct.data(), cr.data(), cf.data());
-      for (int k = 0; k < n; ++k) fd[t[k]] += cf[static_cast<std::size_t>(k)];
-      return e;
-    }
-  }
-}
-
-/// Do all n-1 consecutive chain distances pass the exact cutoff?
-inline bool chain_within(std::span<const Vec3> pos, const int* t, int n,
-                         double rcut2) {
-  for (int k = 0; k + 1 < n; ++k) {
-    const Vec3 d = pos[t[k + 1]] - pos[t[k]];
-    if (d.norm2() >= rcut2) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 TupleStrategy::TupleStrategy(const ForceField& field, PatternKind kind,
                              bool measure_force_set, int reach,
@@ -65,7 +17,9 @@ TupleStrategy::TupleStrategy(const ForceField& field, PatternKind kind,
       measure_force_set_(measure_force_set),
       reach_(reach),
       shared_prefix_(shared_prefix),
-      max_n_(field.max_n()) {
+      max_n_(field.max_n()),
+      kernel_mode_(kernels::mode_from_env()),
+      kernels_(field, kernel_mode_) {
   SCMD_REQUIRE(max_n_ >= 2 && max_n_ <= kMaxTupleLen,
                "field max_n out of range");
   SCMD_REQUIRE(reach >= 1 && reach <= 4, "reach out of range");
@@ -151,8 +105,21 @@ void TupleStrategy::set_num_threads(int num_threads) {
   num_threads_ = num_threads;
 }
 
-std::vector<Vec3> TupleStrategy::ScratchPool::checkout(std::size_t size) {
-  std::vector<Vec3> buf;
+void TupleStrategy::set_kernel_mode(kernels::KernelMode mode) {
+  kernel_mode_ = mode;
+  kernels_ = kernels::BoundKernels(*kernels_.field(), mode);
+}
+
+const kernels::BoundKernels& TupleStrategy::bound_for(
+    const ForceField& field, kernels::BoundKernels& storage) const {
+  if (kernels_.field() == &field) return kernels_;
+  storage = kernels::BoundKernels(field, kernel_mode_);
+  return storage;
+}
+
+TupleStrategy::ScratchPool::Buf TupleStrategy::ScratchPool::checkout(
+    std::size_t size) {
+  Buf buf;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (!free_.empty()) {
@@ -164,33 +131,25 @@ std::vector<Vec3> TupleStrategy::ScratchPool::checkout(std::size_t size) {
   return buf;
 }
 
-void TupleStrategy::ScratchPool::checkin(std::vector<Vec3>&& buf) {
+void TupleStrategy::ScratchPool::checkin(Buf&& buf) {
   const std::lock_guard<std::mutex> lock(mu_);
   free_.push_back(std::move(buf));
 }
 
-template <class EvalFn>
-double TupleStrategy::run_term(const CellDomain& dom,
-                               const CompiledPattern& cp, double rcut,
-                               std::vector<Vec3>& f,
-                               EngineCounters& counters, int n,
-                               std::uint64_t* cell_cost,
-                               EvalFn&& eval) const {
+template <class PartFn>
+double TupleStrategy::run_parts(const CellDomain& dom, std::vector<Vec3>& f,
+                                EngineCounters& counters, int n,
+                                PartFn&& part_fn) const {
   const std::size_t ni = static_cast<std::size_t>(n);
   const int z_dim = dom.owned_dims().z;
   const int threads = std::min(num_threads_, z_dim);
 
   if (threads <= 1) {
-    double energy = 0.0;
-    EvalCtx ctx;
     TupleCounters tc;
-    Vec3* fd = f.data();
-    enumerate_tuples(
-        shared_prefix_, dom, cp, rcut, 0, z_dim,
-        [&](std::span<const int> t) { energy += eval(t, fd, ctx); },
-        &tc, cell_cost);
+    std::uint64_t evals = 0;
+    const double energy = part_fn(0, 0, z_dim, f.data(), tc, evals);
     counters.tuples[ni] += tc;
-    counters.evals[ni] += ctx.evals;
+    counters.evals[ni] += evals;
     return energy;
   }
 
@@ -198,10 +157,10 @@ double TupleStrategy::run_term(const CellDomain& dom,
   // its own force buffer and counters, reduced in thread order below so
   // results are deterministic for a fixed thread count.
   struct Part {
-    std::vector<Vec3> f;
+    ScratchPool::Buf f;
     TupleCounters tc;
     double energy = 0.0;
-    EvalCtx ctx;
+    std::uint64_t evals = 0;
   };
   std::vector<Part> parts(static_cast<std::size_t>(threads));
   std::vector<std::thread> workers;
@@ -209,19 +168,10 @@ double TupleStrategy::run_term(const CellDomain& dom,
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       Part& part = parts[static_cast<std::size_t>(t)];
-      part.ctx.part = t;
       part.f = scratch_.checkout(static_cast<std::size_t>(dom.num_atoms()));
       const int z0 = t * z_dim / threads;
       const int z1 = (t + 1) * z_dim / threads;
-      Vec3* fd = part.f.data();
-      // cell_cost entries are indexed by absolute owned-cell coordinate,
-      // so disjoint z-slabs write disjoint entries — no race.
-      enumerate_tuples(
-          shared_prefix_, dom, cp, rcut, z0, z1,
-          [&](std::span<const int> tup) {
-            part.energy += eval(tup, fd, part.ctx);
-          },
-          &part.tc, cell_cost);
+      part.energy = part_fn(t, z0, z1, part.f.data(), part.tc, part.evals);
     });
   }
   for (std::thread& w : workers) w.join();
@@ -229,11 +179,11 @@ double TupleStrategy::run_term(const CellDomain& dom,
   double energy = 0.0;
   for (Part& part : parts) {
     // A part that evaluated nothing never touched its force buffer.
-    if (part.ctx.evals != 0) {
+    if (part.evals != 0) {
       for (std::size_t i = 0; i < f.size(); ++i) f[i] += part.f[i];
     }
     counters.tuples[ni] += part.tc;
-    counters.evals[ni] += part.ctx.evals;
+    counters.evals[ni] += part.evals;
     energy += part.energy;
     scratch_.checkin(std::move(part.f));
   }
@@ -243,6 +193,8 @@ double TupleStrategy::run_term(const CellDomain& dom,
 double TupleStrategy::compute(const ForceField& field,
                               const DomainSet& domains, ForceAccum& forces,
                               EngineCounters& counters) const {
+  kernels::BoundKernels rebound;
+  const kernels::BoundKernels& kern = bound_for(field, rebound);
   double energy = 0.0;
   for (int n = 2; n <= max_n_; ++n) {
     if (!needs_grid(n)) continue;
@@ -269,11 +221,38 @@ double TupleStrategy::compute(const ForceField& field,
       cell_cost = forces.cell_cost[ni]->data();
     }
 
-    energy += run_term(
-        *dom, cp, field.rcut(n), *f, counters, n, cell_cost,
-        [&, n](std::span<const int> t, Vec3* fd, EvalCtx& ctx) {
-          ++ctx.evals;
-          return eval_tuple(field, n, pos, type, t.data(), fd);
+    const double rcut = field.rcut(n);
+    const double rcut2 = rcut * rcut;
+    // Enumerated tuples are buffered into fixed-size blocks and flushed
+    // through the kernel dispatch.  The enumeration already filtered at
+    // the exact cutoff, so the kernel's mask (the same criterion,
+    // bitwise) passes every tuple — the block pass exists to batch the
+    // force evaluation, not to re-filter.
+    energy += run_parts(
+        *dom, *f, counters, n,
+        [&](int /*part*/, int z0, int z1, Vec3* fd, TupleCounters& tc,
+            std::uint64_t& evals) {
+          double e = 0.0;
+          std::vector<int> block;
+          block.reserve(static_cast<std::size_t>(kernels::kEvalBlock) *
+                        static_cast<std::size_t>(n));
+          long long cnt = 0;
+          enumerate_tuples(
+              shared_prefix_, *dom, cp, rcut, z0, z1,
+              [&](std::span<const int> t) {
+                block.insert(block.end(), t.begin(), t.end());
+                if (++cnt == kernels::kEvalBlock) {
+                  e += kern.eval(n, block.data(), cnt, pos, type, rcut2, fd,
+                                 evals);
+                  block.clear();
+                  cnt = 0;
+                }
+              },
+              &tc, cell_cost);
+          if (cnt > 0) {
+            e += kern.eval(n, block.data(), cnt, pos, type, rcut2, fd, evals);
+          }
+          return e;
         });
   }
   return energy;
@@ -284,6 +263,8 @@ double TupleStrategy::compute_build(const ForceField& field,
                                     TupleListCache& cache, ForceAccum& forces,
                                     EngineCounters& counters) const {
   SCMD_REQUIRE(skin >= 0.0, "tuple-cache skin must be non-negative");
+  kernels::BoundKernels rebound;
+  const kernels::BoundKernels& kern = bound_for(field, rebound);
   double energy = 0.0;
   ++counters.cache_rebuilds;
   for (int n = 2; n <= max_n_; ++n) {
@@ -320,16 +301,25 @@ double TupleStrategy::compute_build(const ForceField& field,
     std::vector<std::vector<int>> rec(
         static_cast<std::size_t>(num_threads_));
 
-    energy += run_term(
-        *dom, cp, rcut + skin, *f, counters, n, cell_cost,
-        [&, n](std::span<const int> t, Vec3* fd, EvalCtx& ctx) {
-          std::vector<int>& r = rec[static_cast<std::size_t>(ctx.part)];
-          r.insert(r.end(), t.begin(), t.end());
-          // The enumeration accepted at rcut + skin; only the exact-rcut
-          // subset contributes to this step's forces.
-          if (!chain_within(pos, t.data(), n, rcut2)) return 0.0;
-          ++ctx.evals;
-          return eval_tuple(field, n, pos, type, t.data(), fd);
+    // The enumeration (at rcut + skin) only records; the part's recorded
+    // stream is then evaluated in one kernel sweep with the exact-rcut
+    // mask — the very sweep replay will run over the same list, so a
+    // build step and an immediate replay at the same positions produce
+    // identical forces and energy.
+    energy += run_parts(
+        *dom, *f, counters, n,
+        [&](int part, int z0, int z1, Vec3* fd, TupleCounters& tc,
+            std::uint64_t& evals) {
+          std::vector<int>& r = rec[static_cast<std::size_t>(part)];
+          enumerate_tuples(
+              shared_prefix_, *dom, cp, rcut + skin, z0, z1,
+              [&](std::span<const int> t) {
+                r.insert(r.end(), t.begin(), t.end());
+              },
+              &tc, cell_cost);
+          return kern.eval(n, r.data(),
+                           static_cast<long long>(r.size()) / n, pos, type,
+                           rcut2, fd, evals);
         });
 
     for (const std::vector<int>& r : rec) list.append_flat(r);
@@ -341,6 +331,8 @@ double TupleStrategy::compute_replay(const ForceField& field,
                                      const TupleListCache& cache,
                                      ForceAccum& forces,
                                      EngineCounters& counters) const {
+  kernels::BoundKernels rebound;
+  const kernels::BoundKernels& kern = bound_for(field, rebound);
   double energy = 0.0;
   ++counters.cache_reuse_steps;
   for (int n = 2; n <= max_n_; ++n) {
@@ -353,12 +345,12 @@ double TupleStrategy::compute_replay(const ForceField& field,
     SCMD_REQUIRE(f != nullptr &&
                      static_cast<int>(f->size()) == list.num_slots(),
                  "replay force array must match the cached slot table");
-    energy += replay_term(field, list, field.rcut(n), *f, counters, n);
+    energy += replay_term(kern, list, field.rcut(n), *f, counters, n);
   }
   return energy;
 }
 
-double TupleStrategy::replay_term(const ForceField& field,
+double TupleStrategy::replay_term(const kernels::BoundKernels& kern,
                                   const TupleList& list, double rcut,
                                   std::vector<Vec3>& f,
                                   EngineCounters& counters, int n) const {
@@ -370,18 +362,6 @@ double TupleStrategy::replay_term(const ForceField& field,
   const auto pos = list.positions();
   const auto type = list.types();
 
-  auto scan = [&](long long begin, long long end, Vec3* fd,
-                  std::uint64_t& evals) {
-    double e = 0.0;
-    for (long long i = begin; i < end; ++i) {
-      const int* t = tuples + i * n;
-      if (!chain_within(pos, t, n, rcut2)) continue;
-      ++evals;
-      e += eval_tuple(field, n, pos, type, t, fd);
-    }
-    return e;
-  };
-
   // Threaded replay over contiguous tuple blocks (same deterministic
   // part-order reduce as the search path); short lists are not worth the
   // thread spawns.
@@ -391,13 +371,14 @@ double TupleStrategy::replay_term(const ForceField& field,
                     : 1;
   if (threads <= 1) {
     std::uint64_t evals = 0;
-    const double energy = scan(0, count, f.data(), evals);
+    const double energy =
+        kern.eval(n, tuples, count, pos, type, rcut2, f.data(), evals);
     counters.evals[ni] += evals;
     return energy;
   }
 
   struct Part {
-    std::vector<Vec3> f;
+    ScratchPool::Buf f;
     double energy = 0.0;
     std::uint64_t evals = 0;
   };
@@ -410,7 +391,8 @@ double TupleStrategy::replay_term(const ForceField& field,
       part.f = scratch_.checkout(f.size());
       const long long b = count * t / threads;
       const long long e = count * (t + 1) / threads;
-      part.energy = scan(b, e, part.f.data(), part.evals);
+      part.energy = kern.eval(n, tuples + b * n, e - b, pos, type, rcut2,
+                              part.f.data(), part.evals);
     });
   }
   for (std::thread& w : workers) w.join();

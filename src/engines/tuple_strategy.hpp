@@ -12,11 +12,20 @@
 /// TupleListCache while evaluating the exact-rcut subset; compute_replay
 /// re-evaluates the recorded lists with exact-rcut filtering and no
 /// search at all.
+///
+/// All three paths evaluate tuples through one dispatch point — the
+/// BoundKernels table resolved at construction (docs/KERNELS.md), which
+/// routes each arity to a batched SIMD-friendly kernel when the field is
+/// specialized and to the scalar reference loop otherwise.  Serial and
+/// rank engines both funnel through here, so they share the kernels
+/// automatically.
 
 #include <mutex>
 #include <vector>
 
 #include "engines/strategy.hpp"
+#include "support/aligned.hpp"
+#include "tuples/kernels/kernels.hpp"
 #include "tuples/tuple_list.hpp"
 #include "tuples/ucp.hpp"
 
@@ -43,6 +52,16 @@ class TupleStrategy final : public ForceStrategy {
   void set_num_threads(int num_threads) override;
   int num_threads() const { return num_threads_; }
 
+  /// Re-resolve the kernel table under a different selection policy
+  /// (kScalar forces the reference loops everywhere).  The default at
+  /// construction honors the SCMD_KERNELS environment variable.  Not
+  /// thread-safe against concurrent compute calls.
+  void set_kernel_mode(kernels::KernelMode mode);
+
+  /// The kernel table bound to the construction-time field (for
+  /// tests/benches asserting which arities are specialized).
+  const kernels::BoundKernels& bound_kernels() const { return kernels_; }
+
   double compute(const ForceField& field, const DomainSet& domains,
                  ForceAccum& forces, EngineCounters& counters) const override;
 
@@ -67,21 +86,12 @@ class TupleStrategy final : public ForceStrategy {
   const CompiledPattern& compiled(int n) const;
 
  private:
-  /// Per-thread context handed to eval callbacks: which enumeration part
-  /// this is (for per-thread recording) and how many force terms the
-  /// callback actually evaluated (run_term folds it into
-  /// counters.evals[n]; a part with zero evals has an untouched force
-  /// buffer, so its O(N) reduce is skipped).
-  struct EvalCtx {
-    int part = 0;
-    std::uint64_t evals = 0;
-  };
-
   /// Mutex-guarded free list of force scratch buffers, reused across
   /// calls so the threaded paths don't allocate num_atoms-sized arrays
-  /// every step.  The pool is shared across rank threads (the strategy
-  /// instance is); it is touched once per term per thread, never inside
-  /// tuple loops.
+  /// every step.  Buffers are 64-byte aligned for the batched kernels'
+  /// vector-width accesses.  The pool is shared across rank threads (the
+  /// strategy instance is); it is touched once per term per thread,
+  /// never inside tuple loops.
   ///
   /// Ownership contract: a checked-out buffer is exclusively the
   /// caller's until checked back in — the lock covers only the free
@@ -90,22 +100,35 @@ class TupleStrategy final : public ForceStrategy {
   /// tests/check/checked_md_test.cpp pins this under contention).
   class ScratchPool {
    public:
+    using Buf = std::vector<Vec3, AlignedAllocator<Vec3, 64>>;
+
     /// A zeroed buffer of `size` (recycled allocation when available).
-    std::vector<Vec3> checkout(std::size_t size);
-    void checkin(std::vector<Vec3>&& buf);
+    Buf checkout(std::size_t size);
+    void checkin(Buf&& buf);
 
    private:
     std::mutex mu_;
-    std::vector<std::vector<Vec3>> free_;
+    std::vector<Buf> free_;
   };
 
-  template <class EvalFn>
-  double run_term(const CellDomain& dom, const CompiledPattern& cp,
-                  double rcut, std::vector<Vec3>& f,
-                  EngineCounters& counters, int n,
-                  std::uint64_t* cell_cost, EvalFn&& eval) const;
+  /// The kernel table for `field`: the construction-bound table when the
+  /// fields match, else a table freshly bound into `storage` (an engine
+  /// passing a different field instance than the one the strategy was
+  /// built for still evaluates correctly, just without the cached bind).
+  const kernels::BoundKernels& bound_for(const ForceField& field,
+                                         kernels::BoundKernels& storage) const;
 
-  double replay_term(const ForceField& field, const TupleList& list,
+  /// Threading harness shared by the enumeration paths: split the
+  /// home-cell z-slab range over threads, hand each part a force buffer
+  /// and its own counters, and reduce in part order (deterministic for a
+  /// fixed thread count).  `part_fn(part, z0, z1, fd, tc, evals)`
+  /// returns the part's energy; a part reporting zero evals must leave
+  /// its buffer untouched (its O(N) reduce is skipped).
+  template <class PartFn>
+  double run_parts(const CellDomain& dom, std::vector<Vec3>& f,
+                   EngineCounters& counters, int n, PartFn&& part_fn) const;
+
+  double replay_term(const kernels::BoundKernels& kern, const TupleList& list,
                      double rcut, std::vector<Vec3>& f,
                      EngineCounters& counters, int n) const;
 
@@ -118,6 +141,8 @@ class TupleStrategy final : public ForceStrategy {
   std::array<bool, kMaxTupleLen + 1> active_{};
   std::array<CompiledPattern, kMaxTupleLen + 1> compiled_{};
   std::array<HaloSpec, kMaxTupleLen + 1> halo_{};
+  kernels::KernelMode kernel_mode_ = kernels::KernelMode::kAuto;
+  kernels::BoundKernels kernels_;
   mutable ScratchPool scratch_;
 };
 

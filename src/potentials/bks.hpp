@@ -34,7 +34,6 @@ class BksSiO2 final : public ForceField {
   double eval_pair(int ti, int tj, const Vec3& ri, const Vec3& rj, Vec3& fi,
                    Vec3& fj) const override;
 
- private:
   struct PairParams {
     double qq_e2 = 0.0;  // q_i q_j e², eV·Å
     double A = 0.0;      // eV
@@ -44,6 +43,11 @@ class BksSiO2 final : public ForceField {
     double f_shift = 0.0;
   };
 
+  /// Pair-term parameter table entry, for the batched kernels
+  /// (src/tuples/kernels).
+  const PairParams& pair_params(int ti, int tj) const { return pair_(ti, tj); }
+
+ private:
   static void raw(const PairParams& p, double r, double& v, double& dv);
 
   double rcut_;

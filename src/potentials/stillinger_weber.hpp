@@ -51,6 +51,11 @@ class StillingerWeber final : public ForceField {
 
   const SwParams& params() const { return p_; }
 
+  /// Pair/triplet cutoff aσ and the bond-bending channel, for the
+  /// batched kernels (src/tuples/kernels).
+  double rc() const { return rc_; }
+  const BondBendingParams& bend() const { return bend_; }
+
  private:
   SwParams p_;
   double rc_ = 0.0;  // aσ

@@ -15,8 +15,8 @@ constexpr double kE2 = 14.399645;
 // SiO2 parameterization.
 constexpr double kZSi = 1.2;
 constexpr double kZO = -0.6;
-constexpr double kLambda1 = 4.43;  // Coulomb screening
-constexpr double kLambda4 = 2.5;   // charge-dipole screening
+// Screening lengths live on the class (VashishtaSiO2::kLambda1/kLambda4)
+// so the batched kernels share them.
 
 constexpr double kMassSi = 28.0855;  // amu
 constexpr double kMassO = 15.9994;   // amu
@@ -103,14 +103,8 @@ double VashishtaSiO2::eval_triplet(int ti, int tj, int tk, const Vec3& ri,
                                    Vec3& fj, Vec3& fk) const {
   // Chain (i, j, k): j is the center.  Only O-Si-O and Si-O-Si channels
   // carry strength.
-  const BondBendingParams* bend = nullptr;
-  if (tj == kSilicon && ti == kOxygen && tk == kOxygen) {
-    bend = &bend_si_;
-  } else if (tj == kOxygen && ti == kSilicon && tk == kSilicon) {
-    bend = &bend_o_;
-  } else {
-    return 0.0;
-  }
+  const BondBendingParams* bend = bend_channel(ti, tj, tk);
+  if (bend == nullptr) return 0.0;
   return eval_bond_bending(*bend, rj, ri, rk, fj, fi, fk);
 }
 

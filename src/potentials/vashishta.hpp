@@ -47,7 +47,6 @@ class VashishtaSiO2 final : public ForceField {
                       const Vec3& rk, Vec3& fi, Vec3& fj,
                       Vec3& fk) const override;
 
- private:
   struct PairParams {
     double eta = 0.0;     // steric exponent
     double H = 0.0;       // steric strength, eV·Å^eta
@@ -57,6 +56,25 @@ class VashishtaSiO2 final : public ForceField {
     double f_shift = 0.0; // V2'(rc)
   };
 
+  /// Screening lengths of the 1990 SiO2 parameterization (Å), public so
+  /// the batched kernels (src/tuples/kernels) can reproduce raw_pair
+  /// term for term.
+  static constexpr double kLambda1 = 4.43;  // Coulomb screening
+  static constexpr double kLambda4 = 2.5;   // charge-dipole screening
+
+  /// Pair-term parameter table entry for a type pair.
+  const PairParams& pair_params(int ti, int tj) const { return pair_(ti, tj); }
+
+  /// Bond-bending channel for the chain (ti, tj, tk) with center tj, or
+  /// nullptr when the triplet carries zero strength — the same selection
+  /// eval_triplet applies.
+  const BondBendingParams* bend_channel(int ti, int tj, int tk) const {
+    if (tj == kSilicon && ti == kOxygen && tk == kOxygen) return &bend_si_;
+    if (tj == kOxygen && ti == kSilicon && tk == kSilicon) return &bend_o_;
+    return nullptr;
+  }
+
+ private:
   /// Raw (untruncated) V2 and its derivative at distance r.
   static void raw_pair(const PairParams& p, double r, double& v, double& dv);
 

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file aligned.hpp
+/// Minimal over-aligned allocator for std::vector.
+///
+/// The batched tuple kernels (src/tuples/kernels) read force buffers in
+/// vector-width chunks; allocating them on cache-line/SIMD-register
+/// boundaries keeps those accesses split-free.  std::vector's default
+/// allocator only guarantees alignof(std::max_align_t) (16 on x86-64),
+/// so buffers that want 64-byte alignment use
+/// `std::vector<T, AlignedAllocator<T, 64>>`.
+
+#include <cstddef>
+#include <new>
+
+namespace scmd {
+
+template <class T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two no weaker than alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  explicit AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace scmd

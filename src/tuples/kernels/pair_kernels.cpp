@@ -1,0 +1,375 @@
+// Batched SoA pair kernels (docs/KERNELS.md).  Each Op reproduces one
+// potential's scalar eval_pair expression for expression — same
+// association, same shift handling — with libm exp replaced by vexp1
+// and std::pow by powi (see simd.hpp for the accuracy contract).  This
+// translation unit is compiled with -fno-math-errno so std::sqrt lowers
+// to the hardware instruction inside the lane loops.
+//
+// Loop structure per kLanes block: scalar gather of indices, deltas and
+// per-type-pair parameters into stack SoA arrays; one branch-free
+// arithmetic loop (the auto-vectorized part) producing per-lane energy
+// and f_over_r; a scalar masked scatter that counts evals, sums energy
+// in lane order, and accumulates ±f into the force array.  Masked lanes
+// (cutoff-failing or block padding) may compute non-finite
+// intermediates — their outputs are discarded by the mask, never
+// scattered.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "potentials/bks.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/morse.hpp"
+#include "potentials/stillinger_weber.hpp"
+#include "potentials/vashishta.hpp"
+#include "tuples/kernels/kernels.hpp"
+#include "tuples/kernels/simd.hpp"
+
+namespace scmd::kernels::detail {
+
+namespace {
+
+/// Shared pair skeleton.  `op(ia, ja, r2, type, e, fr)` fills per-lane
+/// energy and f_over_r (force = delta * f_over_r, added to i, subtracted
+/// from j — the eval_pair convention) for ALL lanes, branch-free.
+template <class Op>
+double pair_loop(const Op& op, const int* tuples, long long count,
+                 std::span<const Vec3> pos, std::span<const int> type,
+                 double rcut2, Vec3* fd, std::uint64_t& evals) {
+  double energy = 0.0;
+  std::uint64_t ev = 0;
+  for (long long base = 0; base < count; base += kLanes) {
+    const int m = static_cast<int>(std::min<long long>(kLanes, count - base));
+    alignas(64) int ia[kLanes];
+    alignas(64) int ja[kLanes];
+    alignas(64) double dx[kLanes];
+    alignas(64) double dy[kLanes];
+    alignas(64) double dz[kLanes];
+    alignas(64) double r2[kLanes];
+    alignas(64) double e[kLanes];
+    alignas(64) double fr[kLanes];
+    bool pass[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      // Padding lanes replicate the last tuple and are masked below.
+      const long long i = base + (l < m ? l : m - 1);
+      ia[l] = tuples[2 * i];
+      ja[l] = tuples[2 * i + 1];
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      const Vec3 d = pos[static_cast<std::size_t>(ia[l])] -
+                     pos[static_cast<std::size_t>(ja[l])];
+      dx[l] = d.x;
+      dy[l] = d.y;
+      dz[l] = d.z;
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      r2[l] = dx[l] * dx[l] + dy[l] * dy[l] + dz[l] * dz[l];
+    }
+    for (int l = 0; l < kLanes; ++l) pass[l] = l < m && r2[l] < rcut2;
+    op(ia, ja, r2, type, e, fr);
+    for (int l = 0; l < kLanes; ++l) {
+      if (!pass[l]) continue;
+      ++ev;
+      energy += e[l];
+      const Vec3 f{dx[l] * fr[l], dy[l] * fr[l], dz[l] * fr[l]};
+      fd[ia[l]] += f;
+      fd[ja[l]] -= f;
+    }
+  }
+  evals += ev;
+  return energy;
+}
+
+struct LjOp {
+  double sigma2, eps4, eps24, shift;
+
+  explicit LjOp(const LennardJones& f) {
+    const LjParams& p = f.params();
+    sigma2 = p.sigma * p.sigma;
+    eps4 = 4.0 * p.epsilon;
+    eps24 = 24.0 * p.epsilon;
+    // Same expression as the LennardJones ctor, so the shift is
+    // bit-identical to the scalar path's.
+    const double sr6 = std::pow(p.sigma / p.rcut, 6);
+    shift = 4.0 * p.epsilon * (sr6 * sr6 - sr6);
+  }
+
+  void operator()(const int*, const int*, const double* r2,
+                  std::span<const int>, double* e, double* fr) const {
+    for (int l = 0; l < kLanes; ++l) {
+      const double inv_r2 = 1.0 / r2[l];
+      const double s2 = sigma2 * inv_r2;
+      const double s6 = s2 * s2 * s2;
+      const double s12 = s6 * s6;
+      e[l] = eps4 * (s12 - s6) - shift;
+      fr[l] = eps24 * (2.0 * s12 - s6) * inv_r2;
+    }
+  }
+};
+
+struct MorseOp {
+  double De, na, r0, c2, shift;
+
+  explicit MorseOp(const Morse& f) {
+    const MorseParams& p = f.params();
+    De = p.De;
+    na = -p.a;
+    r0 = p.r0;
+    c2 = 2.0 * p.De * p.a;
+    const double x = 1.0 - std::exp(-p.a * (p.rcut - p.r0));
+    shift = p.De * (x * x - 1.0);
+  }
+
+  void operator()(const int*, const int*, const double* r2,
+                  std::span<const int>, double* e, double* fr) const {
+    for (int l = 0; l < kLanes; ++l) {
+      const double r = std::sqrt(r2[l]);
+      const double ex = vexp1(na * (r - r0));
+      const double x = 1.0 - ex;
+      e[l] = De * (x * x - 1.0) - shift;
+      const double dvdr = c2 * ex * x;
+      fr[l] = -dvdr / r;
+    }
+  }
+};
+
+struct BksOp {
+  int num_types;
+  double rcut;
+  std::vector<BksSiO2::PairParams> tbl;  // dense [ti * num_types + tj]
+
+  explicit BksOp(const BksSiO2& f) : num_types(f.num_types()),
+                                     rcut(f.rcut(2)) {
+    tbl.resize(static_cast<std::size_t>(num_types) * num_types);
+    for (int a = 0; a < num_types; ++a) {
+      for (int b = 0; b < num_types; ++b) {
+        tbl[static_cast<std::size_t>(a) * num_types + b] = f.pair_params(a, b);
+      }
+    }
+  }
+
+  void operator()(const int* ia, const int* ja, const double* r2,
+                  std::span<const int> type, double* e, double* fr) const {
+    alignas(64) double qq[kLanes];
+    alignas(64) double A[kLanes];
+    alignas(64) double b[kLanes];
+    alignas(64) double C[kLanes];
+    alignas(64) double vs[kLanes];
+    alignas(64) double fs[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      const int ti = type[static_cast<std::size_t>(ia[l])];
+      const int tj = type[static_cast<std::size_t>(ja[l])];
+      const BksSiO2::PairParams& p =
+          tbl[static_cast<std::size_t>(ti) * num_types + tj];
+      qq[l] = p.qq_e2;
+      A[l] = p.A;
+      b[l] = p.b;
+      C[l] = p.C;
+      vs[l] = p.v_shift;
+      fs[l] = p.f_shift;
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      const double r = std::sqrt(r2[l]);
+      const double inv_r = 1.0 / r;
+      const double coul = qq[l] * inv_r;
+      const double rep = A[l] * vexp1(-b[l] * r);
+      const double inv_r3 = inv_r * inv_r * inv_r;
+      const double disp = -C[l] * inv_r3 * inv_r3;
+      const double v = coul + rep + disp;
+      const double dv = -coul * inv_r - b[l] * rep - 6.0 * disp * inv_r;
+      e[l] = v - vs[l] - (r - rcut) * fs[l];
+      const double dvdr = dv - fs[l];
+      fr[l] = -dvdr * inv_r;
+    }
+  }
+};
+
+struct VashishtaOp {
+  int num_types;
+  double rcut;
+  int eta_min;  // table etas are {eta_min, eta_min+2, eta_min+4}
+  std::vector<VashishtaSiO2::PairParams> tbl;
+
+  VashishtaOp(const VashishtaSiO2& f, int emin)
+      : num_types(f.num_types()), rcut(f.rcut(2)), eta_min(emin) {
+    tbl.resize(static_cast<std::size_t>(num_types) * num_types);
+    for (int a = 0; a < num_types; ++a) {
+      for (int b = 0; b < num_types; ++b) {
+        tbl[static_cast<std::size_t>(a) * num_types + b] = f.pair_params(a, b);
+      }
+    }
+  }
+
+  void operator()(const int* ia, const int* ja, const double* r2,
+                  std::span<const int> type, double* e, double* fr) const {
+    alignas(64) double eta[kLanes];
+    alignas(64) double H[kLanes];
+    alignas(64) double zz[kLanes];
+    alignas(64) double D[kLanes];
+    alignas(64) double vs[kLanes];
+    alignas(64) double fs[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      const int ti = type[static_cast<std::size_t>(ia[l])];
+      const int tj = type[static_cast<std::size_t>(ja[l])];
+      const VashishtaSiO2::PairParams& p =
+          tbl[static_cast<std::size_t>(ti) * num_types + tj];
+      eta[l] = p.eta;
+      H[l] = p.H;
+      zz[l] = p.zz_e2;
+      D[l] = p.D;
+      vs[l] = p.v_shift;
+      fs[l] = p.f_shift;
+    }
+    const double e_lo = static_cast<double>(eta_min);
+    const double e_mid = static_cast<double>(eta_min + 2);
+    // Screening lengths as negated reciprocals so the loop multiplies
+    // instead of dividing (GCC won't fold x / c into x * (1/c) itself —
+    // ~1 ulp reassociation, inside the parity budget).
+    constexpr double kNegInvL1 = -1.0 / VashishtaSiO2::kLambda1;
+    constexpr double kNegInvL4 = -1.0 / VashishtaSiO2::kLambda4;
+    for (int l = 0; l < kLanes; ++l) {
+      const double r = std::sqrt(r2[l]);
+      const double inv_r = 1.0 / r;
+      // inv_r^eta with a per-lane exponent from {lo, lo+2, lo+4}: one
+      // uniform powi plus an even-step correction selected per lane.
+      const double x_lo = powi(inv_r, eta_min);
+      const double x2 = inv_r * inv_r;
+      const double x4 = x2 * x2;
+      const double pw =
+          x_lo * (eta[l] == e_lo ? 1.0 : (eta[l] == e_mid ? x2 : x4));
+      const double steric = H[l] * pw;
+      const double coul = zz[l] * inv_r * vexp1(r * kNegInvL1);
+      const double inv_r4 = inv_r * inv_r * inv_r * inv_r;
+      const double dip = -D[l] * inv_r4 * vexp1(r * kNegInvL4);
+      const double v = steric + coul + dip;
+      const double dv = -eta[l] * steric * inv_r +
+                        coul * (-inv_r + kNegInvL1) +
+                        dip * (-4.0 * inv_r + kNegInvL4);
+      e[l] = v - vs[l] - (r - rcut) * fs[l];
+      const double dvdr = dv - fs[l];
+      fr[l] = -dvdr * inv_r;
+    }
+  }
+};
+
+/// SW repulsive pair with compile-time exponents.  Runtime exponents
+/// would make the powi bit-selects scalar-conditioned, which the
+/// vectorizer rejects; the bind below instantiates the standard (p=4,
+/// q=0) form and leaves exotic parameterizations to the scalar path.
+template <int P, int Q>
+struct SwPairOp {
+  double sigma, rc, B, Aeps, npB, qv;
+
+  explicit SwPairOp(const StillingerWeber& f) {
+    const SwParams& p = f.params();
+    sigma = p.sigma;
+    rc = f.rc();
+    B = p.B;
+    Aeps = p.A * p.epsilon;
+    npB = -p.p * p.B;
+    qv = p.q;
+  }
+
+  void operator()(const int*, const int*, const double* r2,
+                  std::span<const int>, double* e, double* fr) const {
+    for (int l = 0; l < kLanes; ++l) {
+      const double r = std::sqrt(r2[l]);
+      const double inv_r = 1.0 / r;
+      const double inv_rrc = 1.0 / (r - rc);
+      const double sr = sigma * inv_r;
+      const double srp = powi(sr, P);
+      const double srq = Q == 0 ? 1.0 : powi(sr, Q);
+      const double screen = vexp1(sigma * inv_rrc);
+      const double core = B * srp - srq;
+      e[l] = Aeps * core * screen;
+      const double dvdr =
+          Aeps * screen *
+          ((npB * srp + qv * srq) * inv_r - core * sigma * inv_rrc * inv_rrc);
+      fr[l] = -dvdr * inv_r;
+    }
+  }
+};
+
+}  // namespace
+
+KernelFn bind_pair_kernel(const ForceField& field) {
+  if (const auto* lj = dynamic_cast<const LennardJones*>(&field)) {
+    return [op = LjOp(*lj)](const int* tuples, long long count,
+                            std::span<const Vec3> pos,
+                            std::span<const int> type, double rcut2, Vec3* fd,
+                            std::uint64_t& evals) {
+      return pair_loop(op, tuples, count, pos, type, rcut2, fd, evals);
+    };
+  }
+  if (const auto* morse = dynamic_cast<const Morse*>(&field)) {
+    return [op = MorseOp(*morse)](const int* tuples, long long count,
+                                  std::span<const Vec3> pos,
+                                  std::span<const int> type, double rcut2,
+                                  Vec3* fd, std::uint64_t& evals) {
+      return pair_loop(op, tuples, count, pos, type, rcut2, fd, evals);
+    };
+  }
+  if (const auto* bks = dynamic_cast<const BksSiO2*>(&field)) {
+    return [op = BksOp(*bks)](const int* tuples, long long count,
+                              std::span<const Vec3> pos,
+                              std::span<const int> type, double rcut2,
+                              Vec3* fd, std::uint64_t& evals) {
+      return pair_loop(op, tuples, count, pos, type, rcut2, fd, evals);
+    };
+  }
+  if (const auto* vp = dynamic_cast<const VashishtaSiO2*>(&field)) {
+    // The per-lane exponent select needs the steric exponents to be the
+    // small integers {emin, emin+2, emin+4} (the 1990 SiO2 set is
+    // {7, 9, 11}); anything else keeps the scalar path.
+    int emin = 0, emax = 0;
+    bool ok = true;
+    for (int a = 0; a < vp->num_types() && ok; ++a) {
+      for (int b = 0; b < vp->num_types() && ok; ++b) {
+        const double eta = vp->pair_params(a, b).eta;
+        if (!small_integer(eta)) {
+          ok = false;
+          break;
+        }
+        const int ei = static_cast<int>(eta);
+        if (a == 0 && b == 0) {
+          emin = emax = ei;
+        } else {
+          emin = std::min(emin, ei);
+          emax = std::max(emax, ei);
+        }
+      }
+    }
+    if (ok) {
+      for (int a = 0; a < vp->num_types() && ok; ++a) {
+        for (int b = 0; b < vp->num_types() && ok; ++b) {
+          const int ei = static_cast<int>(vp->pair_params(a, b).eta);
+          ok = ei == emin || ei == emin + 2 || ei == emin + 4;
+        }
+      }
+      ok = ok && emax <= emin + 4;
+    }
+    if (!ok) return {};
+    return [op = VashishtaOp(*vp, emin)](const int* tuples, long long count,
+                                         std::span<const Vec3> pos,
+                                         std::span<const int> type,
+                                         double rcut2, Vec3* fd,
+                                         std::uint64_t& evals) {
+      return pair_loop(op, tuples, count, pos, type, rcut2, fd, evals);
+    };
+  }
+  if (const auto* sw = dynamic_cast<const StillingerWeber*>(&field)) {
+    // Only the standard exponents get a batched instantiation (see
+    // SwPairOp); anything else keeps the scalar path.
+    if (sw->params().p != 4.0 || sw->params().q != 0.0) return {};
+    return [op = SwPairOp<4, 0>(*sw)](const int* tuples, long long count,
+                                      std::span<const Vec3> pos,
+                                      std::span<const int> type, double rcut2,
+                                      Vec3* fd, std::uint64_t& evals) {
+      return pair_loop(op, tuples, count, pos, type, rcut2, fd, evals);
+    };
+  }
+  return {};
+}
+
+}  // namespace scmd::kernels::detail

@@ -1,0 +1,260 @@
+// Batched SoA triplet kernel (docs/KERNELS.md): the screened
+// bond-bending term shared by VashishtaSiO2 and StillingerWeber,
+// reproducing eval_bond_bending (potentials/bond_bending.hpp)
+// expression for expression with vexp1 in place of libm exp.
+//
+// Channel selection — eval_triplet's type-based dispatch (including the
+// zero-strength combinations) — becomes a dense per-type-triple LUT
+// gathered per lane.  Lanes whose geometry passes the chain filter but
+// whose channel is inert (B == 0, or a leg at/beyond the screening
+// cutoff r0) still count as evals, same as the scalar path, and
+// contribute exactly zero.
+//
+// The screening cutoff r0 is well inside the three-body rcut, so on a
+// skin-inflated replay stream only ~10-15% of tuples reach the
+// transcendental math (silica: ~10% of the stream).  Running the full
+// sqrt/div/exp block on every lane therefore loses to the scalar
+// early-out path.  Instead the cheap geometry/LUT pass classifies each
+// lane, and active lanes are compacted into a pending SoA block that
+// runs the expensive loop only when full (plus one masked flush at the
+// end of the stream).  Compaction preserves stream order among active
+// tuples, and inert lanes contribute exactly +0.0, so energy totals and
+// per-atom force sums are bit-identical to the uncompacted kernel.
+// Padding lanes in the final flush replicate a real active lane and are
+// dropped before any scatter.  Compiled with -fno-math-errno for
+// vectorizable sqrt.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "potentials/bond_bending.hpp"
+#include "potentials/stillinger_weber.hpp"
+#include "potentials/vashishta.hpp"
+#include "tuples/kernels/kernels.hpp"
+#include "tuples/kernels/simd.hpp"
+
+namespace scmd::kernels::detail {
+
+namespace {
+
+struct BendOp {
+  int num_types = 0;
+  /// Channel params by chain types: [(t0 * T + t1) * T + t2], center t1.
+  /// Combinations without a channel hold the default (B = 0).
+  std::vector<BondBendingParams> lut;
+
+  /// Pending block of compacted active tuples awaiting the expensive
+  /// loop.  Stack-resident; lives one eval() call.
+  struct Pending {
+    alignas(64) int aa[kLanes];
+    alignas(64) int cc[kLanes];
+    alignas(64) int bb[kLanes];
+    alignas(64) double ux[kLanes];
+    alignas(64) double uy[kLanes];
+    alignas(64) double uz[kLanes];
+    alignas(64) double vx[kLanes];
+    alignas(64) double vy[kLanes];
+    alignas(64) double vz[kLanes];
+    alignas(64) double ru2[kLanes];
+    alignas(64) double rv2[kLanes];
+    alignas(64) double B[kLanes];
+    alignas(64) double cos0[kLanes];
+    alignas(64) double C[kLanes];
+    alignas(64) double gam[kLanes];
+    alignas(64) double r0[kLanes];
+  };
+
+  /// Expensive loop over `m` packed active lanes: full bond-bending
+  /// energy/gradient, scattered in packed (= stream) order.  Lanes
+  /// [m, kLanes) are padding (copies of lane m-1) whose outputs are
+  /// dropped.  Every packed lane has a live channel (B != 0) and both
+  /// legs inside the screening cutoff, so no inert select is needed.
+  void flush(const Pending& p, int m, double& energy, Vec3* fd) const {
+    alignas(64) double el[kLanes];
+    alignas(64) double gax[kLanes];
+    alignas(64) double gay[kLanes];
+    alignas(64) double gaz[kLanes];
+    alignas(64) double gbx[kLanes];
+    alignas(64) double gby[kLanes];
+    alignas(64) double gbz[kLanes];
+    for (int l = 0; l < kLanes; ++l) {
+      // One reciprocal per distinct denominator, multiplied through —
+      // the straight / forms cost ~12 divisions per lane and dominate
+      // the vectorized loop.  Each substitution is a ~1 ulp
+      // reassociation of the scalar expression, inside the parity
+      // budget (docs/KERNELS.md).
+      const double ru = std::sqrt(p.ru2[l]);
+      const double rv = std::sqrt(p.rv2[l]);
+      const double inv_ru = 1.0 / ru;
+      const double inv_rv = 1.0 / rv;
+      const double du = ru - p.r0[l];
+      const double dw = rv - p.r0[l];
+      const double inv_du = 1.0 / du;
+      const double inv_dw = 1.0 / dw;
+      const double fu = vexp1(p.gam[l] * inv_du);
+      const double fv = vexp1(p.gam[l] * inv_dw);
+      const double dfu = -p.gam[l] * inv_du * inv_du * fu;
+      const double dfv = -p.gam[l] * inv_dw * inv_dw * fv;
+      const double inv_rurv = inv_ru * inv_rv;
+      const double cos_t =
+          (p.ux[l] * p.vx[l] + p.uy[l] * p.vy[l] + p.uz[l] * p.vz[l]) *
+          inv_rurv;
+      const double delta = cos_t - p.cos0[l];
+      const double denom = 1.0 + p.C[l] * delta * delta;
+      const double inv_denom = 1.0 / denom;
+      const double g = delta * delta * inv_denom;
+      const double dg = 2.0 * delta * inv_denom * inv_denom;
+      const double e = p.B[l] * fu * fv * g;
+      const double cu = cos_t * inv_ru * inv_ru;
+      const double cv = cos_t * inv_rv * inv_rv;
+      const double ca = p.B[l] * dfu * fv * g * inv_ru;
+      const double cb = p.B[l] * fu * dfv * g * inv_rv;
+      const double cg = p.B[l] * fu * fv * dg;
+      // grad_a = ca*u + cg*dcos_da, dcos_da = v*inv_rurv − u*cu
+      el[l] = e;
+      gax[l] = ca * p.ux[l] + cg * (p.vx[l] * inv_rurv - p.ux[l] * cu);
+      gay[l] = ca * p.uy[l] + cg * (p.vy[l] * inv_rurv - p.uy[l] * cu);
+      gaz[l] = ca * p.uz[l] + cg * (p.vz[l] * inv_rurv - p.uz[l] * cu);
+      gbx[l] = cb * p.vx[l] + cg * (p.ux[l] * inv_rurv - p.vx[l] * cv);
+      gby[l] = cb * p.vy[l] + cg * (p.uy[l] * inv_rurv - p.vy[l] * cv);
+      gbz[l] = cb * p.vz[l] + cg * (p.uz[l] * inv_rurv - p.vz[l] * cv);
+    }
+    for (int l = 0; l < m; ++l) {
+      energy += el[l];
+      Vec3& fa = fd[p.aa[l]];
+      Vec3& fb = fd[p.bb[l]];
+      Vec3& fc = fd[p.cc[l]];
+      fa.x -= gax[l];
+      fa.y -= gay[l];
+      fa.z -= gaz[l];
+      fb.x -= gbx[l];
+      fb.y -= gby[l];
+      fb.z -= gbz[l];
+      fc.x += gax[l] + gbx[l];
+      fc.y += gay[l] + gby[l];
+      fc.z += gaz[l] + gbz[l];
+    }
+  }
+
+  double eval(const int* tuples, long long count, std::span<const Vec3> pos,
+              std::span<const int> type, double rcut2, Vec3* fd,
+              std::uint64_t& evals) const {
+    double energy = 0.0;
+    std::uint64_t ev = 0;
+    const int T = num_types;
+    Pending pend;
+    int np = 0;
+    // Classification is one scalar pass: the position loads are
+    // index-gathers the portable baseline cannot vectorize anyway, and
+    // keeping u/v in registers avoids staging SoA blocks that ~90% of
+    // tuples never use.
+    for (long long i = 0; i < count; ++i) {
+      // Chain (t0, t1, t2): t1 is the angle center (apex).
+      const int a = tuples[3 * i];
+      const int c = tuples[3 * i + 1];
+      const int b = tuples[3 * i + 2];
+      const Vec3& rc_ = pos[static_cast<std::size_t>(c)];
+      const Vec3 u = pos[static_cast<std::size_t>(a)] - rc_;
+      const Vec3 v = pos[static_cast<std::size_t>(b)] - rc_;
+      // u = -(leg c-a), v = leg b-c up to the chain direction; squares
+      // match the enumerator's leg norms bitwise either way.
+      const double ru2 = u.norm2();
+      const double rv2 = v.norm2();
+      if (!(ru2 < rcut2 && rv2 < rcut2)) continue;
+      ++ev;
+      const BondBendingParams& p =
+          lut[static_cast<std::size_t>((type[static_cast<std::size_t>(a)] * T +
+                                        type[static_cast<std::size_t>(c)]) *
+                                           T +
+                                       type[static_cast<std::size_t>(b)])];
+      // Inert tuples (no channel, or a leg at/past the screening
+      // cutoff r0) contribute exactly zero — the scalar early-outs.
+      // r < r0 is compared as squares to avoid a sqrt on the ~90%
+      // inert majority; rounding can flip the verdict only within an
+      // ulp of the boundary, where the screening factor exp(γ/(r−r0))
+      // underflows to zero and the contribution vanishes either way.
+      if (p.B == 0.0 || !(ru2 < p.r0 * p.r0) || !(rv2 < p.r0 * p.r0)) {
+        continue;
+      }
+      pend.aa[np] = a;
+      pend.cc[np] = c;
+      pend.bb[np] = b;
+      pend.ux[np] = u.x;
+      pend.uy[np] = u.y;
+      pend.uz[np] = u.z;
+      pend.vx[np] = v.x;
+      pend.vy[np] = v.y;
+      pend.vz[np] = v.z;
+      pend.ru2[np] = ru2;
+      pend.rv2[np] = rv2;
+      pend.B[np] = p.B;
+      pend.cos0[np] = p.cos_theta0;
+      pend.C[np] = p.C;
+      pend.gam[np] = p.gamma;
+      pend.r0[np] = p.r0;
+      if (++np == kLanes) {
+        flush(pend, kLanes, energy, fd);
+        np = 0;
+      }
+    }
+    if (np > 0) {
+      // Pad with copies of the last active lane; flush drops them.
+      for (int l = np; l < kLanes; ++l) {
+        pend.aa[l] = pend.aa[np - 1];
+        pend.cc[l] = pend.cc[np - 1];
+        pend.bb[l] = pend.bb[np - 1];
+        pend.ux[l] = pend.ux[np - 1];
+        pend.uy[l] = pend.uy[np - 1];
+        pend.uz[l] = pend.uz[np - 1];
+        pend.vx[l] = pend.vx[np - 1];
+        pend.vy[l] = pend.vy[np - 1];
+        pend.vz[l] = pend.vz[np - 1];
+        pend.ru2[l] = pend.ru2[np - 1];
+        pend.rv2[l] = pend.rv2[np - 1];
+        pend.B[l] = pend.B[np - 1];
+        pend.cos0[l] = pend.cos0[np - 1];
+        pend.C[l] = pend.C[np - 1];
+        pend.gam[l] = pend.gam[np - 1];
+        pend.r0[l] = pend.r0[np - 1];
+      }
+      flush(pend, np, energy, fd);
+    }
+    evals += ev;
+    return energy;
+  }
+};
+
+}  // namespace
+
+KernelFn bind_triplet_kernel(const ForceField& field) {
+  BendOp op;
+  if (const auto* vp = dynamic_cast<const VashishtaSiO2*>(&field)) {
+    op.num_types = vp->num_types();
+    const int T = op.num_types;
+    op.lut.assign(static_cast<std::size_t>(T) * T * T, BondBendingParams{});
+    for (int i = 0; i < T; ++i) {
+      for (int j = 0; j < T; ++j) {
+        for (int k = 0; k < T; ++k) {
+          const BondBendingParams* p = vp->bend_channel(i, j, k);
+          if (p != nullptr) {
+            op.lut[static_cast<std::size_t>((i * T + j) * T + k)] = *p;
+          }
+        }
+      }
+    }
+  } else if (const auto* sw = dynamic_cast<const StillingerWeber*>(&field)) {
+    op.num_types = 1;
+    op.lut.assign(1, sw->bend());
+  } else {
+    return {};
+  }
+  return [op = std::move(op)](const int* tuples, long long count,
+                              std::span<const Vec3> pos,
+                              std::span<const int> type, double rcut2,
+                              Vec3* fd, std::uint64_t& evals) {
+    return op.eval(tuples, count, pos, type, rcut2, fd, evals);
+  };
+}
+
+}  // namespace scmd::kernels::detail

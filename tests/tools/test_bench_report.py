@@ -92,6 +92,39 @@ class BenchReportTest(unittest.TestCase):
         proc = self.run_report(b, c)
         self.assertEqual(proc.returncode, 2)
 
+    def gbench_doc(self, time_ns, items_per_sec, time_unit="ns"):
+        return {"context": {"host_name": "x"}, "benchmarks": [
+            {"name": "BM_KernelReplay/2/0", "run_type": "iteration",
+             "real_time": time_ns, "cpu_time": time_ns,
+             "time_unit": time_unit, "items_per_second": items_per_sec},
+            {"name": "BM_KernelReplay/2/0_mean", "run_type": "aggregate",
+             "real_time": 1.0, "cpu_time": 1.0, "time_unit": time_unit},
+        ]}
+
+    def test_gbench_format_gates_on_slowdown(self):
+        # google-benchmark JSON on both sides: real_time lower-is-better,
+        # items_per_second higher-is-better; aggregates are skipped.
+        b = self.write("b.json", self.gbench_doc(1000.0, 5.0e7))
+        c = self.write("c.json", self.gbench_doc(1500.0, 3.3e7))
+        self.assertEqual(self.run_report(b, c, "--max-regress", "60")
+                         .returncode, 0)
+        proc = self.run_report(b, c, "--max-regress", "25")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("BM_KernelReplay/2/0", proc.stderr)
+        self.assertNotIn("_mean", proc.stdout)
+
+    def test_gbench_time_units_normalise(self):
+        # 1000 ns and 1 us are the same time; no regression either way.
+        b = self.write("b.json", self.gbench_doc(1000.0, 5.0e7, "ns"))
+        c = self.write("c.json", self.gbench_doc(1.0, 5.0e7, "us"))
+        self.assertEqual(self.run_report(b, c, "--max-regress", "1")
+                         .returncode, 0)
+
+    def test_gbench_vs_walltime_kinds_differ(self):
+        b = self.write("b.json", self.gbench_doc(1000.0, 5.0e7))
+        c = self.write("c.json", walltime_doc(40.0, 25.0))
+        self.assertEqual(self.run_report(b, c).returncode, 2)
+
     def test_invalid_json_fails(self):
         b = self.write("b.json", walltime_doc(40.0, 25.0))
         c = os.path.join(self.dir.name, "broken.json")

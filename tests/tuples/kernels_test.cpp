@@ -1,0 +1,230 @@
+// Batched-kernel parity (docs/KERNELS.md): for every specialized
+// potential and every arity, the batched SoA kernel must agree with the
+// scalar fallback on the same recorded tuple stream — identical eval
+// counts (the mask criterion is bitwise the enumerator's test) and
+// energies/forces within the documented numerical contract (vexp1 and
+// powi replace libm, ≤ a few ulp).  Plus: the vexp1/powi primitives
+// against libm directly, and a cached-replay engine run in both modes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "cell/domain.hpp"
+#include "engines/serial_engine.hpp"
+#include "engines/tuple_strategy.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "pattern/generate.hpp"
+#include "potentials/bks.hpp"
+#include "potentials/dihedral.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/morse.hpp"
+#include "potentials/stillinger_weber.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/rng.hpp"
+#include "tuples/kernels/kernels.hpp"
+#include "tuples/kernels/simd.hpp"
+#include "tuples/ucp.hpp"
+
+namespace scmd {
+namespace {
+
+constexpr double kRelTol = 1e-10;
+
+/// Evaluate every arity of `field` over a skin-inflated recorded tuple
+/// stream (the replay shape) in both kernel modes and require parity.
+void expect_mode_parity(const ForceField& field, const ParticleSystem& sys,
+                        double skin) {
+  const kernels::BoundKernels batched(field, kernels::KernelMode::kAuto);
+  const kernels::BoundKernels scalar(field, kernels::KernelMode::kScalar);
+  for (int n = 2; n <= field.max_n(); ++n) {
+    if (field.rcut(n) <= 0.0) continue;  // no n-body term (ChainDihedral n=3)
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const Pattern psi = make_sc(n);
+    const CellGrid grid(sys.box(), field.rcut(n) + skin);
+    const CellDomain dom = make_serial_domain(grid, halo_for(psi),
+                                              sys.positions(), sys.types());
+    const CompiledPattern cp(psi);
+    std::vector<int> rec;
+    for_each_tuple(dom, cp, field.rcut(n) + skin,
+                   [&](std::span<const int> t) {
+                     rec.insert(rec.end(), t.begin(), t.end());
+                   },
+                   nullptr);
+    const long long count = static_cast<long long>(rec.size()) / n;
+    ASSERT_GT(count, 100) << "workload too sparse to be a real check";
+    const double rcut2 = field.rcut(n) * field.rcut(n);
+
+    std::vector<Vec3> fa(dom.positions().size());
+    std::vector<Vec3> fs(dom.positions().size());
+    std::uint64_t eva = 0;
+    std::uint64_t evs = 0;
+    const double ea = batched.eval(n, rec.data(), count, dom.positions(),
+                                   dom.types(), rcut2, fa.data(), eva);
+    const double es = scalar.eval(n, rec.data(), count, dom.positions(),
+                                  dom.types(), rcut2, fs.data(), evs);
+
+    // The exact-rcut mask must agree tuple for tuple, not just in sum.
+    EXPECT_EQ(eva, evs);
+    EXPECT_GT(evs, 0u);
+    EXPECT_NEAR(ea, es, kRelTol * std::abs(es) + kRelTol);
+
+    // Forces: relative to the largest component so near-cancelling
+    // per-atom sums don't demand absolute precision the contract never
+    // promised.
+    double fmax = 0.0;
+    for (const Vec3& f : fs) {
+      fmax = std::max({fmax, std::abs(f.x), std::abs(f.y), std::abs(f.z)});
+    }
+    const double ftol = kRelTol * std::max(fmax, 1.0);
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      ASSERT_NEAR(fa[i].x, fs[i].x, ftol) << i;
+      ASSERT_NEAR(fa[i].y, fs[i].y, ftol) << i;
+      ASSERT_NEAR(fa[i].z, fs[i].z, ftol) << i;
+    }
+  }
+}
+
+TEST(KernelParityTest, VashishtaSilica) {
+  Rng rng(11);
+  const ParticleSystem sys = make_silica(648, 2.2, 600.0, rng);
+  const VashishtaSiO2 field;
+  const kernels::BoundKernels k(field, kernels::KernelMode::kAuto);
+  EXPECT_TRUE(k.specialized(2));
+  EXPECT_TRUE(k.specialized(3));
+  expect_mode_parity(field, sys, 0.4);
+}
+
+TEST(KernelParityTest, BksSilica) {
+  Rng rng(12);
+  const ParticleSystem sys = make_silica(648, 2.2, 600.0, rng);
+  const BksSiO2 field;
+  EXPECT_TRUE(
+      kernels::BoundKernels(field, kernels::KernelMode::kAuto).specialized(2));
+  expect_mode_parity(field, sys, 0.4);
+}
+
+TEST(KernelParityTest, LennardJonesGas) {
+  Rng rng(13);
+  const LennardJones field;
+  const ParticleSystem sys = make_gas(field, 400, 4.0, 1.0, rng);
+  EXPECT_TRUE(
+      kernels::BoundKernels(field, kernels::KernelMode::kAuto).specialized(2));
+  expect_mode_parity(field, sys, 0.2);
+}
+
+TEST(KernelParityTest, MorseGas) {
+  Rng rng(14);
+  const Morse field;
+  const ParticleSystem sys = make_gas(field, 400, 4.0, 50.0, rng);
+  EXPECT_TRUE(
+      kernels::BoundKernels(field, kernels::KernelMode::kAuto).specialized(2));
+  expect_mode_parity(field, sys, 0.4);
+}
+
+TEST(KernelParityTest, StillingerWeberGas) {
+  Rng rng(15);
+  const StillingerWeber field;
+  const ParticleSystem sys = make_gas(field, 300, 4.0, 300.0, rng);
+  const kernels::BoundKernels k(field, kernels::KernelMode::kAuto);
+  EXPECT_TRUE(k.specialized(2));
+  EXPECT_TRUE(k.specialized(3));
+  expect_mode_parity(field, sys, 0.3);
+}
+
+TEST(KernelParityTest, ChainDihedralFallsBackAtEveryArity) {
+  // No batched kernel exists for this field; kAuto must be the scalar
+  // path (trivial parity) through n = 4, covering the arity-unrolled
+  // fallback loops.
+  Rng rng(16);
+  const ChainDihedral field;
+  const ParticleSystem sys =
+      make_gas(field, 300, 3.0, 0.02 / units::kBoltzmann / 300.0, rng);
+  const kernels::BoundKernels k(field, kernels::KernelMode::kAuto);
+  EXPECT_FALSE(k.specialized(2));
+  EXPECT_FALSE(k.specialized(3));
+  EXPECT_FALSE(k.specialized(4));
+  expect_mode_parity(field, sys, 0.1);
+}
+
+TEST(KernelPrimitivesTest, Vexp1MatchesLibmOverKernelRange) {
+  // Kernel arguments: Morse/SW/bend exponents are mostly in [-60, 5];
+  // sweep well past both ends, through the clamp regions.
+  for (double x = -750.0; x <= 60.0; x += 0.37) {
+    const double want = std::exp(x);
+    const double got = kernels::vexp1(x);
+    ASSERT_NEAR(got, want, 4e-15 * want + 1e-300) << "x=" << x;
+  }
+  // The low clamp saturates to exp(-708.39) ~ 2e-308, never NaN; the
+  // high clamp saturates to huge (inf once 2^n overflows the exponent
+  // field) — kernel arguments never reach it.
+  EXPECT_LT(kernels::vexp1(-1000.0), 1e-307);
+  EXPECT_GT(kernels::vexp1(-1000.0), 0.0);
+  EXPECT_GT(kernels::vexp1(1000.0), 1e308);
+  EXPECT_FALSE(std::isnan(kernels::vexp1(1000.0)));
+}
+
+TEST(KernelPrimitivesTest, PowiMatchesPow) {
+  for (int e = 0; e <= 31; ++e) {
+    for (double x : {0.3, 0.97, 1.0, 1.8, 7.5}) {
+      const double want = std::pow(x, e);
+      ASSERT_NEAR(kernels::powi(x, e), want, 1e-13 * want) << x << "^" << e;
+    }
+  }
+  EXPECT_TRUE(kernels::small_integer(7.0));
+  EXPECT_FALSE(kernels::small_integer(7.5));
+  EXPECT_FALSE(kernels::small_integer(-2.0));
+}
+
+TEST(KernelModeTest, CachedReplayLockstepAcrossModes) {
+  // A cached MD run (rebuilds + replays) must stay in numerical
+  // lockstep whether replay uses the batched kernels or the scalar
+  // fallback — same trajectory to the parity tolerance at every step.
+  const VashishtaSiO2 field;
+  Rng rng(310);
+  const ParticleSystem initial = make_silica(648, 2.2, 400.0, rng);
+
+  auto run = [&](kernels::KernelMode mode) {
+    ParticleSystem sys = initial;
+    SerialEngineConfig cfg;
+    cfg.dt = 0.5 * units::kFemtosecond;
+    cfg.tuple_cache.enabled = true;
+    cfg.tuple_cache.skin = 0.15;
+    auto strategy = make_strategy("SC", field);
+    dynamic_cast<TupleStrategy&>(*strategy).set_kernel_mode(mode);
+    SerialEngine engine(sys, field, std::move(strategy), cfg);
+    std::vector<double> energies;
+    for (int s = 0; s < 25; ++s) {
+      engine.step();
+      energies.push_back(engine.potential_energy());
+    }
+    EXPECT_GE(engine.counters().cache_rebuilds, 1u);
+    EXPECT_GT(engine.counters().cache_replayed, 0u);
+    return energies;
+  };
+
+  const std::vector<double> auto_e = run(kernels::KernelMode::kAuto);
+  const std::vector<double> scalar_e = run(kernels::KernelMode::kScalar);
+  ASSERT_EQ(auto_e.size(), scalar_e.size());
+  for (std::size_t s = 0; s < auto_e.size(); ++s) {
+    // Per-step divergence stays at kernel-parity scale; it cannot
+    // compound into trajectory separation over this window.
+    EXPECT_NEAR(auto_e[s], scalar_e[s], 1e-8 * std::abs(scalar_e[s]) + 1e-8)
+        << "step " << s;
+  }
+}
+
+TEST(KernelModeTest, EnvVarForcesScalar) {
+  ::setenv("SCMD_KERNELS", "scalar", 1);
+  EXPECT_EQ(kernels::mode_from_env(), kernels::KernelMode::kScalar);
+  ::setenv("SCMD_KERNELS", "auto", 1);
+  EXPECT_EQ(kernels::mode_from_env(), kernels::KernelMode::kAuto);
+  ::unsetenv("SCMD_KERNELS");
+  EXPECT_EQ(kernels::mode_from_env(), kernels::KernelMode::kAuto);
+}
+
+}  // namespace
+}  // namespace scmd

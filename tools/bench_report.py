@@ -8,6 +8,11 @@ metric, direction-aware (lower is better for ms_per_step / us_per_msg,
 higher is better for steps_per_sec / msg_rate / bandwidth_mbps), and
 can gate on a maximum regression percentage.
 
+google-benchmark output (bench_micro --benchmark_out=FILE) is also
+accepted on either side: its {"benchmarks": [...]} list is normalised
+into a case map keyed by benchmark name, carrying real_time_ns (lower
+is better) and items_per_second (higher is better).
+
 Usage:
     bench_report.py --baseline results/BENCH_walltime.json \
                     --current bench_walltime.json \
@@ -31,9 +36,11 @@ HIGHER_IS_BETTER = {
     "ms_per_step": False,
     "us_per_msg": False,
     "search_per_step": False,
+    "real_time_ns": False,
     "steps_per_sec": True,
     "msg_rate": True,
     "bandwidth_mbps": True,
+    "items_per_second": True,
 }
 
 
@@ -42,12 +49,39 @@ def fail(msg, code=2):
     sys.exit(code)
 
 
+def normalize_gbench(doc, path):
+    """google-benchmark --benchmark_out JSON -> bench-summary shape.
+
+    Per-iteration runs become cases keyed by benchmark name; aggregate
+    rows (mean/median/stddev from --benchmark_repetitions) are skipped
+    so repeated runs gate on the same keys as single ones.
+    """
+    cases = {}
+    for run in doc["benchmarks"]:
+        if run.get("run_type", "iteration") != "iteration":
+            continue
+        if not isinstance(run.get("name"), str):
+            fail(f"{path}: benchmark entry without a name")
+        # Times are normalised to ns regardless of the run's time_unit.
+        unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+            run.get("time_unit", "ns"))
+        if unit_ns is None:
+            fail(f"{path}: unknown time_unit in {run['name']!r}")
+        case = {"real_time_ns": run["real_time"] * unit_ns}
+        if "items_per_second" in run:
+            case["items_per_second"] = run["items_per_second"]
+        cases[run["name"]] = case
+    return {"bench": "google-benchmark", "variants": cases}
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
+    if isinstance(doc, dict) and isinstance(doc.get("benchmarks"), list):
+        return normalize_gbench(doc, path)
     if not isinstance(doc, dict) or "bench" not in doc:
         fail(f"{path}: not a bench summary (missing 'bench' key)")
     return doc
@@ -117,18 +151,18 @@ def main():
 
     print(f"bench_report: {base_doc['bench']}  "
           f"baseline={args.baseline}  current={args.current}")
-    print(f"{'case':<16} {'metric':<16} {'baseline':>12} {'current':>12} "
+    print(f"{'case':<24} {'metric':<16} {'baseline':>12} {'current':>12} "
           f"{'regress %':>10}")
     worst = None
     for case, metric, base, cur, regress in rows:
         if regress is None:
-            print(f"{case:<16} {metric:<16} "
+            print(f"{case:<24} {metric:<16} "
                   f"{'-' if base is None else f'{base:>12.4g}'} "
                   f"{'MISSING':>12}")
             fail(f"{case}.{metric}: present in baseline, absent in current")
         marker = " <-- regressed" if args.max_regress is not None and \
             regress > args.max_regress else ""
-        print(f"{case:<16} {metric:<16} {base:>12.4g} {cur:>12.4g} "
+        print(f"{case:<24} {metric:<16} {base:>12.4g} {cur:>12.4g} "
               f"{regress:>+10.1f}{marker}")
         if worst is None or regress > worst[4]:
             worst = (case, metric, base, cur, regress)
