@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/inproc.hpp"
+#include "net/tags.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
 #include "obs/transport_metrics.hpp"
@@ -34,6 +35,7 @@
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/table.hpp"
+#include "support/thread_safety.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -54,7 +56,7 @@ void run_ranks(const std::string& backend, int P,
     std::tie(rendezvous_fd, rendezvous_port) =
         bind_listener("127.0.0.1", 0);
   }
-  std::mutex agg_m;
+  Mutex agg_m;
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) {
@@ -75,7 +77,7 @@ void run_ranks(const std::string& backend, int P,
         }
         fn(*t);
         if (agg) {
-          std::lock_guard<std::mutex> lk(agg_m);
+          MutexLock lk(agg_m);
           *agg += t->stats();
         }
       } catch (...) {
@@ -97,13 +99,18 @@ struct Measurement {
 };
 
 /// Rank 0 <-> rank 1 ping-pong: latency and message rate for `bytes`
+/// Scratch channels from the registry's bench window (net/tags.hpp).
+constexpr int kPing = tags::bench_tag(0);
+constexpr int kPong = tags::bench_tag(1);
+constexpr int kMesh = tags::bench_tag(2);
+
 /// payloads.  Other ranks idle at the barriers.
 Measurement ping_pong(const std::string& backend, int P, int rounds,
                       std::size_t bytes) {
   Measurement m;
   m.messages = 2ull * static_cast<std::uint64_t>(rounds);
   m.bytes = m.messages * bytes;
-  std::mutex time_m;
+  Mutex time_m;
   run_ranks(
       backend, P,
       [&](Transport& t) {
@@ -112,16 +119,16 @@ Measurement ping_pong(const std::string& backend, int P, int rounds,
         Timer timer;
         for (int i = 0; i < rounds; ++i) {
           if (t.rank() == 0) {
-            t.send(1, 1, payload);
-            payload = t.recv(1, 2);
+            t.send(1, kPing, payload);
+            payload = t.recv(1, kPong);
           } else if (t.rank() == 1) {
-            payload = t.recv(0, 1);
-            t.send(0, 2, payload);
+            payload = t.recv(0, kPing);
+            t.send(0, kPong, payload);
           }
         }
         t.barrier();
         if (t.rank() == 0) {
-          std::lock_guard<std::mutex> lk(time_m);
+          MutexLock lk(time_m);
           m.seconds = timer.seconds();
         }
       },
@@ -138,7 +145,7 @@ Measurement all_to_all(const std::string& backend, int P, int rounds,
                static_cast<std::uint64_t>(P) *
                static_cast<std::uint64_t>(P - 1);
   m.bytes = m.messages * bytes;
-  std::mutex time_m;
+  Mutex time_m;
   run_ranks(
       backend, P,
       [&](Transport& t) {
@@ -147,15 +154,15 @@ Measurement all_to_all(const std::string& backend, int P, int rounds,
         Timer timer;
         for (int i = 0; i < rounds; ++i) {
           for (int dst = 0; dst < P; ++dst) {
-            if (dst != t.rank()) t.send(dst, 3, payload);
+            if (dst != t.rank()) t.send(dst, kMesh, payload);
           }
           for (int src = 0; src < P; ++src) {
-            if (src != t.rank()) t.recv(src, 3);
+            if (src != t.rank()) t.recv(src, kMesh);
           }
         }
         t.barrier();
         if (t.rank() == 0) {
-          std::lock_guard<std::mutex> lk(time_m);
+          MutexLock lk(time_m);
           m.seconds = timer.seconds();
         }
       },

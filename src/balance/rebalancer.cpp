@@ -6,15 +6,12 @@
 
 #include "balance/cost_field.hpp"
 #include "balance/solver.hpp"
+#include "net/tags.hpp"
 #include "support/error.hpp"
 
 namespace scmd {
 
 namespace {
-
-// Tag block after the exchange's import/write-back/migrate bases.
-constexpr int kTagCostGather = 400;
-constexpr int kTagPlanBcast = 401;
 
 /// Sparse cost entry on the wire (rank -> solver rank).
 struct CostEntry {
@@ -108,14 +105,19 @@ void Rebalancer::rebalance(Comm& comm, RankEngine& engine) {
     std::vector<CostEntry> entries;
     for (const auto& [idx, val] : local.sparse())
       entries.push_back({idx, val});
-    comm.send(0, kTagCostGather, pack(entries));
-    plan = unpack<double>(comm.recv(0, kTagPlanBcast));
+    comm.send(0, tags::kBalanceCostGather, pack(entries));
+    plan = unpack<double>(comm.recv(0, tags::kBalancePlanBcast));
+    SCMD_REQUIRE(plan.size() >= 5, "malformed balance plan broadcast");
   } else {
     std::vector<double> field = local.values();
     for (int r = 1; r < P; ++r) {
-      const auto entries = unpack<CostEntry>(comm.recv(r, kTagCostGather));
-      for (const CostEntry& e : entries)
+      const auto entries = unpack<CostEntry>(comm.recv(r, tags::kBalanceCostGather));
+      for (const CostEntry& e : entries) {
+        SCMD_REQUIRE(e.index >= 0 &&
+                         static_cast<std::size_t>(e.index) < field.size(),
+                     "cost-gather entry indexes outside the fine lattice");
         field[static_cast<std::size_t>(e.index)] += e.value;
+      }
     }
     const auto limits = width_limits_for(res, reaches);
     const BalanceSolution sol = solve_balanced_cuts(field, res, P, limits);
@@ -135,7 +137,7 @@ void Rebalancer::rebalance(Comm& comm, RankEngine& engine) {
     }
     for (int r = 1; r < P; ++r) {
       Bytes payload = pack(plan);
-      comm.send(r, kTagPlanBcast, std::move(payload));
+      comm.send(r, tags::kBalancePlanBcast, std::move(payload));
     }
   }
 

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "support/thread_safety.hpp"
+
 namespace scmd::check {
 
 namespace detail {
@@ -12,7 +14,8 @@ std::atomic<bool> g_enabled{false};
 
 namespace {
 
-Options g_options;
+Mutex g_options_m;
+Options g_options SCMD_GUARDED_BY(g_options_m);
 std::atomic<std::uint64_t> g_checks_passed{0};
 
 thread_local int t_rank = -1;
@@ -21,17 +24,23 @@ thread_local std::vector<const char*> t_scopes;
 }  // namespace
 
 void set_options(const Options& options) {
-  g_options = options;
+  {
+    const MutexLock lock(g_options_m);
+    g_options = options;
+  }
   detail::g_enabled.store(options.enabled, std::memory_order_relaxed);
 }
 
-const Options& options() { return g_options; }
+Options options() {
+  const MutexLock lock(g_options_m);
+  return g_options;
+}
 
 bool init_from_env() {
   if (const char* v = std::getenv("SCMD_CHECK")) {
     const std::string s(v);
     if (s == "1" || s == "on" || s == "true") {
-      Options o = g_options;
+      Options o = options();
       o.enabled = true;
       set_options(o);
     }
@@ -95,7 +104,7 @@ void fail_invariant(const char* expr, const std::string& msg,
   report += file;
   report += ":";
   report += std::to_string(line);
-  if (g_options.action == FailureAction::kThrow)
+  if (options().action == FailureAction::kThrow)
     throw InvariantViolation(report);
   std::fprintf(stderr, "SCMD_INVARIANT failure:\n%s\n", report.c_str());
   std::fflush(stderr);

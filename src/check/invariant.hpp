@@ -43,8 +43,9 @@ enum class FailureAction {
   kThrow,  ///< throw InvariantViolation with the report text
 };
 
-/// Checker configuration.  Set once before a run; not thread-safe to
-/// mutate while engine threads are checking.
+/// Checker configuration.  Set once before a run; set_options() and
+/// options() synchronize on an internal lock, so a mid-run mutation is
+/// safe (check sites see either the old or the new snapshot).
 struct Options {
   bool enabled = false;
   FailureAction action = FailureAction::kAbort;
@@ -76,8 +77,9 @@ struct Options {
 /// by every check site.
 void set_options(const Options& options);
 
-/// The active options (read-only; mutate via set_options).
-const Options& options();
+/// A snapshot of the active options, copied under the options lock
+/// (mutate via set_options).
+Options options();
 
 namespace detail {
 extern std::atomic<bool> g_enabled;

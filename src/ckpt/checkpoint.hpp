@@ -39,10 +39,8 @@
 
 namespace scmd::ckpt {
 
-/// Transport tags reserved for durability collectives (the 940s; above
-/// the 930s telemetry tags, below the TCP collective tag).
-constexpr int kTagSnapshotAtoms = 940;  ///< per-rank atom gather to rank 0
-constexpr int kTagRestoreBlob = 941;    ///< rank-0 checkpoint broadcast
+/// The durability collectives run on the tags::kSnapshotAtoms /
+/// tags::kRestoreBlob channels of the central registry (net/tags.hpp).
 
 /// Simulation clock: where the run is and where it is going.
 struct SimClock {

@@ -121,7 +121,7 @@ TupleStrategy::ScratchPool::Buf TupleStrategy::ScratchPool::checkout(
     std::size_t size) {
   Buf buf;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     if (!free_.empty()) {
       buf = std::move(free_.back());
       free_.pop_back();
@@ -132,7 +132,7 @@ TupleStrategy::ScratchPool::Buf TupleStrategy::ScratchPool::checkout(
 }
 
 void TupleStrategy::ScratchPool::checkin(Buf&& buf) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   free_.push_back(std::move(buf));
 }
 

@@ -20,11 +20,11 @@
 /// rank engines both funnel through here, so they share the kernels
 /// automatically.
 
-#include <mutex>
 #include <vector>
 
 #include "engines/strategy.hpp"
 #include "support/aligned.hpp"
+#include "support/thread_safety.hpp"
 #include "tuples/kernels/kernels.hpp"
 #include "tuples/tuple_list.hpp"
 #include "tuples/ucp.hpp"
@@ -107,8 +107,8 @@ class TupleStrategy final : public ForceStrategy {
     void checkin(Buf&& buf);
 
    private:
-    std::mutex mu_;
-    std::vector<Buf> free_;
+    Mutex mu_;
+    std::vector<Buf> free_ SCMD_GUARDED_BY(mu_);
   };
 
   /// The kernel table for `field`: the construction-bound table when the

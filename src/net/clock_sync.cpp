@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "net/tags.hpp"
 #include "obs/telemetry.hpp"
 #include "support/error.hpp"
 
@@ -19,8 +20,8 @@ std::vector<ClockEstimate> estimate_clock_offsets(
     // Reply *immediately* — every instruction between recv and send
     // widens the root's RTT and with it the uncertainty bound.
     for (int round = 0; round < rounds; ++round) {
-      transport.recv(0, obs::kTagClockPing);
-      transport.send(0, obs::kTagClockPong,
+      transport.recv(0, tags::kClockPing);
+      transport.send(0, tags::kClockPong,
                      pack(std::vector<double>{now_us()}));
     }
     transport.barrier();
@@ -32,8 +33,8 @@ std::vector<ClockEstimate> estimate_clock_offsets(
     double best_rtt = std::numeric_limits<double>::infinity();
     for (int round = 0; round < rounds; ++round) {
       const double t0 = now_us();
-      transport.send(r, obs::kTagClockPing, Bytes{});
-      const auto reply = unpack<double>(transport.recv(r, obs::kTagClockPong));
+      transport.send(r, tags::kClockPing, Bytes{});
+      const auto reply = unpack<double>(transport.recv(r, tags::kClockPong));
       const double t1 = now_us();
       SCMD_REQUIRE(reply.size() == 1, "malformed clock-sync pong");
       const double rtt = t1 - t0;

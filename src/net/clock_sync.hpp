@@ -37,7 +37,7 @@ struct ClockEstimate {
 
 /// Collective offset estimation.  Rank 0 returns one estimate per rank
 /// (its own is exactly {0, 0}); every other rank serves the exchange and
-/// returns an empty vector.  Uses the reserved kTagClockPing/Pong tags.
+/// returns an empty vector.  Uses the reserved tags::kClockPing/kClockPong channels.
 std::vector<ClockEstimate> estimate_clock_offsets(
     Transport& transport, const std::function<double()>& now_us,
     int rounds = 16);

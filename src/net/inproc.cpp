@@ -22,13 +22,13 @@ InProcTransport& Cluster::transport(int rank) {
 void Cluster::send(int src, int dst, int tag, Bytes payload) {
   SCMD_REQUIRE(dst >= 0 && dst < num_ranks_, "send to invalid rank");
   {
-    std::lock_guard lk(stats_m_);
+    MutexLock lk(stats_m_);
     ++total_messages_;
     total_bytes_ += payload.size();
   }
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
   {
-    std::lock_guard lk(box.m);
+    MutexLock lk(box.m);
     box.queues[{src, tag}].push_back(std::move(payload));
     ++box.depth;
     if (box.depth > box.high_water) box.high_water = box.depth;
@@ -39,11 +39,11 @@ void Cluster::send(int src, int dst, int tag, Bytes payload) {
 Bytes Cluster::recv(int dst, int src, int tag, std::uint64_t* stall_ns) {
   SCMD_REQUIRE(dst >= 0 && dst < num_ranks_, "recv on invalid rank");
   Mailbox& box = boxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock lk(box.m);
+  MutexLock lk(box.m);
   auto& q = box.queues[{src, tag}];
   if (q.empty()) {
     const auto t0 = std::chrono::steady_clock::now();
-    box.cv.wait(lk, [&] { return !q.empty(); });
+    while (q.empty()) box.cv.wait(box.m);
     if (stall_ns != nullptr)
       *stall_ns += static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -57,7 +57,7 @@ Bytes Cluster::recv(int dst, int src, int tag, std::uint64_t* stall_ns) {
 }
 
 double Cluster::reduce(double value, bool is_max) {
-  std::unique_lock lk(coll_m_);
+  MutexLock lk(coll_m_);
   const std::uint64_t my_gen = coll_gen_;
   if (!coll_started_) {
     coll_acc_ = value;
@@ -73,7 +73,7 @@ double Cluster::reduce(double value, bool is_max) {
     coll_cv_.notify_all();
     return coll_result_;
   }
-  coll_cv_.wait(lk, [&] { return coll_gen_ != my_gen; });
+  while (coll_gen_ == my_gen) coll_cv_.wait(coll_m_);
   return coll_result_;
 }
 
@@ -84,19 +84,19 @@ double Cluster::allreduce_sum(double value) { return reduce(value, false); }
 double Cluster::allreduce_max(double value) { return reduce(value, true); }
 
 std::uint64_t Cluster::total_messages() const {
-  std::lock_guard lk(stats_m_);
+  MutexLock lk(stats_m_);
   return total_messages_;
 }
 
 std::uint64_t Cluster::total_bytes() const {
-  std::lock_guard lk(stats_m_);
+  MutexLock lk(stats_m_);
   return total_bytes_;
 }
 
 std::uint64_t Cluster::mailbox_high_water(int rank) const {
   SCMD_REQUIRE(rank >= 0 && rank < num_ranks_, "watermark for invalid rank");
   const Mailbox& box = boxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard lk(box.m);
+  MutexLock lk(box.m);
   return box.high_water;
 }
 

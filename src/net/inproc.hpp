@@ -18,15 +18,14 @@
 /// mailbox — the unbounded-mailbox assumption made visible.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "support/thread_safety.hpp"
 
 namespace scmd {
 
@@ -69,11 +68,12 @@ class Cluster {
 
  private:
   struct Mailbox {
-    mutable std::mutex m;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<Bytes>> queues;  // (src,tag)
-    std::uint64_t depth = 0;       ///< queued, not yet received
-    std::uint64_t high_water = 0;  ///< max depth ever observed
+    mutable Mutex m;
+    CondVar cv;
+    /// (src, tag) -> pending payloads.
+    std::map<std::pair<int, int>, std::deque<Bytes>> queues SCMD_GUARDED_BY(m);
+    std::uint64_t depth SCMD_GUARDED_BY(m) = 0;       ///< queued, unreceived
+    std::uint64_t high_water SCMD_GUARDED_BY(m) = 0;  ///< max depth observed
   };
 
   double reduce(double value, bool is_max);
@@ -82,17 +82,18 @@ class Cluster {
   std::vector<Mailbox> boxes_;
   std::vector<std::unique_ptr<InProcTransport>> transports_;
 
-  std::mutex coll_m_;
-  std::condition_variable coll_cv_;
-  std::uint64_t coll_gen_ = 0;
-  int coll_count_ = 0;
-  double coll_acc_ = 0.0;
-  double coll_result_ = 0.0;
-  bool coll_started_ = false;
+  /// Generation-counted monitor for barrier/allreduce.
+  Mutex coll_m_;
+  CondVar coll_cv_;
+  std::uint64_t coll_gen_ SCMD_GUARDED_BY(coll_m_) = 0;
+  int coll_count_ SCMD_GUARDED_BY(coll_m_) = 0;
+  double coll_acc_ SCMD_GUARDED_BY(coll_m_) = 0.0;
+  double coll_result_ SCMD_GUARDED_BY(coll_m_) = 0.0;
+  bool coll_started_ SCMD_GUARDED_BY(coll_m_) = false;
 
-  mutable std::mutex stats_m_;
-  std::uint64_t total_messages_ = 0;
-  std::uint64_t total_bytes_ = 0;
+  mutable Mutex stats_m_;
+  std::uint64_t total_messages_ SCMD_GUARDED_BY(stats_m_) = 0;
+  std::uint64_t total_bytes_ SCMD_GUARDED_BY(stats_m_) = 0;
 };
 
 /// One rank's Transport endpoint onto a Cluster.

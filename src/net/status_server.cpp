@@ -61,7 +61,7 @@ StatusServer::StatusServer(int port) {
 StatusServer::~StatusServer() { stop(); }
 
 void StatusServer::publish(std::string json) {
-  const std::lock_guard<std::mutex> lock(snapshot_mu_);
+  const MutexLock lock(snapshot_mu_);
   snapshot_ = std::move(json);
 }
 
@@ -73,7 +73,7 @@ void StatusServer::accept_loop() {
     if (rc <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const MutexLock lock(conn_mu_);
     if (!running_.load()) {
       ::close(fd);
       break;
@@ -93,7 +93,7 @@ void StatusServer::serve(int fd) {
 
     std::string reply;
     {
-      const std::lock_guard<std::mutex> lock(snapshot_mu_);
+      const MutexLock lock(snapshot_mu_);
       reply = snapshot_;
     }
     const auto reply_len = static_cast<std::uint32_t>(reply.size());
@@ -108,12 +108,18 @@ void StatusServer::stop() {
   // Unblock serve() threads stuck in recv by half-closing their sockets;
   // serve() owns the close itself.
   {
-    const std::lock_guard<std::mutex> lock(conn_mu_);
+    const MutexLock lock(conn_mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  {
+    // The accept loop (the only other writer) is joined; serve() threads
+    // never touch conn_threads_, so joining under the lock cannot
+    // deadlock.
+    const MutexLock lock(conn_mu_);
+    for (std::thread& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

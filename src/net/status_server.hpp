@@ -18,10 +18,11 @@
 /// copy per step and nothing more.
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace scmd {
 
@@ -53,12 +54,12 @@ class StatusServer {
   int port_ = 0;
   std::atomic<bool> running_{true};
 
-  std::mutex snapshot_mu_;
-  std::string snapshot_ = "{}";
+  Mutex snapshot_mu_;
+  std::string snapshot_ SCMD_GUARDED_BY(snapshot_mu_) = "{}";
 
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  Mutex conn_mu_;
+  std::vector<int> conn_fds_ SCMD_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ SCMD_GUARDED_BY(conn_mu_);
   std::thread accept_thread_;
 };
 

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file tags.hpp
+/// The wire-protocol tag registry — every transport tag in one place.
+///
+/// The SC'13 translation/reduction correctness arguments assume messages
+/// on disjoint tag channels never collide; per-(src, dst, tag) FIFO
+/// ordering is the only ordering the transport promises
+/// (docs/TRANSPORT.md).  Before this registry the namespace partition
+/// lived in comments spread over five subsystems, and two ranges had in
+/// fact drifted into numeric overlap (halo write-back computed
+/// 200 + import-tag = 300 + stage, colliding with the migrate window
+/// 300..305 — benign only because the phases were globally ordered).
+///
+/// Every tag and tag range is declared below, the static_asserts prove
+/// the partition disjoint at compile time, and tools/lint/scmd_lint.py
+/// enforces that no send()/recv() call site outside this file uses a raw
+/// integer tag and that the table in docs/TRANSPORT.md matches these
+/// values.  Adding a channel = adding a TagRange entry here; an
+/// overlapping choice fails the build, not a 3 AM run.
+///
+/// Layout (all below the reserved collective window 0x7fffff00):
+///
+///   100..163  halo import stages          (exchange.cpp, one per stage)
+///   200..263  force write-back stages     (reverse of import)
+///   300..305  migration, axis*2 + dir     (exchange.cpp)
+///   400..463  position-refresh stages     (tuple-cache reuse steps)
+///   500..501  balance cost gather / plan  (balance/rebalancer.cpp)
+///   800..807  bench scratch channels      (bench/bench_comm.cpp)
+///   900       invariant check channel     (parallel/check_channel.hpp)
+///   920..924  end-of-run gather           (parallel_engine.cpp)
+///   930..932  telemetry + clock sync      (obs, net/clock_sync.cpp)
+///   940..941  checkpoint snapshot/restore (ckpt, parallel_engine.cpp)
+
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace scmd::tags {
+
+/// Tags at and above this value are reserved for the TCP backend's
+/// rank-0-rooted collectives; Transport::send rejects them.
+inline constexpr int kCollective = 0x7fffff00;
+
+/// Staged halo exchange: one tag per recorded stage, so refresh/write-
+/// back traffic for stage i can never be taken for stage j's.
+inline constexpr int kMaxStages = 64;
+inline constexpr int kImportBase = 100;
+inline constexpr int kWritebackBase = 200;
+inline constexpr int kRefreshBase = 400;
+
+/// Migration: axis (x/y/z) times direction (down/up).
+inline constexpr int kMigrateBase = 300;
+inline constexpr int kMigrateWidth = 6;
+
+/// Load balancing (balance/rebalancer.cpp).
+inline constexpr int kBalanceCostGather = 500;
+inline constexpr int kBalancePlanBcast = 501;
+
+/// Scratch channels for communication benchmarks (bench/bench_comm.cpp).
+inline constexpr int kBenchBase = 800;
+inline constexpr int kBenchWidth = 8;
+
+/// Byte-oriented invariant-check channel (parallel/check_channel.hpp).
+inline constexpr int kCheck = 900;
+
+/// End-of-run gather at rank 0 (parallel_engine.cpp).  921/922 carried
+/// per-step work in earlier revisions and stay reserved inside the
+/// range.
+inline constexpr int kGatherCounters = 920;
+inline constexpr int kGatherState = 923;
+inline constexpr int kGatherStats = 924;
+inline constexpr int kGatherBase = 920;
+inline constexpr int kGatherWidth = 5;
+
+/// Distributed telemetry (obs/telemetry.hpp) and bootstrap clock sync
+/// (net/clock_sync.cpp).
+inline constexpr int kTelemetry = 930;
+inline constexpr int kClockPing = 931;
+inline constexpr int kClockPong = 932;
+
+/// Durability collectives (ckpt/checkpoint.hpp protocol).
+inline constexpr int kSnapshotAtoms = 940;
+inline constexpr int kRestoreBlob = 941;
+
+/// One registered tag window: [base, base + width).
+struct TagRange {
+  const char* name;
+  int base;
+  int width;
+};
+
+/// The registry.  docs/TRANSPORT.md's tag table is lint-checked against
+/// this array (scmd_lint.py rule `tag-docs`), so the documentation
+/// cannot drift from the code.
+inline constexpr TagRange kRegistry[] = {
+    {"import", kImportBase, kMaxStages},
+    {"writeback", kWritebackBase, kMaxStages},
+    {"migrate", kMigrateBase, kMigrateWidth},
+    {"refresh", kRefreshBase, kMaxStages},
+    {"balance.cost_gather", kBalanceCostGather, 1},
+    {"balance.plan_bcast", kBalancePlanBcast, 1},
+    {"bench", kBenchBase, kBenchWidth},
+    {"check", kCheck, 1},
+    {"gather", kGatherBase, kGatherWidth},
+    {"telemetry", kTelemetry, 1},
+    {"clock.ping", kClockPing, 1},
+    {"clock.pong", kClockPong, 1},
+    {"ckpt.snapshot_atoms", kSnapshotAtoms, 1},
+    {"ckpt.restore_blob", kRestoreBlob, 1},
+};
+
+inline constexpr std::size_t kNumRanges =
+    sizeof(kRegistry) / sizeof(kRegistry[0]);
+
+/// Every range is non-empty, non-negative, and strictly below the
+/// reserved collective window.
+constexpr bool all_well_formed(const TagRange* ranges, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const TagRange& r = ranges[i];
+    if (r.base < 0 || r.width < 1) return false;
+    if (r.base + r.width > kCollective) return false;
+  }
+  return true;
+}
+
+/// Pairwise disjointness of all registered windows.
+constexpr bool all_disjoint(const TagRange* ranges, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const TagRange& a = ranges[i];
+      const TagRange& b = ranges[j];
+      if (a.base < b.base + b.width && b.base < a.base + a.width)
+        return false;
+    }
+  }
+  return true;
+}
+
+static_assert(all_well_formed(kRegistry, kNumRanges),
+              "a tag range is empty, negative, or reaches into the "
+              "reserved collective window");
+static_assert(all_disjoint(kRegistry, kNumRanges),
+              "transport tag ranges overlap — pick a free window "
+              "(see the layout comment above)");
+
+// The named singletons really live inside their registered windows.
+static_assert(kGatherCounters >= kGatherBase &&
+              kGatherStats < kGatherBase + kGatherWidth);
+
+/// Tag for stage `i` of window `base` (import/writeback/refresh use
+/// kMaxStages; migrate uses kMigrateWidth).  Out-of-window indices throw
+/// at run time and fail the build in constexpr contexts — a decomposition
+/// with more halo stages than the registry reserves is a registry bug,
+/// not a silent collision with the next window.
+constexpr int stage_tag(int base, int width, int i) {
+  if (i < 0 || i >= width) throw Error("transport tag stage out of range");
+  return base + i;
+}
+
+constexpr int import_tag(int stage) {
+  return stage_tag(kImportBase, kMaxStages, stage);
+}
+constexpr int writeback_tag(int stage) {
+  return stage_tag(kWritebackBase, kMaxStages, stage);
+}
+constexpr int refresh_tag(int stage) {
+  return stage_tag(kRefreshBase, kMaxStages, stage);
+}
+constexpr int migrate_tag(int axis, int positive_dir) {
+  return stage_tag(kMigrateBase, kMigrateWidth,
+                   axis * 2 + (positive_dir != 0 ? 1 : 0));
+}
+constexpr int bench_tag(int channel) {
+  return stage_tag(kBenchBase, kBenchWidth, channel);
+}
+
+}  // namespace scmd::tags

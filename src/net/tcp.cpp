@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/tags.hpp"
 #include "support/error.hpp"
 
 // Frames are raw little-endian structs; a big-endian build would need a
@@ -27,9 +28,9 @@ namespace {
 
 using SteadyClock = std::chrono::steady_clock;
 
-/// Tag reserved for the rank-0-rooted collective protocol; user tags
-/// must stay below it.
-constexpr int kCollectiveTag = 0x7fffff00;
+/// The rank-0-rooted collective protocol rides on the reserved
+/// tags::kCollective channel; user tags must stay below it.
+using tags::kCollective;
 
 /// Sanity bound on a single frame — anything larger is a corrupt header.
 constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 32;
@@ -209,7 +210,11 @@ TcpTransport::TcpTransport(const TcpConfig& config) : config_(config) {
   SCMD_REQUIRE(config_.rank >= 0 && config_.rank < config_.num_ranks,
                "tcp rank out of range");
   const int P = config_.num_ranks;
-  inbox_.peer_dead.assign(static_cast<std::size_t>(P), 0);
+  {
+    // Single-threaded here, but the analysis doesn't know that.
+    MutexLock lk(inbox_.m);
+    inbox_.peer_dead.assign(static_cast<std::size_t>(P), 0);
+  }
   peers_.resize(static_cast<std::size_t>(P));
   if (P == 1) return;  // no wire, only the self lane
 
@@ -352,7 +357,7 @@ TcpTransport::~TcpTransport() {
     Peer* peer = peers_[r].get();
     if (peer == nullptr) continue;
     {
-      std::lock_guard lk(peer->m);
+      MutexLock lk(peer->m);
       peer->closing = true;
     }
     peer->cv.notify_all();
@@ -366,7 +371,7 @@ TcpTransport::~TcpTransport() {
 
 void TcpTransport::deposit(int src, int tag, Bytes payload) {
   {
-    std::lock_guard lk(inbox_.m);
+    MutexLock lk(inbox_.m);
     inbox_.queues[{src, tag}].push_back(std::move(payload));
     ++inbox_.depth;
     if (inbox_.depth > inbox_.high_water) inbox_.high_water = inbox_.depth;
@@ -381,7 +386,7 @@ void TcpTransport::mark_peer_dead(int src) {
     peer->cv.notify_all();
   }
   {
-    std::lock_guard lk(inbox_.m);
+    MutexLock lk(inbox_.m);
     inbox_.peer_dead[static_cast<std::size_t>(src)] = 1;
   }
   inbox_.cv.notify_all();
@@ -405,11 +410,10 @@ void TcpTransport::reader_loop(int src) {
 
 void TcpTransport::writer_loop(int dst) {
   Peer& peer = *peers_[static_cast<std::size_t>(dst)];
-  std::unique_lock lk(peer.m);
+  MutexLock lk(peer.m);
   for (;;) {
-    peer.cv.wait(lk, [&] {
-      return !peer.outbox.empty() || peer.closing || peer.dead.load();
-    });
+    while (peer.outbox.empty() && !peer.closing && !peer.dead.load())
+      peer.cv.wait(peer.m);
     if (peer.dead.load()) return;
     if (peer.outbox.empty()) {
       if (peer.closing) return;
@@ -433,7 +437,7 @@ void TcpTransport::writer_loop(int dst) {
 
 void TcpTransport::send(int dst, int tag, Bytes payload) {
   SCMD_REQUIRE(dst >= 0 && dst < config_.num_ranks, "send to invalid rank");
-  SCMD_REQUIRE(tag >= 0 && tag < kCollectiveTag,
+  SCMD_REQUIRE(tag >= 0 && tag < kCollective,
                "tag " + std::to_string(tag) + " is reserved");
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
@@ -445,7 +449,7 @@ void TcpTransport::send(int dst, int tag, Bytes payload) {
   SCMD_REQUIRE(!peer.dead.load(), "send to rank " + std::to_string(dst) +
                                       ": connection lost");
   {
-    std::lock_guard lk(peer.m);
+    MutexLock lk(peer.m);
     peer.outbox.emplace_back(tag, std::move(payload));
   }
   peer.cv.notify_all();
@@ -459,7 +463,7 @@ Bytes TcpTransport::recv(int src, int tag) {
       std::chrono::milliseconds(
           static_cast<long long>(config_.recv_timeout_s * 1000.0));
   const auto t0 = SteadyClock::now();
-  std::unique_lock lk(inbox_.m);
+  MutexLock lk(inbox_.m);
   auto& q = inbox_.queues[{src, tag}];
   for (;;) {
     if (!q.empty()) {
@@ -480,9 +484,9 @@ Bytes TcpTransport::recv(int src, int tag) {
                    "recv from rank " + std::to_string(src) + " tag " +
                        std::to_string(tag) + " timed out after " +
                        std::to_string(config_.recv_timeout_s) + " s");
-      inbox_.cv.wait_until(lk, deadline);
+      inbox_.cv.wait_until(inbox_.m, deadline);
     } else {
-      inbox_.cv.wait(lk);
+      inbox_.cv.wait(inbox_.m);
     }
   }
 }
@@ -502,8 +506,8 @@ double TcpTransport::reduce(double value, bool is_max) {
     SCMD_REQUIRE(!peer.dead.load(), "collective: connection to rank " +
                                         std::to_string(dst) + " lost");
     {
-      std::lock_guard lk(peer.m);
-      peer.outbox.emplace_back(kCollectiveTag, std::move(b));
+      MutexLock lk(peer.m);
+      peer.outbox.emplace_back(kCollective, std::move(b));
     }
     peer.cv.notify_all();
   };
@@ -530,7 +534,7 @@ double TcpTransport::reduce(double value, bool is_max) {
 Bytes TcpTransport::recv_internal(int src) {
   // recv() only rejects out-of-range ranks, so the reserved tag can ride
   // through it and inherit the timeout/fault behavior.
-  return recv(src, kCollectiveTag);
+  return recv(src, kCollective);
 }
 
 void TcpTransport::barrier() { reduce(0.0, false); }
@@ -550,7 +554,7 @@ TransportStats TcpTransport::stats() const {
   s.messages_received = messages_received_.load(std::memory_order_relaxed);
   s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
   s.recv_stall_ns = recv_stall_ns_.load(std::memory_order_relaxed);
-  std::lock_guard lk(inbox_.m);
+  MutexLock lk(inbox_.m);
   s.max_mailbox_depth = inbox_.high_water;
   return s;
 }
@@ -565,7 +569,7 @@ void TcpTransport::hard_kill() {
     peer->cv.notify_all();
   }
   {
-    std::lock_guard lk(inbox_.m);
+    MutexLock lk(inbox_.m);
     for (auto& dead : inbox_.peer_dead) dead = 1;
   }
   inbox_.cv.notify_all();

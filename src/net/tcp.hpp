@@ -29,18 +29,17 @@
 /// error on the survivors — never a hang.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "support/thread_safety.hpp"
 
 namespace scmd {
 
@@ -105,24 +104,26 @@ class TcpTransport final : public Transport {
 
  private:
   struct Peer {
-    int fd = -1;
+    int fd = -1;  ///< set before the threads start, then read-only
     std::thread reader;
     std::thread writer;
-    std::mutex m;
-    std::condition_variable cv;
-    std::deque<std::pair<int, Bytes>> outbox;  // (tag, payload)
-    bool closing = false;
+    Mutex m;
+    CondVar cv;
+    /// (tag, payload) frames awaiting the writer thread.
+    std::deque<std::pair<int, Bytes>> outbox SCMD_GUARDED_BY(m);
+    bool closing SCMD_GUARDED_BY(m) = false;
     std::atomic<bool> dead{false};
   };
 
   /// Mailbox shared by all reader threads and the owning rank.
   struct Inbox {
-    mutable std::mutex m;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<Bytes>> queues;  // (src,tag)
-    std::uint64_t depth = 0;
-    std::uint64_t high_water = 0;
-    std::vector<char> peer_dead;
+    mutable Mutex m;
+    CondVar cv;
+    /// (src, tag) -> pending payloads.
+    std::map<std::pair<int, int>, std::deque<Bytes>> queues SCMD_GUARDED_BY(m);
+    std::uint64_t depth SCMD_GUARDED_BY(m) = 0;
+    std::uint64_t high_water SCMD_GUARDED_BY(m) = 0;
+    std::vector<char> peer_dead SCMD_GUARDED_BY(m);
   };
 
   void rendezvous(int listen_port, std::vector<std::string>& hosts,

@@ -47,7 +47,7 @@ double TelemetryCollector::mono_us() const {
 
 void TelemetryCollector::set_clock(int rank, double offset_us,
                                    double uncertainty_us) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   SCMD_REQUIRE(rank >= 0 && rank < config_.num_ranks,
                "set_clock: rank out of range");
   clock_offset_us_[static_cast<std::size_t>(rank)] = offset_us;
@@ -55,12 +55,12 @@ void TelemetryCollector::set_clock(int rank, double offset_us,
 }
 
 double TelemetryCollector::clock_offset_us(int rank) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return clock_offset_us_.at(static_cast<std::size_t>(rank));
 }
 
 double TelemetryCollector::clock_uncertainty_us(int rank) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return clock_uncertainty_us_.at(static_cast<std::size_t>(rank));
 }
 
@@ -81,7 +81,7 @@ TelemetryCollector::StepSlot& TelemetryCollector::slot(long long step) {
 void TelemetryCollector::set_balance(long long step, double ratio,
                                      bool rebalanced, double predicted_ratio,
                                      std::uint64_t migrated_atoms) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   StepSlot& s = slot(step);
   s.balance_ratio = ratio;
   s.rebalanced = rebalanced;
@@ -113,12 +113,12 @@ void TelemetryCollector::track_span(int rank, const TraceEvent& e) {
 
 void TelemetryCollector::observe_events(
     const std::vector<TraceEvent>& events) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (const TraceEvent& e : events) track_span(e.tid, e);
 }
 
 void TelemetryCollector::ingest(const TelemetryFrame& frame) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   SCMD_REQUIRE(frame.rank >= 0 && frame.rank < config_.num_ranks,
                "telemetry frame from unknown rank " +
                    std::to_string(frame.rank));
@@ -223,7 +223,7 @@ void TelemetryCollector::finalize(StepSlot& s, long long step) {
 }
 
 void TelemetryCollector::finish() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (finished_) return;
   finished_ = true;
   SCMD_REQUIRE(slots_.empty(),
@@ -248,12 +248,12 @@ void TelemetryCollector::finish() {
 }
 
 long long TelemetryCollector::finalized_steps() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return next_final_;
 }
 
 std::string TelemetryCollector::status_json() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::ostringstream os;
   os.precision(15);
   os << "{\"num_ranks\":" << config_.num_ranks

@@ -32,13 +32,13 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
+#include "support/thread_safety.hpp"
 
 namespace scmd::obs {
 
@@ -131,26 +131,28 @@ class TelemetryCollector {
     double median_ms = 0.0;
   };
 
-  StepSlot& slot(long long step);
-  void finalize_ready();
-  void finalize(StepSlot& s, long long step);
-  void track_span(int rank, const TraceEvent& e);
+  StepSlot& slot(long long step) SCMD_REQUIRES(mu_);
+  void finalize_ready() SCMD_REQUIRES(mu_);
+  void finalize(StepSlot& s, long long step) SCMD_REQUIRES(mu_);
+  void track_span(int rank, const TraceEvent& e) SCMD_REQUIRES(mu_);
   double mono_us() const;
 
   Config config_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
 
-  std::vector<StepSlot> slots_;     ///< ring over [next_final_, ...)
-  long long next_final_ = 0;        ///< first step not yet finalized
-  long long last_emitted_ = -1;
-  bool finished_ = false;
+  /// Ring over [next_final_, ...).
+  std::vector<StepSlot> slots_ SCMD_GUARDED_BY(mu_);
+  long long next_final_ SCMD_GUARDED_BY(mu_) = 0;  ///< first unfinalized
+  long long last_emitted_ SCMD_GUARDED_BY(mu_) = -1;
+  bool finished_ SCMD_GUARDED_BY(mu_) = false;
 
-  std::vector<double> clock_offset_us_;
-  std::vector<double> clock_uncertainty_us_;
-  std::vector<TransportStats> prev_stats_;  ///< previous cumulative snapshot
-  std::vector<RankStatus> ranks_;
-  std::vector<Anomaly> anomalies_;
-  double latest_imbalance_ratio_ = 0.0;
+  std::vector<double> clock_offset_us_ SCMD_GUARDED_BY(mu_);
+  std::vector<double> clock_uncertainty_us_ SCMD_GUARDED_BY(mu_);
+  /// Previous cumulative TransportStats snapshot per rank.
+  std::vector<TransportStats> prev_stats_ SCMD_GUARDED_BY(mu_);
+  std::vector<RankStatus> ranks_ SCMD_GUARDED_BY(mu_);
+  std::vector<Anomaly> anomalies_ SCMD_GUARDED_BY(mu_);
+  double latest_imbalance_ratio_ SCMD_GUARDED_BY(mu_) = 0.0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -100,7 +100,6 @@ void Histogram::clear() {
   sum_ = 0.0;
 }
 
-// Callers hold mu_.
 MetricsRegistry::Scalar& MetricsRegistry::scalar(const std::string& name,
                                                  bool is_counter) {
   const auto it = scalar_index_.find(name);
@@ -116,12 +115,12 @@ MetricsRegistry::Scalar& MetricsRegistry::scalar(const std::string& name,
 }
 
 void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   scalar(name, /*is_counter=*/true).value += static_cast<double>(delta);
 }
 
 void MetricsRegistry::set(const std::string& name, double value) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   scalar(name, /*is_counter=*/false).value = value;
 }
 
@@ -141,19 +140,19 @@ Histogram& MetricsRegistry::histogram_locked(const std::string& name,
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                       double hi, int num_buckets) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   return histogram_locked(name, lo, hi, num_buckets);
 }
 
 void MetricsRegistry::observe(const std::string& name, double lo, double hi,
                               int num_buckets, double x) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   histogram_locked(name, lo, hi, num_buckets).observe(x);
 }
 
 void MetricsRegistry::set_attr(const std::string& key,
                                const std::string& value) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   for (auto& [k, v] : attrs_) {
     if (k == key) {
       v = value;
@@ -164,19 +163,25 @@ void MetricsRegistry::set_attr(const std::string& key,
 }
 
 bool MetricsRegistry::has(const std::string& name) const {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   return scalar_index_.count(name) != 0;
 }
 
 double MetricsRegistry::value(const std::string& name) const {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   const auto it = scalar_index_.find(name);
   SCMD_REQUIRE(it != scalar_index_.end(), "unknown metric: " + name);
   return scalars_[it->second].value;
 }
 
+std::vector<std::pair<std::string, std::string>> MetricsRegistry::attrs()
+    const {
+  const RecursiveMutexLock lock(mu_);
+  return attrs_;
+}
+
 std::vector<std::string> MetricsRegistry::scalar_names() const {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(scalars_.size());
   for (const Scalar& s : scalars_) names.push_back(s.name);
@@ -184,7 +189,7 @@ std::vector<std::string> MetricsRegistry::scalar_names() const {
 }
 
 std::vector<std::string> MetricsRegistry::histogram_names() const {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(hists_.size());
   for (const auto& [n, h] : hists_) names.push_back(n);
@@ -192,7 +197,7 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
 }
 
 const Histogram& MetricsRegistry::histogram_at(const std::string& name) const {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   for (const auto& [n, h] : hists_) {
     if (n == name) return *h;
   }
@@ -201,7 +206,7 @@ const Histogram& MetricsRegistry::histogram_at(const std::string& name) const {
 }
 
 void MetricsRegistry::add_sink(std::unique_ptr<MetricsSink> sink) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   SCMD_REQUIRE(sink != nullptr, "null metrics sink");
   sinks_.push_back(std::move(sink));
 }
@@ -210,7 +215,7 @@ void MetricsRegistry::emit(long long step) {
   // Held across the sink writes: sinks read back through the const
   // accessors, which re-enter the recursive lock, and the snapshot a
   // sink writes must not interleave with a concurrent add()/set().
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecursiveMutexLock lock(mu_);
   if (sinks_.empty()) return;
   for (auto& sink : sinks_) sink->write_step(step, *this);
 }
@@ -232,11 +237,12 @@ JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
 
 void JsonlSink::write_step(long long step, const MetricsRegistry& reg) {
   std::ostream& os = *os_;
+  const auto attrs = reg.attrs();
   os << "{\"step\":" << step;
-  if (!reg.attrs().empty()) {
+  if (!attrs.empty()) {
     os << ",\"attrs\":{";
     bool first = true;
-    for (const auto& [k, v] : reg.attrs()) {
+    for (const auto& [k, v] : attrs) {
       if (!first) os << ",";
       first = false;
       os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
@@ -289,8 +295,9 @@ CsvSink::CsvSink(std::ostream& os) : os_(&os) {}
 
 void CsvSink::write_step(long long step, const MetricsRegistry& reg) {
   std::ostream& os = *os_;
+  const auto attrs = reg.attrs();
   if (!wrote_header_) {
-    for (const auto& [k, v] : reg.attrs()) attr_header_.push_back(k);
+    for (const auto& [k, v] : attrs) attr_header_.push_back(k);
     scalar_header_ = reg.scalar_names();
     os << "step";
     for (const std::string& k : attr_header_) os << "," << k;
@@ -301,7 +308,7 @@ void CsvSink::write_step(long long step, const MetricsRegistry& reg) {
   os << step;
   for (const std::string& k : attr_header_) {
     std::string v;
-    for (const auto& [ak, av] : reg.attrs()) {
+    for (const auto& [ak, av] : attrs) {
       if (ak == k) v = av;
     }
     os << "," << v;

@@ -20,10 +20,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace scmd::obs {
 
@@ -111,17 +112,17 @@ class MetricsRegistry {
 
   /// Scalar (counter + gauge) names in registration order.
   std::vector<std::string> scalar_names() const;
-  /// Unsynchronized view; safe inside a sink's write_step (emit holds
-  /// the registry lock) or once all writer threads have joined.
-  const std::vector<std::pair<std::string, std::string>>& attrs() const {
-    return attrs_;
-  }
+  /// Attribute (key, value) pairs, copied under the registry lock.
+  std::vector<std::pair<std::string, std::string>> attrs() const;
   /// Histogram names in registration order.
   std::vector<std::string> histogram_names() const;
   const Histogram& histogram_at(const std::string& name) const;
 
   void add_sink(std::unique_ptr<MetricsSink> sink);
-  bool has_sinks() const { return !sinks_.empty(); }
+  bool has_sinks() const {
+    const RecursiveMutexLock lock(mu_);
+    return !sinks_.empty();
+  }
 
   /// Snapshot every metric into each sink.  No sinks: returns
   /// immediately.
@@ -134,18 +135,23 @@ class MetricsRegistry {
     bool is_counter = false;
   };
 
-  Scalar& scalar(const std::string& name, bool is_counter);
+  Scalar& scalar(const std::string& name, bool is_counter)
+      SCMD_REQUIRES(mu_);
   Histogram& histogram_locked(const std::string& name, double lo, double hi,
-                              int num_buckets);
+                              int num_buckets) SCMD_REQUIRES(mu_);
 
   /// Recursive: emit() holds the lock while sinks call back into the
-  /// const readers (value(), scalar_names(), ...).
-  mutable std::recursive_mutex mu_;
-  std::vector<Scalar> scalars_;
-  std::map<std::string, std::size_t> scalar_index_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_;
-  std::vector<std::pair<std::string, std::string>> attrs_;
-  std::vector<std::unique_ptr<MetricsSink>> sinks_;
+  /// const readers (value(), scalar_names(), ...).  That reentrancy
+  /// crosses a virtual call, so the intra-procedural analysis checks
+  /// each function's own acquisition independently — exactly right.
+  mutable RecursiveMutex mu_;
+  std::vector<Scalar> scalars_ SCMD_GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> scalar_index_ SCMD_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_
+      SCMD_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::string>> attrs_
+      SCMD_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<MetricsSink>> sinks_ SCMD_GUARDED_BY(mu_);
 };
 
 /// One JSON object per emit:

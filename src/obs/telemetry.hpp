@@ -8,7 +8,7 @@
 /// TransportStats snapshot — together with the trace spans recorded
 /// since the last flush into one compact frame, and streams it to the
 /// collector on rank 0 over the ordinary Transport using the reserved
-/// kTagTelemetry tag.  Frames from one rank arrive in step order
+/// tags::kTelemetry channel (net/tags.hpp).  Frames from one rank arrive in step order
 /// (per-(src, dst, tag) ordering); ranks interleave arbitrarily.
 ///
 /// Wire format (same-architecture cluster, like pack()/unpack():
@@ -34,14 +34,6 @@
 #include "obs/trace.hpp"
 
 namespace scmd::obs {
-
-/// Transport tags reserved for the telemetry pipeline.  They sit above
-/// the engine exchange tags (import 100, write-back 200, migrate 300,
-/// refresh/cost 400, check 900, end-of-run gather 920-924) and below the
-/// TCP backend's collective tag (0x7fffff00).
-constexpr int kTagTelemetry = 930;
-constexpr int kTagClockPing = 931;
-constexpr int kTagClockPong = 932;
 
 /// One step's observables from one rank.  `step` is the record index:
 /// 0 is the priming force pass, s >= 1 the state after MD step s.

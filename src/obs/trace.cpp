@@ -25,29 +25,29 @@ double TraceSession::now_us() const {
 
 void TraceSession::record(const char* name, int tid, double ts_us,
                           double dur_us) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   events_.push_back(TraceEvent{name, tid, ts_us, dur_us});
 }
 
 std::size_t TraceSession::num_events() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceSession::events() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return events_;
 }
 
 std::vector<TraceEvent> TraceSession::events_since(std::size_t from) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (from >= events_.size()) return {};
   return {events_.begin() + static_cast<std::ptrdiff_t>(from),
           events_.end()};
 }
 
 void TraceSession::write_chrome_json(std::ostream& os) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   // Default stream precision (6 significant digits) quantizes ts to
   // ~10 us once a session passes one second, breaking span nesting.
   os.precision(15);

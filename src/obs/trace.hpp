@@ -19,9 +19,10 @@
 #include <chrono>
 #include <cstddef>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace scmd::obs {
 
@@ -60,8 +61,8 @@ class TraceSession {
 
  private:
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ SCMD_GUARDED_BY(mu_);
 };
 
 /// Bind `session` (may be null to unbind) as the current thread's span

@@ -3,18 +3,16 @@
 /// \file check_channel.hpp
 /// check::Channel adapter over the threads-as-ranks Comm.
 ///
-/// Checker traffic runs on its own tag so it can never interleave with
-/// engine exchanges (import 100, write-back 200, migrate 300, refresh
-/// 400/401).  The adapter is stateless and cheap to construct at a check
+/// Checker traffic runs on its own registered channel (tags::kCheck in
+/// net/tags.hpp) so it can never interleave with the engine exchange
+/// windows.  The adapter is stateless and cheap to construct at a check
 /// site.
 
 #include "check/channel.hpp"
+#include "net/tags.hpp"
 #include "parallel/comm.hpp"
 
 namespace scmd {
-
-/// Message tag reserved for invariant-checker traffic.
-inline constexpr int kCheckTag = 900;
 
 /// One rank's checker view of the cluster.
 class CommCheckChannel final : public check::Channel {
@@ -25,10 +23,10 @@ class CommCheckChannel final : public check::Channel {
   int num_ranks() const override { return comm_->num_ranks(); }
 
   void send(int dst, check::CheckBytes payload) override {
-    comm_->send(dst, kCheckTag, std::move(payload));
+    comm_->send(dst, tags::kCheck, std::move(payload));
   }
   check::CheckBytes recv(int src) override {
-    return comm_->recv(src, kCheckTag);
+    return comm_->recv(src, tags::kCheck);
   }
 
   double allreduce_sum(double value) override {

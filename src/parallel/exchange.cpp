@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/tags.hpp"
 #include "support/error.hpp"
 
 namespace scmd {
@@ -25,11 +26,6 @@ struct MigrateWire {
   std::int32_t type;
   std::int32_t pad = 0;
 };
-
-constexpr int kTagImportBase = 100;
-constexpr int kTagWritebackBase = 200;
-constexpr int kTagMigrateBase = 300;
-constexpr int kTagRefreshBase = 400;
 
 }  // namespace
 
@@ -123,7 +119,7 @@ std::vector<ImportStageRecord> HaloExchange::import(
   // halo from the +axis neighbor.
   auto run_stage = [&](int axis, int dir) {
     ImportStageRecord rec;
-    rec.tag = kTagImportBase + stage_idx++;
+    rec.stage = stage_idx++;
     rec.sent_to = pg.neighbor(comm.rank(), axis, dir);
     rec.received_from = pg.neighbor(comm.rank(), axis, -dir);
 
@@ -161,14 +157,15 @@ std::vector<ImportStageRecord> HaloExchange::import(
       out.push_back(w);
       rec.sent.push_back(i);
     }
-    comm.send(rec.sent_to, rec.tag, pack(out));
+    comm.send(rec.sent_to, tags::import_tag(rec.stage), pack(out));
     ++counters.messages;
     counters.bytes_imported += out.size() * sizeof(GhostWire);
 
-    const std::vector<GhostWire> in =
-        unpack<GhostWire>(comm.recv(rec.received_from, rec.tag));
+    const std::vector<GhostWire> in = unpack<GhostWire>(
+        comm.recv(rec.received_from, tags::import_tag(rec.stage)));
     rec.recv_begin = state.num_total();
     for (const GhostWire& w : in) {
+      SCMD_REQUIRE(w.gid >= 0, "halo import frame carries a negative gid");
       state.ghost_pos.push_back({w.x, w.y, w.z});
       state.ghost_gid.push_back(w.gid);
       state.ghost_type.push_back(w.type);
@@ -209,7 +206,7 @@ void HaloExchange::write_back(Comm& comm,
     out.reserve(static_cast<std::size_t>(rec.recv_end - rec.recv_begin));
     for (int i = rec.recv_begin; i < rec.recv_end; ++i)
       out.push_back(force[static_cast<std::size_t>(i)]);
-    const int tag = kTagWritebackBase + rec.tag;
+    const int tag = tags::writeback_tag(rec.stage);
     comm.send(rec.received_from, tag, pack(out));
     ++counters.messages;
     counters.bytes_written_back += out.size() * sizeof(Vec3);
@@ -235,7 +232,7 @@ void HaloExchange::refresh(Comm& comm,
     // previous value.  Forwarded ghosts were refreshed by earlier stages
     // of this loop, so multi-hop routes carry current positions.
     for (const int i : rec.sent) out.push_back(state.combined_pos(i));
-    const int tag = kTagRefreshBase + rec.tag;
+    const int tag = tags::refresh_tag(rec.stage);
     comm.send(rec.sent_to, tag, pack(out));
     ++counters.messages;
     counters.bytes_imported += out.size() * sizeof(Vec3);
@@ -278,7 +275,7 @@ std::uint64_t Migrator::sweep(Comm& comm, RankState& state) const {
     for (int dir : {-1, +1}) {
       const int peer_to = pg.neighbor(comm.rank(), axis, dir);
       const int peer_from = pg.neighbor(comm.rank(), axis, -dir);
-      const int tag = kTagMigrateBase + axis * 2 + (dir > 0 ? 1 : 0);
+      const int tag = tags::migrate_tag(axis, dir > 0 ? 1 : 0);
 
       std::vector<MigrateWire> out;
       std::size_t w = 0;
@@ -308,6 +305,7 @@ std::uint64_t Migrator::sweep(Comm& comm, RankState& state) const {
       const std::vector<MigrateWire> in =
           unpack<MigrateWire>(comm.recv(peer_from, tag));
       for (const MigrateWire& m : in) {
+        SCMD_REQUIRE(m.gid >= 0, "migration frame carries a negative gid");
         state.pos.push_back(box.wrap({m.px, m.py, m.pz}));
         state.vel.push_back({m.vx, m.vy, m.vz});
         state.gid.push_back(m.gid);

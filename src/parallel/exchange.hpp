@@ -75,7 +75,7 @@ struct SlabSpec {
 struct ImportStageRecord {
   int sent_to = -1;        ///< peer the stage's slab went to
   int received_from = -1;  ///< peer the stage's ghosts came from
-  int tag = 0;
+  int stage = 0;  ///< index into the tags:: import/writeback/refresh windows
   std::vector<int> sent;   ///< my combined indices that were sent
   int recv_begin = 0;      ///< ghost range received, combined indices
   int recv_end = 0;

@@ -11,6 +11,7 @@
 #include "ckpt/fault.hpp"
 #include "ckpt/wal.hpp"
 #include "net/clock_sync.hpp"
+#include "net/tags.hpp"
 #include "net/status_server.hpp"
 #include "obs/collector.hpp"
 #include "obs/telemetry.hpp"
@@ -27,6 +28,15 @@ struct AtomWire {
   Vec3 pos, vel, force;
 };
 static_assert(std::is_trivially_copyable_v<AtomWire>);
+
+/// Every wire gid must index the destination atom arrays — a malformed
+/// gather/snapshot frame must fail loudly, not scribble out of bounds.
+bool wire_gids_valid(const std::vector<AtomWire>& atoms, std::size_t n) {
+  for (const AtomWire& a : atoms) {
+    if (a.gid < 0 || static_cast<std::uint64_t>(a.gid) >= n) return false;
+  }
+  return true;
+}
 
 /// Componentwise max over ranks, for load-imbalance analysis.
 void accumulate_max_rank(EngineCounters& max_rank, const EngineCounters& c) {
@@ -303,9 +313,9 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
         data = ckpt_dir->load_latest(&from);
       }
       if (data) blob = ckpt::encode_checkpoint(*data);
-      for (int r = 1; r < P; ++r) comm.send(r, ckpt::kTagRestoreBlob, blob);
+      for (int r = 1; r < P; ++r) comm.send(r, tags::kRestoreBlob, blob);
     } else {
-      blob = comm.recv(0, ckpt::kTagRestoreBlob);
+      blob = comm.recv(0, tags::kRestoreBlob);
     }
     if (!blob.empty()) {
       ckpt::CheckpointData data = ckpt::decode_checkpoint(blob);
@@ -413,11 +423,11 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
       collector->ingest(frame);
       for (int r = 1; r < P; ++r)
         collector->ingest(
-            obs::decode_frame(comm.recv(r, obs::kTagTelemetry)));
+            obs::decode_frame(comm.recv(r, tags::kTelemetry)));
       if (config.status != nullptr)
         config.status->publish(collector->status_json());
     } else {
-      comm.send(0, obs::kTagTelemetry, obs::encode_frame(frame));
+      comm.send(0, tags::kTelemetry, obs::encode_frame(frame));
     }
   };
 
@@ -441,7 +451,7 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   auto snapshot = [&](long long completed_steps) {
     SCMD_TRACE("ckpt.snapshot");
     if (!root) {
-      comm.send(0, ckpt::kTagSnapshotAtoms, pack(pack_owned()));
+      comm.send(0, tags::kSnapshotAtoms, pack(pack_owned()));
       return;
     }
     ckpt::CheckpointData data;
@@ -455,8 +465,12 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
       }
     };
     place(pack_owned());
-    for (int r = 1; r < P; ++r)
-      place(unpack<AtomWire>(comm.recv(r, ckpt::kTagSnapshotAtoms)));
+    for (int r = 1; r < P; ++r) {
+      const auto atoms = unpack<AtomWire>(comm.recv(r, tags::kSnapshotAtoms));
+      SCMD_REQUIRE(wire_gids_valid(atoms, data.system.positions().size()),
+                   "snapshot gather frame carries an out-of-range gid");
+      place(atoms);
+    }
     data.clock.step = completed_steps;
     data.clock.total_steps = config.num_steps;
     data.clock.dt = config.dt;
@@ -538,14 +552,10 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   result.snapshots_written = snapshots_written;
   result.recoveries = dur.attempt;
 
-  // Gather counters and the final atom state to rank 0.  (Per-step
-  // metrics used to be gathered here too; they now stream live through
-  // the telemetry tag above.)  Tags live above the engine's exchange
-  // tags (import 100, write-back 200, migrate 300, refresh 400, check
-  // 900).
-  constexpr int kTagCounters = 920;
-  constexpr int kTagState = 923;
-  constexpr int kTagStats = 924;
+  // Gather counters and the final atom state to rank 0 on the
+  // registered gather channels (net/tags.hpp).  (Per-step metrics used
+  // to be gathered here too; they now stream live through the telemetry
+  // channel above.)
 
   const RankState& st = engine.state();
   const auto forces = engine.owned_forces();
@@ -573,12 +583,15 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
     place(my_atoms);
     for (int r = 1; r < P; ++r) {
       const auto counters =
-          unpack<EngineCounters>(comm.recv(r, kTagCounters));
+          unpack<EngineCounters>(comm.recv(r, tags::kGatherCounters));
       SCMD_REQUIRE(counters.size() == 1, "malformed counters gather");
       result.total += counters[0];
       accumulate_max_rank(result.max_rank, counters[0]);
-      place(unpack<AtomWire>(comm.recv(r, kTagState)));
-      const auto stats = unpack<TransportStats>(comm.recv(r, kTagStats));
+      const auto atoms = unpack<AtomWire>(comm.recv(r, tags::kGatherState));
+      SCMD_REQUIRE(wire_gids_valid(atoms, sys.positions().size()),
+                   "state gather frame carries an out-of-range gid");
+      place(atoms);
+      const auto stats = unpack<TransportStats>(comm.recv(r, tags::kGatherStats));
       SCMD_REQUIRE(stats.size() == 1, "malformed stats gather");
       agg += stats[0];
     }
@@ -586,10 +599,10 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
     result.runtime_bytes = agg.bytes_sent;
   } else {
     result.total = engine.counters();
-    comm.send(0, kTagCounters,
+    comm.send(0, tags::kGatherCounters,
               pack(std::vector<EngineCounters>{engine.counters()}));
-    comm.send(0, kTagState, pack(my_atoms));
-    comm.send(0, kTagStats,
+    comm.send(0, tags::kGatherState, pack(my_atoms));
+    comm.send(0, tags::kGatherStats,
               pack(std::vector<TransportStats>{comm.transport().stats()}));
   }
 

@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file thread_safety.hpp
+/// Compile-time lock-discipline checking (docs/CHECKING.md, "The static
+/// layer").
+///
+/// Two pieces:
+///
+///  1. The SCMD_* annotation macros below map onto Clang's thread-safety
+///     attributes (-Wthread-safety), and expand to nothing on compilers
+///     without them (GCC builds are unaffected).  The default and CI
+///     Clang builds compile with -Werror=thread-safety, so a read of a
+///     SCMD_GUARDED_BY field without its mutex held, a forgotten unlock
+///     on an error path, or a lock-order inversion against a declared
+///     SCMD_ACQUIRED_AFTER edge is a build break, not a TSan roll of the
+///     dice.
+///
+///  2. Annotated synchronization types.  The analysis only tracks
+///     capabilities through annotated APIs, and libstdc++'s std::mutex /
+///     std::lock_guard carry no annotations — so concurrent code uses
+///     scmd::Mutex / scmd::RecursiveMutex (annotated wrappers over the
+///     std types), the scoped scmd::MutexLock / scmd::RecursiveMutexLock
+///     guards, and scmd::CondVar (a std::condition_variable_any that
+///     waits on a Mutex directly).  tools/lint/scmd_lint.py rejects new
+///     bare std::mutex members so the discipline can't erode.
+///
+/// Condition-variable idiom: the analysis does not see through predicate
+/// lambdas (a lambda body is analyzed as an unrelated function, so
+/// `cv.wait(lk, [&] { return guarded_field; })` reads a guarded field
+/// while provably holding nothing).  Write the loop explicitly instead —
+/// the capability stays in scope and the wait is annotated to require it:
+///
+///     MutexLock lk(mu_);
+///     while (queue_.empty()) cv_.wait(mu_);   // queue_ GUARDED_BY(mu_)
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SCMD_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SCMD_THREAD_ANNOTATION_(x)  // no-op on GCC/MSVC
+#endif
+
+/// A type that is a lockable capability ("mutex").
+#define SCMD_CAPABILITY(x) SCMD_THREAD_ANNOTATION_(capability(x))
+
+/// An RAII type that acquires a capability on construction and releases
+/// it on destruction.
+#define SCMD_SCOPED_CAPABILITY SCMD_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define SCMD_GUARDED_BY(x) SCMD_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define SCMD_PT_GUARDED_BY(x) SCMD_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (must not already hold it).
+#define SCMD_ACQUIRE(...) \
+  SCMD_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (must hold it on entry).
+#define SCMD_RELEASE(...) \
+  SCMD_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `ret`.
+#define SCMD_TRY_ACQUIRE(ret, ...) \
+  SCMD_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must hold the capability across the call (held on entry AND
+/// exit — a CondVar wait releases and reacquires internally).
+#define SCMD_REQUIRES(...) \
+  SCMD_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock-by-self-lock guard).
+#define SCMD_EXCLUDES(...) SCMD_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declared lock-order edges; violations are lock-order-inversion errors.
+#define SCMD_ACQUIRED_BEFORE(...) \
+  SCMD_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define SCMD_ACQUIRED_AFTER(...) \
+  SCMD_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define SCMD_RETURN_CAPABILITY(x) SCMD_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch — the function body is not analyzed.  Every use needs a
+/// justification comment and shows up in scmd_lint.py's audit rule; the
+/// acceptance bar is zero uses in src/net, src/obs, and src/parallel.
+#define SCMD_NO_THREAD_SAFETY_ANALYSIS \
+  SCMD_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Assert (at analysis time) that the capability is held — for callbacks
+/// that are only ever invoked under a lock the analysis cannot see.
+#define SCMD_ASSERT_CAPABILITY(x) \
+  SCMD_THREAD_ANNOTATION_(assert_capability(x))
+
+#include <condition_variable>
+#include <mutex>
+
+namespace scmd {
+
+/// Annotated std::mutex.  BasicLockable + Lockable, so it still works
+/// with std::unique_lock / std::scoped_lock where the analysis is not
+/// needed (but prefer MutexLock, which the analysis understands).
+class SCMD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SCMD_ACQUIRE() { m_.lock(); }
+  void unlock() SCMD_RELEASE() { m_.unlock(); }
+  bool try_lock() SCMD_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Annotated std::recursive_mutex.  Reentrant acquisition across call
+/// boundaries (MetricsRegistry::emit -> sink -> const reader) is
+/// invisible to the intra-procedural analysis, which is exactly right:
+/// each function independently proves it takes the lock.
+class SCMD_CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() SCMD_ACQUIRE() { m_.lock(); }
+  void unlock() SCMD_RELEASE() { m_.unlock(); }
+  bool try_lock() SCMD_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::recursive_mutex m_;
+};
+
+/// Scoped lock over an annotated mutex.  Supports early unlock()/relock
+/// — Clang models relockable scoped capabilities, so
+/// `lk.unlock(); ...; lk.lock();` keeps the guarded-access checking
+/// exact across the unlocked window.
+template <class M>
+class SCMD_SCOPED_CAPABILITY BasicMutexLock {
+ public:
+  explicit BasicMutexLock(M& mu) SCMD_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~BasicMutexLock() SCMD_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  BasicMutexLock(const BasicMutexLock&) = delete;
+  BasicMutexLock& operator=(const BasicMutexLock&) = delete;
+
+  void unlock() SCMD_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() SCMD_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  M& mu_;
+  bool held_;
+};
+
+using MutexLock = BasicMutexLock<Mutex>;
+using RecursiveMutexLock = BasicMutexLock<RecursiveMutex>;
+
+/// Condition variable waiting on an scmd::Mutex.  Waits take the mutex
+/// itself (not a lock object) and are annotated SCMD_REQUIRES(mu): held
+/// on entry, released while blocked, reacquired before return — which is
+/// precisely the capability state the analysis assumes across the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `mu`, block, reacquire.  Spurious wakeups happen:
+  /// always wait in a `while (!condition)` loop (see the file comment —
+  /// do NOT use predicate lambdas, the analysis cannot see into them).
+  void wait(Mutex& mu) SCMD_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// wait() with a deadline; std::cv_status::timeout when it passed.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      SCMD_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& rel)
+      SCMD_REQUIRES(mu) {
+    return cv_.wait_for(mu, rel);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace scmd

@@ -1,0 +1,97 @@
+/// \file tags_test.cpp
+/// The wire-protocol tag registry (src/net/tags.hpp): the disjointness
+/// proofs, stage-helper range checking, and the named singletons'
+/// membership in their registered windows.  The interesting property —
+/// overlap fails the build — can only be demonstrated negatively here;
+/// these tests pin the machinery the static_asserts run on.
+
+#include "net/tags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace scmd::tags {
+namespace {
+
+TEST(TagsTest, RegistryIsWellFormedAndDisjointAtCompileTime) {
+  // The same predicates the header static_asserts; evaluated again at
+  // run time so a failure reports through the test harness too.
+  static_assert(all_well_formed(kRegistry, kNumRanges));
+  static_assert(all_disjoint(kRegistry, kNumRanges));
+  EXPECT_TRUE(all_well_formed(kRegistry, kNumRanges));
+  EXPECT_TRUE(all_disjoint(kRegistry, kNumRanges));
+}
+
+TEST(TagsTest, DisjointnessPredicateDetectsOverlap) {
+  constexpr TagRange overlapping[] = {{"a", 100, 8}, {"b", 104, 4}};
+  static_assert(!all_disjoint(overlapping, 2));
+  constexpr TagRange touching[] = {{"a", 100, 4}, {"b", 104, 4}};
+  static_assert(all_disjoint(touching, 2));
+}
+
+TEST(TagsTest, WellFormednessRejectsBadRanges) {
+  constexpr TagRange empty[] = {{"a", 100, 0}};
+  static_assert(!all_well_formed(empty, 1));
+  constexpr TagRange negative[] = {{"a", -1, 4}};
+  static_assert(!all_well_formed(negative, 1));
+  constexpr TagRange into_collectives[] = {{"a", kCollective - 1, 2}};
+  static_assert(!all_well_formed(into_collectives, 1));
+}
+
+TEST(TagsTest, EveryTagStaysBelowCollectiveWindow) {
+  for (const TagRange& r : kRegistry)
+    EXPECT_LT(r.base + r.width, kCollective) << r.name;
+}
+
+TEST(TagsTest, RegistryNamesAreUnique) {
+  std::set<std::string> names;
+  for (const TagRange& r : kRegistry) names.insert(r.name);
+  EXPECT_EQ(names.size(), kNumRanges);
+}
+
+TEST(TagsTest, StageHelpersCoverTheirWindowsExactly) {
+  // In-range values land inside the registered window...
+  static_assert(import_tag(0) == kImportBase);
+  static_assert(import_tag(kMaxStages - 1) == kImportBase + kMaxStages - 1);
+  static_assert(writeback_tag(7) == kWritebackBase + 7);
+  static_assert(refresh_tag(7) == kRefreshBase + 7);
+  static_assert(migrate_tag(2, 1) == kMigrateBase + 5);
+  static_assert(bench_tag(3) == kBenchBase + 3);
+  // ...and the windows never collide even at their extremes (the
+  // pre-registry bug: writeback stage 100 == migrate window).
+  static_assert(writeback_tag(kMaxStages - 1) < kMigrateBase);
+}
+
+TEST(TagsTest, OutOfWindowStageThrows) {
+  EXPECT_THROW(import_tag(-1), Error);
+  EXPECT_THROW(import_tag(kMaxStages), Error);
+  EXPECT_THROW(migrate_tag(3, 0), Error);  // axis 3 does not exist
+  EXPECT_THROW(bench_tag(kBenchWidth), Error);
+}
+
+TEST(TagsTest, NamedSingletonsLiveInTheirWindows) {
+  const auto contains = [](const char* name, int tag) {
+    for (const TagRange& r : kRegistry) {
+      if (std::string_view(r.name) == name)
+        return tag >= r.base && tag < r.base + r.width;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("gather", kGatherCounters));
+  EXPECT_TRUE(contains("gather", kGatherState));
+  EXPECT_TRUE(contains("gather", kGatherStats));
+  EXPECT_TRUE(contains("balance.cost_gather", kBalanceCostGather));
+  EXPECT_TRUE(contains("balance.plan_bcast", kBalancePlanBcast));
+  EXPECT_TRUE(contains("check", kCheck));
+  EXPECT_TRUE(contains("telemetry", kTelemetry));
+  EXPECT_TRUE(contains("clock.ping", kClockPing));
+  EXPECT_TRUE(contains("clock.pong", kClockPong));
+  EXPECT_TRUE(contains("ckpt.snapshot_atoms", kSnapshotAtoms));
+  EXPECT_TRUE(contains("ckpt.restore_blob", kRestoreBlob));
+}
+
+}  // namespace
+}  // namespace scmd::tags

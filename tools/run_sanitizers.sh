@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Local sanitizer + lint driver (docs/CHECKING.md).
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|tidy|all]
+# Usage: tools/run_sanitizers.sh [asan|tsan|tidy|lint|all]
 #
 # Mirrors the CI jobs exactly, via the checked-in CMake presets:
 #   asan — Debug build with ASan+UBSan and the invariant checker, full
 #          ctest suite.
-#   tsan — ThreadSanitizer build, `parallel`-labelled tests only (the
-#          threaded subset; TSan's 5-20x slowdown makes the full suite
-#          impractical).
+#   tsan — ThreadSanitizer build, `parallel`+`net`-labelled tests (the
+#          threaded subset plus the transport stack; TSan's 5-20x
+#          slowdown makes the full suite impractical).
 #   tidy — clang-tidy over the compile database.  Skipped with a notice
 #          when clang-tidy is not installed.
+#   lint — tools/lint/scmd_lint.py over the tree, then (when clang++ is
+#          installed) a -Werror=thread-safety build of the library
+#          (docs/CHECKING.md, "The static layer").
 # Logs land in build-<preset>/sanitizer-logs/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,10 +49,23 @@ case "$mode" in
         | xargs -P "$(nproc)" -n 8 clang-tidy -p build --quiet
     fi
     ;;&
-  asan|tsan|tidy|all)
+  lint|all)
+    python3 tools/lint/scmd_lint.py
+    if command -v clang++ >/dev/null 2>&1; then
+      # The thread-safety analysis only exists in Clang; GCC builds
+      # compile the SCMD_* annotations away.
+      cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DSCMD_BUILD_TESTS=OFF -DSCMD_BUILD_BENCH=OFF \
+        -DSCMD_BUILD_EXAMPLES=OFF
+      cmake --build build-tsa -j "$(nproc)"
+    else
+      echo "clang++ not installed; skipping the thread-safety build" >&2
+    fi
+    ;;&
+  asan|tsan|tidy|lint|all)
     ;;
   *)
-    echo "usage: $0 [asan|tsan|tidy|all]" >&2
+    echo "usage: $0 [asan|tsan|tidy|lint|all]" >&2
     exit 2
     ;;
 esac
