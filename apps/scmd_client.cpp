@@ -1,0 +1,260 @@
+// scmd_client — thin CLI for the MD-as-a-service daemon
+// (docs/SERVICE.md).
+//
+//   scmd_client submit  <config-file> [--host=H] [--port=P]
+//               [--priority=N] [--wait] [--stream]
+//               [--metrics-out=PATH] [--checkpoint-out=PATH]
+//               [--resume=JOB_ID] [--from-seq=N]
+//   scmd_client poll    <job-id>  [--host=H] [--port=P]
+//   scmd_client cancel  <job-id>  [--host=H] [--port=P]
+//   scmd_client jobs              [--host=H] [--port=P]
+//   scmd_client shutdown          [--host=H] [--port=P]
+//
+// submit prints `job <id> submitted`.  With --stream it follows the
+// job's chunk stream to completion: metrics chunks append to
+// --metrics-out (or stdout), and with --checkpoint-out the final-state
+// checkpoint chunk (needs --checkpoint-out at submit time, which turns
+// the chunk on) is written there — byte-identical to what scmd_run
+// would have produced for the same config.  --wait polls instead of
+// streaming.  Exit status: 0 for a done job, 3 cancelled, 4 failed.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace scmd;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int priority = 0;
+  bool wait = false;
+  bool stream = false;
+  std::string metrics_out;
+  std::string checkpoint_out;
+  std::int64_t resume = 0;
+  std::int64_t from_seq = 0;
+};
+
+void print_status(const serve::JobStatus& st) {
+  std::printf("job %lld: %s", static_cast<long long>(st.job_id),
+              serve::job_state_name(st.state));
+  if (st.steps_total > 0)
+    std::printf("  steps %lld/%lld", static_cast<long long>(st.steps_done),
+                static_cast<long long>(st.steps_total));
+  if (st.chunks > 0)
+    std::printf("  chunks %lld", static_cast<long long>(st.chunks));
+  if (st.steps_per_sec > 0.0) std::printf("  %.1f steps/s", st.steps_per_sec);
+  if (!st.pool_ranks.empty()) {
+    std::printf("  ranks [");
+    for (std::size_t i = 0; i < st.pool_ranks.size(); ++i)
+      std::printf("%s%d", i > 0 ? "," : "", st.pool_ranks[i]);
+    std::printf("]");
+  }
+  if (st.state == serve::JobState::kDone)
+    std::printf("  E_pot = %.6f", st.potential_energy);
+  if (!st.error.empty()) std::printf("  (%s)", st.error.c_str());
+  std::printf("\n");
+}
+
+int exit_code(serve::JobState state) {
+  if (state == serve::JobState::kDone) return 0;
+  if (state == serve::JobState::kCancelled) return 3;
+  return 4;
+}
+
+/// Follow the chunk stream to the terminal marker, demuxing metrics
+/// lines and the final checkpoint into their output files.
+int stream_job(serve::ClientConnection& conn, std::int64_t job_id,
+               const Options& opt) {
+  std::ofstream metrics;
+  if (!opt.metrics_out.empty()) {
+    metrics.open(opt.metrics_out, std::ios::out | std::ios::trunc);
+    SCMD_REQUIRE(metrics.good(), "cannot open " + opt.metrics_out);
+  }
+  const serve::StreamEnd end = conn.stream(
+      job_id, opt.from_seq, [&](const serve::ChunkMsg& chunk) {
+        if (chunk.kind == serve::ChunkKind::kMetrics) {
+          if (metrics.is_open()) {
+            metrics.write(
+                reinterpret_cast<const char*>(chunk.payload.data()),
+                static_cast<std::streamsize>(chunk.payload.size()));
+            metrics.flush();
+          } else {
+            std::fwrite(chunk.payload.data(), 1, chunk.payload.size(),
+                        stdout);
+            std::fflush(stdout);
+          }
+          return;
+        }
+        if (chunk.kind == serve::ChunkKind::kCheckpoint &&
+            !opt.checkpoint_out.empty()) {
+          std::ofstream out(opt.checkpoint_out,
+                            std::ios::out | std::ios::binary |
+                                std::ios::trunc);
+          SCMD_REQUIRE(out.good(), "cannot open " + opt.checkpoint_out);
+          out.write(reinterpret_cast<const char*>(chunk.payload.data()),
+                    static_cast<std::streamsize>(chunk.payload.size()));
+          std::printf("# checkpoint chunk (step %lld) -> %s\n",
+                      static_cast<long long>(chunk.step),
+                      opt.checkpoint_out.c_str());
+        }
+      });
+  std::printf("job %lld: %s", static_cast<long long>(end.job_id),
+              serve::job_state_name(end.state));
+  if (!end.error.empty()) std::printf("  (%s)", end.error.c_str());
+  std::printf("\n");
+  return exit_code(end.state);
+}
+
+int wait_job(serve::ClientConnection& conn, std::int64_t job_id) {
+  for (;;) {
+    const serve::JobStatus st = conn.poll(job_id);
+    if (serve::job_state_terminal(st.state)) {
+      print_status(st);
+      return exit_code(st.state);
+    }
+    ::usleep(100 * 1000);
+  }
+}
+
+int run(const std::string& verb, const std::string& operand,
+        const Options& opt) {
+  serve::ClientConnection conn(opt.host, opt.port);
+  if (verb == "submit") {
+    std::ifstream in(operand);
+    SCMD_REQUIRE(in.good(), "cannot read config file " + operand);
+    std::ostringstream text;
+    text << in.rdbuf();
+    serve::SubmitRequest req;
+    req.config_text = text.str();
+    req.priority = opt.priority;
+    req.want_checkpoint = !opt.checkpoint_out.empty();
+    req.resume_job = opt.resume;
+    const std::int64_t id = conn.submit(req);
+    std::printf("job %lld submitted\n", static_cast<long long>(id));
+    std::fflush(stdout);
+    if (opt.stream) return stream_job(conn, id, opt);
+    if (opt.wait) return wait_job(conn, id);
+    return 0;
+  }
+  if (verb == "poll" || verb == "cancel") {
+    const std::int64_t id = std::stoll(operand);
+    const serve::JobStatus st =
+        verb == "poll" ? conn.poll(id) : conn.cancel(id);
+    print_status(st);
+    return 0;
+  }
+  if (verb == "stream") {
+    return stream_job(conn, std::stoll(operand), opt);
+  }
+  if (verb == "jobs") {
+    std::printf("%s\n", conn.jobs().c_str());
+    return 0;
+  }
+  if (verb == "shutdown") {
+    conn.shutdown();
+    std::printf("shutdown requested\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "error: unknown verb '%s' (submit | poll | stream | cancel | "
+               "jobs | shutdown)\n",
+               verb.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string verb;
+  std::string operand;
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (arg == "--wait") {
+        opt.wait = true;
+        continue;
+      }
+      if (arg == "--stream") {
+        opt.stream = true;
+        continue;
+      }
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos || eq == 2) {
+        std::fprintf(stderr, "error: flags take the form --key=value: %s\n",
+                     arg.c_str());
+        return 2;
+      }
+      const std::string key = arg.substr(2, eq - 2);
+      const std::string value = arg.substr(eq + 1);
+      try {
+        if (key == "host") {
+          opt.host = value;
+        } else if (key == "port") {
+          opt.port = std::stoi(value);
+        } else if (key == "priority") {
+          opt.priority = std::stoi(value);
+        } else if (key == "metrics-out") {
+          opt.metrics_out = value;
+        } else if (key == "checkpoint-out") {
+          opt.checkpoint_out = value;
+        } else if (key == "resume") {
+          opt.resume = std::stoll(value);
+        } else if (key == "from-seq") {
+          opt.from_seq = std::stoll(value);
+        } else if (key == "wait") {
+          opt.wait = value != "0" && value != "false";
+        } else if (key == "stream") {
+          opt.stream = value != "0" && value != "false";
+        } else {
+          std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+          return 2;
+        }
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "error: bad value for --%s: %s\n", key.c_str(),
+                     value.c_str());
+        return 2;
+      }
+    } else if (verb.empty()) {
+      verb = arg;
+    } else if (operand.empty()) {
+      operand = arg;
+    } else {
+      std::fprintf(stderr, "error: too many positional arguments\n");
+      return 2;
+    }
+  }
+  if (verb.empty() ||
+      ((verb == "submit" || verb == "poll" || verb == "stream" ||
+        verb == "cancel") &&
+       operand.empty())) {
+    std::fprintf(stderr,
+                 "usage: %s <submit <config> | poll <id> | stream <id> | "
+                 "cancel <id> | jobs | shutdown> [--host=H --port=P ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (opt.port == 0) {
+    std::fprintf(stderr, "error: --port is required (the daemon prints "
+                         "its client port at startup)\n");
+    return 2;
+  }
+  try {
+    return run(verb, operand, opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -120,21 +120,13 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "io/xyz.hpp"
-#include "md/builders.hpp"
 #include "md/units.hpp"
 #include "net/status_server.hpp"
 #include "net/tcp.hpp"
 #include "obs/phase_hist.hpp"
 #include "parallel/parallel_engine.hpp"
 #include "parallel/supervisor.hpp"
-#include "potentials/bks.hpp"
-#include "potentials/dihedral.hpp"
-#include "potentials/gaussian_chain.hpp"
-#include "potentials/lj.hpp"
-#include "potentials/morse.hpp"
-#include "potentials/stillinger_weber.hpp"
-#include "potentials/tersoff.hpp"
-#include "potentials/vashishta.hpp"
+#include "serve/runplan.hpp"
 #include "support/config.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -143,47 +135,12 @@ namespace {
 
 using namespace scmd;
 
-std::unique_ptr<ForceField> make_field(const std::string& name) {
-  if (name == "lj") return std::make_unique<LennardJones>();
-  if (name == "morse") return std::make_unique<Morse>();
-  if (name == "vashishta") return std::make_unique<VashishtaSiO2>();
-  if (name == "bks") return std::make_unique<BksSiO2>();
-  if (name == "sw") return std::make_unique<StillingerWeber>();
-  if (name == "tersoff") return std::make_unique<TersoffSilicon>();
-  if (name == "chain4") return std::make_unique<ChainDihedral>();
-  if (name == "chain5") return std::make_unique<GaussianChain>();
-  SCMD_REQUIRE(false, "unknown field: " + name);
-  return nullptr;
-}
-
-std::vector<std::string> species_symbols(const std::string& field) {
-  if (field == "vashishta" || field == "bks") return {"Si", "O"};
-  if (field == "sw" || field == "tersoff") return {"Si"};
-  return {"X"};
-}
-
-ParticleSystem build_system(const Config& cfg, const std::string& field_name,
-                            const ForceField& field, Rng& rng) {
-  if (cfg.has("checkpoint_in"))
-    return load_checkpoint(cfg.get("checkpoint_in", ""));
-  const long long atoms = cfg.get_int("atoms", 1536);
-  const double temperature = cfg.get_double("temperature", 300.0);
-  const double dense_fraction = cfg.get_double("dense_fraction", 0.0);
-  if (field_name == "vashishta" || field_name == "bks") {
-    if (dense_fraction > 0.0)
-      return make_two_phase_silica(atoms, dense_fraction,
-                                   cfg.get_double("density", 2.2),
-                                   temperature, rng);
-    return make_silica(atoms, cfg.get_double("density", 2.2), temperature,
-                       rng);
-  }
-  SCMD_REQUIRE(dense_fraction == 0.0,
-               "dense_fraction needs a silica field (vashishta | bks)");
-  ParticleSystem sys =
-      make_gas(field, atoms, cfg.get_double("atoms_per_cell", 4.0),
-               temperature, rng);
-  return sys;
-}
+// Config -> field/system translation is shared with the serve daemon's
+// workers (serve/runplan.hpp), which is what makes a daemon-served job
+// bit-for-bit reproducible under scmd_run.
+using serve::build_system;
+using serve::make_field;
+using serve::species_symbols;
 
 /// `.csv` extension selects the CSV sink, anything else JSONL.
 std::unique_ptr<obs::MetricsSink> make_metrics_sink(const std::string& path) {

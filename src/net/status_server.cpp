@@ -61,8 +61,12 @@ StatusServer::StatusServer(int port) {
 StatusServer::~StatusServer() { stop(); }
 
 void StatusServer::publish(std::string json) {
+  publish("status", std::move(json));
+}
+
+void StatusServer::publish(const std::string& channel, std::string json) {
   const MutexLock lock(snapshot_mu_);
-  snapshot_ = std::move(json);
+  snapshots_[channel] = std::move(json);
 }
 
 void StatusServer::accept_loop() {
@@ -91,10 +95,12 @@ void StatusServer::serve(int fd) {
     std::string request(len, '\0');
     if (len > 0 && !read_full(fd, request.data(), len)) break;
 
-    std::string reply;
+    std::string reply = "{}";
     {
+      const std::string channel = request.empty() ? "status" : request;
       const MutexLock lock(snapshot_mu_);
-      reply = snapshot_;
+      const auto it = snapshots_.find(channel);
+      if (it != snapshots_.end()) reply = it->second;
     }
     const auto reply_len = static_cast<std::uint32_t>(reply.size());
     if (!write_full(fd, &reply_len, sizeof(reply_len))) break;

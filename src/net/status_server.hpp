@@ -10,14 +10,18 @@
 ///
 ///     u32 length (little-endian) | `length` bytes of UTF-8
 ///
-/// The request body is ignored ("status" by convention); every request
-/// gets exactly one response.  A connection serves any number of
-/// requests until the client closes it.  The server thread never touches
-/// the collector directly: the driver publishes fresh snapshots at its
-/// own cadence, so a slow or absent monitor costs the run one string
-/// copy per step and nothing more.
+/// The request body names a snapshot channel ("status" when empty — the
+/// historical protocol, which older monitors still speak); every request
+/// gets exactly one response, `{}` when the channel has never been
+/// published.  A connection serves any number of requests until the
+/// client closes it.  The server thread never touches the collector
+/// directly: the driver publishes fresh snapshots at its own cadence, so
+/// a slow or absent monitor costs the run one string copy per step and
+/// nothing more.  The serve daemon publishes its job table on the
+/// "jobs" channel (docs/SERVICE.md, tools/scmd_top.py --jobs).
 
 #include <atomic>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,8 +43,12 @@ class StatusServer {
   /// The bound port (useful with port 0).
   int port() const { return port_; }
 
-  /// Replace the snapshot served to clients.
+  /// Replace the default ("status") channel's snapshot.
   void publish(std::string json);
+
+  /// Replace `channel`'s snapshot (e.g. "jobs" for the serve daemon's
+  /// job table).
+  void publish(const std::string& channel, std::string json);
 
   /// Stop accepting, close every connection, join all threads.
   /// Idempotent; the destructor calls it.
@@ -55,7 +63,7 @@ class StatusServer {
   std::atomic<bool> running_{true};
 
   Mutex snapshot_mu_;
-  std::string snapshot_ SCMD_GUARDED_BY(snapshot_mu_) = "{}";
+  std::map<std::string, std::string> snapshots_ SCMD_GUARDED_BY(snapshot_mu_);
 
   Mutex conn_mu_;
   std::vector<int> conn_fds_ SCMD_GUARDED_BY(conn_mu_);

@@ -31,6 +31,7 @@
 ///   920..924  end-of-run gather           (parallel_engine.cpp)
 ///   930..932  telemetry + clock sync      (obs, net/clock_sync.cpp)
 ///   940..941  checkpoint snapshot/restore (ckpt, parallel_engine.cpp)
+///   1000..1007  service/daemon control    (src/serve, docs/SERVICE.md)
 
 #include <cstddef>
 
@@ -83,6 +84,19 @@ inline constexpr int kClockPong = 932;
 inline constexpr int kSnapshotAtoms = 940;
 inline constexpr int kRestoreBlob = 941;
 
+/// MD-as-a-service pool control (src/serve, docs/SERVICE.md).  The
+/// daemon (pool rank 0) and its workers speak only on this window;
+/// everything a running job sends uses the ordinary MD windows above,
+/// remapped through serve::SubsetTransport.  Unused tail tags stay
+/// reserved for protocol growth.
+inline constexpr int kSvcBase = 1000;
+inline constexpr int kSvcWidth = 8;
+inline constexpr int kSvcAssign = 1000;  ///< daemon -> worker: job assignment
+inline constexpr int kSvcCtrl = 1001;    ///< daemon -> worker: cancel/finish
+inline constexpr int kSvcUp = 1002;      ///< worker -> daemon: chunk/result/done
+inline constexpr int kSvcReduce = 1003;  ///< job-subset allreduce leg
+inline constexpr int kSvcBcast = 1004;   ///< job-subset broadcast leg
+
 /// One registered tag window: [base, base + width).
 struct TagRange {
   const char* name;
@@ -108,6 +122,7 @@ inline constexpr TagRange kRegistry[] = {
     {"clock.pong", kClockPong, 1},
     {"ckpt.snapshot_atoms", kSnapshotAtoms, 1},
     {"ckpt.restore_blob", kRestoreBlob, 1},
+    {"service", kSvcBase, kSvcWidth},
 };
 
 inline constexpr std::size_t kNumRanges =
@@ -147,6 +162,7 @@ static_assert(all_disjoint(kRegistry, kNumRanges),
 // The named singletons really live inside their registered windows.
 static_assert(kGatherCounters >= kGatherBase &&
               kGatherStats < kGatherBase + kGatherWidth);
+static_assert(kSvcAssign >= kSvcBase && kSvcBcast < kSvcBase + kSvcWidth);
 
 /// Tag for stage `i` of window `base` (import/writeback/refresh use
 /// kMaxStages; migrate uses kMigrateWidth).  Out-of-window indices throw

@@ -247,6 +247,25 @@ void TelemetryCollector::finish() {
   }
 }
 
+void TelemetryCollector::finish_partial() {
+  const MutexLock lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  SCMD_REQUIRE(slots_.empty(),
+               "telemetry collector finished with " +
+                   std::to_string(slots_.size()) +
+                   " incomplete step(s); first incomplete step " +
+                   std::to_string(next_final_));
+  // The old gather always emitted the final record; keep that contract
+  // when the cadence skipped it.  The registry still holds the last
+  // finalized step's values (finalization is in order).
+  const long long last = next_final_ - 1;
+  if (config_.metrics != nullptr && last >= 0 && last_emitted_ != last) {
+    config_.metrics->emit(last + config_.step_offset);
+    last_emitted_ = last;
+  }
+}
+
 long long TelemetryCollector::finalized_steps() const {
   const MutexLock lock(mu_);
   return next_final_;

@@ -96,6 +96,12 @@ class TelemetryCollector {
   /// delivered all its records.  Idempotent.
   void finish();
 
+  /// finish() for runs stopped before their step budget (cancelled or
+  /// walltime-capped service jobs): still requires every *started*
+  /// record to be complete across ranks, but accepts fewer than
+  /// `num_records` of them.  Idempotent.
+  void finish_partial();
+
   /// Steps finalized so far (all ranks' records arrived).
   long long finalized_steps() const;
 

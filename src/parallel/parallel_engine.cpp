@@ -236,6 +236,7 @@ ParallelRunResult run_parallel_md(ParticleSystem& sys,
   result.runtime_bytes = cluster.total_bytes();
   result.rebalances = rebalances;
   result.last_balance_ratio = last_ratio;
+  result.steps_completed = config.num_steps;
 
   // Replay the per-rank records through the same collector the
   // distributed driver streams into live: cluster totals, the per-rank
@@ -513,10 +514,13 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
 
   engine.compute_forces();
   if (telemetry) flush_telemetry(0);
+  int abort_reason = 0;
+  long long steps_done = start_step;
   for (int s = static_cast<int>(start_step); s < config.num_steps; ++s) {
     engine.step();
     const long long done = s + 1;        // completed MD steps
     const long long rec = done - start_step;  // this attempt's record index
+    steps_done = done;
     // Fault injection fires *before* the snapshot at this boundary, so a
     // killed rank never contributes to it and recovery has to fall back
     // to the previous checkpoint — the hard case.
@@ -537,9 +541,24 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
       }
     }
     if (telemetry) flush_telemetry(rec);
+    if (config.poll_abort) {
+      // Collective early-stop decision: the poll is local, the verdict
+      // is the max over ranks, so every rank leaves the loop at the
+      // same step boundary (telemetry records stay rectangular).
+      const int verdict = static_cast<int>(
+          comm.allreduce_max(static_cast<double>(config.poll_abort())));
+      if (verdict != 0) {
+        abort_reason = verdict;
+        break;
+      }
+    }
   }
   if (collector) {
-    collector->finish();
+    if (abort_reason == 0) {
+      collector->finish();
+    } else {
+      collector->finish_partial();
+    }
     if (config.status != nullptr)
       config.status->publish(collector->status_json());
   }
@@ -551,6 +570,8 @@ ParallelRunResult run_parallel_md_rank(ParticleSystem& sys,
   result.restored_step = start_step;
   result.snapshots_written = snapshots_written;
   result.recoveries = dur.attempt;
+  result.abort_reason = abort_reason;
+  result.steps_completed = steps_done;
 
   // Gather counters and the final atom state to rank 0 on the
   // registered gather channels (net/tags.hpp).  (Per-step metrics used

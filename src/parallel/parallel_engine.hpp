@@ -97,6 +97,16 @@ struct ParallelRunConfig {
   /// thread driver ignores it — durability there is the serial driver's
   /// job).
   DurabilityConfig durability;
+
+  /// Cooperative early stop (distributed driver only).  When set, every
+  /// rank polls it once per completed step and the cluster takes the
+  /// max over ranks — a non-zero return on *any* rank stops the whole
+  /// run at that step boundary, with the gathered state and telemetry
+  /// reflecting the steps actually completed.  The returned value is
+  /// reported as ParallelRunResult::abort_reason (serve uses 1 =
+  /// cancelled, 2 = walltime cap).  Either every rank sets this or none
+  /// does — the per-step reduction is collective.
+  std::function<int()> poll_abort;
 };
 
 /// Aggregated results of a parallel run.
@@ -115,6 +125,11 @@ struct ParallelRunResult {
   long long restored_step = 0;     ///< step the run resumed from (0 = fresh)
   long long snapshots_written = 0; ///< checkpoints rank 0 persisted
   int recoveries = 0;              ///< rank failures survived (supervisor)
+
+  /// 0 = ran to the step budget; otherwise the max non-zero value any
+  /// rank's `poll_abort` returned (the run stopped early).
+  int abort_reason = 0;
+  long long steps_completed = 0;   ///< MD steps completed by this run
 };
 
 /// Run `num_steps` of MD on `pgrid.num_ranks()` threads.  On return `sys`

@@ -506,6 +506,32 @@ void RankEngine::step() {
     }
   }
 
+  // Collective divergence gate.  A diverged system (non-finite position
+  // or velocity after the drift) would wedge the exchange below: the
+  // NaN atom never classifies as leaving, the one-hop invariant throws
+  // on *this* rank only, and the peers block forever in their matching
+  // recvs.  One allreduce makes the verdict unanimous, so every rank
+  // throws at the same step boundary and the caller — scmd_run or a
+  // serve worker — sees a clean failure instead of a hung cluster.
+  {
+    double bad = 0.0;
+    for (int i = 0; i < state_.num_owned(); ++i) {
+      const std::size_t ii = static_cast<std::size_t>(i);
+      const Vec3& p = state_.pos[ii];
+      const Vec3& v = state_.vel[ii];
+      if (!std::isfinite(p.x + p.y + p.z) ||
+          !std::isfinite(v.x + v.y + v.z)) {
+        bad = 1.0;
+        break;
+      }
+    }
+    if (comm_.allreduce_max(bad) > 0.0) {
+      throw Error(
+          "system diverged: non-finite position or velocity after "
+          "integration (reduce the time step or the initial temperature)");
+    }
+  }
+
   // Collective tuple-list retention decision (identical on every rank):
   // replay while the global max displacement since the build stays
   // within skin/2.  Decided before migration because reuse steps freeze

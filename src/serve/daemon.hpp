@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file daemon.hpp
+/// The MD-as-a-service controller (docs/SERVICE.md).
+///
+/// A ServeDaemon is pool rank 0 of an already-connected Transport whose
+/// ranks 1..N-1 run serve::run_worker().  It owns:
+///
+///  - the **client socket**: an acceptor + one session thread per
+///    connection speaking the length-prefixed client protocol
+///    (serve/protocol.hpp) — submit/poll/stream/cancel/jobs/shutdown.
+///    A malformed frame gets a kError reply and the connection is
+///    dropped; a client that disconnects mid-stream cancels *its* job
+///    and nothing else.
+///  - the **scheduler**: FIFO+priority queue with space-sharing rank
+///    allocation and per-job resource caps (serve/scheduler.hpp).
+///  - one **monitor thread per worker** draining tags::kSvcUp —
+///    chunks are appended to the job's stream buffer, results decide
+///    the terminal state, done-messages release ranks, and a transport
+///    error (dead peer) retires the rank without killing the daemon.
+///  - the **observability surface**: serve.* metrics (queue depth,
+///    jobs active, latency) through an optional registry, and the
+///    "jobs"/"status" channels of an optional net/StatusServer for
+///    tools/scmd_top.py --jobs.
+///
+/// Job isolation: every job failure mode — config rejected at submit,
+/// MD run throwing, cancel, walltime cap, client disconnect, worker
+/// rank death — ends with that job terminal and its surviving ranks
+/// reported free; the pool keeps serving.
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "support/thread_safety.hpp"
+
+namespace scmd {
+class StatusServer;
+}
+
+namespace scmd::serve {
+
+struct DaemonConfig {
+  int client_port = 0;   ///< client-protocol listener (0 = ephemeral)
+  int status_port = -1;  ///< status/jobs channels (-1 = no status server)
+  std::string dir;       ///< job artifact root; "" disables per-job
+                         ///< checkpoints, traces, and resume-by-id
+  JobLimits limits;      ///< per-job caps, enforced at submit
+  /// Stream chunks retained per job; older chunks are evicted and a
+  /// late stream starts at the oldest retained sequence number.
+  std::size_t max_chunks_retained = 4096;
+  double tick_s = 0.02;  ///< scheduler wakeup cadence
+  obs::MetricsRegistry* metrics = nullptr;  ///< serve.* metrics (optional)
+};
+
+class ServeDaemon {
+ public:
+  /// `pool.rank()` must be 0 and the pool needs >= 1 worker.  Binds the
+  /// client listener and starts the acceptor + worker monitors; run()
+  /// does the scheduling.
+  ServeDaemon(Transport& pool, DaemonConfig cfg);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  int client_port() const { return client_port_; }
+  /// Bound status port, or -1 when the status server is off.
+  int status_port() const;
+
+  /// Serve until a shutdown request drains: cancels queued and running
+  /// jobs, waits for every rank to come home, dissolves the workers
+  /// (kBye), and joins every thread.
+  void run();
+
+  /// Thread-safe; run() returns after draining.  Also triggered by a
+  /// client kShutdown frame.
+  void request_shutdown();
+
+ private:
+  /// Per-job append-only chunk log + terminal marker.  Sessions wait on
+  /// `cv`; the worker monitor appends and closes.  Lock order: a thread
+  /// holding `mu` may not take the daemon mutex.
+  struct JobStream {
+    Mutex mu;
+    CondVar cv;
+    std::vector<ChunkMsg> chunks SCMD_GUARDED_BY(mu);
+    std::int64_t base_seq SCMD_GUARDED_BY(mu) = 0;  ///< seq of chunks[0]
+    std::int64_t next_seq SCMD_GUARDED_BY(mu) = 0;
+    bool closed SCMD_GUARDED_BY(mu) = false;
+    JobState final_state SCMD_GUARDED_BY(mu) = JobState::kDone;
+    std::string final_error SCMD_GUARDED_BY(mu);
+  };
+
+  /// In-flight bookkeeping beyond the scheduler's record.
+  struct RunningJob {
+    std::vector<int> pool_ranks;
+    std::set<int> pending_ranks;  ///< not yet kDone
+    bool ctrl_sent = false;       ///< cancel or finish already issued
+    bool result_seen = false;
+    JobState final_state = JobState::kDone;
+    std::string final_error;
+    std::string cancel_reason;    ///< why the cancel was issued, if any
+    double potential_energy = 0.0;
+    long long steps_completed = -1;
+  };
+
+  double now_s() const;
+
+  void accept_loop();
+  void session(int fd);
+  bool handle_frame(int fd, const Frame& frame);  ///< false closes
+  bool handle_stream(int fd, const StreamRequest& req);
+  void monitor_loop(int worker_rank);
+
+  JobStatus status_of_locked(std::int64_t id) SCMD_REQUIRES(mu_);
+  void dispatch_locked() SCMD_REQUIRES(mu_);
+  void cancel_job_locked(std::int64_t id, const std::string& why)
+      SCMD_REQUIRES(mu_);
+  void finalize_if_drained_locked(std::int64_t id) SCMD_REQUIRES(mu_);
+  void close_stream_locked(std::int64_t id, JobState state,
+                           const std::string& error) SCMD_REQUIRES(mu_);
+  void publish_locked() SCMD_REQUIRES(mu_);
+  void update_metrics_locked() SCMD_REQUIRES(mu_);
+  std::string job_dir(std::int64_t id) const;
+
+  Transport& pool_;
+  DaemonConfig cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  int listen_fd_ = -1;
+  int client_port_ = 0;
+  std::unique_ptr<StatusServer> status_;
+
+  std::atomic<bool> running_{true};
+  std::atomic<bool> shutdown_requested_{false};
+
+  Mutex mu_;
+  CondVar tick_cv_;
+  JobScheduler sched_ SCMD_GUARDED_BY(mu_);
+  std::map<std::int64_t, std::shared_ptr<JobStream>> streams_
+      SCMD_GUARDED_BY(mu_);
+  std::map<std::int64_t, RunningJob> running_jobs_ SCMD_GUARDED_BY(mu_);
+  /// Assignment with all plan-derived fields filled at submit; dispatch
+  /// only adds the allocated ranks.
+  std::map<std::int64_t, JobAssignment> assignment_proto_ SCMD_GUARDED_BY(mu_);
+  std::vector<bool> worker_alive_ SCMD_GUARDED_BY(mu_);  ///< idx rank-1
+  long long obs_seq_ SCMD_GUARDED_BY(mu_) = 0;
+
+  Mutex conn_mu_;
+  std::vector<int> conn_fds_ SCMD_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ SCMD_GUARDED_BY(conn_mu_);
+  std::thread accept_thread_;
+  std::vector<std::thread> monitors_;
+  bool torn_down_ = false;  ///< run() completed its teardown
+};
+
+}  // namespace scmd::serve

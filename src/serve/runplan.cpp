@@ -1,0 +1,136 @@
+#include "serve/runplan.hpp"
+
+#include "balance/rebalancer.hpp"
+#include "io/checkpoint.hpp"
+#include "md/builders.hpp"
+#include "md/units.hpp"
+#include "potentials/bks.hpp"
+#include "potentials/dihedral.hpp"
+#include "potentials/gaussian_chain.hpp"
+#include "potentials/lj.hpp"
+#include "potentials/morse.hpp"
+#include "potentials/stillinger_weber.hpp"
+#include "potentials/tersoff.hpp"
+#include "potentials/vashishta.hpp"
+#include "support/error.hpp"
+
+namespace scmd::serve {
+
+std::unique_ptr<ForceField> make_field(const std::string& name) {
+  if (name == "lj") return std::make_unique<LennardJones>();
+  if (name == "morse") return std::make_unique<Morse>();
+  if (name == "vashishta") return std::make_unique<VashishtaSiO2>();
+  if (name == "bks") return std::make_unique<BksSiO2>();
+  if (name == "sw") return std::make_unique<StillingerWeber>();
+  if (name == "tersoff") return std::make_unique<TersoffSilicon>();
+  if (name == "chain4") return std::make_unique<ChainDihedral>();
+  if (name == "chain5") return std::make_unique<GaussianChain>();
+  SCMD_REQUIRE(false, "unknown field: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> species_symbols(const std::string& field) {
+  if (field == "vashishta" || field == "bks") return {"Si", "O"};
+  if (field == "sw" || field == "tersoff") return {"Si"};
+  return {"X"};
+}
+
+ParticleSystem build_system(const Config& cfg, const std::string& field_name,
+                            const ForceField& field, Rng& rng) {
+  if (cfg.has("checkpoint_in"))
+    return load_checkpoint(cfg.get("checkpoint_in", ""));
+  const long long atoms = cfg.get_int("atoms", 1536);
+  const double temperature = cfg.get_double("temperature", 300.0);
+  const double dense_fraction = cfg.get_double("dense_fraction", 0.0);
+  if (field_name == "vashishta" || field_name == "bks") {
+    if (dense_fraction > 0.0)
+      return make_two_phase_silica(atoms, dense_fraction,
+                                   cfg.get_double("density", 2.2),
+                                   temperature, rng);
+    return make_silica(atoms, cfg.get_double("density", 2.2), temperature,
+                       rng);
+  }
+  SCMD_REQUIRE(dense_fraction == 0.0,
+               "dense_fraction needs a silica field (vashishta | bks)");
+  ParticleSystem sys =
+      make_gas(field, atoms, cfg.get_double("atoms_per_cell", 4.0),
+               temperature, rng);
+  return sys;
+}
+
+TupleCacheConfig parse_tuple_cache(const Config& cfg) {
+  TupleCacheConfig cache_cfg;
+  const std::string tc = cfg.get("tuple_cache", "off");
+  if (tc.rfind("skin=", 0) == 0) {
+    cache_cfg.enabled = true;
+    cache_cfg.skin = std::stod(tc.substr(5));
+    SCMD_REQUIRE(cache_cfg.skin >= 0.0,
+                 "tuple_cache skin must be non-negative");
+  } else {
+    SCMD_REQUIRE(tc == "off", "tuple_cache must be off | skin=<s>, got: " + tc);
+  }
+  return cache_cfg;
+}
+
+std::function<std::unique_ptr<RankBalancer>(int rank)> parse_balancer(
+    const Config& cfg) {
+  const std::string balance = cfg.get("balance", "off");
+  if (balance == "off") return nullptr;
+  BalanceConfig bc;
+  if (balance == "auto") {
+    bc.mode = BalanceConfig::Mode::kAuto;
+  } else if (balance.rfind("every=", 0) == 0) {
+    bc.mode = BalanceConfig::Mode::kEvery;
+    bc.every = std::stoi(balance.substr(6));
+  } else {
+    SCMD_REQUIRE(false, "balance must be off | auto | every=K, got: " + balance);
+  }
+  bc.threshold = cfg.get_double("balance_threshold", 1.2);
+  bc.min_interval = static_cast<int>(cfg.get_int("balance_min_interval", 10));
+  return make_rebalancer_factory(bc);
+}
+
+const std::vector<std::string>& job_config_keys() {
+  static const std::vector<std::string> keys = {
+      "field",        "strategy",        "atoms",
+      "density",      "atoms_per_cell",  "temperature",
+      "dt_fs",        "steps",           "seed",
+      "dense_fraction", "ranks",         "balance",
+      "balance_threshold", "balance_min_interval",
+      "tuple_cache",  "metrics_every",   "checkpoint_every",
+      "walltime_s"};
+  return keys;
+}
+
+JobPlan build_job_plan(const Config& cfg) {
+  cfg.require_known(job_config_keys());
+  SCMD_REQUIRE(cfg.has("field"), "job config must set `field`");
+
+  JobPlan plan;
+  plan.field_name = cfg.get("field", "");
+  plan.strategy = cfg.get("strategy", "SC");
+  plan.field = make_field(plan.field_name);
+  plan.dt = cfg.get_double("dt_fs", 1.0) * units::kFemtosecond;
+  plan.steps = static_cast<int>(cfg.get_int("steps", 100));
+  SCMD_REQUIRE(plan.steps >= 1, "job needs steps >= 1");
+  plan.ranks = static_cast<int>(cfg.get_int("ranks", 2));
+  SCMD_REQUIRE(plan.ranks >= 2,
+               "a service job needs ranks >= 2 (the pool runs the "
+               "distributed driver)");
+  plan.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  plan.tuple_cache = parse_tuple_cache(cfg);
+  plan.make_balancer = parse_balancer(cfg);
+  plan.metrics_every = static_cast<int>(cfg.get_int("metrics_every", 1));
+  SCMD_REQUIRE(plan.metrics_every >= 1, "metrics_every must be >= 1");
+  plan.checkpoint_every = static_cast<int>(cfg.get_int("checkpoint_every", 0));
+  SCMD_REQUIRE(plan.checkpoint_every >= 0,
+               "checkpoint_every must be >= 0");
+  plan.walltime_s = cfg.get_double("walltime_s", 0.0);
+  SCMD_REQUIRE(plan.walltime_s >= 0.0, "walltime_s must be >= 0");
+
+  Rng rng(plan.seed);
+  plan.system = build_system(cfg, plan.field_name, *plan.field, rng);
+  return plan;
+}
+
+}  // namespace scmd::serve

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file runplan.hpp
+/// Config -> runnable-simulation translation, shared by `scmd_run` and
+/// the serve daemon's workers.
+///
+/// Bit-for-bit parity between a daemon-served job and the same config
+/// under `scmd_run` is an acceptance criterion (docs/SERVICE.md), so
+/// there is exactly one implementation of "config to field/system/
+/// strategy/knobs": both drivers call the helpers below, consume the
+/// RNG in the same order, and hand the identical initial state to the
+/// same per-rank MD driver.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engines/strategy.hpp"
+#include "md/system.hpp"
+#include "parallel/rank_engine.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+
+namespace scmd {
+class RankBalancer;
+}
+
+namespace scmd::serve {
+
+/// Force-field factory: lj | morse | vashishta | bks | sw | tersoff |
+/// chain4 | chain5.  Throws scmd::Error for anything else.
+std::unique_ptr<ForceField> make_field(const std::string& name);
+
+/// Trajectory-output species labels for a field.
+std::vector<std::string> species_symbols(const std::string& field);
+
+/// Build the initial system a config describes: `checkpoint_in` when
+/// set, else the silica/two-phase/gas builders, consuming `rng`
+/// deterministically (atoms / density / atoms_per_cell / temperature /
+/// dense_fraction keys).
+ParticleSystem build_system(const Config& cfg, const std::string& field_name,
+                            const ForceField& field, Rng& rng);
+
+/// Parse `tuple_cache` (off | skin=<s>).
+TupleCacheConfig parse_tuple_cache(const Config& cfg);
+
+/// Parse `balance`/`balance_threshold`/`balance_min_interval` into a
+/// per-rank balancer factory; null when `balance=off`.
+std::function<std::unique_ptr<RankBalancer>(int rank)> parse_balancer(
+    const Config& cfg);
+
+/// The config keys a *service job* may set — a deliberate subset of the
+/// scmd_run surface: no transport/rank plumbing (the pool owns that),
+/// no thermostat (parallel runs are NVE), no output paths (results
+/// stream back as chunks).
+const std::vector<std::string>& job_config_keys();
+
+/// Everything a worker needs to run one job.  Built identically on
+/// every subset rank from the assignment's config text (same seed, same
+/// builder order), like scmd_run's tcp ranks.
+struct JobPlan {
+  std::string field_name;
+  std::string strategy = "SC";
+  std::unique_ptr<ForceField> field;
+  std::optional<ParticleSystem> system;
+  int ranks = 2;           ///< pool ranks the job wants
+  double dt = 0.0;         ///< internal units
+  int steps = 0;
+  std::uint64_t seed = 1;
+  TupleCacheConfig tuple_cache;
+  std::function<std::unique_ptr<RankBalancer>(int rank)> make_balancer;
+  int metrics_every = 1;
+  int checkpoint_every = 0;
+  double walltime_s = 0.0;  ///< job-requested cap; 0 = daemon default
+};
+
+/// Parse + validate a job config (throws scmd::Error with a message fit
+/// for the submit reject path: unknown key, bad field, bad ranks, ...).
+JobPlan build_job_plan(const Config& cfg);
+
+}  // namespace scmd::serve

@@ -1,0 +1,103 @@
+#include "serve/subset.hpp"
+
+#include <utility>
+
+#include "net/tags.hpp"
+#include "support/error.hpp"
+
+namespace scmd::serve {
+
+SubsetTransport::SubsetTransport(Transport& parent,
+                                 std::vector<int> pool_ranks)
+    : parent_(parent), pool_ranks_(std::move(pool_ranks)) {
+  SCMD_REQUIRE(!pool_ranks_.empty(), "subset transport needs >= 1 rank");
+  const int self = parent_.rank();
+  for (std::size_t i = 0; i < pool_ranks_.size(); ++i) {
+    const int r = pool_ranks_[i];
+    SCMD_REQUIRE(r >= 0 && r < parent_.num_ranks(),
+                 "subset rank " + std::to_string(r) +
+                     " is outside the pool");
+    if (r == self) local_rank_ = static_cast<int>(i);
+  }
+  SCMD_REQUIRE(local_rank_ >= 0,
+               "this endpoint (pool rank " + std::to_string(self) +
+                   ") is not in the job's rank subset");
+  baseline_ = parent_.stats();
+}
+
+int SubsetTransport::global(int local) const {
+  SCMD_REQUIRE(local >= 0 && local < num_ranks(),
+               "subset rank " + std::to_string(local) + " out of range");
+  return pool_ranks_[static_cast<std::size_t>(local)];
+}
+
+void SubsetTransport::send(int dst, int tag, Bytes payload) {
+  parent_.send(global(dst), tag, std::move(payload));
+}
+
+Bytes SubsetTransport::recv(int src, int tag) {
+  return parent_.recv(global(src), tag);
+}
+
+// Collectives: job-rank-0-rooted over point-to-point on the service
+// window.  The gather leg and the release leg use distinct tags so a
+// rank racing ahead into the next collective cannot consume a peer's
+// contribution to this one; within one (src, dst, tag) channel the
+// transport's FIFO order sequences back-to-back collectives.
+
+void SubsetTransport::barrier() { (void)allreduce_sum(0.0); }
+
+double SubsetTransport::allreduce_sum(double value) {
+  const int n = num_ranks();
+  if (n == 1) return value;
+  if (local_rank_ == 0) {
+    double acc = value;
+    for (int r = 1; r < n; ++r) {
+      const auto v = unpack<double>(recv(r, tags::kSvcReduce));
+      SCMD_REQUIRE(v.size() == 1, "malformed subset allreduce contribution");
+      acc += v[0];
+    }
+    for (int r = 1; r < n; ++r)
+      send(r, tags::kSvcBcast, pack(std::vector<double>{acc}));
+    return acc;
+  }
+  send(0, tags::kSvcReduce, pack(std::vector<double>{value}));
+  const auto v = unpack<double>(recv(0, tags::kSvcBcast));
+  SCMD_REQUIRE(v.size() == 1, "malformed subset allreduce result");
+  return v[0];
+}
+
+double SubsetTransport::allreduce_max(double value) {
+  const int n = num_ranks();
+  if (n == 1) return value;
+  if (local_rank_ == 0) {
+    double acc = value;
+    for (int r = 1; r < n; ++r) {
+      const auto v = unpack<double>(recv(r, tags::kSvcReduce));
+      SCMD_REQUIRE(v.size() == 1, "malformed subset allreduce contribution");
+      if (v[0] > acc) acc = v[0];
+    }
+    for (int r = 1; r < n; ++r)
+      send(r, tags::kSvcBcast, pack(std::vector<double>{acc}));
+    return acc;
+  }
+  send(0, tags::kSvcReduce, pack(std::vector<double>{value}));
+  const auto v = unpack<double>(recv(0, tags::kSvcBcast));
+  SCMD_REQUIRE(v.size() == 1, "malformed subset allreduce result");
+  return v[0];
+}
+
+TransportStats SubsetTransport::stats() const {
+  const TransportStats now = parent_.stats();
+  TransportStats delta;
+  delta.messages_sent = now.messages_sent - baseline_.messages_sent;
+  delta.bytes_sent = now.bytes_sent - baseline_.bytes_sent;
+  delta.messages_received = now.messages_received - baseline_.messages_received;
+  delta.bytes_received = now.bytes_received - baseline_.bytes_received;
+  delta.recv_stall_ns = now.recv_stall_ns - baseline_.recv_stall_ns;
+  // High watermarks do not subtract; report the parent's.
+  delta.max_mailbox_depth = now.max_mailbox_depth;
+  return delta;
+}
+
+}  // namespace scmd::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file subset.hpp
+/// A Transport view over a subset of a pool's ranks — the space-sharing
+/// primitive behind multi-tenant serving (docs/SERVICE.md).
+///
+/// A job assigned pool ranks {3, 5, 6} sees an ordinary 3-rank cluster:
+/// job-local rank i is pool rank `pool_ranks[i]`, point-to-point sends
+/// remap the destination and pass the tag through unchanged, and the
+/// collectives are re-implemented job-locally (rooted at job rank 0 on
+/// the registered service tags), because the parent transport's
+/// collectives span the *whole* pool.
+///
+/// Why tag pass-through is safe: the scheduler allocates disjoint rank
+/// subsets, so two concurrent jobs never share a (src, dst) pair — the
+/// per-(src, dst, tag) FIFO contract of docs/TRANSPORT.md carries over
+/// untouched.  Sequential jobs on the same ranks are separated by the
+/// assignment/done handshake (serve/worker.hpp): a worker only reports
+/// its rank free after the job's final barrier drained every channel.
+
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace scmd::serve {
+
+class SubsetTransport final : public Transport {
+ public:
+  /// `pool_ranks[i]` is job-local rank i's pool rank; `self` is this
+  /// endpoint's pool rank and must appear in the list.
+  SubsetTransport(Transport& parent, std::vector<int> pool_ranks);
+
+  int rank() const override { return local_rank_; }
+  int num_ranks() const override {
+    return static_cast<int>(pool_ranks_.size());
+  }
+
+  void send(int dst, int tag, Bytes payload) override;
+  Bytes recv(int src, int tag) override;
+
+  void barrier() override;
+  double allreduce_sum(double value) override;
+  double allreduce_max(double value) override;
+
+  /// Parent stats delta since this subset view was created, so per-job
+  /// accounting is not polluted by earlier jobs on the same endpoint.
+  TransportStats stats() const override;
+
+ private:
+  int global(int local) const;
+
+  Transport& parent_;
+  std::vector<int> pool_ranks_;
+  int local_rank_ = -1;
+  TransportStats baseline_;
+};
+
+}  // namespace scmd::serve

@@ -1,0 +1,200 @@
+#include "serve/worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "ckpt/checkpoint.hpp"
+#include "net/tags.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/runplan.hpp"
+#include "serve/subset.hpp"
+#include "support/config.hpp"
+#include "support/error.hpp"
+
+namespace scmd::serve {
+
+namespace {
+
+/// MetricsSink that ships every emitted record upstream as a metrics
+/// chunk (the PR 7 append-only log shape, over the wire instead of a
+/// file).  Lives on the job root only; the daemon appends the chunks to
+/// the job's stream buffer in arrival order (= emit order, by the
+/// per-channel FIFO contract).
+class ChunkSink final : public obs::MetricsSink {
+ public:
+  ChunkSink(Transport& pool, std::int64_t job_id)
+      : pool_(pool), job_id_(job_id) {}
+
+  void write_step(long long step, const obs::MetricsRegistry& reg) override {
+    buffer_.str(std::string());
+    line_.write_step(step, reg);
+    const std::string line = buffer_.str();
+    UpMsg msg;
+    msg.kind = UpKind::kChunk;
+    msg.job_id = job_id_;
+    msg.chunk_kind = ChunkKind::kMetrics;
+    msg.step = step;
+    msg.payload.resize(line.size());
+    std::memcpy(msg.payload.data(), line.data(), line.size());
+    pool_.send(0, tags::kSvcUp, encode_up(msg));
+  }
+
+ private:
+  Transport& pool_;
+  std::int64_t job_id_;
+  std::ostringstream buffer_;
+  obs::JsonlSink line_{buffer_};
+};
+
+/// One job on this worker.  Every subset rank executes this; job-local
+/// rank 0 additionally streams metrics/checkpoint chunks and the
+/// result.
+void run_one_job(Transport& pool, const JobAssignment& a) {
+  const bool job_root = !a.pool_ranks.empty() &&
+                        a.pool_ranks[0] == pool.rank();
+
+  // Control listener: consumes this job's single kSvcCtrl frame.  A
+  // kCancel flips the abort flag the driver polls; a kFinish (sent by
+  // the daemon once the result arrived) just releases the listener.
+  std::atomic<int> abort_flag{0};
+  std::thread ctrl([&pool, &abort_flag] {
+    const CtrlMsg msg = decode_ctrl(pool.recv(0, tags::kSvcCtrl));
+    if (msg.action == CtrlAction::kCancel) abort_flag.store(1);
+  });
+
+  const auto started = std::chrono::steady_clock::now();
+  UpMsg result;
+  result.kind = UpKind::kResult;
+  result.job_id = a.job_id;
+
+  try {
+    JobPlan plan = build_job_plan(Config::parse(a.config_text));
+    SCMD_REQUIRE(plan.ranks == static_cast<int>(a.pool_ranks.size()),
+                 "assignment rank count disagrees with the job config");
+    result.steps_total = plan.steps;
+
+    SubsetTransport subset(pool, std::vector<int>(a.pool_ranks.begin(),
+                                                  a.pool_ranks.end()));
+    Comm comm(subset);
+
+    ParallelRunConfig pcfg;
+    pcfg.dt = plan.dt;
+    pcfg.num_steps = plan.steps;
+    pcfg.tuple_cache = plan.tuple_cache;
+    pcfg.make_balancer = plan.make_balancer;
+    pcfg.metrics_every = plan.metrics_every;
+    const double walltime_s = a.walltime_s;
+    pcfg.poll_abort = [&abort_flag, started, walltime_s] {
+      const int flagged = abort_flag.load();
+      if (flagged != 0) return flagged;
+      if (walltime_s > 0.0) {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - started;
+        if (elapsed.count() > walltime_s) return 2;
+      }
+      return 0;
+    };
+
+    // Per-job observability on the job root: a registry whose only sink
+    // streams chunks upstream, and (optionally) a trace session saved
+    // into the job directory.  The driver's telemetry decision is
+    // collective, driven by root's hooks — exactly scmd_run's shape.
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<obs::TraceSession> trace;
+    if (job_root && a.want_telemetry) {
+      metrics = std::make_unique<obs::MetricsRegistry>();
+      metrics->set_attr("field", plan.field_name);
+      metrics->set_attr("strategy", plan.strategy);
+      metrics->set_attr("job_id", std::to_string(a.job_id));
+      metrics->add_sink(std::make_unique<ChunkSink>(pool, a.job_id));
+    }
+    if (job_root && !a.trace_path.empty())
+      trace = std::make_unique<obs::TraceSession>();
+    pcfg.metrics = metrics.get();
+    pcfg.trace = trace.get();
+
+    if (a.checkpoint_every > 0 && !a.ckpt_dir.empty()) {
+      pcfg.durability.checkpoint_every = a.checkpoint_every;
+      pcfg.durability.checkpoint_dir = a.ckpt_dir;
+    }
+    if (a.restore && !a.ckpt_dir.empty()) {
+      pcfg.durability.restore = true;
+      pcfg.durability.checkpoint_dir = a.ckpt_dir;
+    }
+
+    ParticleSystem sys = std::move(*plan.system);
+    const ProcessGrid grid = ProcessGrid::factor(plan.ranks);
+    const ParallelRunResult res = run_parallel_md_rank(
+        sys, *plan.field, plan.strategy, grid, pcfg, comm);
+
+    result.potential_energy = res.potential_energy;
+    result.steps_completed = res.steps_completed;
+    result.cancelled = res.abort_reason == 1;
+    if (res.abort_reason == 2) {
+      result.failed = true;
+      result.error = "walltime cap exceeded after " +
+                     std::to_string(res.steps_completed) + " step(s)";
+    }
+
+    if (job_root && trace) trace->save(a.trace_path);
+    if (job_root && a.want_checkpoint && !result.failed) {
+      // Final gathered state as one checkpoint chunk, so a client can
+      // reconstruct (or diff) the exact end state without filesystem
+      // access to the daemon host.
+      ckpt::CheckpointData data;
+      data.system = sys;
+      data.clock.step = res.steps_completed;
+      data.clock.total_steps = plan.steps;
+      data.clock.dt = plan.dt;
+      UpMsg chunk;
+      chunk.kind = UpKind::kChunk;
+      chunk.job_id = a.job_id;
+      chunk.chunk_kind = ChunkKind::kCheckpoint;
+      chunk.step = res.steps_completed;
+      chunk.payload = ckpt::encode_checkpoint(data);
+      pool.send(0, tags::kSvcUp, encode_up(chunk));
+    }
+  } catch (const std::exception& e) {
+    result.failed = true;
+    result.error = e.what();
+  }
+
+  // Order matters: the root's result triggers the daemon's kFinish,
+  // which releases every subset rank's control listener — so report
+  // before joining, and report the rank free (kDone) only after the
+  // listener drained the control channel.
+  if (job_root) pool.send(0, tags::kSvcUp, encode_up(result));
+  ctrl.join();
+  UpMsg done;
+  done.kind = UpKind::kDone;
+  done.job_id = a.job_id;
+  pool.send(0, tags::kSvcUp, encode_up(done));
+}
+
+}  // namespace
+
+void run_worker(Transport& pool) {
+  SCMD_REQUIRE(pool.rank() >= 1, "pool rank 0 is the daemon, not a worker");
+  for (;;) {
+    const JobAssignment a =
+        decode_assignment(pool.recv(0, tags::kSvcAssign));
+    if (a.shutdown) {
+      UpMsg bye;
+      bye.kind = UpKind::kBye;
+      pool.send(0, tags::kSvcUp, encode_up(bye));
+      return;
+    }
+    run_one_job(pool, a);
+  }
+}
+
+}  // namespace scmd::serve

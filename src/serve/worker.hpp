@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file worker.hpp
+/// The pool worker loop: one warm rank serving many jobs
+/// (docs/SERVICE.md).
+///
+/// A worker blocks on tags::kSvcAssign, joins each assigned job as one
+/// rank of a serve::SubsetTransport cluster, re-enters the ordinary
+/// distributed MD driver (parallel/parallel_engine.hpp) with the job's
+/// fresh config, and reports chunks/result/done upward on tags::kSvcUp.
+/// Cancellation rides a dedicated control listener: per job, exactly
+/// one tags::kSvcCtrl frame arrives — kCancel mid-run (picked up by the
+/// driver's poll_abort at the next step boundary) or kFinish once the
+/// job root's result reached the daemon — so the listener thread always
+/// terminates and the channel is clean before the worker reports its
+/// rank free.
+
+#include "net/transport.hpp"
+
+namespace scmd::serve {
+
+/// Serve jobs until a shutdown assignment arrives.  `pool` is this
+/// worker's endpoint of the pool transport (pool rank >= 1); rank 0 is
+/// the daemon.  Returns after acknowledging shutdown with a kBye.
+void run_worker(Transport& pool);
+
+}  // namespace scmd::serve

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# MD-as-a-service smoke (docs/SERVICE.md acceptance): an 8-rank TCP
+# warm pool serves two concurrent jobs to completion plus one cancelled
+# mid-run — without restarting — then a served job's final checkpoint is
+# compared bit-for-bit against the scmd_run endpoint for the same
+# config, the scmd_top job table renders, and the daemon's serve.*
+# metrics pass validate_obs.
+#
+#   tests/scripts/run_serve_smoke.sh <scmd_serve> <scmd_client> \
+#       <scmd_run> <workdir>
+#
+# Used by ctest (apps/CMakeLists.txt) and the CI serve job — one script
+# so the gate can't drift between the two.
+set -eu
+
+if [ $# -ne 4 ]; then
+    echo "usage: $0 <scmd_serve> <scmd_client> <scmd_run> <workdir>" >&2
+    exit 2
+fi
+
+SERVE=$1
+CLIENT=$2
+RUN=$3
+WORK=$4
+ROOT=$(cd "$(dirname "$0")/../.." && pwd)
+LAUNCH=$ROOT/tools/launch_serve.sh
+TOP=$ROOT/tools/scmd_top.py
+VALIDATE=$ROOT/tools/validate_obs.py
+COMPARE=$ROOT/tools/compare_checkpoints.py
+
+NRANKS=8  # 1 daemon + 7 workers: two 2-rank jobs + a cancelled 2-rank one
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# A config that stays numerically stable for the long cancelled job.
+cat > "$WORK/job.conf" <<'EOF'
+field = lj
+atoms = 256
+steps = 40
+ranks = 2
+seed = 11
+dt_fs = 0.1
+metrics_every = 10
+EOF
+sed 's/^steps = .*/steps = 2000000/; s/^metrics_every = .*/metrics_every = 500/' \
+    "$WORK/job.conf" > "$WORK/long.conf"
+
+echo "serve_smoke: booting the $NRANKS-rank pool"
+SCMD_SERVE_LOG_DIR="$WORK/logs" \
+    "$LAUNCH" "$SERVE" "$NRANKS" \
+    --port=0 --status-port=0 --dir="$WORK/jobs" \
+    --metrics-out="$WORK/serve_metrics.jsonl" \
+    > "$WORK/launch.log" 2>&1 &
+LAUNCH_PID=$!
+
+for _ in $(seq 1 300); do
+    [ -s "$WORK/logs/client_port" ] && break
+    kill -0 "$LAUNCH_PID" 2>/dev/null || {
+        echo "serve_smoke: pool failed to boot:" >&2
+        cat "$WORK/launch.log" >&2; exit 1; }
+    sleep 0.1
+done
+PORT=$(cat "$WORK/logs/client_port")
+STATUS_PORT=$(cat "$WORK/logs/status_port")
+echo "serve_smoke: client port $PORT, status port $STATUS_PORT"
+
+# One long job to cancel plus two that must complete concurrently, all
+# submitted before any finishes — the pool space-shares 6 of 7 workers.
+LONG_ID=$("$CLIENT" --port="$PORT" submit "$WORK/long.conf" \
+    | sed 's/[^0-9]*//g')
+A_ID=$("$CLIENT" --port="$PORT" submit "$WORK/job.conf" | sed 's/[^0-9]*//g')
+B_ID=$("$CLIENT" --port="$PORT" submit "$WORK/job.conf" | sed 's/[^0-9]*//g')
+echo "serve_smoke: jobs long=$LONG_ID a=$A_ID b=$B_ID"
+
+echo "serve_smoke: job table while running"
+python3 "$TOP" --port "$STATUS_PORT" --jobs --once | tee "$WORK/jobs.txt"
+grep -q "running" "$WORK/jobs.txt" || {
+    echo "serve_smoke: no running job in the table" >&2; exit 1; }
+
+"$CLIENT" --port="$PORT" cancel "$LONG_ID"
+
+# A follow-up job on the freed ranks proves the pool survived the
+# cancel; --wait exits 0 only for a job that reaches done.
+"$CLIENT" --port="$PORT" submit "$WORK/job.conf" --wait > /dev/null || {
+    echo "serve_smoke: follow-up job after cancel failed" >&2; exit 1; }
+for ID in "$A_ID" "$B_ID"; do
+    while :; do
+        OUT=$("$CLIENT" --port="$PORT" poll "$ID")
+        case $OUT in
+            *done*) break ;;
+            *failed*|*cancelled*)
+                echo "serve_smoke: job $ID ended badly: $OUT" >&2; exit 1 ;;
+        esac
+        sleep 0.2
+    done
+done
+while :; do
+    OUT=$("$CLIENT" --port="$PORT" poll "$LONG_ID")
+    case $OUT in
+        *cancelled*) break ;;
+        *done*|*failed*)
+            echo "serve_smoke: long job not cancelled: $OUT" >&2; exit 1 ;;
+    esac
+    sleep 0.2
+done
+echo "serve_smoke: concurrent jobs done, long job cancelled"
+
+echo "serve_smoke: daemon-vs-scmd_run checkpoint parity"
+"$CLIENT" --port="$PORT" submit "$WORK/job.conf" --stream \
+    --checkpoint-out="$WORK/served.ckpt" > /dev/null
+"$RUN" "$WORK/job.conf" --checkpoint-out="$WORK/direct.ckpt" > /dev/null
+python3 "$COMPARE" "$WORK/direct.ckpt" "$WORK/served.ckpt" \
+    --pos-tol=0 --vel-tol=0
+
+"$CLIENT" --port="$PORT" shutdown
+wait "$LAUNCH_PID" || {
+    echo "serve_smoke: pool exited non-zero:" >&2
+    cat "$WORK/launch.log" >&2; exit 1; }
+
+echo "serve_smoke: validating serve.* metrics"
+python3 "$VALIDATE" --metrics "$WORK/serve_metrics.jsonl" --expect-serve
+
+echo "serve_smoke: OK"

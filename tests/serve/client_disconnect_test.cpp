@@ -1,0 +1,115 @@
+// Client-disconnect isolation (docs/SERVICE.md): a client that
+// vanishes mid-stream cancels *its* job and nothing else — the daemon
+// keeps running, the freed ranks go back in the pool, and the next
+// submit is served by the same warm pool.  Regression for the
+// "one flaky client restarts the whole service" failure mode.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "pool_harness.hpp"
+#include "serve/client.hpp"
+#include "support/error.hpp"
+
+namespace scmd::serve_test {
+namespace {
+
+using serve::ClientConnection;
+using serve::JobState;
+using serve::JobStatus;
+using serve::SubmitRequest;
+
+class ClientDisconnectTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ClientDisconnectTest, MidStreamDisconnectCancelsOnlyThatJob) {
+  ServicePool pool(GetParam(), 3);  // 2 workers
+
+  // Victim client: submits a long job and follows its stream.
+  ClientConnection victim("127.0.0.1", pool.client_port());
+  SubmitRequest req;
+  req.config_text = lj_job(/*steps=*/2000000, /*ranks=*/2, /*atoms=*/256,
+                           "metrics_every = 200\n");
+  const std::int64_t id = victim.submit(req);
+
+  std::atomic<bool> saw_chunk{false};
+  std::thread streamer([&victim, &saw_chunk, id] {
+    try {
+      victim.stream(id, 0, [&saw_chunk](const serve::ChunkMsg&) {
+        saw_chunk.store(true);
+      });
+    } catch (const Error&) {
+      // Expected: the socket under the stream gets hard-closed.
+    }
+  });
+
+  // Wait until the stream is live, then vanish: disconnect() severs
+  // the socket under the blocked reader; close() must wait for the
+  // join (see client.hpp).
+  while (!saw_chunk.load()) std::this_thread::sleep_for(
+      std::chrono::milliseconds(5));
+  victim.disconnect();
+  streamer.join();
+  victim.close();
+
+  // A second client watches the fallout: the victim's job — and only
+  // that job — ends cancelled, with the disconnect named as the reason.
+  ClientConnection observer("127.0.0.1", pool.client_port());
+  const JobStatus st = wait_terminal(observer, id);
+  EXPECT_EQ(st.state, JobState::kCancelled);
+  EXPECT_NE(st.error.find("disconnected"), std::string::npos) << st.error;
+
+  // The pool survived and re-serves on the freed ranks.
+  SubmitRequest next;
+  next.config_text = lj_job(/*steps=*/3);
+  const std::int64_t id2 = observer.submit(next);
+  EXPECT_EQ(wait_terminal(observer, id2).state, JobState::kDone);
+
+  pool.shutdown_and_join();
+}
+
+/// A disconnect while another job runs: the unrelated job is untouched.
+TEST_P(ClientDisconnectTest, UnrelatedJobsKeepRunning) {
+  ServicePool pool(GetParam(), 5);  // 4 workers: two 2-rank jobs
+
+  ClientConnection keeper("127.0.0.1", pool.client_port());
+  SubmitRequest keep_req;
+  keep_req.config_text = lj_job(/*steps=*/2000000, /*ranks=*/2, /*atoms=*/256,
+                                "metrics_every = 200\n");
+  const std::int64_t keep_id = keeper.submit(keep_req);
+  ASSERT_EQ(wait_started(keeper, keep_id).state, JobState::kRunning);
+
+  ClientConnection victim("127.0.0.1", pool.client_port());
+  const std::int64_t drop_id = victim.submit(keep_req);
+  std::atomic<bool> saw_chunk{false};
+  std::thread streamer([&victim, &saw_chunk, drop_id] {
+    try {
+      victim.stream(drop_id, 0, [&saw_chunk](const serve::ChunkMsg&) {
+        saw_chunk.store(true);
+      });
+    } catch (const Error&) {
+    }
+  });
+  while (!saw_chunk.load()) std::this_thread::sleep_for(
+      std::chrono::milliseconds(5));
+  victim.disconnect();
+  streamer.join();
+  victim.close();
+
+  EXPECT_EQ(wait_terminal(keeper, drop_id).state, JobState::kCancelled);
+  // The unrelated job never left the running state.
+  EXPECT_EQ(keeper.poll(keep_id).state, JobState::kRunning);
+  keeper.cancel(keep_id);
+  EXPECT_EQ(wait_terminal(keeper, keep_id).state, JobState::kCancelled);
+
+  pool.shutdown_and_join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ClientDisconnectTest,
+                         ::testing::Values(Backend::kInProc, Backend::kTcp),
+                         backend_name);
+
+}  // namespace
+}  // namespace scmd::serve_test

@@ -1,0 +1,110 @@
+// Daemon-vs-direct parity (docs/SERVICE.md acceptance): a job served
+// through the warm pool must be bit-for-bit the run `scmd_run` would
+// have produced for the same config.  Both paths share
+// serve/runplan.hpp (same RNG consumption, same initial state) and the
+// same per-rank driver, so the final checkpoint chunk the daemon
+// streams must decode to *exactly* the positions and velocities of an
+// in-process run_parallel_md at the identical config — zero tolerance.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "parallel/decomp.hpp"
+#include "parallel/parallel_engine.hpp"
+#include "pool_harness.hpp"
+#include "serve/client.hpp"
+#include "serve/runplan.hpp"
+#include "support/config.hpp"
+
+namespace scmd::serve_test {
+namespace {
+
+using serve::ChunkMsg;
+using serve::ClientConnection;
+using serve::JobState;
+using serve::SubmitRequest;
+
+void expect_bitwise_equal(const ParticleSystem& got,
+                          const ParticleSystem& want) {
+  ASSERT_EQ(got.num_atoms(), want.num_atoms());
+  const auto gp = got.positions();
+  const auto wp = want.positions();
+  const auto gv = got.velocities();
+  const auto wv = want.velocities();
+  for (int i = 0; i < got.num_atoms(); ++i) {
+    EXPECT_EQ(gp[i].x, wp[i].x) << "pos.x of atom " << i;
+    EXPECT_EQ(gp[i].y, wp[i].y) << "pos.y of atom " << i;
+    EXPECT_EQ(gp[i].z, wp[i].z) << "pos.z of atom " << i;
+    EXPECT_EQ(gv[i].x, wv[i].x) << "vel.x of atom " << i;
+    EXPECT_EQ(gv[i].y, wv[i].y) << "vel.y of atom " << i;
+    EXPECT_EQ(gv[i].z, wv[i].z) << "vel.z of atom " << i;
+    if (gp[i].x != wp[i].x) break;  // one atom's diff is enough output
+  }
+  EXPECT_EQ(got.types().size(), want.types().size());
+}
+
+void check_parity(const std::string& config_text) {
+  // Daemon path: submit with want_checkpoint and capture the final
+  // checkpoint chunk off the stream.
+  ServicePool pool(Backend::kInProc, 3);
+  ClientConnection conn("127.0.0.1", pool.client_port());
+  SubmitRequest req;
+  req.config_text = config_text;
+  req.want_checkpoint = true;
+  const std::int64_t id = conn.submit(req);
+
+  Bytes ckpt_payload;
+  std::int64_t ckpt_step = -1;
+  const serve::StreamEnd end =
+      conn.stream(id, 0, [&ckpt_payload, &ckpt_step](const ChunkMsg& c) {
+        if (c.kind == serve::ChunkKind::kCheckpoint) {
+          ckpt_payload = c.payload;
+          ckpt_step = c.step;
+        }
+      });
+  ASSERT_EQ(end.state, JobState::kDone) << end.error;
+  ASSERT_FALSE(ckpt_payload.empty()) << "no checkpoint chunk streamed";
+  pool.shutdown_and_join();
+
+  const ckpt::CheckpointData served = ckpt::decode_checkpoint(ckpt_payload);
+
+  // Direct path: the exact scmd_run recipe — the shared runplan helpers
+  // build the initial state, the same driver runs it.
+  serve::JobPlan plan = serve::build_job_plan(Config::parse(config_text));
+  ParticleSystem reference = std::move(*plan.system);
+  ParallelRunConfig pcfg;
+  pcfg.dt = plan.dt;
+  pcfg.num_steps = plan.steps;
+  pcfg.tuple_cache = plan.tuple_cache;
+  pcfg.make_balancer = plan.make_balancer;
+  pcfg.metrics_every = plan.metrics_every;
+  const ParallelRunResult res =
+      run_parallel_md(reference, *plan.field, plan.strategy,
+                      ProcessGrid::factor(plan.ranks), pcfg);
+
+  EXPECT_EQ(ckpt_step, plan.steps);
+  EXPECT_EQ(served.clock.step, plan.steps);
+  expect_bitwise_equal(served.system, reference);
+  EXPECT_TRUE(std::isfinite(res.potential_energy));
+}
+
+TEST(DaemonParityTest, LjGasMatchesDirectRunBitForBit) {
+  check_parity(lj_job(/*steps=*/6, /*ranks=*/2, /*atoms=*/256));
+}
+
+TEST(DaemonParityTest, SilicaMatchesDirectRunBitForBit) {
+  // The seed scenario: Vashishta silica, the paper's workload.
+  check_parity(
+      "field = vashishta\n"
+      "atoms = 192\n"
+      "steps = 4\n"
+      "ranks = 2\n"
+      "seed = 3\n"
+      "dt_fs = 1.0\n");
+}
+
+}  // namespace
+}  // namespace scmd::serve_test

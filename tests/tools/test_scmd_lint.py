@@ -129,6 +129,33 @@ class UnpackTryTest(unittest.TestCase):
             scmd_lint.rule_unpack_try, "src/md/foo.cpp", self.UNGUARDED), [])
 
 
+class ServiceTagsTest(unittest.TestCase):
+    def test_md_channel_in_serve_flagged(self):
+        hits = findings(scmd_lint.rule_service_tags, "src/serve/daemon.cpp",
+                        "pool_.send(r, tags::kTelemetry, payload);\n"
+                        "pool_.recv(r, tags::kGatherState);\n")
+        self.assertEqual([f.line for f in hits], [1, 2])
+        self.assertTrue(all(f.rule == "service-tags" for f in hits))
+
+    def test_svc_window_clean(self):
+        self.assertEqual(findings(
+            scmd_lint.rule_service_tags, "src/serve/worker.cpp",
+            "pool.send(0, tags::kSvcUp, encode_up(msg));\n"
+            "pool.recv(0, tags::kSvcCtrl);\n"), [])
+
+    def test_subset_pass_through_and_declarations_clean(self):
+        self.assertEqual(findings(
+            scmd_lint.rule_service_tags, "src/serve/subset.hpp",
+            "void send(int dst, int tag, Bytes payload) override;\n"
+            "parent_.send(global(dst), tag, std::move(payload));\n"
+            "parent_.recv(global(src), tag);\n"), [])
+
+    def test_outside_serve_not_checked(self):
+        self.assertEqual(findings(
+            scmd_lint.rule_service_tags, "src/parallel/comm.cpp",
+            "t.send(dst, tags::kTelemetry, payload);\n"), [])
+
+
 class TsaEscapeTest(unittest.TestCase):
     def test_escape_in_net_flagged(self):
         hits = findings(scmd_lint.rule_tsa_escape, "src/net/foo.cpp",

@@ -151,6 +151,48 @@ class CommChecks(ValidatorRunner):
                           self.write_metrics(recs), "--expect-comm")
 
 
+def serve_metrics(submitted=1, done=1, failed=0, cancelled=0, active=0,
+                  queued=0, busy=0, free=3, dead=0, total=3):
+    return {"serve.queue_depth": queued, "serve.jobs_active": active,
+            "serve.jobs_submitted": submitted, "serve.jobs_done": done,
+            "serve.jobs_failed": failed, "serve.jobs_cancelled": cancelled,
+            "serve.ranks_total": total, "serve.ranks_busy": busy,
+            "serve.ranks_free": free, "serve.ranks_dead": dead}
+
+
+class ServeChecks(ValidatorRunner):
+    def test_daemon_lifecycle_passes(self):
+        recs = [metrics_record(0, metrics=serve_metrics(
+                    submitted=1, done=0, active=1, busy=2, free=1)),
+                metrics_record(1, metrics=serve_metrics())]
+        self.assert_passes("--metrics", self.write_metrics(recs),
+                           "--expect-serve")
+
+    def test_missing_serve_gauges_fail(self):
+        self.assert_fails("required metric", "--metrics",
+                          self.write_metrics([metrics_record(0)]),
+                          "--expect-serve")
+
+    def test_never_busy_fails(self):
+        recs = [metrics_record(0, metrics=serve_metrics())]
+        self.assert_fails("no record observed a busy rank", "--metrics",
+                          self.write_metrics(recs), "--expect-serve")
+
+    def test_unbalanced_job_ledger_fails(self):
+        # Two submissions but only one ever reached a terminal state and
+        # none are active or queued: a job leaked.
+        recs = [metrics_record(0, metrics=serve_metrics(busy=2, free=1)),
+                metrics_record(1, metrics=serve_metrics(submitted=2))]
+        self.assert_fails("job ledger does not balance", "--metrics",
+                          self.write_metrics(recs), "--expect-serve")
+
+    def test_unbalanced_rank_ledger_fails(self):
+        recs = [metrics_record(0, metrics=serve_metrics(busy=2, free=1)),
+                metrics_record(1, metrics=serve_metrics(free=2))]
+        self.assert_fails("rank ledger does not balance", "--metrics",
+                          self.write_metrics(recs), "--expect-serve")
+
+
 class TraceChecks(ValidatorRunner):
     def test_nested_spans_pass(self):
         events = [span("step", 0, 100), span("force", 10, 50)]

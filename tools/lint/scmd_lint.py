@@ -24,6 +24,12 @@ Rules (each a bug class the compiler alone does not catch):
                     src/obs, or src/parallel — the zero-escape-hatch
                     directories (an escape there hides exactly the bugs
                     the analysis exists to catch).
+  service-tags      A send()/recv() in src/serve whose tag is neither a
+                    `tags::kSvc*` constant nor the subset layer's
+                    pass-through `tag` variable.  The service control
+                    plane owns exactly the kSvcBase window
+                    (docs/SERVICE.md); borrowing an MD channel would race
+                    the jobs the daemon is multiplexing.
   tag-docs          The tag table in docs/TRANSPORT.md disagrees with the
                     kRegistry in src/net/tags.hpp (docs must not drift
                     from the code).
@@ -61,7 +67,10 @@ SUPPRESSIONS = "tools/lint/lint_suppressions.txt"
 
 # Directories whose recv() paths take frames straight off the wire.
 RECEIVE_PATH_DIRS = ("src/net", "src/parallel", "src/balance", "src/ckpt",
-                     "src/obs")
+                     "src/obs", "src/serve")
+
+# The service control plane (docs/SERVICE.md) and its reserved window.
+SERVE_DIR = "src/serve"
 
 # The acceptance bar: no thread-safety escape hatches in these.
 NO_ESCAPE_DIRS = ("src/net", "src/obs", "src/parallel")
@@ -266,6 +275,39 @@ def rule_unpack_try(path: str, text: str) -> Iterable[Finding]:
                 f"{UNPACK_WINDOW} lines, or try/catch)")
 
 
+SVC_TAG_ARG = re.compile(r"^\s*tags\s*::\s*kSvc\w+\s*$")
+# A bare `tag` (the subset layer's verbatim forward) or the `int tag`
+# parameter of a send/recv *declaration* — declarations aren't call sites.
+PASS_THROUGH_TAG_ARG = re.compile(r"^\s*(?:int\s+)?tag\s*$")
+
+
+def rule_service_tags(path: str, text: str) -> Iterable[Finding]:
+    if not path.startswith(SERVE_DIR):
+        return
+    code = strip_comments_and_strings(text)
+    for m in SEND_RECV.finditer(code):
+        before = code[:m.start()].rstrip()
+        if before.endswith("::"):  # socket syscalls
+            continue
+        open_at = code.index("(", m.end() - 1)
+        close = balanced_paren_span(code, open_at)
+        if close < 0:
+            continue
+        args = split_top_level_args(code[open_at + 1:close - 1])
+        if len(args) < 2:
+            continue
+        tag_arg = args[1]
+        # The subset transport remaps ranks and forwards the caller's tag
+        # verbatim — that pass-through is the one non-kSvc tag allowed.
+        if SVC_TAG_ARG.match(tag_arg) or PASS_THROUGH_TAG_ARG.match(tag_arg):
+            continue
+        yield Finding(
+            "service-tags", path, line_of(code, m.start()),
+            f"{m.group(1)}() in {SERVE_DIR} with tag {tag_arg.strip()!r}; "
+            "the service control plane must use tags::kSvc* (or forward "
+            "the caller's `tag` in the subset remap layer)")
+
+
 def rule_tsa_escape(path: str, text: str) -> Iterable[Finding]:
     if path == THREAD_SAFETY_HPP or not path.startswith(NO_ESCAPE_DIRS):
         return
@@ -369,6 +411,7 @@ PER_FILE_RULES: dict[str, Callable[[str, str], Iterable[Finding]]] = {
     "naked-new": rule_naked_new,
     "std-rand": rule_std_rand,
     "unpack-try": rule_unpack_try,
+    "service-tags": rule_service_tags,
     "tsa-escape": rule_tsa_escape,
 }
 

@@ -8,17 +8,23 @@ renders a per-rank table: current step, step rate, mailbox watermark,
 median step latency, clock offset, plus recent slow-step anomalies
 (steps > 3x the rank's median).
 
+Also the service monitor (docs/SERVICE.md): a daemon started as
+`scmd_serve --status-port=N` publishes its job table on the "jobs"
+snapshot channel, and `scmd_top.py --jobs` renders it — one row per
+job with state, rank allocation, progress, and throughput.
+
 Usage:
     scmd_top.py --port N [--host 127.0.0.1] [--interval 1.0]
-                [--once] [--json]
+                [--once] [--json] [--jobs | --channel NAME]
 
 --once prints a single snapshot and exits (scripts, CI); --json prints
 the raw snapshot JSON instead of the table.  Exits 0 when the run
 reports finished, 1 on protocol/connection errors.
 
 Wire protocol: client sends a length-prefixed request (u32 LE byte
-count + payload, content ignored), server replies with a
-length-prefixed JSON snapshot.  One connection can issue many requests.
+count + payload naming the snapshot channel, empty meaning "status"),
+server replies with a length-prefixed JSON snapshot.  One connection
+can issue many requests.
 """
 
 import argparse
@@ -44,9 +50,10 @@ def recv_exact(sock, n):
     return buf
 
 
-def request_snapshot(sock):
+def request_snapshot(sock, channel=""):
     """One request/response round trip; returns the parsed snapshot."""
-    sock.sendall(struct.pack("<I", 0))
+    body = channel.encode("utf-8")
+    sock.sendall(struct.pack("<I", len(body)) + body)
     (length,) = struct.unpack("<I", recv_exact(sock, 4))
     if length > (1 << 24):
         raise ConnectionError(f"implausible snapshot length {length}")
@@ -81,6 +88,30 @@ def render(snap):
     return "\n".join(lines)
 
 
+def render_jobs(snap):
+    """The serve daemon's job table ("jobs" channel, docs/SERVICE.md)."""
+    pool = snap.get("pool", {})
+    lines = [f"scmd_top  pool workers {pool.get('workers', 0)}  "
+             f"free {pool.get('free', 0)}  dead {pool.get('dead', 0)}  "
+             f"queued {snap.get('queue_depth', 0)}  "
+             f"active {snap.get('jobs_active', 0)}"]
+    lines.append(f"{'job':>5} {'state':>10} {'prio':>5} {'ranks':>12} "
+                 f"{'steps':>15} {'steps/s':>9} {'chunks':>7} "
+                 f"{'wait s':>7}")
+    for j in snap.get("jobs", []):
+        ranks = ",".join(str(r) for r in j.get("ranks", []))
+        if not ranks:
+            ranks = f"({j.get('ranks_wanted', 0)} wanted)"
+        steps = f"{j.get('steps_done', 0)}/{j.get('steps_total', 0)}"
+        lines.append(
+            f"{j['id']:>5} {j['state']:>10} {j.get('priority', 0):>5} "
+            f"{ranks:>12} {steps:>15} {j.get('steps_per_sec', 0.0):>9.2f} "
+            f"{j.get('chunks', 0):>7} {j.get('queue_latency_s', 0.0):>7.2f}")
+        if j.get("error"):
+            lines.append(f"      error: {j['error']}")
+    return "\n".join(lines)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--host", default="127.0.0.1",
@@ -93,7 +124,16 @@ def main():
                     help="print one snapshot and exit")
     ap.add_argument("--json", action="store_true",
                     help="print raw snapshot JSON instead of the table")
+    ap.add_argument("--jobs", action="store_true",
+                    help="render the serve daemon's job table "
+                         "(shorthand for --channel jobs)")
+    ap.add_argument("--channel", default="",
+                    help="snapshot channel to request (default: the run "
+                         "status channel)")
     args = ap.parse_args()
+    if args.jobs and args.channel:
+        fail("--jobs and --channel are mutually exclusive")
+    channel = "jobs" if args.jobs else args.channel
 
     try:
         sock = socket.create_connection((args.host, args.port), timeout=10.0)
@@ -102,11 +142,13 @@ def main():
     with sock:
         while True:
             try:
-                snap = request_snapshot(sock)
+                snap = request_snapshot(sock, channel)
             except (OSError, ValueError, ConnectionError) as e:
                 fail(f"snapshot request failed: {e}")
             if args.json:
                 print(json.dumps(snap))
+            elif channel == "jobs":
+                print(render_jobs(snap))
             else:
                 print(render(snap))
             if args.once or snap.get("finished"):

@@ -9,7 +9,7 @@ Usage:
     validate_obs.py [--metrics m.jsonl] [--trace t.json]
                     [--require-metrics name1,name2,...]
                     [--min-steps N] [--expect-balance] [--expect-cache]
-                    [--expect-comm]
+                    [--expect-comm] [--expect-serve]
 
 --expect-balance asserts the dynamic load-balancing schema: every metrics
 record carries the balance.* gauges, at least one record observed a
@@ -27,6 +27,12 @@ values are true per-step deltas — a series whose bytes_sent is identical
 across every record is rejected as the once-per-run cumulative-constant
 bug the deltas replaced (record 0 includes bootstrap traffic, so real
 delta series always vary).
+
+--expect-serve asserts the serve daemon schema (docs/SERVICE.md): every
+record carries the serve.* gauges, at least one record observed busy
+worker ranks, and on the final record the job ledger (submitted =
+done + failed + cancelled + active + queued) and the rank ledger
+(total = busy + free + dead) both balance.
 
 --expect-merged N asserts the distributed-telemetry schema
 (docs/OBSERVABILITY.md): the metrics carry the per-step imbalance.*
@@ -63,10 +69,16 @@ COMM_METRICS = ("comm.transport.messages_sent", "comm.transport.bytes_sent",
 MERGED_METRICS = ("imbalance.search.max", "imbalance.search.avg",
                   "imbalance.search.ratio")
 
+SERVE_METRICS = ("serve.queue_depth", "serve.jobs_active",
+                 "serve.jobs_submitted", "serve.jobs_done",
+                 "serve.jobs_failed", "serve.jobs_cancelled",
+                 "serve.ranks_total", "serve.ranks_busy",
+                 "serve.ranks_free", "serve.ranks_dead")
+
 
 def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
                      expect_cache=False, expect_comm=False,
-                     expect_merged=None):
+                     expect_merged=None, expect_serve=False):
     if expect_balance:
         require_metrics = list(require_metrics) + list(BALANCE_METRICS)
     if expect_cache:
@@ -76,11 +88,15 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
     if expect_merged:
         require_metrics = (list(require_metrics) + list(MERGED_METRICS) +
                            list(COMM_METRICS))
+    if expect_serve:
+        require_metrics = list(require_metrics) + list(SERVE_METRICS)
     rebalances = 0
     cache_rebuilds = 0
     cache_reuses = 0
     comm_messages = 0
     phase_hists = 0
+    serve_busy = 0
+    serve_last = None
     steps = []
     series = {}  # attrs tuple -> step list (one series per strategy/platform)
     comm_series = {}  # attrs tuple -> comm.transport.bytes_sent list
@@ -120,6 +136,10 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
             cache_reuses += rec["metrics"].get("tuple_cache.reuse_steps") or 0
             comm_messages += rec["metrics"].get(
                 "comm.transport.messages_sent") or 0
+            if expect_serve:
+                if (rec["metrics"].get("serve.ranks_busy") or 0) > 0:
+                    serve_busy += 1
+                serve_last = rec["metrics"]
             steps.append(rec["step"])
             key = tuple(sorted(rec.get("attrs", {}).items()))
             series.setdefault(key, []).append(rec["step"])
@@ -146,6 +166,34 @@ def validate_metrics(path, require_metrics, min_steps, expect_balance=False,
                      f"comm.transport.bytes_sent identical across "
                      f"{len(vals)} records — cumulative constants, not "
                      f"per-step deltas")
+    if expect_serve:
+        # Daemon lifecycle semantics (docs/SERVICE.md): the pool actually
+        # ran jobs, every submitted job reached a terminal state by the
+        # final record, and the rank ledger stayed conserved.
+        if serve_busy == 0:
+            fail(f"{path}: --expect-serve, but no record observed a busy "
+                 f"rank")
+        if serve_last is not None:
+            if (serve_last["serve.jobs_submitted"] or 0) == 0:
+                fail(f"{path}: --expect-serve, but no job was ever "
+                     f"submitted")
+            terminal = ((serve_last["serve.jobs_done"] or 0) +
+                        (serve_last["serve.jobs_failed"] or 0) +
+                        (serve_last["serve.jobs_cancelled"] or 0))
+            open_jobs = ((serve_last["serve.jobs_active"] or 0) +
+                         (serve_last["serve.queue_depth"] or 0))
+            if terminal + open_jobs != (serve_last["serve.jobs_submitted"]
+                                        or 0):
+                fail(f"{path}: --expect-serve: job ledger does not balance "
+                     f"(submitted {serve_last['serve.jobs_submitted']}, "
+                     f"terminal {terminal}, open {open_jobs})")
+            ranks = serve_last["serve.ranks_total"] or 0
+            accounted = ((serve_last["serve.ranks_busy"] or 0) +
+                         (serve_last["serve.ranks_free"] or 0) +
+                         (serve_last["serve.ranks_dead"] or 0))
+            if ranks != accounted:
+                fail(f"{path}: --expect-serve: rank ledger does not balance "
+                     f"(total {ranks}, accounted {accounted})")
     if expect_merged and phase_hists == 0:
         fail(f"{path}: --expect-merged, but no phase_hist.* histogram "
              f"present")
@@ -257,6 +305,10 @@ def main():
                          "imbalance.* + comm.transport.* + phase_hist.* "
                          "metrics, and a merged trace with N clock-aligned "
                          "rank lanes")
+    ap.add_argument("--expect-serve", action="store_true",
+                    help="require the serve daemon schema: serve.* gauges "
+                         "on every record, >= 1 record with busy ranks, "
+                         "and balanced job/rank ledgers on the final one")
     ap.add_argument("--merge-slack-us", type=float, default=50000.0,
                     help="clock-alignment tolerance for --expect-merged "
                          "step-span overlap (default 50000)")
@@ -269,7 +321,8 @@ def main():
                          expect_balance=args.expect_balance,
                          expect_cache=args.expect_cache,
                          expect_comm=args.expect_comm,
-                         expect_merged=args.expect_merged)
+                         expect_merged=args.expect_merged,
+                         expect_serve=args.expect_serve)
     if args.trace:
         validate_trace(args.trace, expect_balance=args.expect_balance,
                        expect_cache=args.expect_cache,
